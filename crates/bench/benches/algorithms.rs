@@ -1,0 +1,64 @@
+//! Microbenchmarks of the core sampling algorithms across the paper's
+//! workload families: samples-to-termination throughput per algorithm.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapidviz_bench::AlgorithmKind;
+use rapidviz_core::AlgoConfig;
+use rapidviz_datagen::{DatasetSpec, WorkloadFamily};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    for family in [
+        ("mixture", WorkloadFamily::Mixture),
+        ("bernoulli", WorkloadFamily::Bernoulli),
+        ("truncnorm", WorkloadFamily::TruncNorm),
+    ] {
+        for kind in AlgorithmKind::PAPER_SIX {
+            group.bench_with_input(
+                BenchmarkId::new(family.0, kind.name()),
+                &kind,
+                |b, &kind| {
+                    let spec = DatasetSpec::generate(family.1, 10, 10_000_000, 7);
+                    let base = AlgoConfig::new(100.0, 0.05).with_max_rounds(200_000);
+                    b.iter(|| {
+                        let mut groups = spec.virtual_groups();
+                        let mut rng = StdRng::seed_from_u64(11);
+                        black_box(kind.run(&base, 1.0, &mut groups, &mut rng))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_group_count_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ifocus_group_count");
+    group.sample_size(10);
+    for k in [5usize, 10, 20, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let spec = DatasetSpec::generate(WorkloadFamily::Mixture, k, 1_000_000 * k as u64, 3);
+            let base = AlgoConfig::new(100.0, 0.05)
+                .with_resolution(1.0)
+                .with_max_rounds(100_000);
+            b.iter(|| {
+                let mut groups = spec.virtual_groups();
+                let mut rng = StdRng::seed_from_u64(13);
+                black_box(AlgorithmKind::IFocusR.run(&base, 1.0, &mut groups, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_algorithms, bench_group_count_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Microbenchmarks of the NEEDLETAIL bitmap substrate: index build,
+//! rank/select probes, random member retrieval, and boolean algebra.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapidviz_needletail::bitmap::{Bitmap, DenseBitmap, RleBitmap};
+
+fn random_bitmap(len: u64, density: f64, seed: u64) -> DenseBitmap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions: Vec<u64> = (0..len).filter(|_| rng.gen_bool(density)).collect();
+    DenseBitmap::from_sorted_positions(&positions, len)
+}
+
+fn clustered_bitmap(len: u64, start: u64, ones: u64) -> DenseBitmap {
+    let positions: Vec<u64> = (start..start + ones).collect();
+    DenseBitmap::from_sorted_positions(&positions, len)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_build");
+    for len in [100_000u64, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("dense", len), &len, |b, &len| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let positions: Vec<u64> = (0..len).filter(|_| rng.gen_bool(0.1)).collect();
+            b.iter(|| black_box(DenseBitmap::from_sorted_positions(&positions, len)));
+        });
+        group.bench_with_input(BenchmarkId::new("rle_from_dense", len), &len, |b, &len| {
+            let dense = clustered_bitmap(len, len / 4, len / 10);
+            b.iter(|| black_box(RleBitmap::from_dense(&dense)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_select");
+    let len = 1_000_000u64;
+    let dense = random_bitmap(len, 0.1, 2);
+    let ones = dense.count_ones();
+    let rle = RleBitmap::from_dense(&clustered_bitmap(len, len / 4, len / 10));
+    let rle_ones = rle.count_ones();
+    group.bench_function("dense_select", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % ones;
+            black_box(dense.select(k))
+        });
+    });
+    group.bench_function("rle_select", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % rle_ones;
+            black_box(rle.select(k))
+        });
+    });
+    group.bench_function("dense_rank", |b| {
+        let mut p = 0u64;
+        b.iter(|| {
+            p = (p + 999_983) % len;
+            black_box(dense.rank(p))
+        });
+    });
+    group.finish();
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitmap_algebra");
+    group.sample_size(20);
+    let len = 1_000_000u64;
+    let a = random_bitmap(len, 0.1, 3);
+    let b_ = random_bitmap(len, 0.1, 4);
+    group.bench_function("dense_and", |bch| {
+        bch.iter(|| black_box(a.and(&b_)));
+    });
+    let ra = Bitmap::Rle(RleBitmap::from_dense(&clustered_bitmap(len, 0, len / 5)));
+    let rb = Bitmap::Rle(RleBitmap::from_dense(&clustered_bitmap(len, len / 10, len / 5)));
+    group.bench_function("rle_and_clustered", |bch| {
+        bch.iter(|| black_box(ra.and(&rb)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_select, bench_algebra);
+criterion_main!(benches);

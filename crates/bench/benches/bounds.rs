@@ -1,0 +1,73 @@
+//! Microbenchmarks of the concentration-bound layer: the per-round ε
+//! evaluation sits on IFOCUS's hot path (once per round).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rapidviz_stats::{
+    hoeffding_half_width, serfling_half_width, EpsilonSchedule, Interval, IntervalSet,
+    SamplingMode,
+};
+
+fn bench_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds");
+    group.bench_function("hoeffding_half_width", |b| {
+        let mut m = 1u64;
+        b.iter(|| {
+            m = m % 1_000_000 + 1;
+            black_box(hoeffding_half_width(m, 0.05, 100.0))
+        });
+    });
+    group.bench_function("serfling_half_width", |b| {
+        let mut m = 1u64;
+        b.iter(|| {
+            m = m % 1_000_000 + 1;
+            black_box(serfling_half_width(m, 10_000_000, 0.05, 100.0))
+        });
+    });
+    let schedule = EpsilonSchedule::new(100.0, 0.05, 10);
+    group.bench_function("anytime_schedule", |b| {
+        let mut m = 1u64;
+        b.iter(|| {
+            m = m % 1_000_000 + 1;
+            black_box(schedule.half_width(m, 10_000_000))
+        });
+    });
+    let with_repl = EpsilonSchedule::with_options(
+        100.0,
+        0.05,
+        10,
+        1.0,
+        SamplingMode::WithReplacement,
+        1.0,
+    );
+    group.bench_function("anytime_schedule_with_replacement", |b| {
+        let mut m = 1u64;
+        b.iter(|| {
+            m = m % 1_000_000 + 1;
+            black_box(with_repl.half_width(m, u64::MAX))
+        });
+    });
+    group.finish();
+}
+
+fn bench_interval_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set");
+    for k in [10usize, 100, 1000] {
+        let intervals: Vec<Interval> = (0..k)
+            .map(|i| Interval::centered(i as f64 * 3.0, 2.0))
+            .collect();
+        group.bench_function(format!("build_and_probe_k{k}"), |b| {
+            b.iter(|| {
+                let set = IntervalSet::new(intervals.clone());
+                let mut overlapping = 0usize;
+                for i in 0..k {
+                    overlapping += usize::from(set.member_overlaps_others(i));
+                }
+                black_box(overlapping)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_widths, bench_interval_set);
+criterion_main!(benches);

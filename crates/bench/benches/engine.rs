@@ -1,0 +1,60 @@
+//! Microbenchmarks of the NEEDLETAIL engine path: random tuple sampling
+//! through the bitmap index vs the sequential SCAN baseline, on a
+//! materialized flight table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapidviz_datagen::FlightModel;
+use rapidviz_needletail::{NeedleTail, Predicate};
+
+fn engine_fixture(rows: u64) -> NeedleTail {
+    let model = FlightModel::new(5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let table = model.to_table(rows, &mut rng);
+    NeedleTail::new(table, &["name"]).expect("fixture builds")
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let engine = engine_fixture(200_000);
+    let handles = engine
+        .group_handles("name", "arr_delay", &Predicate::True)
+        .expect("handles");
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("sample_with_replacement", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(handles[0].sample_with_replacement(&mut rng)));
+    });
+    group.bench_function("sample_without_replacement_fresh", |b| {
+        // Clone per iteration so the permutation never exhausts.
+        b.iter_batched(
+            || (handles[0].clone(), StdRng::seed_from_u64(8)),
+            |(mut h, mut rng)| black_box(h.sample_without_replacement(&mut rng)),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.sample_size(20);
+    group.bench_function("scan_full_table", |b| {
+        b.iter(|| black_box(engine.scan("name", "arr_delay", &Predicate::True).unwrap()));
+    });
+    group.bench_function("scan_with_predicate", |b| {
+        let pred = Predicate::ge("dep_delay", 30.0);
+        b.iter(|| black_box(engine.scan("name", "arr_delay", &pred).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_build");
+    group.sample_size(10);
+    group.bench_function("index_build_200k_rows", |b| {
+        let model = FlightModel::new(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let table = model.to_table(200_000, &mut rng);
+        b.iter(|| black_box(NeedleTail::new(table.clone(), &["name"]).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p rapidviz-bench --bin experiments -- <id> [--reps N] [--seed N] [--quick]
+//! ```
+//!
+//! `<id>` is one of: `table1 fig3a fig3b fig3c fig4 fig5a fig5b fig5c fig6a
+//! fig6b fig6c fig7a fig7b fig7c table3 all` (`fig5c`/`fig6a` share one run).
+
+use rapidviz_bench::experiments::{self, ExpOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id: Option<String> = None;
+    let mut opts = ExpOptions::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--reps" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.reps = v,
+                None => return usage("--reps needs a positive integer"),
+            },
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            other if id.is_none() && !other.starts_with('-') => id = Some(other.to_owned()),
+            other => return usage(&format!("unrecognized argument {other:?}")),
+        }
+    }
+    let Some(id) = id else {
+        return usage("missing experiment id");
+    };
+    match id.as_str() {
+        "table1" => experiments::table1(&opts),
+        "fig3a" => experiments::fig3a(&opts),
+        "fig3b" => experiments::fig3b(&opts),
+        "fig3c" => experiments::fig3c(&opts),
+        "fig4" => experiments::fig4(&opts),
+        "fig5a" => experiments::fig5a(&opts),
+        "fig5b" => experiments::fig5b(&opts),
+        "fig5c" | "fig6a" | "fig5c6a" => experiments::fig5c_6a(&opts),
+        "fig6b" => experiments::fig6b(&opts),
+        "fig6c" => experiments::fig6c(&opts),
+        "fig7a" => experiments::fig7a(&opts),
+        "fig7b" => experiments::fig7b(&opts),
+        "fig7c" => experiments::fig7c(&opts),
+        "table3" => experiments::table3(&opts),
+        "extensions" | "ext" => experiments::extensions(&opts),
+        "lowerbound" | "lb" => experiments::lowerbound(&opts),
+        "all" => experiments::all(&opts),
+        other => return usage(&format!("unknown experiment {other:?}")),
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: experiments <table1|fig3a|fig3b|fig3c|fig4|fig5a|fig5b|fig5c|fig6a|fig6b|fig6c|fig7a|fig7b|fig7c|table3|extensions|lowerbound|all> [--reps N] [--seed N] [--quick]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,16 @@
+//! # rapidviz-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation (§5), each printing the same rows/series the paper reports.
+//! See EXPERIMENTS.md for the paper-vs-measured record and
+//! `src/bin/experiments.rs` for the CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod experiments;
+pub mod report;
+
+pub use algorithms::AlgorithmKind;
+pub use experiments::ExpOptions;

@@ -1,0 +1,84 @@
+//! Small text-report helpers shared by the experiment functions.
+
+/// Mean of a sample.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Formats a fraction as a percentage with sensible precision across the
+/// 10^-4 – 10^2 range the figures span.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    let p = fraction * 100.0;
+    if p >= 10.0 {
+        format!("{p:.1}%")
+    } else if p >= 0.1 {
+        format!("{p:.2}%")
+    } else {
+        format!("{p:.4}%")
+    }
+}
+
+/// Formats seconds with figure-friendly precision.
+#[must_use]
+pub fn secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 1.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{:.0}ms", s * 1000.0)
+    }
+}
+
+/// Formats large counts with scientific-style compaction (`1.2e9`).
+#[must_use]
+pub fn count(n: u64) -> String {
+    let x = n as f64;
+    if x >= 1e7 {
+        format!("{x:.2e}")
+    } else {
+        n.to_string()
+    }
+}
+
+/// Prints a section header for one experiment.
+pub fn header(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn pct_ranges() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(0.005), "0.50%");
+        assert_eq!(pct(0.00001), "0.0010%");
+    }
+
+    #[test]
+    fn secs_ranges() {
+        assert_eq!(secs(123.4), "123s");
+        assert_eq!(secs(3.25), "3.2s");
+        assert_eq!(secs(0.05), "50ms");
+    }
+
+    #[test]
+    fn count_ranges() {
+        assert_eq!(count(500), "500");
+        assert_eq!(count(1_200_000_000), "1.20e9");
+    }
+}

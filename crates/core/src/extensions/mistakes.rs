@@ -1,0 +1,162 @@
+//! Problem 5 — AVG-ORDER-MISTAKES (§6.1.3).
+//!
+//! The analyst tolerates incorrect ordering on up to a fraction γ of the
+//! group pairs (in exchange for speed). Following the paper's solution, the
+//! algorithm tracks the fraction of pairs whose ordering is already
+//! *certified* — pairs of mutually inactive groups — and terminates as soon
+//! as that fraction reaches `1 − γ`, abandoning the hardest comparisons.
+
+use crate::config::AlgoConfig;
+use crate::group::GroupSource;
+use crate::result::RunResult;
+use crate::state::FocusState;
+use rand::RngCore;
+
+/// IFOCUS with an allowed fraction of pair mistakes.
+#[derive(Debug, Clone)]
+pub struct IFocusMistakes {
+    config: AlgoConfig,
+    /// Allowed fraction γ ∈ [0, 1) of pairs that may be mis-ordered.
+    gamma: f64,
+}
+
+impl IFocusMistakes {
+    /// Creates the algorithm with mistake budget `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma ∉ [0, 1)`.
+    #[must_use]
+    pub fn new(config: AlgoConfig, gamma: f64) -> Self {
+        assert!((0.0..1.0).contains(&gamma), "gamma must lie in [0, 1)");
+        Self { config, gamma }
+    }
+
+    /// Runs over the groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+        let mut state = FocusState::initialize(&self.config, groups, rng);
+        let k = state.k();
+        let total_pairs = (k * (k.saturating_sub(1)) / 2).max(1) as f64;
+        state.standard_deactivation();
+        state.record();
+
+        while state.any_active() {
+            // Certified pairs: every pair with at least one inactive
+            // endpoint. (When a group deactivates its interval is disjoint
+            // from all then-active intervals, and Lemma 1's argument shows
+            // its order relative to *every* other group is settled.) Only
+            // active–active pairs remain uncertain.
+            let active = state.active_count();
+            let certified =
+                total_pairs - (active * active.saturating_sub(1) / 2) as f64;
+            if certified / total_pairs >= 1.0 - self.gamma {
+                state.deactivate_all();
+                break;
+            }
+            if state.m >= self.config.max_rounds {
+                state.truncated = true;
+                break;
+            }
+            state.m += 1;
+            for i in 0..k {
+                if state.active[i] && !state.exhausted[i] {
+                    state.draw(i, &mut groups[i], rng);
+                }
+            }
+            if state.resolution_reached() || state.all_active_exhausted() {
+                state.deactivate_all();
+            } else {
+                state.standard_deactivation();
+            }
+            state.record();
+        }
+        state.finish()
+    }
+}
+
+
+impl crate::runner::OrderingAlgorithm for IFocusMistakes {
+    fn name(&self) -> String {
+        "ifocus-mistakes".to_owned()
+    }
+
+    fn execute<G: crate::group::GroupSource>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn rand::RngCore,
+    ) -> crate::result::RunResult {
+        self.run(groups, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::VecGroup;
+    use crate::ifocus::IFocus;
+    use crate::ordering::fraction_correct_pairs;
+    use rand::{Rng, SeedableRng};
+
+    fn two_point_groups(means: &[f64], n: usize, seed: u64) -> Vec<VecGroup> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        means
+            .iter()
+            .enumerate()
+            .map(|(i, &mu)| {
+                let values: Vec<f64> = (0..n)
+                    .map(|_| if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 })
+                    .collect();
+                VecGroup::new(format!("g{i}"), values)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_gamma_equals_full_ifocus_cost_profile() {
+        let means = [20.0, 50.0, 80.0];
+        let mut g1 = two_point_groups(&means, 50_000, 90);
+        let mut g2 = g1.clone();
+        let strict = IFocusMistakes::new(AlgoConfig::new(100.0, 0.05), 0.0);
+        let full = IFocus::new(AlgoConfig::new(100.0, 0.05));
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(91);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(91);
+        let r_strict = strict.run(&mut g1, &mut rng1);
+        let r_full = full.run(&mut g2, &mut rng2);
+        assert_eq!(r_strict.total_samples(), r_full.total_samples());
+    }
+
+    #[test]
+    fn budget_skips_hard_pair() {
+        // One near-tie among 5 groups: allowing 1/10 of pairs wrong lets the
+        // run stop without resolving it.
+        let means = [30.0, 30.5, 55.0, 75.0, 90.0];
+        let mut g1 = two_point_groups(&means, 400_000, 92);
+        let mut g2 = g1.clone();
+        let lenient = IFocusMistakes::new(AlgoConfig::new(100.0, 0.05), 0.11);
+        let strict = IFocusMistakes::new(AlgoConfig::new(100.0, 0.05), 0.0);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(93);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(93);
+        let r_lenient = lenient.run(&mut g1, &mut rng1);
+        let r_strict = strict.run(&mut g2, &mut rng2);
+        assert!(
+            r_lenient.total_samples() * 3 < r_strict.total_samples(),
+            "lenient {} should be far below strict {}",
+            r_lenient.total_samples(),
+            r_strict.total_samples()
+        );
+        // The result is still mostly correct.
+        let truths: Vec<f64> = g1.iter().map(|g| g.true_mean().unwrap()).collect();
+        let frac = fraction_correct_pairs(&r_lenient.estimates, &truths);
+        assert!(frac >= 0.89, "pair accuracy {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_gamma_one() {
+        let _ = IFocusMistakes::new(AlgoConfig::new(1.0, 0.05), 1.0);
+    }
+}

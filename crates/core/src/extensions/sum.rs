@@ -1,0 +1,439 @@
+//! §6.3.1 / §6.3.2 — `SUM` and `COUNT` aggregates.
+//!
+//! * **Known group sizes (Algorithm 4, [`IFocusSum1`]).** `σ_i = µ_i·|S_i|`,
+//!   so the machinery is IFOCUS with per-group scaling: estimates and
+//!   confidence half-widths are both multiplied by `|S_i|`, making the
+//!   interval-overlap test operate in "sum space".
+//! * **Unknown group sizes (Algorithm 5, [`IFocusSum2`]).** Sources produce
+//!   pairs `(x, z)` where `x` is a random group member and `z` an
+//!   independent unbiased `{0,1}` estimate of the normalized group size
+//!   `s_i` (NEEDLETAIL gets `z` from its in-memory bitmaps without extra
+//!   I/O). `x·z ∈ [0, c]` is an unbiased estimate of the normalized sum
+//!   `σ_i = s_i·µ_i`, so the *same* Hoeffding-based schedule applies — the
+//!   surprising observation the paper makes. Estimates returned are
+//!   normalized sums; multiply by the total relation size for absolute sums.
+//! * **`COUNT` ([`ifocus_count`]).** Trivial with known sizes; with unknown
+//!   sizes, run the same loop on the `z` stream alone (values in `[0, 1]`,
+//!   so the schedule uses `c = 1`), yielding normalized counts `s_i`.
+
+use crate::config::AlgoConfig;
+use crate::group::GroupSource;
+use crate::result::RunResult;
+use crate::state::FocusState;
+use rand::RngCore;
+use rapidviz_stats::{EpsilonSchedule, Interval, IntervalSet, RunningMean, SamplingMode};
+
+/// IFOCUS for `SUM` with known group sizes (Algorithm 4).
+#[derive(Debug, Clone)]
+pub struct IFocusSum1 {
+    config: AlgoConfig,
+}
+
+impl IFocusSum1 {
+    /// Creates the algorithm.
+    #[must_use]
+    pub fn new(config: AlgoConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs over the groups; estimates are group **sums** `ν_i ≈ σ_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+        let mut state = FocusState::initialize(&self.config, groups, rng);
+        let sizes = state.sizes.clone();
+        Self::deactivate_scaled(&mut state, &sizes);
+        state.record();
+
+        while state.any_active() {
+            if state.m >= self.config.max_rounds {
+                state.truncated = true;
+                break;
+            }
+            state.m += 1;
+            for i in 0..state.k() {
+                if state.active[i] && !state.exhausted[i] {
+                    state.draw(i, &mut groups[i], rng);
+                }
+            }
+            // Resolution semantics in sum space: ε_i = |S_i|·ε, so the
+            // cut-off compares the *largest* scaled width against r/4.
+            let eps_base = state.epsilon();
+            let max_scaled = sizes
+                .iter()
+                .zip(&state.active)
+                .filter(|(_, &a)| a)
+                .map(|(&n, _)| n as f64 * eps_base)
+                .fold(0.0f64, f64::max);
+            let resolution_hit = self
+                .config
+                .resolution_epsilon()
+                .is_some_and(|thresh| max_scaled < thresh);
+            if resolution_hit || state.all_active_exhausted() {
+                state.deactivate_all();
+            } else {
+                Self::deactivate_scaled(&mut state, &sizes);
+            }
+            state.record();
+        }
+        let mut result = state.finish();
+        // Convert mean estimates to sums.
+        for (est, &n) in result.estimates.iter_mut().zip(&sizes) {
+            *est *= n as f64;
+        }
+        result
+    }
+
+    /// Overlap test with per-group scaled intervals
+    /// `[|S_i|·(ν_i − ε), |S_i|·(ν_i + ε)]` (Algorithm 4 lines 6–7, 11–13).
+    fn deactivate_scaled(state: &mut FocusState, sizes: &[u64]) {
+        let eps_base = state.epsilon();
+        loop {
+            let members: Vec<usize> = (0..state.k()).filter(|&i| state.active[i]).collect();
+            if members.is_empty() {
+                break;
+            }
+            let set = IntervalSet::new(
+                members
+                    .iter()
+                    .map(|&i| {
+                        let scale = sizes[i] as f64;
+                        Interval::centered(
+                            state.estimates[i].mean() * scale,
+                            eps_base * scale,
+                        )
+                    })
+                    .collect(),
+            );
+            let to_remove: Vec<usize> = members
+                .iter()
+                .enumerate()
+                .filter(|&(pos, _)| !set.member_overlaps_others(pos))
+                .map(|(_, &i)| i)
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for i in to_remove {
+                state.deactivate(i, eps_base);
+            }
+        }
+    }
+}
+
+/// A group source that also yields unbiased normalized-size estimates —
+/// what Algorithm 5 needs when group sizes are unknown.
+pub trait SizedGroupSource {
+    /// Display label.
+    fn label(&self) -> String;
+
+    /// Draws `(x, z)`: a uniform random member value and an independent
+    /// `{0, 1}` estimate with `E[z] = s_i` (the group's fraction of the
+    /// relation). Always with replacement.
+    fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)>;
+
+    /// True normalized sum `s_i·µ_i`, when known (evaluation only).
+    fn true_normalized_sum(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A [`SizedGroupSource`] over a materialized vector with a known fraction —
+/// the test/synthetic counterpart of a NEEDLETAIL size-estimating handle.
+#[derive(Debug, Clone)]
+pub struct VecSizedGroup {
+    label: String,
+    values: Vec<f64>,
+    fraction: f64,
+}
+
+impl VecSizedGroup {
+    /// Creates a group occupying `fraction` of the relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or `fraction ∉ (0, 1]`.
+    #[must_use]
+    pub fn new(label: impl Into<String>, values: Vec<f64>, fraction: f64) -> Self {
+        assert!(!values.is_empty(), "a group must have at least one member");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must lie in (0, 1]"
+        );
+        Self {
+            label: label.into(),
+            values,
+            fraction,
+        }
+    }
+}
+
+impl SizedGroupSource for VecSizedGroup {
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)> {
+        use rand::Rng;
+        let x = self.values[rng.gen_range(0..self.values.len())];
+        let z = f64::from(u8::from(rng.gen_bool(self.fraction)));
+        Some((x, z))
+    }
+
+    fn true_normalized_sum(&self) -> Option<f64> {
+        let mean = self.values.iter().sum::<f64>() / self.values.len() as f64;
+        Some(mean * self.fraction)
+    }
+}
+
+/// IFOCUS for `SUM` with **unknown** group sizes (Algorithm 5). Returns
+/// normalized sums `ν_i ≈ s_i·µ_i`.
+#[derive(Debug, Clone)]
+pub struct IFocusSum2 {
+    config: AlgoConfig,
+}
+
+impl IFocusSum2 {
+    /// Creates the algorithm.
+    #[must_use]
+    pub fn new(config: AlgoConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs over sized sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn run<G: SizedGroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+        assert!(!groups.is_empty(), "need at least one group");
+        let k = groups.len();
+        // Algorithm 5's ε has no without-replacement factor (x·z pairs are
+        // i.i.d. by construction).
+        let schedule = EpsilonSchedule::with_options(
+            self.config.c,
+            self.config.delta,
+            k,
+            self.config.kappa,
+            SamplingMode::WithReplacement,
+            self.config.heuristic_factor,
+        );
+        let labels: Vec<String> = groups.iter().map(SizedGroupSource::label).collect();
+        let mut estimates = vec![RunningMean::new(); k];
+        let mut active = vec![true; k];
+        let mut samples = vec![0u64; k];
+        let mut m = 1u64;
+        let mut truncated = false;
+        for (i, group) in groups.iter_mut().enumerate() {
+            if let Some((x, z)) = group.sample_with_size(rng) {
+                estimates[i].push(x * z);
+                samples[i] += 1;
+            }
+        }
+        loop {
+            // Deactivation (lines 11–13) to a fixpoint.
+            let eps = schedule.half_width(m, u64::MAX);
+            let resolution_hit = self
+                .config
+                .resolution_epsilon()
+                .is_some_and(|thresh| eps < thresh);
+            if resolution_hit {
+                active.iter_mut().for_each(|a| *a = false);
+            } else {
+                loop {
+                    let members: Vec<usize> = (0..k).filter(|&i| active[i]).collect();
+                    if members.is_empty() {
+                        break;
+                    }
+                    let set = IntervalSet::new(
+                        members
+                            .iter()
+                            .map(|&i| Interval::centered(estimates[i].mean(), eps))
+                            .collect(),
+                    );
+                    let to_remove: Vec<usize> = members
+                        .iter()
+                        .enumerate()
+                        .filter(|&(pos, _)| !set.member_overlaps_others(pos))
+                        .map(|(_, &i)| i)
+                        .collect();
+                    if to_remove.is_empty() {
+                        break;
+                    }
+                    for i in to_remove {
+                        active[i] = false;
+                    }
+                }
+            }
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+            if m >= self.config.max_rounds {
+                truncated = true;
+                break;
+            }
+            m += 1;
+            for i in 0..k {
+                if active[i] {
+                    if let Some((x, z)) = groups[i].sample_with_size(rng) {
+                        estimates[i].push(x * z);
+                        samples[i] += 1;
+                    }
+                }
+            }
+        }
+        RunResult {
+            labels,
+            estimates: estimates.iter().map(RunningMean::mean).collect(),
+            samples_per_group: samples,
+            rounds: m,
+            trace: None,
+            history: None,
+            truncated,
+        }
+    }
+}
+
+/// `COUNT` with unknown group sizes (§6.3.2): IFOCUS over the `z` stream
+/// alone. Values lie in `[0, 1]`, so the schedule uses `c = 1`; the
+/// returned estimates are normalized counts `ν_i ≈ s_i`.
+///
+/// # Panics
+///
+/// Panics if `groups` is empty.
+pub fn ifocus_count<G: SizedGroupSource>(
+    config: &AlgoConfig,
+    groups: &mut [G],
+    rng: &mut dyn RngCore,
+) -> RunResult {
+    // Reuse IFocusSum2 with sources that replace x by the constant 1, so
+    // x·z = z: exactly the "only getting samples for s_i" reduction the
+    // paper describes.
+    struct CountAdapter<'a, G: SizedGroupSource>(&'a mut G);
+    impl<G: SizedGroupSource> SizedGroupSource for CountAdapter<'_, G> {
+        fn label(&self) -> String {
+            self.0.label()
+        }
+        fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)> {
+            self.0.sample_with_size(rng).map(|(_, z)| (1.0, z))
+        }
+    }
+    let mut count_config = config.clone();
+    count_config.c = 1.0;
+    let mut adapters: Vec<CountAdapter<'_, G>> = groups.iter_mut().map(CountAdapter).collect();
+    IFocusSum2::new(count_config).run(&mut adapters, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::VecGroup;
+    use crate::ordering::is_correctly_ordered;
+    use rand::{Rng, SeedableRng};
+
+    fn two_point_values(mean: f64, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        (0..n)
+            .map(|_| if rng.gen_bool(mean / 100.0) { 100.0 } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn sum1_orders_by_sum_not_mean() {
+        // Group "big" has a lower mean but a much larger size, so its SUM
+        // dominates: mean ordering and sum ordering disagree.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(120);
+        let mut groups = vec![
+            VecGroup::new("big", two_point_values(30.0, 60_000, &mut rng)),
+            VecGroup::new("small", two_point_values(80.0, 5_000, &mut rng)),
+        ];
+        let true_sums: Vec<f64> = groups
+            .iter()
+            .map(|g| g.true_mean().unwrap() * g.len() as f64)
+            .collect();
+        assert!(true_sums[0] > true_sums[1], "test premise");
+        let algo = IFocusSum1::new(AlgoConfig::new(100.0, 0.05));
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(121);
+        let result = algo.run(&mut groups, &mut run_rng);
+        assert!(
+            result.estimates[0] > result.estimates[1],
+            "sum ordering: {:?} vs true {:?}",
+            result.estimates,
+            true_sums
+        );
+        assert!(is_correctly_ordered(&result.estimates, &true_sums));
+        // Estimated sums in the right ballpark.
+        for (est, truth) in result.estimates.iter().zip(&true_sums) {
+            assert!(
+                (est - truth).abs() / truth < 0.5,
+                "sum estimate {est} far from {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn sum2_orders_normalized_sums() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(122);
+        // Normalized sums: 0.6*30 = 18, 0.3*80 = 24, 0.1*50 = 5.
+        let mut groups = vec![
+            VecSizedGroup::new("a", two_point_values(30.0, 20_000, &mut rng), 0.6),
+            VecSizedGroup::new("b", two_point_values(80.0, 20_000, &mut rng), 0.3),
+            VecSizedGroup::new("c", two_point_values(50.0, 20_000, &mut rng), 0.1),
+        ];
+        let truths: Vec<f64> = groups
+            .iter()
+            .map(|g| g.true_normalized_sum().unwrap())
+            .collect();
+        let algo = IFocusSum2::new(AlgoConfig::new(100.0, 0.05).with_resolution(2.0));
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(123);
+        let result = algo.run(&mut groups, &mut run_rng);
+        assert!(
+            crate::ordering::is_correctly_ordered_with_resolution(
+                &result.estimates,
+                &truths,
+                2.0
+            ),
+            "estimates {:?} vs truths {truths:?}",
+            result.estimates
+        );
+    }
+
+    #[test]
+    fn count_estimates_fractions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(124);
+        let mut groups = vec![
+            VecSizedGroup::new("half", two_point_values(50.0, 1000, &mut rng), 0.5),
+            VecSizedGroup::new("third", two_point_values(50.0, 1000, &mut rng), 0.3),
+            VecSizedGroup::new("fifth", two_point_values(50.0, 1000, &mut rng), 0.2),
+        ];
+        let config = AlgoConfig::new(100.0, 0.05).with_resolution(0.05);
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(125);
+        let result = ifocus_count(&config, &mut groups, &mut run_rng);
+        assert!(result.estimates[0] > result.estimates[1]);
+        assert!(result.estimates[1] > result.estimates[2]);
+        assert!((result.estimates[0] - 0.5).abs() < 0.08);
+        assert!((result.estimates[1] - 0.3).abs() < 0.08);
+        assert!((result.estimates[2] - 0.2).abs() < 0.08);
+    }
+
+    #[test]
+    fn sum1_equal_sizes_matches_avg_behaviour() {
+        // With equal sizes, SUM ordering == AVG ordering.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(126);
+        let mut groups = vec![
+            VecGroup::new("lo", two_point_values(20.0, 30_000, &mut rng)),
+            VecGroup::new("hi", two_point_values(70.0, 30_000, &mut rng)),
+        ];
+        let algo = IFocusSum1::new(AlgoConfig::new(100.0, 0.05));
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(127);
+        let result = algo.run(&mut groups, &mut run_rng);
+        assert!(result.estimates[0] < result.estimates[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn sized_group_rejects_bad_fraction() {
+        let _ = VecSizedGroup::new("x", vec![1.0], 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Convergence histories (Figures 5c and 6a).
+//!
+//! When [`crate::AlgoConfig::history_every`] is non-zero, algorithms record
+//! a [`HistoryPoint`] every `n` rounds: the cumulative sample count, the
+//! active-set size, and a snapshot of the current estimates. The experiment
+//! harness turns these into
+//!
+//! * "number of active groups vs. samples taken" (Figure 5c), and
+//! * "number of incorrectly ordered pairs vs. samples taken" (Figure 6a,
+//!   via [`History::incorrect_pairs_series`] against the true means).
+
+use crate::ordering::count_incorrect_pairs;
+
+/// One recorded checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryPoint {
+    /// Round number at the checkpoint.
+    pub round: u64,
+    /// Cumulative samples drawn across all groups.
+    pub total_samples: u64,
+    /// Number of groups still active.
+    pub active_groups: usize,
+    /// Estimate snapshot `ν_1..ν_k`.
+    pub estimates: Vec<f64>,
+}
+
+/// A recorded convergence history.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct History {
+    points: Vec<HistoryPoint>,
+}
+
+impl History {
+    /// An empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a checkpoint.
+    pub fn push(&mut self, point: HistoryPoint) {
+        self.points.push(point);
+    }
+
+    /// The checkpoints in order.
+    #[must_use]
+    pub fn points(&self) -> &[HistoryPoint] {
+        &self.points
+    }
+
+    /// Whether anything was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `(total_samples, active_groups)` series — Figure 5c.
+    #[must_use]
+    pub fn active_groups_series(&self) -> Vec<(u64, usize)> {
+        self.points
+            .iter()
+            .map(|p| (p.total_samples, p.active_groups))
+            .collect()
+    }
+
+    /// `(total_samples, incorrect_pairs)` series against the given true
+    /// means — Figure 6a.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `truths` length differs from the snapshots'.
+    #[must_use]
+    pub fn incorrect_pairs_series(&self, truths: &[f64]) -> Vec<(u64, u64)> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.total_samples,
+                    count_incorrect_pairs(&p.estimates, truths),
+                )
+            })
+            .collect()
+    }
+
+    /// Cumulative samples at which the active count first dropped to or
+    /// below `target` (`None` if it never did within the recording).
+    #[must_use]
+    pub fn samples_to_reach_active(&self, target: usize) -> Option<u64> {
+        self.points
+            .iter()
+            .find(|p| p.active_groups <= target)
+            .map(|p| p.total_samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history() -> History {
+        let mut h = History::new();
+        let snapshots = [
+            (1u64, 4u64, 4usize, vec![1.0, 2.0, 3.0, 4.0]),
+            (10, 40, 3, vec![1.0, 2.5, 2.4, 4.0]),
+            (20, 70, 1, vec![1.0, 2.2, 2.6, 4.0]),
+            (30, 80, 0, vec![1.0, 2.0, 3.0, 4.0]),
+        ];
+        for (round, total_samples, active_groups, estimates) in snapshots {
+            h.push(HistoryPoint {
+                round,
+                total_samples,
+                active_groups,
+                estimates,
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn active_series() {
+        let h = history();
+        assert_eq!(
+            h.active_groups_series(),
+            vec![(4, 4), (40, 3), (70, 1), (80, 0)]
+        );
+    }
+
+    #[test]
+    fn incorrect_pairs_series() {
+        let h = history();
+        let truths = [1.0, 2.0, 3.0, 4.0];
+        // Second snapshot swaps groups 1 and 2 => one bad pair.
+        assert_eq!(
+            h.incorrect_pairs_series(&truths),
+            vec![(4, 0), (40, 1), (70, 0), (80, 0)]
+        );
+    }
+
+    #[test]
+    fn samples_to_reach() {
+        let h = history();
+        assert_eq!(h.samples_to_reach_active(4), Some(4));
+        assert_eq!(h.samples_to_reach_active(2), Some(70));
+        assert_eq!(h.samples_to_reach_active(0), Some(80));
+        assert_eq!(History::new().samples_to_reach_active(0), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! # rapidviz-core
+//!
+//! The paper's primary contribution: query-processing algorithms that return
+//! per-group aggregate estimates whose **ordering** matches the true
+//! ordering with probability `1 − δ`, while sampling as little as possible.
+//!
+//! ## Algorithms
+//!
+//! * [`ifocus::IFocus`] — Algorithm 1. One extra sample per *active* group
+//!   per round; a group deactivates when its anytime confidence interval no
+//!   longer overlaps any other active group's. Provably correct
+//!   (Theorem 3.5) and sample-optimal up to an additive `log log(1/η)` term
+//!   (Theorems 3.6 & 3.8). The resolution relaxation (`IFOCUS-R`,
+//!   Problem 2) is the same struct with [`config::AlgoConfig::resolution`]
+//!   set: sampling stops once `ε_m < r/4`.
+//! * [`irefine::IRefine`] — Algorithm 3. Halves every active group's
+//!   confidence interval per phase using fresh Chernoff–Hoeffding estimates
+//!   (Algorithm 2); simpler but suboptimal by a `log(1/η)` factor
+//!   (Theorem 3.10).
+//! * [`roundrobin::RoundRobin`] — the baseline: conventional round-robin
+//!   stratified sampling instrumented with the same confidence machinery so
+//!   it stops with the same guarantee.
+//! * [`scan::ExactScan`] — exhaustive read; exact answer, zero risk,
+//!   maximal cost.
+//!
+//! All four implement [`runner::OrderingAlgorithm`] over any collection of
+//! [`group::GroupSource`]s, so the experiment harness can swap them freely.
+//!
+//! ## Extensions (§6)
+//!
+//! The [`extensions`] module implements every variant the paper describes:
+//! trend-line / choropleth adjacency ordering, top-t, allowed mistakes,
+//! value accuracy, partial results, `SUM` (known and unknown group sizes),
+//! `COUNT`, multiple aggregates, and the no-index setting. Selection
+//! predicates and multiple group-bys are handled in the storage layer
+//! (`rapidviz-needletail`) since they only change which rows are eligible.
+//!
+//! ## Instrumentation
+//!
+//! Runs can record a per-round [`trace::Trace`] (reproducing the paper's
+//! Table 1) and a sampled [`history::History`] of active-set size and
+//! estimate snapshots (reproducing Figures 5c and 6a).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The algorithms walk several parallel per-group arrays (estimates, active
+// flags, samplers) by index; iterator zips would obscure the pseudocode
+// correspondence that this crate deliberately mirrors.
+#![allow(clippy::needless_range_loop)]
+
+pub mod config;
+pub mod extensions;
+pub mod group;
+pub mod history;
+pub mod ifocus;
+pub mod irefine;
+pub mod ordering;
+pub mod result;
+pub mod roundrobin;
+pub mod runner;
+pub mod scan;
+pub mod trace;
+pub mod viz;
+mod state;
+
+pub use config::{AlgoConfig, ReactivationPolicy};
+pub use group::GroupSource;
+pub use history::{History, HistoryPoint};
+pub use ifocus::IFocus;
+pub use irefine::IRefine;
+pub use ordering::{
+    count_incorrect_pairs, fraction_correct_pairs, is_correctly_ordered,
+    is_correctly_ordered_with_resolution, is_top_t_correct, is_trend_correct,
+};
+pub use result::RunResult;
+pub use roundrobin::RoundRobin;
+pub use runner::OrderingAlgorithm;
+pub use scan::ExactScan;
+pub use trace::{Trace, TraceRow};
+
+// Re-export the sampling-mode enum so downstream users configure algorithms
+// without importing rapidviz-stats directly.
+pub use rapidviz_stats::SamplingMode;

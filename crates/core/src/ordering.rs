@@ -1,0 +1,313 @@
+//! Ordering verifiers for every correctness notion in the paper.
+//!
+//! These functions compare returned estimates `ν` against true means `µ`
+//! under the various correctness definitions (Problems 1–5) and are used by
+//! the test suite and by the accuracy experiments (Figures 5a/5b, §5's
+//! "accuracy" metric).
+
+/// A pair `(i, j)` is *ordered correctly* when `sign(ν_i − ν_j)` matches
+/// `sign(µ_i − µ_j)`; ties in the true means accept either estimate order.
+fn pair_correct(estimates: &[f64], truths: &[f64], i: usize, j: usize) -> bool {
+    let dt = truths[i] - truths[j];
+    if dt == 0.0 {
+        return true;
+    }
+    let de = estimates[i] - estimates[j];
+    // Equal estimates cannot express a strict true ordering.
+    de != 0.0 && (de > 0.0) == (dt > 0.0)
+}
+
+/// Problem 1 correctness: every pair ordered correctly.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn is_correctly_ordered(estimates: &[f64], truths: &[f64]) -> bool {
+    assert_eq!(estimates.len(), truths.len(), "length mismatch");
+    let k = truths.len();
+    (0..k).all(|i| (i + 1..k).all(|j| pair_correct(estimates, truths, i, j)))
+}
+
+/// Problem 2 correctness: pairs with `|µ_i − µ_j| ≤ r` are exempt; all other
+/// pairs must be ordered correctly.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `r < 0`.
+#[must_use]
+pub fn is_correctly_ordered_with_resolution(estimates: &[f64], truths: &[f64], r: f64) -> bool {
+    assert_eq!(estimates.len(), truths.len(), "length mismatch");
+    assert!(r >= 0.0, "resolution must be non-negative");
+    let k = truths.len();
+    (0..k).all(|i| {
+        (i + 1..k).all(|j| {
+            (truths[i] - truths[j]).abs() <= r || pair_correct(estimates, truths, i, j)
+        })
+    })
+}
+
+/// Number of incorrectly ordered pairs (the Figure 6a series).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn count_incorrect_pairs(estimates: &[f64], truths: &[f64]) -> u64 {
+    assert_eq!(estimates.len(), truths.len(), "length mismatch");
+    let k = truths.len();
+    let mut bad = 0;
+    for i in 0..k {
+        for j in i + 1..k {
+            if !pair_correct(estimates, truths, i, j) {
+                bad += 1;
+            }
+        }
+    }
+    bad
+}
+
+/// Fraction of pairs ordered correctly (Problem 5's γ criterion).
+/// Returns 1.0 when there are fewer than two groups.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn fraction_correct_pairs(estimates: &[f64], truths: &[f64]) -> f64 {
+    let k = truths.len();
+    if k < 2 {
+        return 1.0;
+    }
+    let total = (k * (k - 1) / 2) as f64;
+    1.0 - count_incorrect_pairs(estimates, truths) as f64 / total
+}
+
+/// Problem 3 (trends/choropleths) correctness: only *adjacent* pairs
+/// `(i, i+1)` need to be ordered correctly, optionally exempting pairs
+/// closer than `r`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn is_trend_correct(estimates: &[f64], truths: &[f64], r: f64) -> bool {
+    assert_eq!(estimates.len(), truths.len(), "length mismatch");
+    (1..truths.len()).all(|i| {
+        (truths[i - 1] - truths[i]).abs() <= r || pair_correct(estimates, truths, i - 1, i)
+    })
+}
+
+/// Problem 4 (top-t) correctness: the `t` groups with the largest estimates
+/// are exactly the `t` groups with the largest true means, and they are
+/// ordered correctly among themselves. Pairs of true means within `r` are
+/// exempt from both requirements.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `t > k`.
+#[must_use]
+pub fn is_top_t_correct(estimates: &[f64], truths: &[f64], t: usize, r: f64) -> bool {
+    assert_eq!(estimates.len(), truths.len(), "length mismatch");
+    let k = truths.len();
+    assert!(t <= k, "t cannot exceed the number of groups");
+    if t == 0 {
+        return true;
+    }
+    let mut by_est: Vec<usize> = (0..k).collect();
+    by_est.sort_by(|&a, &b| estimates[b].partial_cmp(&estimates[a]).expect("no NaN"));
+    let mut by_truth: Vec<usize> = (0..k).collect();
+    by_truth.sort_by(|&a, &b| truths[b].partial_cmp(&truths[a]).expect("no NaN"));
+    let claimed = &by_est[..t];
+    let actual = &by_truth[..t];
+    // Membership: a claimed group not in the true top-t is forgiven only if
+    // its true mean is within r of the t-th true mean (boundary blur).
+    let threshold = truths[actual[t - 1]];
+    for &g in claimed {
+        if !actual.contains(&g) && (truths[g] - threshold).abs() > r {
+            return false;
+        }
+    }
+    // Internal ordering among the claimed groups.
+    for (a_pos, &a) in claimed.iter().enumerate() {
+        for &b in &claimed[a_pos + 1..] {
+            if (truths[a] - truths[b]).abs() <= r {
+                continue;
+            }
+            if !pair_correct(estimates, truths, a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_order() {
+        assert!(is_correctly_ordered(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]));
+        assert!(!is_correctly_ordered(&[2.0, 1.0, 3.0], &[10.0, 20.0, 30.0]));
+    }
+
+    #[test]
+    fn ties_in_truth_accept_any_order() {
+        assert!(is_correctly_ordered(&[2.0, 1.0], &[5.0, 5.0]));
+        assert!(is_correctly_ordered(&[1.0, 2.0], &[5.0, 5.0]));
+    }
+
+    #[test]
+    fn tied_estimates_cannot_express_strict_order() {
+        assert!(!is_correctly_ordered(&[1.0, 1.0], &[5.0, 6.0]));
+    }
+
+    #[test]
+    fn resolution_exempts_close_pairs() {
+        let truths = [10.0, 10.5, 30.0];
+        let est_swapped_close = [2.0, 1.0, 9.0];
+        assert!(!is_correctly_ordered(&est_swapped_close, &truths));
+        assert!(is_correctly_ordered_with_resolution(
+            &est_swapped_close,
+            &truths,
+            1.0
+        ));
+        // A far pair swapped is still wrong even with resolution.
+        let est_swapped_far = [9.0, 1.0, 2.0];
+        assert!(!is_correctly_ordered_with_resolution(
+            &est_swapped_far,
+            &truths,
+            1.0
+        ));
+    }
+
+    #[test]
+    fn incorrect_pair_counting() {
+        let truths = [1.0, 2.0, 3.0];
+        assert_eq!(count_incorrect_pairs(&[1.0, 2.0, 3.0], &truths), 0);
+        assert_eq!(count_incorrect_pairs(&[2.0, 1.0, 3.0], &truths), 1);
+        assert_eq!(count_incorrect_pairs(&[3.0, 2.0, 1.0], &truths), 3);
+    }
+
+    #[test]
+    fn fraction_correct() {
+        let truths = [1.0, 2.0, 3.0];
+        assert_eq!(fraction_correct_pairs(&[3.0, 2.0, 1.0], &truths), 0.0);
+        assert_eq!(fraction_correct_pairs(&[1.0, 2.0, 3.0], &truths), 1.0);
+        assert!((fraction_correct_pairs(&[2.0, 1.0, 3.0], &truths) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(fraction_correct_pairs(&[], &[]), 1.0);
+        assert_eq!(fraction_correct_pairs(&[1.0], &[9.0]), 1.0);
+    }
+
+    #[test]
+    fn trend_checks_only_neighbors() {
+        let truths = [1.0, 5.0, 3.0, 8.0];
+        // Estimates preserve every adjacent comparison but swap the
+        // non-adjacent pair (0, 2).
+        let est = [3.5, 5.0, 3.4, 8.0];
+        assert!(is_trend_correct(&est, &truths, 0.0));
+        assert!(!is_correctly_ordered(&est, &truths));
+        // Break an adjacent pair.
+        let bad = [5.5, 5.0, 3.4, 8.0];
+        assert!(!is_trend_correct(&bad, &truths, 0.0));
+        // ...unless the pair is within resolution.
+        assert!(is_trend_correct(&bad, &truths, 4.1));
+    }
+
+    #[test]
+    fn top_t_membership_and_order() {
+        let truths = [10.0, 40.0, 30.0, 20.0];
+        // True top-2 = groups 1 (40) and 2 (30).
+        let good = [1.0, 9.0, 8.0, 2.0];
+        assert!(is_top_t_correct(&good, &truths, 2, 0.0));
+        // Wrong membership: claims group 3 in top-2.
+        let wrong_member = [1.0, 9.0, 2.0, 8.0];
+        assert!(!is_top_t_correct(&wrong_member, &truths, 2, 0.0));
+        // Right membership, wrong internal order.
+        let wrong_order = [1.0, 8.0, 9.0, 2.0];
+        assert!(!is_top_t_correct(&wrong_order, &truths, 2, 0.0));
+        // Forgiven when the swapped pair is within resolution.
+        assert!(is_top_t_correct(&wrong_order, &truths, 2, 10.0));
+        // t = 0 and t = k degenerate cases.
+        assert!(is_top_t_correct(&good, &truths, 0, 0.0));
+        assert!(is_top_t_correct(&[1.0, 4.0, 3.0, 2.0], &truths, 4, 0.0));
+    }
+
+    #[test]
+    fn top_t_boundary_blur() {
+        // 2nd and 3rd true means within r: membership swap is forgiven.
+        let truths = [10.0, 40.0, 30.0, 29.9];
+        let swapped_boundary = [1.0, 9.0, 2.0, 8.0];
+        assert!(!is_top_t_correct(&swapped_boundary, &truths, 2, 0.0));
+        assert!(is_top_t_correct(&swapped_boundary, &truths, 2, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_length_mismatch() {
+        let _ = is_correctly_ordered(&[1.0], &[1.0, 2.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The identity assignment is always correct.
+        #[test]
+        fn identity_always_correct(truths in proptest::collection::vec(-100f64..100.0, 2..20)) {
+            prop_assert!(is_correctly_ordered(&truths, &truths));
+            prop_assert_eq!(count_incorrect_pairs(&truths, &truths), 0);
+            prop_assert!(is_trend_correct(&truths, &truths, 0.0));
+            prop_assert!(is_top_t_correct(&truths, &truths, truths.len() / 2, 0.0));
+        }
+
+        /// Any monotone transform of the truths is correct.
+        #[test]
+        fn monotone_transform_correct(truths in proptest::collection::vec(-100f64..100.0, 2..20)) {
+            let est: Vec<f64> = truths.iter().map(|t| t * 3.0 + 7.0).collect();
+            prop_assert!(is_correctly_ordered(&est, &truths));
+        }
+
+        /// Resolution relaxation is monotone: if correct at r, correct at r' > r.
+        #[test]
+        fn resolution_monotone(
+            truths in proptest::collection::vec(-100f64..100.0, 2..12),
+            noise in proptest::collection::vec(-5f64..5.0, 2..12),
+            r in 0f64..10.0,
+        ) {
+            let n = truths.len().min(noise.len());
+            let est: Vec<f64> = truths[..n]
+                .iter()
+                .zip(&noise[..n])
+                .map(|(t, e)| t + e)
+                .collect();
+            if is_correctly_ordered_with_resolution(&est, &truths[..n], r) {
+                prop_assert!(is_correctly_ordered_with_resolution(&est, &truths[..n], r * 2.0));
+            }
+        }
+
+        /// Full correctness implies trend and top-t correctness.
+        #[test]
+        fn full_implies_weaker(
+            truths in proptest::collection::vec(-100f64..100.0, 2..12),
+            noise in proptest::collection::vec(-0.001f64..0.001, 2..12),
+        ) {
+            let n = truths.len().min(noise.len());
+            let est: Vec<f64> = truths[..n]
+                .iter()
+                .zip(&noise[..n])
+                .map(|(t, e)| t + e)
+                .collect();
+            if is_correctly_ordered(&est, &truths[..n]) {
+                prop_assert!(is_trend_correct(&est, &truths[..n], 0.0));
+                for t in 0..=n {
+                    prop_assert!(is_top_t_correct(&est, &truths[..n], t, 0.0));
+                }
+            }
+        }
+    }
+}

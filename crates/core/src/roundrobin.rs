@@ -1,0 +1,206 @@
+//! ROUNDROBIN — the conventional-sampling baseline (§5.1).
+//!
+//! Classic round-robin stratified sampling takes one sample from **every**
+//! group each round, active or not — it has no notion of focusing. To make
+//! it a fair baseline the paper instruments it with the same anytime
+//! confidence machinery as IFOCUS so it can stop with the identical
+//! `1 − δ` ordering guarantee: the run terminates when all group intervals
+//! are pairwise disjoint (or, for ROUNDROBIN-R, when `ε_m < r/4`).
+//!
+//! Because every group keeps paying one sample per round until the *last*
+//! contentious pair separates, its cost is `k · max_i m_i` versus IFOCUS's
+//! `Σ_i m_i` — the gap the paper's Figure 3a quantifies.
+
+use crate::config::AlgoConfig;
+use crate::group::GroupSource;
+use crate::result::RunResult;
+use crate::runner::OrderingAlgorithm;
+use crate::state::FocusState;
+use rand::RngCore;
+
+/// The ROUNDROBIN baseline (and ROUNDROBIN-R with a resolution configured).
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    config: AlgoConfig,
+}
+
+impl RoundRobin {
+    /// Creates the algorithm with the given configuration.
+    #[must_use]
+    pub fn new(config: AlgoConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &AlgoConfig {
+        &self.config
+    }
+
+    /// Runs ROUNDROBIN over the groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+        let mut state = FocusState::initialize(&self.config, groups, rng);
+        if state.resolution_reached() {
+            state.deactivate_all();
+        } else {
+            state.standard_deactivation();
+        }
+        state.record();
+
+        while state.any_active() {
+            if state.m >= self.config.max_rounds {
+                state.truncated = true;
+                break;
+            }
+            let batch = self.config.samples_per_round;
+            state.m += batch;
+            // The defining difference from IFOCUS: sample *all* groups.
+            for i in 0..state.k() {
+                if !state.exhausted[i] {
+                    for _ in 0..batch {
+                        state.draw(i, &mut groups[i], rng);
+                    }
+                }
+            }
+            if state.resolution_reached() || state.all_exhausted() {
+                state.deactivate_all();
+            } else {
+                state.standard_deactivation();
+            }
+            state.record();
+        }
+        state.finish()
+    }
+}
+
+impl FocusState {
+    /// Every group exhausted (ROUNDROBIN keeps sampling inactive groups, so
+    /// its stopping guard looks at all of them).
+    pub(crate) fn all_exhausted(&self) -> bool {
+        self.exhausted.iter().all(|&e| e)
+    }
+}
+
+impl OrderingAlgorithm for RoundRobin {
+    fn name(&self) -> String {
+        if self.config.resolution.is_some() {
+            "roundrobinr".to_owned()
+        } else {
+            "roundrobin".to_owned()
+        }
+    }
+
+    fn execute<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+        self.run(groups, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::VecGroup;
+    use crate::ifocus::IFocus;
+    use crate::ordering::is_correctly_ordered;
+    use rand::{Rng, SeedableRng};
+
+    fn two_point_groups(means: &[f64], n: usize, seed: u64) -> Vec<VecGroup> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        means
+            .iter()
+            .enumerate()
+            .map(|(i, &mu)| {
+                let values: Vec<f64> = (0..n)
+                    .map(|_| if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 })
+                    .collect();
+                VecGroup::new(format!("g{i}"), values)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn correct_ordering() {
+        let mut groups = two_point_groups(&[20.0, 50.0, 80.0], 50_000, 21);
+        let truths: Vec<f64> = groups.iter().map(|g| g.true_mean().unwrap()).collect();
+        let algo = RoundRobin::new(AlgoConfig::new(100.0, 0.05));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let result = algo.run(&mut groups, &mut rng);
+        assert!(is_correctly_ordered(&result.estimates, &truths));
+    }
+
+    #[test]
+    fn samples_all_groups_equally_until_the_end() {
+        let mut groups = two_point_groups(&[30.0, 45.0, 48.0, 80.0], 100_000, 23);
+        let algo = RoundRobin::new(AlgoConfig::new(100.0, 0.05));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let result = algo.run(&mut groups, &mut rng);
+        // Round-robin: every group gets m samples (modulo exhaustion).
+        let m0 = result.samples_per_group[0];
+        assert!(
+            result.samples_per_group.iter().all(|&m| m == m0),
+            "round robin must sample uniformly: {:?}",
+            result.samples_per_group
+        );
+    }
+
+    #[test]
+    fn ifocus_never_costlier_than_roundrobin() {
+        for seed in 0..5 {
+            let mut g1 = two_point_groups(&[25.0, 40.0, 42.0, 75.0], 100_000, 30 + seed);
+            let mut g2 = g1.clone();
+            let rr = RoundRobin::new(AlgoConfig::new(100.0, 0.05));
+            let ifx = IFocus::new(AlgoConfig::new(100.0, 0.05));
+            let mut rng1 = rand::rngs::StdRng::seed_from_u64(40 + seed);
+            let mut rng2 = rand::rngs::StdRng::seed_from_u64(40 + seed);
+            let r_rr = rr.run(&mut g1, &mut rng1);
+            let r_if = ifx.run(&mut g2, &mut rng2);
+            assert!(
+                r_if.total_samples() <= r_rr.total_samples(),
+                "seed {seed}: ifocus {} > roundrobin {}",
+                r_if.total_samples(),
+                r_rr.total_samples()
+            );
+        }
+    }
+
+    #[test]
+    fn resolution_variant_stops_early() {
+        let mut g1 = two_point_groups(&[30.0, 32.0, 70.0], 200_000, 50);
+        let mut g2 = g1.clone();
+        let plain = RoundRobin::new(AlgoConfig::new(100.0, 0.05));
+        let relaxed = RoundRobin::new(AlgoConfig::new(100.0, 0.05).with_resolution(5.0));
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(51);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(51);
+        let r_plain = plain.run(&mut g1, &mut rng1);
+        let r_relaxed = relaxed.run(&mut g2, &mut rng2);
+        assert!(r_relaxed.total_samples() < r_plain.total_samples());
+    }
+
+    #[test]
+    fn exhaustion_terminates_equal_means() {
+        let mut groups = vec![
+            VecGroup::new("a", vec![50.0; 300]),
+            VecGroup::new("b", vec![50.0; 300]),
+        ];
+        let algo = RoundRobin::new(AlgoConfig::new(100.0, 0.05));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let result = algo.run(&mut groups, &mut rng);
+        assert!(!result.truncated);
+        assert_eq!(result.total_samples(), 600, "full scan fallback");
+    }
+
+    #[test]
+    fn name() {
+        assert_eq!(
+            RoundRobin::new(AlgoConfig::new(1.0, 0.05)).name(),
+            "roundrobin"
+        );
+        assert_eq!(
+            RoundRobin::new(AlgoConfig::new(1.0, 0.05).with_resolution(0.1)).name(),
+            "roundrobinr"
+        );
+    }
+}

@@ -1,0 +1,17 @@
+//! The common algorithm interface.
+
+use crate::group::GroupSource;
+use crate::result::RunResult;
+use rand::RngCore;
+
+/// An algorithm that estimates per-group aggregates with an ordering
+/// guarantee. Implemented by [`crate::IFocus`], [`crate::IRefine`],
+/// [`crate::RoundRobin`], and [`crate::ExactScan`], so harness code can
+/// sweep over algorithms generically.
+pub trait OrderingAlgorithm {
+    /// Short identifier used in experiment output (`ifocus`, `ifocusr`, …).
+    fn name(&self) -> String;
+
+    /// Runs the algorithm over the groups.
+    fn execute<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult;
+}

@@ -1,0 +1,108 @@
+//! The exhaustive SCAN baseline.
+//!
+//! Reads every member of every group (a full sequential pass in storage
+//! terms) and reports exact means. This is what a conventional DBMS does
+//! for the visualization query, and the yardstick the paper's Figure 4 and
+//! the conclusion's "1000× speedup" compare against.
+
+use crate::config::AlgoConfig;
+use crate::group::GroupSource;
+use crate::result::RunResult;
+use crate::runner::OrderingAlgorithm;
+use rand::RngCore;
+use rapidviz_stats::SamplingMode;
+
+/// Exhaustive exact computation (zero failure probability, maximal cost).
+#[derive(Debug, Clone)]
+pub struct ExactScan {
+    config: AlgoConfig,
+}
+
+impl ExactScan {
+    /// Creates the baseline (only `c` is meaningful; `δ` is ignored since
+    /// the answer is exact).
+    #[must_use]
+    pub fn new(config: AlgoConfig) -> Self {
+        Self { config }
+    }
+
+    /// Reads every group fully and returns exact means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+        assert!(!groups.is_empty(), "need at least one group");
+        let _ = &self.config;
+        let labels = groups.iter().map(GroupSource::label).collect();
+        let mut estimates = Vec::with_capacity(groups.len());
+        let mut samples = Vec::with_capacity(groups.len());
+        let mut max_read = 0u64;
+        for group in groups.iter_mut() {
+            group.reset();
+            let mut sum = 0.0;
+            let mut n = 0u64;
+            while let Some(x) = group.sample(rng, SamplingMode::WithoutReplacement) {
+                sum += x;
+                n += 1;
+            }
+            estimates.push(if n == 0 { 0.0 } else { sum / n as f64 });
+            samples.push(n);
+            max_read = max_read.max(n);
+        }
+        RunResult {
+            labels,
+            estimates,
+            samples_per_group: samples,
+            rounds: max_read,
+            trace: None,
+            history: None,
+            truncated: false,
+        }
+    }
+}
+
+impl OrderingAlgorithm for ExactScan {
+    fn name(&self) -> String {
+        "scan".to_owned()
+    }
+
+    fn execute<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+        self.run(groups, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::VecGroup;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_means_full_cost() {
+        let mut groups = vec![
+            VecGroup::new("a", vec![1.0, 2.0, 3.0]),
+            VecGroup::new("b", vec![10.0, 20.0]),
+        ];
+        let algo = ExactScan::new(AlgoConfig::new(100.0, 0.05));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let result = algo.run(&mut groups, &mut rng);
+        assert_eq!(result.estimates, vec![2.0, 15.0]);
+        assert_eq!(result.samples_per_group, vec![3, 2]);
+        assert_eq!(result.total_samples(), 5);
+        assert_eq!(algo.name(), "scan");
+    }
+
+    #[test]
+    fn scan_after_partial_sampling_still_exact() {
+        // reset() must restart the permutation even if the group was
+        // partially consumed by another algorithm first.
+        let mut g = VecGroup::new("a", vec![4.0, 8.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = g.sample(&mut rng, SamplingMode::WithoutReplacement);
+        let mut groups = vec![g];
+        let algo = ExactScan::new(AlgoConfig::new(100.0, 0.05));
+        let result = algo.run(&mut groups, &mut rng);
+        assert_eq!(result.estimates, vec![6.0]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Shared round-loop state for the focused sampling algorithms.
+//!
+//! IFOCUS, ROUNDROBIN, and every §6 extension share the same bookkeeping:
+//! per-group running means, the global round counter `m`, the anytime ε,
+//! active flags, frozen intervals for deactivated groups, and trace/history
+//! recording. [`FocusState`] centralizes it; the algorithms differ only in
+//! *who gets sampled* each round and *when groups deactivate*.
+
+use crate::config::{AlgoConfig, ReactivationPolicy};
+use crate::group::GroupSource;
+use crate::history::{History, HistoryPoint};
+use crate::result::RunResult;
+use crate::trace::{Trace, TraceRow};
+use rand::RngCore;
+use rapidviz_stats::{EpsilonSchedule, Interval, IntervalSet, RunningMean};
+
+/// Round-loop state over `k` groups.
+pub(crate) struct FocusState {
+    pub(crate) schedule: EpsilonSchedule,
+    pub(crate) config: AlgoConfig,
+    pub(crate) labels: Vec<String>,
+    pub(crate) sizes: Vec<u64>,
+    pub(crate) estimates: Vec<RunningMean>,
+    pub(crate) active: Vec<bool>,
+    /// Groups whose population is exhausted (without replacement): their
+    /// estimate equals the exact group mean and cannot change.
+    pub(crate) exhausted: Vec<bool>,
+    /// ε at the moment each group deactivated (for frozen trace intervals).
+    pub(crate) frozen_eps: Vec<f64>,
+    pub(crate) samples: Vec<u64>,
+    /// Round counter `m` (samples per still-active group so far).
+    pub(crate) m: u64,
+    pub(crate) trace: Option<Trace>,
+    pub(crate) history: Option<History>,
+    pub(crate) truncated: bool,
+}
+
+impl FocusState {
+    /// Initializes state and performs the first round (one sample from every
+    /// group — Algorithm 1 lines 1–3).
+    pub(crate) fn initialize<G: GroupSource>(
+        config: &AlgoConfig,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> Self {
+        assert!(!groups.is_empty(), "need at least one group");
+        let k = groups.len();
+        let schedule = config.schedule(k);
+        let labels = groups.iter().map(GroupSource::label).collect();
+        let sizes: Vec<u64> = groups.iter().map(GroupSource::len).collect();
+        let mut state = Self {
+            schedule,
+            config: config.clone(),
+            labels,
+            sizes,
+            estimates: vec![RunningMean::new(); k],
+            active: vec![true; k],
+            exhausted: vec![false; k],
+            frozen_eps: vec![f64::INFINITY; k],
+            samples: vec![0; k],
+            m: 1,
+            trace: config.record_trace.then(Trace::new),
+            history: (config.history_every > 0).then(History::new),
+            truncated: false,
+        };
+        for (i, group) in groups.iter_mut().enumerate() {
+            state.draw(i, group, rng);
+        }
+        state
+    }
+
+    /// Number of groups.
+    pub(crate) fn k(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Draws one sample from group `i` into its running mean; marks the
+    /// group exhausted when a without-replacement source runs dry.
+    pub(crate) fn draw<G: GroupSource>(&mut self, i: usize, group: &mut G, rng: &mut dyn RngCore) {
+        match group.sample(rng, self.config.mode) {
+            Some(x) => {
+                self.estimates[i].push(x);
+                self.samples[i] += 1;
+            }
+            None => {
+                self.exhausted[i] = true;
+            }
+        }
+    }
+
+    /// Largest population among currently active groups (the `N` of the
+    /// ε formula); falls back to the global max when nothing is active.
+    pub(crate) fn n_max_active(&self) -> u64 {
+        let active_max = self
+            .sizes
+            .iter()
+            .zip(&self.active)
+            .filter(|(_, &a)| a)
+            .map(|(&n, _)| n)
+            .max();
+        active_max.unwrap_or_else(|| self.sizes.iter().copied().max().unwrap_or(1))
+    }
+
+    /// The anytime ε at the current round.
+    pub(crate) fn epsilon(&self) -> f64 {
+        self.schedule.half_width(self.m, self.n_max_active())
+    }
+
+    /// Current confidence interval of group `i`: live ε while active, frozen
+    /// ε after deactivation (Table 1 renders both).
+    pub(crate) fn interval(&self, i: usize, eps_now: f64) -> Interval {
+        let eps = if self.active[i] {
+            eps_now
+        } else if self.exhausted[i] {
+            // Exhausted estimates are exact.
+            0.0
+        } else {
+            // Frozen at deactivation time.
+            self.frozen_eps[i]
+        };
+        Interval::centered(self.estimates[i].mean(), eps)
+    }
+
+    /// Deactivates group `i`, freezing its interval at the given ε.
+    pub(crate) fn deactivate(&mut self, i: usize, eps_now: f64) {
+        if self.active[i] {
+            self.active[i] = false;
+            self.frozen_eps[i] = eps_now;
+        }
+    }
+
+    /// Standard IFOCUS deactivation (Algorithm 1 lines 10–12), iterated to a
+    /// fixpoint: a group leaves the active set when its interval is disjoint
+    /// from the union of the *other active* groups' intervals. Under
+    /// [`ReactivationPolicy::Allow`], activity is instead recomputed from
+    /// scratch over all non-exhausted groups (§3.1 option (b)).
+    pub(crate) fn standard_deactivation(&mut self) {
+        let eps_now = self.epsilon();
+        match self.config.reactivation {
+            ReactivationPolicy::Never => loop {
+                let members: Vec<usize> =
+                    (0..self.k()).filter(|&i| self.active[i]).collect();
+                if members.is_empty() {
+                    break;
+                }
+                let set = IntervalSet::new(
+                    members
+                        .iter()
+                        .map(|&i| Interval::centered(self.estimates[i].mean(), eps_now))
+                        .collect(),
+                );
+                let to_remove: Vec<usize> = members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(pos, _)| !set.member_overlaps_others(pos))
+                    .map(|(_, &i)| i)
+                    .collect();
+                if to_remove.is_empty() {
+                    break;
+                }
+                for i in to_remove {
+                    self.deactivate(i, eps_now);
+                }
+            },
+            ReactivationPolicy::Allow => {
+                // Recompute overlap among every group (frozen estimates for
+                // previously inactive ones, live ε for all).
+                let set = IntervalSet::new(
+                    (0..self.k())
+                        .map(|i| Interval::centered(self.estimates[i].mean(), eps_now))
+                        .collect(),
+                );
+                for i in 0..self.k() {
+                    let overlapping = set.member_overlaps_others(i);
+                    if self.exhausted[i] {
+                        // Exhausted estimates cannot improve; keep inactive.
+                        self.deactivate(i, eps_now);
+                    } else if overlapping {
+                        self.active[i] = true;
+                    } else {
+                        self.deactivate(i, eps_now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deactivates everything (resolution cut-off or exhaustion).
+    pub(crate) fn deactivate_all(&mut self) {
+        let eps_now = self.epsilon();
+        for i in 0..self.k() {
+            self.deactivate(i, eps_now);
+        }
+    }
+
+    /// Whether the resolution relaxation allows stopping now (`ε_m < r/4`).
+    pub(crate) fn resolution_reached(&self) -> bool {
+        self.config
+            .resolution_epsilon()
+            .is_some_and(|thresh| self.epsilon() < thresh)
+    }
+
+    /// True when every active group is exhausted — no further sampling can
+    /// change any estimate, so the run must stop.
+    pub(crate) fn all_active_exhausted(&self) -> bool {
+        let mut any_active = false;
+        for i in 0..self.k() {
+            if self.active[i] {
+                any_active = true;
+                if !self.exhausted[i] {
+                    return false;
+                }
+            }
+        }
+        any_active
+    }
+
+    /// Any group still active?
+    pub(crate) fn any_active(&self) -> bool {
+        self.active.iter().any(|&a| a)
+    }
+
+    /// Count of active groups.
+    pub(crate) fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Records trace and history rows for the just-finished round.
+    pub(crate) fn record(&mut self) {
+        let eps_now = self.epsilon();
+        if self.trace.is_some() {
+            let row = TraceRow {
+                round: self.m,
+                intervals: (0..self.k()).map(|i| self.interval(i, eps_now)).collect(),
+                active: self.active.clone(),
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.push(row);
+            }
+        }
+        let every = self.config.history_every;
+        if every > 0 && (self.m == 1 || self.m.is_multiple_of(every) || !self.any_active()) {
+            let point = HistoryPoint {
+                round: self.m,
+                total_samples: self.samples.iter().sum(),
+                active_groups: self.active_count(),
+                estimates: self.estimates.iter().map(RunningMean::mean).collect(),
+            };
+            if let Some(history) = &mut self.history {
+                history.push(point);
+            }
+        }
+    }
+
+    /// Packages the final result.
+    pub(crate) fn finish(self) -> RunResult {
+        RunResult {
+            labels: self.labels,
+            estimates: self.estimates.iter().map(RunningMean::mean).collect(),
+            samples_per_group: self.samples,
+            rounds: self.m,
+            trace: self.trace,
+            history: self.history,
+            truncated: self.truncated,
+        }
+    }
+}

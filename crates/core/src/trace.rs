@@ -1,0 +1,200 @@
+//! Per-round execution traces (the paper's Table 1).
+//!
+//! When [`crate::AlgoConfig::record_trace`] is set, algorithms append one
+//! [`TraceRow`] per round containing every group's confidence interval and
+//! active flag — exactly the columns of Table 1. [`Trace::render`] formats
+//! the rows the way the paper prints them
+//! (`[60, 90] A  [20, 50] A  …`).
+
+use rapidviz_stats::Interval;
+use std::fmt::Write as _;
+
+/// One round of the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRow {
+    /// Round number `m` (samples per still-active group so far).
+    pub round: u64,
+    /// Confidence interval of each group at the end of the round.
+    pub intervals: Vec<Interval>,
+    /// Whether each group was active *after* this round's deactivations.
+    pub active: Vec<bool>,
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    rows: Vec<TraceRow>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: TraceRow) {
+        self.rows.push(row);
+    }
+
+    /// The recorded rows.
+    #[must_use]
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Whether anything was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rounds at which each group became inactive (`None` if it never did —
+    /// cannot happen for completed runs).
+    #[must_use]
+    pub fn deactivation_rounds(&self) -> Vec<Option<u64>> {
+        let Some(first) = self.rows.first() else {
+            return Vec::new();
+        };
+        let k = first.active.len();
+        let mut out = vec![None; k];
+        for row in &self.rows {
+            for (i, &a) in row.active.iter().enumerate() {
+                if !a && out[i].is_none() {
+                    out[i] = Some(row.round);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders in the Table 1 style: one line per round, `[lo, hi] A|I` per
+    /// group. `only_transitions` collapses runs of identical activity,
+    /// printing just the rounds where some group's flag flips (plus the
+    /// first and last rounds) — the "fast-forward" view of Example 3.1.
+    #[must_use]
+    pub fn render(&self, only_transitions: bool) -> String {
+        let mut out = String::new();
+        let mut prev_active: Option<Vec<bool>> = None;
+        let last = self.rows.len().saturating_sub(1);
+        for (idx, row) in self.rows.iter().enumerate() {
+            let transition = prev_active.as_ref() != Some(&row.active);
+            if only_transitions && !transition && idx != 0 && idx != last {
+                prev_active = Some(row.active.clone());
+                continue;
+            }
+            let _ = write!(out, "{:>6} ", row.round);
+            for (iv, &a) in row.intervals.iter().zip(&row.active) {
+                let _ = write!(
+                    out,
+                    " [{:.1}, {:.1}] {}",
+                    iv.lo,
+                    iv.hi,
+                    if a { 'A' } else { 'I' }
+                );
+            }
+            out.push('\n');
+            prev_active = Some(row.active.clone());
+        }
+        out
+    }
+
+    /// Total sample cost implied by the trace: the sum over rounds of the
+    /// number of groups that were sampled (i.e. were active entering the
+    /// round). Matches the cost accounting of Example 3.1.
+    #[must_use]
+    pub fn implied_sample_cost(&self) -> u64 {
+        let Some(first) = self.rows.first() else {
+            return 0;
+        };
+        // Round 1 samples every group once; each later round samples the
+        // groups that were active at the end of the previous round.
+        let k = first.active.len() as u64;
+        let mut cost = k;
+        for w in self.rows.windows(2) {
+            cost += w[0].active.iter().filter(|&&a| a).count() as u64;
+            let _ = &w[1];
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    fn example_trace() -> Trace {
+        // Miniature of Table 1: 3 groups; group 0 deactivates at round 2,
+        // the rest at round 3.
+        let mut t = Trace::new();
+        t.push(TraceRow {
+            round: 1,
+            intervals: vec![iv(60.0, 90.0), iv(20.0, 50.0), iv(40.0, 70.0)],
+            active: vec![true, true, true],
+        });
+        t.push(TraceRow {
+            round: 2,
+            intervals: vec![iv(66.0, 84.0), iv(28.0, 48.0), iv(45.0, 65.0)],
+            active: vec![false, true, true],
+        });
+        t.push(TraceRow {
+            round: 3,
+            intervals: vec![iv(66.0, 84.0), iv(30.0, 44.0), iv(46.0, 64.0)],
+            active: vec![false, false, false],
+        });
+        t
+    }
+
+    #[test]
+    fn deactivation_rounds() {
+        let t = example_trace();
+        assert_eq!(t.deactivation_rounds(), vec![Some(2), Some(3), Some(3)]);
+    }
+
+    #[test]
+    fn implied_cost_matches_example_accounting() {
+        // Round 1: 3 groups; round 2 samples 3 actives; round 3 samples 2.
+        let t = example_trace();
+        assert_eq!(t.implied_sample_cost(), 3 + 3 + 2);
+    }
+
+    #[test]
+    fn render_full_and_transitions() {
+        let t = example_trace();
+        let full = t.render(false);
+        assert_eq!(full.lines().count(), 3);
+        assert!(full.contains("[60.0, 90.0] A"));
+        assert!(full.contains("[66.0, 84.0] I"));
+        let compact = t.render(true);
+        assert_eq!(compact.lines().count(), 3, "all rows are transitions here");
+    }
+
+    #[test]
+    fn render_collapses_stable_runs() {
+        let mut t = Trace::new();
+        for round in 1..=10 {
+            t.push(TraceRow {
+                round,
+                intervals: vec![iv(0.0, 1.0)],
+                active: vec![round < 9],
+            });
+        }
+        let compact = t.render(true);
+        // Rows: round 1 (first), round 9 (flip), round 10 (last).
+        assert_eq!(compact.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.implied_sample_cost(), 0);
+        assert!(t.deactivation_rounds().is_empty());
+        assert_eq!(t.render(false), "");
+    }
+}

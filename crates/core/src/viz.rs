@@ -1,0 +1,162 @@
+//! Terminal rendering of approximate visualizations.
+//!
+//! The end product of every algorithm here is a *visualization* — so the
+//! crate can draw one. These renderers are deliberately plain text (no
+//! dependencies) and are used by the examples and the experiment harness:
+//!
+//! * [`bar_chart`] — Figure-1-style horizontal bars from `(label, value)`
+//!   pairs.
+//! * [`bar_chart_with_intervals`] — Figure-2-style bars with confidence
+//!   whiskers, for intermediate states.
+//! * [`sparkline`] — a one-line trend rendering with Unicode block glyphs.
+
+use rapidviz_stats::Interval;
+
+/// Renders a horizontal bar chart. `width` is the maximum bar width in
+/// characters; values are scaled so the largest fills it. Negative values
+/// render as empty bars (the paper's setting assumes `[0, c]`).
+///
+/// # Panics
+///
+/// Panics if `labels` and `values` lengths differ or `width == 0`.
+#[must_use]
+pub fn bar_chart(labels: &[&str], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "length mismatch");
+    assert!(width > 0, "width must be positive");
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    let label_width = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, &value) in labels.iter().zip(values) {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round().max(0.0) as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:>label_width$} | {} {value:.2}\n",
+            "█".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders bars with confidence whiskers: the bar reaches the estimate,
+/// and `[` / `]` mark the interval endpoints on the same scale.
+///
+/// # Panics
+///
+/// Panics if `labels` and `intervals` lengths differ or `width == 0`.
+#[must_use]
+pub fn bar_chart_with_intervals(labels: &[&str], intervals: &[Interval], width: usize) -> String {
+    assert_eq!(labels.len(), intervals.len(), "length mismatch");
+    assert!(width > 0, "width must be positive");
+    let max = intervals.iter().map(|iv| iv.hi).fold(0.0f64, f64::max);
+    let label_width = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let scale = |x: f64| -> usize {
+        if max > 0.0 {
+            ((x / max) * width as f64).round().clamp(0.0, width as f64) as usize
+        } else {
+            0
+        }
+    };
+    let mut out = String::new();
+    for (label, iv) in labels.iter().zip(intervals) {
+        let center = iv.center();
+        let (lo, mid, hi) = (scale(iv.lo.max(0.0)), scale(center.max(0.0)), scale(iv.hi));
+        let mut row: Vec<char> = vec![' '; width + 2];
+        for slot in row.iter_mut().take(mid) {
+            *slot = '█';
+        }
+        if lo < row.len() {
+            row[lo] = '[';
+        }
+        if hi < row.len() {
+            row[hi] = ']';
+        }
+        let row: String = row.into_iter().collect();
+        out.push_str(&format!(
+            "{label:>label_width$} | {} {:.1} ± {:.1}\n",
+            row.trim_end(),
+            center,
+            iv.width() / 2.0
+        ));
+    }
+    out
+}
+
+/// Renders a one-line sparkline with the eight Unicode block glyphs.
+/// Returns an empty string for empty input.
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let chart = bar_chart(&["AA", "JB"], &[30.0, 15.0], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(&"█".repeat(10)), "max value fills width");
+        assert!(lines[1].contains(&"█".repeat(5)), "half value half width");
+        assert!(lines[0].contains("30.00"));
+    }
+
+    #[test]
+    fn bar_chart_aligns_labels() {
+        let chart = bar_chart(&["A", "LONGER"], &[1.0, 2.0], 4);
+        for line in chart.lines() {
+            assert_eq!(line.find('|'), Some(7), "pipe aligned: {line:?}");
+        }
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let chart = bar_chart(&["x"], &[0.0], 10);
+        assert!(!chart.contains('█'));
+    }
+
+    #[test]
+    fn intervals_render_whiskers() {
+        let ivs = [Interval::centered(50.0, 10.0), Interval::centered(20.0, 5.0)];
+        let chart = bar_chart_with_intervals(&["a", "b"], &ivs, 20);
+        assert!(chart.contains('['));
+        assert!(chart.contains(']'));
+        assert!(chart.contains("50.0 ± 10.0"));
+        assert!(chart.contains("20.0 ± 5.0"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 2.0, 1.0]);
+        assert_eq!(s.chars().count(), 6);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().nth(3), Some('█'));
+        assert_eq!(sparkline(&[]), "");
+        // Constant series doesn't divide by zero.
+        let flat = sparkline(&[5.0, 5.0]);
+        assert_eq!(flat.chars().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = bar_chart(&["a"], &[1.0, 2.0], 5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Instance-difficulty statistics (`c²/η²`, Figures 6c and 7c).
+//!
+//! The paper uses `c²/η²` — with `η = min_i η_i` the smallest gap between
+//! adjacent true means — as the proxy for how many samples an instance
+//! requires (Theorem 3.6 scales as `Σ 1/η_i²`). These helpers compute the
+//! per-group `η_i`, the global `η`, and the difficulty from a list of true
+//! means.
+
+/// Per-group minimal distances `η_i = min_{j≠i} |µ_i − µ_j|`.
+///
+/// # Panics
+///
+/// Panics if fewer than two means are given.
+#[must_use]
+pub fn per_group_eta(means: &[f64]) -> Vec<f64> {
+    assert!(means.len() >= 2, "need at least two groups for eta");
+    // Sort once; each group's nearest neighbour in value is adjacent in the
+    // sorted order.
+    let mut order: Vec<usize> = (0..means.len()).collect();
+    order.sort_by(|&a, &b| means[a].partial_cmp(&means[b]).expect("no NaN means"));
+    let mut etas = vec![f64::INFINITY; means.len()];
+    for w in order.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let gap = (means[a] - means[b]).abs();
+        etas[a] = etas[a].min(gap);
+        etas[b] = etas[b].min(gap);
+    }
+    etas
+}
+
+/// The global minimal gap `η = min_i η_i`.
+///
+/// # Panics
+///
+/// Panics if fewer than two means are given.
+#[must_use]
+pub fn min_eta(means: &[f64]) -> f64 {
+    per_group_eta(means)
+        .into_iter()
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The difficulty proxy `c²/η²`; `f64::INFINITY` for tied means.
+///
+/// # Panics
+///
+/// Panics if fewer than two means are given or `c <= 0`.
+#[must_use]
+pub fn difficulty(means: &[f64], c: f64) -> f64 {
+    assert!(c > 0.0, "range c must be positive");
+    let eta = min_eta(means);
+    if eta == 0.0 {
+        f64::INFINITY
+    } else {
+        (c / eta).powi(2)
+    }
+}
+
+/// Five-number summary (min, q1, median, q3, max) of a sample — the
+/// box-and-whiskers rows of Figures 6c/7c.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn five_number_summary(values: &[f64]) -> [f64; 5] {
+    assert!(!values.is_empty(), "summary of empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let q = |p: f64| -> f64 {
+        let idx = p * (v.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    };
+    [v[0], q(0.25), q(0.5), q(0.75), v[v.len() - 1]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_simple() {
+        let means = [10.0, 13.0, 20.0];
+        assert_eq!(per_group_eta(&means), vec![3.0, 3.0, 7.0]);
+        assert_eq!(min_eta(&means), 3.0);
+    }
+
+    #[test]
+    fn eta_unsorted_input() {
+        let means = [20.0, 10.0, 13.0];
+        assert_eq!(per_group_eta(&means), vec![7.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn difficulty_hard_family() {
+        // hard(γ): η = γ exactly, so difficulty = (c/γ)².
+        let means: Vec<f64> = (0..10).map(|i| 40.0 + 0.1 * f64::from(i)).collect();
+        let d = difficulty(&means, 100.0);
+        assert!((d - 1_000_000.0).abs() / d < 1e-9);
+    }
+
+    #[test]
+    fn tied_means_infinite_difficulty() {
+        assert_eq!(difficulty(&[5.0, 5.0], 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn five_number_summary_basics() {
+        let s = five_number_summary(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s, [1.0, 2.0, 3.0, 4.0, 5.0]);
+        let single = five_number_summary(&[7.0]);
+        assert_eq!(single, [7.0; 5]);
+    }
+
+    #[test]
+    fn summary_is_sorted() {
+        let s = five_number_summary(&[9.0, 1.0, 5.0, 3.0, 7.0, 2.0]);
+        for w in s.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn eta_matches_naive(means in proptest::collection::vec(-100f64..100.0, 2..16)) {
+            let fast = per_group_eta(&means);
+            for i in 0..means.len() {
+                let naive = (0..means.len())
+                    .filter(|&j| j != i)
+                    .map(|j| (means[i] - means[j]).abs())
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!((fast[i] - naive).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn summary_bounds_sample(values in proptest::collection::vec(-1e3f64..1e3, 1..64)) {
+            let s = five_number_summary(&values);
+            for &v in &values {
+                prop_assert!(s[0] <= v && v <= s[4]);
+            }
+            for w in s.windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

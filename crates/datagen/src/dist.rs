@@ -1,0 +1,325 @@
+//! Value distributions with analytic means.
+
+use crate::math::truncated_normal_mean;
+use rand::Rng;
+use rand::RngCore;
+
+/// A bounded value distribution that knows its own mean.
+pub trait ValueDist: Send + Sync {
+    /// Draws one value.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// The exact distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Support bounds `(lo, hi)` — every sample lies inside.
+    fn support(&self) -> (f64, f64);
+}
+
+/// Normal distribution truncated to `[lo, hi]` by rejection sampling.
+#[derive(Debug, Clone)]
+pub struct TruncatedNormal {
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+    mean: f64,
+}
+
+impl TruncatedNormal {
+    /// Creates `N(mu, sigma²)` truncated to `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`, `lo >= hi`, or the kept probability mass is
+    /// vanishingly small (rejection sampling would spin).
+    #[must_use]
+    pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive");
+        assert!(lo < hi, "empty truncation interval");
+        let mass = crate::math::normal_cdf((hi - mu) / sigma)
+            - crate::math::normal_cdf((lo - mu) / sigma);
+        assert!(
+            mass > 1e-6,
+            "truncation keeps negligible mass; rejection sampling would not terminate"
+        );
+        let mean = truncated_normal_mean(mu, sigma, lo, hi);
+        Self {
+            mu,
+            sigma,
+            lo,
+            hi,
+            mean,
+        }
+    }
+
+    /// The paper's §5.2 defaults: truncation to `[0, 100]`.
+    #[must_use]
+    pub fn paper(mu: f64, sigma: f64) -> Self {
+        Self::new(mu, sigma, 0.0, 100.0)
+    }
+
+    /// The underlying (pre-truncation) σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ValueDist for TruncatedNormal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Box–Muller + rejection. The constructor guarantees non-negligible
+        // acceptance probability.
+        loop {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let x = self.mu + self.sigma * z;
+            if x >= self.lo && x <= self.hi {
+                return x;
+            }
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+/// Equal-weight mixture of distributions.
+pub struct Mixture {
+    components: Vec<Box<dyn ValueDist>>,
+    mean: f64,
+    support: (f64, f64),
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("components", &self.components.len())
+            .field("mean", &self.mean)
+            .finish()
+    }
+}
+
+impl Mixture {
+    /// Creates an equal-weight mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty.
+    #[must_use]
+    pub fn new(components: Vec<Box<dyn ValueDist>>) -> Self {
+        assert!(!components.is_empty(), "mixture needs components");
+        let mean =
+            components.iter().map(|c| c.mean()).sum::<f64>() / components.len() as f64;
+        let support = components.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), c| {
+                let (clo, chi) = c.support();
+                (lo.min(clo), hi.max(chi))
+            },
+        );
+        Self {
+            components,
+            mean,
+            support,
+        }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+impl ValueDist for Mixture {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let i = rng.gen_range(0..self.components.len());
+        self.components[i].sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn support(&self) -> (f64, f64) {
+        self.support
+    }
+}
+
+/// Two-point ("Bernoulli", §5.2) distribution on `{lo, hi}` with
+/// `P[hi] = p` — the highest-variance bounded distribution for a given
+/// mean, hence the paper's stress case.
+#[derive(Debug, Clone)]
+pub struct TwoPoint {
+    lo: f64,
+    hi: f64,
+    p: f64,
+}
+
+impl TwoPoint {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `p ∉ [0, 1]`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, p: f64) -> Self {
+        assert!(lo < hi, "two-point support must be non-degenerate");
+        assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1]");
+        Self { lo, hi, p }
+    }
+
+    /// The paper's `{0, 100}` support with the bias chosen so the mean is
+    /// `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean ∉ [0, 100]`.
+    #[must_use]
+    pub fn paper(mean: f64) -> Self {
+        assert!((0.0..=100.0).contains(&mean), "mean must lie in [0, 100]");
+        Self::new(0.0, 100.0, mean / 100.0)
+    }
+}
+
+impl ValueDist for TwoPoint {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        if rng.gen_bool(self.p) {
+            self.hi
+        } else {
+            self.lo
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.lo + (self.hi - self.lo) * self.p
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+/// Uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "uniform support must be non-degenerate");
+        Self { lo, hi }
+    }
+}
+
+impl ValueDist for Uniform {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        rng.gen_range(self.lo..self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn empirical_mean(dist: &dyn ValueDist, n: u32, seed: u64) -> f64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += dist.sample(&mut rng);
+        }
+        sum / f64::from(n)
+    }
+
+    #[test]
+    fn truncated_normal_samples_in_support_and_match_mean() {
+        let d = TruncatedNormal::paper(30.0, 10.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..5000 {
+            let x = d.sample(&mut rng);
+            assert!((0.0..=100.0).contains(&x));
+        }
+        let emp = empirical_mean(&d, 100_000, 2);
+        assert!(
+            (emp - d.mean()).abs() < 0.2,
+            "empirical {emp} vs analytic {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn boundary_truncated_normal_mean_is_analytic() {
+        // Mean near 0: heavy truncation; the analytic formula must track it.
+        let d = TruncatedNormal::paper(2.0, 10.0);
+        let emp = empirical_mean(&d, 200_000, 3);
+        assert!(
+            (emp - d.mean()).abs() < 0.2,
+            "empirical {emp} vs analytic {}",
+            d.mean()
+        );
+        assert!(d.mean() > 2.0, "truncation at 0 lifts the mean");
+    }
+
+    #[test]
+    fn two_point_paper_mean() {
+        let d = TwoPoint::paper(37.0);
+        assert!((d.mean() - 37.0).abs() < 1e-12);
+        let emp = empirical_mean(&d, 100_000, 4);
+        assert!((emp - 37.0).abs() < 0.7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!(x == 0.0 || x == 100.0);
+        }
+    }
+
+    #[test]
+    fn mixture_mean_is_average_of_components() {
+        let m = Mixture::new(vec![
+            Box::new(TwoPoint::paper(20.0)),
+            Box::new(TwoPoint::paper(60.0)),
+        ]);
+        assert!((m.mean() - 40.0).abs() < 1e-12);
+        assert_eq!(m.component_count(), 2);
+        let emp = empirical_mean(&m, 100_000, 6);
+        assert!((emp - 40.0).abs() < 0.7);
+    }
+
+    #[test]
+    fn uniform_mean() {
+        let u = Uniform::new(10.0, 30.0);
+        assert_eq!(u.mean(), 20.0);
+        let emp = empirical_mean(&u, 50_000, 7);
+        assert!((emp - 20.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "negligible mass")]
+    fn rejects_hopeless_truncation() {
+        let _ = TruncatedNormal::new(-1000.0, 1.0, 0.0, 100.0);
+    }
+}

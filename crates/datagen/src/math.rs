@@ -1,0 +1,122 @@
+//! Gaussian special functions.
+//!
+//! Needed for the *analytic* mean of a truncated normal (virtual groups
+//! must know their true mean without materializing values). `erf` uses the
+//! Abramowitz–Stegun 7.1.26 rational approximation (|error| < 1.5e-7),
+//! which is far below the resolution any experiment here depends on.
+
+/// The error function, via Abramowitz & Stegun 7.1.26.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal density φ(x).
+#[must_use]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF Φ(x).
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Mean of a `N(mu, sigma²)` truncated to `[lo, hi]`:
+///
+/// ```text
+/// E[X | lo ≤ X ≤ hi] = µ + σ·(φ(α) − φ(β)) / (Φ(β) − Φ(α)),
+/// α = (lo − µ)/σ, β = (hi − µ)/σ.
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0` or `lo >= hi`.
+#[must_use]
+pub fn truncated_normal_mean(mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive");
+    assert!(lo < hi, "truncation interval must be non-degenerate");
+    let alpha = (lo - mu) / sigma;
+    let beta = (hi - mu) / sigma;
+    let z = normal_cdf(beta) - normal_cdf(alpha);
+    if z < 1e-12 {
+        // Essentially all mass outside [lo, hi]: the conditional law
+        // concentrates at the nearer endpoint.
+        return if mu < lo { lo } else { hi };
+    }
+    mu + sigma * (normal_pdf(alpha) - normal_pdf(beta)) / z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // erf(0) = 0, erf(∞) → 1, erf(1) ≈ 0.8427007929; the A&S 7.1.26
+        // approximation is accurate to ~1.5e-7.
+        assert!(erf(0.0).abs() < 2e-7);
+        assert!((erf(1.0) - 0.842_700_792_9).abs() < 2e-7);
+        assert!((erf(2.0) - 0.995_322_265_0).abs() < 2e-7);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12, "odd function");
+        assert!(erf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn untruncated_limit_recovers_mu() {
+        // Truncation at ±10σ changes nothing measurable.
+        let m = truncated_normal_mean(50.0, 5.0, 0.0, 100.0);
+        assert!((m - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_sided_truncation_shifts_mean() {
+        // Mean at the lower boundary: truncating negatives pushes it up.
+        let m = truncated_normal_mean(0.0, 10.0, 0.0, 100.0);
+        // Half-normal mean = σ·sqrt(2/π) ≈ 7.9788.
+        assert!((m - 10.0 * (2.0 / std::f64::consts::PI).sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mass_outside_clamps_to_endpoint() {
+        assert_eq!(truncated_normal_mean(-500.0, 1.0, 0.0, 100.0), 0.0);
+        assert_eq!(truncated_normal_mean(500.0, 1.0, 0.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn mean_is_monotone_in_mu() {
+        let mut prev = f64::NEG_INFINITY;
+        for mu_i in 0..=20 {
+            let mu = f64::from(mu_i) * 5.0;
+            let m = truncated_normal_mean(mu, 8.0, 0.0, 100.0);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn truncated_mean_stays_in_bounds() {
+        for mu_i in -5..=25 {
+            let m = truncated_normal_mean(f64::from(mu_i) * 5.0, 12.0, 0.0, 100.0);
+            assert!((0.0..=100.0).contains(&m));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Dataset specifications — the §5.2 workload families.
+
+use crate::dist::{Mixture, TruncatedNormal, TwoPoint, ValueDist};
+use crate::virtual_group::VirtualGroup;
+use rand::{Rng, RngCore, SeedableRng};
+use rapidviz_core::group::VecGroup;
+use rapidviz_needletail::{ColumnDef, DataType, Schema, Table, TableBuilder, Value};
+use std::sync::Arc;
+
+/// The synthetic workload families of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadFamily {
+    /// Truncated normals: mean `~U[0,100]`, variance from `{4,25,64,100}`.
+    TruncNorm,
+    /// Mixtures of 1–5 truncated normals (the paper's default: "most
+    /// representative of real world situations").
+    Mixture,
+    /// Two-point `{0,100}` with mean `~U[0,100]` — high variance.
+    Bernoulli,
+    /// Controlled difficulty: group `i` has mean `40 + γ·i`, two-point.
+    Hard {
+        /// Mean spacing γ (= the instance's η). Must satisfy `γ·k ≤ 60`.
+        gamma: f64,
+    },
+}
+
+/// One group's specification: label, size, and value distribution.
+#[derive(Clone)]
+pub struct GroupSpec {
+    /// Group label.
+    pub label: String,
+    /// Number of records.
+    pub size: u64,
+    /// Value distribution.
+    pub dist: Arc<dyn ValueDist>,
+}
+
+impl std::fmt::Debug for GroupSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupSpec")
+            .field("label", &self.label)
+            .field("size", &self.size)
+            .field("mean", &self.dist.mean())
+            .finish()
+    }
+}
+
+/// A complete dataset specification.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Per-group specifications.
+    pub groups: Vec<GroupSpec>,
+    /// Value range bound `c`.
+    pub c: f64,
+}
+
+impl DatasetSpec {
+    /// Generates a `family` dataset of `k` equal-sized groups totalling
+    /// `total_records`, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `total_records < k`, or a `Hard` γ violates
+    /// `40 + γ·k ≤ 100`.
+    #[must_use]
+    pub fn generate(family: WorkloadFamily, k: usize, total_records: u64, seed: u64) -> Self {
+        let fractions = vec![1.0 / k as f64; k];
+        Self::generate_with_fractions(family, &fractions, total_records, seed)
+    }
+
+    /// Generates a skewed dataset: the first group holds `first_fraction`
+    /// of the records, the rest share the remainder equally (the Figure 7a
+    /// workload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `first_fraction ∉ (0, 1)`.
+    #[must_use]
+    pub fn generate_skewed(
+        family: WorkloadFamily,
+        k: usize,
+        total_records: u64,
+        first_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(k >= 2, "skew needs at least two groups");
+        assert!(
+            first_fraction > 0.0 && first_fraction < 1.0,
+            "first fraction must lie in (0, 1)"
+        );
+        let mut fractions = vec![(1.0 - first_fraction) / (k - 1) as f64; k];
+        fractions[0] = first_fraction;
+        Self::generate_with_fractions(family, &fractions, total_records, seed)
+    }
+
+    /// Generates a truncnorm dataset where *every* group has the given
+    /// standard deviation (the Figure 7b/7c workload).
+    #[must_use]
+    pub fn generate_truncnorm_fixed_std(k: usize, total_records: u64, std: f64, seed: u64) -> Self {
+        assert!(k > 0, "need at least one group");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let size = (total_records / k as u64).max(1);
+        let groups = (0..k)
+            .map(|i| {
+                let mu = rng.gen_range(0.0..100.0);
+                GroupSpec {
+                    label: format!("g{i}"),
+                    size,
+                    dist: Arc::new(TruncatedNormal::paper(mu, std)) as Arc<dyn ValueDist>,
+                }
+            })
+            .collect();
+        Self { groups, c: 100.0 }
+    }
+
+    fn generate_with_fractions(
+        family: WorkloadFamily,
+        fractions: &[f64],
+        total_records: u64,
+        seed: u64,
+    ) -> Self {
+        let k = fractions.len();
+        assert!(k > 0, "need at least one group");
+        assert!(total_records >= k as u64, "need at least one record per group");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let groups = fractions
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                let size = ((total_records as f64 * f) as u64).max(1);
+                GroupSpec {
+                    label: format!("g{i}"),
+                    size,
+                    dist: Self::draw_dist(family, i, &mut rng),
+                }
+            })
+            .collect();
+        Self { groups, c: 100.0 }
+    }
+
+    fn draw_dist(family: WorkloadFamily, index: usize, rng: &mut impl Rng) -> Arc<dyn ValueDist> {
+        match family {
+            WorkloadFamily::TruncNorm => {
+                let mu = rng.gen_range(0.0..100.0);
+                let variance = [4.0, 25.0, 64.0, 100.0][rng.gen_range(0..4)];
+                Arc::new(TruncatedNormal::paper(mu, f64::sqrt(variance)))
+            }
+            WorkloadFamily::Mixture => {
+                let n_components = rng.gen_range(1..=5);
+                let components: Vec<Box<dyn ValueDist>> = (0..n_components)
+                    .map(|_| {
+                        let mu = rng.gen_range(0.0..100.0);
+                        let variance: f64 = rng.gen_range(1.0..10.0);
+                        Box::new(TruncatedNormal::paper(mu, variance.sqrt()))
+                            as Box<dyn ValueDist>
+                    })
+                    .collect();
+                Arc::new(Mixture::new(components))
+            }
+            WorkloadFamily::Bernoulli => {
+                let mean = rng.gen_range(0.0..100.0);
+                Arc::new(TwoPoint::paper(mean))
+            }
+            WorkloadFamily::Hard { gamma } => {
+                let mean = 40.0 + gamma * index as f64;
+                assert!(
+                    mean <= 100.0,
+                    "hard family: 40 + gamma*k must stay within [0, 100]"
+                );
+                Arc::new(TwoPoint::paper(mean))
+            }
+        }
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total records across groups.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.groups.iter().map(|g| g.size).sum()
+    }
+
+    /// True group means.
+    #[must_use]
+    pub fn true_means(&self) -> Vec<f64> {
+        self.groups.iter().map(|g| g.dist.mean()).collect()
+    }
+
+    /// Virtual groups for scale sweeps (no materialization).
+    #[must_use]
+    pub fn virtual_groups(&self) -> Vec<VirtualGroup> {
+        self.groups
+            .iter()
+            .map(|g| VirtualGroup::new(g.label.clone(), Arc::clone(&g.dist), g.size))
+            .collect()
+    }
+
+    /// Materializes every group into memory (use for small datasets only).
+    #[must_use]
+    pub fn materialize(&self, rng: &mut dyn RngCore) -> Vec<VecGroup> {
+        self.groups
+            .iter()
+            .map(|g| {
+                let values: Vec<f64> = (0..g.size).map(|_| g.dist.sample(rng)).collect();
+                VecGroup::new(g.label.clone(), values)
+            })
+            .collect()
+    }
+
+    /// Materializes into a NEEDLETAIL [`Table`] with columns
+    /// `("g", Str)` and `("y", Float)`, rows interleaved round-robin so
+    /// group bitmaps are non-trivial.
+    #[must_use]
+    pub fn to_table(&self, rng: &mut dyn RngCore) -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("g", DataType::Str),
+            ColumnDef::new("y", DataType::Float),
+        ]);
+        let mut builder = TableBuilder::new(schema);
+        let mut remaining: Vec<u64> = self.groups.iter().map(|g| g.size).collect();
+        let mut any = true;
+        while any {
+            any = false;
+            for (i, group) in self.groups.iter().enumerate() {
+                if remaining[i] > 0 {
+                    remaining[i] -= 1;
+                    any = true;
+                    builder.push_row(vec![
+                        Value::Str(group.label.clone()),
+                        Value::Float(group.dist.sample(rng)),
+                    ]);
+                }
+            }
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rapidviz_core::group::GroupSource;
+
+    #[test]
+    fn equal_split_sizes() {
+        let spec = DatasetSpec::generate(WorkloadFamily::Mixture, 10, 1_000_000, 1);
+        assert_eq!(spec.k(), 10);
+        assert!(spec.groups.iter().all(|g| g.size == 100_000));
+        assert_eq!(spec.total_records(), 1_000_000);
+        assert_eq!(spec.c, 100.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = DatasetSpec::generate(WorkloadFamily::TruncNorm, 5, 1000, 42);
+        let b = DatasetSpec::generate(WorkloadFamily::TruncNorm, 5, 1000, 42);
+        assert_eq!(a.true_means(), b.true_means());
+        let c = DatasetSpec::generate(WorkloadFamily::TruncNorm, 5, 1000, 43);
+        assert_ne!(a.true_means(), c.true_means());
+    }
+
+    #[test]
+    fn hard_family_controlled_spacing() {
+        let spec = DatasetSpec::generate(WorkloadFamily::Hard { gamma: 1.5 }, 10, 1000, 7);
+        let means = spec.true_means();
+        for (i, &m) in means.iter().enumerate() {
+            assert!((m - (40.0 + 1.5 * i as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "within")]
+    fn hard_family_rejects_overflowing_gamma() {
+        let _ = DatasetSpec::generate(WorkloadFamily::Hard { gamma: 10.0 }, 10, 1000, 7);
+    }
+
+    #[test]
+    fn skewed_fractions() {
+        let spec =
+            DatasetSpec::generate_skewed(WorkloadFamily::Bernoulli, 10, 1_000_000, 0.9, 3);
+        assert_eq!(spec.groups[0].size, 900_000);
+        for g in &spec.groups[1..] {
+            assert!((g.size as i64 - 11_111).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn fixed_std_family() {
+        let spec = DatasetSpec::generate_truncnorm_fixed_std(8, 8000, 5.0, 11);
+        assert_eq!(spec.k(), 8);
+        // All means distinct with overwhelming probability.
+        let means = spec.true_means();
+        for i in 0..means.len() {
+            for j in i + 1..means.len() {
+                assert!((means[i] - means[j]).abs() > 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_means_close_to_analytic() {
+        let spec = DatasetSpec::generate(WorkloadFamily::Mixture, 4, 200_000, 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let groups = spec.materialize(&mut rng);
+        for (g, spec_g) in groups.iter().zip(&spec.groups) {
+            let analytic = spec_g.dist.mean();
+            let actual = g.true_mean().unwrap();
+            assert!(
+                (actual - analytic).abs() < 1.0,
+                "group {}: materialized {actual} vs analytic {analytic}",
+                spec_g.label
+            );
+        }
+    }
+
+    #[test]
+    fn to_table_roundtrip() {
+        let spec = DatasetSpec::generate(WorkloadFamily::Bernoulli, 3, 300, 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let table = spec.to_table(&mut rng);
+        assert_eq!(table.row_count(), 300);
+        let g_idx = table.schema().column_index("g").unwrap();
+        let distinct = table.distinct_values(g_idx);
+        assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn virtual_groups_share_analytic_means() {
+        use rapidviz_core::group::GroupSource;
+        let spec = DatasetSpec::generate(WorkloadFamily::Mixture, 5, 10_000_000_000, 10);
+        let vgs = spec.virtual_groups();
+        for (vg, mean) in vgs.iter().zip(spec.true_means()) {
+            assert_eq!(vg.true_mean(), Some(mean));
+            assert_eq!(vg.len(), 2_000_000_000);
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Dense bitvector with a superblock rank directory.
+//!
+//! Layout: bits are packed little-endian into `u64` words; every
+//! [`WORDS_PER_SUPERBLOCK`] words a cumulative one-count is recorded. `rank`
+//! reads one directory entry plus at most a superblock of words; `select`
+//! binary-searches the directory (logarithmic in the number of records — the
+//! "hierarchical" organization §4 describes) and then scans within one
+//! superblock.
+
+/// Words per rank-directory superblock (512 bits each).
+const WORDS_PER_SUPERBLOCK: usize = 8;
+/// Bits per superblock.
+const BITS_PER_SUPERBLOCK: u64 = (WORDS_PER_SUPERBLOCK as u64) * 64;
+
+/// A dense bitvector over positions `0..len` with `O(1)` rank and
+/// `O(log n)` select.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseBitmap {
+    len: u64,
+    words: Vec<u64>,
+    /// `super_ranks[s]` = number of ones in words `[0, s*WORDS_PER_SUPERBLOCK)`.
+    super_ranks: Vec<u64>,
+    count_ones: u64,
+}
+
+impl DenseBitmap {
+    /// An all-zeros bitmap of the given length.
+    #[must_use]
+    pub fn zeros(len: u64) -> Self {
+        let words = vec![0u64; Self::word_count(len)];
+        Self::from_words(words, len)
+    }
+
+    /// An all-ones bitmap of the given length.
+    #[must_use]
+    pub fn ones(len: u64) -> Self {
+        let n_words = Self::word_count(len);
+        let mut words = vec![u64::MAX; n_words];
+        Self::mask_tail(&mut words, len);
+        Self::from_words(words, len)
+    }
+
+    /// Builds from strictly increasing set-bit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if positions are not strictly increasing or `>= len`.
+    #[must_use]
+    pub fn from_sorted_positions(positions: &[u64], len: u64) -> Self {
+        let mut words = vec![0u64; Self::word_count(len)];
+        let mut prev: Option<u64> = None;
+        for &p in positions {
+            assert!(p < len, "position {p} out of range (len {len})");
+            if let Some(q) = prev {
+                assert!(p > q, "positions must be strictly increasing");
+            }
+            words[(p / 64) as usize] |= 1u64 << (p % 64);
+            prev = Some(p);
+        }
+        Self::from_words(words, len)
+    }
+
+    /// Builds from a boolean slice.
+    #[must_use]
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let len = bits.len() as u64;
+        let mut words = vec![0u64; Self::word_count(len)];
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        Self::from_words(words, len)
+    }
+
+    /// Builds from raw words (tail bits beyond `len` are cleared) and
+    /// computes the rank directory.
+    #[must_use]
+    pub fn from_words(mut words: Vec<u64>, len: u64) -> Self {
+        let needed = Self::word_count(len);
+        assert!(
+            words.len() >= needed,
+            "word vector too short for length {len}"
+        );
+        words.truncate(needed);
+        Self::mask_tail(&mut words, len);
+        let n_super = words.len().div_ceil(WORDS_PER_SUPERBLOCK);
+        let mut super_ranks = Vec::with_capacity(n_super + 1);
+        let mut running = 0u64;
+        for s in 0..=n_super {
+            super_ranks.push(running);
+            if s < n_super {
+                let start = s * WORDS_PER_SUPERBLOCK;
+                let end = (start + WORDS_PER_SUPERBLOCK).min(words.len());
+                running += words[start..end]
+                    .iter()
+                    .map(|w| u64::from(w.count_ones()))
+                    .sum::<u64>();
+            }
+        }
+        Self {
+            len,
+            words,
+            count_ones: running,
+            super_ranks,
+        }
+    }
+
+    fn word_count(len: u64) -> usize {
+        (len.div_ceil(64)) as usize
+    }
+
+    fn mask_tail(words: &mut [u64], len: u64) {
+        let tail_bits = len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Number of addressable positions.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether length is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.count_ones
+    }
+
+    /// Bit value at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    #[must_use]
+    pub fn get(&self, pos: u64) -> bool {
+        assert!(pos < self.len, "position {pos} out of range");
+        (self.words[(pos / 64) as usize] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Number of set bits strictly before `pos` (`pos` may equal `len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > len`.
+    #[must_use]
+    pub fn rank(&self, pos: u64) -> u64 {
+        assert!(pos <= self.len, "rank position {pos} out of range");
+        let sb = (pos / BITS_PER_SUPERBLOCK) as usize;
+        let mut r = self.super_ranks[sb];
+        let word_start = sb * WORDS_PER_SUPERBLOCK;
+        let word_end = (pos / 64) as usize;
+        for w in &self.words[word_start..word_end] {
+            r += u64::from(w.count_ones());
+        }
+        let tail = pos % 64;
+        if tail != 0 {
+            let w = self.words[word_end] & ((1u64 << tail) - 1);
+            r += u64::from(w.count_ones());
+        }
+        r
+    }
+
+    /// Position of the `k`-th (0-based) set bit, or `None` if out of range.
+    #[must_use]
+    pub fn select(&self, k: u64) -> Option<u64> {
+        if k >= self.count_ones {
+            return None;
+        }
+        // Binary search the superblock directory for the last superblock
+        // whose cumulative rank is <= k.
+        let sb = self.super_ranks.partition_point(|&r| r <= k) - 1;
+        let mut remaining = k - self.super_ranks[sb];
+        let word_start = sb * WORDS_PER_SUPERBLOCK;
+        let word_end = (word_start + WORDS_PER_SUPERBLOCK).min(self.words.len());
+        for wi in word_start..word_end {
+            let ones = u64::from(self.words[wi].count_ones());
+            if remaining < ones {
+                let bit = select_in_word(self.words[wi], remaining as u32);
+                return Some((wi as u64) * 64 + u64::from(bit));
+            }
+            remaining -= ones;
+        }
+        unreachable!("rank directory inconsistent with words");
+    }
+
+    /// Bitwise AND with an equal-length bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn and(&self, other: &DenseBitmap) -> DenseBitmap {
+        assert_eq!(self.len, other.len, "bitmap lengths must match");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Self::from_words(words, self.len)
+    }
+
+    /// Bitwise OR with an equal-length bitmap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn or(&self, other: &DenseBitmap) -> DenseBitmap {
+        assert_eq!(self.len, other.len, "bitmap lengths must match");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Self::from_words(words, self.len)
+    }
+
+    /// Bitwise NOT within `0..len`.
+    #[must_use]
+    pub fn not(&self) -> DenseBitmap {
+        let words = self.words.iter().map(|w| !w).collect();
+        Self::from_words(words, self.len)
+    }
+
+    /// Iterator over set-bit positions, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = (wi as u64) * 64;
+            BitIter { word }.map(move |b| base + u64::from(b))
+        })
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8 + self.super_ranks.len() * 8
+    }
+
+    /// Heap bytes a dense bitmap of length `len` would occupy (used by
+    /// [`super::Bitmap::optimize`] without materializing).
+    #[must_use]
+    pub fn projected_heap_bytes(len: u64) -> usize {
+        let words = Self::word_count(len);
+        let supers = words.div_ceil(WORDS_PER_SUPERBLOCK) + 1;
+        words * 8 + supers * 8
+    }
+}
+
+/// Position (0..64) of the `r`-th set bit within `word`.
+fn select_in_word(mut word: u64, mut r: u32) -> u32 {
+    debug_assert!(u64::from(word.count_ones()) > u64::from(r));
+    loop {
+        let tz = word.trailing_zeros();
+        if r == 0 {
+            return tz;
+        }
+        word &= word - 1; // clear lowest set bit
+        r -= 1;
+    }
+}
+
+/// Iterator over set-bit offsets within a single word.
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_in_word_all_positions() {
+        let word = 0b1011_0101u64;
+        let positions = [0u32, 2, 4, 5, 7];
+        for (r, &p) in positions.iter().enumerate() {
+            assert_eq!(select_in_word(word, r as u32), p);
+        }
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let bm = DenseBitmap::zeros(0);
+        assert!(bm.is_empty());
+        assert_eq!(bm.count_ones(), 0);
+        assert_eq!(bm.select(0), None);
+        assert_eq!(bm.rank(0), 0);
+    }
+
+    #[test]
+    fn ones_masks_tail() {
+        let bm = DenseBitmap::ones(70);
+        assert_eq!(bm.count_ones(), 70);
+        assert_eq!(bm.rank(70), 70);
+        assert_eq!(bm.select(69), Some(69));
+        assert_eq!(bm.select(70), None);
+    }
+
+    #[test]
+    fn rank_across_superblocks() {
+        // Set one bit per 100 positions over 3000 bits (spans superblocks).
+        let positions: Vec<u64> = (0..30).map(|i| i * 100).collect();
+        let bm = DenseBitmap::from_sorted_positions(&positions, 3000);
+        for p in 0..=3000u64 {
+            let expected = positions.iter().filter(|&&q| q < p).count() as u64;
+            assert_eq!(bm.rank(p), expected, "rank({p})");
+        }
+    }
+
+    #[test]
+    fn select_brute_force_agreement() {
+        let positions: Vec<u64> = vec![0, 1, 63, 64, 127, 128, 511, 512, 513, 1023, 2040];
+        let bm = DenseBitmap::from_sorted_positions(&positions, 2048);
+        for (k, &p) in positions.iter().enumerate() {
+            assert_eq!(bm.select(k as u64), Some(p));
+        }
+        assert_eq!(bm.select(positions.len() as u64), None);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bits: Vec<bool> = (0..300).map(|i| i % 3 == 0).collect();
+        let bm = DenseBitmap::from_bools(&bits);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(bm.get(i as u64), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_positions() {
+        let _ = DenseBitmap::from_sorted_positions(&[5, 5], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_oob_position() {
+        let _ = DenseBitmap::from_sorted_positions(&[10], 10);
+    }
+
+    #[test]
+    fn not_respects_length() {
+        let bm = DenseBitmap::from_sorted_positions(&[0, 5], 10);
+        let inv = bm.not();
+        assert_eq!(inv.count_ones(), 8);
+        assert_eq!(inv.len(), 10);
+        // Tail bits (10..64) must not leak into the count.
+        assert_eq!(inv.rank(10), 8);
+    }
+
+    #[test]
+    fn iter_ones_matches_positions() {
+        let positions: Vec<u64> = vec![3, 64, 65, 100, 511, 700];
+        let bm = DenseBitmap::from_sorted_positions(&positions, 701);
+        assert_eq!(bm.iter_ones().collect::<Vec<_>>(), positions);
+    }
+}

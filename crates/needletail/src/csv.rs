@@ -1,0 +1,334 @@
+//! Minimal CSV ingestion.
+//!
+//! Loads delimited text into a [`Table`] so real datasets (e.g. the ASA
+//! Data Expo flight records the paper evaluates on) can be dropped into the
+//! engine without external dependencies. Supports RFC-4180-style quoting
+//! (`"a,b"`, doubled quotes), type inference or an explicit schema, and a
+//! configurable delimiter.
+
+use crate::schema::{ColumnDef, DataType, Schema};
+use crate::table::{Table, TableBuilder};
+use crate::value::Value;
+use std::fmt;
+
+/// CSV parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A data row's field count differs from the header's.
+    ArityMismatch {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A field failed to parse under the (inferred or given) schema.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: String,
+        /// Offending text.
+        text: String,
+    },
+    /// A quoted field was left unterminated.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing header row"),
+            CsvError::ArityMismatch {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line}: {found} fields, header has {expected}"
+            ),
+            CsvError::BadField { line, column, text } => {
+                write!(f, "line {line}: column {column:?} cannot parse {text:?}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// CSV reader options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Explicit schema; `None` infers per column (Int ⊂ Float ⊂ Str) from
+    /// the data.
+    pub schema: Option<Schema>,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            schema: None,
+        }
+    }
+}
+
+/// Parses CSV text (header row required) into a [`Table`].
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] on structural or type errors.
+pub fn read_csv(text: &str, options: &CsvOptions) -> Result<Table, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let header = split_fields(header_line, options.delimiter, 1)?;
+    if header.is_empty() {
+        return Err(CsvError::MissingHeader);
+    }
+
+    // Parse all rows as strings first.
+    let mut raw_rows: Vec<(usize, Vec<String>)> = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let fields = split_fields(line, options.delimiter, line_no)?;
+        if fields.len() != header.len() {
+            return Err(CsvError::ArityMismatch {
+                line: line_no,
+                found: fields.len(),
+                expected: header.len(),
+            });
+        }
+        raw_rows.push((line_no, fields));
+    }
+
+    let schema = match &options.schema {
+        Some(s) => s.clone(),
+        None => infer_schema(&header, &raw_rows),
+    };
+
+    let mut builder = TableBuilder::new(schema.clone());
+    for (line_no, fields) in raw_rows {
+        let mut row = Vec::with_capacity(fields.len());
+        for (field, def) in fields.into_iter().zip(schema.columns()) {
+            let value = parse_field(&field, def.data_type).ok_or_else(|| CsvError::BadField {
+                line: line_no,
+                column: def.name.clone(),
+                text: field.clone(),
+            })?;
+            row.push(value);
+        }
+        builder.push_row(row);
+    }
+    Ok(builder.finish())
+}
+
+/// Splits one line into fields with RFC-4180 quoting.
+fn split_fields(line: &str, delimiter: char, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            if ch == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                field.push(ch);
+            }
+        } else if ch == '"' && field.is_empty() {
+            in_quotes = true;
+        } else if ch == delimiter {
+            fields.push(std::mem::take(&mut field));
+        } else {
+            field.push(ch);
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: line_no });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+/// Per-column inference: Int if every field parses as i64, else Float if
+/// every field parses as f64, else Str.
+fn infer_schema(header: &[String], rows: &[(usize, Vec<String>)]) -> Schema {
+    let columns = header
+        .iter()
+        .enumerate()
+        .map(|(c, name)| {
+            let mut all_int = true;
+            let mut all_float = true;
+            for (_, fields) in rows {
+                let f = fields[c].trim();
+                if all_int && f.parse::<i64>().is_err() {
+                    all_int = false;
+                }
+                if all_float && f.parse::<f64>().is_err() {
+                    all_float = false;
+                }
+                if !all_int && !all_float {
+                    break;
+                }
+            }
+            let data_type = if all_int {
+                DataType::Int
+            } else if all_float {
+                DataType::Float
+            } else {
+                DataType::Str
+            };
+            ColumnDef::new(name.clone(), data_type)
+        })
+        .collect();
+    Schema::new(columns)
+}
+
+fn parse_field(field: &str, data_type: DataType) -> Option<Value> {
+    let trimmed = field.trim();
+    match data_type {
+        DataType::Int => trimmed.parse::<i64>().ok().map(Value::Int),
+        DataType::Float => trimmed
+            .parse::<f64>()
+            .ok()
+            .filter(|f| !f.is_nan())
+            .map(Value::Float),
+        DataType::Str => Some(Value::Str(field.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLIGHTS: &str = "\
+name,delay,year
+AA,30.5,2008
+JB,15,2008
+AA,20.25,2007
+";
+
+    #[test]
+    fn infers_types() {
+        let t = read_csv(FLIGHTS, &CsvOptions::default()).unwrap();
+        assert_eq!(t.row_count(), 3);
+        let s = t.schema();
+        assert_eq!(s.column("name").unwrap().data_type, DataType::Str);
+        assert_eq!(s.column("delay").unwrap().data_type, DataType::Float);
+        assert_eq!(s.column("year").unwrap().data_type, DataType::Int);
+        assert_eq!(t.value(0, 1), Value::Float(30.5));
+        assert_eq!(t.value(1, 1), Value::Float(15.0), "int promotes to float");
+        assert_eq!(t.value(2, 2), Value::Int(2007));
+    }
+
+    #[test]
+    fn explicit_schema_wins() {
+        let schema = Schema::new(vec![
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("delay", DataType::Float),
+            ColumnDef::new("year", DataType::Str),
+        ]);
+        let t = read_csv(
+            FLIGHTS,
+            &CsvOptions {
+                schema: Some(schema),
+                ..CsvOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.value(0, 2), Value::Str("2008".into()));
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let csv = "name,motto\n\"Air, Lines\",\"say \"\"hi\"\"\"\nPlain,ok\n";
+        let t = read_csv(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.value(0, 0), Value::Str("Air, Lines".into()));
+        assert_eq!(t.value(0, 1), Value::Str("say \"hi\"".into()));
+        assert_eq!(t.value(1, 0), Value::Str("Plain".into()));
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let tsv = "a|b\n1|2.5\n";
+        let t = read_csv(
+            tsv,
+            &CsvOptions {
+                delimiter: '|',
+                ..CsvOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.value(0, 0), Value::Int(1));
+        assert_eq!(t.value(0, 1), Value::Float(2.5));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "x\n\n1\n\n2\n";
+        let t = read_csv(csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            read_csv("", &CsvOptions::default()).unwrap_err(),
+            CsvError::MissingHeader
+        );
+        let arity = read_csv("a,b\n1\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(arity, CsvError::ArityMismatch { line: 2, .. }));
+        let quote = read_csv("a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(quote, CsvError::UnterminatedQuote { line: 2 }));
+        // Explicit schema forces parse failure.
+        let schema = Schema::new(vec![ColumnDef::new("a", DataType::Int)]);
+        let bad = read_csv(
+            "a\nnot_a_number\n",
+            &CsvOptions {
+                schema: Some(schema),
+                ..CsvOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(bad, CsvError::BadField { line: 2, .. }));
+    }
+
+    #[test]
+    fn end_to_end_with_engine() {
+        use crate::engine::NeedleTail;
+        use crate::predicate::Predicate;
+        let t = read_csv(FLIGHTS, &CsvOptions::default()).unwrap();
+        let engine = NeedleTail::new(t, &["name"]).unwrap();
+        let aggs = engine.scan("name", "delay", &Predicate::True).unwrap();
+        let aa = aggs.iter().find(|a| a.group.to_string() == "AA").unwrap();
+        assert_eq!(aa.count, 2);
+        assert!((aa.mean().unwrap() - 25.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CsvError::ArityMismatch {
+            line: 3,
+            found: 2,
+            expected: 4,
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(CsvError::MissingHeader.to_string().contains("header"));
+    }
+}

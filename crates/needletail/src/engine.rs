@@ -1,0 +1,535 @@
+//! The NEEDLETAIL engine façade.
+//!
+//! [`NeedleTail`] owns a loaded [`Table`], builds bitmap indexes over the
+//! requested attributes, and hands out per-group [`GroupHandle`]s: samplers
+//! that return uniformly random measure values from one group (optionally
+//! intersected with an ad-hoc predicate), with every retrieval counted in
+//! the shared [`Metrics`]. This is the sampling engine the query-processing
+//! algorithms of `rapidviz-core` plug into — §2.2's "use the index to get an
+//! additional sample of Y at random from any group S_i".
+
+use crate::bitmap::Bitmap;
+use crate::index::BitmapIndex;
+use crate::metrics::Metrics;
+use crate::predicate::Predicate;
+use crate::sampler::{BitmapSampler, SizeEstimatingSampler};
+use crate::scan::{scan_group_aggregates, GroupAggregate};
+use crate::schema::DataType;
+use crate::table::Table;
+use crate::value::Value;
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors surfaced by engine operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The named column does not exist.
+    NoSuchColumn(String),
+    /// The named column is not indexed and the operation needs an index.
+    NotIndexed(String),
+    /// The measure column is not numeric.
+    NotNumeric(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoSuchColumn(c) => write!(f, "no column named {c:?}"),
+            EngineError::NotIndexed(c) => write!(f, "column {c:?} is not indexed"),
+            EngineError::NotNumeric(c) => write!(f, "column {c:?} is not numeric"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The sampling engine: a table plus its bitmap indexes.
+///
+/// ```
+/// use rapidviz_needletail::{NeedleTail, Predicate, read_csv, CsvOptions};
+/// use rand::SeedableRng;
+///
+/// let csv = "name,delay\nAA,30\nJB,10\nAA,50\nJB,20\n";
+/// let table = read_csv(csv, &CsvOptions::default()).unwrap();
+/// let engine = NeedleTail::new(table, &["name"]).unwrap();
+///
+/// // Exact aggregates via the SCAN path...
+/// let aggs = engine.scan("name", "delay", &Predicate::True).unwrap();
+/// assert_eq!(aggs[0].mean(), Some(40.0)); // AA
+///
+/// // ...or random per-group samples via the bitmap indexes.
+/// let handles = engine.group_handles("name", "delay", &Predicate::True).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = handles[0].sample_with_replacement(&mut rng).unwrap();
+/// assert!(x == 30.0 || x == 50.0);
+/// ```
+#[derive(Debug)]
+pub struct NeedleTail {
+    table: Arc<Table>,
+    indexes: HashMap<String, BitmapIndex>,
+    metrics: Arc<Metrics>,
+}
+
+impl NeedleTail {
+    /// Loads a table and builds bitmap indexes over `indexed_columns`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSuchColumn`] if an index target is missing.
+    pub fn new(table: Table, indexed_columns: &[&str]) -> Result<Self, EngineError> {
+        for col in indexed_columns {
+            if table.schema().column_index(col).is_none() {
+                return Err(EngineError::NoSuchColumn((*col).to_owned()));
+            }
+        }
+        let indexes = indexed_columns
+            .iter()
+            .map(|c| ((*c).to_owned(), BitmapIndex::build(&table, c)))
+            .collect();
+        Ok(Self {
+            table: Arc::new(table),
+            indexes,
+            metrics: Arc::new(Metrics::new()),
+        })
+    }
+
+    /// The underlying table.
+    #[must_use]
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The shared metrics sink.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// The index over `column`, if built.
+    #[must_use]
+    pub fn index(&self, column: &str) -> Option<&BitmapIndex> {
+        self.indexes.get(column)
+    }
+
+    /// All indexes, for predicate evaluation.
+    #[must_use]
+    pub fn indexes(&self) -> &HashMap<String, BitmapIndex> {
+        &self.indexes
+    }
+
+    /// Builds one [`GroupHandle`] per distinct value of `group_col`
+    /// (in index order), sampling `agg_col`, restricted to rows satisfying
+    /// `predicate`.
+    ///
+    /// Groups emptied by the predicate are dropped — they contribute no
+    /// aggregate, mirroring SQL `GROUP BY` semantics over filtered rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `group_col` is unindexed or missing, or if
+    /// `agg_col` is missing or non-numeric.
+    pub fn group_handles(
+        &self,
+        group_col: &str,
+        agg_col: &str,
+        predicate: &Predicate,
+    ) -> Result<Vec<GroupHandle>, EngineError> {
+        let index = self
+            .indexes
+            .get(group_col)
+            .ok_or_else(|| EngineError::NotIndexed(group_col.to_owned()))?;
+        let agg_idx = self
+            .table
+            .schema()
+            .column_index(agg_col)
+            .ok_or_else(|| EngineError::NoSuchColumn(agg_col.to_owned()))?;
+        if self.table.schema().columns()[agg_idx].data_type == DataType::Str {
+            return Err(EngineError::NotNumeric(agg_col.to_owned()));
+        }
+        let pred_bitmap = match predicate {
+            Predicate::True => None,
+            p => Some(p.evaluate(&self.table, &self.indexes)),
+        };
+        let mut handles = Vec::with_capacity(index.distinct_count());
+        for value in index.values() {
+            let base = index
+                .bitmap_for(&value)
+                .expect("index lists only present values");
+            let bitmap = match &pred_bitmap {
+                None => base.clone(),
+                Some(p) => base.and(p),
+            };
+            if bitmap.count_ones() == 0 {
+                continue;
+            }
+            handles.push(GroupHandle {
+                label: value,
+                agg_idx,
+                table: Arc::clone(&self.table),
+                sampler: BitmapSampler::new(bitmap),
+                metrics: Arc::clone(&self.metrics),
+            });
+        }
+        Ok(handles)
+    }
+
+    /// Builds one [`GroupHandle`] per cell of a multi-attribute group-by
+    /// (§6.3.4), via a joint [`crate::composite::CompositeIndex`] over
+    /// `group_cols`. Cell labels join the attribute values with `|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any column is missing or `agg_col` is
+    /// non-numeric.
+    pub fn group_handles_multi(
+        &self,
+        group_cols: &[&str],
+        agg_col: &str,
+        predicate: &Predicate,
+    ) -> Result<Vec<GroupHandle>, EngineError> {
+        for col in group_cols {
+            if self.table.schema().column_index(col).is_none() {
+                return Err(EngineError::NoSuchColumn((*col).to_owned()));
+            }
+        }
+        let agg_idx = self
+            .table
+            .schema()
+            .column_index(agg_col)
+            .ok_or_else(|| EngineError::NoSuchColumn(agg_col.to_owned()))?;
+        if self.table.schema().columns()[agg_idx].data_type == DataType::Str {
+            return Err(EngineError::NotNumeric(agg_col.to_owned()));
+        }
+        let joint = crate::composite::CompositeIndex::build(&self.table, group_cols);
+        let pred_bitmap = match predicate {
+            Predicate::True => None,
+            p => Some(p.evaluate(&self.table, &self.indexes)),
+        };
+        let mut handles = Vec::with_capacity(joint.cell_count());
+        for cell in joint.cells() {
+            let base = joint.bitmap_for(&cell).expect("cell listed by index");
+            let bitmap = match &pred_bitmap {
+                None => base.clone(),
+                Some(p) => base.and(p),
+            };
+            if bitmap.count_ones() == 0 {
+                continue;
+            }
+            let label = cell
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("|");
+            handles.push(GroupHandle {
+                label: Value::Str(label),
+                agg_idx,
+                table: Arc::clone(&self.table),
+                sampler: BitmapSampler::new(bitmap),
+                metrics: Arc::clone(&self.metrics),
+            });
+        }
+        Ok(handles)
+    }
+
+    /// Builds a [`SizeEstimatingSampler`] for one group (Algorithm 5
+    /// support: unknown-group-size `SUM`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `group_col` is unindexed.
+    pub fn size_estimating_sampler(
+        &self,
+        group_col: &str,
+        group_value: &Value,
+    ) -> Result<SizeEstimatingSampler, EngineError> {
+        let index = self
+            .indexes
+            .get(group_col)
+            .ok_or_else(|| EngineError::NotIndexed(group_col.to_owned()))?;
+        let bitmap = index
+            .bitmap_for(group_value)
+            .cloned()
+            .unwrap_or_else(|| Bitmap::zeros(self.table.row_count()));
+        Ok(SizeEstimatingSampler::new(bitmap, self.table.row_count()))
+    }
+
+    /// Full sequential scan computing exact per-group aggregates, charging
+    /// one scanned row per record to the metrics (the SCAN baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either column is missing.
+    pub fn scan(
+        &self,
+        group_col: &str,
+        agg_col: &str,
+        predicate: &Predicate,
+    ) -> Result<Vec<GroupAggregate>, EngineError> {
+        for col in [group_col, agg_col] {
+            if self.table.schema().column_index(col).is_none() {
+                return Err(EngineError::NoSuchColumn(col.to_owned()));
+            }
+        }
+        self.metrics.add_rows_scanned(self.table.row_count());
+        Ok(scan_group_aggregates(
+            &self.table,
+            group_col,
+            agg_col,
+            predicate,
+        ))
+    }
+}
+
+/// A per-group random sampler handed out by the engine.
+#[derive(Debug, Clone)]
+pub struct GroupHandle {
+    label: Value,
+    agg_idx: usize,
+    table: Arc<Table>,
+    sampler: BitmapSampler,
+    metrics: Arc<Metrics>,
+}
+
+impl GroupHandle {
+    /// The group-by value this handle samples from.
+    #[must_use]
+    pub fn label(&self) -> &Value {
+        &self.label
+    }
+
+    /// Number of rows in the group (from the bitmap — no I/O).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.sampler.eligible()
+    }
+
+    /// Whether the group is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Draws a uniformly random measure value with replacement.
+    pub fn sample_with_replacement<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<f64> {
+        let row = self.sampler.sample_with_replacement(rng)?;
+        self.metrics.add_random_samples(1);
+        self.metrics.add_index_probes(1);
+        Some(self.table.float_value(row, self.agg_idx))
+    }
+
+    /// Draws the next measure value of a random permutation of the group
+    /// (sampling without replacement); `None` once exhausted.
+    pub fn sample_without_replacement<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
+        let row = self.sampler.sample_without_replacement(rng)?;
+        self.metrics.add_random_samples(1);
+        self.metrics.add_index_probes(1);
+        Some(self.table.float_value(row, self.agg_idx))
+    }
+
+    /// Restarts the without-replacement permutation (a fresh shuffle).
+    pub fn reset_permutation(&mut self) {
+        self.sampler.reset();
+    }
+
+    /// Exact group mean (reads every member; test/verification aid).
+    #[must_use]
+    pub fn exact_mean(&self) -> Option<f64> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .sampler
+            .bitmap()
+            .iter_ones()
+            .map(|row| self.table.float_value(row, self.agg_idx))
+            .sum();
+        Some(sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, Schema};
+    use crate::table::TableBuilder;
+    use rand::SeedableRng;
+
+    fn flights() -> Table {
+        let mut b = TableBuilder::new(Schema::new(vec![
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("delay", DataType::Float),
+        ]));
+        // AA: mean 20 over 4 rows; JB: mean 50 over 2 rows; UA: mean 85.
+        for (n, d) in [
+            ("AA", 10.0),
+            ("AA", 20.0),
+            ("JB", 40.0),
+            ("AA", 30.0),
+            ("UA", 85.0),
+            ("JB", 60.0),
+            ("AA", 20.0),
+        ] {
+            b.push_row(vec![n.into(), d.into()]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn group_handles_cover_distinct_values() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let handles = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        assert_eq!(handles.len(), 3);
+        let labels: Vec<String> = handles.iter().map(|h| h.label().to_string()).collect();
+        assert_eq!(labels, vec!["AA", "JB", "UA"]);
+        assert_eq!(handles[0].len(), 4);
+        assert_eq!(handles[1].len(), 2);
+        assert_eq!(handles[2].len(), 1);
+    }
+
+    #[test]
+    fn exact_means_match_scan() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let handles = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        let scan = engine.scan("name", "delay", &Predicate::True).unwrap();
+        for (h, s) in handles.iter().zip(&scan) {
+            assert_eq!(h.label(), &s.group);
+            assert!((h.exact_mean().unwrap() - s.mean().unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn without_replacement_mean_converges_exactly() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let mut handles = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let aa = &mut handles[0];
+        let mut sum = 0.0;
+        let mut count = 0u32;
+        while let Some(v) = aa.sample_without_replacement(&mut rng) {
+            sum += v;
+            count += 1;
+        }
+        assert_eq!(count, 4, "exhausts the group exactly");
+        assert!((sum / 4.0 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicate_restricts_groups() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let handles = engine
+            .group_handles("name", "delay", &Predicate::ge("delay", 30.0))
+            .unwrap();
+        // AA keeps 1 row (30), JB keeps both, UA keeps its row.
+        assert_eq!(handles.len(), 3);
+        assert_eq!(handles[0].len(), 1);
+        assert!((handles[0].exact_mean().unwrap() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicate_can_drop_groups() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let handles = engine
+            .group_handles("name", "delay", &Predicate::ge("delay", 50.0))
+            .unwrap();
+        let labels: Vec<String> = handles.iter().map(|h| h.label().to_string()).collect();
+        assert_eq!(labels, vec!["JB", "UA"], "AA has no qualifying rows");
+    }
+
+    #[test]
+    fn metrics_count_samples_and_scans() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let handles = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let _ = handles[0].sample_with_replacement(&mut rng);
+        }
+        let _ = engine.scan("name", "delay", &Predicate::True).unwrap();
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.random_samples, 10);
+        assert_eq!(snap.rows_scanned, 7);
+    }
+
+    #[test]
+    fn errors() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        assert_eq!(
+            engine
+                .group_handles("delay", "delay", &Predicate::True)
+                .err(),
+            Some(EngineError::NotIndexed("delay".into()))
+        );
+        assert_eq!(
+            engine.group_handles("name", "nope", &Predicate::True).err(),
+            Some(EngineError::NoSuchColumn("nope".into()))
+        );
+        assert_eq!(
+            engine.group_handles("name", "name", &Predicate::True).err(),
+            Some(EngineError::NotNumeric("name".into()))
+        );
+        assert!(NeedleTail::new(flights(), &["nope"]).is_err());
+    }
+
+    #[test]
+    fn multi_group_by_handles() {
+        let mut b = TableBuilder::new(Schema::new(vec![
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("origin", DataType::Str),
+            ColumnDef::new("delay", DataType::Float),
+        ]));
+        for (n, o, d) in [
+            ("AA", "BOS", 10.0),
+            ("AA", "SFO", 20.0),
+            ("JB", "BOS", 30.0),
+            ("AA", "BOS", 50.0),
+        ] {
+            b.push_row(vec![n.into(), o.into(), d.into()]);
+        }
+        let engine = NeedleTail::new(b.finish(), &["name"]).unwrap();
+        let handles = engine
+            .group_handles_multi(&["name", "origin"], "delay", &Predicate::True)
+            .unwrap();
+        let labels: Vec<String> = handles.iter().map(|h| h.label().to_string()).collect();
+        assert_eq!(labels, vec!["AA|BOS", "AA|SFO", "JB|BOS"]);
+        assert_eq!(handles[0].len(), 2);
+        assert!((handles[0].exact_mean().unwrap() - 30.0).abs() < 1e-12);
+        // Predicate narrows cells and can drop them.
+        let filtered = engine
+            .group_handles_multi(
+                &["name", "origin"],
+                "delay",
+                &Predicate::ge("delay", 25.0),
+            )
+            .unwrap();
+        let labels: Vec<String> = filtered.iter().map(|h| h.label().to_string()).collect();
+        assert_eq!(labels, vec!["AA|BOS", "JB|BOS"]);
+    }
+
+    #[test]
+    fn size_estimating_sampler_sees_true_fraction() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let s = engine
+            .size_estimating_sampler("name", &"AA".into())
+            .unwrap();
+        assert_eq!(s.eligible(), 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut z_sum = 0.0;
+        let draws = 20_000;
+        for _ in 0..draws {
+            let (_, z) = s.sample_with_size_estimate(&mut rng).unwrap();
+            z_sum += z;
+        }
+        let frac = z_sum / f64::from(draws);
+        assert!((frac - 4.0 / 7.0).abs() < 0.02, "fraction {frac}");
+    }
+}

@@ -1,0 +1,72 @@
+//! # rapidviz-needletail
+//!
+//! A Rust reimplementation of the substrate the paper's experiments run on:
+//! **NEEDLETAIL** (§4), "a database system designed to produce a random
+//! sample of records matching a set of ad-hoc conditions".
+//!
+//! The engine stores relations row-oriented in memory and builds
+//! **hierarchical bitmap indexes** over the indexed attributes: for every
+//! distinct value of an indexed attribute there is a bitmap with a `1` at
+//! position `i` iff tuple `i` matches. A two-level rank/select acceleration
+//! structure ([`bitmap::DenseBitmap`]) lets the engine fetch the `j`-th
+//! matching tuple — and therefore a *uniformly random* matching tuple — in
+//! `O(log n)` time, which is the constant-per-sample retrieval guarantee the
+//! paper's cost model assumes (§2.3 footnote 1). Bitmaps compress well; an
+//! RLE representation ([`bitmap::RleBitmap`]) is provided with full boolean
+//! algebra and is chosen automatically when it is smaller.
+//!
+//! Components:
+//!
+//! * [`value`] / [`schema`] / [`table`] — typed values, schemas, and the
+//!   in-memory row store (dictionary-encoded strings).
+//! * [`bitmap`] — dense (rank/select) and RLE compressed bitmaps with
+//!   boolean algebra, plus conversions.
+//! * [`index`] — the per-attribute value → bitmap index.
+//! * [`predicate`] — ad-hoc selection predicates (`WHERE`-clauses, §6.3.3)
+//!   evaluated to bitmaps through the indexes (or by scanning when an
+//!   attribute is unindexed).
+//! * [`sampler`] — random tuple sampling over an eligibility bitmap, with or
+//!   without replacement, and the skip-based group-size estimator used by
+//!   the unknown-size `SUM` algorithm (§6.3.1, Algorithm 5).
+//! * [`engine`] — the [`engine::NeedleTail`] façade tying it together.
+//! * [`scan`] — the `SCAN` baseline: a full sequential pass computing exact
+//!   per-group aggregates via a hash map, as a traditional DBMS would.
+//! * [`io`] — the deterministic I/O + CPU cost model used to regenerate the
+//!   paper's wall-clock figures (a documented substitution for the authors'
+//!   hardware; see DESIGN.md §4).
+//! * [`metrics`] — sample/block counters every operation feeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod composite;
+pub mod csv;
+pub mod disk;
+pub mod engine;
+pub mod index;
+pub mod io;
+pub mod metrics;
+pub mod predicate;
+pub mod sampler;
+pub mod scan;
+pub mod schema;
+pub mod storage;
+pub mod table;
+pub mod value;
+
+pub use bitmap::{Bitmap, DenseBitmap, RleBitmap};
+pub use composite::CompositeIndex;
+pub use csv::{read_csv, CsvError, CsvOptions};
+pub use disk::SimulatedDisk;
+pub use engine::{EngineError, GroupHandle, NeedleTail};
+pub use index::BitmapIndex;
+pub use io::{CostBreakdown, DiskModel};
+pub use metrics::Metrics;
+pub use predicate::Predicate;
+pub use sampler::{BitmapSampler, SizeEstimatingSampler};
+pub use scan::{scan_group_aggregates, GroupAggregate};
+pub use schema::{ColumnDef, DataType, Schema};
+pub use storage::{read_table, write_table, StorageError};
+pub use table::{Table, TableBuilder};
+pub use value::Value;

@@ -1,0 +1,333 @@
+//! Random tuple sampling over an eligibility bitmap.
+//!
+//! The core retrieval primitive of NEEDLETAIL: given the bitmap of rows
+//! matching a condition, return a *uniformly random* matching row id in
+//! `O(log n)` via `select(random index)`.
+//!
+//! Two regimes are supported, matching §3.6:
+//!
+//! * **With replacement** — stateless: each draw is an independent uniform
+//!   pick among the eligible rows.
+//! * **Without replacement** — a *virtual Fisher–Yates shuffle*: the sampler
+//!   tracks only the swaps it has performed (a hash map of displaced slots),
+//!   so memory grows with the number of draws, not the group size, and every
+//!   eligible row is produced exactly once over the sampler's lifetime.
+//!
+//! [`SizeEstimatingSampler`] additionally produces the unbiased group-size
+//! estimate `z` needed by the unknown-group-size `SUM` algorithm
+//! (Algorithm 5): along with a random group member `x`, it probes an
+//! independent uniformly random *table position* and reports whether that
+//! position belongs to the group — `E[z] = |S_i| / N`, the normalized group
+//! size, and `x·z` stays in `[0, c]` exactly as §6.3.1 requires. The probe
+//! is answered by the in-memory bitmap, so it costs no I/O.
+
+use crate::bitmap::Bitmap;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Uniform random sampler over the set bits of a bitmap.
+#[derive(Debug, Clone)]
+pub struct BitmapSampler {
+    bitmap: Bitmap,
+    eligible: u64,
+    /// Virtual Fisher–Yates state: logical position -> displaced value.
+    swaps: HashMap<u64, u64>,
+    /// Draws made without replacement so far.
+    drawn: u64,
+}
+
+impl BitmapSampler {
+    /// Creates a sampler over the set bits of `bitmap`.
+    #[must_use]
+    pub fn new(bitmap: Bitmap) -> Self {
+        let eligible = bitmap.count_ones();
+        Self {
+            bitmap,
+            eligible,
+            swaps: HashMap::new(),
+            drawn: 0,
+        }
+    }
+
+    /// Number of eligible rows.
+    #[must_use]
+    pub fn eligible(&self) -> u64 {
+        self.eligible
+    }
+
+    /// Rows not yet produced by [`Self::sample_without_replacement`].
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.eligible - self.drawn
+    }
+
+    /// The underlying bitmap.
+    #[must_use]
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bitmap
+    }
+
+    /// A uniformly random eligible row id (independent across calls).
+    /// `None` if no row is eligible.
+    pub fn sample_with_replacement<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u64> {
+        if self.eligible == 0 {
+            return None;
+        }
+        let k = rng.gen_range(0..self.eligible);
+        self.bitmap.select(k)
+    }
+
+    /// The next row of a uniformly random permutation of the eligible rows.
+    /// `None` once every eligible row has been produced.
+    pub fn sample_without_replacement<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u64> {
+        if self.drawn == self.eligible {
+            return None;
+        }
+        // Virtual Fisher–Yates over logical indices [drawn, eligible).
+        let j = rng.gen_range(self.drawn..self.eligible);
+        let chosen = self.logical(j);
+        let displaced = self.logical(self.drawn);
+        // Swap: slot j now holds what slot `drawn` held.
+        self.swaps.insert(j, displaced);
+        self.swaps.remove(&self.drawn);
+        self.drawn += 1;
+        self.bitmap.select(chosen)
+    }
+
+    /// Resets the without-replacement permutation (a fresh shuffle).
+    pub fn reset(&mut self) {
+        self.swaps.clear();
+        self.drawn = 0;
+    }
+
+    fn logical(&self, slot: u64) -> u64 {
+        *self.swaps.get(&slot).unwrap_or(&slot)
+    }
+}
+
+/// A sampler that pairs each group-member draw with an unbiased estimate of
+/// the group's normalized size (Algorithm 5 support).
+#[derive(Debug, Clone)]
+pub struct SizeEstimatingSampler {
+    inner: BitmapSampler,
+    table_rows: u64,
+}
+
+impl SizeEstimatingSampler {
+    /// Creates the sampler; `table_rows` is the total relation size `N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmap is longer than the stated table size.
+    #[must_use]
+    pub fn new(bitmap: Bitmap, table_rows: u64) -> Self {
+        assert!(
+            bitmap.len() <= table_rows || bitmap.len() == table_rows,
+            "bitmap cannot exceed the relation"
+        );
+        Self {
+            inner: BitmapSampler::new(bitmap),
+            table_rows,
+        }
+    }
+
+    /// Number of eligible rows (the true `n_i`; exposed for verification —
+    /// the estimating path never consults it).
+    #[must_use]
+    pub fn eligible(&self) -> u64 {
+        self.inner.eligible()
+    }
+
+    /// Draws `(row, z)`: a uniform random group member and an independent
+    /// unbiased estimate `z ∈ {0, 1}` of the normalized group size
+    /// `s_i = n_i / N`.
+    pub fn sample_with_size_estimate<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Option<(u64, f64)> {
+        let row = self.inner.sample_with_replacement(rng)?;
+        let probe = rng.gen_range(0..self.table_rows);
+        let z = if probe < self.inner.bitmap().len() && self.inner.bitmap().get(probe) {
+            1.0
+        } else {
+            0.0
+        };
+        Some((row, z))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn bitmap(positions: &[u64], len: u64) -> Bitmap {
+        Bitmap::from_sorted_positions(positions, len)
+    }
+
+    #[test]
+    fn with_replacement_only_eligible_rows() {
+        let positions = vec![2, 5, 7, 11];
+        let s = BitmapSampler::new(bitmap(&positions, 16));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let row = s.sample_with_replacement(&mut rng).unwrap();
+            assert!(positions.contains(&row), "sampled ineligible row {row}");
+        }
+    }
+
+    #[test]
+    fn with_replacement_roughly_uniform() {
+        let positions: Vec<u64> = (0..10).map(|i| i * 3).collect();
+        let s = BitmapSampler::new(bitmap(&positions, 30));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        let draws = 20_000;
+        for _ in 0..draws {
+            *counts
+                .entry(s.sample_with_replacement(&mut rng).unwrap())
+                .or_insert(0u32) += 1;
+        }
+        let expected = draws as f64 / positions.len() as f64;
+        for &p in &positions {
+            let c = f64::from(counts[&p]);
+            assert!(
+                (c - expected).abs() < 0.15 * expected,
+                "count for {p} was {c}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn without_replacement_is_a_permutation() {
+        let positions: Vec<u64> = vec![1, 4, 9, 16, 25, 36, 49];
+        let mut s = BitmapSampler::new(bitmap(&positions, 64));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut seen = Vec::new();
+        while let Some(row) = s.sample_without_replacement(&mut rng) {
+            seen.push(row);
+        }
+        assert_eq!(s.remaining(), 0);
+        seen.sort_unstable();
+        assert_eq!(seen, positions, "must produce each eligible row once");
+        assert_eq!(s.sample_without_replacement(&mut rng), None);
+    }
+
+    #[test]
+    fn without_replacement_first_draw_uniform() {
+        let positions: Vec<u64> = (0..8).collect();
+        let mut counts = [0u32; 8];
+        for seed in 0..4000 {
+            let mut s = BitmapSampler::new(bitmap(&positions, 8));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let row = s.sample_without_replacement(&mut rng).unwrap();
+            counts[row as usize] += 1;
+        }
+        let expected = 4000.0 / 8.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (f64::from(c) - expected).abs() < 0.25 * expected,
+                "first-draw count for {i} was {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_restores_full_population() {
+        let positions: Vec<u64> = vec![0, 2, 4];
+        let mut s = BitmapSampler::new(bitmap(&positions, 6));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let _ = s.sample_without_replacement(&mut rng);
+        let _ = s.sample_without_replacement(&mut rng);
+        assert_eq!(s.remaining(), 1);
+        s.reset();
+        assert_eq!(s.remaining(), 3);
+        let mut seen = Vec::new();
+        while let Some(row) = s.sample_without_replacement(&mut rng) {
+            seen.push(row);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, positions);
+    }
+
+    #[test]
+    fn empty_bitmap_yields_none() {
+        let mut s = BitmapSampler::new(Bitmap::zeros(10));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        assert_eq!(s.sample_with_replacement(&mut rng), None);
+        assert_eq!(s.sample_without_replacement(&mut rng), None);
+    }
+
+    #[test]
+    fn swap_memory_bounded_by_draws() {
+        let positions: Vec<u64> = (0..10_000).collect();
+        let mut s = BitmapSampler::new(bitmap(&positions, 10_000));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let _ = s.sample_without_replacement(&mut rng);
+        }
+        assert!(
+            s.swaps.len() <= 100,
+            "swap map grew past the number of draws: {}",
+            s.swaps.len()
+        );
+    }
+
+    #[test]
+    fn size_estimate_is_unbiased() {
+        // Group occupies 3000 of 10_000 rows: s_i = 0.3.
+        let positions: Vec<u64> = (4000..7000).collect();
+        let s = SizeEstimatingSampler::new(bitmap(&positions, 10_000), 10_000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let draws = 30_000;
+        let mut z_sum = 0.0;
+        for _ in 0..draws {
+            let (row, z) = s.sample_with_size_estimate(&mut rng).unwrap();
+            assert!((4000..7000).contains(&row));
+            z_sum += z;
+        }
+        let z_mean = z_sum / f64::from(draws);
+        assert!(
+            (z_mean - 0.3).abs() < 0.02,
+            "E[z] should be ~0.3, got {z_mean}"
+        );
+    }
+
+    #[test]
+    fn size_estimate_empty_group() {
+        let s = SizeEstimatingSampler::new(Bitmap::zeros(100), 100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        assert_eq!(s.sample_with_size_estimate(&mut rng), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Without-replacement sampling is always a permutation of the
+        /// eligible rows, for any bitmap and seed.
+        #[test]
+        fn permutation_property(
+            positions in proptest::collection::btree_set(0u64..2000, 1..64),
+            len_extra in 0u64..100,
+            seed in 0u64..1000,
+        ) {
+            let positions: Vec<u64> = positions.into_iter().collect();
+            let len = positions.last().unwrap() + 1 + len_extra;
+            let mut s = BitmapSampler::new(Bitmap::from_sorted_positions(&positions, len));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut seen = Vec::new();
+            while let Some(row) = s.sample_without_replacement(&mut rng) {
+                seen.push(row);
+            }
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted, positions, "not a permutation: {:?}", seen);
+        }
+    }
+}

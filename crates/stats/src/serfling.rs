@@ -1,0 +1,176 @@
+//! The Hoeffding–Serfling inequality for sampling **without** replacement.
+//!
+//! Serfling (1974) sharpened Hoeffding's bound for the without-replacement
+//! setting: when `m` of `N` population values in `[0, c]` have been drawn
+//! without replacement,
+//!
+//! ```text
+//! Pr[ max_{k ≤ m ≤ N−1} |X̄_m − µ| ≥ ε ] ≤ 2·exp( −2·k·ε² / (c²·(1 − (k−1)/N)) )
+//! ```
+//!
+//! (the maximal form quoted as Lemma 2 of the paper). The only difference
+//! from Hoeffding is the *sampling-fraction factor* `1 − (m−1)/N`, which
+//! shrinks the interval as the sample exhausts the population — at `m = N`
+//! the empirical mean *is* the population mean and the width collapses to 0.
+//!
+//! This module exposes the factor itself (shared with the anytime schedule in
+//! [`crate::schedule`]) and the fixed-`m` half-width.
+
+/// The Serfling sampling-fraction factor `1 − (m − 1)/N`, clamped to `[0, 1]`.
+///
+/// `m` is the number of samples drawn so far and `n` the population size.
+/// For `m > n` (which a correct caller never produces, but a schedule asked
+/// for a hypothetical round may) the factor clamps to 0, collapsing the
+/// interval — the population is exhausted so the mean is known exactly.
+#[must_use]
+pub fn serfling_sampling_fraction_factor(m: u64, n: u64) -> f64 {
+    assert!(n > 0, "population size must be positive");
+    let f = 1.0 - (m.saturating_sub(1)) as f64 / n as f64;
+    f.clamp(0.0, 1.0)
+}
+
+/// Two-sided fixed-`m` Hoeffding–Serfling half-width at confidence `1 − δ`
+/// for a population of `n` values in `[0, c]`:
+///
+/// ```text
+/// ε = c·sqrt( (1 − (m−1)/n) · ln(2/δ) / (2m) ).
+/// ```
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `n == 0`, `c <= 0`, or `δ ∉ (0, 1)`.
+#[must_use]
+pub fn serfling_half_width(m: u64, n: u64, delta: f64, c: f64) -> f64 {
+    assert!(m > 0, "need at least one sample");
+    assert!(n > 0, "population size must be positive");
+    assert!(c > 0.0, "range c must be positive");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+    let factor = serfling_sampling_fraction_factor(m, n);
+    c * (factor * (2.0 / delta).ln() / (2.0 * m as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hoeffding::hoeffding_half_width;
+
+    #[test]
+    fn factor_at_first_sample_is_one() {
+        assert_eq!(serfling_sampling_fraction_factor(1, 100), 1.0);
+    }
+
+    #[test]
+    fn factor_at_exhaustion() {
+        // m = n: factor = 1 - (n-1)/n = 1/n.
+        let f = serfling_sampling_fraction_factor(100, 100);
+        assert!((f - 0.01).abs() < 1e-12);
+        // m > n clamps to 0.
+        assert_eq!(serfling_sampling_fraction_factor(102, 100), 0.0);
+    }
+
+    #[test]
+    fn factor_monotone_decreasing_in_m() {
+        let mut prev = f64::INFINITY;
+        for m in 1..=50 {
+            let f = serfling_sampling_fraction_factor(m, 50);
+            assert!(f <= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn serfling_never_wider_than_hoeffding() {
+        for &m in &[1u64, 10, 50, 99] {
+            let s = serfling_half_width(m, 100, 0.05, 1.0);
+            let h = hoeffding_half_width(m, 0.05, 1.0);
+            assert!(
+                s <= h + 1e-12,
+                "m={m}: serfling {s} should not exceed hoeffding {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn serfling_converges_to_hoeffding_for_large_population() {
+        let s = serfling_half_width(100, 1_000_000_000, 0.05, 1.0);
+        let h = hoeffding_half_width(100, 0.05, 1.0);
+        assert!((s - h).abs() / h < 1e-6);
+    }
+
+    #[test]
+    fn width_collapses_at_exhaustion() {
+        let almost = serfling_half_width(1000, 1000, 0.05, 1.0);
+        let fresh = serfling_half_width(1, 1000, 0.05, 1.0);
+        assert!(almost < fresh * 0.05, "near-exhaustion interval should collapse");
+    }
+
+    #[test]
+    fn scales_linearly_in_c() {
+        let e1 = serfling_half_width(10, 100, 0.05, 1.0);
+        let e42 = serfling_half_width(10, 100, 0.05, 42.0);
+        assert!((e42 / e1 - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn rejects_zero_population() {
+        let _ = serfling_half_width(1, 0, 0.05, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn factor_in_unit_range(m in 1u64..10_000, n in 1u64..10_000) {
+            let f = serfling_sampling_fraction_factor(m, n);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn half_width_monotone_decreasing_in_m(
+            n in 2u64..100_000,
+            delta in 0.001f64..0.5,
+        ) {
+            let mut prev = f64::INFINITY;
+            // Probe a geometric ladder of m values up to n.
+            let mut m = 1u64;
+            while m <= n {
+                let e = serfling_half_width(m, n, delta, 1.0);
+                prop_assert!(e <= prev + 1e-12);
+                prev = e;
+                m *= 2;
+            }
+        }
+
+        /// Empirical coverage for without-replacement draws from a fixed
+        /// finite population.
+        #[test]
+        fn empirical_coverage(seed in 0u64..30) {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            // Population: 0/1 values, 40% ones.
+            let n = 500usize;
+            let mut pop: Vec<f64> =
+                (0..n).map(|i| if i % 5 < 2 { 1.0 } else { 0.0 }).collect();
+            let mu = pop.iter().sum::<f64>() / n as f64;
+            let m = 300u64;
+            let delta = 0.1;
+            let eps = serfling_half_width(m, n as u64, delta, 1.0);
+            let trials = 100;
+            let mut covered = 0;
+            for _ in 0..trials {
+                pop.shuffle(&mut rng);
+                let mean = pop[..m as usize].iter().sum::<f64>() / m as f64;
+                if (mean - mu).abs() <= eps {
+                    covered += 1;
+                }
+            }
+            prop_assert!(covered as f64 >= (1.0 - 2.0 * delta) * trials as f64);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! SUM and COUNT with ordering guarantees (§6.3.1–§6.3.2).
+//!
+//! Ranking product lines by *total revenue* (SUM) gives a different — and
+//! differently hard — ordering than ranking by average sale: a bargain
+//! line with huge volume can out-total a luxury line. This example runs
+//! Algorithm 4 (known group sizes), Algorithm 5 (unknown sizes, using
+//! paired size estimates), and the COUNT variant.
+//!
+//! ```text
+//! cargo run --release --example sum_aggregates
+//! ```
+
+use rand::{Rng, SeedableRng};
+use rapidviz::core::extensions::{ifocus_count, IFocusSum1, IFocusSum2, VecSizedGroup};
+use rapidviz::core::viz::bar_chart;
+use rapidviz::core::{AlgoConfig, IFocus};
+use rapidviz::datagen::VecGroup;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    // (label, mean sale value, number of sales)
+    let spec: [(&str, f64, usize); 4] = [
+        ("bargain", 12.0, 400_000),
+        ("standard", 35.0, 120_000),
+        ("premium", 60.0, 40_000),
+        ("luxury", 95.0, 8_000),
+    ];
+    let mut groups: Vec<VecGroup> = spec
+        .iter()
+        .map(|&(label, mu, n)| {
+            let values: Vec<f64> = (0..n)
+                .map(|_| if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 })
+                .collect();
+            VecGroup::new(label, values)
+        })
+        .collect();
+
+    // Ordering by AVG: bargain < standard < premium < luxury.
+    let mut avg_groups = groups.clone();
+    let avg = IFocus::new(AlgoConfig::new(100.0, 0.05)).run(
+        &mut avg_groups,
+        &mut rand::rngs::StdRng::seed_from_u64(32),
+    );
+    println!("ordered by AVG(sale):");
+    let labels: Vec<&str> = avg.labels.iter().map(String::as_str).collect();
+    print!("{}", bar_chart(&labels, &avg.estimates, 40));
+
+    // Ordering by SUM (Algorithm 4, sizes known): volume flips the ranking.
+    let sum = IFocusSum1::new(AlgoConfig::new(100.0, 0.05)).run(
+        &mut groups,
+        &mut rand::rngs::StdRng::seed_from_u64(33),
+    );
+    println!("\nordered by SUM(sale) — Algorithm 4 (known group sizes):");
+    for i in sum.order_by_estimate().into_iter().rev() {
+        println!(
+            "  {:<10} ≈ {:>12.0}   ({} samples)",
+            sum.labels[i], sum.estimates[i], sum.samples_per_group[i]
+        );
+    }
+    assert_eq!(
+        sum.order_by_estimate().last(),
+        Some(&0),
+        "bargain should win on total"
+    );
+
+    // Algorithm 5: sizes unknown — the engine supplies (x, z) pairs.
+    let total: usize = spec.iter().map(|s| s.2).sum();
+    let mut sized: Vec<VecSizedGroup> = spec
+        .iter()
+        .map(|&(label, mu, n)| {
+            let values: Vec<f64> = (0..20_000)
+                .map(|_| if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 })
+                .collect();
+            VecSizedGroup::new(label, values, n as f64 / total as f64)
+        })
+        .collect();
+    let sum2 = IFocusSum2::new(AlgoConfig::new(100.0, 0.05).with_resolution(1.0)).run(
+        &mut sized,
+        &mut rand::rngs::StdRng::seed_from_u64(34),
+    );
+    println!("\nnormalized sums — Algorithm 5 (sizes estimated on the fly):");
+    for i in sum2.order_by_estimate().into_iter().rev() {
+        println!("  {:<10} ≈ {:>7.3}", sum2.labels[i], sum2.estimates[i]);
+    }
+
+    // COUNT: rank lines by sales volume alone.
+    let counts = ifocus_count(
+        &AlgoConfig::new(100.0, 0.05).with_resolution(0.02),
+        &mut sized,
+        &mut rand::rngs::StdRng::seed_from_u64(35),
+    );
+    println!("\nnormalized COUNTs:");
+    for i in counts.order_by_estimate().into_iter().rev() {
+        println!("  {:<10} ≈ {:>6.3}", counts.labels[i], counts.estimates[i]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Bridges between the storage layer and the algorithm layer.
+//!
+//! `rapidviz-core` is storage-agnostic (it samples through the
+//! [`GroupSource`] trait) and `rapidviz-needletail` knows nothing about the
+//! algorithms; [`NeedletailGroup`] connects them, turning an engine
+//! [`GroupHandle`] into a `GroupSource` the IFOCUS family can run on.
+
+use rand::RngCore;
+use rapidviz_core::{GroupSource, SamplingMode};
+use rapidviz_needletail::GroupHandle;
+
+/// A NEEDLETAIL group handle viewed as an algorithm group source.
+#[derive(Debug, Clone)]
+pub struct NeedletailGroup {
+    handle: GroupHandle,
+    true_mean: Option<f64>,
+}
+
+impl NeedletailGroup {
+    /// Wraps an engine handle. `true_mean()` will report `None`; use
+    /// [`NeedletailGroup::with_true_mean`] when evaluation needs the exact
+    /// answer.
+    #[must_use]
+    pub fn new(handle: GroupHandle) -> Self {
+        Self {
+            handle,
+            true_mean: None,
+        }
+    }
+
+    /// Wraps an engine handle and precomputes the exact group mean (one
+    /// full pass over the group — evaluation/testing use only).
+    #[must_use]
+    pub fn with_true_mean(handle: GroupHandle) -> Self {
+        let true_mean = handle.exact_mean();
+        Self { handle, true_mean }
+    }
+
+    /// The wrapped handle.
+    #[must_use]
+    pub fn handle(&self) -> &GroupHandle {
+        &self.handle
+    }
+}
+
+impl GroupSource for NeedletailGroup {
+    fn label(&self) -> String {
+        self.handle.label().to_string()
+    }
+
+    fn len(&self) -> u64 {
+        self.handle.len()
+    }
+
+    fn sample(&mut self, rng: &mut dyn RngCore, mode: SamplingMode) -> Option<f64> {
+        match mode {
+            SamplingMode::WithReplacement => self.handle.sample_with_replacement(rng),
+            SamplingMode::WithoutReplacement => self.handle.sample_without_replacement(rng),
+        }
+    }
+
+    fn true_mean(&self) -> Option<f64> {
+        self.true_mean
+    }
+
+    fn reset(&mut self) {
+        self.handle.reset_permutation();
+    }
+}
+
+/// Builds [`NeedletailGroup`]s (with exact means precomputed) for every
+/// group of a `GROUP BY group_col` / `AVG(agg_col)` query over `engine`,
+/// restricted to rows satisfying `predicate`.
+///
+/// # Errors
+///
+/// Propagates engine errors (missing columns, unindexed group column).
+pub fn query_groups(
+    engine: &rapidviz_needletail::NeedleTail,
+    group_col: &str,
+    agg_col: &str,
+    predicate: &rapidviz_needletail::Predicate,
+) -> Result<Vec<NeedletailGroup>, rapidviz_needletail::EngineError> {
+    Ok(engine
+        .group_handles(group_col, agg_col, predicate)?
+        .into_iter()
+        .map(NeedletailGroup::with_true_mean)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rapidviz_needletail::{
+        ColumnDef, DataType, NeedleTail, Predicate, Schema, TableBuilder,
+    };
+
+    fn engine() -> NeedleTail {
+        let mut b = TableBuilder::new(Schema::new(vec![
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("delay", DataType::Float),
+        ]));
+        for (n, d) in [("AA", 30.0), ("JB", 10.0), ("AA", 50.0), ("JB", 20.0)] {
+            b.push_row(vec![n.into(), d.into()]);
+        }
+        NeedleTail::new(b.finish(), &["name"]).unwrap()
+    }
+
+    #[test]
+    fn adapter_exposes_group_semantics() {
+        let engine = engine();
+        let mut groups = query_groups(&engine, "name", "delay", &Predicate::True).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].label(), "AA");
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[0].true_mean(), Some(40.0));
+        assert_eq!(groups[1].true_mean(), Some(15.0));
+        // Without replacement exhausts and resets.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = groups[0]
+            .sample(&mut rng, SamplingMode::WithoutReplacement)
+            .unwrap();
+        let b = groups[0]
+            .sample(&mut rng, SamplingMode::WithoutReplacement)
+            .unwrap();
+        assert!((a + b - 80.0).abs() < 1e-12);
+        assert!(groups[0]
+            .sample(&mut rng, SamplingMode::WithoutReplacement)
+            .is_none());
+        groups[0].reset();
+        assert!(groups[0]
+            .sample(&mut rng, SamplingMode::WithoutReplacement)
+            .is_some());
+    }
+
+    #[test]
+    fn plain_constructor_hides_true_mean() {
+        let engine = engine();
+        let handles = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        let g = NeedletailGroup::new(handles.into_iter().next().unwrap());
+        assert_eq!(g.true_mean(), None);
+        assert_eq!(g.handle().len(), 2);
+    }
+}

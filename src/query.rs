@@ -1,0 +1,339 @@
+//! A fluent query API over the engine — the "five lines to an ordered bar
+//! chart" path for downstream users.
+//!
+//! ```
+//! use rapidviz::needletail::{read_csv, CsvOptions, NeedleTail};
+//! use rapidviz::VizQuery;
+//! use rand::SeedableRng;
+//!
+//! let csv = "airline,delay\nAA,30\nAA,40\nJB,10\nJB,20\nUA,80\nUA,90\n";
+//! let table = read_csv(csv, &CsvOptions::default()).unwrap();
+//! let engine = NeedleTail::new(table, &["airline"]).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!
+//! let answer = VizQuery::new(&engine)
+//!     .group_by("airline")
+//!     .avg("delay")
+//!     .delta(0.05)
+//!     .execute(&mut rng)
+//!     .unwrap();
+//!
+//! assert_eq!(answer.ranked_labels(), vec!["JB", "AA", "UA"]);
+//! ```
+
+use crate::adapter::NeedletailGroup;
+use rand::RngCore;
+use rapidviz_core::extensions::IFocusSum1;
+use rapidviz_core::{viz, AlgoConfig, GroupSource, IFocus, RunResult};
+use rapidviz_needletail::{EngineError, NeedleTail, Predicate};
+
+/// Which aggregate the query computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Aggregate {
+    /// `AVG(measure)` — Problem 1 / Algorithm 1.
+    #[default]
+    Avg,
+    /// `SUM(measure)` with known group sizes — Algorithm 4.
+    Sum,
+}
+
+/// Builder for an ordering-guaranteed visualization query.
+#[derive(Debug, Clone)]
+pub struct VizQuery<'a> {
+    engine: &'a NeedleTail,
+    group_by: Vec<String>,
+    measure: Option<String>,
+    aggregate: Aggregate,
+    predicate: Predicate,
+    delta: f64,
+    resolution_fraction: Option<f64>,
+    bound: Option<f64>,
+}
+
+impl<'a> VizQuery<'a> {
+    /// Starts a query against an engine.
+    #[must_use]
+    pub fn new(engine: &'a NeedleTail) -> Self {
+        Self {
+            engine,
+            group_by: Vec::new(),
+            measure: None,
+            aggregate: Aggregate::Avg,
+            predicate: Predicate::True,
+            delta: 0.05,
+            resolution_fraction: None,
+            bound: None,
+        }
+    }
+
+    /// Adds a group-by attribute (call twice for a two-attribute group-by,
+    /// §6.3.4).
+    #[must_use]
+    pub fn group_by(mut self, column: impl Into<String>) -> Self {
+        self.group_by.push(column.into());
+        self
+    }
+
+    /// Sets the measure to `AVG(column)`.
+    #[must_use]
+    pub fn avg(mut self, column: impl Into<String>) -> Self {
+        self.measure = Some(column.into());
+        self.aggregate = Aggregate::Avg;
+        self
+    }
+
+    /// Sets the measure to `SUM(column)` (group sizes come from the index).
+    #[must_use]
+    pub fn sum(mut self, column: impl Into<String>) -> Self {
+        self.measure = Some(column.into());
+        self.aggregate = Aggregate::Sum;
+        self
+    }
+
+    /// Restricts rows with a predicate (§6.3.3).
+    #[must_use]
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    /// Sets the failure probability `δ` (default 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `δ ∉ (0, 1)`.
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0, 1)");
+        self.delta = delta;
+        self
+    }
+
+    /// Enables the resolution relaxation at `percent`% of the value range
+    /// (Problem 2; the paper's experiments use 1%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent <= 0`.
+    #[must_use]
+    pub fn resolution_pct(mut self, percent: f64) -> Self {
+        assert!(percent > 0.0, "resolution must be positive");
+        self.resolution_fraction = Some(percent / 100.0);
+        self
+    }
+
+    /// Overrides the value bound `c`. Without this, the engine infers it
+    /// from the measure column's observed maximum (padded 10%) — fine for
+    /// exploration; supply a domain bound for the strict guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    #[must_use]
+    pub fn bound(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "bound must be positive");
+        self.bound = Some(c);
+        self
+    }
+
+    /// Plans and runs the query.
+    ///
+    /// # Errors
+    ///
+    /// Returns engine errors for missing/unindexed/non-numeric columns, or
+    /// a synthesized error when the builder is incomplete.
+    pub fn execute(&self, rng: &mut dyn RngCore) -> Result<QueryAnswer, EngineError> {
+        let measure = self
+            .measure
+            .as_ref()
+            .ok_or_else(|| EngineError::NoSuchColumn("<no measure set>".into()))?;
+        if self.group_by.is_empty() {
+            return Err(EngineError::NoSuchColumn("<no group-by set>".into()));
+        }
+        let handles = if self.group_by.len() == 1 {
+            self.engine
+                .group_handles(&self.group_by[0], measure, &self.predicate)?
+        } else {
+            let cols: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
+            self.engine
+                .group_handles_multi(&cols, measure, &self.predicate)?
+        };
+        let mut groups: Vec<NeedletailGroup> =
+            handles.into_iter().map(NeedletailGroup::new).collect();
+
+        let c = match self.bound {
+            Some(c) => c,
+            None => self.infer_bound(measure)?,
+        };
+        let mut config = AlgoConfig::new(c, self.delta);
+        if let Some(frac) = self.resolution_fraction {
+            config = config.with_resolution(c * frac);
+        }
+        let result = match self.aggregate {
+            Aggregate::Avg => IFocus::new(config).run(&mut groups, rng),
+            Aggregate::Sum => IFocusSum1::new(config).run(&mut groups, rng),
+        };
+        let population = groups.iter().map(GroupSource::len).sum();
+        Ok(QueryAnswer { result, population })
+    }
+
+    /// Infers `c` from the measure column (observed max, padded 10%).
+    fn infer_bound(&self, measure: &str) -> Result<f64, EngineError> {
+        let table = self.engine.table();
+        let idx = table
+            .schema()
+            .column_index(measure)
+            .ok_or_else(|| EngineError::NoSuchColumn(measure.to_owned()))?;
+        let mut max = 0.0f64;
+        for row in 0..table.row_count() {
+            max = max.max(table.float_value(row, idx));
+        }
+        Ok((max * 1.1).max(1.0))
+    }
+}
+
+/// A completed query: the run result plus display helpers.
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The underlying algorithm result.
+    pub result: RunResult,
+    /// Total rows eligible across groups.
+    pub population: u64,
+}
+
+impl QueryAnswer {
+    /// Group labels sorted by ascending estimate.
+    #[must_use]
+    pub fn ranked_labels(&self) -> Vec<&str> {
+        self.result.ranked().into_iter().map(|(l, _)| l).collect()
+    }
+
+    /// Fraction of eligible rows sampled.
+    #[must_use]
+    pub fn fraction_sampled(&self) -> f64 {
+        self.result.fraction_sampled(self.population)
+    }
+
+    /// Renders the answer as a bar chart (ascending), `width` chars wide.
+    #[must_use]
+    pub fn to_bar_chart(&self, width: usize) -> String {
+        let ranked = self.result.ranked();
+        let labels: Vec<&str> = ranked.iter().map(|(l, _)| *l).collect();
+        let values: Vec<f64> = ranked.iter().map(|(_, v)| *v).collect();
+        viz::bar_chart(&labels, &values, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rapidviz_needletail::{ColumnDef, DataType, Schema, TableBuilder, Value};
+
+    fn engine() -> NeedleTail {
+        let mut b = TableBuilder::new(Schema::new(vec![
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("origin", DataType::Str),
+            ColumnDef::new("delay", DataType::Float),
+        ]));
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..30_000 {
+            let (name, mu) = [("AA", 60.0), ("JB", 20.0), ("UA", 85.0)]
+                [rng.gen_range(0..3)];
+            let origin = ["BOS", "SFO"][rng.gen_range(0..2)];
+            let delay = if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 };
+            b.push_row(vec![name.into(), origin.into(), Value::Float(delay)]);
+        }
+        NeedleTail::new(b.finish(), &["name"]).unwrap()
+    }
+
+    #[test]
+    fn avg_query_end_to_end() {
+        let engine = engine();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let answer = VizQuery::new(&engine)
+            .group_by("name")
+            .avg("delay")
+            .bound(100.0)
+            .resolution_pct(1.0)
+            .execute(&mut rng)
+            .unwrap();
+        assert_eq!(answer.ranked_labels(), vec!["JB", "AA", "UA"]);
+        assert!(answer.fraction_sampled() < 1.0);
+        let chart = answer.to_bar_chart(20);
+        assert_eq!(chart.lines().count(), 3);
+    }
+
+    #[test]
+    fn filtered_query() {
+        let engine = engine();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let answer = VizQuery::new(&engine)
+            .group_by("name")
+            .avg("delay")
+            .bound(100.0)
+            .filter(Predicate::eq("origin", "BOS"))
+            .execute(&mut rng)
+            .unwrap();
+        assert_eq!(answer.ranked_labels(), vec!["JB", "AA", "UA"]);
+    }
+
+    #[test]
+    fn multi_group_by_query() {
+        let engine = engine();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let answer = VizQuery::new(&engine)
+            .group_by("name")
+            .group_by("origin")
+            .avg("delay")
+            .bound(100.0)
+            .resolution_pct(2.0)
+            .execute(&mut rng)
+            .unwrap();
+        assert_eq!(answer.result.labels.len(), 6, "3 airlines x 2 origins");
+        assert!(answer.result.labels.iter().any(|l| l == "AA|BOS"));
+    }
+
+    #[test]
+    fn sum_query_orders_by_total() {
+        let engine = engine();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let answer = VizQuery::new(&engine)
+            .group_by("name")
+            .sum("delay")
+            .bound(100.0)
+            .execute(&mut rng)
+            .unwrap();
+        // Roughly equal sizes: SUM order mirrors AVG order here.
+        assert_eq!(answer.ranked_labels().last(), Some(&"UA"));
+    }
+
+    #[test]
+    fn inferred_bound_still_correct() {
+        let engine = engine();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let answer = VizQuery::new(&engine)
+            .group_by("name")
+            .avg("delay")
+            .execute(&mut rng)
+            .unwrap();
+        assert_eq!(answer.ranked_labels(), vec!["JB", "AA", "UA"]);
+    }
+
+    #[test]
+    fn builder_errors() {
+        let engine = engine();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        assert!(VizQuery::new(&engine).avg("delay").execute(&mut rng).is_err());
+        assert!(VizQuery::new(&engine)
+            .group_by("name")
+            .execute(&mut rng)
+            .is_err());
+        assert!(VizQuery::new(&engine)
+            .group_by("nope")
+            .avg("delay")
+            .execute(&mut rng)
+            .is_err());
+    }
+}

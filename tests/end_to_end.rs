@@ -1,0 +1,178 @@
+//! End-to-end pipelines: datagen → NEEDLETAIL engine → sampling algorithms,
+//! validated against the SCAN ground truth.
+
+use rand::SeedableRng;
+use rapidviz::core::{
+    is_correctly_ordered, is_correctly_ordered_with_resolution, AlgoConfig, GroupSource, IFocus,
+    IRefine, RoundRobin,
+};
+use rapidviz::datagen::{DatasetSpec, FlightModel, WorkloadFamily};
+use rapidviz::needletail::{NeedleTail, Predicate};
+use rapidviz::query_groups;
+
+fn engine_from_spec(spec: &DatasetSpec, seed: u64) -> NeedleTail {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let table = spec.to_table(&mut rng);
+    NeedleTail::new(table, &["g"]).expect("engine builds")
+}
+
+#[test]
+fn ifocus_on_engine_matches_scan_ordering() {
+    let spec = DatasetSpec::generate(WorkloadFamily::Bernoulli, 6, 120_000, 17);
+    let engine = engine_from_spec(&spec, 18);
+    let mut groups = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
+    let truths: Vec<f64> = groups.iter().map(|g| g.true_mean().unwrap()).collect();
+
+    // Ground truth via the engine's scan path.
+    let scan = engine.scan("g", "y", &Predicate::True).unwrap();
+    for (g, s) in groups.iter().zip(&scan) {
+        assert_eq!(g.label(), s.group.to_string());
+        assert!((g.true_mean().unwrap() - s.mean().unwrap()).abs() < 1e-9);
+    }
+
+    let algo = IFocus::new(AlgoConfig::new(100.0, 0.05));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+    let result = algo.run(&mut groups, &mut rng);
+    assert!(is_correctly_ordered(&result.estimates, &truths));
+    assert!(
+        result.total_samples() < spec.total_records(),
+        "must not read everything"
+    );
+}
+
+#[test]
+fn all_three_algorithms_agree_with_ground_truth_on_engine() {
+    let spec = DatasetSpec::generate(WorkloadFamily::TruncNorm, 5, 100_000, 23);
+    let engine = engine_from_spec(&spec, 24);
+    let truths: Vec<f64> = query_groups(&engine, "g", "y", &Predicate::True)
+        .unwrap()
+        .iter()
+        .map(|g| g.true_mean().unwrap())
+        .collect();
+
+    let config = AlgoConfig::new(100.0, 0.05).with_resolution(0.5);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(25);
+
+    let mut g1 = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
+    let r1 = IFocus::new(config.clone()).run(&mut g1, &mut rng);
+    assert!(is_correctly_ordered_with_resolution(&r1.estimates, &truths, 0.5));
+
+    let mut g2 = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
+    let r2 = IRefine::new(config.clone()).run(&mut g2, &mut rng);
+    assert!(is_correctly_ordered_with_resolution(&r2.estimates, &truths, 0.5));
+
+    let mut g3 = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
+    let r3 = RoundRobin::new(config).run(&mut g3, &mut rng);
+    assert!(is_correctly_ordered_with_resolution(&r3.estimates, &truths, 0.5));
+}
+
+#[test]
+fn selection_predicate_pipeline() {
+    // §6.3.3: the WHERE clause changes the eligible rows and therefore the
+    // true means; the guarantee must hold for the filtered query.
+    let model = FlightModel::new(31);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+    let table = model.to_table(150_000, &mut rng);
+    let engine = NeedleTail::new(table, &["name"]).unwrap();
+    let pred = Predicate::ge("dep_delay", 20.0);
+
+    let mut groups = query_groups(&engine, "name", "arr_delay", &pred).unwrap();
+    let truths: Vec<f64> = groups.iter().map(|g| g.true_mean().unwrap()).collect();
+    // Filtered group sizes must match a row-level count (scan returns
+    // groups in first-appearance order, the index in sorted order — compare
+    // by label).
+    let scan = engine.scan("name", "arr_delay", &pred).unwrap();
+    for g in &groups {
+        let scan_count = scan
+            .iter()
+            .find(|a| a.group.to_string() == g.label())
+            .map(|a| a.count)
+            .unwrap_or(0);
+        assert_eq!(g.len(), scan_count, "size mismatch for {}", g.label());
+    }
+
+    let algo = IFocus::new(AlgoConfig::new(1440.0, 0.05).with_resolution(14.4));
+    let mut run_rng = rand::rngs::StdRng::seed_from_u64(33);
+    let result = algo.run(&mut groups, &mut run_rng);
+    assert!(is_correctly_ordered_with_resolution(
+        &result.estimates,
+        &truths,
+        14.4
+    ));
+}
+
+#[test]
+fn multi_group_by_cross_product() {
+    // §6.3.4: GROUP BY name, bucket expressed as one group per cross-product
+    // cell, built from indexes on both attributes.
+    use rapidviz::needletail::{ColumnDef, DataType, Schema, TableBuilder, Value};
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("name", DataType::Str),
+        ColumnDef::new("bucket", DataType::Int),
+        ColumnDef::new("y", DataType::Float),
+    ]));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    use rand::Rng;
+    for _ in 0..60_000 {
+        let name = ["A", "B"][rng.gen_range(0..2)];
+        let bucket = rng.gen_range(0..3i64);
+        // Mean depends on the cell: clearly separated cells.
+        let mu = match (name, bucket) {
+            ("A", 0) => 10.0,
+            ("A", 1) => 30.0,
+            ("A", 2) => 50.0,
+            ("B", 0) => 65.0,
+            ("B", 1) => 80.0,
+            _ => 92.0,
+        };
+        let v = if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 };
+        b.push_row(vec![name.into(), Value::Int(bucket), Value::Float(v)]);
+    }
+    let engine = NeedleTail::new(b.finish(), &["name", "bucket"]).unwrap();
+
+    // One handle per (name, bucket) cell via predicates on the other column.
+    let mut groups = Vec::new();
+    for bucket in 0..3i64 {
+        let pred = Predicate::eq("bucket", Value::Int(bucket));
+        let cells = query_groups(&engine, "name", "y", &pred).unwrap();
+        groups.extend(cells);
+    }
+    assert_eq!(groups.len(), 6, "2 names x 3 buckets");
+    let truths: Vec<f64> = groups.iter().map(|g| g.true_mean().unwrap()).collect();
+
+    let algo = IFocus::new(AlgoConfig::new(100.0, 0.05));
+    let mut run_rng = rand::rngs::StdRng::seed_from_u64(42);
+    let result = algo.run(&mut groups, &mut run_rng);
+    assert!(is_correctly_ordered(&result.estimates, &truths));
+}
+
+#[test]
+fn skewed_dataset_pipeline() {
+    let spec = DatasetSpec::generate_skewed(WorkloadFamily::Bernoulli, 5, 200_000, 0.8, 51);
+    let engine = engine_from_spec(&spec, 52);
+    let mut groups = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
+    // First group really is dominant.
+    assert!(groups[0].len() > 150_000);
+    let truths: Vec<f64> = groups.iter().map(|g| g.true_mean().unwrap()).collect();
+    let algo = IFocus::new(AlgoConfig::new(100.0, 0.05));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+    let result = algo.run(&mut groups, &mut rng);
+    assert!(is_correctly_ordered(&result.estimates, &truths));
+}
+
+#[test]
+fn metrics_account_for_algorithm_samples() {
+    let spec = DatasetSpec::generate(WorkloadFamily::Bernoulli, 4, 80_000, 61);
+    let engine = engine_from_spec(&spec, 62);
+    engine.metrics().reset();
+    let mut groups = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
+    let algo = IFocus::new(AlgoConfig::new(100.0, 0.05));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(63);
+    let result = algo.run(&mut groups, &mut rng);
+    let snap = engine.metrics().snapshot();
+    assert_eq!(
+        snap.random_samples,
+        result.total_samples(),
+        "engine-side sample accounting must equal the algorithm's"
+    );
+}
