@@ -74,7 +74,11 @@ fn bench_algebra(c: &mut Criterion) {
         bch.iter(|| black_box(a.and(&b_)));
     });
     let ra = Bitmap::Rle(RleBitmap::from_dense(&clustered_bitmap(len, 0, len / 5)));
-    let rb = Bitmap::Rle(RleBitmap::from_dense(&clustered_bitmap(len, len / 10, len / 5)));
+    let rb = Bitmap::Rle(RleBitmap::from_dense(&clustered_bitmap(
+        len,
+        len / 10,
+        len / 5,
+    )));
     group.bench_function("rle_and_clustered", |bch| {
         bch.iter(|| black_box(ra.and(&rb)));
     });

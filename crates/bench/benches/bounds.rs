@@ -3,8 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rapidviz_stats::{
-    hoeffding_half_width, serfling_half_width, EpsilonSchedule, Interval, IntervalSet,
-    SamplingMode,
+    hoeffding_half_width, serfling_half_width, EpsilonSchedule, Interval, IntervalSet, SamplingMode,
 };
 
 fn bench_widths(c: &mut Criterion) {
@@ -31,14 +30,8 @@ fn bench_widths(c: &mut Criterion) {
             black_box(schedule.half_width(m, 10_000_000))
         });
     });
-    let with_repl = EpsilonSchedule::with_options(
-        100.0,
-        0.05,
-        10,
-        1.0,
-        SamplingMode::WithReplacement,
-        1.0,
-    );
+    let with_repl =
+        EpsilonSchedule::with_options(100.0, 0.05, 10, 1.0, SamplingMode::WithReplacement, 1.0);
     group.bench_function("anytime_schedule_with_replacement", |b| {
         let mut m = 1u64;
         b.iter(|| {

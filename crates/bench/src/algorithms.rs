@@ -1,9 +1,7 @@
 //! The six algorithms of the §5 evaluation, behind one dispatcher.
 
 use rand::RngCore;
-use rapidviz_core::{
-    AlgoConfig, GroupSource, IFocus, IRefine, RoundRobin, RunResult,
-};
+use rapidviz_core::{AlgoConfig, GroupSource, IFocus, IRefine, RoundRobin, RunResult};
 
 /// The algorithm lineup of §5.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +55,7 @@ impl AlgorithmKind {
 
     /// Runs the algorithm: `base` carries `(c, δ, …)`; `r` is the minimum
     /// resolution applied to the `-R` variants only.
-    pub fn run<G: GroupSource>(
+    pub fn run<G: GroupSource + rapidviz_core::group::MaybeSend>(
         self,
         base: &AlgoConfig,
         r: f64,

@@ -89,12 +89,8 @@ fn run_six(
             let mut correct = 0u32;
             let mut truncated = 0u32;
             for rep in 0..reps {
-                let spec = DatasetSpec::generate(
-                    family,
-                    k,
-                    total_records,
-                    seed + u64::from(rep) * 1000,
-                );
+                let spec =
+                    DatasetSpec::generate(family, k, total_records, seed + u64::from(rep) * 1000);
                 let truths = spec.true_means();
                 let mut groups = spec.virtual_groups();
                 let mut rng = StdRng::seed_from_u64(seed ^ ((u64::from(rep) + 1) * 7919));
@@ -147,7 +143,13 @@ pub fn table1(opts: &ExpOptions) {
         .deactivation_rounds()
         .iter()
         .enumerate()
-        .map(|(i, r)| format!("g{}@{}", i + 1, r.map_or_else(|| "-".into(), |v| v.to_string())))
+        .map(|(i, r)| {
+            format!(
+                "g{}@{}",
+                i + 1,
+                r.map_or_else(|| "-".into(), |v| v.to_string())
+            )
+        })
         .collect();
     println!("deactivation rounds: {}", deact.join(" "));
     println!(
@@ -159,7 +161,10 @@ pub fn table1(opts: &ExpOptions) {
 
 /// Figure 3a — % of dataset sampled vs dataset size (mixture, k = 10).
 pub fn fig3a(opts: &ExpOptions) {
-    header("fig3a", "% sampled vs dataset size (mixture, k=10, δ=0.05, r=1)");
+    header(
+        "fig3a",
+        "% sampled vs dataset size (mixture, k=10, δ=0.05, r=1)",
+    );
     let sizes: &[u64] = if opts.quick {
         &[10_000_000, 100_000_000]
     } else {
@@ -171,7 +176,15 @@ pub fn fig3a(opts: &ExpOptions) {
         "size", "ifocus", "ifocusr", "irefine", "irefiner", "roundrobin", "roundrobinr"
     );
     for &size in sizes {
-        let stats = run_six(WorkloadFamily::Mixture, 10, size, 0.05, 1.0, reps, opts.seed);
+        let stats = run_six(
+            WorkloadFamily::Mixture,
+            10,
+            size,
+            0.05,
+            1.0,
+            reps,
+            opts.seed,
+        );
         print!("{:<14}", count(size));
         for s in &stats {
             print!(" {:>12}", pct(s.fraction_sampled));
@@ -201,7 +214,15 @@ pub fn fig3b(opts: &ExpOptions) {
         "size", "algorithm", "samples", "total time"
     );
     for &size in sizes {
-        let stats = run_six(WorkloadFamily::Mixture, 10, size, 0.05, 1.0, reps, opts.seed);
+        let stats = run_six(
+            WorkloadFamily::Mixture,
+            10,
+            size,
+            0.05,
+            1.0,
+            reps,
+            opts.seed,
+        );
         for s in &stats {
             let cost = model.sampling_cost(s.total_samples as u64);
             println!(
@@ -227,7 +248,15 @@ pub fn fig3c(opts: &ExpOptions) {
         "δ", "ifocus", "ifocusr", "irefine", "irefiner", "roundrobin", "roundrobinr"
     );
     for &delta in &deltas {
-        let stats = run_six(WorkloadFamily::Mixture, 10, size, delta, 1.0, reps, opts.seed);
+        let stats = run_six(
+            WorkloadFamily::Mixture,
+            10,
+            size,
+            delta,
+            1.0,
+            reps,
+            opts.seed,
+        );
         print!("{delta:<8}");
         for s in &stats {
             print!(" {:>12}", pct(s.fraction_sampled));
@@ -241,7 +270,10 @@ pub fn fig3c(opts: &ExpOptions) {
 
 /// Figure 4 — total / I/O / CPU time vs dataset size, including SCAN.
 pub fn fig4(opts: &ExpOptions) {
-    header("fig4", "total/IO/CPU time vs dataset size (cost model, incl. SCAN)");
+    header(
+        "fig4",
+        "total/IO/CPU time vs dataset size (cost model, incl. SCAN)",
+    );
     let model = DiskModel::paper_default();
     let sizes: &[u64] = if opts.quick {
         &[10_000_000, 100_000_000]
@@ -255,7 +287,15 @@ pub fn fig4(opts: &ExpOptions) {
         "size", "algorithm", "total", "io", "cpu"
     );
     for &size in sizes {
-        let stats = run_six(WorkloadFamily::Mixture, 10, size, 0.05, 1.0, reps, opts.seed);
+        let stats = run_six(
+            WorkloadFamily::Mixture,
+            10,
+            size,
+            0.05,
+            1.0,
+            reps,
+            opts.seed,
+        );
         for s in &stats {
             let cost = model.sampling_cost(s.total_samples as u64);
             println!(
@@ -283,7 +323,10 @@ pub fn fig4(opts: &ExpOptions) {
 
 /// Figure 5a — accuracy vs heuristic factor (powers of two).
 pub fn fig5a(opts: &ExpOptions) {
-    header("fig5a", "accuracy vs heuristic factor 2^0..2^6 (mixture, ifocusr)");
+    header(
+        "fig5a",
+        "accuracy vs heuristic factor 2^0..2^6 (mixture, ifocusr)",
+    );
     let size = if opts.quick { 200_000 } else { 10_000_000 };
     let reps = opts.scaled_reps(40);
     let factors = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
@@ -531,7 +574,10 @@ pub fn fig6c(opts: &ExpOptions) {
 
 /// Figure 7a — % sampled vs proportion of the dataset in the first group.
 pub fn fig7a(opts: &ExpOptions) {
-    header("fig7a", "% sampled vs first-group proportion (mixture, k=10)");
+    header(
+        "fig7a",
+        "% sampled vs first-group proportion (mixture, k=10)",
+    );
     let total: u64 = if opts.quick { 200_000 } else { 1_000_000 };
     let reps = opts.scaled_reps(3);
     let proportions = [0.1, 0.3, 0.5, 0.7, 0.9];
@@ -617,12 +663,8 @@ pub fn fig7c(opts: &ExpOptions) {
     for &std in &stds {
         let diffs: Vec<f64> = (0u64..datasets)
             .map(|i| {
-                let spec = DatasetSpec::generate_truncnorm_fixed_std(
-                    10,
-                    10_000,
-                    std,
-                    opts.seed + i * 31,
-                );
+                let spec =
+                    DatasetSpec::generate_truncnorm_fixed_std(10, 10_000, std, opts.seed + i * 31);
                 difficulty(&spec.true_means(), 100.0)
             })
             .collect();
@@ -699,9 +741,7 @@ pub fn table3(opts: &ExpOptions) {
 /// Extensions ablation (beyond the paper's figures): the §6 variants'
 /// sample costs on one common workload, as fractions of full IFOCUS.
 pub fn extensions(opts: &ExpOptions) {
-    use rapidviz_core::extensions::{
-        IFocusBernstein, IFocusMistakes, IFocusTopT, IFocusTrends,
-    };
+    use rapidviz_core::extensions::{IFocusBernstein, IFocusMistakes, IFocusTopT, IFocusTrends};
     header(
         "extensions",
         "§6 variants vs full IFOCUS (truncnorm, k=12, shared dataset)",
@@ -729,9 +769,11 @@ pub fn extensions(opts: &ExpOptions) {
 
         let mut g = base_groups.clone();
         let mut rng = StdRng::seed_from_u64(run_seed);
-        rows[0]
-            .1
-            .push(IFocus::new(config.clone()).run(&mut g, &mut rng).total_samples() as f64);
+        rows[0].1.push(
+            IFocus::new(config.clone())
+                .run(&mut g, &mut rng)
+                .total_samples() as f64,
+        );
 
         let mut g = base_groups.clone();
         let mut rng = StdRng::seed_from_u64(run_seed);
@@ -766,10 +808,7 @@ pub fn extensions(opts: &ExpOptions) {
         );
     }
     let full_cost = mean(&rows[0].1);
-    println!(
-        "{:<20} {:>14} {:>14}",
-        "variant", "avg samples", "vs full"
-    );
+    println!("{:<20} {:>14} {:>14}", "variant", "avg samples", "vs full");
     for (name, costs) in &rows {
         let avg = mean(costs);
         println!(

@@ -122,13 +122,12 @@ impl IFocusBernstein {
     }
 }
 
-
 impl crate::runner::OrderingAlgorithm for IFocusBernstein {
     fn name(&self) -> String {
         "ifocus-bernstein".to_owned()
     }
 
-    fn execute<G: crate::group::GroupSource>(
+    fn execute<G: crate::group::GroupSource + crate::group::MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn rand::RngCore,

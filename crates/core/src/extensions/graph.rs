@@ -150,13 +150,12 @@ pub fn is_graph_correct(
     })
 }
 
-
 impl crate::runner::OrderingAlgorithm for IFocusGraph {
     fn name(&self) -> String {
         "ifocus-graph".to_owned()
     }
 
-    fn execute<G: crate::group::GroupSource>(
+    fn execute<G: crate::group::GroupSource + crate::group::MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn rand::RngCore,

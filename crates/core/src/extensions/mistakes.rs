@@ -51,8 +51,7 @@ impl IFocusMistakes {
             // its order relative to *every* other group is settled.) Only
             // active–active pairs remain uncertain.
             let active = state.active_count();
-            let certified =
-                total_pairs - (active * active.saturating_sub(1) / 2) as f64;
+            let certified = total_pairs - (active * active.saturating_sub(1) / 2) as f64;
             if certified / total_pairs >= 1.0 - self.gamma {
                 state.deactivate_all();
                 break;
@@ -78,13 +77,12 @@ impl IFocusMistakes {
     }
 }
 
-
 impl crate::runner::OrderingAlgorithm for IFocusMistakes {
     fn name(&self) -> String {
         "ifocus-mistakes".to_owned()
     }
 
-    fn execute<G: crate::group::GroupSource>(
+    fn execute<G: crate::group::GroupSource + crate::group::MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn rand::RngCore,

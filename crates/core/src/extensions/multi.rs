@@ -78,9 +78,7 @@ impl PairGroupSource for VecPairGroup {
     fn sample_pair(&mut self, rng: &mut dyn RngCore, mode: SamplingMode) -> Option<(f64, f64)> {
         use rand::Rng;
         match mode {
-            SamplingMode::WithReplacement => {
-                Some(self.pairs[rng.gen_range(0..self.pairs.len())])
-            }
+            SamplingMode::WithReplacement => Some(self.pairs[rng.gen_range(0..self.pairs.len())]),
             SamplingMode::WithoutReplacement => {
                 if self.drawn == self.pairs.len() {
                     return None;
@@ -177,7 +175,14 @@ impl IFocusMultiAggregate {
             }
         }
         loop {
-            Self::deactivate(&schedule, &y_est, &counts, &mut active, resolution_eps, n_max);
+            Self::deactivate(
+                &schedule,
+                &y_est,
+                &counts,
+                &mut active,
+                resolution_eps,
+                n_max,
+            );
             if !active.iter().any(|&a| a) {
                 break;
             }
@@ -207,7 +212,14 @@ impl IFocusMultiAggregate {
         let mut active = vec![true; k];
         let mut rounds2 = 0u64;
         loop {
-            Self::deactivate(&schedule, &z_est, &counts, &mut active, resolution_eps, n_max);
+            Self::deactivate(
+                &schedule,
+                &z_est,
+                &counts,
+                &mut active,
+                resolution_eps,
+                n_max,
+            );
             if !active.iter().any(|&a| a) {
                 break;
             }
@@ -314,10 +326,7 @@ mod tests {
         // Y ordering: g0 < g1 < g2; Z ordering: g2 < g0 < g1 (different!).
         let specs = [(20.0, 50.0), (50.0, 80.0), (80.0, 20.0)];
         let mut groups = pair_groups(&specs, 100_000, 130);
-        let (ty, tz): (Vec<f64>, Vec<f64>) = groups
-            .iter()
-            .map(|g| g.true_means().unwrap())
-            .unzip();
+        let (ty, tz): (Vec<f64>, Vec<f64>) = groups.iter().map(|g| g.true_means().unwrap()).unzip();
         let algo = IFocusMultiAggregate::new(AlgoConfig::new(100.0, 0.05));
         let mut rng = rand::rngs::StdRng::seed_from_u64(131);
         let result = algo.run(&mut groups, &mut rng);

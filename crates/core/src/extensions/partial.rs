@@ -82,11 +82,7 @@ impl IFocusPartial {
         state.finish()
     }
 
-    fn flush(
-        state: &FocusState,
-        emitted: &mut [bool],
-        emit: &mut impl FnMut(PartialEmission),
-    ) {
+    fn flush(state: &FocusState, emitted: &mut [bool], emit: &mut impl FnMut(PartialEmission)) {
         let total: u64 = state.samples.iter().sum();
         for i in 0..state.k() {
             if !state.active[i] && !emitted[i] {

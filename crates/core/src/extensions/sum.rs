@@ -100,10 +100,7 @@ impl IFocusSum1 {
                     .iter()
                     .map(|&i| {
                         let scale = sizes[i] as f64;
-                        Interval::centered(
-                            state.estimates[i].mean() * scale,
-                            eps_base * scale,
-                        )
+                        Interval::centered(state.estimates[i].mean() * scale, eps_base * scale)
                     })
                     .collect(),
             );
@@ -335,7 +332,13 @@ mod tests {
 
     fn two_point_values(mean: f64, n: usize, rng: &mut impl Rng) -> Vec<f64> {
         (0..n)
-            .map(|_| if rng.gen_bool(mean / 100.0) { 100.0 } else { 0.0 })
+            .map(|_| {
+                if rng.gen_bool(mean / 100.0) {
+                    100.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -389,11 +392,7 @@ mod tests {
         let mut run_rng = rand::rngs::StdRng::seed_from_u64(123);
         let result = algo.run(&mut groups, &mut run_rng);
         assert!(
-            crate::ordering::is_correctly_ordered_with_resolution(
-                &result.estimates,
-                &truths,
-                2.0
-            ),
+            crate::ordering::is_correctly_ordered_with_resolution(&result.estimates, &truths, 2.0),
             "estimates {:?} vs truths {truths:?}",
             result.estimates
         );

@@ -148,12 +148,8 @@ impl IFocusTopT {
                 .filter(|&j| {
                     j != i
                         && match self.direction {
-                            TopTDirection::Largest => {
-                                intervals[i].strictly_below(&intervals[j])
-                            }
-                            TopTDirection::Smallest => {
-                                intervals[j].strictly_below(&intervals[i])
-                            }
+                            TopTDirection::Largest => intervals[i].strictly_below(&intervals[j]),
+                            TopTDirection::Smallest => intervals[j].strictly_below(&intervals[i]),
                         }
                 })
                 .count();
@@ -192,13 +188,12 @@ impl IFocusTopT {
     }
 }
 
-
 impl crate::runner::OrderingAlgorithm for IFocusTopT {
     fn name(&self) -> String {
         "ifocus-topt".to_owned()
     }
 
-    fn execute<G: crate::group::GroupSource>(
+    fn execute<G: crate::group::GroupSource + crate::group::MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn rand::RngCore,

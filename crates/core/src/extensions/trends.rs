@@ -86,13 +86,12 @@ impl IFocusTrends {
     }
 }
 
-
 impl crate::runner::OrderingAlgorithm for IFocusTrends {
     fn name(&self) -> String {
         "ifocus-trends".to_owned()
     }
 
-    fn execute<G: crate::group::GroupSource>(
+    fn execute<G: crate::group::GroupSource + crate::group::MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn rand::RngCore,

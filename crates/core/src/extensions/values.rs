@@ -99,13 +99,12 @@ impl IFocusValues {
     }
 }
 
-
 impl crate::runner::OrderingAlgorithm for IFocusValues {
     fn name(&self) -> String {
         "ifocus-values".to_owned()
     }
 
-    fn execute<G: crate::group::GroupSource>(
+    fn execute<G: crate::group::GroupSource + crate::group::MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn rand::RngCore,

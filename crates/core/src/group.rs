@@ -8,6 +8,22 @@
 use rand::RngCore;
 use rapidviz_stats::SamplingMode;
 
+/// Marker bound that equals `Send` when the `parallel` feature is on and is
+/// satisfied by every type otherwise. The algorithms bound their group type
+/// on it so the parallel draw fan-out can move groups across threads
+/// without imposing `Send` on single-threaded builds.
+#[cfg(feature = "parallel")]
+pub trait MaybeSend: Send {}
+#[cfg(feature = "parallel")]
+impl<T: Send + ?Sized> MaybeSend for T {}
+
+/// Marker bound that equals `Send` when the `parallel` feature is on and is
+/// satisfied by every type otherwise.
+#[cfg(not(feature = "parallel"))]
+pub trait MaybeSend {}
+#[cfg(not(feature = "parallel"))]
+impl<T: ?Sized> MaybeSend for T {}
+
 /// A sampleable group `S_i` of bounded values.
 ///
 /// The `rng` parameter is `dyn` so implementations stay object-safe; rand's
@@ -33,6 +49,37 @@ pub trait GroupSource {
     /// * [`SamplingMode::WithoutReplacement`]: next element of a uniformly
     ///   random permutation; `None` once all `n_i` members are drawn.
     fn sample(&mut self, rng: &mut dyn RngCore, mode: SamplingMode) -> Option<f64>;
+
+    /// Draws up to `n` samples in one call, appending them to `out` in draw
+    /// order; returns the number appended (`< n` only when a
+    /// without-replacement source runs dry mid-batch).
+    ///
+    /// The default implementation loops [`Self::sample`], so every source
+    /// is batch-capable with unchanged semantics. Sources backed by
+    /// rank/select storage (e.g. the NEEDLETAIL adapter) override this to
+    /// resolve the whole batch through one sorted `select_many` sweep —
+    /// the hot-path optimization the per-round draw loops rely on.
+    /// Overrides **must** consume the RNG identically to `n` single draws
+    /// so that batch size never changes a fixed-seed run's output.
+    fn draw_batch(
+        &mut self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        mode: SamplingMode,
+        out: &mut Vec<f64>,
+    ) -> u64 {
+        let mut got = 0;
+        for _ in 0..n {
+            match self.sample(rng, mode) {
+                Some(x) => {
+                    out.push(x);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
 
     /// The true mean `µ_i`, when the source knows it (synthetic data,
     /// materialized groups). Only used for *evaluation* — algorithms must
@@ -186,6 +233,40 @@ mod tests {
         }
         let mean = sum / f64::from(n);
         assert!((mean - 5.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn draw_batch_default_matches_repeated_sample() {
+        for mode in [
+            SamplingMode::WithReplacement,
+            SamplingMode::WithoutReplacement,
+        ] {
+            let values: Vec<f64> = (0..40).map(f64::from).collect();
+            let mut g1 = VecGroup::new("g", values.clone());
+            let mut g2 = g1.clone();
+            let mut rng1 = rand::rngs::StdRng::seed_from_u64(7);
+            let mut rng2 = rand::rngs::StdRng::seed_from_u64(7);
+            let singles: Vec<f64> = (0..25).filter_map(|_| g1.sample(&mut rng1, mode)).collect();
+            let mut batched = Vec::new();
+            let got = g2.draw_batch(25, &mut rng2, mode, &mut batched);
+            assert_eq!(got, 25);
+            assert_eq!(batched, singles, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn draw_batch_truncates_at_exhaustion() {
+        let mut g = VecGroup::new("g", vec![1.0, 2.0, 3.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut out = Vec::new();
+        let got = g.draw_batch(10, &mut rng, SamplingMode::WithoutReplacement, &mut out);
+        assert_eq!(got, 3);
+        out.sort_by(f64::total_cmp);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            g.draw_batch(5, &mut rng, SamplingMode::WithoutReplacement, &mut out),
+            0
+        );
     }
 
     #[test]

@@ -73,12 +73,7 @@ impl History {
     pub fn incorrect_pairs_series(&self, truths: &[f64]) -> Vec<(u64, u64)> {
         self.points
             .iter()
-            .map(|p| {
-                (
-                    p.total_samples,
-                    count_incorrect_pairs(&p.estimates, truths),
-                )
-            })
+            .map(|p| (p.total_samples, count_incorrect_pairs(&p.estimates, truths)))
             .collect()
     }
 

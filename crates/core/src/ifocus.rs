@@ -20,7 +20,7 @@
 //! optimal up to the `log log` term by the Theorem 3.8 lower bound.
 
 use crate::config::AlgoConfig;
-use crate::group::GroupSource;
+use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
 use crate::runner::OrderingAlgorithm;
 use crate::state::FocusState;
@@ -65,7 +65,11 @@ impl IFocus {
     /// # Panics
     ///
     /// Panics if `groups` is empty.
-    pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+    pub fn run<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
         let mut state = FocusState::initialize(&self.config, groups, rng);
         // Round-1 bookkeeping: check separation immediately (a dataset can
         // already be resolved after one sample per group only when the
@@ -84,13 +88,13 @@ impl IFocus {
             }
             let batch = self.config.samples_per_round;
             state.m += batch;
-            for i in 0..state.k() {
-                if state.active[i] && !state.exhausted[i] {
-                    for _ in 0..batch {
-                        state.draw(i, &mut groups[i], rng);
-                    }
-                }
-            }
+            // One draw_batch call per active group (and, over threshold with
+            // the `parallel` feature, one thread fan-out per round) instead
+            // of `batch` single draws.
+            let active: Vec<usize> = (0..state.k())
+                .filter(|&i| state.active[i] && !state.exhausted[i])
+                .collect();
+            state.draw_round(&active, groups, rng, batch);
             if state.resolution_reached() || state.all_active_exhausted() {
                 state.deactivate_all();
             } else {
@@ -111,7 +115,11 @@ impl OrderingAlgorithm for IFocus {
         }
     }
 
-    fn execute<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+    fn execute<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
         self.run(groups, rng)
     }
 }
@@ -255,9 +263,8 @@ mod tests {
     fn with_replacement_mode_works() {
         let mut groups = two_point_groups(&[20.0, 80.0], 10_000, 9);
         let truths = true_means(&groups);
-        let algo = IFocus::new(
-            AlgoConfig::new(100.0, 0.05).with_mode(SamplingMode::WithReplacement),
-        );
+        let algo =
+            IFocus::new(AlgoConfig::new(100.0, 0.05).with_mode(SamplingMode::WithReplacement));
         let mut rng = rand::rngs::StdRng::seed_from_u64(10);
         let result = algo.run(&mut groups, &mut rng);
         assert!(is_correctly_ordered(&result.estimates, &truths));
@@ -309,9 +316,8 @@ mod tests {
     fn reactivation_allow_still_correct() {
         let mut groups = two_point_groups(&[20.0, 50.0, 80.0], 20_000, 17);
         let truths = true_means(&groups);
-        let algo = IFocus::new(
-            AlgoConfig::new(100.0, 0.05).with_reactivation(ReactivationPolicy::Allow),
-        );
+        let algo =
+            IFocus::new(AlgoConfig::new(100.0, 0.05).with_reactivation(ReactivationPolicy::Allow));
         let mut rng = rand::rngs::StdRng::seed_from_u64(18);
         let result = algo.run(&mut groups, &mut rng);
         assert!(is_correctly_ordered(&result.estimates, &truths));
@@ -355,6 +361,97 @@ mod tests {
             r64.total_samples(),
             r1.total_samples()
         );
+    }
+
+    /// The pre-batching IFOCUS round loop, verbatim: one `state.draw` call
+    /// per sample. Guards the acceptance criterion that the batched
+    /// pipeline is byte-identical for a fixed seed.
+    fn reference_ifocus(
+        config: &AlgoConfig,
+        groups: &mut [VecGroup],
+        rng: &mut rand::rngs::StdRng,
+    ) -> crate::result::RunResult {
+        let mut state = FocusState::initialize(config, groups, rng);
+        if state.resolution_reached() {
+            state.deactivate_all();
+        } else {
+            state.standard_deactivation();
+        }
+        state.record();
+        while state.any_active() {
+            if state.m >= config.max_rounds {
+                state.truncated = true;
+                break;
+            }
+            let batch = config.samples_per_round;
+            state.m += batch;
+            for i in 0..state.k() {
+                if state.active[i] && !state.exhausted[i] {
+                    for _ in 0..batch {
+                        state.draw(i, &mut groups[i], rng);
+                    }
+                }
+            }
+            if state.resolution_reached() || state.all_active_exhausted() {
+                state.deactivate_all();
+            } else {
+                state.standard_deactivation();
+            }
+            state.record();
+        }
+        state.finish()
+    }
+
+    #[test]
+    fn batched_pipeline_matches_single_draw_reference() {
+        // Byte-identical results vs the pre-batching per-draw loop, at batch
+        // size 1 AND at larger batches (draw_batch replays the same RNG
+        // stream). Skipped under the `parallel` feature, whose fan-out
+        // intentionally re-seeds per group.
+        if cfg!(feature = "parallel") {
+            return;
+        }
+        for batch in [1u64, 16] {
+            let mut g1 = two_point_groups(&[20.0, 45.0, 55.0, 80.0], 30_000, 90);
+            let mut g2 = g1.clone();
+            let config = AlgoConfig::new(100.0, 0.05).with_samples_per_round(batch);
+            let mut rng1 = rand::rngs::StdRng::seed_from_u64(91);
+            let mut rng2 = rand::rngs::StdRng::seed_from_u64(91);
+            let result = IFocus::new(config.clone()).run(&mut g1, &mut rng1);
+            let reference = reference_ifocus(&config, &mut g2, &mut rng2);
+            assert_eq!(result.estimates, reference.estimates, "batch {batch}");
+            assert_eq!(
+                result.samples_per_group, reference.samples_per_group,
+                "batch {batch}"
+            );
+            assert_eq!(result.rounds, reference.rounds, "batch {batch}");
+            assert_eq!(result.truncated, reference.truncated, "batch {batch}");
+        }
+    }
+
+    /// Under the parallel feature, a threshold-0 run must (a) produce a
+    /// correct ordering and (b) be bit-identical across repeated runs with
+    /// the same seed (thread scheduling must not leak into results).
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_rounds_deterministic_and_correct() {
+        let make = || two_point_groups(&[20.0, 45.0, 55.0, 80.0], 50_000, 95);
+        let truths = true_means(&make());
+        let config = AlgoConfig::new(100.0, 0.05)
+            .with_samples_per_round(32)
+            .with_parallel_threshold(1);
+        let run = |groups: &mut Vec<VecGroup>| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(96);
+            IFocus::new(config.clone()).run(groups, &mut rng)
+        };
+        let r1 = run(&mut make());
+        let r2 = run(&mut make());
+        assert_eq!(
+            r1.estimates, r2.estimates,
+            "parallel run must be deterministic"
+        );
+        assert_eq!(r1.samples_per_group, r2.samples_per_group);
+        assert!(is_correctly_ordered(&r1.estimates, &truths));
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //!   adversarial equal-mean inputs terminating.
 
 use crate::config::AlgoConfig;
-use crate::group::GroupSource;
+use crate::group::{GroupSource, MaybeSend};
 use crate::history::{History, HistoryPoint};
 use crate::result::RunResult;
 use crate::runner::OrderingAlgorithm;
@@ -64,7 +64,11 @@ impl IRefine {
     /// # Panics
     ///
     /// Panics if `groups` is empty.
-    pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+    pub fn run<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
         assert!(!groups.is_empty(), "need at least one group");
         let k = groups.len();
         let c = self.config.c;
@@ -84,6 +88,7 @@ impl IRefine {
         let resolution_eps = self.config.resolution_epsilon();
         let mut phase = 0u64;
         let mut truncated = false;
+        let mut batch_buf: Vec<f64> = Vec::new();
         // Each phase halves ε; ~60 phases reach f64 resolution. Anything
         // deeper means adversarial input; respect max_rounds too.
         let phase_cap = self.config.max_rounds.min(200);
@@ -128,16 +133,19 @@ impl IRefine {
                     target
                 };
                 let have = cumulative[i].0;
-                for _ in have..target {
-                    match groups[i].sample(rng, self.config.mode) {
-                        Some(x) => {
-                            cumulative[i].0 += 1;
-                            cumulative[i].1 += x;
-                        }
-                        None => break,
-                    }
+                // Top up to the phase target in one batched call: the
+                // engine-backed sources resolve the whole top-up through a
+                // single select_many sweep instead of `target - have`
+                // independent directory searches.
+                batch_buf.clear();
+                let got =
+                    groups[i].draw_batch(target - have, rng, self.config.mode, &mut batch_buf);
+                for &x in &batch_buf {
+                    cumulative[i].0 += 1;
+                    cumulative[i].1 += x;
                 }
-                samples[i] += cumulative[i].0 - have;
+                debug_assert_eq!(cumulative[i].0, have + got);
+                samples[i] += got;
                 if cumulative[i].0 > 0 {
                     estimates[i] = cumulative[i].1 / cumulative[i].0 as f64;
                 }
@@ -195,7 +203,11 @@ impl OrderingAlgorithm for IRefine {
         }
     }
 
-    fn execute<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+    fn execute<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
         self.run(groups, rng)
     }
 }

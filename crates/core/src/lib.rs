@@ -59,9 +59,9 @@ pub mod result;
 pub mod roundrobin;
 pub mod runner;
 pub mod scan;
+mod state;
 pub mod trace;
 pub mod viz;
-mod state;
 
 pub use config::{AlgoConfig, ReactivationPolicy};
 pub use group::GroupSource;

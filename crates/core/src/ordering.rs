@@ -41,9 +41,8 @@ pub fn is_correctly_ordered_with_resolution(estimates: &[f64], truths: &[f64], r
     assert!(r >= 0.0, "resolution must be non-negative");
     let k = truths.len();
     (0..k).all(|i| {
-        (i + 1..k).all(|j| {
-            (truths[i] - truths[j]).abs() <= r || pair_correct(estimates, truths, i, j)
-        })
+        (i + 1..k)
+            .all(|j| (truths[i] - truths[j]).abs() <= r || pair_correct(estimates, truths, i, j))
     })
 }
 

@@ -91,9 +91,6 @@ mod tests {
     fn ranking() {
         let r = result();
         assert_eq!(r.order_by_estimate(), vec![1, 0, 2]);
-        assert_eq!(
-            r.ranked(),
-            vec![("JB", 15.0), ("AA", 30.0), ("UA", 85.0)]
-        );
+        assert_eq!(r.ranked(), vec![("JB", 15.0), ("AA", 30.0), ("UA", 85.0)]);
     }
 }

@@ -12,7 +12,7 @@
 //! `Σ_i m_i` — the gap the paper's Figure 3a quantifies.
 
 use crate::config::AlgoConfig;
-use crate::group::GroupSource;
+use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
 use crate::runner::OrderingAlgorithm;
 use crate::state::FocusState;
@@ -42,7 +42,11 @@ impl RoundRobin {
     /// # Panics
     ///
     /// Panics if `groups` is empty.
-    pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+    pub fn run<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
         let mut state = FocusState::initialize(&self.config, groups, rng);
         if state.resolution_reached() {
             state.deactivate_all();
@@ -58,14 +62,11 @@ impl RoundRobin {
             }
             let batch = self.config.samples_per_round;
             state.m += batch;
-            // The defining difference from IFOCUS: sample *all* groups.
-            for i in 0..state.k() {
-                if !state.exhausted[i] {
-                    for _ in 0..batch {
-                        state.draw(i, &mut groups[i], rng);
-                    }
-                }
-            }
+            // The defining difference from IFOCUS: sample *all* groups —
+            // one draw_batch call each (threaded over threshold with the
+            // `parallel` feature).
+            let eligible: Vec<usize> = (0..state.k()).filter(|&i| !state.exhausted[i]).collect();
+            state.draw_round(&eligible, groups, rng, batch);
             if state.resolution_reached() || state.all_exhausted() {
                 state.deactivate_all();
             } else {
@@ -94,7 +95,11 @@ impl OrderingAlgorithm for RoundRobin {
         }
     }
 
-    fn execute<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+    fn execute<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
         self.run(groups, rng)
     }
 }

@@ -1,6 +1,6 @@
 //! The common algorithm interface.
 
-use crate::group::GroupSource;
+use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
 use rand::RngCore;
 
@@ -8,10 +8,18 @@ use rand::RngCore;
 /// guarantee. Implemented by [`crate::IFocus`], [`crate::IRefine`],
 /// [`crate::RoundRobin`], and [`crate::ExactScan`], so harness code can
 /// sweep over algorithms generically.
+///
+/// The [`MaybeSend`] bound is `Send` only under the `parallel` feature
+/// (enabling the threaded per-round draw fan-out) and is satisfied by every
+/// type otherwise.
 pub trait OrderingAlgorithm {
     /// Short identifier used in experiment output (`ifocus`, `ifocusr`, …).
     fn name(&self) -> String;
 
     /// Runs the algorithm over the groups.
-    fn execute<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult;
+    fn execute<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult;
 }

@@ -67,7 +67,11 @@ impl OrderingAlgorithm for ExactScan {
         "scan".to_owned()
     }
 
-    fn execute<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
+    fn execute<G: GroupSource + crate::group::MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
         self.run(groups, rng)
     }
 }

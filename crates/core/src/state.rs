@@ -33,6 +33,8 @@ pub(crate) struct FocusState {
     pub(crate) trace: Option<Trace>,
     pub(crate) history: Option<History>,
     pub(crate) truncated: bool,
+    /// Reusable buffer for batched draws (avoids a per-round allocation).
+    scratch: Vec<f64>,
 }
 
 impl FocusState {
@@ -62,6 +64,7 @@ impl FocusState {
             trace: config.record_trace.then(Trace::new),
             history: (config.history_every > 0).then(History::new),
             truncated: false,
+            scratch: Vec::new(),
         };
         for (i, group) in groups.iter_mut().enumerate() {
             state.draw(i, group, rng);
@@ -83,6 +86,125 @@ impl FocusState {
                 self.samples[i] += 1;
             }
             None => {
+                self.exhausted[i] = true;
+            }
+        }
+    }
+
+    /// Draws a batch of `n` samples from group `i` through its
+    /// [`GroupSource::draw_batch`] hook (one call instead of `n`); marks the
+    /// group exhausted when the source comes up short. Identical in effect
+    /// and RNG consumption to `n` repeated [`Self::draw`] calls.
+    pub(crate) fn draw_batch<G: GroupSource>(
+        &mut self,
+        i: usize,
+        group: &mut G,
+        rng: &mut dyn RngCore,
+        n: u64,
+    ) {
+        self.scratch.clear();
+        let got = group.draw_batch(n, rng, self.config.mode, &mut self.scratch);
+        for &x in &self.scratch {
+            self.estimates[i].push(x);
+        }
+        self.samples[i] += got;
+        if got < n {
+            self.exhausted[i] = true;
+        }
+    }
+
+    /// Draws this round's batch from every group selected by `idxs`
+    /// (indices must be ascending). Sequential by default; under the
+    /// `parallel` feature, rounds whose total draw count
+    /// (`batch × |idxs|`) reaches [`AlgoConfig::parallel_threshold`] fan
+    /// the per-group loop out across threads.
+    pub(crate) fn draw_round<G: GroupSource + crate::group::MaybeSend>(
+        &mut self,
+        idxs: &[usize],
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+        batch: u64,
+    ) {
+        #[cfg(feature = "parallel")]
+        if idxs.len() > 1
+            && batch.saturating_mul(idxs.len() as u64) >= self.config.parallel_threshold
+        {
+            self.draw_round_parallel(idxs, groups, rng, batch);
+            return;
+        }
+        for &i in idxs {
+            self.draw_batch(i, &mut groups[i], rng, batch);
+        }
+    }
+
+    /// Parallel per-group draw fan-out (`parallel` feature).
+    ///
+    /// Each selected group gets an independent RNG stream seeded from the
+    /// master RNG **in group order**, so results are deterministic for a
+    /// fixed seed regardless of thread scheduling — but the streams differ
+    /// from the sequential path's single interleaved stream, so parallel
+    /// runs are reproducible against parallel runs, not sequential ones.
+    /// The workspace has no rayon (offline build); `std::thread::scope`
+    /// over near-equal chunks stands in for a work-stealing pool.
+    #[cfg(feature = "parallel")]
+    fn draw_round_parallel<G: GroupSource + Send>(
+        &mut self,
+        idxs: &[usize],
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+        batch: u64,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mode = self.config.mode;
+        // Disjoint &mut access: walk all groups once, keeping those selected
+        // (idxs is ascending), pairing each with its order-derived seed.
+        let mut work: Vec<(usize, &mut G, u64)> = Vec::with_capacity(idxs.len());
+        let mut next = 0usize;
+        for (i, group) in groups.iter_mut().enumerate() {
+            if next < idxs.len() && idxs[next] == i {
+                work.push((i, group, rng.next_u64()));
+                next += 1;
+            }
+        }
+        debug_assert_eq!(work.len(), idxs.len());
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(work.len());
+        let chunk_size = work.len().div_ceil(threads);
+        let results: Vec<(usize, u64, Vec<f64>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            let mut rest = work;
+            while !rest.is_empty() {
+                let tail = rest.split_off(chunk_size.min(rest.len()));
+                let chunk = std::mem::replace(&mut rest, tail);
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|(i, group, seed)| {
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            let mut buf = Vec::with_capacity(batch as usize);
+                            let got = group.draw_batch(batch, &mut rng, mode, &mut buf);
+                            (i, got, buf)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("draw worker panicked"))
+                .collect()
+        });
+        // Merge sequentially in group order: estimator updates stay
+        // deterministic.
+        for (i, got, xs) in results {
+            for &x in &xs {
+                self.estimates[i].push(x);
+            }
+            self.samples[i] += got;
+            if got < batch {
                 self.exhausted[i] = true;
             }
         }
@@ -138,8 +260,7 @@ impl FocusState {
         let eps_now = self.epsilon();
         match self.config.reactivation {
             ReactivationPolicy::Never => loop {
-                let members: Vec<usize> =
-                    (0..self.k()).filter(|&i| self.active[i]).collect();
+                let members: Vec<usize> = (0..self.k()).filter(|&i| self.active[i]).collect();
                 if members.is_empty() {
                     break;
                 }

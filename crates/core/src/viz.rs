@@ -134,7 +134,10 @@ mod tests {
 
     #[test]
     fn intervals_render_whiskers() {
-        let ivs = [Interval::centered(50.0, 10.0), Interval::centered(20.0, 5.0)];
+        let ivs = [
+            Interval::centered(50.0, 10.0),
+            Interval::centered(20.0, 5.0),
+        ];
         let chart = bar_chart_with_intervals(&["a", "b"], &ivs, 20);
         assert!(chart.contains('['));
         assert!(chart.contains(']'));

@@ -37,8 +37,8 @@ impl TruncatedNormal {
     pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> Self {
         assert!(sigma > 0.0, "sigma must be positive");
         assert!(lo < hi, "empty truncation interval");
-        let mass = crate::math::normal_cdf((hi - mu) / sigma)
-            - crate::math::normal_cdf((lo - mu) / sigma);
+        let mass =
+            crate::math::normal_cdf((hi - mu) / sigma) - crate::math::normal_cdf((lo - mu) / sigma);
         assert!(
             mass > 1e-6,
             "truncation keeps negligible mass; rejection sampling would not terminate"
@@ -115,15 +115,13 @@ impl Mixture {
     #[must_use]
     pub fn new(components: Vec<Box<dyn ValueDist>>) -> Self {
         assert!(!components.is_empty(), "mixture needs components");
-        let mean =
-            components.iter().map(|c| c.mean()).sum::<f64>() / components.len() as f64;
-        let support = components.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), c| {
+        let mean = components.iter().map(|c| c.mean()).sum::<f64>() / components.len() as f64;
+        let support = components
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), c| {
                 let (clo, chi) = c.support();
                 (lo.min(clo), hi.max(chi))
-            },
-        );
+            });
         Self {
             components,
             mean,

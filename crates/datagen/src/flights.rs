@@ -94,9 +94,7 @@ impl FlightModel {
                 FlightAttribute::ArrivalDelay => (2.0, 60.0, 25.0, 45.0),
                 FlightAttribute::DepartureDelay => (3.0, 65.0, 25.0, 45.0),
             };
-            let mut means: Vec<f64> = (0..k)
-                .map(|_| rng.gen_range(lo_mean..hi_mean))
-                .collect();
+            let mut means: Vec<f64> = (0..k).map(|_| rng.gen_range(lo_mean..hi_mean)).collect();
             // Engineer two near-tie clusters: airlines (1,2) and (7,8)
             // differ by ~0.08% of the attribute range — the conflicts that
             // dominate Table 3's sampling cost. The gap is tuned so that
@@ -112,8 +110,7 @@ impl FlightModel {
                 .into_iter()
                 .map(|mu| {
                     let sigma = rng.gen_range(sigma_lo..sigma_hi);
-                    Arc::new(TruncatedNormal::new(mu, sigma, 0.0, attr.c()))
-                        as Arc<dyn ValueDist>
+                    Arc::new(TruncatedNormal::new(mu, sigma, 0.0, attr.c())) as Arc<dyn ValueDist>
                 })
                 .collect();
             dists.push(per_airline);
@@ -181,9 +178,13 @@ impl FlightModel {
             builder.push_row(vec![
                 Value::Str(AIRLINES[airline].to_owned()),
                 Value::Float(self.dist(airline, FlightAttribute::ElapsedTime).sample(rng)),
-                Value::Float(self.dist(airline, FlightAttribute::ArrivalDelay).sample(rng)),
                 Value::Float(
-                    self.dist(airline, FlightAttribute::DepartureDelay).sample(rng),
+                    self.dist(airline, FlightAttribute::ArrivalDelay)
+                        .sample(rng),
+                ),
+                Value::Float(
+                    self.dist(airline, FlightAttribute::DepartureDelay)
+                        .sample(rng),
                 ),
             ]);
         }

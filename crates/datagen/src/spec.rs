@@ -121,7 +121,10 @@ impl DatasetSpec {
     ) -> Self {
         let k = fractions.len();
         assert!(k > 0, "need at least one group");
-        assert!(total_records >= k as u64, "need at least one record per group");
+        assert!(
+            total_records >= k as u64,
+            "need at least one record per group"
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let groups = fractions
             .iter()
@@ -151,8 +154,7 @@ impl DatasetSpec {
                     .map(|_| {
                         let mu = rng.gen_range(0.0..100.0);
                         let variance: f64 = rng.gen_range(1.0..10.0);
-                        Box::new(TruncatedNormal::paper(mu, variance.sqrt()))
-                            as Box<dyn ValueDist>
+                        Box::new(TruncatedNormal::paper(mu, variance.sqrt())) as Box<dyn ValueDist>
                     })
                     .collect();
                 Arc::new(Mixture::new(components))
@@ -281,8 +283,7 @@ mod tests {
 
     #[test]
     fn skewed_fractions() {
-        let spec =
-            DatasetSpec::generate_skewed(WorkloadFamily::Bernoulli, 10, 1_000_000, 0.9, 3);
+        let spec = DatasetSpec::generate_skewed(WorkloadFamily::Bernoulli, 10, 1_000_000, 0.9, 3);
         assert_eq!(spec.groups[0].size, 900_000);
         for g in &spec.groups[1..] {
             assert!((g.size as i64 - 11_111).abs() <= 1);

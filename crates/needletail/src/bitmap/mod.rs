@@ -105,6 +105,22 @@ impl Bitmap {
         }
     }
 
+    /// Resolves a **sorted** batch of ranks in one monotone pass,
+    /// appending the position of each `k`-th set bit to `out` in input
+    /// order. See [`DenseBitmap::select_many`] / [`RleBitmap::select_many`]
+    /// for the per-representation cost model; both replace `b` independent
+    /// directory binary searches with a single forward sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank is `>= count_ones()`.
+    pub fn select_many(&self, sorted_ks: &[u64], out: &mut Vec<u64>) {
+        match self {
+            Bitmap::Dense(d) => d.select_many(sorted_ks, out),
+            Bitmap::Rle(r) => r.select_many(sorted_ks, out),
+        }
+    }
+
     /// Bitwise AND.
     ///
     /// # Panics
@@ -283,7 +299,10 @@ mod tests {
         let positions: Vec<u64> = (0..4096).step_by(2).collect();
         let bm = Bitmap::from_sorted_positions(&positions, 4096);
         let opt = bm.optimize();
-        assert!(matches!(opt, Bitmap::Dense(_)), "noisy bitmap should stay dense");
+        assert!(
+            matches!(opt, Bitmap::Dense(_)),
+            "noisy bitmap should stay dense"
+        );
         assert_eq!(opt.count_ones(), 2048);
     }
 
@@ -352,6 +371,25 @@ mod proptests {
                 dd.iter_ones().collect::<Vec<_>>(),
                 rr.iter_ones().collect::<Vec<_>>()
             );
+        }
+
+        #[test]
+        fn select_many_agrees_with_select((pos, len) in arb_positions(5000), seed in 0u64..1000) {
+            let bm = Bitmap::from_sorted_positions(&pos, len);
+            let n = bm.count_ones();
+            if n > 0 {
+                // A deterministic pseudo-random sorted batch with repeats.
+                let mut ks: Vec<u64> = (0..48)
+                    .map(|i| (seed.wrapping_mul(i * 2 + 1).wrapping_add(i * i)) % n)
+                    .collect();
+                ks.sort_unstable();
+                for rep in [bm.clone(), Bitmap::Rle(bm.to_rle())] {
+                    let mut out = Vec::new();
+                    rep.select_many(&ks, &mut out);
+                    let expect: Vec<u64> = ks.iter().map(|&k| rep.select(k).unwrap()).collect();
+                    prop_assert_eq!(&out, &expect);
+                }
+            }
         }
 
         #[test]

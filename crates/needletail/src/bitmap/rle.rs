@@ -199,6 +199,44 @@ impl RleBitmap {
         Some(self.starts[ri] + (k - self.ones_before[ri]))
     }
 
+    /// Resolves a **sorted** batch of ranks in one monotone pass over the
+    /// run directory, appending positions to `out` in input order.
+    ///
+    /// The run cursor only moves forward: consecutive ranks inside the same
+    /// run cost `O(1)` each, and larger gaps are crossed with a suffix
+    /// binary search over the cumulative one-counts — `O(b + log #runs)`
+    /// for clustered batches versus `b` independent `O(log #runs)`
+    /// searches through [`Self::select`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank is `>= count_ones()`. Debug builds additionally
+    /// assert that `sorted_ks` is non-decreasing.
+    pub fn select_many(&self, sorted_ks: &[u64], out: &mut Vec<u64>) {
+        if sorted_ks.is_empty() {
+            return;
+        }
+        assert!(
+            *sorted_ks.last().expect("non-empty") < self.count_ones(),
+            "select_many rank out of range (count_ones {})",
+            self.count_ones()
+        );
+        out.reserve(sorted_ks.len());
+        let mut ri = 0usize;
+        let mut prev_k = 0u64;
+        for &k in sorted_ks {
+            debug_assert!(k >= prev_k, "select_many ranks must be sorted");
+            prev_k = k;
+            if self.ones_before[ri + 1] <= k {
+                // Gallop to the last run whose cumulative count is <= k
+                // (skipping zero-run plateaus in the same jump).
+                ri = super::dense::gallop_last_le(&self.ones_before, ri + 1, k);
+            }
+            debug_assert!(self.runs[ri].bit);
+            out.push(self.starts[ri] + (k - self.ones_before[ri]));
+        }
+    }
+
     /// Bitwise AND (run-merge; output stays RLE).
     ///
     /// # Panics
@@ -273,7 +311,8 @@ impl RleBitmap {
     /// Approximate heap footprint in bytes.
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
-        self.runs.len() * std::mem::size_of::<Run>() + (self.starts.len() + self.ones_before.len()) * 8
+        self.runs.len() * std::mem::size_of::<Run>()
+            + (self.starts.len() + self.ones_before.len()) * 8
     }
 }
 
@@ -341,10 +380,7 @@ mod tests {
             a.or(&b).iter_ones().collect::<Vec<_>>(),
             vec![0, 1, 2, 3, 7, 8]
         );
-        assert_eq!(
-            a.not().iter_ones().collect::<Vec<_>>(),
-            vec![3, 4, 5, 6, 9]
-        );
+        assert_eq!(a.not().iter_ones().collect::<Vec<_>>(), vec![3, 4, 5, 6, 9]);
     }
 
     #[test]
@@ -370,5 +406,32 @@ mod tests {
     fn get_out_of_range() {
         let bm = RleBitmap::zeros(10);
         let _ = bm.get(10);
+    }
+
+    #[test]
+    fn select_many_matches_repeated_select() {
+        // Multiple runs with zero-run plateaus between them.
+        let mut pos: Vec<u64> = (200..500).collect();
+        pos.extend(2000..2010);
+        pos.extend(9000..9500);
+        let bm = from_positions(&pos, 10_000);
+        let n = bm.count_ones();
+        let ks: Vec<u64> = (0..n).collect();
+        let mut out = Vec::new();
+        bm.select_many(&ks, &mut out);
+        assert_eq!(out, pos);
+        let ks = vec![0, 0, 299, 300, 309, 310, n - 1];
+        let mut out = Vec::new();
+        bm.select_many(&ks, &mut out);
+        let expect: Vec<u64> = ks.iter().map(|&k| bm.select(k).unwrap()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_many_rejects_oob_rank() {
+        let bm = from_positions(&[1, 2], 8);
+        let mut out = Vec::new();
+        bm.select_many(&[2], &mut out);
     }
 }

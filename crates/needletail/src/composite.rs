@@ -151,10 +151,7 @@ mod tests {
             .map(|cell| idx.cardinality_of(cell))
             .sum();
         assert_eq!(total, t.row_count());
-        assert_eq!(
-            idx.cardinality_of(&["AA".into(), "BOS".into()]),
-            2
-        );
+        assert_eq!(idx.cardinality_of(&["AA".into(), "BOS".into()]), 2);
         assert_eq!(
             idx.bitmap_for(&["AA".into(), "BOS".into()])
                 .unwrap()
@@ -194,10 +191,7 @@ mod tests {
         let plain = BitmapIndex::build(&t, "name");
         assert_eq!(joint.cell_count(), plain.distinct_count());
         for cell in joint.cells() {
-            assert_eq!(
-                joint.cardinality_of(&cell),
-                plain.cardinality_of(&cell[0])
-            );
+            assert_eq!(joint.cardinality_of(&cell), plain.cardinality_of(&cell[0]));
         }
     }
 
@@ -208,7 +202,12 @@ mod tests {
             ColumnDef::new("bucket", DataType::Int),
             ColumnDef::new("y", DataType::Float),
         ]));
-        for (g, k, y) in [("a", 1i64, 1.0), ("a", 2, 2.0), ("b", 1, 3.0), ("a", 1, 4.0)] {
+        for (g, k, y) in [
+            ("a", 1i64, 1.0),
+            ("a", 2, 2.0),
+            ("b", 1, 3.0),
+            ("a", 1, 4.0),
+        ] {
             b.push_row(vec![g.into(), Value::Int(k), y.into()]);
         }
         let idx = CompositeIndex::build(&b.finish(), &["g", "bucket"]);

@@ -49,10 +49,7 @@ impl fmt::Display for CsvError {
                 line,
                 found,
                 expected,
-            } => write!(
-                f,
-                "line {line}: {found} fields, header has {expected}"
-            ),
+            } => write!(f, "line {line}: {found} fields, header has {expected}"),
             CsvError::BadField { line, column, text } => {
                 write!(f, "line {line}: column {column:?} cannot parse {text:?}")
             }
@@ -90,7 +87,10 @@ impl Default for CsvOptions {
 ///
 /// Returns a [`CsvError`] on structural or type errors.
 pub fn read_csv(text: &str, options: &CsvOptions) -> Result<Table, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header_line) = lines.next().ok_or(CsvError::MissingHeader)?;
     let header = split_fields(header_line, options.delimiter, 1)?;
     if header.is_empty() {

@@ -244,7 +244,10 @@ mod tests {
             let _ = d.fetch((i * 97) % 1_000_000);
         }
         let sample_cost = d.cost(&model).io_seconds;
-        assert!(scan_cost < sample_cost * 10.0, "scan wins when sampling 1%: {scan_cost} vs {sample_cost}");
+        assert!(
+            scan_cost < sample_cost * 10.0,
+            "scan wins when sampling 1%: {scan_cost} vs {sample_cost}"
+        );
         d.reset_transfers();
         for i in 0..100u64 {
             let _ = d.fetch((i * 9973) % 1_000_000);

@@ -328,6 +328,56 @@ impl GroupHandle {
         Some(self.table.float_value(row, self.agg_idx))
     }
 
+    /// Draws `n` measure values with replacement in one batch, appending
+    /// them to `out` in draw order; returns the number appended. The
+    /// metrics sink is charged **one retrieval per sample** (a batch of
+    /// `n` counts as `n` random samples, not 1), so cost accounting is
+    /// identical to `n` single draws.
+    pub fn sample_batch_with_replacement<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) -> usize {
+        let mut rows = Vec::with_capacity(n);
+        let got = self
+            .sampler
+            .sample_batch_with_replacement(n, rng, &mut rows);
+        self.record_batch(&rows, out);
+        got
+    }
+
+    /// Draws up to `n` further values of the without-replacement
+    /// permutation in one batch, appending them to `out` in draw order;
+    /// returns the number appended (`< n` once the group is exhausted).
+    /// Metrics are charged one retrieval per sample actually drawn.
+    pub fn sample_batch_without_replacement<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<f64>,
+    ) -> usize {
+        let mut rows = Vec::with_capacity(n);
+        let got = self
+            .sampler
+            .sample_batch_without_replacement(n, rng, &mut rows);
+        self.record_batch(&rows, out);
+        got
+    }
+
+    /// Charges metrics for and materializes a batch of sampled rows.
+    fn record_batch(&self, rows: &[u64], out: &mut Vec<f64>) {
+        if rows.is_empty() {
+            return;
+        }
+        self.metrics.add_random_samples(rows.len() as u64);
+        self.metrics.add_index_probes(rows.len() as u64);
+        out.extend(
+            rows.iter()
+                .map(|&r| self.table.float_value(r, self.agg_idx)),
+        );
+    }
+
     /// Restarts the without-replacement permutation (a fresh shuffle).
     pub fn reset_permutation(&mut self) {
         self.sampler.reset();
@@ -461,6 +511,48 @@ mod tests {
     }
 
     #[test]
+    fn metrics_count_batched_samples_per_sample_not_per_batch() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let mut handles = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut out = Vec::new();
+        // One batch of 10 with replacement must count as 10 retrievals.
+        let got = handles[0].sample_batch_with_replacement(10, &mut rng, &mut out);
+        assert_eq!(got, 10);
+        assert_eq!(engine.metrics().snapshot().random_samples, 10);
+        // A truncated without-replacement batch counts only what was drawn:
+        // group AA has 4 rows, so requesting 10 yields 4.
+        engine.metrics().reset();
+        out.clear();
+        let got = handles[0].sample_batch_without_replacement(10, &mut rng, &mut out);
+        assert_eq!(got, 4);
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.random_samples, 4);
+        assert_eq!(snap.index_probes, 4);
+    }
+
+    #[test]
+    fn batched_handle_draws_match_single_draw_stream() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let mut h1 = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        let mut h2 = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(77);
+        let singles: Vec<f64> = (0..4)
+            .map(|_| h1[0].sample_without_replacement(&mut rng1).unwrap())
+            .collect();
+        let mut batched = Vec::new();
+        h2[0].sample_batch_without_replacement(4, &mut rng2, &mut batched);
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
     fn errors() {
         let engine = NeedleTail::new(flights(), &["name"]).unwrap();
         assert_eq!(
@@ -505,11 +597,7 @@ mod tests {
         assert!((handles[0].exact_mean().unwrap() - 30.0).abs() < 1e-12);
         // Predicate narrows cells and can drop them.
         let filtered = engine
-            .group_handles_multi(
-                &["name", "origin"],
-                "delay",
-                &Predicate::ge("delay", 25.0),
-            )
+            .group_handles_multi(&["name", "origin"], "delay", &Predicate::ge("delay", 25.0))
             .unwrap();
         let labels: Vec<String> = filtered.iter().map(|h| h.label().to_string()).collect();
         assert_eq!(labels, vec!["AA|BOS", "JB|BOS"]);

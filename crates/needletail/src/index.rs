@@ -217,11 +217,7 @@ mod tests {
         assert_eq!(idx.cardinality_of(&"JB".into()), 2);
         assert_eq!(idx.cardinality_of(&"ZZ".into()), 0);
         // Partition: bitmaps are disjoint and cover all rows.
-        let total: u64 = idx
-            .values()
-            .iter()
-            .map(|v| idx.cardinality_of(v))
-            .sum();
+        let total: u64 = idx.values().iter().map(|v| idx.cardinality_of(v)).sum();
         assert_eq!(total, t.row_count());
     }
 

@@ -53,6 +53,7 @@ pub mod scan;
 pub mod schema;
 pub mod storage;
 pub mod table;
+pub mod u64map;
 pub mod value;
 
 pub use bitmap::{Bitmap, DenseBitmap, RleBitmap};

@@ -308,10 +308,7 @@ mod tests {
         assert_eq!(bm.iter_ones().collect::<Vec<_>>(), vec![0, 3]);
         let not = Predicate::eq("name", "JB").not();
         assert_paths_agree(&not, &t);
-        assert_eq!(
-            not.evaluate(&t, &HashMap::new()).count_ones(),
-            3
-        );
+        assert_eq!(not.evaluate(&t, &HashMap::new()).count_ones(), 3);
     }
 
     #[test]

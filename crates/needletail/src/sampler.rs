@@ -20,10 +20,23 @@
 //! position belongs to the group — `E[z] = |S_i| / N`, the normalized group
 //! size, and `x·z` stays in `[0, c]` exactly as §6.3.1 requires. The probe
 //! is answered by the in-memory bitmap, so it costs no I/O.
+//!
+//! ## Batched draws
+//!
+//! Both regimes also come in batch form —
+//! [`BitmapSampler::sample_batch_with_replacement`] and
+//! [`BitmapSampler::sample_batch_without_replacement`] — which generate all
+//! `n` random ranks first, resolve them through
+//! [`Bitmap::select_many`]'s single monotone directory sweep (one
+//! `O(b + log n)` pass instead of `b` independent `O(log n)` binary
+//! searches), and then restore draw order. The batch paths consume the RNG
+//! identically to `n` single draws, so for a fixed seed they return the
+//! **same stream of rows** — batching is a pure throughput optimization
+//! with no statistical or reproducibility cost.
 
 use crate::bitmap::Bitmap;
+use crate::u64map::SwapMap;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Uniform random sampler over the set bits of a bitmap.
 #[derive(Debug, Clone)]
@@ -31,7 +44,11 @@ pub struct BitmapSampler {
     bitmap: Bitmap,
     eligible: u64,
     /// Virtual Fisher–Yates state: logical position -> displaced value.
-    swaps: HashMap<u64, u64>,
+    /// An open-addressed multiply-shift map ([`SwapMap`]): the default
+    /// SipHash `HashMap` dominates without-replacement draw cost, and these
+    /// keys are internal ranks, never untrusted. Populations below
+    /// `u32::MAX` use 8-byte entries so long runs stay cache-resident.
+    swaps: SwapMap,
     /// Draws made without replacement so far.
     drawn: u64,
 }
@@ -44,7 +61,7 @@ impl BitmapSampler {
         Self {
             bitmap,
             eligible,
-            swaps: HashMap::new(),
+            swaps: SwapMap::for_population(eligible),
             drawn: 0,
         }
     }
@@ -89,9 +106,65 @@ impl BitmapSampler {
         let displaced = self.logical(self.drawn);
         // Swap: slot j now holds what slot `drawn` held.
         self.swaps.insert(j, displaced);
-        self.swaps.remove(&self.drawn);
+        self.swaps.remove(self.drawn);
         self.drawn += 1;
         self.bitmap.select(chosen)
+    }
+
+    /// Draws `n` rows with replacement in one batch, appending them to
+    /// `out` in draw order; returns the number appended (always `n` unless
+    /// the bitmap is empty, in which case `0`).
+    ///
+    /// Generates all `n` ranks, resolves them through one sorted
+    /// [`Bitmap::select_many`] sweep, and unsorts the results. For a fixed
+    /// seed the appended rows are identical to `n` calls of
+    /// [`Self::sample_with_replacement`].
+    pub fn sample_batch_with_replacement<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        if self.eligible == 0 || n == 0 {
+            return 0;
+        }
+        let ranks: Vec<u64> = (0..n).map(|_| rng.gen_range(0..self.eligible)).collect();
+        resolve_in_draw_order(&self.bitmap, ranks, out);
+        n
+    }
+
+    /// Draws up to `n` further rows of the without-replacement permutation
+    /// in one batch, appending them to `out` in draw order; returns the
+    /// number appended (`< n` once the population runs dry).
+    ///
+    /// The virtual Fisher–Yates state advances exactly as under repeated
+    /// [`Self::sample_without_replacement`] calls and the RNG is consumed
+    /// identically, so for a fixed seed the appended rows are the same
+    /// stream — only the rank→position resolution is batched through
+    /// [`Bitmap::select_many`].
+    pub fn sample_batch_without_replacement<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        let take = n.min((self.eligible - self.drawn) as usize);
+        if take == 0 {
+            return 0;
+        }
+        let mut ranks = Vec::with_capacity(take);
+        self.swaps.reserve(take);
+        for _ in 0..take {
+            let j = rng.gen_range(self.drawn..self.eligible);
+            let chosen = self.logical(j);
+            let displaced = self.logical(self.drawn);
+            self.swaps.insert(j, displaced);
+            self.swaps.remove(self.drawn);
+            self.drawn += 1;
+            ranks.push(chosen);
+        }
+        resolve_in_draw_order(&self.bitmap, ranks, out);
+        take
     }
 
     /// Resets the without-replacement permutation (a fresh shuffle).
@@ -101,7 +174,47 @@ impl BitmapSampler {
     }
 
     fn logical(&self, slot: u64) -> u64 {
-        *self.swaps.get(&slot).unwrap_or(&slot)
+        self.swaps.get(slot).unwrap_or(slot)
+    }
+}
+
+/// Resolves `ranks` (in draw order) against `bitmap` via one sorted
+/// `select_many` sweep, appending positions to `out` in the original draw
+/// order.
+///
+/// When ranks and batch size fit (rank < 2^44, batch < 2^20 — any realistic
+/// workload), rank and draw index are packed into a single `u64`
+/// (`rank << 20 | index`) so the sort runs over plain words: markedly
+/// faster than sorting `(u64, u32)` pairs. Oversized inputs fall back to
+/// the pair sort.
+fn resolve_in_draw_order(bitmap: &Bitmap, mut ranks: Vec<u64>, out: &mut Vec<u64>) {
+    const IDX_BITS: u32 = 20;
+    let n = ranks.len();
+    let max_rank = ranks.iter().copied().max().unwrap_or(0);
+    let base = out.len();
+    if n < (1 << IDX_BITS) && max_rank < (1 << (64 - IDX_BITS)) {
+        for (i, r) in ranks.iter_mut().enumerate() {
+            *r = (*r << IDX_BITS) | i as u64;
+        }
+        ranks.sort_unstable();
+        let sorted: Vec<u64> = ranks.iter().map(|&p| p >> IDX_BITS).collect();
+        let mut positions = Vec::with_capacity(n);
+        bitmap.select_many(&sorted, &mut positions);
+        out.resize(base + n, 0);
+        let idx_mask = (1u64 << IDX_BITS) - 1;
+        for (&packed, &pos) in ranks.iter().zip(&positions) {
+            out[base + (packed & idx_mask) as usize] = pos;
+        }
+    } else {
+        let mut order: Vec<(u64, u64)> = ranks.into_iter().zip(0..).collect();
+        order.sort_unstable();
+        let sorted: Vec<u64> = order.iter().map(|&(r, _)| r).collect();
+        let mut positions = Vec::with_capacity(n);
+        bitmap.select_many(&sorted, &mut positions);
+        out.resize(base + n, 0);
+        for (&(_, idx), &pos) in order.iter().zip(&positions) {
+            out[base + idx as usize] = pos;
+        }
     }
 }
 
@@ -122,8 +235,9 @@ impl SizeEstimatingSampler {
     #[must_use]
     pub fn new(bitmap: Bitmap, table_rows: u64) -> Self {
         assert!(
-            bitmap.len() <= table_rows || bitmap.len() == table_rows,
-            "bitmap cannot exceed the relation"
+            bitmap.len() <= table_rows,
+            "bitmap length {} exceeds the relation size {table_rows}",
+            bitmap.len()
         );
         Self {
             inner: BitmapSampler::new(bitmap),
@@ -141,10 +255,7 @@ impl SizeEstimatingSampler {
     /// Draws `(row, z)`: a uniform random group member and an independent
     /// unbiased estimate `z ∈ {0, 1}` of the normalized group size
     /// `s_i = n_i / N`.
-    pub fn sample_with_size_estimate<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-    ) -> Option<(u64, f64)> {
+    pub fn sample_with_size_estimate<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<(u64, f64)> {
         let row = self.inner.sample_with_replacement(rng)?;
         let probe = rng.gen_range(0..self.table_rows);
         let z = if probe < self.inner.bitmap().len() && self.inner.bitmap().get(probe) {
@@ -299,6 +410,109 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(8);
         assert_eq!(s.sample_with_size_estimate(&mut rng), None);
     }
+
+    #[test]
+    #[should_panic(expected = "exceeds the relation size")]
+    fn size_estimator_rejects_oversized_bitmap() {
+        let _ = SizeEstimatingSampler::new(Bitmap::zeros(101), 100);
+    }
+
+    #[test]
+    fn batch_with_replacement_matches_single_draw_stream() {
+        let positions: Vec<u64> = (0..500).map(|i| i * 7 + 3).collect();
+        let s = BitmapSampler::new(bitmap(&positions, 4000));
+        let mut rng_single = rand::rngs::StdRng::seed_from_u64(40);
+        let mut rng_batch = rand::rngs::StdRng::seed_from_u64(40);
+        let singles: Vec<u64> = (0..137)
+            .map(|_| s.sample_with_replacement(&mut rng_single).unwrap())
+            .collect();
+        let mut batched = Vec::new();
+        let got = s.sample_batch_with_replacement(137, &mut rng_batch, &mut batched);
+        assert_eq!(got, 137);
+        assert_eq!(batched, singles, "batch must replay the single-draw stream");
+    }
+
+    #[test]
+    fn batch_without_replacement_matches_single_draw_stream() {
+        let positions: Vec<u64> = (0..300).map(|i| i * 11).collect();
+        let mut s1 = BitmapSampler::new(bitmap(&positions, 3300));
+        let mut s2 = s1.clone();
+        let mut rng_single = rand::rngs::StdRng::seed_from_u64(41);
+        let mut rng_batch = rand::rngs::StdRng::seed_from_u64(41);
+        let singles: Vec<u64> = (0..97)
+            .map(|_| s1.sample_without_replacement(&mut rng_single).unwrap())
+            .collect();
+        let mut batched = Vec::new();
+        let got = s2.sample_batch_without_replacement(97, &mut rng_batch, &mut batched);
+        assert_eq!(got, 97);
+        assert_eq!(batched, singles, "batch must replay the single-draw stream");
+        assert_eq!(s1.remaining(), s2.remaining());
+    }
+
+    #[test]
+    fn batch_without_replacement_truncates_at_exhaustion() {
+        let positions: Vec<u64> = vec![1, 5, 9];
+        let mut s = BitmapSampler::new(bitmap(&positions, 16));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut out = Vec::new();
+        let got = s.sample_batch_without_replacement(10, &mut rng, &mut out);
+        assert_eq!(got, 3);
+        assert_eq!(s.remaining(), 0);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, positions);
+        assert_eq!(s.sample_batch_without_replacement(4, &mut rng, &mut out), 0);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn batch_on_empty_bitmap_appends_nothing() {
+        let mut s = BitmapSampler::new(Bitmap::zeros(32));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let mut out = Vec::new();
+        assert_eq!(s.sample_batch_with_replacement(8, &mut rng, &mut out), 0);
+        assert_eq!(s.sample_batch_without_replacement(8, &mut rng, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn batch_interleaves_with_single_draws() {
+        // Mixed single/batch usage continues one permutation.
+        let positions: Vec<u64> = (0..64).map(|i| i * 2).collect();
+        let mut s = BitmapSampler::new(bitmap(&positions, 128));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let mut seen = Vec::new();
+        seen.push(s.sample_without_replacement(&mut rng).unwrap());
+        let mut out = Vec::new();
+        s.sample_batch_without_replacement(30, &mut rng, &mut out);
+        seen.extend_from_slice(&out);
+        while let Some(row) = s.sample_without_replacement(&mut rng) {
+            seen.push(row);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, positions, "mixed draws must still be a permutation");
+    }
+
+    #[test]
+    fn batch_with_replacement_roughly_uniform() {
+        let positions: Vec<u64> = (0..10).map(|i| i * 3).collect();
+        let s = BitmapSampler::new(bitmap(&positions, 30));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(45);
+        let mut out = Vec::new();
+        s.sample_batch_with_replacement(20_000, &mut rng, &mut out);
+        let mut counts = std::collections::HashMap::new();
+        for row in out {
+            *counts.entry(row).or_insert(0u32) += 1;
+        }
+        let expected = 20_000.0 / positions.len() as f64;
+        for &p in &positions {
+            let c = f64::from(counts[&p]);
+            assert!(
+                (c - expected).abs() < 0.15 * expected,
+                "count for {p} was {c}, expected ~{expected}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +542,72 @@ mod proptests {
             sorted.sort_unstable();
             sorted.dedup();
             prop_assert_eq!(sorted, positions, "not a permutation: {:?}", seen);
+        }
+
+        /// Batched without-replacement draws over the full population are an
+        /// exact permutation of the eligible rows, for any bitmap, seed, and
+        /// batch size.
+        #[test]
+        fn batch_permutation_property(
+            positions in proptest::collection::btree_set(0u64..2000, 1..64),
+            len_extra in 0u64..100,
+            seed in 0u64..1000,
+            batch in 1usize..17,
+        ) {
+            let positions: Vec<u64> = positions.into_iter().collect();
+            let len = positions.last().unwrap() + 1 + len_extra;
+            let mut s = BitmapSampler::new(Bitmap::from_sorted_positions(&positions, len));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut seen = Vec::new();
+            loop {
+                let got = s.sample_batch_without_replacement(batch, &mut rng, &mut seen);
+                if got == 0 {
+                    break;
+                }
+            }
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted, positions, "not a permutation: {:?}", seen);
+        }
+
+        /// Batched draws replay the single-draw stream exactly, in both
+        /// regimes, for any bitmap/seed/batch split — so batching can never
+        /// change an algorithm's output for a fixed seed.
+        #[test]
+        fn batch_equals_single_stream(
+            positions in proptest::collection::btree_set(0u64..3000, 1..128),
+            seed in 0u64..1000,
+            n in 1usize..80,
+        ) {
+            let positions: Vec<u64> = positions.into_iter().collect();
+            let len = positions.last().unwrap() + 1;
+            let bm = Bitmap::from_sorted_positions(&positions, len);
+
+            // With replacement.
+            let s = BitmapSampler::new(bm.clone());
+            let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed);
+            let singles: Vec<u64> = (0..n)
+                .map(|_| s.sample_with_replacement(&mut rng_a).unwrap())
+                .collect();
+            let mut batched = Vec::new();
+            s.sample_batch_with_replacement(n, &mut rng_b, &mut batched);
+            prop_assert_eq!(&batched, &singles);
+
+            // Without replacement.
+            let mut s1 = BitmapSampler::new(bm.clone());
+            let mut s2 = BitmapSampler::new(bm);
+            let mut rng_a = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+            let mut rng_b = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+            let take = n.min(positions.len());
+            let singles: Vec<u64> = (0..take)
+                .map(|_| s1.sample_without_replacement(&mut rng_a).unwrap())
+                .collect();
+            let mut batched = Vec::new();
+            let got = s2.sample_batch_without_replacement(n, &mut rng_b, &mut batched);
+            prop_assert_eq!(got, take);
+            prop_assert_eq!(&batched, &singles);
         }
     }
 }

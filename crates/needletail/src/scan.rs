@@ -125,12 +125,7 @@ mod tests {
 
     #[test]
     fn predicate_filters_rows() {
-        let aggs = scan_group_aggregates(
-            &table(),
-            "name",
-            "delay",
-            &Predicate::ge("delay", 20.0),
-        );
+        let aggs = scan_group_aggregates(&table(), "name", "delay", &Predicate::ge("delay", 20.0));
         let by_name: HashMap<String, &GroupAggregate> =
             aggs.iter().map(|a| (a.group.to_string(), a)).collect();
         assert_eq!(by_name["AA"].count, 2);
@@ -140,12 +135,8 @@ mod tests {
 
     #[test]
     fn empty_group_mean_is_none() {
-        let aggs = scan_group_aggregates(
-            &table(),
-            "name",
-            "delay",
-            &Predicate::ge("delay", 1000.0),
-        );
+        let aggs =
+            scan_group_aggregates(&table(), "name", "delay", &Predicate::ge("delay", 1000.0));
         assert!(aggs.iter().all(|a| a.count == 0 && a.mean().is_none()));
     }
 

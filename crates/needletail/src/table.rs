@@ -16,7 +16,10 @@ enum ColumnData {
     Int(Vec<i64>),
     Float(Vec<f64>),
     /// Dictionary codes plus the dictionary itself.
-    Str { codes: Vec<u32>, dict: Vec<String> },
+    Str {
+        codes: Vec<u32>,
+        dict: Vec<String>,
+    },
 }
 
 impl ColumnData {

@@ -1,0 +1,449 @@
+//! Small open-addressed integer maps for hot sampler state.
+//!
+//! The virtual Fisher–Yates shuffle performs two lookups, one insert, and
+//! one remove *per draw*; even with a fast hasher, `std::collections::
+//! HashMap`'s general-purpose machinery (SipHash by default, tagged control
+//! bytes, separate allocation paths) is measurable there. This map is the
+//! special case that state needs and nothing more: power-of-two capacity,
+//! interleaved `(key, value)` slots (one cache line serves a whole probe),
+//! linear probing, multiply-shift hashing, and backward-shift deletion
+//! (no tombstones, so probe chains never degrade).
+//!
+//! Two widths are provided: [`U64Map`] for arbitrary ranks and [`U32Map`]
+//! for samplers whose population fits in `u32` — the common case, and half
+//! the memory per entry, which matters because a long without-replacement
+//! run grows this table past cache and every draw then pays its memory
+//! latency four times.
+//!
+//! Keys are logical sampler ranks, so each width's all-ones key is reserved
+//! as the empty marker (`MAX` would mean a table of `2^width` rows).
+
+/// Slot word types usable by [`RawMap`].
+pub trait SlotWord: Copy + Eq + std::fmt::Debug {
+    /// The reserved empty-slot marker (all ones).
+    const EMPTY: Self;
+    /// Widening conversion.
+    fn to_u64(self) -> u64;
+    /// Narrowing conversion; caller guarantees the value fits.
+    fn from_u64(v: u64) -> Self;
+    /// Multiply-shift hash folded into `mask`.
+    fn slot_of(self, mask: usize) -> usize;
+}
+
+/// Fibonacci multiplier for multiply-shift hashing.
+const MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SlotWord for u64 {
+    const EMPTY: Self = u64::MAX;
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+
+    #[inline]
+    fn slot_of(self, mask: usize) -> usize {
+        (self.wrapping_mul(MULT) >> 32) as usize & mask
+    }
+}
+
+impl SlotWord for u32 {
+    const EMPTY: Self = u32::MAX;
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        u64::from(self)
+    }
+
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_u64(v: u64) -> Self {
+        debug_assert!(v < u64::from(u32::MAX));
+        v as u32
+    }
+
+    #[inline]
+    fn slot_of(self, mask: usize) -> usize {
+        (u64::from(self).wrapping_mul(MULT) >> 32) as usize & mask
+    }
+}
+
+/// Open-addressed integer map with linear probing over interleaved slots.
+#[derive(Debug, Clone)]
+pub struct RawMap<T: SlotWord> {
+    entries: Vec<(T, T)>,
+    len: usize,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+}
+
+/// Map for arbitrary `u64` ranks.
+pub type U64Map = RawMap<u64>;
+/// Half-size map for populations below `u32::MAX`.
+pub type U32Map = RawMap<u32>;
+
+impl<T: SlotWord> Default for RawMap<T> {
+    fn default() -> Self {
+        Self::with_capacity(16)
+    }
+}
+
+impl<T: SlotWord> RawMap<T> {
+    /// A map able to hold roughly `cap` entries before growing.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        let capacity = (cap.max(8) * 2).next_power_of_two();
+        Self {
+            entries: vec![(T::EMPTY, T::EMPTY); capacity],
+            len: 0,
+            mask: capacity - 1,
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value stored for `key`, if present.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let key = T::from_u64(key);
+        debug_assert!(key != T::EMPTY, "all-ones key is reserved");
+        let mut i = key.slot_of(self.mask);
+        loop {
+            let (k, v) = self.entries[i];
+            if k == key {
+                return Some(v.to_u64());
+            }
+            if k == T::EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts or updates `key`.
+    pub fn insert(&mut self, key: u64, val: u64) {
+        let key = T::from_u64(key);
+        let val = T::from_u64(val);
+        debug_assert!(key != T::EMPTY, "all-ones key is reserved");
+        // Grow at 50% load: probe chains under linear probing lengthen
+        // sharply past that, and the doubled table is still tiny relative
+        // to the bitmaps it indexes into.
+        if (self.len + 1) * 2 > self.entries.len() {
+            self.grow();
+        }
+        let mut i = key.slot_of(self.mask);
+        loop {
+            let k = self.entries[i].0;
+            if k == key {
+                self.entries[i].1 = val;
+                return;
+            }
+            if k == T::EMPTY {
+                self.entries[i] = (key, val);
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key` if present, returning its value. Uses backward-shift
+    /// deletion so no tombstones accumulate.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let key = T::from_u64(key);
+        debug_assert!(key != T::EMPTY, "all-ones key is reserved");
+        let mut i = key.slot_of(self.mask);
+        loop {
+            let k = self.entries[i].0;
+            if k == T::EMPTY {
+                return None;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        let removed = self.entries[i].1;
+        self.len -= 1;
+        // Backward shift: close the gap by pulling forward any entry whose
+        // home slot lies cyclically outside (gap, j].
+        let mut gap = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let entry = self.entries[j];
+            if entry.0 == T::EMPTY {
+                break;
+            }
+            let home = entry.0.slot_of(self.mask);
+            let moveable = if gap <= j {
+                home <= gap || home > j
+            } else {
+                home <= gap && home > j
+            };
+            if moveable {
+                self.entries[gap] = entry;
+                gap = j;
+            }
+        }
+        self.entries[gap].0 = T::EMPTY;
+        Some(removed.to_u64())
+    }
+
+    /// Pre-grows so `extra` further inserts need no rehash mid-batch.
+    pub fn reserve(&mut self, extra: usize) {
+        while (self.len + extra) * 2 > self.entries.len() {
+            self.grow();
+        }
+    }
+
+    /// Removes every entry, keeping a small table.
+    pub fn clear(&mut self) {
+        // Shrink back: long without-replacement runs can grow the table
+        // large, and `reset` starts a fresh permutation anyway.
+        *self = Self::default();
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = self.entries.len() * 2;
+        let old = std::mem::replace(&mut self.entries, vec![(T::EMPTY, T::EMPTY); new_cap]);
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for (k, v) in old {
+            if k != T::EMPTY {
+                self.insert_raw(k, v);
+            }
+        }
+    }
+
+    /// Insert during rehash (no growth check).
+    fn insert_raw(&mut self, key: T, val: T) {
+        let mut i = key.slot_of(self.mask);
+        loop {
+            let k = self.entries[i].0;
+            if k == T::EMPTY {
+                self.entries[i] = (key, val);
+                self.len += 1;
+                return;
+            }
+            debug_assert!(k != key);
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// Fisher–Yates swap state that picks the narrow table when the population
+/// allows it (anything below `u32::MAX` logical slots).
+#[derive(Debug, Clone)]
+pub enum SwapMap {
+    /// Populations below `u32::MAX`: 8-byte entries.
+    Narrow(U32Map),
+    /// Full-width fallback.
+    Wide(U64Map),
+}
+
+impl SwapMap {
+    /// Chooses the width for a population of `n` logical slots.
+    #[must_use]
+    pub fn for_population(n: u64) -> Self {
+        if n < u64::from(u32::MAX) {
+            SwapMap::Narrow(U32Map::default())
+        } else {
+            SwapMap::Wide(U64Map::default())
+        }
+    }
+
+    /// The value stored for `key`, if present.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        match self {
+            SwapMap::Narrow(m) => m.get(key),
+            SwapMap::Wide(m) => m.get(key),
+        }
+    }
+
+    /// Inserts or updates `key`.
+    #[inline]
+    pub fn insert(&mut self, key: u64, val: u64) {
+        match self {
+            SwapMap::Narrow(m) => m.insert(key, val),
+            SwapMap::Wide(m) => m.insert(key, val),
+        }
+    }
+
+    /// Removes `key` if present.
+    #[inline]
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        match self {
+            SwapMap::Narrow(m) => m.remove(key),
+            SwapMap::Wide(m) => m.remove(key),
+        }
+    }
+
+    /// Pre-grows for `extra` further inserts.
+    pub fn reserve(&mut self, extra: usize) {
+        match self {
+            SwapMap::Narrow(m) => m.reserve(extra),
+            SwapMap::Wide(m) => m.reserve(extra),
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            SwapMap::Narrow(m) => m.len(),
+            SwapMap::Wide(m) => m.len(),
+        }
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry, keeping a small table.
+    pub fn clear(&mut self) {
+        match self {
+            SwapMap::Narrow(m) => m.clear(),
+            SwapMap::Wide(m) => m.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = U64Map::default();
+        assert!(m.is_empty());
+        for i in 0..1000u64 {
+            m.insert(i * 3, i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(i * 3), Some(i));
+            assert_eq!(m.get(i * 3 + 1), None);
+        }
+        for i in 0..500u64 {
+            assert_eq!(m.remove(i * 3), Some(i));
+            assert_eq!(m.remove(i * 3), None);
+        }
+        assert_eq!(m.len(), 500);
+        for i in 500..1000u64 {
+            assert_eq!(m.get(i * 3), Some(i), "survivor {i} lost after removes");
+        }
+    }
+
+    #[test]
+    fn update_overwrites() {
+        let mut m = U32Map::default();
+        m.insert(7, 1);
+        m.insert(7, 2);
+        assert_eq!(m.get(7), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = U32Map::default();
+        for i in 0..10_000 {
+            m.insert(i, i);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(3), None);
+        m.insert(3, 4);
+        assert_eq!(m.get(3), Some(4));
+    }
+
+    #[test]
+    fn reserve_prevents_mid_batch_growth() {
+        let mut m = U32Map::default();
+        m.reserve(1000);
+        let cap_before = m.entries.len();
+        for i in 0..1000 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.entries.len(), cap_before, "reserve must pre-size");
+    }
+
+    #[test]
+    fn swap_map_picks_width() {
+        assert!(matches!(
+            SwapMap::for_population(1_000_000),
+            SwapMap::Narrow(_)
+        ));
+        assert!(matches!(
+            SwapMap::for_population(u64::from(u32::MAX)),
+            SwapMap::Wide(_)
+        ));
+        let mut wide = SwapMap::for_population(u64::MAX);
+        wide.insert(u64::from(u32::MAX) + 7, 1);
+        assert_eq!(wide.get(u64::from(u32::MAX) + 7), Some(1));
+    }
+
+    #[test]
+    fn randomized_agreement_with_std_hashmap() {
+        use std::collections::HashMap;
+        // Deterministic xorshift exercise of mixed ops, checked against the
+        // std map as the oracle (this is what correctness of backward-shift
+        // deletion hinges on), over both widths.
+        for narrow in [false, true] {
+            let mut x = 0x0123_4567_89AB_CDEF_u64;
+            let mut step = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let mut ours = if narrow {
+                SwapMap::Narrow(U32Map::default())
+            } else {
+                SwapMap::Wide(U64Map::default())
+            };
+            let mut oracle: HashMap<u64, u64> = HashMap::new();
+            for round in 0..60_000 {
+                let key = step() % 512; // small domain forces dense collisions
+                match step() % 3 {
+                    0 => {
+                        let val = step() % 100_000;
+                        ours.insert(key, val);
+                        oracle.insert(key, val);
+                    }
+                    1 => {
+                        assert_eq!(ours.remove(key), oracle.remove(&key), "round {round}");
+                    }
+                    _ => {
+                        assert_eq!(ours.get(key), oracle.get(&key).copied(), "round {round}");
+                    }
+                }
+                assert_eq!(ours.len(), oracle.len(), "round {round}");
+            }
+            for (&k, &v) in &oracle {
+                assert_eq!(ours.get(k), Some(v));
+            }
+        }
+    }
+}

@@ -69,8 +69,7 @@ impl BernsteinSchedule {
     fn round_delta(&self, m: u64) -> f64 {
         let epoch = 64 - m.max(1).leading_zeros(); // ⌊log2 m⌋ + 1, m >= 1
         let epoch = f64::from(epoch.max(1));
-        self.delta * 6.0
-            / (std::f64::consts::PI.powi(2) * epoch * epoch * self.k as f64)
+        self.delta * 6.0 / (std::f64::consts::PI.powi(2) * epoch * epoch * self.k as f64)
     }
 
     /// ε at round `m` given the group's observed sample variance.

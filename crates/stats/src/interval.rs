@@ -27,7 +27,10 @@ impl Interval {
     /// Panics if either endpoint is NaN; confidence intervals must be real.
     #[must_use]
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval endpoints must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval endpoints must not be NaN"
+        );
         if lo <= hi {
             Self { lo, hi }
         } else {
@@ -191,7 +194,9 @@ impl IntervalSet {
             return false;
         }
         // Find the last sorted position whose lo <= probe.hi.
-        let pos = self.by_lo.partition_point(|&i| self.members[i].lo <= probe.hi);
+        let pos = self
+            .by_lo
+            .partition_point(|&i| self.members[i].lo <= probe.hi);
         if pos == 0 {
             return false;
         }
@@ -276,7 +281,10 @@ mod tests {
         let b = iv(1.0, 2.0);
         let c = iv(1.5, 3.0);
         let d = iv(2.5, 4.0);
-        assert!(a.overlaps(&b) && b.overlaps(&a), "tangent intervals overlap");
+        assert!(
+            a.overlaps(&b) && b.overlaps(&a),
+            "tangent intervals overlap"
+        );
         assert!(b.overlaps(&c) && c.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(c.overlaps(&d));
@@ -300,7 +308,11 @@ mod tests {
     }
 
     /// Brute-force oracle for the exclusion query.
-    fn naive_overlaps_any_excluding(members: &[Interval], probe: &Interval, exclude: usize) -> bool {
+    fn naive_overlaps_any_excluding(
+        members: &[Interval],
+        probe: &Interval,
+        exclude: usize,
+    ) -> bool {
         members
             .iter()
             .enumerate()

@@ -300,14 +300,8 @@ mod tests {
 
     #[test]
     fn loglog_with_kappa_above_one() {
-        let s = EpsilonSchedule::with_options(
-            1.0,
-            0.05,
-            10,
-            2.0,
-            SamplingMode::WithReplacement,
-            1.0,
-        );
+        let s =
+            EpsilonSchedule::with_options(1.0, 0.05, 10, 2.0, SamplingMode::WithReplacement, 1.0);
         // log_2(1024) = 10, ln(10) ≈ 2.3026.
         assert!((s.loglog_term(1024) - 10.0f64.ln()).abs() < 1e-9);
     }
@@ -341,14 +335,8 @@ mod tests {
     #[test]
     fn without_replacement_never_wider_than_with() {
         let wo = EpsilonSchedule::new(1.0, 0.05, 10);
-        let wi = EpsilonSchedule::with_options(
-            1.0,
-            0.05,
-            10,
-            1.0,
-            SamplingMode::WithReplacement,
-            1.0,
-        );
+        let wi =
+            EpsilonSchedule::with_options(1.0, 0.05, 10, 1.0, SamplingMode::WithReplacement, 1.0);
         for &m in &[1u64, 10, 100, 999] {
             assert!(wo.half_width(m, 1000) <= wi.half_width(m, 1000) + 1e-12);
         }
@@ -401,30 +389,20 @@ mod tests {
 
     #[test]
     fn rounds_to_reach_finds_threshold() {
-        let s = EpsilonSchedule::with_options(
-            1.0,
-            0.05,
-            10,
-            1.0,
-            SamplingMode::WithReplacement,
-            1.0,
-        );
+        let s =
+            EpsilonSchedule::with_options(1.0, 0.05, 10, 1.0, SamplingMode::WithReplacement, 1.0);
         let target = 0.01;
-        let m = s.rounds_to_reach(target, u64::MAX, 1 << 40).expect("reachable");
+        let m = s
+            .rounds_to_reach(target, u64::MAX, 1 << 40)
+            .expect("reachable");
         assert!(s.half_width(m, u64::MAX) < target);
         assert!(s.half_width(m - 1, u64::MAX) >= target);
     }
 
     #[test]
     fn rounds_to_reach_respects_cap() {
-        let s = EpsilonSchedule::with_options(
-            1.0,
-            0.05,
-            10,
-            1.0,
-            SamplingMode::WithReplacement,
-            1.0,
-        );
+        let s =
+            EpsilonSchedule::with_options(1.0, 0.05, 10, 1.0, SamplingMode::WithReplacement, 1.0);
         assert_eq!(s.rounds_to_reach(1e-9, u64::MAX, 1000), None);
     }
 
@@ -435,14 +413,8 @@ mod tests {
         // over all rounds).
         let k = 10usize;
         let delta = 0.05;
-        let s = EpsilonSchedule::with_options(
-            1.0,
-            delta,
-            k,
-            1.0,
-            SamplingMode::WithReplacement,
-            1.0,
-        );
+        let s =
+            EpsilonSchedule::with_options(1.0, delta, k, 1.0, SamplingMode::WithReplacement, 1.0);
         for &m in &[10u64, 100, 10_000] {
             let anytime = s.half_width(m, u64::MAX);
             let fixed = crate::hoeffding::hoeffding_half_width(m, delta / k as f64, 1.0);

@@ -101,7 +101,10 @@ mod tests {
     fn width_collapses_at_exhaustion() {
         let almost = serfling_half_width(1000, 1000, 0.05, 1.0);
         let fresh = serfling_half_width(1, 1000, 0.05, 1.0);
-        assert!(almost < fresh * 0.05, "near-exhaustion interval should collapse");
+        assert!(
+            almost < fresh * 0.05,
+            "near-exhaustion interval should collapse"
+        );
     }
 
     #[test]

@@ -52,8 +52,8 @@ fn main() {
         + 1.0;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let result = IFocus::new(AlgoConfig::new(c, 0.05).with_resolution(c / 100.0))
-        .run(&mut groups, &mut rng);
+    let result =
+        IFocus::new(AlgoConfig::new(c, 0.05).with_resolution(c / 100.0)).run(&mut groups, &mut rng);
 
     println!(
         "\nAVG({measure_col}) BY {group_col} — ordering guaranteed w.p. >= 0.95, \

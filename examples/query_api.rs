@@ -65,7 +65,11 @@ fn main() {
             ("B6", "morning") => 20.0,
             _ => 55.0,
         };
-        let delay = if data_rng.gen_bool(base / 100.0) { 100.0 } else { 0.0 };
+        let delay = if data_rng.gen_bool(base / 100.0) {
+            100.0
+        } else {
+            0.0
+        };
         b.push_row(vec![name.into(), window.into(), Value::Float(delay)]);
     }
     let engine2 = NeedleTail::new(b.finish(), &["name", "window"]).expect("engine builds");

@@ -37,19 +37,15 @@ fn main() {
 
     // Ordering by AVG: bargain < standard < premium < luxury.
     let mut avg_groups = groups.clone();
-    let avg = IFocus::new(AlgoConfig::new(100.0, 0.05)).run(
-        &mut avg_groups,
-        &mut rand::rngs::StdRng::seed_from_u64(32),
-    );
+    let avg = IFocus::new(AlgoConfig::new(100.0, 0.05))
+        .run(&mut avg_groups, &mut rand::rngs::StdRng::seed_from_u64(32));
     println!("ordered by AVG(sale):");
     let labels: Vec<&str> = avg.labels.iter().map(String::as_str).collect();
     print!("{}", bar_chart(&labels, &avg.estimates, 40));
 
     // Ordering by SUM (Algorithm 4, sizes known): volume flips the ranking.
-    let sum = IFocusSum1::new(AlgoConfig::new(100.0, 0.05)).run(
-        &mut groups,
-        &mut rand::rngs::StdRng::seed_from_u64(33),
-    );
+    let sum = IFocusSum1::new(AlgoConfig::new(100.0, 0.05))
+        .run(&mut groups, &mut rand::rngs::StdRng::seed_from_u64(33));
     println!("\nordered by SUM(sale) — Algorithm 4 (known group sizes):");
     for i in sum.order_by_estimate().into_iter().rev() {
         println!(
@@ -74,10 +70,8 @@ fn main() {
             VecSizedGroup::new(label, values, n as f64 / total as f64)
         })
         .collect();
-    let sum2 = IFocusSum2::new(AlgoConfig::new(100.0, 0.05).with_resolution(1.0)).run(
-        &mut sized,
-        &mut rand::rngs::StdRng::seed_from_u64(34),
-    );
+    let sum2 = IFocusSum2::new(AlgoConfig::new(100.0, 0.05).with_resolution(1.0))
+        .run(&mut sized, &mut rand::rngs::StdRng::seed_from_u64(34));
     println!("\nnormalized sums — Algorithm 5 (sizes estimated on the fly):");
     for i in sum2.order_by_estimate().into_iter().rev() {
         println!("  {:<10} ≈ {:>7.3}", sum2.labels[i], sum2.estimates[i]);

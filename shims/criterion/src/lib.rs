@@ -1,0 +1,379 @@
+//! Offline shim implementing the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build environment cannot reach crates.io, so benches link against
+//! this minimal harness instead of the real statistics engine. It measures
+//! wall-clock time with `std::time::Instant`, auto-calibrates an iteration
+//! count to fill the configured measurement window, and prints
+//! `name  time: [median ...]`-style lines. Supported:
+//!
+//! * [`Criterion`] with `warm_up_time` / `measurement_time`,
+//!   `benchmark_group`, and direct `bench_function`;
+//! * [`BenchmarkGroup`] with `sample_size`, `bench_function`,
+//!   `bench_with_input`, `finish`;
+//! * [`Bencher::iter`] and [`Bencher::iter_batched`] with [`BatchSize`];
+//! * [`BenchmarkId`], [`black_box`], `criterion_group!`, `criterion_main!`.
+//!
+//! CLI behaviour: a single positional argument filters benchmarks by
+//! substring; `--test` (what `cargo test` passes to bench targets) or
+//! `--quick` runs every benchmark exactly once for a fast smoke pass.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (shim: ignored beyond API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_id/parameter`.
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id string (accepts `&str`, `String`,
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Per-run timing settings plus the parsed CLI filter.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => quick = true,
+                "--bench" => {}
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        if std::env::var_os("CRITERION_QUICK").is_some() {
+            quick = true;
+        }
+        Self {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            filter,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up window.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: if self.quick {
+                Duration::ZERO
+            } else {
+                self.warm_up
+            },
+            measurement: self.measurement,
+            quick: self.quick,
+            ns_per_iter: None,
+        };
+        f(&mut b);
+        match b.ns_per_iter {
+            Some(ns) => println!("{id:<50} time: [{}]", format_ns(ns)),
+            None => println!("{id:<50} (no measurement recorded)"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion
+            .run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmarked routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    quick: bool,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to the measurement
+    /// window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            self.ns_per_iter = Some(0.0);
+            return;
+        }
+        // Warm-up + calibration: how long does one call take?
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        loop {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let target = (self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, 1_000_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.ns_per_iter = Some(total.as_secs_f64() * 1e9 / iters as f64);
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time
+    /// from the reported figure.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            let input = setup();
+            black_box(routine(input));
+            self.ns_per_iter = Some(0.0);
+            return;
+        }
+        // Calibrate.
+        let mut calib_iters = 0u64;
+        let mut spent = Duration::ZERO;
+        while spent < self.warm_up {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            spent += t.elapsed();
+            calib_iters += 1;
+        }
+        let per_iter = spent.as_secs_f64() / calib_iters as f64;
+        let target = (self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, 1_000_000_000);
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+        }
+        self.ns_per_iter = Some(measured.as_secs_f64() * 1e9 / iters as f64);
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).into_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+            filter: None,
+            quick: true,
+        };
+        let mut calls = 0u32;
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(1),
+            filter: Some("nomatch".into()),
+            quick: true,
+        };
+        let mut calls = 0u32;
+        c.bench_function("other", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline shim implementing the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal property-testing harness with the same surface syntax:
+//!
+//! * the [`proptest!`] and [`prop_compose!`] macros (including the
+//!   two-stage dependent-strategy form and `#![proptest_config(..)]`);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * strategies: ranges over ints/floats, tuples, [`Just`],
+//!   `prop_map`, [`collection::vec`], [`collection::btree_set`], and
+//!   `num::<ty>::ANY`.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test seed (no `PROPTEST_` env handling) and **failures do not
+//! shrink** — the failing input is reported as-is in the panic message.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+pub mod num;
+
+pub use strategy::{FnStrategy, Just, Strategy};
+pub use test_runner::TestRng;
+
+/// Runner configuration (`cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of a string (per-test seed derivation).
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{FnStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest, ProptestConfig,
+    };
+}
+
+/// Asserts a condition inside a property, reporting the case on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn name(bindings in strategies) { body }`
+/// becomes a `#[test]` running `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_internal!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_internal!{ [$crate::ProptestConfig::default()] $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_internal {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..u64::from(__cfg.cases) {
+                let mut __rng = $crate::TestRng::deterministic(__seed, __case);
+                $(let $pat = $crate::Strategy::sample_value(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_internal!{ [$cfg] $($rest)* }
+    };
+}
+
+/// Declares a named strategy-composing function. Supports the one- and
+/// two-stage forms:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn arb(max: u64)
+///         (len in 1..max)
+///         (xs in collection::vec(0..len, 0..8), len in Just(len))
+///         -> (Vec<u64>, u64)
+///     { (xs, len) }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+            ($($p1:pat in $s1:expr),+ $(,)?)
+            -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy(move |__rng: &mut $crate::TestRng| {
+                $(let $p1 = $crate::Strategy::sample_value(&($s1), __rng);)+
+                $body
+            })
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+            ($($p1:pat in $s1:expr),+ $(,)?)
+            ($($p2:pat in $s2:expr),+ $(,)?)
+            -> $ret:ty
+        $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::FnStrategy(move |__rng: &mut $crate::TestRng| {
+                $(let $p1 = $crate::Strategy::sample_value(&($s1), __rng);)+
+                $(let $p2 = $crate::Strategy::sample_value(&($s2), __rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0u64..100, y in -5i32..5, z in 0.0f64..1.0) {
+            prop_assert!(x < 100);
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&z));
+        }
+
+        #[test]
+        fn tuples_and_map(
+            iv in (0.0f64..10.0, 0.0f64..5.0).prop_map(|(lo, w)| (lo, lo + w)),
+        ) {
+            prop_assert!(iv.1 >= iv.0);
+        }
+
+        #[test]
+        fn vec_sizes(v in collection::vec(0u8..10, 3..6)) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn btree_set_unique(s in collection::btree_set(0u64..1000, 1..32)) {
+            prop_assert!(!s.is_empty() && s.len() < 32);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_accepted(x in 0u8..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair(max: u64)
+            (len in 1..max)
+            (xs in collection::vec(0..len, 0..8), len in Just(len))
+            -> (Vec<u64>, u64)
+        {
+            (xs, len)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_dependent((xs, len) in arb_pair(500)) {
+            prop_assert!(len >= 1 && len < 500);
+            prop_assert!(xs.iter().all(|&x| x < len));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic(9, 3);
+        let mut b = crate::TestRng::deterministic(9, 3);
+        let s = 0u64..1_000_000;
+        assert_eq!(
+            crate::Strategy::sample_value(&s, &mut a),
+            crate::Strategy::sample_value(&(0u64..1_000_000), &mut b)
+        );
+    }
+}

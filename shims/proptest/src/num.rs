@@ -1,0 +1,33 @@
+//! Whole-domain numeric strategies (`proptest::num::<ty>::ANY`).
+
+macro_rules! any_int {
+    ($($m:ident, $t:ty);* $(;)?) => {$(
+        /// `ANY` strategy for the named integer type.
+        pub mod $m {
+            use crate::strategy::Strategy;
+            use crate::test_runner::TestRng;
+            use rand::RngCore;
+
+            /// Uniform over the whole domain.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Any;
+
+            /// Uniform over the whole domain.
+            pub const ANY: Any = Any;
+
+            impl Strategy for Any {
+                type Value = $t;
+
+                #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+                fn sample_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+any_int! {
+    u8, u8; u16, u16; u32, u32; u64, u64; usize, usize;
+    i8, i8; i16, i16; i32, i32; i64, i64; isize, isize;
+}

@@ -1,0 +1,131 @@
+//! The [`Strategy`] trait and the built-in strategy types.
+//!
+//! A strategy here is simply "a way to sample a random value" — no shrink
+//! trees. `sample_value` takes `&self` so range expressions (which are
+//! `Copy`-less iterators in std) can still be written inline; all built-in
+//! strategies clone what they need.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A source of random values for property tests.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Samples one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn sample_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Wraps a sampling closure as a strategy (used by `prop_compose!`).
+pub struct FnStrategy<F>(pub F);
+
+impl<F, T> Strategy for FnStrategy<F>
+where
+    F: Fn(&mut TestRng) -> T,
+{
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ ));* $(;)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}

@@ -1,0 +1,31 @@
+//! Deterministic RNG driving case generation.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The case-generation RNG: a [`StdRng`] seeded from the test's name hash
+/// and case index so every run of the suite explores the same inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test whose name hashes to `seed`.
+    #[must_use]
+    pub fn deterministic(seed: u64, case: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -59,6 +59,27 @@ impl GroupSource for NeedletailGroup {
         }
     }
 
+    /// Batched draws resolve all `n` ranks through one sorted
+    /// `select_many` sweep of the group bitmap instead of `n` independent
+    /// directory binary searches. RNG consumption matches `n` single
+    /// draws, so fixed-seed runs are unchanged by batching.
+    fn draw_batch(
+        &mut self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        mode: SamplingMode,
+        out: &mut Vec<f64>,
+    ) -> u64 {
+        let n = usize::try_from(n).unwrap_or(usize::MAX);
+        let got = match mode {
+            SamplingMode::WithReplacement => self.handle.sample_batch_with_replacement(n, rng, out),
+            SamplingMode::WithoutReplacement => {
+                self.handle.sample_batch_without_replacement(n, rng, out)
+            }
+        };
+        got as u64
+    }
+
     fn true_mean(&self) -> Option<f64> {
         self.true_mean
     }
@@ -92,9 +113,7 @@ pub fn query_groups(
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use rapidviz_needletail::{
-        ColumnDef, DataType, NeedleTail, Predicate, Schema, TableBuilder,
-    };
+    use rapidviz_needletail::{ColumnDef, DataType, NeedleTail, Predicate, Schema, TableBuilder};
 
     fn engine() -> NeedleTail {
         let mut b = TableBuilder::new(Schema::new(vec![

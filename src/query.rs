@@ -239,8 +239,7 @@ mod tests {
         use rand::Rng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for _ in 0..30_000 {
-            let (name, mu) = [("AA", 60.0), ("JB", 20.0), ("UA", 85.0)]
-                [rng.gen_range(0..3)];
+            let (name, mu) = [("AA", 60.0), ("JB", 20.0), ("UA", 85.0)][rng.gen_range(0..3)];
             let origin = ["BOS", "SFO"][rng.gen_range(0..2)];
             let delay = if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 };
             b.push_row(vec![name.into(), origin.into(), Value::Float(delay)]);
@@ -325,7 +324,10 @@ mod tests {
     fn builder_errors() {
         let engine = engine();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        assert!(VizQuery::new(&engine).avg("delay").execute(&mut rng).is_err());
+        assert!(VizQuery::new(&engine)
+            .avg("delay")
+            .execute(&mut rng)
+            .is_err());
         assert!(VizQuery::new(&engine)
             .group_by("name")
             .execute(&mut rng)

@@ -55,15 +55,27 @@ fn all_three_algorithms_agree_with_ground_truth_on_engine() {
 
     let mut g1 = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
     let r1 = IFocus::new(config.clone()).run(&mut g1, &mut rng);
-    assert!(is_correctly_ordered_with_resolution(&r1.estimates, &truths, 0.5));
+    assert!(is_correctly_ordered_with_resolution(
+        &r1.estimates,
+        &truths,
+        0.5
+    ));
 
     let mut g2 = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
     let r2 = IRefine::new(config.clone()).run(&mut g2, &mut rng);
-    assert!(is_correctly_ordered_with_resolution(&r2.estimates, &truths, 0.5));
+    assert!(is_correctly_ordered_with_resolution(
+        &r2.estimates,
+        &truths,
+        0.5
+    ));
 
     let mut g3 = query_groups(&engine, "g", "y", &Predicate::True).unwrap();
     let r3 = RoundRobin::new(config).run(&mut g3, &mut rng);
-    assert!(is_correctly_ordered_with_resolution(&r3.estimates, &truths, 0.5));
+    assert!(is_correctly_ordered_with_resolution(
+        &r3.estimates,
+        &truths,
+        0.5
+    ));
 }
 
 #[test]

@@ -4,8 +4,7 @@ use rand::{Rng, SeedableRng};
 use rapidviz::core::extensions::sum::SizedGroupSource;
 use rapidviz::core::extensions::{
     ifocus_count, IFocusMistakes, IFocusMultiAggregate, IFocusPartial, IFocusSum1, IFocusSum2,
-    IFocusTopT, IFocusTrends, IFocusValues, NoIndexSampler, VecPairGroup, VecSizedGroup,
-    VecStream,
+    IFocusTopT, IFocusTrends, IFocusValues, NoIndexSampler, VecPairGroup, VecSizedGroup, VecStream,
 };
 use rapidviz::core::{
     fraction_correct_pairs, is_top_t_correct, is_trend_correct, AlgoConfig, GroupSource,
@@ -75,7 +74,10 @@ fn values_extension() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1031);
     let result = algo.run(&mut groups, &mut rng);
     for (est, tr) in result.estimates.iter().zip(&t) {
-        assert!((est - tr).abs() <= d, "value accuracy violated: {est} vs {tr}");
+        assert!(
+            (est - tr).abs() <= d,
+            "value accuracy violated: {est} vs {tr}"
+        );
     }
 }
 
@@ -120,7 +122,13 @@ fn sum_unknown_sizes_extension() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1060);
     let mut mk = |mean: f64| -> Vec<f64> {
         (0..20_000)
-            .map(|_| if rng.gen_bool(mean / 100.0) { 100.0 } else { 0.0 })
+            .map(|_| {
+                if rng.gen_bool(mean / 100.0) {
+                    100.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     };
     let mut groups = vec![
@@ -193,7 +201,13 @@ fn noindex_extension() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1090);
     let mut mk = |mean: f64, n: usize| -> Vec<f64> {
         (0..n)
-            .map(|_| if rng.gen_bool(mean / 100.0) { 100.0 } else { 0.0 })
+            .map(|_| {
+                if rng.gen_bool(mean / 100.0) {
+                    100.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     };
     let mut stream = VecStream::new(vec![

@@ -129,7 +129,11 @@ fn delta_has_mild_effect() {
         let mut groups = spec.virtual_groups();
         let config = AlgoConfig::new(100.0, delta).with_resolution(1.0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(801);
-        totals.push(IFocus::new(config).run(&mut groups, &mut rng).total_samples() as f64);
+        totals.push(
+            IFocus::new(config)
+                .run(&mut groups, &mut rng)
+                .total_samples() as f64,
+        );
     }
     assert!(totals[1] < totals[0], "larger delta must not cost more");
     assert!(
@@ -143,8 +147,7 @@ fn delta_has_mild_effect() {
 fn hard_gamma_quadratic_scaling() {
     let mut costs = Vec::new();
     for &gamma in &[4.0f64, 2.0] {
-        let spec =
-            DatasetSpec::generate(WorkloadFamily::Hard { gamma }, 10, 100_000_000, 900);
+        let spec = DatasetSpec::generate(WorkloadFamily::Hard { gamma }, 10, 100_000_000, 900);
         let mut groups = spec.virtual_groups();
         let config = AlgoConfig::new(100.0, 0.05).with_max_rounds(2_000_000);
         let mut rng = rand::rngs::StdRng::seed_from_u64(901);

@@ -6,8 +6,7 @@ use rand::SeedableRng;
 use rapidviz::core::{is_correctly_ordered_with_resolution, AlgoConfig, IFocus};
 use rapidviz::datagen::FlightModel;
 use rapidviz::needletail::{
-    read_csv, read_table, write_table, CsvOptions, DiskModel, NeedleTail, Predicate,
-    SimulatedDisk,
+    read_csv, read_table, write_table, CsvOptions, DiskModel, NeedleTail, Predicate, SimulatedDisk,
 };
 use rapidviz::{query_groups, VizQuery};
 
@@ -18,8 +17,7 @@ fn csv_to_binary_to_query_pipeline() {
     use rand::Rng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(71);
     for _ in 0..30_000 {
-        let (team, mu) = [("red", 25.0), ("green", 50.0), ("blue", 75.0)]
-            [rng.gen_range(0..3)];
+        let (team, mu) = [("red", 25.0), ("green", 50.0), ("blue", 75.0)][rng.gen_range(0..3)];
         let score = if rng.gen_bool(mu / 100.0) { 100 } else { 0 };
         csv.push_str(&format!("{team},{score}\n"));
     }
