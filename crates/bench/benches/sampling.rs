@@ -5,8 +5,20 @@
 //! include the threaded round path). Beyond the usual console lines, the
 //! run writes `BENCH_sampling.json` into the workspace root (override with
 //! `BENCH_SAMPLING_OUT`) so the perf trajectory is tracked in-repo.
-//! `--quick` / `--test` performs a single-iteration smoke pass and skips
-//! the JSON write — that is what CI runs.
+//!
+//! Two reduced modes:
+//!
+//! * `--quick` / `--test` — single-iteration smoke pass, no JSON write.
+//! * `--gate` — the CI perf-regression gate: a shortened but *measured*
+//!   pass whose per-case throughput is compared against the committed
+//!   `BENCH_sampling.json` (override with `BENCH_SAMPLING_BASELINE`) under
+//!   a generous tolerance ([`GATE_TOLERANCE`]×, absorbing runner noise and
+//!   the shortened timing window); any case regressing past it fails the
+//!   run. The fresh numbers are written to `BENCH_sampling.fresh.json`
+//!   (override with `BENCH_SAMPLING_OUT`) for artifact upload, never to
+//!   the committed baseline. Cases present only in the baseline (e.g. the
+//!   `parallel`-feature fan-out when the gate builds without it) are
+//!   skipped with a note.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +41,22 @@ fn test_bitmap() -> Bitmap {
 struct Measurement {
     name: String,
     draws_per_sec: f64,
+}
+
+/// How far a gate-mode measurement may fall below the committed baseline
+/// before the gate fails: `fresh < baseline / GATE_TOLERANCE` is a
+/// regression. Generous on purpose — the gate is meant to catch
+/// order-of-magnitude pipeline regressions, not CI-runner jitter.
+const GATE_TOLERANCE: f64 = 3.0;
+
+/// How the benchmark runs: full (1s+ per case, writes the committed
+/// baseline), quick smoke (one iteration, no JSON), or the CI regression
+/// gate (shortened measurement, compared against the baseline).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Full,
+    Quick,
+    Gate,
 }
 
 /// Faithful replica of the **seed** (pre-PR) sampling path, kept here as
@@ -168,8 +196,8 @@ mod seed_baseline {
 }
 
 /// Measures `total_draws` executed by `f` (which must perform them all).
-fn measure(name: &str, total_draws: u64, quick: bool, mut f: impl FnMut()) -> Measurement {
-    if quick {
+fn measure(name: &str, total_draws: u64, mode: Mode, mut f: impl FnMut()) -> Measurement {
+    if mode == Mode::Quick {
         f();
         println!("{name:<44} (quick smoke: ran once)");
         return Measurement {
@@ -177,6 +205,13 @@ fn measure(name: &str, total_draws: u64, quick: bool, mut f: impl FnMut()) -> Me
             draws_per_sec: 0.0,
         };
     }
+    let (min_secs, min_reps) = match mode {
+        Mode::Full => (1.0, 3),
+        // The gate trades timing precision for wall-clock; its tolerance
+        // absorbs the extra noise.
+        Mode::Gate => (0.2, 2),
+        Mode::Quick => unreachable!(),
+    };
     // Warm-up.
     f();
     let mut reps = 0u32;
@@ -184,7 +219,7 @@ fn measure(name: &str, total_draws: u64, quick: bool, mut f: impl FnMut()) -> Me
     loop {
         f();
         reps += 1;
-        if start.elapsed().as_secs_f64() > 1.0 && reps >= 3 {
+        if start.elapsed().as_secs_f64() > min_secs && reps >= min_reps {
             break;
         }
     }
@@ -199,11 +234,21 @@ fn measure(name: &str, total_draws: u64, quick: bool, mut f: impl FnMut()) -> Me
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "--test")
-        || std::env::var_os("CRITERION_QUICK").is_some();
+    let mode = if args.iter().any(|a| a == "--gate") {
+        Mode::Gate
+    } else if args.iter().any(|a| a == "--quick" || a == "--test")
+        || std::env::var_os("CRITERION_QUICK").is_some()
+    {
+        Mode::Quick
+    } else {
+        Mode::Full
+    };
     let mut results: Vec<Measurement> = Vec::new();
     let bitmap = test_bitmap();
-    let n_draws: u64 = if quick { 4_096 } else { 65_536 };
+    let n_draws: u64 = match mode {
+        Mode::Quick => 4_096,
+        Mode::Gate | Mode::Full => 65_536,
+    };
 
     // --- Seed (pre-PR) baselines: binary search + per-bit scan + SipHash. ---
     {
@@ -214,7 +259,7 @@ fn main() {
         results.push(measure(
             "with_replacement/seed_single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 let mut rng = StdRng::seed_from_u64(1);
                 for _ in 0..n_draws {
@@ -227,7 +272,7 @@ fn main() {
         results.push(measure(
             "without_replacement/seed_single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 // Reset (fresh permutation) per rep instead of cloning the
                 // bitmap; the new-path loops below do the same.
@@ -242,11 +287,11 @@ fn main() {
 
     // --- With replacement: k independent selects vs one sorted sweep. ---
     {
-        let sampler = BitmapSampler::new(bitmap.clone());
+        let mut sampler = BitmapSampler::new(bitmap.clone());
         results.push(measure(
             "with_replacement/single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 let mut rng = StdRng::seed_from_u64(1);
                 for _ in 0..n_draws {
@@ -258,7 +303,7 @@ fn main() {
             results.push(measure(
                 &format!("with_replacement/batched_{batch}"),
                 n_draws,
-                quick,
+                mode,
                 || {
                     let mut rng = StdRng::seed_from_u64(1);
                     let mut out = Vec::with_capacity(batch);
@@ -278,7 +323,7 @@ fn main() {
         results.push(measure(
             "without_replacement/single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 sampler.reset();
                 let mut rng = StdRng::seed_from_u64(2);
@@ -292,7 +337,7 @@ fn main() {
             results.push(measure(
                 &format!("without_replacement/batched_{batch}"),
                 n_draws,
-                quick,
+                mode,
                 || {
                     sampler.reset();
                     let mut rng = StdRng::seed_from_u64(2);
@@ -319,7 +364,7 @@ fn main() {
         results.push(measure(
             "large16m_with_replacement/seed_single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 let mut rng = StdRng::seed_from_u64(5);
                 for _ in 0..n_draws {
@@ -327,11 +372,11 @@ fn main() {
                 }
             },
         ));
-        let sampler = BitmapSampler::new(big.clone());
+        let mut sampler = BitmapSampler::new(big.clone());
         results.push(measure(
             "large16m_with_replacement/single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 let mut rng = StdRng::seed_from_u64(5);
                 for _ in 0..n_draws {
@@ -343,7 +388,7 @@ fn main() {
             results.push(measure(
                 &format!("large16m_with_replacement/batched_{batch}"),
                 n_draws,
-                quick,
+                mode,
                 || {
                     let mut rng = StdRng::seed_from_u64(5);
                     let mut out = Vec::with_capacity(batch);
@@ -359,7 +404,7 @@ fn main() {
         results.push(measure(
             "large16m_without_replacement/seed_single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 seed_wor.reset();
                 let mut rng = StdRng::seed_from_u64(6);
@@ -372,7 +417,7 @@ fn main() {
         results.push(measure(
             "large16m_without_replacement/single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 wor.reset();
                 let mut rng = StdRng::seed_from_u64(6);
@@ -386,7 +431,7 @@ fn main() {
             results.push(measure(
                 &format!("large16m_without_replacement/batched_{batch}"),
                 n_draws,
-                quick,
+                mode,
                 || {
                     wor.reset();
                     let mut rng = StdRng::seed_from_u64(6);
@@ -416,7 +461,7 @@ fn main() {
         results.push(measure(
             "huge256m_with_replacement/seed_single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 let mut rng = StdRng::seed_from_u64(7);
                 for _ in 0..n_draws {
@@ -424,11 +469,11 @@ fn main() {
                 }
             },
         ));
-        let sampler = BitmapSampler::new(big.clone());
+        let mut sampler = BitmapSampler::new(big.clone());
         results.push(measure(
             "huge256m_with_replacement/single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 let mut rng = StdRng::seed_from_u64(7);
                 for _ in 0..n_draws {
@@ -440,7 +485,7 @@ fn main() {
             results.push(measure(
                 &format!("huge256m_with_replacement/batched_{batch}"),
                 n_draws,
-                quick,
+                mode,
                 || {
                     let mut rng = StdRng::seed_from_u64(7);
                     let mut out = Vec::with_capacity(batch);
@@ -456,7 +501,7 @@ fn main() {
         results.push(measure(
             "huge256m_without_replacement/seed_single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 seed_wor.reset();
                 let mut rng = StdRng::seed_from_u64(8);
@@ -469,7 +514,7 @@ fn main() {
         results.push(measure(
             "huge256m_without_replacement/single_loop",
             n_draws,
-            quick,
+            mode,
             || {
                 wor.reset();
                 let mut rng = StdRng::seed_from_u64(8);
@@ -483,7 +528,7 @@ fn main() {
             results.push(measure(
                 &format!("huge256m_without_replacement/batched_{batch}"),
                 n_draws,
-                quick,
+                mode,
                 || {
                     wor.reset();
                     let mut rng = StdRng::seed_from_u64(8);
@@ -532,12 +577,12 @@ fn main() {
         // Threshold u64::MAX keeps even `parallel`-feature builds on the
         // sequential path for these narrow rounds (4 groups x 64 draws is
         // far below where thread spawn/join pays for itself).
-        results.push(measure("ifocus/round_batch_1", total, quick, || {
+        results.push(measure("ifocus/round_batch_1", total, mode, || {
             black_box(run_once(
                 AlgoConfig::new(100.0, 0.05).with_parallel_threshold(u64::MAX),
             ));
         }));
-        results.push(measure("ifocus/round_batch_64", total, quick, || {
+        results.push(measure("ifocus/round_batch_64", total, mode, || {
             black_box(run_once(
                 AlgoConfig::new(100.0, 0.05)
                     .with_samples_per_round(64)
@@ -582,26 +627,21 @@ fn main() {
                 .with_max_rounds(200)
         };
         let total = run_once(base_cfg().with_parallel_threshold(u64::MAX));
-        results.push(measure(
-            "ifocus_wide/round_batch_4096",
-            total,
-            quick,
-            || {
-                black_box(run_once(base_cfg().with_parallel_threshold(u64::MAX)));
-            },
-        ));
+        results.push(measure("ifocus_wide/round_batch_4096", total, mode, || {
+            black_box(run_once(base_cfg().with_parallel_threshold(u64::MAX)));
+        }));
         #[cfg(feature = "parallel")]
         results.push(measure(
             "ifocus_wide/round_batch_4096_parallel",
             total,
-            quick,
+            mode,
             || {
                 black_box(run_once(base_cfg().with_parallel_threshold(1)));
             },
         ));
     }
 
-    report(&results, quick);
+    report(&results, mode);
 }
 
 fn speedup(results: &[Measurement], base: &str, new: &str) -> Option<f64> {
@@ -617,8 +657,81 @@ fn speedup(results: &[Measurement], base: &str, new: &str) -> Option<f64> {
     }
 }
 
-fn report(results: &[Measurement], quick: bool) {
-    if quick {
+/// Extracts the `"name": value` entries of the `"results"` object from a
+/// JSON file this bench itself wrote (a deliberately narrow parser — the
+/// offline workspace has no serde, and the format is under our control).
+fn parse_results(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(start) = json.find("\"results\": {") else {
+        return out;
+    };
+    for line in json[start..].lines().skip(1) {
+        let trimmed = line.trim();
+        if trimmed.starts_with('}') {
+            break;
+        }
+        let Some((key, value)) = trimmed.rsplit_once(':') else {
+            continue;
+        };
+        let name = key.trim().trim_matches('"').to_owned();
+        if let Ok(v) = value.trim().trim_end_matches(',').parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+/// Gate mode: compare fresh throughput against the committed baseline.
+/// Returns the number of regressions (cases slower than
+/// `baseline / GATE_TOLERANCE`).
+fn gate_against_baseline(results: &[Measurement]) -> usize {
+    let baseline_path = std::env::var("BENCH_SAMPLING_BASELINE")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_sampling.json", env!("CARGO_MANIFEST_DIR")));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            // A missing baseline must fail loudly: a silently green gate
+            // that compares against nothing protects nothing.
+            eprintln!("gate: cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let baseline = parse_results(&baseline);
+    if baseline.is_empty() {
+        eprintln!("gate: baseline {baseline_path} has no results");
+        return 1;
+    }
+    let mut regressions = 0;
+    println!("\nperf gate vs {baseline_path} (tolerance {GATE_TOLERANCE}x):");
+    for (name, base) in &baseline {
+        if *base <= 0.0 {
+            continue;
+        }
+        let Some(fresh) = results.iter().find(|m| m.name == *name) else {
+            // Feature-gated cases (e.g. the parallel fan-out) may be
+            // absent from a default-features gate build.
+            println!("  SKIP {name:<42} (not measured in this build)");
+            continue;
+        };
+        let ratio = fresh.draws_per_sec / base;
+        if fresh.draws_per_sec * GATE_TOLERANCE < *base {
+            regressions += 1;
+            println!(
+                "  FAIL {name:<42} {:>12.0} vs baseline {base:>12.0} ({ratio:.2}x)",
+                fresh.draws_per_sec
+            );
+        } else {
+            println!(
+                "  ok   {name:<42} {:>12.0} vs baseline {base:>12.0} ({ratio:.2}x)",
+                fresh.draws_per_sec
+            );
+        }
+    }
+    regressions
+}
+
+fn report(results: &[Measurement], mode: Mode) {
+    if mode == Mode::Quick {
         println!("quick mode: skipping BENCH_sampling.json write");
         return;
     }
@@ -762,10 +875,26 @@ fn report(results: &[Measurement], quick: bool) {
     json.push_str(&lines.join(",\n"));
     json.push_str("\n  }\n}\n");
     println!("{json}");
-    let out_path = std::env::var("BENCH_SAMPLING_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_sampling.json", env!("CARGO_MANIFEST_DIR")));
+    // Gate runs never overwrite the committed baseline; their numbers go to
+    // a sibling "fresh" file for CI artifact upload.
+    let default_out = match mode {
+        Mode::Gate => format!(
+            "{}/../../BENCH_sampling.fresh.json",
+            env!("CARGO_MANIFEST_DIR")
+        ),
+        _ => format!("{}/../../BENCH_sampling.json", env!("CARGO_MANIFEST_DIR")),
+    };
+    let out_path = std::env::var("BENCH_SAMPLING_OUT").unwrap_or(default_out);
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => eprintln!("could not write {out_path}: {e}"),
+    }
+    if mode == Mode::Gate {
+        let regressions = gate_against_baseline(results);
+        assert!(
+            regressions == 0,
+            "perf gate: {regressions} case(s) regressed past {GATE_TOLERANCE}x"
+        );
+        println!("perf gate passed");
     }
 }

@@ -63,9 +63,12 @@ pub struct AlgoConfig {
     /// marked truncated). `u64::MAX` = no cap.
     pub max_samples_per_group: u64,
     /// Minimum `samples_per_round × active groups` at which a round's
-    /// per-group draw loop fans out across threads. Only consulted when the
-    /// crate is built with the `parallel` feature; small rounds stay
-    /// sequential because thread spawn/join overhead would dominate.
+    /// per-group draw loop fans out across the persistent worker pool.
+    /// Only consulted when the crate is built with the `parallel` feature.
+    /// Dispatch costs one channel send per worker (the pool threads spawn
+    /// once and park between rounds), so even narrow rounds can profit;
+    /// the default guards only the tiniest rounds, where per-group RNG
+    /// seeding would dominate the draws themselves.
     pub parallel_threshold: u64,
 }
 
@@ -93,7 +96,7 @@ impl AlgoConfig {
             max_rounds: u64::MAX,
             max_samples_per_group: u64::MAX,
             samples_per_round: 1,
-            parallel_threshold: 4096,
+            parallel_threshold: 256,
         }
     }
 

@@ -7,7 +7,7 @@
 //! point in time is correct (they were mutually disjoint when they froze).
 
 use crate::config::AlgoConfig;
-use crate::group::GroupSource;
+use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
 use crate::state::FocusState;
 use rand::RngCore;
@@ -43,10 +43,15 @@ impl IFocusPartial {
     /// Runs over the groups, invoking `emit` for each group the moment it
     /// deactivates. The final [`RunResult`] is identical to plain IFOCUS's.
     ///
+    /// Rounds draw through the same batched pipeline as IFOCUS (one
+    /// `draw_batch` of [`AlgoConfig::samples_per_round`] per active group,
+    /// selected via the state's reusable scratch), so fixed-seed results
+    /// match the historical per-draw loop exactly at batch size 1.
+    ///
     /// # Panics
     ///
     /// Panics if `groups` is empty.
-    pub fn run<G: GroupSource>(
+    pub fn run<G: GroupSource + MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn RngCore,
@@ -63,12 +68,9 @@ impl IFocusPartial {
                 state.truncated = true;
                 break;
             }
-            state.m += 1;
-            for i in 0..state.k() {
-                if state.active[i] && !state.exhausted[i] {
-                    state.draw(i, &mut groups[i], rng);
-                }
-            }
+            let batch = self.config.samples_per_round;
+            state.m += batch;
+            state.draw_round_selected(false, groups, rng, batch);
             if state.resolution_reached() || state.all_active_exhausted() {
                 state.deactivate_all();
             } else {
@@ -169,5 +171,64 @@ mod tests {
                 "prefix of {prefix_len} emissions mis-ordered"
             );
         }
+    }
+
+    /// The pre-batching partial-results round loop, verbatim: one
+    /// `state.draw` per active group per round.
+    fn reference_partial(
+        config: &AlgoConfig,
+        groups: &mut [VecGroup],
+        rng: &mut dyn rand::RngCore,
+        emit: &mut impl FnMut(PartialEmission),
+    ) -> RunResult {
+        let mut state = FocusState::initialize(config, groups, rng);
+        let mut emitted = vec![false; state.k()];
+        state.standard_deactivation();
+        IFocusPartial::flush(&state, &mut emitted, emit);
+        state.record();
+        while state.any_active() {
+            if state.m >= config.max_rounds {
+                state.truncated = true;
+                break;
+            }
+            state.m += 1;
+            for i in 0..state.k() {
+                if state.active[i] && !state.exhausted[i] {
+                    state.draw(i, &mut groups[i], rng);
+                }
+            }
+            if state.resolution_reached() || state.all_active_exhausted() {
+                state.deactivate_all();
+            } else {
+                state.standard_deactivation();
+            }
+            IFocusPartial::flush(&state, &mut emitted, emit);
+            state.record();
+        }
+        IFocusPartial::flush(&state, &mut emitted, emit);
+        state.finish()
+    }
+
+    #[test]
+    fn batched_partial_matches_single_draw_reference() {
+        // Byte-identical emissions and result vs the per-draw loop at the
+        // default batch size. Skipped under `parallel` (per-group streams).
+        if cfg!(feature = "parallel") {
+            return;
+        }
+        let means = [20.0, 46.0, 54.0, 85.0];
+        let mut g1 = two_point_groups(&means, 50_000, 140);
+        let mut g2 = g1.clone();
+        let config = AlgoConfig::new(100.0, 0.05);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(141);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(141);
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        let result = IFocusPartial::new(config.clone()).run(&mut g1, &mut rng1, |e| e1.push(e));
+        let reference = reference_partial(&config, &mut g2, &mut rng2, &mut |e| e2.push(e));
+        assert_eq!(e1, e2, "emission streams must be identical");
+        assert_eq!(result.estimates, reference.estimates);
+        assert_eq!(result.samples_per_group, reference.samples_per_group);
+        assert_eq!(result.rounds, reference.rounds);
     }
 }

@@ -131,6 +131,36 @@ pub trait SizedGroupSource {
     /// relation). Always with replacement.
     fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)>;
 
+    /// Draws up to `n` `(x, z)` pairs in one call, appending them to `out`
+    /// in draw order; returns the number appended (stops early only if the
+    /// source comes up dry mid-batch, which i.i.d. sized sources never do).
+    ///
+    /// The default implementation loops [`Self::sample_with_size`], so
+    /// every source is batch-capable with unchanged semantics. Sources
+    /// backed by rank/select storage (the NEEDLETAIL size-estimating
+    /// sampler) override this to resolve the whole batch through one
+    /// sorted `select_many` sweep. Overrides **must** consume the RNG
+    /// identically to `n` single draws so batching never changes a
+    /// fixed-seed run's output.
+    fn sample_with_size_batch(
+        &mut self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(f64, f64)>,
+    ) -> u64 {
+        let mut got = 0;
+        for _ in 0..n {
+            match self.sample_with_size(rng) {
+                Some(pair) => {
+                    out.push(pair);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
     /// True normalized sum `s_i·µ_i`, when known (evaluation only).
     fn true_normalized_sum(&self) -> Option<f64> {
         None
@@ -201,6 +231,15 @@ impl IFocusSum2 {
 
     /// Runs over sized sources.
     ///
+    /// Rounds draw [`AlgoConfig::samples_per_round`] pairs per active
+    /// group through [`SizedGroupSource::sample_with_size_batch`] — one
+    /// batched call (and, for NEEDLETAIL-backed sources, one sorted
+    /// `select_many` sweep) instead of per-draw sampler round trips — into
+    /// a reusable pair buffer, feeding the estimator via the batched
+    /// [`RunningMean::push_products`] hook. Fixed-seed results are
+    /// byte-identical to the historical per-draw loop (regression-tested
+    /// against a verbatim reference implementation).
+    ///
     /// # Panics
     ///
     /// Panics if `groups` is empty.
@@ -223,6 +262,8 @@ impl IFocusSum2 {
         let mut samples = vec![0u64; k];
         let mut m = 1u64;
         let mut truncated = false;
+        // Reusable draw buffer: cleared, never shrunk, between batches.
+        let mut pairs: Vec<(f64, f64)> = Vec::new();
         for (i, group) in groups.iter_mut().enumerate() {
             if let Some((x, z)) = group.sample_with_size(rng) {
                 estimates[i].push(x * z);
@@ -271,13 +312,14 @@ impl IFocusSum2 {
                 truncated = true;
                 break;
             }
-            m += 1;
+            let batch = self.config.samples_per_round;
+            m += batch;
             for i in 0..k {
                 if active[i] {
-                    if let Some((x, z)) = groups[i].sample_with_size(rng) {
-                        estimates[i].push(x * z);
-                        samples[i] += 1;
-                    }
+                    pairs.clear();
+                    let got = groups[i].sample_with_size_batch(batch, rng, &mut pairs);
+                    estimates[i].push_products(&pairs);
+                    samples[i] += got;
                 }
             }
         }
@@ -315,6 +357,21 @@ pub fn ifocus_count<G: SizedGroupSource>(
         }
         fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)> {
             self.0.sample_with_size(rng).map(|(_, z)| (1.0, z))
+        }
+        fn sample_with_size_batch(
+            &mut self,
+            n: u64,
+            rng: &mut dyn RngCore,
+            out: &mut Vec<(f64, f64)>,
+        ) -> u64 {
+            // Forward to the source's (possibly select_many-batched)
+            // implementation, then overwrite x with the constant 1.
+            let base = out.len();
+            let got = self.0.sample_with_size_batch(n, rng, out);
+            for pair in &mut out[base..] {
+                pair.0 = 1.0;
+            }
+            got
         }
     }
     let mut count_config = config.clone();
@@ -434,5 +491,167 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn sized_group_rejects_bad_fraction() {
         let _ = VecSizedGroup::new("x", vec![1.0], 0.0);
+    }
+
+    /// The pre-batching Algorithm 5 loop, verbatim: one `sample_with_size`
+    /// call per active group per round. Guards the acceptance criterion
+    /// that the batched SUM path is byte-identical for a fixed seed.
+    fn reference_sum2<G: SizedGroupSource>(
+        config: &AlgoConfig,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
+        assert!(!groups.is_empty(), "need at least one group");
+        let k = groups.len();
+        let schedule = EpsilonSchedule::with_options(
+            config.c,
+            config.delta,
+            k,
+            config.kappa,
+            SamplingMode::WithReplacement,
+            config.heuristic_factor,
+        );
+        let labels: Vec<String> = groups.iter().map(SizedGroupSource::label).collect();
+        let mut estimates = vec![RunningMean::new(); k];
+        let mut active = vec![true; k];
+        let mut samples = vec![0u64; k];
+        let mut m = 1u64;
+        let mut truncated = false;
+        for (i, group) in groups.iter_mut().enumerate() {
+            if let Some((x, z)) = group.sample_with_size(rng) {
+                estimates[i].push(x * z);
+                samples[i] += 1;
+            }
+        }
+        loop {
+            let eps = schedule.half_width(m, u64::MAX);
+            let resolution_hit = config
+                .resolution_epsilon()
+                .is_some_and(|thresh| eps < thresh);
+            if resolution_hit {
+                active.iter_mut().for_each(|a| *a = false);
+            } else {
+                loop {
+                    let members: Vec<usize> = (0..k).filter(|&i| active[i]).collect();
+                    if members.is_empty() {
+                        break;
+                    }
+                    let set = IntervalSet::new(
+                        members
+                            .iter()
+                            .map(|&i| Interval::centered(estimates[i].mean(), eps))
+                            .collect(),
+                    );
+                    let to_remove: Vec<usize> = members
+                        .iter()
+                        .enumerate()
+                        .filter(|&(pos, _)| !set.member_overlaps_others(pos))
+                        .map(|(_, &i)| i)
+                        .collect();
+                    if to_remove.is_empty() {
+                        break;
+                    }
+                    for i in to_remove {
+                        active[i] = false;
+                    }
+                }
+            }
+            if !active.iter().any(|&a| a) {
+                break;
+            }
+            if m >= config.max_rounds {
+                truncated = true;
+                break;
+            }
+            m += 1;
+            for i in 0..k {
+                if active[i] {
+                    if let Some((x, z)) = groups[i].sample_with_size(rng) {
+                        estimates[i].push(x * z);
+                        samples[i] += 1;
+                    }
+                }
+            }
+        }
+        RunResult {
+            labels,
+            estimates: estimates.iter().map(RunningMean::mean).collect(),
+            samples_per_group: samples,
+            rounds: m,
+            trace: None,
+            history: None,
+            truncated,
+        }
+    }
+
+    #[test]
+    fn sum2_batched_matches_single_draw_reference() {
+        // Byte-identical results vs the pre-batching per-draw Algorithm 5
+        // loop at batch size 1 (the default every caller gets).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(130);
+        let make = |rng: &mut rand::rngs::StdRng| {
+            vec![
+                VecSizedGroup::new("a", two_point_values(30.0, 10_000, rng), 0.55),
+                VecSizedGroup::new("b", two_point_values(75.0, 10_000, rng), 0.30),
+                VecSizedGroup::new("c", two_point_values(50.0, 10_000, rng), 0.15),
+            ]
+        };
+        let mut g1 = make(&mut rng);
+        let mut g2 = g1.clone();
+        let config = AlgoConfig::new(100.0, 0.05).with_resolution(1.0);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(131);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(131);
+        let result = IFocusSum2::new(config.clone()).run(&mut g1, &mut rng1);
+        let reference = reference_sum2(&config, &mut g2, &mut rng2);
+        assert_eq!(result.estimates, reference.estimates);
+        assert_eq!(result.samples_per_group, reference.samples_per_group);
+        assert_eq!(result.rounds, reference.rounds);
+        assert_eq!(result.truncated, reference.truncated);
+    }
+
+    #[test]
+    fn sum2_larger_batches_still_order_correctly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(132);
+        let mut groups = vec![
+            VecSizedGroup::new("a", two_point_values(30.0, 20_000, &mut rng), 0.6),
+            VecSizedGroup::new("b", two_point_values(80.0, 20_000, &mut rng), 0.3),
+            VecSizedGroup::new("c", two_point_values(50.0, 20_000, &mut rng), 0.1),
+        ];
+        let truths: Vec<f64> = groups
+            .iter()
+            .map(|g| g.true_normalized_sum().unwrap())
+            .collect();
+        let algo = IFocusSum2::new(
+            AlgoConfig::new(100.0, 0.05)
+                .with_resolution(2.0)
+                .with_samples_per_round(32),
+        );
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(133);
+        let result = algo.run(&mut groups, &mut run_rng);
+        assert!(
+            crate::ordering::is_correctly_ordered_with_resolution(&result.estimates, &truths, 2.0),
+            "estimates {:?} vs truths {truths:?}",
+            result.estimates
+        );
+    }
+
+    #[test]
+    fn count_batch_adapter_forwards_and_rewrites_x() {
+        // With per-round batches of 8 the COUNT adapter's batch override is
+        // on the hot path; had it forwarded z but kept the raw x values,
+        // the estimates would land near s_i·µ_i (≈ 12–16 here) instead of
+        // the normalized fractions in [0, 1].
+        let mut rng = rand::rngs::StdRng::seed_from_u64(134);
+        let mut groups = vec![
+            VecSizedGroup::new("big", two_point_values(40.0, 5_000, &mut rng), 0.6),
+            VecSizedGroup::new("small", two_point_values(40.0, 5_000, &mut rng), 0.2),
+        ];
+        let config = AlgoConfig::new(100.0, 0.05)
+            .with_resolution(0.05)
+            .with_samples_per_round(8);
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(135);
+        let result = ifocus_count(&config, &mut groups, &mut run_rng);
+        assert!((result.estimates[0] - 0.6).abs() < 0.08);
+        assert!((result.estimates[1] - 0.2).abs() < 0.08);
     }
 }

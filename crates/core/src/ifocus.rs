@@ -89,12 +89,10 @@ impl IFocus {
             let batch = self.config.samples_per_round;
             state.m += batch;
             // One draw_batch call per active group (and, over threshold with
-            // the `parallel` feature, one thread fan-out per round) instead
-            // of `batch` single draws.
-            let active: Vec<usize> = (0..state.k())
-                .filter(|&i| state.active[i] && !state.exhausted[i])
-                .collect();
-            state.draw_round(&active, groups, rng, batch);
+            // the `parallel` feature, one worker-pool fan-out per round)
+            // instead of `batch` single draws; the selection index list is
+            // rebuilt in the state's reusable scratch buffer.
+            state.draw_round_selected(false, groups, rng, batch);
             if state.resolution_reached() || state.all_active_exhausted() {
                 state.deactivate_all();
             } else {

@@ -1,0 +1,217 @@
+//! Persistent worker pool for the `parallel` draw fan-out.
+//!
+//! The first parallel round spawns `available_parallelism()` workers that
+//! live for the rest of the process, parked on a job channel. Dispatching a
+//! round's per-group draw tasks then costs one channel send per chunk
+//! instead of a full `thread::scope` spawn/join cycle — cheap enough that
+//! **narrow rounds** (few groups × small batches, below the old
+//! spawn-amortization threshold) can fan out too, which is why
+//! [`crate::AlgoConfig::parallel_threshold`] now defaults far lower than it
+//! did under the per-round spawn design.
+//!
+//! [`WorkerPool::run_scoped`] executes a set of borrowing (non-`'static`)
+//! tasks to completion before returning, which is what makes the pool a
+//! drop-in replacement for `std::thread::scope`: the caller's borrows stay
+//! valid for exactly the window in which tasks run. Completion is tracked
+//! by a latch that counts down even when a task panics (via a drop guard),
+//! so the caller can never return — and thus never invalidate a borrow —
+//! while a task is still running. A task panic is re-raised on the caller
+//! after the round completes, mirroring `scope.join().expect(...)`.
+//!
+//! Do not call [`WorkerPool::run_scoped`] from inside a pool task: a task
+//! waiting on tasks that need its own worker can deadlock. The algorithms
+//! only dispatch from user threads.
+
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide pool, spawned on first use.
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// The global pool (spawning its workers on the first call).
+pub(crate) fn global() -> &'static WorkerPool {
+    POOL.get_or_init(WorkerPool::start)
+}
+
+/// A fixed set of parked worker threads fed from one shared job channel.
+pub(crate) struct WorkerPool {
+    sender: Sender<Job>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    fn start() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for i in 0..workers {
+            let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("rapidviz-draw-{i}"))
+                .spawn(move || loop {
+                    // Take the lock only to dequeue; run the job unlocked.
+                    let job = {
+                        let rx = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                        rx.recv()
+                    };
+                    match job {
+                        // A panicking job must not kill the worker; the
+                        // latch guard inside the job records the panic for
+                        // the dispatching thread to re-raise.
+                        Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                        Err(_) => break,
+                    }
+                })
+                .expect("failed to spawn draw worker");
+        }
+        Self { sender, workers }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every task on the pool and blocks until all have finished.
+    /// Tasks may borrow from the caller's stack. Panics (after all tasks
+    /// have settled) if any task panicked.
+    pub(crate) fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let latch = Arc::new(Latch::new(tasks.len()));
+        for task in tasks {
+            // SAFETY: `run_scoped` blocks on `latch.wait()` below until
+            // every dispatched job has signalled completion — and the latch
+            // guard signals from `Drop`, so a job that panics still counts
+            // down. The `'scope` borrows captured by `task` therefore
+            // strictly outlive its execution, which is the only thing the
+            // lifetime erasure gives up statically.
+            #[allow(unsafe_code)]
+            let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+            let guard_latch = Arc::clone(&latch);
+            self.sender
+                .send(Box::new(move || {
+                    let _guard = CountDownOnDrop(guard_latch);
+                    task();
+                }))
+                .expect("worker pool channel closed");
+        }
+        latch.wait();
+        assert!(
+            !latch.panicked.load(Ordering::SeqCst),
+            "a parallel draw task panicked"
+        );
+    }
+}
+
+/// A count-down latch: `wait` returns once `n` completions are recorded.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self {
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Counts the latch down when dropped — including during unwinding, in
+/// which case the panic is recorded for the dispatcher to re-raise.
+struct CountDownOnDrop(Arc<Latch>);
+
+impl Drop for CountDownOnDrop {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.panicked.store(true, Ordering::SeqCst);
+        }
+        self.0.count_down();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_borrowing_tasks_to_completion() {
+        let pool = global();
+        let mut slots = vec![0u64; 8];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                Box::new(move || {
+                    *slot = (i as u64 + 1) * 10;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(slots, vec![10, 20, 30, 40, 50, 60, 70, 80]);
+    }
+
+    #[test]
+    fn reuses_workers_across_rounds() {
+        let pool = global();
+        for round in 0..20 {
+            let mut total = 0u64;
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {
+                total = round;
+            })];
+            pool.run_scoped(tasks);
+            assert_eq!(total, round);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_after_round_settles() {
+        let pool = global();
+        let mut ok = false;
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+                Box::new(|| panic!("boom")),
+                Box::new(|| {
+                    ok = true;
+                }),
+            ];
+            pool.run_scoped(tasks);
+        }));
+        assert!(result.is_err(), "panic must surface on the dispatcher");
+        assert!(ok, "non-panicking tasks still ran to completion");
+        // The pool survives: a later round still works.
+        let mut x = 0;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {
+            x = 7;
+        })];
+        pool.run_scoped(tasks);
+        assert_eq!(x, 7);
+    }
+}

@@ -63,10 +63,9 @@ impl RoundRobin {
             let batch = self.config.samples_per_round;
             state.m += batch;
             // The defining difference from IFOCUS: sample *all* groups —
-            // one draw_batch call each (threaded over threshold with the
-            // `parallel` feature).
-            let eligible: Vec<usize> = (0..state.k()).filter(|&i| !state.exhausted[i]).collect();
-            state.draw_round(&eligible, groups, rng, batch);
+            // one draw_batch call each (pooled over threshold with the
+            // `parallel` feature), selected through the reusable scratch.
+            state.draw_round_selected(true, groups, rng, batch);
             if state.resolution_reached() || state.all_exhausted() {
                 state.deactivate_all();
             } else {

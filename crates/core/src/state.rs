@@ -35,6 +35,10 @@ pub(crate) struct FocusState {
     pub(crate) truncated: bool,
     /// Reusable buffer for batched draws (avoids a per-round allocation).
     scratch: Vec<f64>,
+    /// Reusable round-selection index buffer: the per-round list of groups
+    /// to draw from is rebuilt in place here instead of allocating a fresh
+    /// `Vec<usize>` every round.
+    round_idxs: Vec<usize>,
 }
 
 impl FocusState {
@@ -65,6 +69,7 @@ impl FocusState {
             history: (config.history_every > 0).then(History::new),
             truncated: false,
             scratch: Vec::new(),
+            round_idxs: Vec::new(),
         };
         for (i, group) in groups.iter_mut().enumerate() {
             state.draw(i, group, rng);
@@ -104,20 +109,42 @@ impl FocusState {
     ) {
         self.scratch.clear();
         let got = group.draw_batch(n, rng, self.config.mode, &mut self.scratch);
-        for &x in &self.scratch {
-            self.estimates[i].push(x);
-        }
+        self.estimates[i].push_batch(&self.scratch);
         self.samples[i] += got;
         if got < n {
             self.exhausted[i] = true;
         }
     }
 
+    /// Draws this round's batch from every group the selection admits,
+    /// reusing the state's round-index scratch buffer instead of
+    /// allocating a fresh index vector per round (the IFOCUS / ROUNDROBIN
+    /// / partial-results hot loops all come through here).
+    ///
+    /// With `include_inactive` false only active, unexhausted groups draw
+    /// (IFOCUS semantics); with it true every unexhausted group draws
+    /// (ROUNDROBIN semantics).
+    pub(crate) fn draw_round_selected<G: GroupSource + crate::group::MaybeSend>(
+        &mut self,
+        include_inactive: bool,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+        batch: u64,
+    ) {
+        let mut idxs = std::mem::take(&mut self.round_idxs);
+        idxs.clear();
+        idxs.extend(
+            (0..self.k()).filter(|&i| (include_inactive || self.active[i]) && !self.exhausted[i]),
+        );
+        self.draw_round(&idxs, groups, rng, batch);
+        self.round_idxs = idxs;
+    }
+
     /// Draws this round's batch from every group selected by `idxs`
     /// (indices must be ascending). Sequential by default; under the
     /// `parallel` feature, rounds whose total draw count
     /// (`batch × |idxs|`) reaches [`AlgoConfig::parallel_threshold`] fan
-    /// the per-group loop out across threads.
+    /// the per-group loop out across the persistent worker pool.
     pub(crate) fn draw_round<G: GroupSource + crate::group::MaybeSend>(
         &mut self,
         idxs: &[usize],
@@ -144,8 +171,9 @@ impl FocusState {
     /// fixed seed regardless of thread scheduling — but the streams differ
     /// from the sequential path's single interleaved stream, so parallel
     /// runs are reproducible against parallel runs, not sequential ones.
-    /// The workspace has no rayon (offline build); `std::thread::scope`
-    /// over near-equal chunks stands in for a work-stealing pool.
+    /// The workspace has no rayon (offline build); near-equal chunks are
+    /// dispatched onto the persistent [`crate::pool`] worker pool, whose
+    /// per-round cost is a channel send rather than a thread spawn.
     #[cfg(feature = "parallel")]
     fn draw_round_parallel<G: GroupSource + Send>(
         &mut self,
@@ -169,19 +197,26 @@ impl FocusState {
             }
         }
         debug_assert_eq!(work.len(), idxs.len());
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(work.len());
+        let pool = crate::pool::global();
+        let threads = pool.workers().min(work.len());
         let chunk_size = work.len().div_ceil(threads);
-        let results: Vec<(usize, u64, Vec<f64>)> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            let mut rest = work;
-            while !rest.is_empty() {
-                let tail = rest.split_off(chunk_size.min(rest.len()));
-                let chunk = std::mem::replace(&mut rest, tail);
-                handles.push(scope.spawn(move || {
-                    chunk
+        let mut chunks: Vec<Vec<(usize, &mut G, u64)>> = Vec::with_capacity(threads);
+        let mut rest = work;
+        while !rest.is_empty() {
+            let tail = rest.split_off(chunk_size.min(rest.len()));
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        // One output slot per chunk; each task writes only its own slot,
+        // and the merge below walks slots in chunk (= group) order, so
+        // estimator updates stay deterministic.
+        let mut outputs: Vec<Vec<(usize, u64, Vec<f64>)>> =
+            chunks.iter().map(|_| Vec::new()).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .into_iter()
+            .zip(outputs.iter_mut())
+            .map(|(chunk, out)| {
+                Box::new(move || {
+                    *out = chunk
                         .into_iter()
                         .map(|(i, group, seed)| {
                             let mut rng = StdRng::seed_from_u64(seed);
@@ -189,20 +224,13 @@ impl FocusState {
                             let got = group.draw_batch(batch, &mut rng, mode, &mut buf);
                             (i, got, buf)
                         })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("draw worker panicked"))
-                .collect()
-        });
-        // Merge sequentially in group order: estimator updates stay
-        // deterministic.
-        for (i, got, xs) in results {
-            for &x in &xs {
-                self.estimates[i].push(x);
-            }
+                        .collect();
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        for (i, got, xs) in outputs.into_iter().flatten() {
+            self.estimates[i].push_batch(&xs);
             self.samples[i] += got;
             if got < batch {
                 self.exhausted[i] = true;

@@ -170,6 +170,7 @@ impl NeedleTail {
                 table: Arc::clone(&self.table),
                 sampler: BitmapSampler::new(bitmap),
                 metrics: Arc::clone(&self.metrics),
+                rows_buf: Vec::new(),
             });
         }
         Ok(handles)
@@ -228,6 +229,53 @@ impl NeedleTail {
                 table: Arc::clone(&self.table),
                 sampler: BitmapSampler::new(bitmap),
                 metrics: Arc::clone(&self.metrics),
+                rows_buf: Vec::new(),
+            });
+        }
+        Ok(handles)
+    }
+
+    /// Builds one [`SizedGroupHandle`] per distinct value of `group_col`
+    /// (in index order), sampling `agg_col` paired with unbiased
+    /// normalized-size estimates — the engine-side source for the
+    /// unknown-group-size `SUM`/`COUNT` algorithms (Algorithm 5). Size
+    /// probes are answered by the in-memory bitmaps, so only the member
+    /// draw costs a retrieval.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `group_col` is unindexed or missing, or if
+    /// `agg_col` is missing or non-numeric.
+    pub fn sized_group_handles(
+        &self,
+        group_col: &str,
+        agg_col: &str,
+    ) -> Result<Vec<SizedGroupHandle>, EngineError> {
+        let index = self
+            .indexes
+            .get(group_col)
+            .ok_or_else(|| EngineError::NotIndexed(group_col.to_owned()))?;
+        let agg_idx = self
+            .table
+            .schema()
+            .column_index(agg_col)
+            .ok_or_else(|| EngineError::NoSuchColumn(agg_col.to_owned()))?;
+        if self.table.schema().columns()[agg_idx].data_type == DataType::Str {
+            return Err(EngineError::NotNumeric(agg_col.to_owned()));
+        }
+        let mut handles = Vec::with_capacity(index.distinct_count());
+        for value in index.values() {
+            let bitmap = index
+                .bitmap_for(&value)
+                .expect("index lists only present values")
+                .clone();
+            handles.push(SizedGroupHandle {
+                label: value,
+                agg_idx,
+                table: Arc::clone(&self.table),
+                sampler: SizeEstimatingSampler::new(bitmap, self.table.row_count()),
+                metrics: Arc::clone(&self.metrics),
+                pairs_buf: Vec::new(),
             });
         }
         Ok(handles)
@@ -290,6 +338,10 @@ pub struct GroupHandle {
     table: Arc<Table>,
     sampler: BitmapSampler,
     metrics: Arc<Metrics>,
+    /// Reusable row-id buffer for the batch paths: together with the
+    /// sampler's internal scratch arena this keeps batched draws free of
+    /// per-batch heap allocation at steady state.
+    rows_buf: Vec<u64>,
 }
 
 impl GroupHandle {
@@ -334,16 +386,18 @@ impl GroupHandle {
     /// `n` counts as `n` random samples, not 1), so cost accounting is
     /// identical to `n` single draws.
     pub fn sample_batch_with_replacement<R: Rng + ?Sized>(
-        &self,
+        &mut self,
         n: usize,
         rng: &mut R,
         out: &mut Vec<f64>,
     ) -> usize {
-        let mut rows = Vec::with_capacity(n);
+        let mut rows = std::mem::take(&mut self.rows_buf);
+        rows.clear();
         let got = self
             .sampler
             .sample_batch_with_replacement(n, rng, &mut rows);
         self.record_batch(&rows, out);
+        self.rows_buf = rows;
         got
     }
 
@@ -357,11 +411,13 @@ impl GroupHandle {
         rng: &mut R,
         out: &mut Vec<f64>,
     ) -> usize {
-        let mut rows = Vec::with_capacity(n);
+        let mut rows = std::mem::take(&mut self.rows_buf);
+        rows.clear();
         let got = self
             .sampler
             .sample_batch_without_replacement(n, rng, &mut rows);
         self.record_batch(&rows, out);
+        self.rows_buf = rows;
         got
     }
 
@@ -397,6 +453,76 @@ impl GroupHandle {
             .map(|row| self.table.float_value(row, self.agg_idx))
             .sum();
         Some(sum / n as f64)
+    }
+}
+
+/// A per-group sampler pairing each measure-value draw with an unbiased
+/// normalized group-size estimate `z` — the engine-side handle for the
+/// unknown-group-size `SUM`/`COUNT` algorithms (Algorithm 5). Handed out by
+/// [`NeedleTail::sized_group_handles`].
+#[derive(Debug, Clone)]
+pub struct SizedGroupHandle {
+    label: Value,
+    agg_idx: usize,
+    table: Arc<Table>,
+    sampler: SizeEstimatingSampler,
+    metrics: Arc<Metrics>,
+    /// Reusable `(row, z)` buffer for the batch path.
+    pairs_buf: Vec<(u64, f64)>,
+}
+
+impl SizedGroupHandle {
+    /// The group-by value this handle samples from.
+    #[must_use]
+    pub fn label(&self) -> &Value {
+        &self.label
+    }
+
+    /// True group size from the bitmap (verification only — the estimating
+    /// path never consults it).
+    #[must_use]
+    pub fn eligible(&self) -> u64 {
+        self.sampler.eligible()
+    }
+
+    /// Draws `(x, z)`: a uniform random measure value and an independent
+    /// `{0, 1}` estimate of the group's fraction of the relation. One
+    /// retrieval is charged per draw; the size probe is answered by the
+    /// in-memory bitmap for free.
+    pub fn sample_with_size<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<(f64, f64)> {
+        let (row, z) = self.sampler.sample_with_size_estimate(rng)?;
+        self.metrics.add_random_samples(1);
+        self.metrics.add_index_probes(1);
+        Some((self.table.float_value(row, self.agg_idx), z))
+    }
+
+    /// Draws `n` `(x, z)` pairs in one batch, appending them to `out` in
+    /// draw order; returns the number appended (`0` for an empty group).
+    /// The member ranks resolve through one sorted `select_many` sweep and
+    /// the RNG is consumed identically to `n` single draws; metrics are
+    /// charged one retrieval per sample, exactly as the single-draw path.
+    pub fn sample_batch_with_size<R: Rng + ?Sized>(
+        &mut self,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<(f64, f64)>,
+    ) -> usize {
+        let mut pairs = std::mem::take(&mut self.pairs_buf);
+        pairs.clear();
+        let got = self
+            .sampler
+            .sample_batch_with_size_estimate(n, rng, &mut pairs);
+        if got > 0 {
+            self.metrics.add_random_samples(got as u64);
+            self.metrics.add_index_probes(got as u64);
+            out.extend(
+                pairs
+                    .iter()
+                    .map(|&(row, z)| (self.table.float_value(row, self.agg_idx), z)),
+            );
+        }
+        self.pairs_buf = pairs;
+        got
     }
 }
 
@@ -601,6 +727,48 @@ mod tests {
             .unwrap();
         let labels: Vec<String> = filtered.iter().map(|h| h.label().to_string()).collect();
         assert_eq!(labels, vec!["AA|BOS", "JB|BOS"]);
+    }
+
+    #[test]
+    fn sized_group_handles_batch_matches_single_stream() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        let h1 = engine.sized_group_handles("name", "delay").unwrap();
+        let mut h2 = engine.sized_group_handles("name", "delay").unwrap();
+        assert_eq!(h1.len(), 3);
+        assert_eq!(h1[0].label().to_string(), "AA");
+        assert_eq!(h1[0].eligible(), 4);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(21);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(21);
+        let singles: Vec<(f64, f64)> = (0..50)
+            .map(|_| h1[0].sample_with_size(&mut rng1).unwrap())
+            .collect();
+        let mut batched = Vec::new();
+        let got = h2[0].sample_batch_with_size(50, &mut rng2, &mut batched);
+        assert_eq!(got, 50);
+        assert_eq!(batched, singles, "sized batch must replay single stream");
+        // Every drawn value belongs to group AA.
+        assert!(batched
+            .iter()
+            .all(|&(x, _)| [10.0, 20.0, 30.0].contains(&x)));
+        // Metrics: one retrieval per sample, single and batched alike.
+        assert_eq!(engine.metrics().snapshot().random_samples, 100);
+    }
+
+    #[test]
+    fn sized_group_handles_errors() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        assert_eq!(
+            engine.sized_group_handles("delay", "delay").err(),
+            Some(EngineError::NotIndexed("delay".into()))
+        );
+        assert_eq!(
+            engine.sized_group_handles("name", "nope").err(),
+            Some(EngineError::NoSuchColumn("nope".into()))
+        );
+        assert_eq!(
+            engine.sized_group_handles("name", "name").err(),
+            Some(EngineError::NotNumeric("name".into()))
+        );
     }
 
     #[test]

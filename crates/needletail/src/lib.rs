@@ -27,7 +27,10 @@
 //!   attribute is unindexed).
 //! * [`sampler`] — random tuple sampling over an eligibility bitmap, with or
 //!   without replacement, and the skip-based group-size estimator used by
-//!   the unknown-size `SUM` algorithm (§6.3.1, Algorithm 5).
+//!   the unknown-size `SUM` algorithm (§6.3.1, Algorithm 5). Single draws
+//!   and batched draws (one sorted `select_many` sweep per batch, resolved
+//!   through a reusable per-sampler scratch arena — allocation-free at
+//!   steady state, radix-sorted above [`RADIX_MIN_BATCH`]).
 //! * [`engine`] — the [`engine::NeedleTail`] façade tying it together.
 //! * [`scan`] — the `SCAN` baseline: a full sequential pass computing exact
 //!   per-group aggregates via a hash map, as a traditional DBMS would.
@@ -60,12 +63,12 @@ pub use bitmap::{Bitmap, DenseBitmap, RleBitmap};
 pub use composite::CompositeIndex;
 pub use csv::{read_csv, CsvError, CsvOptions};
 pub use disk::SimulatedDisk;
-pub use engine::{EngineError, GroupHandle, NeedleTail};
+pub use engine::{EngineError, GroupHandle, NeedleTail, SizedGroupHandle};
 pub use index::BitmapIndex;
 pub use io::{CostBreakdown, DiskModel};
 pub use metrics::Metrics;
 pub use predicate::Predicate;
-pub use sampler::{BitmapSampler, SizeEstimatingSampler};
+pub use sampler::{BatchScratch, BitmapSampler, SizeEstimatingSampler, RADIX_MIN_BATCH};
 pub use scan::{scan_group_aggregates, GroupAggregate};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use storage::{read_table, write_table, StorageError};

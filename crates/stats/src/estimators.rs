@@ -27,6 +27,26 @@ impl RunningMean {
         self.mean += (x - self.mean) / self.count as f64;
     }
 
+    /// Incorporates a whole batch of observations — the hook the batched
+    /// draw pipeline feeds (one call per round instead of one per sample).
+    /// Bit-identical to pushing each element in order, so batching can
+    /// never change an estimate.
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Incorporates a batch of `(x, z)` draw/size-estimate pairs as the
+    /// products `x·z` — the hook the unknown-group-size `SUM` path
+    /// (Algorithm 5) feeds from its batched size-estimating draws.
+    /// Bit-identical to pushing each product in order.
+    pub fn push_products(&mut self, pairs: &[(f64, f64)]) {
+        for &(x, z) in pairs {
+            self.push(x * z);
+        }
+    }
+
     /// Number of observations so far.
     #[must_use]
     pub fn count(&self) -> u64 {
@@ -220,6 +240,35 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 5);
         assert!((a.mean() - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_batch_bit_identical_to_singles() {
+        let xs: Vec<f64> = (0..57)
+            .map(|i| (f64::from(i)).sin() * 40.0 + 50.0)
+            .collect();
+        let mut singles = RunningMean::new();
+        for &x in &xs {
+            singles.push(x);
+        }
+        let mut batched = RunningMean::new();
+        batched.push_batch(&xs[..20]);
+        batched.push_batch(&xs[20..]);
+        assert_eq!(batched, singles, "batching must not change the estimate");
+    }
+
+    #[test]
+    fn push_products_bit_identical_to_singles() {
+        let pairs: Vec<(f64, f64)> = (0..31)
+            .map(|i| (f64::from(i) * 3.0, f64::from(i % 2)))
+            .collect();
+        let mut singles = RunningMean::new();
+        for &(x, z) in &pairs {
+            singles.push(x * z);
+        }
+        let mut batched = RunningMean::new();
+        batched.push_products(&pairs);
+        assert_eq!(batched, singles);
     }
 
     #[test]

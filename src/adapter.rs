@@ -6,8 +6,9 @@
 //! [`GroupHandle`] into a `GroupSource` the IFOCUS family can run on.
 
 use rand::RngCore;
+use rapidviz_core::extensions::SizedGroupSource;
 use rapidviz_core::{GroupSource, SamplingMode};
-use rapidviz_needletail::GroupHandle;
+use rapidviz_needletail::{GroupHandle, SizedGroupHandle};
 
 /// A NEEDLETAIL group handle viewed as an algorithm group source.
 #[derive(Debug, Clone)]
@@ -89,6 +90,71 @@ impl GroupSource for NeedletailGroup {
     }
 }
 
+/// A NEEDLETAIL size-estimating handle viewed as an algorithm
+/// [`SizedGroupSource`] — the storage-backed input to the
+/// unknown-group-size `SUM`/`COUNT` algorithms (Algorithm 5). Batched
+/// draws resolve through one sorted `select_many` sweep of the group
+/// bitmap via [`SizedGroupHandle::sample_batch_with_size`], with RNG
+/// consumption identical to single draws.
+#[derive(Debug, Clone)]
+pub struct SizedNeedletailGroup {
+    handle: SizedGroupHandle,
+}
+
+impl SizedNeedletailGroup {
+    /// Wraps an engine sized handle.
+    #[must_use]
+    pub fn new(handle: SizedGroupHandle) -> Self {
+        Self { handle }
+    }
+
+    /// The wrapped handle.
+    #[must_use]
+    pub fn handle(&self) -> &SizedGroupHandle {
+        &self.handle
+    }
+}
+
+impl SizedGroupSource for SizedNeedletailGroup {
+    fn label(&self) -> String {
+        self.handle.label().to_string()
+    }
+
+    fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)> {
+        self.handle.sample_with_size(rng)
+    }
+
+    fn sample_with_size_batch(
+        &mut self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(f64, f64)>,
+    ) -> u64 {
+        let n = usize::try_from(n).unwrap_or(usize::MAX);
+        self.handle.sample_batch_with_size(n, rng, out) as u64
+    }
+}
+
+/// Builds [`SizedNeedletailGroup`]s for every group of a
+/// `GROUP BY group_col` query estimating `SUM(agg_col)`/`COUNT` with
+/// unknown group sizes over `engine`.
+///
+/// # Errors
+///
+/// Propagates engine errors (missing columns, unindexed group column,
+/// non-numeric aggregate).
+pub fn query_sized_groups(
+    engine: &rapidviz_needletail::NeedleTail,
+    group_col: &str,
+    agg_col: &str,
+) -> Result<Vec<SizedNeedletailGroup>, rapidviz_needletail::EngineError> {
+    Ok(engine
+        .sized_group_handles(group_col, agg_col)?
+        .into_iter()
+        .map(SizedNeedletailGroup::new)
+        .collect())
+}
+
 /// Builds [`NeedletailGroup`]s (with exact means precomputed) for every
 /// group of a `GROUP BY group_col` / `AVG(agg_col)` query over `engine`,
 /// restricted to rows satisfying `predicate`.
@@ -151,6 +217,53 @@ mod tests {
         assert!(groups[0]
             .sample(&mut rng, SamplingMode::WithoutReplacement)
             .is_some());
+    }
+
+    #[test]
+    fn sized_adapter_runs_algorithm_5_end_to_end() {
+        use rand::Rng;
+        use rapidviz_core::extensions::IFocusSum2;
+        use rapidviz_core::AlgoConfig;
+
+        // Two groups with clearly separated normalized sums:
+        // "big" ≈ 0.75·40 = 30, "small" ≈ 0.25·20 = 5.
+        let mut b = TableBuilder::new(Schema::new(vec![
+            ColumnDef::new("g", DataType::Str),
+            ColumnDef::new("v", DataType::Float),
+        ]));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(90);
+        for i in 0..8_000 {
+            let (name, mu) = if i % 4 < 3 {
+                ("big", 0.40)
+            } else {
+                ("small", 0.20)
+            };
+            let v = if rng.gen_bool(mu) { 100.0 } else { 0.0 };
+            b.push_row(vec![name.into(), v.into()]);
+        }
+        let engine = NeedleTail::new(b.finish(), &["g"]).unwrap();
+        let mut groups = query_sized_groups(&engine, "g", "v").unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].label(), "big");
+        let algo = IFocusSum2::new(
+            AlgoConfig::new(100.0, 0.05)
+                .with_resolution(4.0)
+                .with_samples_per_round(16),
+        );
+        let mut run_rng = rand::rngs::StdRng::seed_from_u64(91);
+        let result = algo.run(&mut groups, &mut run_rng);
+        assert!(
+            result.estimates[0] > result.estimates[1],
+            "big line must out-total small: {:?}",
+            result.estimates
+        );
+        assert!((result.estimates[0] - 30.0).abs() < 8.0);
+        assert!((result.estimates[1] - 5.0).abs() < 4.0);
+        // Batched draws were charged per sample.
+        assert_eq!(
+            engine.metrics().snapshot().random_samples,
+            result.total_samples()
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@
 pub mod adapter;
 pub mod query;
 
-pub use adapter::{query_groups, NeedletailGroup};
+pub use adapter::{query_groups, query_sized_groups, NeedletailGroup, SizedNeedletailGroup};
 pub use query::{Aggregate, QueryAnswer, VizQuery};
 pub use rapidviz_core as core;
 pub use rapidviz_datagen as datagen;

@@ -1,0 +1,176 @@
+//! Steady-state allocation accounting for the batched sampling pipeline.
+//!
+//! The PR's acceptance criterion: once the per-sampler scratch arena and
+//! the caller's output buffers have warmed up, drawing further batches must
+//! perform **zero heap allocation** — the memory-bottleneck regime the
+//! PIM-analytics line of work identifies is dominated by exactly this kind
+//! of per-batch churn. A counting global allocator (installed for this test
+//! binary only) verifies it directly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapidviz::needletail::sampler::RADIX_MIN_BATCH;
+use rapidviz::needletail::{
+    Bitmap, BitmapSampler, ColumnDef, DataType, NeedleTail, Predicate, Schema,
+    SizeEstimatingSampler, TableBuilder,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// System allocator wrapper that counts every allocation (and
+/// reallocation; frees are not counted — the claim under test is about
+/// acquiring memory, not returning it) **per thread**: libtest runs the
+/// tests in this binary concurrently, and a process-global counter would
+/// see every sibling test's warm-up allocations inside another test's
+/// measurement window.
+struct CountingAllocator;
+
+thread_local! {
+    // Const-initialized so the first access from inside `alloc` cannot
+    // itself allocate (lazy TLS initializers may).
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Bumps this thread's counter; silently skipped during TLS teardown,
+/// where the slot is no longer accessible (no measurement runs there).
+fn count_one() {
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY-FREE: pure delegation to `System` plus a thread-local bump.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many allocations this thread performed in it.
+fn allocations_during(mut f: impl FnMut()) -> u64 {
+    let before = THREAD_ALLOCATIONS.with(Cell::get);
+    f();
+    THREAD_ALLOCATIONS.with(Cell::get) - before
+}
+
+fn mixed_bitmap() -> Bitmap {
+    let mut positions: Vec<u64> = (10_000..30_000).collect();
+    positions.extend((30_000..200_000).step_by(9).map(|p| p as u64));
+    Bitmap::from_sorted_positions(&positions, 200_000)
+}
+
+#[test]
+fn with_replacement_batches_are_allocation_free_at_steady_state() {
+    let mut sampler = BitmapSampler::new(mixed_bitmap());
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut out = Vec::new();
+    // Warm-up: grows the scratch arena and the output buffer.
+    for _ in 0..3 {
+        out.clear();
+        sampler.sample_batch_with_replacement(512, &mut rng, &mut out);
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..50 {
+            out.clear();
+            sampler.sample_batch_with_replacement(512, &mut rng, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state WR batch must not allocate");
+}
+
+#[test]
+fn radix_sized_batches_are_allocation_free_at_steady_state() {
+    let mut sampler = BitmapSampler::new(mixed_bitmap());
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        out.clear();
+        sampler.sample_batch_with_replacement(RADIX_MIN_BATCH, &mut rng, &mut out);
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..20 {
+            out.clear();
+            sampler.sample_batch_with_replacement(RADIX_MIN_BATCH, &mut rng, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "radix-sort resolve path must not allocate");
+}
+
+#[test]
+fn size_estimating_batches_are_allocation_free_at_steady_state() {
+    let mut sampler = SizeEstimatingSampler::new(mixed_bitmap(), 200_000);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        out.clear();
+        sampler.sample_batch_with_size_estimate(512, &mut rng, &mut out);
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..50 {
+            out.clear();
+            sampler.sample_batch_with_size_estimate(512, &mut rng, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "unknown-size SUM batch path must not allocate");
+}
+
+#[test]
+fn without_replacement_batches_only_allocate_for_swap_growth() {
+    let mut sampler = BitmapSampler::new(mixed_bitmap());
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut out = Vec::new();
+    // A large first batch forces the virtual Fisher–Yates swap map to
+    // reserve far beyond what the following small batches can fill, so the
+    // steady-state window below sees a fully warmed arena AND map.
+    out.clear();
+    sampler.sample_batch_without_replacement(6_000, &mut rng, &mut out);
+    let allocs = allocations_during(|| {
+        for _ in 0..3 {
+            out.clear();
+            sampler.sample_batch_without_replacement(512, &mut rng, &mut out);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "WOR batches must not allocate while the swap map has headroom"
+    );
+}
+
+#[test]
+fn engine_group_handle_batches_are_allocation_free_at_steady_state() {
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("g", DataType::Str),
+        ColumnDef::new("v", DataType::Float),
+    ]));
+    for i in 0..40_000u32 {
+        let name = if i % 3 == 0 { "a" } else { "b" };
+        b.push_row(vec![name.into(), f64::from(i % 97).into()]);
+    }
+    let engine = NeedleTail::new(b.finish(), &["g"]).unwrap();
+    let mut handles = engine.group_handles("g", "v", &Predicate::True).unwrap();
+    let handle = &mut handles[0];
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut out = Vec::new();
+    for _ in 0..3 {
+        out.clear();
+        handle.sample_batch_with_replacement(256, &mut rng, &mut out);
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..50 {
+            out.clear();
+            handle.sample_batch_with_replacement(256, &mut rng, &mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "engine batch path must not allocate");
+}
