@@ -123,16 +123,20 @@ impl IFocusBernstein {
 }
 
 impl crate::runner::OrderingAlgorithm for IFocusBernstein {
+    type Stepper = crate::runner::OneShotStepper;
+
     fn name(&self) -> String {
         "ifocus-bernstein".to_owned()
     }
 
-    fn execute<G: crate::group::GroupSource + crate::group::MaybeSend>(
+    /// Eager algorithm: the whole run happens inside `start`, and the
+    /// returned one-shot stepper exposes only the final state.
+    fn start<G: crate::group::GroupSource + crate::group::MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn rand::RngCore,
-    ) -> crate::result::RunResult {
-        self.run(groups, rng)
+    ) -> crate::runner::OneShotStepper {
+        crate::runner::OneShotStepper::completed(self.run(groups, rng))
     }
 }
 

@@ -36,8 +36,11 @@ pub use graph::{is_graph_correct, IFocusGraph};
 pub use mistakes::IFocusMistakes;
 pub use multi::{IFocusMultiAggregate, MultiAggregateResult, PairGroupSource, VecPairGroup};
 pub use noindex::{NoIndexSampler, StreamSource, VecStream};
-pub use partial::{IFocusPartial, PartialEmission};
-pub use sum::{ifocus_count, IFocusSum1, IFocusSum2, SizedGroupSource, VecSizedGroup};
+pub use partial::{IFocusPartial, IFocusPartialStepper, PartialEmission};
+pub use sum::{
+    count_config, ifocus_count, CountSource, IFocusSum1, IFocusSum1Stepper, IFocusSum2,
+    IFocusSum2Stepper, SizedGroupSource, VecSizedGroup,
+};
 pub use topt::{IFocusTopT, TopTDirection};
 pub use trends::IFocusTrends;
 pub use values::IFocusValues;

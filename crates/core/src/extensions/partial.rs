@@ -9,6 +9,7 @@
 use crate::config::AlgoConfig;
 use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
+use crate::runner::{Snapshot, StepOutcome};
 use crate::state::FocusState;
 use rand::RngCore;
 
@@ -40,13 +41,41 @@ impl IFocusPartial {
         Self { config }
     }
 
+    /// Begins a resumable run: bootstrap sample, round-1 deactivation, and
+    /// the first emission flush (a group can certify instantly only under
+    /// degenerate inputs, but the flush keeps the stream exact). Drain the
+    /// stepper's pending emissions after `start` and after every `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn start<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> IFocusPartialStepper {
+        let state = FocusState::initialize(&self.config, groups, rng);
+        let emitted = vec![false; state.k()];
+        let mut stepper = IFocusPartialStepper {
+            state,
+            emitted,
+            pending: Vec::new(),
+        };
+        stepper.state.standard_deactivation();
+        stepper.flush();
+        stepper.state.record();
+        stepper
+    }
+
     /// Runs over the groups, invoking `emit` for each group the moment it
     /// deactivates. The final [`RunResult`] is identical to plain IFOCUS's.
     ///
     /// Rounds draw through the same batched pipeline as IFOCUS (one
     /// `draw_batch` of [`AlgoConfig::samples_per_round`] per active group,
     /// selected via the state's reusable scratch), so fixed-seed results
-    /// match the historical per-draw loop exactly at batch size 1.
+    /// match the historical per-draw loop exactly at batch size 1. This is
+    /// a thin loop over [`IFocusPartial::start`] and
+    /// [`IFocusPartialStepper::step`], draining emissions per round.
     ///
     /// # Panics
     ///
@@ -57,39 +86,102 @@ impl IFocusPartial {
         rng: &mut dyn RngCore,
         mut emit: impl FnMut(PartialEmission),
     ) -> RunResult {
-        let mut state = FocusState::initialize(&self.config, groups, rng);
-        let mut emitted = vec![false; state.k()];
-        state.standard_deactivation();
-        Self::flush(&state, &mut emitted, &mut emit);
-        state.record();
-
-        while state.any_active() {
-            if state.m >= self.config.max_rounds {
-                state.truncated = true;
+        let mut stepper = self.start(groups, rng);
+        for e in stepper.drain_emissions() {
+            emit(e);
+        }
+        loop {
+            let outcome = stepper.step(groups, rng);
+            for e in stepper.drain_emissions() {
+                emit(e);
+            }
+            if !outcome.is_running() {
                 break;
             }
-            let batch = self.config.samples_per_round;
-            state.m += batch;
-            state.draw_round_selected(false, groups, rng, batch);
-            if state.resolution_reached() || state.all_active_exhausted() {
-                state.deactivate_all();
-            } else {
-                state.standard_deactivation();
-            }
-            Self::flush(&state, &mut emitted, &mut emit);
-            state.record();
         }
-        // Truncated runs still flush whatever froze.
-        Self::flush(&state, &mut emitted, &mut emit);
-        state.finish()
+        stepper.finish()
+    }
+}
+
+/// The streaming-IFOCUS state machine: identical rounds to
+/// [`crate::IFocus`]'s stepper, plus a pending-emission queue filled the
+/// moment groups deactivate. Mirrors [`crate::runner::AlgorithmStepper`]'s
+/// shape with an extra [`IFocusPartialStepper::drain_emissions`] hook.
+#[derive(Debug)]
+pub struct IFocusPartialStepper {
+    state: FocusState,
+    emitted: Vec<bool>,
+    pending: Vec<PartialEmission>,
+}
+
+impl IFocusPartialStepper {
+    /// Total samples drawn so far.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.state.total_samples()
     }
 
-    fn flush(state: &FocusState, emitted: &mut [bool], emit: &mut impl FnMut(PartialEmission)) {
+    /// Advances one round; mirrors
+    /// [`crate::runner::AlgorithmStepper::step`]. Newly certified groups
+    /// land in the pending queue — drain it after each call.
+    pub fn step<G: GroupSource + MaybeSend>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        if !self.state.any_active() {
+            return StepOutcome::Converged;
+        }
+        if self.state.m >= self.state.config.max_rounds {
+            self.state.truncated = true;
+            // Truncated runs still flush whatever froze.
+            self.flush();
+            return StepOutcome::BudgetExhausted;
+        }
+        let batch = self.state.config.samples_per_round;
+        self.state.m += batch;
+        self.state.draw_round_selected(false, groups, rng, batch);
+        if self.state.resolution_reached() || self.state.all_active_exhausted() {
+            self.state.deactivate_all();
+        } else {
+            self.state.standard_deactivation();
+        }
+        self.flush();
+        self.state.record();
+        if self.state.any_active() {
+            StepOutcome::Running
+        } else {
+            StepOutcome::Converged
+        }
+    }
+
+    /// Removes and returns the emissions produced since the last drain, in
+    /// deactivation order.
+    pub fn drain_emissions(&mut self) -> Vec<PartialEmission> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// The current estimates, intervals, active set, and partial ordering.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.state.snapshot()
+    }
+
+    /// Consumes the stepper and packages the final result.
+    #[must_use]
+    pub fn finish(self) -> RunResult {
+        self.state.finish()
+    }
+
+    /// Queues an emission for every group that deactivated since the last
+    /// flush.
+    fn flush(&mut self) {
+        let state = &self.state;
         let total: u64 = state.samples.iter().sum();
         for i in 0..state.k() {
-            if !state.active[i] && !emitted[i] {
-                emitted[i] = true;
-                emit(PartialEmission {
+            if !state.active[i] && !self.emitted[i] {
+                self.emitted[i] = true;
+                self.pending.push(PartialEmission {
                     group: i,
                     label: state.labels[i].clone(),
                     estimate: state.estimates[i].mean(),
@@ -173,6 +265,28 @@ mod tests {
         }
     }
 
+    /// The pre-refactor emission flush, verbatim (the production flush now
+    /// lives on the stepper and queues instead of calling out).
+    fn reference_flush(
+        state: &FocusState,
+        emitted: &mut [bool],
+        emit: &mut impl FnMut(PartialEmission),
+    ) {
+        let total: u64 = state.samples.iter().sum();
+        for i in 0..state.k() {
+            if !state.active[i] && !emitted[i] {
+                emitted[i] = true;
+                emit(PartialEmission {
+                    group: i,
+                    label: state.labels[i].clone(),
+                    estimate: state.estimates[i].mean(),
+                    round: state.m,
+                    total_samples_so_far: total,
+                });
+            }
+        }
+    }
+
     /// The pre-batching partial-results round loop, verbatim: one
     /// `state.draw` per active group per round.
     fn reference_partial(
@@ -184,7 +298,7 @@ mod tests {
         let mut state = FocusState::initialize(config, groups, rng);
         let mut emitted = vec![false; state.k()];
         state.standard_deactivation();
-        IFocusPartial::flush(&state, &mut emitted, emit);
+        reference_flush(&state, &mut emitted, emit);
         state.record();
         while state.any_active() {
             if state.m >= config.max_rounds {
@@ -202,10 +316,10 @@ mod tests {
             } else {
                 state.standard_deactivation();
             }
-            IFocusPartial::flush(&state, &mut emitted, emit);
+            reference_flush(&state, &mut emitted, emit);
             state.record();
         }
-        IFocusPartial::flush(&state, &mut emitted, emit);
+        reference_flush(&state, &mut emitted, emit);
         state.finish()
     }
 

@@ -17,11 +17,12 @@
 //!   so the schedule uses `c = 1`), yielding normalized counts `s_i`.
 
 use crate::config::AlgoConfig;
-use crate::group::GroupSource;
+use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
-use crate::state::FocusState;
+use crate::runner::{AlgorithmStepper, OrderingAlgorithm, Snapshot, StepOutcome};
+use crate::state::{FixpointScratch, FocusState};
 use rand::RngCore;
-use rapidviz_stats::{EpsilonSchedule, Interval, IntervalSet, RunningMean, SamplingMode};
+use rapidviz_stats::{EpsilonSchedule, Interval, RunningMean, SamplingMode};
 
 /// IFOCUS for `SUM` with known group sizes (Algorithm 4).
 #[derive(Debug, Clone)]
@@ -36,87 +37,172 @@ impl IFocusSum1 {
         Self { config }
     }
 
-    /// Runs over the groups; estimates are group **sums** `ν_i ≈ σ_i`.
+    /// Begins a resumable run (bootstrap sample plus the round-1 scaled
+    /// separation check). A fixed-seed `start`/`step`/`finish` drive is
+    /// byte-identical to [`IFocusSum1::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn start<G: GroupSource>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> IFocusSum1Stepper {
+        let mut state = FocusState::initialize(&self.config, groups, rng);
+        let sizes = state.sizes.clone();
+        Self::deactivate_scaled(&mut state, &sizes);
+        state.record();
+        IFocusSum1Stepper { state, sizes }
+    }
+
+    /// Runs over the groups; estimates are group **sums** `ν_i ≈ σ_i` —
+    /// a thin loop over [`IFocusSum1::start`] and
+    /// [`AlgorithmStepper::step`].
     ///
     /// # Panics
     ///
     /// Panics if `groups` is empty.
     pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
-        let mut state = FocusState::initialize(&self.config, groups, rng);
-        let sizes = state.sizes.clone();
-        Self::deactivate_scaled(&mut state, &sizes);
-        state.record();
+        let mut stepper = self.start(groups, rng);
+        while stepper.step_any(groups, rng).is_running() {}
+        stepper.finish()
+    }
 
-        while state.any_active() {
-            if state.m >= self.config.max_rounds {
-                state.truncated = true;
-                break;
+    /// Overlap test with per-group scaled intervals
+    /// `[|S_i|·(ν_i − ε), |S_i|·(ν_i + ε)]` (Algorithm 4 lines 6–7, 11–13),
+    /// iterated to a fixpoint in the state's reusable scratch (zero
+    /// steady-state allocation).
+    fn deactivate_scaled(state: &mut FocusState, sizes: &[u64]) {
+        let eps_base = state.epsilon();
+        let mut fix = std::mem::take(&mut state.fix);
+        while fix.separate(&state.active, |i| {
+            let scale = sizes[i] as f64;
+            Interval::centered(state.estimates[i].mean() * scale, eps_base * scale)
+        }) {
+            for &i in &fix.remove {
+                state.deactivate(i, eps_base);
             }
-            state.m += 1;
-            for i in 0..state.k() {
-                if state.active[i] && !state.exhausted[i] {
-                    state.draw(i, &mut groups[i], rng);
-                }
-            }
-            // Resolution semantics in sum space: ε_i = |S_i|·ε, so the
-            // cut-off compares the *largest* scaled width against r/4.
-            let eps_base = state.epsilon();
-            let max_scaled = sizes
-                .iter()
-                .zip(&state.active)
-                .filter(|(_, &a)| a)
-                .map(|(&n, _)| n as f64 * eps_base)
-                .fold(0.0f64, f64::max);
-            let resolution_hit = self
-                .config
-                .resolution_epsilon()
-                .is_some_and(|thresh| max_scaled < thresh);
-            if resolution_hit || state.all_active_exhausted() {
-                state.deactivate_all();
-            } else {
-                Self::deactivate_scaled(&mut state, &sizes);
-            }
-            state.record();
         }
-        let mut result = state.finish();
+        state.fix = fix;
+    }
+}
+
+/// The Algorithm-4 state machine: one step per round (one draw per active
+/// group, then the scaled-interval deactivation fixpoint). Snapshots report
+/// estimates and intervals in **sum space** (`×|S_i|`), matching the final
+/// result semantics.
+#[derive(Debug)]
+pub struct IFocusSum1Stepper {
+    state: FocusState,
+    sizes: Vec<u64>,
+}
+
+impl IFocusSum1Stepper {
+    /// Total samples drawn so far (cheaper than a full snapshot — used by
+    /// session budget checks every round).
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.state.total_samples()
+    }
+
+    /// [`AlgorithmStepper::step`] without the `MaybeSend` bound (this
+    /// per-draw loop never fans out across threads).
+    pub fn step_any<G: GroupSource>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        let state = &mut self.state;
+        if !state.any_active() {
+            return StepOutcome::Converged;
+        }
+        if state.m >= state.config.max_rounds {
+            state.truncated = true;
+            return StepOutcome::BudgetExhausted;
+        }
+        state.m += 1;
+        for i in 0..state.k() {
+            if state.active[i] && !state.exhausted[i] {
+                state.draw(i, &mut groups[i], rng);
+            }
+        }
+        // Resolution semantics in sum space: ε_i = |S_i|·ε, so the
+        // cut-off compares the *largest* scaled width against r/4.
+        let eps_base = state.epsilon();
+        let max_scaled = self
+            .sizes
+            .iter()
+            .zip(&state.active)
+            .filter(|(_, &a)| a)
+            .map(|(&n, _)| n as f64 * eps_base)
+            .fold(0.0f64, f64::max);
+        let resolution_hit = state
+            .config
+            .resolution_epsilon()
+            .is_some_and(|thresh| max_scaled < thresh);
+        if resolution_hit || state.all_active_exhausted() {
+            state.deactivate_all();
+        } else {
+            IFocusSum1::deactivate_scaled(state, &self.sizes);
+        }
+        state.record();
+        if state.any_active() {
+            StepOutcome::Running
+        } else {
+            StepOutcome::Converged
+        }
+    }
+}
+
+impl AlgorithmStepper for IFocusSum1Stepper {
+    fn step<G: GroupSource + MaybeSend>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        self.step_any(groups, rng)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut snap = self.state.snapshot();
+        // Scale estimates and intervals from mean space into sum space.
+        for (i, &n) in self.sizes.iter().enumerate() {
+            let scale = n as f64;
+            snap.estimates[i] *= scale;
+            let iv = snap.intervals[i];
+            snap.intervals[i] = Interval::centered(iv.center() * scale, 0.5 * iv.width() * scale);
+        }
+        snap
+    }
+
+    fn finish(self) -> RunResult {
+        let mut result = self.state.finish();
         // Convert mean estimates to sums.
-        for (est, &n) in result.estimates.iter_mut().zip(&sizes) {
+        for (est, &n) in result.estimates.iter_mut().zip(&self.sizes) {
             *est *= n as f64;
         }
         result
     }
+}
 
-    /// Overlap test with per-group scaled intervals
-    /// `[|S_i|·(ν_i − ε), |S_i|·(ν_i + ε)]` (Algorithm 4 lines 6–7, 11–13).
-    fn deactivate_scaled(state: &mut FocusState, sizes: &[u64]) {
-        let eps_base = state.epsilon();
-        loop {
-            let members: Vec<usize> = (0..state.k()).filter(|&i| state.active[i]).collect();
-            if members.is_empty() {
-                break;
-            }
-            let set = IntervalSet::new(
-                members
-                    .iter()
-                    .map(|&i| {
-                        let scale = sizes[i] as f64;
-                        Interval::centered(state.estimates[i].mean() * scale, eps_base * scale)
-                    })
-                    .collect(),
-            );
-            let to_remove: Vec<usize> = members
-                .iter()
-                .enumerate()
-                .filter(|&(pos, _)| !set.member_overlaps_others(pos))
-                .map(|(_, &i)| i)
-                .collect();
-            if to_remove.is_empty() {
-                break;
-            }
-            for i in to_remove {
-                state.deactivate(i, eps_base);
-            }
+impl OrderingAlgorithm for IFocusSum1 {
+    type Stepper = IFocusSum1Stepper;
+
+    fn name(&self) -> String {
+        if self.config.resolution.is_some() {
+            "ifocus-sum1r".to_owned()
+        } else {
+            "ifocus-sum1".to_owned()
         }
+    }
+
+    fn start<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> IFocusSum1Stepper {
+        IFocusSum1::start(self, groups, rng)
     }
 }
 
@@ -165,6 +251,85 @@ pub trait SizedGroupSource {
     fn true_normalized_sum(&self) -> Option<f64> {
         None
     }
+}
+
+/// Mutable references delegate verbatim (including the batch hook, so a
+/// `select_many`-backed override is never shadowed by the looping default).
+impl<G: SizedGroupSource + ?Sized> SizedGroupSource for &mut G {
+    fn label(&self) -> String {
+        (**self).label()
+    }
+
+    fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)> {
+        (**self).sample_with_size(rng)
+    }
+
+    fn sample_with_size_batch(
+        &mut self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(f64, f64)>,
+    ) -> u64 {
+        (**self).sample_with_size_batch(n, rng, out)
+    }
+
+    fn true_normalized_sum(&self) -> Option<f64> {
+        (**self).true_normalized_sum()
+    }
+}
+
+/// The `COUNT` reduction over a [`SizedGroupSource`] (§6.3.2): forwards the
+/// inner source's draws but replaces every `x` by the constant 1, so
+/// `x·z = z` and IFOCUS runs on the size-estimate stream alone. Owns its
+/// inner source, so resumable sessions can hold count-reduced storage
+/// handles without borrowing.
+#[derive(Debug, Clone)]
+pub struct CountSource<G> {
+    inner: G,
+}
+
+impl<G: SizedGroupSource> CountSource<G> {
+    /// Wraps a sized source in the COUNT reduction.
+    #[must_use]
+    pub fn new(inner: G) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped source.
+    #[must_use]
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+}
+
+impl<G: SizedGroupSource> SizedGroupSource for CountSource<G> {
+    fn label(&self) -> String {
+        self.inner.label()
+    }
+
+    fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)> {
+        self.inner.sample_with_size(rng).map(|(_, z)| (1.0, z))
+    }
+
+    fn sample_with_size_batch(
+        &mut self,
+        n: u64,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<(f64, f64)>,
+    ) -> u64 {
+        // Forward to the source's (possibly select_many-batched)
+        // implementation, then overwrite x with the constant 1.
+        let base = out.len();
+        let got = self.inner.sample_with_size_batch(n, rng, out);
+        for pair in &mut out[base..] {
+            pair.0 = 1.0;
+        }
+        got
+    }
+
+    // true_normalized_sum deliberately stays at the `None` default: under
+    // the x ≡ 1 rewrite the truth would be the normalized count s_i, which
+    // the inner SizedGroupSource does not expose on its own.
 }
 
 /// A [`SizedGroupSource`] over a materialized vector with a known fraction —
@@ -229,7 +394,59 @@ impl IFocusSum2 {
         Self { config }
     }
 
-    /// Runs over sized sources.
+    /// Begins a resumable run: one bootstrap `(x, z)` pair per group plus
+    /// the round-1 deactivation test. Drive the returned stepper with
+    /// [`IFocusSum2Stepper::step`] over the same groups and RNG; a
+    /// fixed-seed `start`/`step`/`finish` drive is byte-identical to
+    /// [`IFocusSum2::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn start<G: SizedGroupSource>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> IFocusSum2Stepper {
+        assert!(!groups.is_empty(), "need at least one group");
+        let k = groups.len();
+        // Algorithm 5's ε has no without-replacement factor (x·z pairs are
+        // i.i.d. by construction).
+        let schedule = EpsilonSchedule::with_options(
+            self.config.c,
+            self.config.delta,
+            k,
+            self.config.kappa,
+            SamplingMode::WithReplacement,
+            self.config.heuristic_factor,
+        );
+        let mut stepper = IFocusSum2Stepper {
+            config: self.config.clone(),
+            schedule,
+            labels: groups.iter().map(SizedGroupSource::label).collect(),
+            estimates: vec![RunningMean::new(); k],
+            active: vec![true; k],
+            frozen_eps: vec![f64::INFINITY; k],
+            samples: vec![0u64; k],
+            m: 1,
+            truncated: false,
+            pairs: Vec::new(),
+            fix: FixpointScratch::default(),
+        };
+        for (i, group) in groups.iter_mut().enumerate() {
+            if let Some((x, z)) = group.sample_with_size(rng) {
+                stepper.estimates[i].push(x * z);
+                stepper.samples[i] += 1;
+            }
+        }
+        // Round-1 deactivation (lines 11–13) so the first snapshot already
+        // reflects any instant separations.
+        stepper.deactivate();
+        stepper
+    }
+
+    /// Runs over sized sources to completion — a thin loop over
+    /// [`IFocusSum2::start`] and [`IFocusSum2Stepper::step`].
     ///
     /// Rounds draw [`AlgoConfig::samples_per_round`] pairs per active
     /// group through [`SizedGroupSource::sample_with_size_batch`] — one
@@ -244,93 +461,141 @@ impl IFocusSum2 {
     ///
     /// Panics if `groups` is empty.
     pub fn run<G: SizedGroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
-        assert!(!groups.is_empty(), "need at least one group");
-        let k = groups.len();
-        // Algorithm 5's ε has no without-replacement factor (x·z pairs are
-        // i.i.d. by construction).
-        let schedule = EpsilonSchedule::with_options(
-            self.config.c,
-            self.config.delta,
-            k,
-            self.config.kappa,
-            SamplingMode::WithReplacement,
-            self.config.heuristic_factor,
-        );
-        let labels: Vec<String> = groups.iter().map(SizedGroupSource::label).collect();
-        let mut estimates = vec![RunningMean::new(); k];
-        let mut active = vec![true; k];
-        let mut samples = vec![0u64; k];
-        let mut m = 1u64;
-        let mut truncated = false;
-        // Reusable draw buffer: cleared, never shrunk, between batches.
-        let mut pairs: Vec<(f64, f64)> = Vec::new();
-        for (i, group) in groups.iter_mut().enumerate() {
-            if let Some((x, z)) = group.sample_with_size(rng) {
-                estimates[i].push(x * z);
-                samples[i] += 1;
-            }
-        }
-        loop {
-            // Deactivation (lines 11–13) to a fixpoint.
-            let eps = schedule.half_width(m, u64::MAX);
-            let resolution_hit = self
-                .config
-                .resolution_epsilon()
-                .is_some_and(|thresh| eps < thresh);
-            if resolution_hit {
-                active.iter_mut().for_each(|a| *a = false);
-            } else {
-                loop {
-                    let members: Vec<usize> = (0..k).filter(|&i| active[i]).collect();
-                    if members.is_empty() {
-                        break;
-                    }
-                    let set = IntervalSet::new(
-                        members
-                            .iter()
-                            .map(|&i| Interval::centered(estimates[i].mean(), eps))
-                            .collect(),
-                    );
-                    let to_remove: Vec<usize> = members
-                        .iter()
-                        .enumerate()
-                        .filter(|&(pos, _)| !set.member_overlaps_others(pos))
-                        .map(|(_, &i)| i)
-                        .collect();
-                    if to_remove.is_empty() {
-                        break;
-                    }
-                    for i in to_remove {
-                        active[i] = false;
-                    }
+        let mut stepper = self.start(groups, rng);
+        while stepper.step(groups, rng).is_running() {}
+        stepper.finish()
+    }
+}
+
+/// The Algorithm-5 state machine: one step per round (a batched `(x, z)`
+/// draw from every active group, then the deactivation fixpoint at the new
+/// `m`). Operates over [`SizedGroupSource`]s, so it mirrors
+/// [`AlgorithmStepper`]'s shape with inherent methods rather than
+/// implementing the `GroupSource`-bound trait.
+#[derive(Debug)]
+pub struct IFocusSum2Stepper {
+    config: AlgoConfig,
+    schedule: EpsilonSchedule,
+    labels: Vec<String>,
+    estimates: Vec<RunningMean>,
+    active: Vec<bool>,
+    /// ε at the moment each group deactivated (snapshot intervals only;
+    /// the historical blocking loop never tracked it, and it affects no
+    /// estimate).
+    frozen_eps: Vec<f64>,
+    samples: Vec<u64>,
+    m: u64,
+    truncated: bool,
+    /// Reusable draw buffer: cleared, never shrunk, between batches.
+    pairs: Vec<(f64, f64)>,
+    /// Reusable deactivation-fixpoint buffers.
+    fix: FixpointScratch,
+}
+
+impl IFocusSum2Stepper {
+    /// Total samples drawn so far (cheaper than a full snapshot — used by
+    /// session budget checks every round).
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// Deactivation (lines 11–13) at the current `m`, iterated to a
+    /// fixpoint in the reusable scratch (zero steady-state allocation).
+    fn deactivate(&mut self) {
+        let eps = self.schedule.half_width(self.m, u64::MAX);
+        let resolution_hit = self
+            .config
+            .resolution_epsilon()
+            .is_some_and(|thresh| eps < thresh);
+        if resolution_hit {
+            for i in 0..self.active.len() {
+                if self.active[i] {
+                    self.active[i] = false;
+                    self.frozen_eps[i] = eps;
                 }
             }
-            if !active.iter().any(|&a| a) {
-                break;
-            }
-            if m >= self.config.max_rounds {
-                truncated = true;
-                break;
-            }
-            let batch = self.config.samples_per_round;
-            m += batch;
-            for i in 0..k {
-                if active[i] {
-                    pairs.clear();
-                    let got = groups[i].sample_with_size_batch(batch, rng, &mut pairs);
-                    estimates[i].push_products(&pairs);
-                    samples[i] += got;
+        } else {
+            let mut fix = std::mem::take(&mut self.fix);
+            while fix.separate(&self.active, |i| {
+                Interval::centered(self.estimates[i].mean(), eps)
+            }) {
+                for &i in &fix.remove {
+                    self.active[i] = false;
+                    self.frozen_eps[i] = eps;
                 }
             }
+            self.fix = fix;
         }
+    }
+
+    /// Advances one round; mirrors [`AlgorithmStepper::step`].
+    pub fn step<G: SizedGroupSource>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        if !self.active.iter().any(|&a| a) {
+            return StepOutcome::Converged;
+        }
+        if self.m >= self.config.max_rounds {
+            self.truncated = true;
+            return StepOutcome::BudgetExhausted;
+        }
+        let batch = self.config.samples_per_round;
+        self.m += batch;
+        for i in 0..self.active.len() {
+            if self.active[i] {
+                self.pairs.clear();
+                let got = groups[i].sample_with_size_batch(batch, rng, &mut self.pairs);
+                self.estimates[i].push_products(&self.pairs);
+                self.samples[i] += got;
+            }
+        }
+        self.deactivate();
+        if self.active.iter().any(|&a| a) {
+            StepOutcome::Running
+        } else {
+            StepOutcome::Converged
+        }
+    }
+
+    /// The current estimates (normalized sums), intervals, active set, and
+    /// sample counts; mirrors [`AlgorithmStepper::snapshot`].
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let eps = self.schedule.half_width(self.m, u64::MAX);
+        Snapshot {
+            labels: self.labels.clone(),
+            estimates: self.estimates.iter().map(RunningMean::mean).collect(),
+            intervals: (0..self.labels.len())
+                .map(|i| {
+                    let half = if self.active[i] {
+                        eps
+                    } else {
+                        self.frozen_eps[i]
+                    };
+                    Interval::centered(self.estimates[i].mean(), half)
+                })
+                .collect(),
+            active: self.active.clone(),
+            samples_per_group: self.samples.clone(),
+            rounds: self.m,
+            truncated: self.truncated,
+        }
+    }
+
+    /// Packages the final result; mirrors [`AlgorithmStepper::finish`].
+    #[must_use]
+    pub fn finish(self) -> RunResult {
         RunResult {
-            labels,
-            estimates: estimates.iter().map(RunningMean::mean).collect(),
-            samples_per_group: samples,
-            rounds: m,
+            labels: self.labels,
+            estimates: self.estimates.iter().map(RunningMean::mean).collect(),
+            samples_per_group: self.samples,
+            rounds: self.m,
             trace: None,
             history: None,
-            truncated,
+            truncated: self.truncated,
         }
     }
 }
@@ -347,37 +612,21 @@ pub fn ifocus_count<G: SizedGroupSource>(
     groups: &mut [G],
     rng: &mut dyn RngCore,
 ) -> RunResult {
-    // Reuse IFocusSum2 with sources that replace x by the constant 1, so
-    // x·z = z: exactly the "only getting samples for s_i" reduction the
-    // paper describes.
-    struct CountAdapter<'a, G: SizedGroupSource>(&'a mut G);
-    impl<G: SizedGroupSource> SizedGroupSource for CountAdapter<'_, G> {
-        fn label(&self) -> String {
-            self.0.label()
-        }
-        fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)> {
-            self.0.sample_with_size(rng).map(|(_, z)| (1.0, z))
-        }
-        fn sample_with_size_batch(
-            &mut self,
-            n: u64,
-            rng: &mut dyn RngCore,
-            out: &mut Vec<(f64, f64)>,
-        ) -> u64 {
-            // Forward to the source's (possibly select_many-batched)
-            // implementation, then overwrite x with the constant 1.
-            let base = out.len();
-            let got = self.0.sample_with_size_batch(n, rng, out);
-            for pair in &mut out[base..] {
-                pair.0 = 1.0;
-            }
-            got
-        }
-    }
+    // Reuse IFocusSum2 through [`CountSource`], which replaces x by the
+    // constant 1 so x·z = z: exactly the "only getting samples for s_i"
+    // reduction the paper describes.
+    let mut adapters: Vec<CountSource<&mut G>> = groups.iter_mut().map(CountSource::new).collect();
+    IFocusSum2::new(count_config(config)).run(&mut adapters, rng)
+}
+
+/// The configuration [`ifocus_count`] derives from a caller's: identical
+/// except `c = 1` (the z stream lives in `[0, 1]`). Exposed so resumable
+/// sessions can build the same COUNT stepper the blocking helper runs.
+#[must_use]
+pub fn count_config(config: &AlgoConfig) -> AlgoConfig {
     let mut count_config = config.clone();
     count_config.c = 1.0;
-    let mut adapters: Vec<CountAdapter<'_, G>> = groups.iter_mut().map(CountAdapter).collect();
-    IFocusSum2::new(count_config).run(&mut adapters, rng)
+    count_config
 }
 
 #[cfg(test)]
@@ -386,6 +635,7 @@ mod tests {
     use crate::group::VecGroup;
     use crate::ordering::is_correctly_ordered;
     use rand::{Rng, SeedableRng};
+    use rapidviz_stats::IntervalSet;
 
     fn two_point_values(mean: f64, n: usize, rng: &mut impl Rng) -> Vec<f64> {
         (0..n)
@@ -633,6 +883,138 @@ mod tests {
             "estimates {:?} vs truths {truths:?}",
             result.estimates
         );
+    }
+
+    /// The pre-stepper Algorithm 4 loop, verbatim (per-iteration member /
+    /// removal vectors and a fresh `IntervalSet` per fixpoint pass, as the
+    /// blocking implementation had before the scratch arena). Guards the
+    /// acceptance criterion that the refactor is byte-identical.
+    fn reference_sum1(
+        config: &AlgoConfig,
+        groups: &mut [VecGroup],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
+        fn deactivate_scaled(state: &mut FocusState, sizes: &[u64]) {
+            let eps_base = state.epsilon();
+            loop {
+                let members: Vec<usize> = (0..state.k()).filter(|&i| state.active[i]).collect();
+                if members.is_empty() {
+                    break;
+                }
+                let set = IntervalSet::new(
+                    members
+                        .iter()
+                        .map(|&i| {
+                            let scale = sizes[i] as f64;
+                            Interval::centered(state.estimates[i].mean() * scale, eps_base * scale)
+                        })
+                        .collect(),
+                );
+                let to_remove: Vec<usize> = members
+                    .iter()
+                    .enumerate()
+                    .filter(|&(pos, _)| !set.member_overlaps_others(pos))
+                    .map(|(_, &i)| i)
+                    .collect();
+                if to_remove.is_empty() {
+                    break;
+                }
+                for i in to_remove {
+                    state.deactivate(i, eps_base);
+                }
+            }
+        }
+        let mut state = FocusState::initialize(config, groups, rng);
+        let sizes = state.sizes.clone();
+        deactivate_scaled(&mut state, &sizes);
+        state.record();
+        while state.any_active() {
+            if state.m >= config.max_rounds {
+                state.truncated = true;
+                break;
+            }
+            state.m += 1;
+            for i in 0..state.k() {
+                if state.active[i] && !state.exhausted[i] {
+                    state.draw(i, &mut groups[i], rng);
+                }
+            }
+            let eps_base = state.epsilon();
+            let max_scaled = sizes
+                .iter()
+                .zip(&state.active)
+                .filter(|(_, &a)| a)
+                .map(|(&n, _)| n as f64 * eps_base)
+                .fold(0.0f64, f64::max);
+            let resolution_hit = config
+                .resolution_epsilon()
+                .is_some_and(|thresh| max_scaled < thresh);
+            if resolution_hit || state.all_active_exhausted() {
+                state.deactivate_all();
+            } else {
+                deactivate_scaled(&mut state, &sizes);
+            }
+            state.record();
+        }
+        let mut result = state.finish();
+        for (est, &n) in result.estimates.iter_mut().zip(&sizes) {
+            *est *= n as f64;
+        }
+        result
+    }
+
+    #[test]
+    fn sum1_stepper_matches_blocking_reference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(140);
+        let mut g1 = vec![
+            VecGroup::new("big", two_point_values(30.0, 40_000, &mut rng)),
+            VecGroup::new("mid", two_point_values(55.0, 20_000, &mut rng)),
+            VecGroup::new("small", two_point_values(80.0, 5_000, &mut rng)),
+        ];
+        let mut g2 = g1.clone();
+        let config = AlgoConfig::new(100.0, 0.05);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(141);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(141);
+        let result = IFocusSum1::new(config.clone()).run(&mut g1, &mut rng1);
+        let reference = reference_sum1(&config, &mut g2, &mut rng2);
+        assert_eq!(result.estimates, reference.estimates);
+        assert_eq!(result.samples_per_group, reference.samples_per_group);
+        assert_eq!(result.rounds, reference.rounds);
+        assert_eq!(result.truncated, reference.truncated);
+    }
+
+    #[test]
+    fn count_matches_reference_sum2_with_rewrite() {
+        // ifocus_count == reference Algorithm-5 loop over x-rewritten
+        // sources with c = 1: the owned CountSource refactor must not move
+        // a single RNG draw.
+        #[derive(Clone)]
+        struct RewriteX(VecSizedGroup);
+        impl SizedGroupSource for RewriteX {
+            fn label(&self) -> String {
+                self.0.label()
+            }
+            fn sample_with_size(&mut self, rng: &mut dyn RngCore) -> Option<(f64, f64)> {
+                self.0.sample_with_size(rng).map(|(_, z)| (1.0, z))
+            }
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(150);
+        let make = |rng: &mut rand::rngs::StdRng| {
+            vec![
+                VecSizedGroup::new("half", two_point_values(50.0, 2_000, rng), 0.5),
+                VecSizedGroup::new("fifth", two_point_values(50.0, 2_000, rng), 0.2),
+            ]
+        };
+        let mut groups = make(&mut rng);
+        let mut rewritten: Vec<RewriteX> = groups.iter().cloned().map(RewriteX).collect();
+        let config = AlgoConfig::new(100.0, 0.05).with_resolution(0.05);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(151);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(151);
+        let result = ifocus_count(&config, &mut groups, &mut rng1);
+        let reference = reference_sum2(&count_config(&config), &mut rewritten, &mut rng2);
+        assert_eq!(result.estimates, reference.estimates);
+        assert_eq!(result.samples_per_group, reference.samples_per_group);
+        assert_eq!(result.rounds, reference.rounds);
     }
 
     #[test]

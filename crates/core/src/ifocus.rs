@@ -22,7 +22,7 @@
 use crate::config::AlgoConfig;
 use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
-use crate::runner::OrderingAlgorithm;
+use crate::runner::{AlgorithmStepper, OrderingAlgorithm, Snapshot, StepOutcome};
 use crate::state::FocusState;
 use rand::RngCore;
 
@@ -60,16 +60,20 @@ impl IFocus {
         &self.config
     }
 
-    /// Runs IFOCUS over the groups.
+    /// Begins a resumable run: bootstrap sample (one draw per group,
+    /// Algorithm 1 lines 1–3) plus the round-1 separation check. Drive the
+    /// returned stepper with [`AlgorithmStepper::step`] over the **same**
+    /// groups and RNG; a fixed-seed `start`/`step`/`finish` drive is
+    /// byte-identical to [`IFocus::run`].
     ///
     /// # Panics
     ///
     /// Panics if `groups` is empty.
-    pub fn run<G: GroupSource + MaybeSend>(
+    pub fn start<G: GroupSource + MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn RngCore,
-    ) -> RunResult {
+    ) -> IFocusStepper {
         let mut state = FocusState::initialize(&self.config, groups, rng);
         // Round-1 bookkeeping: check separation immediately (a dataset can
         // already be resolved after one sample per group only when the
@@ -80,31 +84,89 @@ impl IFocus {
             state.standard_deactivation();
         }
         state.record();
+        IFocusStepper { state }
+    }
 
-        while state.any_active() {
-            if state.m >= self.config.max_rounds {
-                state.truncated = true;
-                break;
-            }
-            let batch = self.config.samples_per_round;
-            state.m += batch;
-            // One draw_batch call per active group (and, over threshold with
-            // the `parallel` feature, one worker-pool fan-out per round)
-            // instead of `batch` single draws; the selection index list is
-            // rebuilt in the state's reusable scratch buffer.
-            state.draw_round_selected(false, groups, rng, batch);
-            if state.resolution_reached() || state.all_active_exhausted() {
-                state.deactivate_all();
-            } else {
-                state.standard_deactivation();
-            }
-            state.record();
+    /// Runs IFOCUS over the groups to completion — a thin loop over
+    /// [`IFocus::start`] and [`AlgorithmStepper::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn run<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
+        let mut stepper = self.start(groups, rng);
+        while stepper.step(groups, rng).is_running() {}
+        stepper.finish()
+    }
+}
+
+/// The IFOCUS state machine: one [`AlgorithmStepper::step`] call per round
+/// (draw a batch from every active group, recompute ε, run the deactivation
+/// fixpoint).
+#[derive(Debug)]
+pub struct IFocusStepper {
+    state: FocusState,
+}
+
+impl IFocusStepper {
+    /// Total samples drawn so far (cheaper than a full snapshot — used by
+    /// session budget checks every round).
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.state.total_samples()
+    }
+}
+
+impl AlgorithmStepper for IFocusStepper {
+    fn step<G: GroupSource + MaybeSend>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        let state = &mut self.state;
+        if !state.any_active() {
+            return StepOutcome::Converged;
         }
-        state.finish()
+        if state.m >= state.config.max_rounds {
+            state.truncated = true;
+            return StepOutcome::BudgetExhausted;
+        }
+        let batch = state.config.samples_per_round;
+        state.m += batch;
+        // One draw_batch call per active group (and, over threshold with
+        // the `parallel` feature, one worker-pool fan-out per round)
+        // instead of `batch` single draws; the selection index list is
+        // rebuilt in the state's reusable scratch buffer.
+        state.draw_round_selected(false, groups, rng, batch);
+        if state.resolution_reached() || state.all_active_exhausted() {
+            state.deactivate_all();
+        } else {
+            state.standard_deactivation();
+        }
+        state.record();
+        if state.any_active() {
+            StepOutcome::Running
+        } else {
+            StepOutcome::Converged
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.state.snapshot()
+    }
+
+    fn finish(self) -> RunResult {
+        self.state.finish()
     }
 }
 
 impl OrderingAlgorithm for IFocus {
+    type Stepper = IFocusStepper;
+
     fn name(&self) -> String {
         if self.config.resolution.is_some() {
             "ifocusr".to_owned()
@@ -113,12 +175,12 @@ impl OrderingAlgorithm for IFocus {
         }
     }
 
-    fn execute<G: GroupSource + MaybeSend>(
+    fn start<G: GroupSource + MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn RngCore,
-    ) -> RunResult {
-        self.run(groups, rng)
+    ) -> IFocusStepper {
+        IFocus::start(self, groups, rng)
     }
 }
 

@@ -36,7 +36,7 @@ use crate::config::AlgoConfig;
 use crate::group::{GroupSource, MaybeSend};
 use crate::history::{History, HistoryPoint};
 use crate::result::RunResult;
-use crate::runner::OrderingAlgorithm;
+use crate::runner::{AlgorithmStepper, OrderingAlgorithm, Snapshot, StepOutcome};
 use rand::RngCore;
 use rapidviz_stats::{hoeffding_sample_size, Interval, IntervalSet, SamplingMode};
 
@@ -59,7 +59,44 @@ impl IRefine {
         &self.config
     }
 
-    /// Runs IREFINE over the groups.
+    /// Begins a resumable run (Algorithm 3 lines 1–4: per-group targets and
+    /// budgets initialized, nothing sampled yet — IREFINE's first draws
+    /// happen in the first phase). A fixed-seed `start`/`step`/`finish`
+    /// drive is byte-identical to [`IRefine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn start<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        _rng: &mut dyn RngCore,
+    ) -> IRefineStepper {
+        assert!(!groups.is_empty(), "need at least one group");
+        let k = groups.len();
+        let c = self.config.c;
+        IRefineStepper {
+            config: self.config.clone(),
+            labels: groups.iter().map(GroupSource::label).collect(),
+            sizes: groups.iter().map(GroupSource::len).collect(),
+            estimates: vec![c / 2.0; k],
+            eps: vec![c / 2.0; k],
+            deltas: vec![self.config.delta / (2.0 * k as f64); k],
+            active: vec![true; k],
+            samples: vec![0u64; k],
+            cumulative: vec![(0u64, 0.0f64); k],
+            history: (self.config.history_every > 0).then(History::new),
+            phase: 0,
+            truncated: false,
+            batch_buf: Vec::new(),
+            // Each phase halves ε; ~60 phases reach f64 resolution. Anything
+            // deeper means adversarial input; respect max_rounds too.
+            phase_cap: self.config.max_rounds.min(200),
+        }
+    }
+
+    /// Runs IREFINE over the groups to completion — a thin loop over
+    /// [`IRefine::start`] and [`AlgorithmStepper::step`].
     ///
     /// # Panics
     ///
@@ -69,132 +106,179 @@ impl IRefine {
         groups: &mut [G],
         rng: &mut dyn RngCore,
     ) -> RunResult {
-        assert!(!groups.is_empty(), "need at least one group");
-        let k = groups.len();
+        let mut stepper = self.start(groups, rng);
+        while stepper.step(groups, rng).is_running() {}
+        stepper.finish()
+    }
+}
+
+/// The IREFINE state machine: one [`AlgorithmStepper::step`] call per
+/// *phase* (halve every active group's target half-width, top up its
+/// cumulative sample to the new Hoeffding target, recompute activity).
+#[derive(Debug)]
+pub struct IRefineStepper {
+    config: AlgoConfig,
+    labels: Vec<String>,
+    sizes: Vec<u64>,
+    estimates: Vec<f64>,
+    eps: Vec<f64>,
+    deltas: Vec<f64>,
+    active: Vec<bool>,
+    samples: Vec<u64>,
+    /// Cumulative (count, sum) of the i.i.d. with-replacement sample.
+    cumulative: Vec<(u64, f64)>,
+    history: Option<History>,
+    phase: u64,
+    truncated: bool,
+    batch_buf: Vec<f64>,
+    phase_cap: u64,
+}
+
+impl IRefineStepper {
+    /// Total samples drawn so far (cheaper than a full snapshot — used by
+    /// session budget checks every round).
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+}
+
+impl AlgorithmStepper for IRefineStepper {
+    fn step<G: GroupSource + MaybeSend>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        if !self.active.iter().any(|&a| a) {
+            return StepOutcome::Converged;
+        }
+        let k = self.labels.len();
         let c = self.config.c;
-        let labels: Vec<String> = groups.iter().map(GroupSource::label).collect();
-        let sizes: Vec<u64> = groups.iter().map(GroupSource::len).collect();
-
-        // Algorithm 3 lines 1–4.
-        let mut estimates = vec![c / 2.0; k];
-        let mut eps = vec![c / 2.0; k];
-        let mut deltas = vec![self.config.delta / (2.0 * k as f64); k];
-        let mut active = vec![true; k];
-        let mut samples = vec![0u64; k];
-        // Cumulative (count, sum) of the i.i.d. with-replacement sample.
-        let mut cumulative = vec![(0u64, 0.0f64); k];
-        let mut saturated = vec![false; k];
-        let mut history = (self.config.history_every > 0).then(History::new);
         let resolution_eps = self.config.resolution_epsilon();
-        let mut phase = 0u64;
-        let mut truncated = false;
-        let mut batch_buf: Vec<f64> = Vec::new();
-        // Each phase halves ε; ~60 phases reach f64 resolution. Anything
-        // deeper means adversarial input; respect max_rounds too.
-        let phase_cap = self.config.max_rounds.min(200);
-
-        while active.iter().any(|&a| a) {
-            phase += 1;
-            if phase > phase_cap {
-                truncated = true;
-                break;
+        self.phase += 1;
+        if self.phase > self.phase_cap {
+            self.truncated = true;
+            return StepOutcome::BudgetExhausted;
+        }
+        for i in 0..k {
+            if !self.active[i] {
+                continue;
             }
-            for i in 0..k {
-                if !active[i] {
-                    continue;
-                }
-                // Resolution relaxation: stop refining below r/4.
-                if resolution_eps.is_some_and(|r| eps[i] < r) {
-                    active[i] = false;
-                    continue;
-                }
-                // Halve targets and re-estimate (lines 8–9).
-                eps[i] /= 2.0;
-                deltas[i] /= 2.0;
-                let target = hoeffding_sample_size(eps[i], deltas[i], c);
-                // Sample-budget guard: a target past the per-group budget
-                // retires the group with its current estimate (truncated
-                // run) rather than spinning on an adversarial near-tie.
-                if target > self.config.max_samples_per_group {
-                    active[i] = false;
-                    truncated = true;
-                    continue;
-                }
-                // Saturation: under without-replacement sampling a target at
-                // or past the population size just tops up to exhaustion —
-                // the cumulative sample then IS the population and the
-                // estimate is exact (Serfling width 0). With replacement the
-                // cap would void the Hoeffding guarantee, so the full target
-                // stands (the budget guard above bounds runaway).
-                let without_replacement = self.config.mode == SamplingMode::WithoutReplacement;
-                let target = if without_replacement {
-                    target.min(sizes[i])
-                } else {
-                    target
-                };
-                let have = cumulative[i].0;
-                // Top up to the phase target in one batched call: the
-                // engine-backed sources resolve the whole top-up through a
-                // single select_many sweep instead of `target - have`
-                // independent directory searches.
-                batch_buf.clear();
-                let got =
-                    groups[i].draw_batch(target - have, rng, self.config.mode, &mut batch_buf);
-                for &x in &batch_buf {
-                    cumulative[i].0 += 1;
-                    cumulative[i].1 += x;
-                }
-                debug_assert_eq!(cumulative[i].0, have + got);
-                samples[i] += got;
-                if cumulative[i].0 > 0 {
-                    estimates[i] = cumulative[i].1 / cumulative[i].0 as f64;
-                }
-                if without_replacement && cumulative[i].0 >= sizes[i] {
-                    // Entire population drawn: estimate is exact.
-                    eps[i] = 0.0;
-                    saturated[i] = true;
-                    active[i] = false;
-                }
+            // Resolution relaxation: stop refining below r/4.
+            if resolution_eps.is_some_and(|r| self.eps[i] < r) {
+                self.active[i] = false;
+                continue;
             }
-            // Line 10: recompute activity against every group's interval.
-            let set = IntervalSet::new(
-                (0..k)
-                    .map(|i| Interval::centered(estimates[i], eps[i]))
-                    .collect(),
-            );
-            for i in 0..k {
-                if active[i] {
-                    active[i] = set.member_overlaps_others(i);
-                }
+            // Halve targets and re-estimate (lines 8–9).
+            self.eps[i] /= 2.0;
+            self.deltas[i] /= 2.0;
+            let target = hoeffding_sample_size(self.eps[i], self.deltas[i], c);
+            // Sample-budget guard: a target past the per-group budget
+            // retires the group with its current estimate (truncated
+            // run) rather than spinning on an adversarial near-tie.
+            if target > self.config.max_samples_per_group {
+                self.active[i] = false;
+                self.truncated = true;
+                continue;
             }
-            if let Some(h) = &mut history {
-                if phase == 1
-                    || phase.is_multiple_of(self.config.history_every)
-                    || !active.iter().any(|&a| a)
-                {
-                    h.push(HistoryPoint {
-                        round: phase,
-                        total_samples: samples.iter().sum(),
-                        active_groups: active.iter().filter(|&&a| a).count(),
-                        estimates: estimates.clone(),
-                    });
-                }
+            // Saturation: under without-replacement sampling a target at
+            // or past the population size just tops up to exhaustion —
+            // the cumulative sample then IS the population and the
+            // estimate is exact (Serfling width 0). With replacement the
+            // cap would void the Hoeffding guarantee, so the full target
+            // stands (the budget guard above bounds runaway).
+            let without_replacement = self.config.mode == SamplingMode::WithoutReplacement;
+            let target = if without_replacement {
+                target.min(self.sizes[i])
+            } else {
+                target
+            };
+            let have = self.cumulative[i].0;
+            // Top up to the phase target in one batched call: the
+            // engine-backed sources resolve the whole top-up through a
+            // single select_many sweep instead of `target - have`
+            // independent directory searches.
+            self.batch_buf.clear();
+            let got =
+                groups[i].draw_batch(target - have, rng, self.config.mode, &mut self.batch_buf);
+            for &x in &self.batch_buf {
+                self.cumulative[i].0 += 1;
+                self.cumulative[i].1 += x;
+            }
+            debug_assert_eq!(self.cumulative[i].0, have + got);
+            self.samples[i] += got;
+            if self.cumulative[i].0 > 0 {
+                self.estimates[i] = self.cumulative[i].1 / self.cumulative[i].0 as f64;
+            }
+            if without_replacement && self.cumulative[i].0 >= self.sizes[i] {
+                // Entire population drawn: estimate is exact (the group
+                // is saturated and retires with a zero-width interval).
+                self.eps[i] = 0.0;
+                self.active[i] = false;
             }
         }
+        // Line 10: recompute activity against every group's interval.
+        let set = IntervalSet::new(
+            (0..k)
+                .map(|i| Interval::centered(self.estimates[i], self.eps[i]))
+                .collect(),
+        );
+        for i in 0..k {
+            if self.active[i] {
+                self.active[i] = set.member_overlaps_others(i);
+            }
+        }
+        let any_active = self.active.iter().any(|&a| a);
+        if let Some(h) = &mut self.history {
+            if self.phase == 1
+                || self.phase.is_multiple_of(self.config.history_every)
+                || !any_active
+            {
+                h.push(HistoryPoint {
+                    round: self.phase,
+                    total_samples: self.samples.iter().sum(),
+                    active_groups: self.active.iter().filter(|&&a| a).count(),
+                    estimates: self.estimates.clone(),
+                });
+            }
+        }
+        if any_active {
+            StepOutcome::Running
+        } else {
+            StepOutcome::Converged
+        }
+    }
 
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            labels: self.labels.clone(),
+            estimates: self.estimates.clone(),
+            intervals: (0..self.labels.len())
+                .map(|i| Interval::centered(self.estimates[i], self.eps[i]))
+                .collect(),
+            active: self.active.clone(),
+            samples_per_group: self.samples.clone(),
+            rounds: self.phase,
+            truncated: self.truncated,
+        }
+    }
+
+    fn finish(self) -> RunResult {
         RunResult {
-            labels,
-            estimates,
-            samples_per_group: samples,
-            rounds: phase,
+            labels: self.labels,
+            estimates: self.estimates,
+            samples_per_group: self.samples,
+            rounds: self.phase,
             trace: None,
-            history,
-            truncated,
+            history: self.history,
+            truncated: self.truncated,
         }
     }
 }
 
 impl OrderingAlgorithm for IRefine {
+    type Stepper = IRefineStepper;
+
     fn name(&self) -> String {
         if self.config.resolution.is_some() {
             "irefiner".to_owned()
@@ -203,12 +287,12 @@ impl OrderingAlgorithm for IRefine {
         }
     }
 
-    fn execute<G: GroupSource + MaybeSend>(
+    fn start<G: GroupSource + MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn RngCore,
-    ) -> RunResult {
-        self.run(groups, rng)
+    ) -> IRefineStepper {
+        IRefine::start(self, groups, rng)
     }
 }
 
@@ -309,5 +393,125 @@ mod tests {
             IRefine::new(AlgoConfig::new(1.0, 0.05).with_resolution(0.1)).name(),
             "irefiner"
         );
+    }
+
+    /// The pre-stepper IREFINE phase loop, verbatim. Guards the acceptance
+    /// criterion that the resumable-session refactor is byte-identical for
+    /// a fixed seed.
+    fn reference_irefine(
+        config: &AlgoConfig,
+        groups: &mut [VecGroup],
+        rng: &mut dyn RngCore,
+    ) -> RunResult {
+        use crate::history::{History, HistoryPoint};
+        assert!(!groups.is_empty(), "need at least one group");
+        let k = groups.len();
+        let c = config.c;
+        let labels: Vec<String> = groups.iter().map(GroupSource::label).collect();
+        let sizes: Vec<u64> = groups.iter().map(GroupSource::len).collect();
+        let mut estimates = vec![c / 2.0; k];
+        let mut eps = vec![c / 2.0; k];
+        let mut deltas = vec![config.delta / (2.0 * k as f64); k];
+        let mut active = vec![true; k];
+        let mut samples = vec![0u64; k];
+        let mut cumulative = vec![(0u64, 0.0f64); k];
+        let mut history = (config.history_every > 0).then(History::new);
+        let resolution_eps = config.resolution_epsilon();
+        let mut phase = 0u64;
+        let mut truncated = false;
+        let mut batch_buf: Vec<f64> = Vec::new();
+        let phase_cap = config.max_rounds.min(200);
+        while active.iter().any(|&a| a) {
+            phase += 1;
+            if phase > phase_cap {
+                truncated = true;
+                break;
+            }
+            for i in 0..k {
+                if !active[i] {
+                    continue;
+                }
+                if resolution_eps.is_some_and(|r| eps[i] < r) {
+                    active[i] = false;
+                    continue;
+                }
+                eps[i] /= 2.0;
+                deltas[i] /= 2.0;
+                let target = hoeffding_sample_size(eps[i], deltas[i], c);
+                if target > config.max_samples_per_group {
+                    active[i] = false;
+                    truncated = true;
+                    continue;
+                }
+                let without_replacement = config.mode == SamplingMode::WithoutReplacement;
+                let target = if without_replacement {
+                    target.min(sizes[i])
+                } else {
+                    target
+                };
+                let have = cumulative[i].0;
+                batch_buf.clear();
+                let got = groups[i].draw_batch(target - have, rng, config.mode, &mut batch_buf);
+                for &x in &batch_buf {
+                    cumulative[i].0 += 1;
+                    cumulative[i].1 += x;
+                }
+                samples[i] += got;
+                if cumulative[i].0 > 0 {
+                    estimates[i] = cumulative[i].1 / cumulative[i].0 as f64;
+                }
+                if without_replacement && cumulative[i].0 >= sizes[i] {
+                    eps[i] = 0.0;
+                    active[i] = false;
+                }
+            }
+            let set = IntervalSet::new(
+                (0..k)
+                    .map(|i| Interval::centered(estimates[i], eps[i]))
+                    .collect(),
+            );
+            for i in 0..k {
+                if active[i] {
+                    active[i] = set.member_overlaps_others(i);
+                }
+            }
+            if let Some(h) = &mut history {
+                if phase == 1
+                    || phase.is_multiple_of(config.history_every)
+                    || !active.iter().any(|&a| a)
+                {
+                    h.push(HistoryPoint {
+                        round: phase,
+                        total_samples: samples.iter().sum(),
+                        active_groups: active.iter().filter(|&&a| a).count(),
+                        estimates: estimates.clone(),
+                    });
+                }
+            }
+        }
+        RunResult {
+            labels,
+            estimates,
+            samples_per_group: samples,
+            rounds: phase,
+            trace: None,
+            history,
+            truncated,
+        }
+    }
+
+    #[test]
+    fn stepper_matches_blocking_reference() {
+        let mut g1 = two_point_groups(&[25.0, 47.0, 53.0, 80.0], 60_000, 70);
+        let mut g2 = g1.clone();
+        let config = AlgoConfig::new(100.0, 0.05);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(71);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(71);
+        let result = IRefine::new(config.clone()).run(&mut g1, &mut rng1);
+        let reference = reference_irefine(&config, &mut g2, &mut rng2);
+        assert_eq!(result.estimates, reference.estimates);
+        assert_eq!(result.samples_per_group, reference.samples_per_group);
+        assert_eq!(result.rounds, reference.rounds);
+        assert_eq!(result.truncated, reference.truncated);
     }
 }

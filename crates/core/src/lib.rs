@@ -72,16 +72,16 @@ pub mod viz;
 pub use config::{AlgoConfig, ReactivationPolicy};
 pub use group::GroupSource;
 pub use history::{History, HistoryPoint};
-pub use ifocus::IFocus;
-pub use irefine::IRefine;
+pub use ifocus::{IFocus, IFocusStepper};
+pub use irefine::{IRefine, IRefineStepper};
 pub use ordering::{
     count_incorrect_pairs, fraction_correct_pairs, is_correctly_ordered,
     is_correctly_ordered_with_resolution, is_top_t_correct, is_trend_correct,
 };
 pub use result::RunResult;
-pub use roundrobin::RoundRobin;
-pub use runner::OrderingAlgorithm;
-pub use scan::ExactScan;
+pub use roundrobin::{RoundRobin, RoundRobinStepper};
+pub use runner::{AlgorithmStepper, OneShotStepper, OrderingAlgorithm, Snapshot, StepOutcome};
+pub use scan::{ExactScan, ScanStepper};
 pub use trace::{Trace, TraceRow};
 
 // Re-export the sampling-mode enum so downstream users configure algorithms

@@ -14,7 +14,7 @@
 use crate::config::AlgoConfig;
 use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
-use crate::runner::OrderingAlgorithm;
+use crate::runner::{AlgorithmStepper, OrderingAlgorithm, Snapshot, StepOutcome};
 use crate::state::FocusState;
 use rand::RngCore;
 
@@ -37,7 +37,30 @@ impl RoundRobin {
         &self.config
     }
 
-    /// Runs ROUNDROBIN over the groups.
+    /// Begins a resumable run (bootstrap sample plus the round-1 separation
+    /// check). A fixed-seed `start`/`step`/`finish` drive is byte-identical
+    /// to [`RoundRobin::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn start<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> RoundRobinStepper {
+        let mut state = FocusState::initialize(&self.config, groups, rng);
+        if state.resolution_reached() {
+            state.deactivate_all();
+        } else {
+            state.standard_deactivation();
+        }
+        state.record();
+        RoundRobinStepper { state }
+    }
+
+    /// Runs ROUNDROBIN over the groups to completion — a thin loop over
+    /// [`RoundRobin::start`] and [`AlgorithmStepper::step`].
     ///
     /// # Panics
     ///
@@ -47,33 +70,67 @@ impl RoundRobin {
         groups: &mut [G],
         rng: &mut dyn RngCore,
     ) -> RunResult {
-        let mut state = FocusState::initialize(&self.config, groups, rng);
-        if state.resolution_reached() {
+        let mut stepper = self.start(groups, rng);
+        while stepper.step(groups, rng).is_running() {}
+        stepper.finish()
+    }
+}
+
+/// The ROUNDROBIN state machine: each step samples **every** unexhausted
+/// group once (batched), then runs the same deactivation test as IFOCUS.
+#[derive(Debug)]
+pub struct RoundRobinStepper {
+    state: FocusState,
+}
+
+impl RoundRobinStepper {
+    /// Total samples drawn so far (cheaper than a full snapshot — used by
+    /// session budget checks every round).
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.state.total_samples()
+    }
+}
+
+impl AlgorithmStepper for RoundRobinStepper {
+    fn step<G: GroupSource + MaybeSend>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        let state = &mut self.state;
+        if !state.any_active() {
+            return StepOutcome::Converged;
+        }
+        if state.m >= state.config.max_rounds {
+            state.truncated = true;
+            return StepOutcome::BudgetExhausted;
+        }
+        let batch = state.config.samples_per_round;
+        state.m += batch;
+        // The defining difference from IFOCUS: sample *all* groups —
+        // one draw_batch call each (pooled over threshold with the
+        // `parallel` feature), selected through the reusable scratch.
+        state.draw_round_selected(true, groups, rng, batch);
+        if state.resolution_reached() || state.all_exhausted() {
             state.deactivate_all();
         } else {
             state.standard_deactivation();
         }
         state.record();
-
-        while state.any_active() {
-            if state.m >= self.config.max_rounds {
-                state.truncated = true;
-                break;
-            }
-            let batch = self.config.samples_per_round;
-            state.m += batch;
-            // The defining difference from IFOCUS: sample *all* groups —
-            // one draw_batch call each (pooled over threshold with the
-            // `parallel` feature), selected through the reusable scratch.
-            state.draw_round_selected(true, groups, rng, batch);
-            if state.resolution_reached() || state.all_exhausted() {
-                state.deactivate_all();
-            } else {
-                state.standard_deactivation();
-            }
-            state.record();
+        if state.any_active() {
+            StepOutcome::Running
+        } else {
+            StepOutcome::Converged
         }
-        state.finish()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.state.snapshot()
+    }
+
+    fn finish(self) -> RunResult {
+        self.state.finish()
     }
 }
 
@@ -86,6 +143,8 @@ impl FocusState {
 }
 
 impl OrderingAlgorithm for RoundRobin {
+    type Stepper = RoundRobinStepper;
+
     fn name(&self) -> String {
         if self.config.resolution.is_some() {
             "roundrobinr".to_owned()
@@ -94,12 +153,12 @@ impl OrderingAlgorithm for RoundRobin {
         }
     }
 
-    fn execute<G: GroupSource + MaybeSend>(
+    fn start<G: GroupSource + MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn RngCore,
-    ) -> RunResult {
-        self.run(groups, rng)
+    ) -> RoundRobinStepper {
+        RoundRobin::start(self, groups, rng)
     }
 }
 
@@ -206,5 +265,76 @@ mod tests {
             RoundRobin::new(AlgoConfig::new(1.0, 0.05).with_resolution(0.1)).name(),
             "roundrobinr"
         );
+    }
+
+    /// The pre-stepper ROUNDROBIN loop, verbatim. Guards the acceptance
+    /// criterion that the resumable-session refactor is byte-identical for
+    /// a fixed seed.
+    fn reference_roundrobin(
+        config: &AlgoConfig,
+        groups: &mut [VecGroup],
+        rng: &mut rand::rngs::StdRng,
+    ) -> crate::result::RunResult {
+        let mut state = FocusState::initialize(config, groups, rng);
+        if state.resolution_reached() {
+            state.deactivate_all();
+        } else {
+            state.standard_deactivation();
+        }
+        state.record();
+        while state.any_active() {
+            if state.m >= config.max_rounds {
+                state.truncated = true;
+                break;
+            }
+            let batch = config.samples_per_round;
+            state.m += batch;
+            state.draw_round_selected(true, groups, rng, batch);
+            if state.resolution_reached() || state.all_exhausted() {
+                state.deactivate_all();
+            } else {
+                state.standard_deactivation();
+            }
+            state.record();
+        }
+        state.finish()
+    }
+
+    #[test]
+    fn stepper_matches_blocking_reference() {
+        let mut g1 = two_point_groups(&[25.0, 48.0, 52.0, 80.0], 30_000, 80);
+        let mut g2 = g1.clone();
+        let config = AlgoConfig::new(100.0, 0.05);
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(81);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(81);
+        let result = RoundRobin::new(config.clone()).run(&mut g1, &mut rng1);
+        let reference = reference_roundrobin(&config, &mut g2, &mut rng2);
+        assert_eq!(result.estimates, reference.estimates);
+        assert_eq!(result.samples_per_group, reference.samples_per_group);
+        assert_eq!(result.rounds, reference.rounds);
+        assert_eq!(result.truncated, reference.truncated);
+    }
+
+    #[test]
+    fn step_snapshots_harden_monotonically() {
+        use crate::runner::{AlgorithmStepper, StepOutcome};
+        let mut groups = two_point_groups(&[20.0, 50.0, 80.0], 30_000, 82);
+        let algo = RoundRobin::new(AlgoConfig::new(100.0, 0.05));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(83);
+        let mut stepper = algo.start(&mut groups, &mut rng);
+        let mut prev_active = stepper.snapshot().active_count();
+        let mut rounds = 0u64;
+        loop {
+            let outcome = stepper.step(&mut groups, &mut rng);
+            let snap = stepper.snapshot();
+            assert!(snap.active_count() <= prev_active, "active set never grows");
+            prev_active = snap.active_count();
+            rounds += 1;
+            if outcome != StepOutcome::Running {
+                assert_eq!(outcome, StepOutcome::Converged);
+                break;
+            }
+        }
+        assert!(rounds > 1, "multi-round run expected");
     }
 }

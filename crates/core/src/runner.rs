@@ -1,25 +1,305 @@
-//! The common algorithm interface.
+//! The common algorithm interface: blocking execution and resumable,
+//! round-granular stepping.
+//!
+//! Every algorithm in this crate is round-based: it repeatedly draws a few
+//! samples, tightens confidence intervals, and freezes groups whose position
+//! in the ordering has become certain. [`OrderingAlgorithm`] exposes that
+//! structure directly: [`OrderingAlgorithm::start`] returns an
+//! [`AlgorithmStepper`] — an explicit state machine advanced one round at a
+//! time by [`AlgorithmStepper::step`] — and the blocking
+//! [`OrderingAlgorithm::execute`] is nothing but a thin loop over it.
+//! Between steps, [`AlgorithmStepper::snapshot`] exposes the current
+//! estimates, confidence intervals, active set, and the progressively
+//! hardening partial ordering, so callers can render partial results,
+//! enforce sample/time budgets, or cancel and keep the best answer so far.
 
 use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
 use rand::RngCore;
+use rapidviz_stats::Interval;
+
+/// What a single [`AlgorithmStepper::step`] call concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The round ran and more rounds are needed; call `step` again.
+    Running,
+    /// The algorithm terminated naturally: every group's position is
+    /// certified (or exhausted/resolution-cut). Further `step` calls are
+    /// no-ops returning `Converged` again.
+    Converged,
+    /// A budget (the configured round cap, or a session-level sample/time
+    /// budget) ran out before convergence. The state is still usable: the
+    /// snapshot and [`AlgorithmStepper::finish`] report best-effort
+    /// estimates, flagged as truncated.
+    BudgetExhausted,
+}
+
+impl StepOutcome {
+    /// Whether stepping should continue (`Running`).
+    #[must_use]
+    pub fn is_running(self) -> bool {
+        matches!(self, StepOutcome::Running)
+    }
+}
+
+/// A point-in-time view of a stepper: everything a progressive renderer
+/// needs to draw the partial bar chart after a round.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Group labels, in input order.
+    pub labels: Vec<String>,
+    /// Current estimates `ν_i` (means, or sums for the SUM variants).
+    pub estimates: Vec<f64>,
+    /// Current confidence intervals: live half-width for active groups,
+    /// frozen at deactivation for certified ones, zero-width for exhausted
+    /// (exact) ones.
+    pub intervals: Vec<Interval>,
+    /// Which groups are still active (still being sampled).
+    pub active: Vec<bool>,
+    /// Samples drawn from each group so far.
+    pub samples_per_group: Vec<u64>,
+    /// Round counter `m` after the last completed round.
+    pub rounds: u64,
+    /// Whether a budget cap has already truncated the run.
+    pub truncated: bool,
+}
+
+impl Snapshot {
+    /// Total samples drawn so far.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.samples_per_group.iter().sum()
+    }
+
+    /// Number of still-active groups.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// The **partial ordering** certified so far: indices of deactivated
+    /// groups sorted by ascending estimate. With probability `≥ 1 − δ`
+    /// these groups are correctly ordered among themselves (their intervals
+    /// were mutually disjoint when they froze), so a dashboard can render
+    /// them immediately; active groups are still in flux.
+    #[must_use]
+    pub fn certified_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.estimates.len())
+            .filter(|&i| !self.active[i])
+            .collect();
+        idx.sort_by(|&a, &b| {
+            self.estimates[a]
+                .partial_cmp(&self.estimates[b])
+                .expect("estimates are not NaN")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// All group indices sorted by ascending current estimate — the best
+    /// full ordering available right now (no guarantee for active groups).
+    #[must_use]
+    pub fn order_by_estimate(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.estimates.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.estimates[a]
+                .partial_cmp(&self.estimates[b])
+                .expect("estimates are not NaN")
+                .then(a.cmp(&b))
+        });
+        idx
+    }
+}
+
+/// A resumable algorithm run: an explicit state machine advanced one round
+/// per [`AlgorithmStepper::step`] call.
+///
+/// Steppers do not own the groups or the RNG — the caller passes the *same*
+/// groups and RNG to every `step` call (passing different ones is not
+/// memory-unsafe but produces meaningless estimates). This keeps the state
+/// machine free of borrows, so a session can own stepper, groups, and RNG
+/// side by side.
+///
+/// Fixed-seed runs driven through `start`/`step`/`finish` are byte-identical
+/// to the historical blocking loops — that equivalence is regression-tested
+/// against verbatim pre-refactor reference implementations.
+pub trait AlgorithmStepper {
+    /// Advances one round: draw from the selected groups, update estimates,
+    /// re-run the deactivation test, and report whether to continue.
+    ///
+    /// Idempotent after termination: once `Converged` (or once a budget
+    /// tripped and the caller stops), further calls return the terminal
+    /// outcome without drawing.
+    fn step<G: GroupSource + MaybeSend>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome;
+
+    /// The current estimates, intervals, active set, and partial ordering.
+    fn snapshot(&self) -> Snapshot;
+
+    /// Consumes the stepper and packages the final (or best-effort, if
+    /// stopped early) result.
+    fn finish(self) -> RunResult;
+}
 
 /// An algorithm that estimates per-group aggregates with an ordering
 /// guarantee. Implemented by [`crate::IFocus`], [`crate::IRefine`],
-/// [`crate::RoundRobin`], and [`crate::ExactScan`], so harness code can
-/// sweep over algorithms generically.
+/// [`crate::RoundRobin`], [`crate::ExactScan`],
+/// [`crate::extensions::IFocusSum1`], and the §6 extension algorithms, so
+/// harness code can sweep over algorithms generically.
+///
+/// The resumable entry point is [`OrderingAlgorithm::start`]; the blocking
+/// [`OrderingAlgorithm::execute`] is a provided thin loop over the stepper.
 ///
 /// The [`MaybeSend`] bound is `Send` only under the `parallel` feature
 /// (enabling the threaded per-round draw fan-out) and is satisfied by every
 /// type otherwise.
 pub trait OrderingAlgorithm {
+    /// The state-machine type driving this algorithm round by round.
+    /// Algorithms whose loops have not (yet) been decomposed use
+    /// [`OneShotStepper`], which runs eagerly inside `start` and exposes
+    /// only the final state.
+    type Stepper: AlgorithmStepper;
+
     /// Short identifier used in experiment output (`ifocus`, `ifocusr`, …).
     fn name(&self) -> String;
 
-    /// Runs the algorithm over the groups.
+    /// Begins a resumable run: performs any bootstrap sampling and the
+    /// initial deactivation test, returning the stepper positioned before
+    /// its first full round. Pass the same `groups` and `rng` to every
+    /// subsequent [`AlgorithmStepper::step`] call.
+    fn start<G: GroupSource + MaybeSend>(
+        &self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> Self::Stepper;
+
+    /// Runs the algorithm over the groups to completion — a thin loop over
+    /// [`OrderingAlgorithm::start`] and [`AlgorithmStepper::step`].
     fn execute<G: GroupSource + MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn RngCore,
-    ) -> RunResult;
+    ) -> RunResult {
+        let mut stepper = self.start(groups, rng);
+        while stepper.step(groups, rng).is_running() {}
+        stepper.finish()
+    }
+}
+
+/// Degenerate [`AlgorithmStepper`] for algorithms that still run eagerly:
+/// the whole run happens inside [`OrderingAlgorithm::start`] and the
+/// stepper is born converged, exposing the final state only (point
+/// intervals, empty active set).
+#[derive(Debug, Clone)]
+pub struct OneShotStepper {
+    result: RunResult,
+}
+
+impl OneShotStepper {
+    /// Wraps an already-computed result.
+    #[must_use]
+    pub fn completed(result: RunResult) -> Self {
+        Self { result }
+    }
+}
+
+impl AlgorithmStepper for OneShotStepper {
+    fn step<G: GroupSource + MaybeSend>(
+        &mut self,
+        _groups: &mut [G],
+        _rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        if self.result.truncated {
+            StepOutcome::BudgetExhausted
+        } else {
+            StepOutcome::Converged
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            labels: self.result.labels.clone(),
+            estimates: self.result.estimates.clone(),
+            // Post-hoc the per-group half-widths are gone; report point
+            // intervals at the final estimates.
+            intervals: self
+                .result
+                .estimates
+                .iter()
+                .map(|&e| Interval::centered(e, 0.0))
+                .collect(),
+            active: vec![false; self.result.estimates.len()],
+            samples_per_group: self.result.samples_per_group.clone(),
+            rounds: self.result.rounds,
+            truncated: self.result.truncated,
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> RunResult {
+        RunResult {
+            labels: vec!["a".into(), "b".into(), "c".into()],
+            estimates: vec![30.0, 10.0, 20.0],
+            samples_per_group: vec![5, 7, 9],
+            rounds: 9,
+            trace: None,
+            history: None,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn outcome_is_running() {
+        assert!(StepOutcome::Running.is_running());
+        assert!(!StepOutcome::Converged.is_running());
+        assert!(!StepOutcome::BudgetExhausted.is_running());
+    }
+
+    #[test]
+    fn snapshot_orderings() {
+        let snap = Snapshot {
+            labels: vec!["a".into(), "b".into(), "c".into()],
+            estimates: vec![30.0, 10.0, 20.0],
+            intervals: vec![
+                Interval::centered(30.0, 1.0),
+                Interval::centered(10.0, 1.0),
+                Interval::centered(20.0, 5.0),
+            ],
+            active: vec![false, false, true],
+            samples_per_group: vec![5, 7, 9],
+            rounds: 9,
+            truncated: false,
+        };
+        assert_eq!(snap.total_samples(), 21);
+        assert_eq!(snap.active_count(), 1);
+        // Only the certified (inactive) groups appear, sorted by estimate.
+        assert_eq!(snap.certified_order(), vec![1, 0]);
+        assert_eq!(snap.order_by_estimate(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn one_shot_is_born_terminal() {
+        use crate::group::VecGroup;
+        use rand::SeedableRng;
+        let mut stepper = OneShotStepper::completed(sample_result());
+        let mut groups = vec![VecGroup::new("g", vec![1.0])];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(stepper.step(&mut groups, &mut rng), StepOutcome::Converged);
+        let snap = stepper.snapshot();
+        assert_eq!(snap.active_count(), 0);
+        assert_eq!(snap.certified_order(), vec![1, 2, 0]);
+        let result = stepper.finish();
+        assert_eq!(result.estimates, vec![30.0, 10.0, 20.0]);
+    }
 }

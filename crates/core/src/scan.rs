@@ -8,9 +8,9 @@
 use crate::config::AlgoConfig;
 use crate::group::GroupSource;
 use crate::result::RunResult;
-use crate::runner::OrderingAlgorithm;
+use crate::runner::{AlgorithmStepper, OrderingAlgorithm, Snapshot, StepOutcome};
 use rand::RngCore;
-use rapidviz_stats::SamplingMode;
+use rapidviz_stats::{Interval, SamplingMode};
 
 /// Exhaustive exact computation (zero failure probability, maximal cost).
 #[derive(Debug, Clone)]
@@ -26,34 +26,121 @@ impl ExactScan {
         Self { config }
     }
 
-    /// Reads every group fully and returns exact means.
+    /// Begins a resumable scan. Each [`AlgorithmStepper::step`] reads **one
+    /// whole group**, so even the exhaustive baseline streams per-group
+    /// exact bars as they complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty.
+    pub fn start<G: GroupSource>(&self, groups: &mut [G], _rng: &mut dyn RngCore) -> ScanStepper {
+        assert!(!groups.is_empty(), "need at least one group");
+        let _ = &self.config;
+        let k = groups.len();
+        ScanStepper {
+            labels: groups.iter().map(GroupSource::label).collect(),
+            estimates: vec![0.0; k],
+            samples: vec![0u64; k],
+            next_group: 0,
+        }
+    }
+
+    /// Reads every group fully and returns exact means — a thin loop over
+    /// [`ExactScan::start`] and [`AlgorithmStepper::step`].
     ///
     /// # Panics
     ///
     /// Panics if `groups` is empty.
     pub fn run<G: GroupSource>(&self, groups: &mut [G], rng: &mut dyn RngCore) -> RunResult {
-        assert!(!groups.is_empty(), "need at least one group");
-        let _ = &self.config;
-        let labels = groups.iter().map(GroupSource::label).collect();
-        let mut estimates = Vec::with_capacity(groups.len());
-        let mut samples = Vec::with_capacity(groups.len());
-        let mut max_read = 0u64;
-        for group in groups.iter_mut() {
-            group.reset();
-            let mut sum = 0.0;
-            let mut n = 0u64;
-            while let Some(x) = group.sample(rng, SamplingMode::WithoutReplacement) {
-                sum += x;
-                n += 1;
-            }
-            estimates.push(if n == 0 { 0.0 } else { sum / n as f64 });
-            samples.push(n);
-            max_read = max_read.max(n);
+        let mut stepper = self.start(groups, rng);
+        while stepper.step_any(groups, rng).is_running() {}
+        stepper.finish()
+    }
+}
+
+/// The SCAN state machine: one group read exhaustively per step.
+#[derive(Debug)]
+pub struct ScanStepper {
+    labels: Vec<String>,
+    estimates: Vec<f64>,
+    samples: Vec<u64>,
+    /// Next group to read; groups `..next_group` hold exact estimates.
+    next_group: usize,
+}
+
+impl ScanStepper {
+    /// Total samples (rows read) so far.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// [`AlgorithmStepper::step`] without the `MaybeSend` bound (SCAN never
+    /// fans out across threads).
+    pub fn step_any<G: GroupSource>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        if self.next_group >= self.labels.len() {
+            return StepOutcome::Converged;
         }
+        let i = self.next_group;
+        let group = &mut groups[i];
+        group.reset();
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        while let Some(x) = group.sample(rng, SamplingMode::WithoutReplacement) {
+            sum += x;
+            n += 1;
+        }
+        self.estimates[i] = if n == 0 { 0.0 } else { sum / n as f64 };
+        self.samples[i] = n;
+        self.next_group += 1;
+        if self.next_group >= self.labels.len() {
+            StepOutcome::Converged
+        } else {
+            StepOutcome::Running
+        }
+    }
+}
+
+impl AlgorithmStepper for ScanStepper {
+    fn step<G: GroupSource + crate::group::MaybeSend>(
+        &mut self,
+        groups: &mut [G],
+        rng: &mut dyn RngCore,
+    ) -> StepOutcome {
+        self.step_any(groups, rng)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            labels: self.labels.clone(),
+            estimates: self.estimates.clone(),
+            // Scanned groups are exact (point intervals); unscanned ones
+            // are completely unknown, rendered as point intervals at the
+            // 0.0 placeholder while still marked active.
+            intervals: self
+                .estimates
+                .iter()
+                .map(|&e| Interval::centered(e, 0.0))
+                .collect(),
+            active: (0..self.labels.len())
+                .map(|i| i >= self.next_group)
+                .collect(),
+            samples_per_group: self.samples.clone(),
+            rounds: self.samples.iter().copied().max().unwrap_or(0),
+            truncated: false,
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        let max_read = self.samples.iter().copied().max().unwrap_or(0);
         RunResult {
-            labels,
-            estimates,
-            samples_per_group: samples,
+            labels: self.labels,
+            estimates: self.estimates,
+            samples_per_group: self.samples,
             rounds: max_read,
             trace: None,
             history: None,
@@ -63,16 +150,18 @@ impl ExactScan {
 }
 
 impl OrderingAlgorithm for ExactScan {
+    type Stepper = ScanStepper;
+
     fn name(&self) -> String {
         "scan".to_owned()
     }
 
-    fn execute<G: GroupSource + crate::group::MaybeSend>(
+    fn start<G: GroupSource + crate::group::MaybeSend>(
         &self,
         groups: &mut [G],
         rng: &mut dyn RngCore,
-    ) -> RunResult {
-        self.run(groups, rng)
+    ) -> ScanStepper {
+        ExactScan::start(self, groups, rng)
     }
 }
 

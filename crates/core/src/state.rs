@@ -10,11 +10,78 @@ use crate::config::{AlgoConfig, ReactivationPolicy};
 use crate::group::GroupSource;
 use crate::history::{History, HistoryPoint};
 use crate::result::RunResult;
+use crate::runner::Snapshot;
 use crate::trace::{Trace, TraceRow};
 use rand::RngCore;
-use rapidviz_stats::{EpsilonSchedule, Interval, IntervalSet, RunningMean};
+use rapidviz_stats::{EpsilonSchedule, Interval, IntervalSetScratch, RunningMean};
+
+/// Reusable buffers for the deactivation fixpoint: the active-member index
+/// list, the interval set, and the per-iteration removal list are all
+/// rebuilt in place, so a warmed scratch makes the whole fixpoint
+/// allocation-free (the same arena discipline as the samplers'
+/// `BatchScratch`). Shared by [`FocusState`], the SUM-scaled variant, and
+/// the unknown-size SUM/COUNT stepper.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FixpointScratch {
+    /// Indices of currently active groups, rebuilt per iteration.
+    members: Vec<usize>,
+    /// Their confidence intervals, positionally aligned with `members`.
+    set: IntervalSetScratch,
+    /// Members that separated this iteration.
+    pub(crate) remove: Vec<usize>,
+}
+
+impl FixpointScratch {
+    /// One fixpoint iteration: rebuilds the member list and interval set
+    /// from `active`, filling `remove` with every member whose interval is
+    /// disjoint from all other members'. Returns `false` when the fixpoint
+    /// is reached (no members, or nothing separated); callers loop while
+    /// it returns `true`, deactivating `remove` between iterations.
+    pub(crate) fn separate(
+        &mut self,
+        active: &[bool],
+        interval_of: impl Fn(usize) -> Interval,
+    ) -> bool {
+        self.members.clear();
+        self.members
+            .extend((0..active.len()).filter(|&i| active[i]));
+        if self.members.is_empty() {
+            return false;
+        }
+        self.set.begin();
+        for &i in &self.members {
+            self.set.push(interval_of(i));
+        }
+        self.set.build();
+        self.remove.clear();
+        for (pos, &i) in self.members.iter().enumerate() {
+            if !self.set.member_overlaps_others(pos) {
+                self.remove.push(i);
+            }
+        }
+        !self.remove.is_empty()
+    }
+
+    /// Rebuilds the interval set over **all** `k` groups (the reactivation
+    /// policy (b) test, which probes every group rather than iterating a
+    /// fixpoint over the active subset).
+    pub(crate) fn build_full(&mut self, k: usize, interval_of: impl Fn(usize) -> Interval) {
+        self.set.begin();
+        for i in 0..k {
+            self.set.push(interval_of(i));
+        }
+        self.set.build();
+    }
+
+    /// Whether member `i` (an index into the `build_full` ordering)
+    /// overlaps any other member.
+    pub(crate) fn full_overlaps_others(&self, i: usize) -> bool {
+        self.set.member_overlaps_others(i)
+    }
+}
 
 /// Round-loop state over `k` groups.
+#[derive(Debug)]
 pub(crate) struct FocusState {
     pub(crate) schedule: EpsilonSchedule,
     pub(crate) config: AlgoConfig,
@@ -39,6 +106,9 @@ pub(crate) struct FocusState {
     /// to draw from is rebuilt in place here instead of allocating a fresh
     /// `Vec<usize>` every round.
     round_idxs: Vec<usize>,
+    /// Reusable deactivation-fixpoint buffers (member list, interval set,
+    /// removal list) — zero steady-state allocation per round.
+    pub(crate) fix: FixpointScratch,
 }
 
 impl FocusState {
@@ -70,6 +140,7 @@ impl FocusState {
             truncated: false,
             scratch: Vec::new(),
             round_idxs: Vec::new(),
+            fix: FixpointScratch::default(),
         };
         for (i, group) in groups.iter_mut().enumerate() {
             state.draw(i, group, rng);
@@ -284,43 +355,31 @@ impl FocusState {
     /// from the union of the *other active* groups' intervals. Under
     /// [`ReactivationPolicy::Allow`], activity is instead recomputed from
     /// scratch over all non-exhausted groups (§3.1 option (b)).
+    ///
+    /// Every fixpoint iteration rebuilds its member list and interval set in
+    /// the state's reusable [`FixpointScratch`] — zero steady-state heap
+    /// allocation (verified by the `alloc_free` integration tests).
     pub(crate) fn standard_deactivation(&mut self) {
         let eps_now = self.epsilon();
+        let mut fix = std::mem::take(&mut self.fix);
         match self.config.reactivation {
-            ReactivationPolicy::Never => loop {
-                let members: Vec<usize> = (0..self.k()).filter(|&i| self.active[i]).collect();
-                if members.is_empty() {
-                    break;
+            ReactivationPolicy::Never => {
+                while fix.separate(&self.active, |i| {
+                    Interval::centered(self.estimates[i].mean(), eps_now)
+                }) {
+                    for &i in &fix.remove {
+                        self.deactivate(i, eps_now);
+                    }
                 }
-                let set = IntervalSet::new(
-                    members
-                        .iter()
-                        .map(|&i| Interval::centered(self.estimates[i].mean(), eps_now))
-                        .collect(),
-                );
-                let to_remove: Vec<usize> = members
-                    .iter()
-                    .enumerate()
-                    .filter(|&(pos, _)| !set.member_overlaps_others(pos))
-                    .map(|(_, &i)| i)
-                    .collect();
-                if to_remove.is_empty() {
-                    break;
-                }
-                for i in to_remove {
-                    self.deactivate(i, eps_now);
-                }
-            },
+            }
             ReactivationPolicy::Allow => {
                 // Recompute overlap among every group (frozen estimates for
                 // previously inactive ones, live ε for all).
-                let set = IntervalSet::new(
-                    (0..self.k())
-                        .map(|i| Interval::centered(self.estimates[i].mean(), eps_now))
-                        .collect(),
-                );
+                fix.build_full(self.k(), |i| {
+                    Interval::centered(self.estimates[i].mean(), eps_now)
+                });
                 for i in 0..self.k() {
-                    let overlapping = set.member_overlaps_others(i);
+                    let overlapping = fix.full_overlaps_others(i);
                     if self.exhausted[i] {
                         // Exhausted estimates cannot improve; keep inactive.
                         self.deactivate(i, eps_now);
@@ -332,6 +391,7 @@ impl FocusState {
                 }
             }
         }
+        self.fix = fix;
     }
 
     /// Deactivates everything (resolution cut-off or exhaustion).
@@ -398,6 +458,27 @@ impl FocusState {
             if let Some(history) = &mut self.history {
                 history.push(point);
             }
+        }
+    }
+
+    /// Total samples drawn so far (cheap; no snapshot allocation).
+    pub(crate) fn total_samples(&self) -> u64 {
+        self.samples.iter().sum()
+    }
+
+    /// A point-in-time view for the resumable stepping API: estimates,
+    /// intervals (live ε for active groups, frozen for certified ones),
+    /// active flags, and sample counts.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let eps_now = self.epsilon();
+        Snapshot {
+            labels: self.labels.clone(),
+            estimates: self.estimates.iter().map(RunningMean::mean).collect(),
+            intervals: (0..self.k()).map(|i| self.interval(i, eps_now)).collect(),
+            active: self.active.clone(),
+            samples_per_group: self.samples.clone(),
+            rounds: self.m,
+            truncated: self.truncated,
         }
     }
 

@@ -31,6 +31,9 @@ pub enum EngineError {
     NotIndexed(String),
     /// The measure column is not numeric.
     NotNumeric(String),
+    /// The requested combination of query options is not supported (e.g.
+    /// an algorithm override on an aggregate with a dedicated algorithm).
+    Unsupported(String),
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +42,7 @@ impl fmt::Display for EngineError {
             EngineError::NoSuchColumn(c) => write!(f, "no column named {c:?}"),
             EngineError::NotIndexed(c) => write!(f, "column {c:?} is not indexed"),
             EngineError::NotNumeric(c) => write!(f, "column {c:?} is not numeric"),
+            EngineError::Unsupported(what) => write!(f, "unsupported query: {what}"),
         }
     }
 }

@@ -112,15 +112,13 @@ impl Interval {
 /// this with two passes over the sorted order using precomputed prefix maxima
 /// of `hi` (members starting at or below `q.hi`), skipping `x` via
 /// second-best tracking.
+///
+/// Hot loops that rebuild the set every iteration (the algorithms'
+/// deactivation fixpoints) should hold an [`IntervalSetScratch`] instead:
+/// same queries, but rebuilding reuses the internal buffers.
 #[derive(Debug, Clone)]
 pub struct IntervalSet {
-    /// Member intervals in insertion order (index-addressable).
-    members: Vec<Interval>,
-    /// Indices sorted by `lo`.
-    by_lo: Vec<usize>,
-    /// `prefix_max_hi[t]` = (best, second-best) of `hi` over `by_lo[..=t]`,
-    /// stored as (value, member index) pairs.
-    prefix_best: Vec<(BestPair, ())>,
+    scratch: IntervalSetScratch,
 }
 
 /// Best and second-best `(hi, index)` pairs for the exclusion trick.
@@ -131,25 +129,63 @@ struct BestPair {
     second_val: f64,
 }
 
-impl IntervalSet {
-    /// Builds the set from the given member intervals.
+/// A reusable [`IntervalSet`] builder: `begin` / `push` / `build`, then the
+/// same overlap queries, with every internal buffer (members, sort order,
+/// prefix maxima) retained across rebuilds so a warmed scratch performs
+/// **zero heap allocation** per rebuild. This is what the per-round
+/// deactivation fixpoints of the IFOCUS family iterate on.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSetScratch {
+    /// Member intervals in insertion order (index-addressable).
+    members: Vec<Interval>,
+    /// Indices sorted by `lo` (ties broken by index, so rebuilds are
+    /// deterministic).
+    by_lo: Vec<usize>,
+    /// `prefix_best[t]` = best and second-best `hi` over `by_lo[..=t]`.
+    prefix_best: Vec<BestPair>,
+}
+
+impl IntervalSetScratch {
+    /// Creates an empty scratch (no buffers reserved yet).
     #[must_use]
-    pub fn new(members: Vec<Interval>) -> Self {
-        let mut by_lo: Vec<usize> = (0..members.len()).collect();
-        by_lo.sort_by(|&a, &b| {
-            members[a]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new set, clearing members but keeping buffer capacity.
+    pub fn begin(&mut self) {
+        self.members.clear();
+    }
+
+    /// Adds a member interval; its index is the insertion position.
+    pub fn push(&mut self, member: Interval) {
+        self.members.push(member);
+    }
+
+    /// Sorts and indexes the pushed members, making the query methods
+    /// valid. Allocation-free once the buffers have grown to the largest
+    /// member count seen.
+    pub fn build(&mut self) {
+        self.by_lo.clear();
+        self.by_lo.extend(0..self.members.len());
+        // Unstable sort (no merge buffer); the index tiebreak keeps the
+        // order — and therefore every downstream query — deterministic.
+        self.by_lo.sort_unstable_by(|&a, &b| {
+            self.members[a]
                 .lo
-                .partial_cmp(&members[b].lo)
+                .partial_cmp(&self.members[b].lo)
                 .expect("interval endpoints are not NaN")
+                .then(a.cmp(&b))
         });
-        let mut prefix_best = Vec::with_capacity(members.len());
+        self.prefix_best.clear();
+        self.prefix_best.reserve(self.members.len());
         let mut best = BestPair {
             best_val: f64::NEG_INFINITY,
             best_idx: usize::MAX,
             second_val: f64::NEG_INFINITY,
         };
-        for &idx in &by_lo {
-            let hi = members[idx].hi;
+        for &idx in &self.by_lo {
+            let hi = self.members[idx].hi;
             if hi > best.best_val {
                 best.second_val = best.best_val;
                 best.best_val = hi;
@@ -157,12 +193,7 @@ impl IntervalSet {
             } else if hi > best.second_val {
                 best.second_val = hi;
             }
-            prefix_best.push((best, ()));
-        }
-        Self {
-            members,
-            by_lo,
-            prefix_best,
+            self.prefix_best.push(best);
         }
     }
 
@@ -187,12 +218,14 @@ impl IntervalSet {
     /// Does `probe` overlap any member whose index differs from `exclude`?
     ///
     /// Pass `exclude = usize::MAX` (or any out-of-range index) to test
-    /// against every member. Runs in `O(log n)`.
+    /// against every member. Runs in `O(log n)`. Requires [`Self::build`]
+    /// after the last `push`.
     #[must_use]
     pub fn overlaps_any_excluding(&self, probe: &Interval, exclude: usize) -> bool {
         if self.members.is_empty() {
             return false;
         }
+        debug_assert_eq!(self.prefix_best.len(), self.members.len(), "not built");
         // Find the last sorted position whose lo <= probe.hi.
         let pos = self
             .by_lo
@@ -200,7 +233,7 @@ impl IntervalSet {
         if pos == 0 {
             return false;
         }
-        let best = self.prefix_best[pos - 1].0;
+        let best = self.prefix_best[pos - 1];
         // Among members with lo <= probe.hi, is there one (other than
         // `exclude`) with hi >= probe.lo?
         if best.best_idx != exclude {
@@ -217,11 +250,60 @@ impl IntervalSet {
     pub fn member_overlaps_others(&self, idx: usize) -> bool {
         self.overlaps_any_excluding(&self.members[idx], idx)
     }
+}
+
+impl IntervalSet {
+    /// Builds the set from the given member intervals.
+    #[must_use]
+    pub fn new(members: Vec<Interval>) -> Self {
+        let mut scratch = IntervalSetScratch {
+            members,
+            by_lo: Vec::new(),
+            prefix_best: Vec::new(),
+        };
+        scratch.build();
+        Self { scratch }
+    }
+
+    /// Number of member intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scratch.len()
+    }
+
+    /// Whether the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scratch.is_empty()
+    }
+
+    /// Returns the member at `idx`.
+    #[must_use]
+    pub fn member(&self, idx: usize) -> Interval {
+        self.scratch.member(idx)
+    }
+
+    /// Does `probe` overlap any member whose index differs from `exclude`?
+    ///
+    /// Pass `exclude = usize::MAX` (or any out-of-range index) to test
+    /// against every member. Runs in `O(log n)`.
+    #[must_use]
+    pub fn overlaps_any_excluding(&self, probe: &Interval, exclude: usize) -> bool {
+        self.scratch.overlaps_any_excluding(probe, exclude)
+    }
+
+    /// Does member `idx` overlap any *other* member of the set?
+    ///
+    /// This is exactly the activity test of Algorithm 1 line 11.
+    #[must_use]
+    pub fn member_overlaps_others(&self, idx: usize) -> bool {
+        self.scratch.member_overlaps_others(idx)
+    }
 
     /// Indices of all members that overlap at least one other member.
     #[must_use]
     pub fn overlapping_members(&self) -> Vec<usize> {
-        (0..self.members.len())
+        (0..self.len())
             .filter(|&i| self.member_overlaps_others(i))
             .collect()
     }
@@ -370,6 +452,35 @@ mod tests {
         let set = IntervalSet::new(vec![iv(1.0, 2.0), iv(1.0, 2.0)]);
         assert!(set.member_overlaps_others(0));
         assert!(set.member_overlaps_others(1));
+    }
+
+    #[test]
+    fn scratch_rebuild_matches_fresh_set() {
+        // A reused scratch must answer exactly like a freshly built set,
+        // across rebuilds of different sizes (shrinking included).
+        let rounds: Vec<Vec<Interval>> = vec![
+            vec![iv(0.0, 1.0), iv(0.5, 2.0), iv(3.0, 4.0), iv(4.0, 5.0)],
+            vec![iv(10.0, 11.0), iv(10.5, 12.0)],
+            vec![iv(-3.0, -1.0), iv(-2.0, 0.0), iv(5.0, 6.0)],
+            vec![iv(7.0, 8.0)],
+        ];
+        let mut scratch = IntervalSetScratch::new();
+        for members in rounds {
+            scratch.begin();
+            for &m in &members {
+                scratch.push(m);
+            }
+            scratch.build();
+            let fresh = IntervalSet::new(members.clone());
+            assert_eq!(scratch.len(), fresh.len());
+            for i in 0..members.len() {
+                assert_eq!(
+                    scratch.member_overlaps_others(i),
+                    fresh.member_overlaps_others(i),
+                    "member {i} of {members:?}"
+                );
+            }
+        }
     }
 }
 

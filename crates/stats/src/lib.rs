@@ -37,6 +37,6 @@ pub mod serfling;
 pub use bernstein::{empirical_bernstein_half_width, BernsteinSchedule};
 pub use estimators::{Extrema, RunningMean, WelfordVariance};
 pub use hoeffding::{hoeffding_deviation_probability, hoeffding_half_width, hoeffding_sample_size};
-pub use interval::{Interval, IntervalSet};
+pub use interval::{Interval, IntervalSet, IntervalSetScratch};
 pub use schedule::{EpsilonSchedule, SamplingMode};
 pub use serfling::{serfling_half_width, serfling_sampling_fraction_factor};

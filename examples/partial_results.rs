@@ -1,5 +1,6 @@
-//! Partial results (§6.2.2): stream each bar to the "screen" the moment
-//! the algorithm is confident about it, so the analyst starts reading the
+//! Partial results (§6.2.2) through the **resumable session API**: drive
+//! the query one round at a time and print each bar the moment the
+//! algorithm is confident about it, so the analyst starts reading the
 //! visualization long before the run finishes.
 //!
 //! ```text
@@ -7,9 +8,8 @@
 //! ```
 
 use rand::{Rng, SeedableRng};
-use rapidviz::core::extensions::IFocusPartial;
-use rapidviz::core::{AlgoConfig, GroupSource};
-use rapidviz::datagen::VecGroup;
+use rapidviz::needletail::{ColumnDef, DataType, NeedleTail, Schema, TableBuilder, Value};
+use rapidviz::{StepOutcome, VizQuery};
 
 fn main() {
     // Six regions; two of them (east/southeast) nearly tie and will render
@@ -22,32 +22,49 @@ fn main() {
         ("west", 35.0),
         ("central", 60.0),
     ];
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("region", DataType::Str),
+        ColumnDef::new("score", DataType::Float),
+    ]));
     let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-    let mut groups: Vec<VecGroup> = specs
-        .iter()
-        .map(|&(name, mu)| {
-            let values: Vec<f64> = (0..400_000)
-                .map(|_| if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 })
-                .collect();
-            VecGroup::new(name, values)
-        })
-        .collect();
-    let total: u64 = groups.iter().map(GroupSource::len).sum();
+    for &(name, mu) in &specs {
+        for _ in 0..400_000 {
+            let v = if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 };
+            b.push_row(vec![name.into(), Value::Float(v)]);
+        }
+    }
+    let engine = NeedleTail::new(b.finish(), &["region"]).expect("engine builds");
 
-    let algo = IFocusPartial::new(AlgoConfig::new(100.0, 0.05));
-    let mut run_rng = rand::rngs::StdRng::seed_from_u64(22);
+    // A resumable session instead of a blocking call: one round per
+    // step(), a RoundUpdate after each.
+    let mut session = VizQuery::new(&engine)
+        .group_by("region")
+        .avg("score")
+        .bound(100.0)
+        .start(rand::rngs::StdRng::seed_from_u64(22))
+        .expect("query plans");
+
     println!("streaming bars as they certify:");
-    let result = algo.run(&mut groups, &mut run_rng, |e| {
-        println!(
-            "  [{:>9} samples in] {:<10} = {:.2}",
-            e.total_samples_so_far, e.label, e.estimate
-        );
-    });
+    let mut last_outcome = StepOutcome::Running;
+    for update in session.by_ref() {
+        // `newly_certified` lists the groups whose position froze during
+        // this round — exactly when a dashboard should draw their bars.
+        for &g in &update.newly_certified {
+            println!(
+                "  [{:>9} samples in] {:<10} = {:.2}",
+                update.total_samples, update.snapshot.labels[g], update.snapshot.estimates[g]
+            );
+        }
+        last_outcome = update.outcome;
+    }
+    assert_eq!(last_outcome, StepOutcome::Converged);
+
+    let answer = session.finish();
     println!(
         "done: {} rounds, {} samples total ({:.2}% of data)",
-        result.rounds,
-        result.total_samples(),
-        100.0 * result.fraction_sampled(total)
+        answer.result.rounds,
+        answer.result.total_samples(),
+        100.0 * answer.fraction_sampled()
     );
     println!("note: the contentious east/southeast pair certifies last.");
 }

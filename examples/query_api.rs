@@ -1,6 +1,7 @@
-//! The five-line path: `VizQuery` from ingestion to guaranteed bar chart,
-//! including a filtered query (§6.3.3) and a two-attribute group-by
-//! (§6.3.4) through the composite index.
+//! The `VizQuery` front door, blocking and streaming: a classic blocking
+//! call (kept for contrast), a resumable session that renders progressively,
+//! a budget-capped session that trades precision for latency, and the
+//! `COUNT` aggregate over the size-estimating samplers.
 //!
 //! ```text
 //! cargo run --release --example query_api
@@ -9,7 +10,8 @@
 use rand::SeedableRng;
 use rapidviz::datagen::FlightModel;
 use rapidviz::needletail::{NeedleTail, Predicate};
-use rapidviz::VizQuery;
+use rapidviz::{StepOutcome, VizQuery};
+use std::time::Duration;
 
 fn main() {
     // A 300k-row flight table with the airline column indexed.
@@ -19,69 +21,88 @@ fn main() {
     let engine = NeedleTail::new(table, &["name"]).expect("engine builds");
     let mut run_rng = rand::rngs::StdRng::seed_from_u64(15);
 
-    // 1. Plain: average arrival delay by airline.
+    // 1. Blocking (kept for contrast): average arrival delay by airline,
+    //    filtered to the major carriers (§6.3.3).
     let answer = VizQuery::new(&engine)
         .group_by("name")
         .avg("arr_delay")
         .bound(1440.0)
         .resolution_pct(1.0)
+        .filter(Predicate::is_in("name", ["AA", "DL", "UA", "WN"]))
         .execute(&mut run_rng)
         .expect("query runs");
     println!(
-        "AVG(arr_delay) BY name  — sampled {:.2}% of eligible rows:",
+        "blocking AVG(arr_delay) for the big four — sampled {:.2}% of eligible rows:",
         100.0 * answer.fraction_sampled()
     );
     print!("{}", answer.to_bar_chart(40));
 
-    // 2. Filtered to the major carriers only (IN predicate).
-    let answer = VizQuery::new(&engine)
+    // 2. The same family of query as a *resumable session*: one round per
+    //    step(), partial ordering after every round. A dashboard would
+    //    redraw on each update; here we log every 4000th round.
+    let mut session = VizQuery::new(&engine)
         .group_by("name")
         .avg("dep_delay")
         .bound(1440.0)
         .resolution_pct(1.0)
-        .filter(Predicate::is_in("name", ["AA", "DL", "UA", "WN"]))
-        .execute(&mut run_rng)
-        .expect("query runs");
-    println!("\nAVG(dep_delay) for the big four:");
+        .start(rand::rngs::StdRng::seed_from_u64(16))
+        .expect("query plans");
+    println!("\nstreaming AVG(dep_delay) BY name:");
+    let mut rounds = 0u64;
+    for update in session.by_ref() {
+        rounds += 1;
+        if rounds.is_multiple_of(4000) || !update.outcome.is_running() {
+            println!(
+                "  round {:>5}: {:>2} certified / {} groups, {:.2}% sampled",
+                update.round,
+                update.snapshot.certified_order().len(),
+                update.snapshot.labels.len(),
+                100.0 * update.fraction_sampled
+            );
+        }
+    }
+    let answer = session.finish();
+    assert!(answer.converged());
     print!("{}", answer.to_bar_chart(40));
 
-    // 3. Two-attribute group-by via the joint index (§6.3.4): airline x
-    //    departure-window, cells labeled "name|window".
-    use rapidviz::needletail::{ColumnDef, DataType, Schema, TableBuilder, Value};
-    let mut b = TableBuilder::new(Schema::new(vec![
-        ColumnDef::new("name", DataType::Str),
-        ColumnDef::new("window", DataType::Str),
-        ColumnDef::new("delay", DataType::Float),
-    ]));
-    use rand::Rng;
-    let mut data_rng = rand::rngs::StdRng::seed_from_u64(16);
-    for _ in 0..120_000 {
-        let name = ["AA", "B6"][data_rng.gen_range(0..2)];
-        let window = ["morning", "evening"][data_rng.gen_range(0..2)];
-        // Evenings run later, B6 more so.
-        let base = match (name, window) {
-            ("AA", "morning") => 10.0,
-            ("AA", "evening") => 35.0,
-            ("B6", "morning") => 20.0,
-            _ => 55.0,
-        };
-        let delay = if data_rng.gen_bool(base / 100.0) {
-            100.0
-        } else {
-            0.0
-        };
-        b.push_row(vec![name.into(), window.into(), Value::Float(delay)]);
-    }
-    let engine2 = NeedleTail::new(b.finish(), &["name", "window"]).expect("engine builds");
-    let answer = VizQuery::new(&engine2)
+    // 3. Budget-aware: cap the run at 20k samples (or 150 ms, whichever
+    //    trips first) and keep the best-effort ordering — the
+    //    precision-for-latency trade a latency-bound dashboard makes.
+    let mut session = VizQuery::new(&engine)
         .group_by("name")
-        .group_by("window")
-        .avg("delay")
-        .bound(100.0)
+        .avg("arr_delay")
+        .bound(1440.0)
+        .max_samples(20_000)
+        .timeout(Duration::from_millis(150))
+        .start(rand::rngs::StdRng::seed_from_u64(17))
+        .expect("query plans");
+    let outcome = loop {
+        let update = session.step();
+        if !update.outcome.is_running() {
+            break update.outcome;
+        }
+    };
+    println!(
+        "\nbudgeted AVG(arr_delay): stopped as {outcome:?} after {} samples ({:.2}% of data)",
+        session.total_samples(),
+        100.0 * session.fraction_sampled()
+    );
+    let answer = session.finish();
+    if outcome == StepOutcome::BudgetExhausted {
+        println!("best-effort ordering (no full guarantee):");
+    }
+    print!("{}", answer.to_bar_chart(40));
+
+    // 4. COUNT with unknown group sizes (§6.3.2): normalized fractions of
+    //    the relation per airline, from the size-estimate stream alone.
+    let answer = VizQuery::new(&engine)
+        .group_by("name")
+        .count("arr_delay")
+        .resolution_pct(2.0)
         .execute(&mut run_rng)
         .expect("query runs");
-    println!("\nAVG(delay) BY name, window (composite group-by):");
-    for (label, est) in answer.result.ranked() {
-        println!("  {label:<12} {est:.1}");
+    println!("\nCOUNT BY name (normalized fractions, unknown group sizes):");
+    for (label, est) in answer.result.ranked().into_iter().rev().take(4) {
+        println!("  {label:<4} {est:.3}");
     }
 }

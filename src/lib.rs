@@ -44,10 +44,13 @@
 
 pub mod adapter;
 pub mod query;
+pub mod session;
 
 pub use adapter::{query_groups, query_sized_groups, NeedletailGroup, SizedNeedletailGroup};
-pub use query::{Aggregate, QueryAnswer, VizQuery};
+pub use query::{Aggregate, AlgorithmChoice, QueryAnswer, VizQuery};
 pub use rapidviz_core as core;
+pub use rapidviz_core::{Snapshot, StepOutcome};
 pub use rapidviz_datagen as datagen;
 pub use rapidviz_needletail as needletail;
 pub use rapidviz_stats as stats;
+pub use session::{QuerySession, RoundUpdate};

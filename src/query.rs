@@ -21,11 +21,15 @@
 //! assert_eq!(answer.ranked_labels(), vec!["JB", "AA", "UA"]);
 //! ```
 
-use crate::adapter::NeedletailGroup;
+use crate::adapter::{NeedletailGroup, SizedNeedletailGroup};
+use crate::session::{MeanStepper, QuerySession, SessionCore, SessionEngine};
 use rand::RngCore;
-use rapidviz_core::extensions::IFocusSum1;
-use rapidviz_core::{viz, AlgoConfig, GroupSource, IFocus, RunResult};
+use rapidviz_core::extensions::{count_config, CountSource, IFocusSum1, IFocusSum2};
+use rapidviz_core::{
+    viz, AlgoConfig, ExactScan, GroupSource, IFocus, IRefine, RoundRobin, RunResult, StepOutcome,
+};
 use rapidviz_needletail::{EngineError, NeedleTail, Predicate};
+use std::time::{Duration, Instant};
 
 /// Which aggregate the query computes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,19 +39,55 @@ pub enum Aggregate {
     Avg,
     /// `SUM(measure)` with known group sizes — Algorithm 4.
     Sum,
+    /// `COUNT` with unknown group sizes — the §6.3.2 reduction of
+    /// Algorithm 5 to the size-estimate stream. Estimates are **normalized
+    /// counts** `s_i ∈ [0, 1]` (each group's fraction of the relation);
+    /// multiply by the relation size for absolute counts.
+    Count,
+}
+
+/// Which ordering algorithm drives an `AVG` query. `SUM`/`COUNT` queries
+/// have dedicated algorithms (4 and 5) and reject an override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AlgorithmChoice {
+    /// IFOCUS (Algorithm 1) — the paper's primary contribution and the
+    /// default.
+    #[default]
+    IFocus,
+    /// IREFINE (Algorithm 3), the interval-halving alternative.
+    IRefine,
+    /// The ROUNDROBIN baseline (conventional stratified sampling with the
+    /// same stopping guarantee).
+    RoundRobin,
+    /// The exhaustive SCAN baseline: exact answer, maximal cost; sessions
+    /// stream one exact group per round.
+    ExactScan,
 }
 
 /// Builder for an ordering-guaranteed visualization query.
+///
+/// Two ways to run it:
+///
+/// * [`VizQuery::execute`] — blocking; returns the final [`QueryAnswer`].
+/// * [`VizQuery::start`] — resumable; returns a [`QuerySession`] that
+///   yields a [`crate::RoundUpdate`] per round, honors sample/time budgets,
+///   and can be cancelled with the best current answer.
+///
+/// Both drive the same state machines, so fixed-seed results are identical.
 #[derive(Debug, Clone)]
 pub struct VizQuery<'a> {
     engine: &'a NeedleTail,
     group_by: Vec<String>,
     measure: Option<String>,
     aggregate: Aggregate,
+    algorithm: AlgorithmChoice,
     predicate: Predicate,
     delta: f64,
     resolution_fraction: Option<f64>,
     bound: Option<f64>,
+    max_samples: Option<u64>,
+    timeout: Option<Duration>,
+    deadline: Option<Instant>,
 }
 
 impl<'a> VizQuery<'a> {
@@ -59,10 +99,14 @@ impl<'a> VizQuery<'a> {
             group_by: Vec::new(),
             measure: None,
             aggregate: Aggregate::Avg,
+            algorithm: AlgorithmChoice::IFocus,
             predicate: Predicate::True,
             delta: 0.05,
             resolution_fraction: None,
             bound: None,
+            max_samples: None,
+            timeout: None,
+            deadline: None,
         }
     }
 
@@ -87,6 +131,63 @@ impl<'a> VizQuery<'a> {
     pub fn sum(mut self, column: impl Into<String>) -> Self {
         self.measure = Some(column.into());
         self.aggregate = Aggregate::Sum;
+        self
+    }
+
+    /// Sets the aggregate to `COUNT` with **unknown** group sizes: the
+    /// engine's size-estimating samplers feed the §6.3.2 reduction of
+    /// Algorithm 5, and estimates are normalized counts `s_i ∈ [0, 1]`.
+    /// `column` names any indexed numeric column — the sampling machinery
+    /// draws through it, but only the size-estimate stream is consumed.
+    ///
+    /// Tip: near-tied group sizes never separate under exact ordering
+    /// (the `z` stream is i.i.d. and never exhausts); set a resolution
+    /// ([`VizQuery::resolution_pct`], interpreted on the `[0, 1]` count
+    /// scale) or a session budget to bound such runs.
+    #[must_use]
+    pub fn count(mut self, column: impl Into<String>) -> Self {
+        self.measure = Some(column.into());
+        self.aggregate = Aggregate::Count;
+        self
+    }
+
+    /// Overrides the ordering algorithm for `AVG` queries (default:
+    /// IFOCUS). `SUM`/`COUNT` queries reject non-default overrides at
+    /// execution time.
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Caps the total number of samples the run may draw. Checked before
+    /// every round; when the cap is reached the session (or `execute`)
+    /// reports [`StepOutcome::BudgetExhausted`] and returns best-effort
+    /// estimates flagged as truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    #[must_use]
+    pub fn max_samples(mut self, cap: u64) -> Self {
+        assert!(cap > 0, "sample budget must be positive");
+        self.max_samples = Some(cap);
+        self
+    }
+
+    /// Caps the run's wall-clock time, measured from [`VizQuery::start`]
+    /// (or [`VizQuery::execute`]). Checked before every round.
+    #[must_use]
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.timeout = Some(budget);
+        self
+    }
+
+    /// Sets an absolute wall-clock deadline. Checked before every round;
+    /// combines with [`VizQuery::timeout`] (whichever ends first wins).
+    #[must_use]
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -136,13 +237,44 @@ impl<'a> VizQuery<'a> {
         self
     }
 
-    /// Plans and runs the query.
+    /// Plans and runs the query to completion — a thin loop over the same
+    /// resumable state machine [`VizQuery::start`] hands out, so
+    /// fixed-seed results are identical between the two entry points (and
+    /// byte-identical to the historical blocking implementation). Budgets,
+    /// if configured, are honored here too.
     ///
     /// # Errors
     ///
-    /// Returns engine errors for missing/unindexed/non-numeric columns, or
-    /// a synthesized error when the builder is incomplete.
+    /// Returns engine errors for missing/unindexed/non-numeric columns, a
+    /// synthesized error when the builder is incomplete, and
+    /// [`EngineError::Unsupported`] for invalid option combinations (e.g.
+    /// an algorithm override on `SUM`/`COUNT`).
     pub fn execute(&self, rng: &mut dyn RngCore) -> Result<QueryAnswer, EngineError> {
+        let mut core = self.prepare_core(rng)?;
+        while core.raw_step(rng).is_running() {}
+        Ok(core.finish())
+    }
+
+    /// Plans the query and begins a resumable session: the bootstrap
+    /// samples are drawn, and every subsequent [`QuerySession::step`]
+    /// advances one round. The session owns its groups and the given RNG,
+    /// so it can live across UI frames; see [`crate::session`] for a
+    /// worked progressive-rendering example.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`VizQuery::execute`].
+    pub fn start(&self, rng: impl RngCore + 'static) -> Result<QuerySession, EngineError> {
+        let mut rng: Box<dyn RngCore> = Box::new(rng);
+        let core = self.prepare_core(rng.as_mut())?;
+        Ok(QuerySession::new(core, rng))
+    }
+
+    /// Validates the builder, constructs the storage-backed group
+    /// samplers, and ignites the algorithm state machine (bootstrap draws
+    /// included) — shared by [`VizQuery::execute`] and
+    /// [`VizQuery::start`].
+    fn prepare_core(&self, rng: &mut dyn RngCore) -> Result<SessionCore, EngineError> {
         let measure = self
             .measure
             .as_ref()
@@ -150,31 +282,103 @@ impl<'a> VizQuery<'a> {
         if self.group_by.is_empty() {
             return Err(EngineError::NoSuchColumn("<no group-by set>".into()));
         }
-        let handles = if self.group_by.len() == 1 {
-            self.engine
-                .group_handles(&self.group_by[0], measure, &self.predicate)?
-        } else {
-            let cols: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
-            self.engine
-                .group_handles_multi(&cols, measure, &self.predicate)?
+        let deadline = match (self.deadline, self.timeout) {
+            (Some(d), Some(t)) => Some(d.min(Instant::now() + t)),
+            (Some(d), None) => Some(d),
+            (None, Some(t)) => Some(Instant::now() + t),
+            (None, None) => None,
         };
-        let mut groups: Vec<NeedletailGroup> =
-            handles.into_iter().map(NeedletailGroup::new).collect();
-
-        let c = match self.bound {
-            Some(c) => c,
-            None => self.infer_bound(measure)?,
+        let (engine, population) = match self.aggregate {
+            Aggregate::Avg | Aggregate::Sum => {
+                let handles = if self.group_by.len() == 1 {
+                    self.engine
+                        .group_handles(&self.group_by[0], measure, &self.predicate)?
+                } else {
+                    let cols: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
+                    self.engine
+                        .group_handles_multi(&cols, measure, &self.predicate)?
+                };
+                let mut groups: Vec<NeedletailGroup> =
+                    handles.into_iter().map(NeedletailGroup::new).collect();
+                let c = match self.bound {
+                    Some(c) => c,
+                    None => self.infer_bound(measure)?,
+                };
+                let mut config = AlgoConfig::new(c, self.delta);
+                if let Some(frac) = self.resolution_fraction {
+                    config = config.with_resolution(c * frac);
+                }
+                let stepper = match (self.aggregate, self.algorithm) {
+                    (Aggregate::Avg, AlgorithmChoice::IFocus) => {
+                        MeanStepper::IFocus(IFocus::new(config).start(&mut groups, rng))
+                    }
+                    (Aggregate::Avg, AlgorithmChoice::IRefine) => {
+                        MeanStepper::IRefine(IRefine::new(config).start(&mut groups, rng))
+                    }
+                    (Aggregate::Avg, AlgorithmChoice::RoundRobin) => {
+                        MeanStepper::RoundRobin(RoundRobin::new(config).start(&mut groups, rng))
+                    }
+                    (Aggregate::Avg, AlgorithmChoice::ExactScan) => {
+                        MeanStepper::Scan(ExactScan::new(config).start(&mut groups, rng))
+                    }
+                    (Aggregate::Sum, AlgorithmChoice::IFocus) => {
+                        MeanStepper::Sum1(IFocusSum1::new(config).start(&mut groups, rng))
+                    }
+                    (Aggregate::Sum, other) => {
+                        return Err(EngineError::Unsupported(format!(
+                            "SUM uses its dedicated Algorithm 4; cannot override with {other:?}"
+                        )));
+                    }
+                    (Aggregate::Count, _) => unreachable!("handled in the outer match"),
+                };
+                let population = groups.iter().map(GroupSource::len).sum();
+                (SessionEngine::Mean { stepper, groups }, population)
+            }
+            Aggregate::Count => {
+                if self.bound.is_some() {
+                    // Rejected rather than ignored, for the same loudness
+                    // as the algorithm-override check below.
+                    return Err(EngineError::Unsupported(
+                        "COUNT estimates normalized fractions on the fixed [0, 1] scale; \
+                         .bound() does not apply"
+                            .into(),
+                    ));
+                }
+                if self.algorithm != AlgorithmChoice::IFocus {
+                    return Err(EngineError::Unsupported(format!(
+                        "COUNT uses its dedicated Algorithm 5 reduction; cannot override with {:?}",
+                        self.algorithm
+                    )));
+                }
+                if self.group_by.len() != 1 {
+                    return Err(EngineError::Unsupported(
+                        "COUNT supports a single group-by attribute".into(),
+                    ));
+                }
+                let handles = self
+                    .engine
+                    .sized_group_handles(&self.group_by[0], measure)?;
+                let mut groups: Vec<CountSource<SizedNeedletailGroup>> = handles
+                    .into_iter()
+                    .map(|h| CountSource::new(SizedNeedletailGroup::new(h)))
+                    .collect();
+                let population = groups.iter().map(|g| g.inner().handle().eligible()).sum();
+                // The z stream lives in [0, 1], so c = 1 and the resolution
+                // fraction applies directly on the normalized-count scale.
+                let mut config = AlgoConfig::new(1.0, self.delta);
+                if let Some(frac) = self.resolution_fraction {
+                    config = config.with_resolution(frac);
+                }
+                let stepper = IFocusSum2::new(count_config(&config)).start(&mut groups, rng);
+                (SessionEngine::Sized { stepper, groups }, population)
+            }
         };
-        let mut config = AlgoConfig::new(c, self.delta);
-        if let Some(frac) = self.resolution_fraction {
-            config = config.with_resolution(c * frac);
-        }
-        let result = match self.aggregate {
-            Aggregate::Avg => IFocus::new(config).run(&mut groups, rng),
-            Aggregate::Sum => IFocusSum1::new(config).run(&mut groups, rng),
-        };
-        let population = groups.iter().map(GroupSource::len).sum();
-        Ok(QueryAnswer { result, population })
+        Ok(SessionCore::new(
+            engine,
+            population,
+            self.max_samples,
+            deadline,
+        ))
     }
 
     /// Infers `c` from the measure column (observed max, padded 10%).
@@ -192,16 +396,28 @@ impl<'a> VizQuery<'a> {
     }
 }
 
-/// A completed query: the run result plus display helpers.
+/// A completed (or best-effort) query: the run result plus display helpers.
 #[derive(Debug, Clone)]
 pub struct QueryAnswer {
     /// The underlying algorithm result.
     pub result: RunResult,
     /// Total rows eligible across groups.
     pub population: u64,
+    /// How the run ended: [`StepOutcome::Converged`] for a natural finish,
+    /// [`StepOutcome::BudgetExhausted`] when a round cap or session budget
+    /// tripped (estimates are best-effort and `result.truncated` is set),
+    /// or [`StepOutcome::Running`] when a session was finished/cancelled
+    /// mid-run.
+    pub outcome: StepOutcome,
 }
 
 impl QueryAnswer {
+    /// Whether the run terminated naturally with its full `1 − δ` ordering
+    /// guarantee (as opposed to budget exhaustion or cancellation).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.outcome == StepOutcome::Converged
+    }
     /// Group labels sorted by ascending estimate.
     #[must_use]
     pub fn ranked_labels(&self) -> Vec<&str> {

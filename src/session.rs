@@ -1,0 +1,421 @@
+//! Resumable query sessions: the streaming, budget-aware front door.
+//!
+//! [`QuerySession`] (created by [`crate::VizQuery::start`]) owns everything
+//! a run needs — the storage-backed group samplers, the algorithm's state
+//! machine, and the RNG — and advances **one round per [`QuerySession::step`]
+//! call**, handing back a [`RoundUpdate`] after each. A dashboard can
+//! therefore re-render the partial ordering after every round, stop the
+//! moment the bars it cares about have certified, enforce sample or
+//! wall-clock budgets, or cancel outright — and still walk away with the
+//! best answer computed so far via [`QuerySession::finish`].
+//!
+//! # Progressive rendering, worked example
+//!
+//! ```
+//! use rapidviz::needletail::{read_csv, CsvOptions, NeedleTail};
+//! use rapidviz::{StepOutcome, VizQuery};
+//! use rand::SeedableRng;
+//!
+//! let mut csv = String::from("airline,delay\n");
+//! for i in 0..600 {
+//!     // Three airlines with well-separated mean delays.
+//!     let (name, delay) = match i % 3 {
+//!         0 => ("AA", 40.0 + f64::from(i % 7)),
+//!         1 => ("JB", 10.0 + f64::from(i % 5)),
+//!         _ => ("UA", 80.0 + f64::from(i % 11)),
+//!     };
+//!     csv.push_str(&format!("{name},{delay}\n"));
+//! }
+//! let table = read_csv(&csv, &CsvOptions::default()).unwrap();
+//! let engine = NeedleTail::new(table, &["airline"]).unwrap();
+//!
+//! let mut session = VizQuery::new(&engine)
+//!     .group_by("airline")
+//!     .avg("delay")
+//!     .bound(100.0)
+//!     .start(rand::rngs::StdRng::seed_from_u64(1))
+//!     .unwrap();
+//!
+//! // Drive the session round by round, redrawing after each update.
+//! let mut last = None;
+//! for update in session.by_ref() {
+//!     // Bars certified so far, in display order — safe to render now.
+//!     for &g in &update.snapshot.certified_order() {
+//!         let _bar = (&update.snapshot.labels[g], update.snapshot.estimates[g]);
+//!     }
+//!     last = Some(update.outcome);
+//! }
+//! assert_eq!(last, Some(StepOutcome::Converged));
+//! let answer = session.finish();
+//! assert_eq!(answer.ranked_labels(), vec!["JB", "AA", "UA"]);
+//! assert!(answer.fraction_sampled() < 1.0);
+//! ```
+
+use rand::RngCore;
+use rapidviz_core::extensions::{CountSource, IFocusSum1Stepper, IFocusSum2Stepper};
+use rapidviz_core::runner::AlgorithmStepper;
+use rapidviz_core::{
+    IFocusStepper, IRefineStepper, RoundRobinStepper, RunResult, ScanStepper, Snapshot, StepOutcome,
+};
+use std::time::Instant;
+
+use crate::adapter::{NeedletailGroup, SizedNeedletailGroup};
+use crate::query::QueryAnswer;
+
+/// The mean-space algorithm steppers a session can drive (AVG under any
+/// ordering algorithm, plus SUM with known group sizes).
+#[derive(Debug)]
+pub(crate) enum MeanStepper {
+    /// IFOCUS (Algorithm 1 / IFOCUS-R).
+    IFocus(IFocusStepper),
+    /// IREFINE (Algorithm 3).
+    IRefine(IRefineStepper),
+    /// The ROUNDROBIN baseline.
+    RoundRobin(RoundRobinStepper),
+    /// The exhaustive SCAN baseline (one group per step).
+    Scan(ScanStepper),
+    /// SUM with known group sizes (Algorithm 4).
+    Sum1(IFocusSum1Stepper),
+}
+
+/// A session's algorithm state machine paired with the groups it samples.
+#[derive(Debug)]
+pub(crate) enum SessionEngine {
+    /// Algorithms over plain [`NeedletailGroup`] handles.
+    Mean {
+        /// The round-level state machine.
+        stepper: MeanStepper,
+        /// Storage-backed samplers, one per group.
+        groups: Vec<NeedletailGroup>,
+    },
+    /// Algorithm 5 over size-estimating handles (the COUNT reduction).
+    Sized {
+        /// The round-level state machine.
+        stepper: IFocusSum2Stepper,
+        /// Size-estimating samplers wrapped in the COUNT rewrite.
+        groups: Vec<CountSource<SizedNeedletailGroup>>,
+    },
+}
+
+impl SessionEngine {
+    fn step(&mut self, rng: &mut dyn RngCore) -> StepOutcome {
+        match self {
+            SessionEngine::Mean { stepper, groups } => match stepper {
+                MeanStepper::IFocus(s) => s.step(groups.as_mut_slice(), rng),
+                MeanStepper::IRefine(s) => s.step(groups.as_mut_slice(), rng),
+                MeanStepper::RoundRobin(s) => s.step(groups.as_mut_slice(), rng),
+                MeanStepper::Scan(s) => s.step_any(groups.as_mut_slice(), rng),
+                MeanStepper::Sum1(s) => s.step_any(groups.as_mut_slice(), rng),
+            },
+            SessionEngine::Sized { stepper, groups } => stepper.step(groups.as_mut_slice(), rng),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        match self {
+            SessionEngine::Mean { stepper, .. } => match stepper {
+                MeanStepper::IFocus(s) => s.snapshot(),
+                MeanStepper::IRefine(s) => s.snapshot(),
+                MeanStepper::RoundRobin(s) => s.snapshot(),
+                MeanStepper::Scan(s) => s.snapshot(),
+                MeanStepper::Sum1(s) => s.snapshot(),
+            },
+            SessionEngine::Sized { stepper, .. } => stepper.snapshot(),
+        }
+    }
+
+    fn total_samples(&self) -> u64 {
+        match self {
+            SessionEngine::Mean { stepper, .. } => match stepper {
+                MeanStepper::IFocus(s) => s.total_samples(),
+                MeanStepper::IRefine(s) => s.total_samples(),
+                MeanStepper::RoundRobin(s) => s.total_samples(),
+                MeanStepper::Scan(s) => s.total_samples(),
+                MeanStepper::Sum1(s) => s.total_samples(),
+            },
+            SessionEngine::Sized { stepper, .. } => stepper.total_samples(),
+        }
+    }
+
+    fn finish(self) -> RunResult {
+        match self {
+            SessionEngine::Mean { stepper, .. } => match stepper {
+                MeanStepper::IFocus(s) => s.finish(),
+                MeanStepper::IRefine(s) => s.finish(),
+                MeanStepper::RoundRobin(s) => s.finish(),
+                MeanStepper::Scan(s) => s.finish(),
+                MeanStepper::Sum1(s) => s.finish(),
+            },
+            SessionEngine::Sized { stepper, .. } => stepper.finish(),
+        }
+    }
+}
+
+/// What one session round produced: the step outcome plus a full
+/// [`Snapshot`] for progressive rendering, and bookkeeping deltas.
+#[derive(Debug, Clone)]
+pub struct RoundUpdate {
+    /// Outcome of the round ([`StepOutcome::Running`] means keep stepping).
+    pub outcome: StepOutcome,
+    /// Round counter after this step.
+    pub round: u64,
+    /// Total samples drawn so far, across all groups.
+    pub total_samples: u64,
+    /// `total_samples / population` — monotone over a session's updates.
+    pub fraction_sampled: f64,
+    /// Groups whose ordering position certified **during this step**
+    /// (indices in input order). Their estimates are frozen from here on.
+    pub newly_certified: Vec<usize>,
+    /// Full point-in-time view: estimates, confidence intervals, active
+    /// set, and the certified partial ordering.
+    pub snapshot: Snapshot,
+}
+
+/// Budget + progress bookkeeping shared by the blocking `execute()` loop
+/// and the streaming [`QuerySession`] — both drive exactly this state, so
+/// their fixed-seed results are identical by construction.
+#[derive(Debug)]
+pub(crate) struct SessionCore {
+    engine: SessionEngine,
+    population: u64,
+    max_samples: Option<u64>,
+    deadline: Option<Instant>,
+    /// Active flags after the last delivered update (for `newly_certified`).
+    prev_active: Vec<bool>,
+    /// Set once a non-`Running` outcome has been returned.
+    terminal: Option<StepOutcome>,
+    /// Whether the terminal outcome came from a session budget (sample or
+    /// deadline), as opposed to natural convergence.
+    budget_tripped: bool,
+}
+
+impl SessionCore {
+    pub(crate) fn new(
+        engine: SessionEngine,
+        population: u64,
+        max_samples: Option<u64>,
+        deadline: Option<Instant>,
+    ) -> Self {
+        let prev_active = engine.snapshot().active;
+        Self {
+            engine,
+            population,
+            max_samples,
+            deadline,
+            prev_active,
+            terminal: None,
+            budget_tripped: false,
+        }
+    }
+
+    fn budget_hit(&self) -> bool {
+        self.max_samples
+            .is_some_and(|cap| self.engine.total_samples() >= cap)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Advances one round without building a `RoundUpdate` — the blocking
+    /// `execute()` path, which skips the per-round snapshot allocation.
+    pub(crate) fn raw_step(&mut self, rng: &mut dyn RngCore) -> StepOutcome {
+        if let Some(t) = self.terminal {
+            return t;
+        }
+        let outcome = if self.budget_hit() {
+            self.budget_tripped = true;
+            StepOutcome::BudgetExhausted
+        } else {
+            self.engine.step(rng)
+        };
+        if !outcome.is_running() {
+            self.terminal = Some(outcome);
+        }
+        outcome
+    }
+
+    /// Advances one round and packages the full per-round update.
+    pub(crate) fn step_update(&mut self, rng: &mut dyn RngCore) -> RoundUpdate {
+        let outcome = self.raw_step(rng);
+        let snapshot = self.snapshot();
+        let newly_certified: Vec<usize> = self
+            .prev_active
+            .iter()
+            .zip(&snapshot.active)
+            .enumerate()
+            .filter(|(_, (&was, &is))| was && !is)
+            .map(|(i, _)| i)
+            .collect();
+        self.prev_active.clone_from(&snapshot.active);
+        let total_samples = snapshot.total_samples();
+        RoundUpdate {
+            outcome,
+            round: snapshot.rounds,
+            total_samples,
+            fraction_sampled: fraction(total_samples, self.population),
+            newly_certified,
+            snapshot,
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let mut snap = self.engine.snapshot();
+        // The stepper only knows about its own round cap; session budgets
+        // truncate the run just the same, and snapshots must say so.
+        snap.truncated |= self.budget_tripped;
+        snap
+    }
+
+    pub(crate) fn total_samples(&self) -> u64 {
+        self.engine.total_samples()
+    }
+
+    pub(crate) fn population(&self) -> u64 {
+        self.population
+    }
+
+    pub(crate) fn outcome(&self) -> StepOutcome {
+        self.terminal.unwrap_or(StepOutcome::Running)
+    }
+
+    pub(crate) fn finish(self) -> QueryAnswer {
+        let outcome = self.outcome();
+        let mut result = self.engine.finish();
+        if self.budget_tripped {
+            // Session budgets truncate exactly like the algorithms' own
+            // round caps: best-effort estimates, flagged as such.
+            result.truncated = true;
+        }
+        QueryAnswer {
+            result,
+            population: self.population,
+            outcome,
+        }
+    }
+}
+
+fn fraction(samples: u64, population: u64) -> f64 {
+    if population == 0 {
+        0.0
+    } else {
+        samples as f64 / population as f64
+    }
+}
+
+/// A resumable, cancellable query run. Created by
+/// [`crate::VizQuery::start`]; see the [module docs](self) for a worked
+/// progressive-rendering example.
+///
+/// Drive it either poll-style ([`QuerySession::step`] until the outcome
+/// stops being [`StepOutcome::Running`]) or as an iterator (each item is a
+/// [`RoundUpdate`]; iteration ends after the first terminal update).
+/// At any point:
+///
+/// * [`QuerySession::snapshot`] — current estimates / intervals / partial
+///   ordering without advancing;
+/// * [`QuerySession::finish`] — consume the session and get the best
+///   current [`QueryAnswer`] (this is also how you **cancel**: stop
+///   stepping and call `finish`, or just drop the session).
+///
+/// Budgets configured on the builder ([`crate::VizQuery::max_samples`],
+/// [`crate::VizQuery::timeout`] / [`crate::VizQuery::deadline`]) are
+/// checked before every round; once one trips, `step` reports
+/// [`StepOutcome::BudgetExhausted`] and the session stops advancing, with
+/// `fraction_sampled` frozen below 1.
+pub struct QuerySession {
+    core: SessionCore,
+    rng: Box<dyn RngCore>,
+    delivered_terminal: bool,
+}
+
+impl std::fmt::Debug for QuerySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySession")
+            .field("core", &self.core)
+            .field("delivered_terminal", &self.delivered_terminal)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QuerySession {
+    pub(crate) fn new(core: SessionCore, rng: Box<dyn RngCore>) -> Self {
+        Self {
+            core,
+            rng,
+            delivered_terminal: false,
+        }
+    }
+
+    /// Advances one round and returns its update. After termination this
+    /// keeps returning the terminal outcome without advancing, so a
+    /// poll-style driver can simply stop on a non-`Running` outcome.
+    pub fn step(&mut self) -> RoundUpdate {
+        self.core.step_update(self.rng.as_mut())
+    }
+
+    /// The current estimates, intervals, active set, and certified partial
+    /// ordering — without advancing the run.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        self.core.snapshot()
+    }
+
+    /// Total samples drawn so far.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.core.total_samples()
+    }
+
+    /// Total rows eligible across groups.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.core.population()
+    }
+
+    /// Fraction of eligible rows sampled so far (monotone over the run).
+    #[must_use]
+    pub fn fraction_sampled(&self) -> f64 {
+        fraction(self.total_samples(), self.population())
+    }
+
+    /// The session's current terminal status: [`StepOutcome::Running`]
+    /// while more rounds are needed, otherwise the outcome that ended it.
+    #[must_use]
+    pub fn outcome(&self) -> StepOutcome {
+        self.core.outcome()
+    }
+
+    /// Whether the session has terminated (converged or budget-exhausted).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        !self.outcome().is_running()
+    }
+
+    /// Consumes the session and returns the best current answer: the final
+    /// one after convergence; best-effort with `result.truncated` set
+    /// after budget exhaustion; and after mid-run cancellation (stop
+    /// stepping, call `finish`) best-effort with the answer's `outcome`
+    /// left at [`StepOutcome::Running`] — check
+    /// [`QueryAnswer::converged`](crate::QueryAnswer::converged) before
+    /// presenting any of these as guaranteed.
+    #[must_use]
+    pub fn finish(self) -> QueryAnswer {
+        self.core.finish()
+    }
+}
+
+impl Iterator for QuerySession {
+    type Item = RoundUpdate;
+
+    /// Yields one [`RoundUpdate`] per round, ending (returns `None`) after
+    /// the first terminal update has been delivered. Use
+    /// [`Iterator::by_ref`] to keep the session afterwards for `finish()`.
+    fn next(&mut self) -> Option<RoundUpdate> {
+        if self.delivered_terminal {
+            return None;
+        }
+        let update = self.step();
+        if !update.outcome.is_running() {
+            self.delivered_terminal = true;
+        }
+        Some(update)
+    }
+}

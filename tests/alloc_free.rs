@@ -8,7 +8,10 @@
 //! binary only) verifies it directly.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use rapidviz::core::extensions::{IFocusSum2, VecSizedGroup};
+use rapidviz::core::group::VecGroup;
+use rapidviz::core::{AlgoConfig, AlgorithmStepper, IFocus, SamplingMode, StepOutcome};
 use rapidviz::needletail::sampler::RADIX_MIN_BATCH;
 use rapidviz::needletail::{
     Bitmap, BitmapSampler, ColumnDef, DataType, NeedleTail, Predicate, Schema,
@@ -145,6 +148,85 @@ fn without_replacement_batches_only_allocate_for_swap_growth() {
         allocs, 0,
         "WOR batches must not allocate while the swap map has headroom"
     );
+}
+
+#[test]
+fn ifocus_stepper_rounds_are_allocation_free_at_steady_state() {
+    // A full IFOCUS round — batched draws through the per-state scratch,
+    // ε recomputation, and the deactivation fixpoint in the reusable
+    // FixpointScratch arena (members, interval set, removal list) — must
+    // not touch the heap once warm. Near-tied means keep both groups
+    // active for far more rounds than the measurement window; sampling
+    // with replacement keeps the VecGroup draw itself state-free.
+    let mut rng = StdRng::seed_from_u64(10);
+    let values = |mu: f64, rng: &mut StdRng| -> Vec<f64> {
+        (0..20_000)
+            .map(|_| if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 })
+            .collect()
+    };
+    let mut groups = vec![
+        VecGroup::new("a", values(45.0, &mut rng)),
+        VecGroup::new("b", values(45.3, &mut rng)),
+    ];
+    let config = AlgoConfig::new(100.0, 0.05).with_mode(SamplingMode::WithReplacement);
+    let mut run_rng = StdRng::seed_from_u64(11);
+    let mut stepper = IFocus::new(config).start(&mut groups, &mut run_rng);
+    // Warm-up: grows the draw scratch, round-index buffer, and fixpoint
+    // arena to their steady sizes.
+    for _ in 0..5 {
+        assert_eq!(
+            stepper.step(&mut groups, &mut run_rng),
+            StepOutcome::Running
+        );
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..50 {
+            assert_eq!(
+                stepper.step(&mut groups, &mut run_rng),
+                StepOutcome::Running,
+                "near-tie must outlast the measurement window"
+            );
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state IFOCUS step must not allocate");
+}
+
+#[test]
+fn sum2_stepper_rounds_are_allocation_free_at_steady_state() {
+    // Same claim for the Algorithm-5 stepper: the batched (x, z) draw into
+    // the reusable pair buffer plus its deactivation fixpoint (formerly
+    // fresh `members`/`to_remove` vectors and a fresh IntervalSet per
+    // iteration — the open ROADMAP item) must be allocation-free once the
+    // scratch arena has warmed up.
+    let mut rng = StdRng::seed_from_u64(12);
+    let values = |mu: f64, rng: &mut StdRng| -> Vec<f64> {
+        (0..10_000)
+            .map(|_| if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 })
+            .collect()
+    };
+    let mut groups = vec![
+        VecSizedGroup::new("a", values(50.0, &mut rng), 0.40),
+        VecSizedGroup::new("b", values(50.0, &mut rng), 0.41),
+    ];
+    let config = AlgoConfig::new(100.0, 0.05);
+    let mut run_rng = StdRng::seed_from_u64(13);
+    let mut stepper = IFocusSum2::new(config).start(&mut groups, &mut run_rng);
+    for _ in 0..5 {
+        assert_eq!(
+            stepper.step(&mut groups, &mut run_rng),
+            StepOutcome::Running
+        );
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..50 {
+            assert_eq!(
+                stepper.step(&mut groups, &mut run_rng),
+                StepOutcome::Running,
+                "near-tied fractions must outlast the measurement window"
+            );
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state SUM2 step must not allocate");
 }
 
 #[test]
