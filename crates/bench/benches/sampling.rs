@@ -27,13 +27,13 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rapidviz_bench::perfgate::{self, GateConfig, Measurement, Mode};
 use rapidviz_core::group::VecGroup;
 use rapidviz_core::{AlgoConfig, IFocus};
 use rapidviz_needletail::sampler::BitmapSampler;
 use rapidviz_needletail::Bitmap;
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// 1M-row bitmap with a realistic mixed profile: a dense cluster plus
 /// scattered singletons (≈260k eligible rows).
@@ -41,11 +41,6 @@ fn test_bitmap() -> Bitmap {
     let mut positions: Vec<u64> = (100_000..300_000).collect();
     positions.extend((300_000..1_000_000).step_by(12).map(|p| p as u64));
     Bitmap::from_sorted_positions(&positions, 1_000_000)
-}
-
-struct Measurement {
-    name: String,
-    draws_per_sec: f64,
 }
 
 /// How far a gate-mode **speedup ratio** (batched vs single-loop, measured
@@ -174,16 +169,6 @@ const SPEEDUP_PAIRS: &[(&str, &str)] = &[
         "ifocus_wide/round_batch_4096_parallel",
     ),
 ];
-
-/// How the benchmark runs: full (1s+ per case, writes the committed
-/// baseline), quick smoke (one iteration, no JSON), or the CI regression
-/// gate (shortened measurement, compared against the baseline).
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Full,
-    Quick,
-    Gate,
-}
 
 /// Faithful replica of the **seed** (pre-PR) sampling path, kept here as
 /// the "before" baseline: a superblock directory binary search per draw, a
@@ -321,54 +306,14 @@ mod seed_baseline {
     }
 }
 
-/// Measures `total_draws` executed by `f` (which must perform them all).
-fn measure(name: &str, total_draws: u64, mode: Mode, mut f: impl FnMut()) -> Measurement {
-    if mode == Mode::Quick {
-        f();
-        println!("{name:<44} (quick smoke: ran once)");
-        return Measurement {
-            name: name.to_owned(),
-            draws_per_sec: 0.0,
-        };
-    }
-    let (min_secs, min_reps) = match mode {
-        Mode::Full => (1.0, 3),
-        // The gate trades timing precision for wall-clock; its tolerance
-        // absorbs the extra noise.
-        Mode::Gate => (0.2, 2),
-        Mode::Quick => unreachable!(),
-    };
-    // Warm-up.
-    f();
-    let mut reps = 0u32;
-    let start = Instant::now();
-    loop {
-        f();
-        reps += 1;
-        if start.elapsed().as_secs_f64() > min_secs && reps >= min_reps {
-            break;
-        }
-    }
-    let secs = start.elapsed().as_secs_f64();
-    let draws_per_sec = (total_draws * u64::from(reps)) as f64 / secs;
-    println!("{name:<44} {draws_per_sec:>12.0} draws/s");
-    Measurement {
-        name: name.to_owned(),
-        draws_per_sec,
-    }
+/// Measures `total_draws` executed by `f` (which must perform them all) —
+/// a thin wrapper over the shared harness fixing this bench's unit label.
+fn measure(name: &str, total_draws: u64, mode: Mode, f: impl FnMut()) -> Measurement {
+    perfgate::measure(name, total_draws, mode, "draws/s", f)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mode = if args.iter().any(|a| a == "--gate") {
-        Mode::Gate
-    } else if args.iter().any(|a| a == "--quick" || a == "--test")
-        || std::env::var_os("CRITERION_QUICK").is_some()
-    {
-        Mode::Quick
-    } else {
-        Mode::Full
-    };
+    let mode = Mode::from_args();
     let mut results: Vec<Measurement> = Vec::new();
     let bitmap = test_bitmap();
     let n_draws: u64 = match mode {
@@ -771,111 +716,27 @@ fn main() {
 }
 
 fn speedup(results: &[Measurement], base: &str, new: &str) -> Option<f64> {
-    let get = |n: &str| {
-        results
-            .iter()
-            .find(|m| m.name == n)
-            .map(|m| m.draws_per_sec)
-    };
+    let get = |n: &str| results.iter().find(|m| m.name == n).map(|m| m.per_sec);
     match (get(base), get(new)) {
         (Some(b), Some(n)) if b > 0.0 => Some(n / b),
         _ => None,
     }
 }
 
-/// Extracts the `"name": value` entries of the `"results"` object from a
-/// JSON file this bench itself wrote (a deliberately narrow parser — the
-/// offline workspace has no serde, and the format is under our control).
-fn parse_results(json: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    let Some(start) = json.find("\"results\": {") else {
-        return out;
-    };
-    for line in json[start..].lines().skip(1) {
-        let trimmed = line.trim();
-        if trimmed.starts_with('}') {
-            break;
-        }
-        let Some((key, value)) = trimmed.rsplit_once(':') else {
-            continue;
-        };
-        let name = key.trim().trim_matches('"').to_owned();
-        if let Ok(v) = value.trim().trim_end_matches(',').parse::<f64>() {
-            out.push((name, v));
-        }
-    }
-    out
-}
-
 /// Gate mode: compare fresh **speedup ratios** (batched vs single-loop,
 /// both sides from the same host and run) against the committed baseline's
-/// ratios, so the runner's absolute speed cancels out and noisy CI hosts
-/// cannot flake the gate. Returns the number of regressions (pairs whose
-/// fresh ratio fell below `baseline_ratio / GATE_TOLERANCE`).
+/// ratios via the shared harness. Returns the number of regressions.
 fn gate_against_baseline(results: &[Measurement]) -> usize {
     let baseline_path = std::env::var("BENCH_SAMPLING_BASELINE")
         .unwrap_or_else(|_| format!("{}/../../BENCH_sampling.json", env!("CARGO_MANIFEST_DIR")));
-    let baseline = match std::fs::read_to_string(&baseline_path) {
-        Ok(s) => s,
-        Err(e) => {
-            // A missing baseline must fail loudly: a silently green gate
-            // that compares against nothing protects nothing.
-            eprintln!("gate: cannot read baseline {baseline_path}: {e}");
-            return 1;
-        }
-    };
-    let baseline = parse_results(&baseline);
-    if baseline.is_empty() {
-        eprintln!("gate: baseline {baseline_path} has no results");
-        return 1;
-    }
-    let lookup = |set: &[(String, f64)], name: &str| -> Option<f64> {
-        set.iter()
-            .find(|(n, _)| n == name)
-            .map(|&(_, v)| v)
-            .filter(|&v| v > 0.0)
-    };
-    let fresh_results: Vec<(String, f64)> = results
-        .iter()
-        .map(|m| (m.name.clone(), m.draws_per_sec))
-        .collect();
-    let mut regressions = 0;
-    let mut compared = 0;
-    println!("\nperf gate vs {baseline_path} (ratio-based, tolerance {GATE_TOLERANCE}x):");
-    for &(single, batched) in SPEEDUP_PAIRS {
-        let pair = format!("{batched} / {single}");
-        let (Some(base_single), Some(base_batched)) =
-            (lookup(&baseline, single), lookup(&baseline, batched))
-        else {
-            println!("  SKIP {pair} (pair not in baseline)");
-            continue;
-        };
-        let (Some(fresh_single), Some(fresh_batched)) = (
-            lookup(&fresh_results, single),
-            lookup(&fresh_results, batched),
-        ) else {
-            // Feature-gated cases (e.g. the parallel fan-out) may be
-            // absent from a default-features gate build.
-            println!("  SKIP {pair} (not measured in this build)");
-            continue;
-        };
-        compared += 1;
-        let base_ratio = base_batched / base_single;
-        let fresh_ratio = fresh_batched / fresh_single;
-        if fresh_ratio * GATE_TOLERANCE < base_ratio {
-            regressions += 1;
-            println!("  FAIL {pair}: ratio {fresh_ratio:.2}x vs baseline {base_ratio:.2}x");
-        } else {
-            println!("  ok   {pair}: ratio {fresh_ratio:.2}x vs baseline {base_ratio:.2}x");
-        }
-    }
-    if compared == 0 {
-        // Same principle as the missing baseline: comparing nothing
-        // protects nothing.
-        eprintln!("gate: no speedup pair could be compared against the baseline");
-        return 1;
-    }
-    regressions
+    perfgate::gate_against_baseline(
+        results,
+        &GateConfig {
+            baseline_path,
+            pairs: SPEEDUP_PAIRS,
+            tolerance: GATE_TOLERANCE,
+        },
+    )
 }
 
 fn report(results: &[Measurement], mode: Mode) {
@@ -900,7 +761,7 @@ fn report(results: &[Measurement], mode: Mode) {
     );
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
-        let _ = writeln!(json, "    \"{}\": {:.0}{comma}", m.name, m.draws_per_sec);
+        let _ = writeln!(json, "    \"{}\": {:.0}{comma}", m.name, m.per_sec);
     }
     json.push_str("  },\n  \"speedups\": {\n");
     let lines: Vec<String> = SPEEDUP_PAIRS

@@ -1,0 +1,226 @@
+//! Multi-query scheduler throughput benchmark: N sessions interleaved by
+//! [`rapidviz::MultiQueryScheduler`] vs the same sessions driven to
+//! completion one after another — the scheduler's per-quantum overhead
+//! (policy selection, memory accounting, event plumbing) is the gap.
+//!
+//! Run with `cargo bench --bench scheduler`. Beyond the console lines, the
+//! run writes `BENCH_scheduler.json` into the workspace root (override
+//! with `BENCH_SCHEDULER_OUT`) so the perf trajectory is tracked in-repo.
+//!
+//! Two reduced modes, sharing the sampling bench's harness
+//! ([`rapidviz_bench::perfgate`]):
+//!
+//! * `--quick` / `--test` — single-iteration smoke pass, no JSON write.
+//! * `--gate` — the CI perf-regression gate: a shortened but *measured*
+//!   pass compared against the committed `BENCH_scheduler.json` (override
+//!   with `BENCH_SCHEDULER_BASELINE`) **by throughput ratio, not absolute
+//!   rounds/s**: for every policy, the fresh scheduled-over-standalone
+//!   ratio — both sides measured on the *same* host in the *same* run, so
+//!   machine speed cancels — must not fall more than [`GATE_TOLERANCE`]×
+//!   below the baseline's ratio. A scheduler whose quantum cost blows up
+//!   (say, an accidental O(N²) selection or per-quantum allocation storm)
+//!   shows up in the ratio on any hardware. Fresh numbers go to
+//!   `BENCH_scheduler.fresh.json` for artifact upload, never to the
+//!   committed baseline; a missing baseline fails loudly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapidviz::needletail::{ColumnDef, DataType, NeedleTail, Schema, TableBuilder, Value};
+use rapidviz::{MultiQueryScheduler, SchedulePolicy, SchedulerEvent, VizQuery};
+use rapidviz_bench::perfgate::{gate_against_baseline, measure, GateConfig, Measurement, Mode};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// How far a gate-mode **throughput ratio** (scheduled vs standalone, both
+/// from the same host and run) may fall below the committed baseline's
+/// ratio before the gate fails. The true ratio sits near 1.0 (the
+/// scheduler adds selection + accounting on top of identical sampling
+/// work), so 1.5× headroom absorbs runner jitter while still catching a
+/// quantum-cost regression of ~50% or more.
+const GATE_TOLERANCE: f64 = 1.5;
+
+/// The (standalone baseline, scheduled) measurement pairs whose ratios the
+/// gate enforces.
+const SPEEDUP_PAIRS: &[(&str, &str)] = &[
+    ("sessions/standalone_loop", "sessions/scheduled_fair_share"),
+    ("sessions/standalone_loop", "sessions/scheduled_deadline"),
+    ("sessions/standalone_loop", "sessions/scheduled_greedy"),
+];
+
+/// Eight near-tied groups over 100k rows: no group certifies before the
+/// per-session sample budget trips, so every run performs exactly the same
+/// number of rounds — a deterministic unit of scheduling work.
+fn bench_engine() -> NeedleTail {
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("name", DataType::Str),
+        ColumnDef::new("delay", DataType::Float),
+    ]));
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..100_000 {
+        let g = rng.gen_range(0..8);
+        let mu = 50.0 + 0.1 * (g as f64 - 3.5);
+        let delay = if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 };
+        b.push_row(vec![format!("g{g}").into(), Value::Float(delay)]);
+    }
+    NeedleTail::new(b.finish(), &["name"]).unwrap()
+}
+
+const SESSIONS: u64 = 8;
+const MAX_SAMPLES_PER_SESSION: u64 = 8_192;
+
+fn make_query(engine: &NeedleTail) -> VizQuery<'_> {
+    VizQuery::new(engine)
+        .group_by("name")
+        .avg("delay")
+        .bound(100.0)
+        .samples_per_round(4)
+        .max_samples(MAX_SAMPLES_PER_SESSION)
+}
+
+/// Drives all sessions standalone, one after the other; returns total
+/// rounds stepped.
+fn run_standalone(engine: &NeedleTail) -> u64 {
+    let mut rounds = 0;
+    for seed in 0..SESSIONS {
+        let mut session = make_query(engine)
+            .start(StdRng::seed_from_u64(100 + seed))
+            .unwrap();
+        loop {
+            let update = session.step();
+            rounds += 1;
+            if !update.outcome.is_running() {
+                break;
+            }
+        }
+        black_box(session.finish());
+    }
+    rounds
+}
+
+/// Drives the same sessions through the scheduler; returns total rounds.
+fn run_scheduled(engine: &NeedleTail, policy: SchedulePolicy) -> u64 {
+    let mut sched = MultiQueryScheduler::new(policy);
+    for seed in 0..SESSIONS {
+        sched.admit(
+            make_query(engine)
+                .start(StdRng::seed_from_u64(100 + seed))
+                .unwrap(),
+        );
+    }
+    let mut rounds = 0;
+    sched.run(|event| {
+        if matches!(event, SchedulerEvent::Round { .. }) {
+            rounds += 1;
+        }
+    });
+    for (_, answer) in sched.finish_all() {
+        black_box(answer);
+    }
+    rounds
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    let engine = bench_engine();
+    // Fixed-seed runs are deterministic, so one counting pass fixes the
+    // per-iteration work for every variant (and sanity-checks that the
+    // scheduler performs the same number of rounds as the plain loop).
+    let standalone_rounds = run_standalone(&engine);
+    let scheduled_rounds = run_scheduled(&engine, SchedulePolicy::FairShare);
+    assert_eq!(
+        standalone_rounds, scheduled_rounds,
+        "scheduling must not change the work"
+    );
+
+    let mut results = Vec::new();
+    results.push(measure(
+        "sessions/standalone_loop",
+        standalone_rounds,
+        mode,
+        "rounds/s",
+        || {
+            black_box(run_standalone(&engine));
+        },
+    ));
+    for (name, policy) in [
+        ("sessions/scheduled_fair_share", SchedulePolicy::FairShare),
+        ("sessions/scheduled_deadline", SchedulePolicy::DeadlineAware),
+        (
+            "sessions/scheduled_greedy",
+            SchedulePolicy::GreedyConvergence,
+        ),
+    ] {
+        results.push(measure(name, scheduled_rounds, mode, "rounds/s", || {
+            black_box(run_scheduled(&engine, policy));
+        }));
+    }
+
+    report(&results, mode);
+    if mode == Mode::Gate {
+        let baseline_path = std::env::var("BENCH_SCHEDULER_BASELINE").unwrap_or_else(|_| {
+            format!("{}/../../BENCH_scheduler.json", env!("CARGO_MANIFEST_DIR"))
+        });
+        let config = GateConfig {
+            baseline_path,
+            pairs: SPEEDUP_PAIRS,
+            tolerance: GATE_TOLERANCE,
+        };
+        let regressions = gate_against_baseline(&results, &config);
+        if regressions > 0 {
+            eprintln!("scheduler perf gate: {regressions} regression(s)");
+            std::process::exit(1);
+        }
+        println!("scheduler perf gate: ok");
+    }
+}
+
+fn report(results: &[Measurement], mode: Mode) {
+    if mode == Mode::Quick {
+        println!("quick mode: skipping BENCH_scheduler.json write");
+        return;
+    }
+    let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"multi-query scheduler: interleaved sessions vs standalone loop\",\n",
+            "  \"unit\": \"rounds per second\",\n",
+            "  \"note\": \"8 near-tie sessions, 8 groups each, budget-capped to identical \
+             round counts; scheduled-over-standalone ratios isolate the scheduler's \
+             per-quantum overhead. Measured on a {cpus}-cpu host.\",\n",
+            "  \"results\": {{\n",
+        ),
+        cpus = cpus
+    );
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{}\": {:.1}{comma}", m.name, m.per_sec);
+    }
+    json.push_str("  },\n  \"ratios\": {\n");
+    for (i, &(standalone, scheduled)) in SPEEDUP_PAIRS.iter().enumerate() {
+        let get = |n: &str| results.iter().find(|m| m.name == n).map(|m| m.per_sec);
+        let ratio = match (get(standalone), get(scheduled)) {
+            (Some(b), Some(n)) if b > 0.0 => n / b,
+            _ => 0.0,
+        };
+        let comma = if i + 1 == SPEEDUP_PAIRS.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(json, "    \"{scheduled}\": {ratio:.3}{comma}");
+    }
+    json.push_str("  }\n}\n");
+    let default_out = match mode {
+        Mode::Gate => format!(
+            "{}/../../BENCH_scheduler.fresh.json",
+            env!("CARGO_MANIFEST_DIR")
+        ),
+        _ => format!("{}/../../BENCH_scheduler.json", env!("CARGO_MANIFEST_DIR")),
+    };
+    let out_path = std::env::var("BENCH_SCHEDULER_OUT").unwrap_or(default_out);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod algorithms;
 pub mod experiments;
+pub mod perfgate;
 pub mod report;
 
 pub use algorithms::AlgorithmKind;

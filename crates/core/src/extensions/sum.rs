@@ -176,6 +176,10 @@ impl AlgorithmStepper for IFocusSum1Stepper {
         snap
     }
 
+    fn approx_bytes(&self) -> usize {
+        self.state.approx_bytes() + self.sizes.capacity() * std::mem::size_of::<u64>()
+    }
+
     fn finish(self) -> RunResult {
         let mut result = self.state.finish();
         // Convert mean estimates to sums.
@@ -583,6 +587,22 @@ impl IFocusSum2Stepper {
             rounds: self.m,
             truncated: self.truncated,
         }
+    }
+
+    /// Approximate resident bytes of the stepper's state; mirrors
+    /// [`AlgorithmStepper::approx_bytes`].
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.labels.capacity() * size_of::<String>()
+            + self.labels.iter().map(String::capacity).sum::<usize>()
+            + self.estimates.capacity() * size_of::<RunningMean>()
+            + self.active.capacity() * size_of::<bool>()
+            + self.frozen_eps.capacity() * size_of::<f64>()
+            + self.samples.capacity() * size_of::<u64>()
+            + self.pairs.capacity() * size_of::<(f64, f64)>()
+            + self.fix.approx_bytes()
     }
 
     /// Packages the final result; mirrors [`AlgorithmStepper::finish`].

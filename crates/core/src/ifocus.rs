@@ -159,6 +159,10 @@ impl AlgorithmStepper for IFocusStepper {
         self.state.snapshot()
     }
 
+    fn approx_bytes(&self) -> usize {
+        self.state.approx_bytes()
+    }
+
     fn finish(self) -> RunResult {
         self.state.finish()
     }

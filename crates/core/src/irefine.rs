@@ -263,6 +263,21 @@ impl AlgorithmStepper for IRefineStepper {
         }
     }
 
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.labels.capacity() * size_of::<String>()
+            + self.labels.iter().map(String::capacity).sum::<usize>()
+            + self.sizes.capacity() * size_of::<u64>()
+            + self.estimates.capacity() * size_of::<f64>()
+            + self.eps.capacity() * size_of::<f64>()
+            + self.deltas.capacity() * size_of::<f64>()
+            + self.active.capacity() * size_of::<bool>()
+            + self.samples.capacity() * size_of::<u64>()
+            + self.cumulative.capacity() * size_of::<(u64, f64)>()
+            + self.batch_buf.capacity() * size_of::<f64>()
+    }
+
     fn finish(self) -> RunResult {
         RunResult {
             labels: self.labels,

@@ -53,13 +53,16 @@ impl RunResult {
             .collect()
     }
 
-    /// Fraction of the dataset sampled, given the total population size.
+    /// Fraction of the dataset sampled, given the total population size,
+    /// clamped to at most 1.0: with-replacement sampling on small groups
+    /// can draw more samples than there are rows, but "fraction of the
+    /// data touched" can never meaningfully exceed everything.
     #[must_use]
     pub fn fraction_sampled(&self, total_population: u64) -> f64 {
         if total_population == 0 {
             return 0.0;
         }
-        self.total_samples() as f64 / total_population as f64
+        (self.total_samples() as f64 / total_population as f64).min(1.0)
     }
 }
 

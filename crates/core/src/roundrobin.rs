@@ -129,6 +129,10 @@ impl AlgorithmStepper for RoundRobinStepper {
         self.state.snapshot()
     }
 
+    fn approx_bytes(&self) -> usize {
+        self.state.approx_bytes()
+    }
+
     fn finish(self) -> RunResult {
         self.state.finish()
     }

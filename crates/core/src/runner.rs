@@ -96,6 +96,23 @@ impl Snapshot {
         idx
     }
 
+    /// Approximate resident size of this snapshot in bytes (struct plus
+    /// owned heap buffers, counting capacities rather than lengths). A
+    /// multi-query scheduler charges each session's memory account with
+    /// this after every round; it is an estimate for accounting, not an
+    /// allocator-exact figure.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.labels.capacity() * size_of::<String>()
+            + self.labels.iter().map(String::capacity).sum::<usize>()
+            + self.estimates.capacity() * size_of::<f64>()
+            + self.intervals.capacity() * size_of::<Interval>()
+            + self.active.capacity() * size_of::<bool>()
+            + self.samples_per_group.capacity() * size_of::<u64>()
+    }
+
     /// All group indices sorted by ascending current estimate — the best
     /// full ordering available right now (no guarantee for active groups).
     #[must_use]
@@ -138,6 +155,17 @@ pub trait AlgorithmStepper {
 
     /// The current estimates, intervals, active set, and partial ordering.
     fn snapshot(&self) -> Snapshot;
+
+    /// Approximate resident bytes of the stepper's algorithm state
+    /// (estimators, activity flags, scratch arenas) — the per-session
+    /// memory-accounting hook. The provided implementation derives the
+    /// figure from a fresh [`AlgorithmStepper::snapshot`]; steppers backed
+    /// by live round-loop state override it with a precise,
+    /// allocation-free accounting. Optional trace/history recording is
+    /// deliberately not counted (resumable sessions never enable it).
+    fn approx_bytes(&self) -> usize {
+        self.snapshot().approx_bytes()
+    }
 
     /// Consumes the stepper and packages the final (or best-effort, if
     /// stopped early) result.

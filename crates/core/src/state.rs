@@ -78,6 +78,14 @@ impl FixpointScratch {
     pub(crate) fn full_overlaps_others(&self, i: usize) -> bool {
         self.set.member_overlaps_others(i)
     }
+
+    /// Approximate resident bytes of the retained fixpoint buffers.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.members.capacity() * size_of::<usize>()
+            + self.remove.capacity() * size_of::<usize>()
+            + self.set.approx_bytes()
+    }
 }
 
 /// Round-loop state over `k` groups.
@@ -464,6 +472,27 @@ impl FocusState {
     /// Total samples drawn so far (cheap; no snapshot allocation).
     pub(crate) fn total_samples(&self) -> u64 {
         self.samples.iter().sum()
+    }
+
+    /// Approximate resident bytes of the live round-loop state: per-group
+    /// estimators, flags, and the reusable scratch arenas. Backs the
+    /// steppers' [`crate::runner::AlgorithmStepper::approx_bytes`] memory-
+    /// accounting hook without allocating a snapshot. Trace/history
+    /// recording (disabled on resumable sessions) is not counted.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.labels.capacity() * size_of::<String>()
+            + self.labels.iter().map(String::capacity).sum::<usize>()
+            + self.sizes.capacity() * size_of::<u64>()
+            + self.estimates.capacity() * size_of::<RunningMean>()
+            + self.active.capacity() * size_of::<bool>()
+            + self.exhausted.capacity() * size_of::<bool>()
+            + self.frozen_eps.capacity() * size_of::<f64>()
+            + self.samples.capacity() * size_of::<u64>()
+            + self.scratch.capacity() * size_of::<f64>()
+            + self.round_idxs.capacity() * size_of::<usize>()
+            + self.fix.approx_bytes()
     }
 
     /// A point-in-time view for the resumable stepping API: estimates,

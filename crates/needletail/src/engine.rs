@@ -34,6 +34,11 @@ pub enum EngineError {
     /// The requested combination of query options is not supported (e.g.
     /// an algorithm override on an aggregate with a dedicated algorithm).
     Unsupported(String),
+    /// The query specification itself is malformed — a required clause is
+    /// missing (no measure, no group-by). Distinct from
+    /// [`EngineError::NoSuchColumn`]: no column was named at all, so no
+    /// sentinel "column name" is fabricated for the message.
+    InvalidQuery(String),
 }
 
 impl fmt::Display for EngineError {
@@ -43,6 +48,7 @@ impl fmt::Display for EngineError {
             EngineError::NotIndexed(c) => write!(f, "column {c:?} is not indexed"),
             EngineError::NotNumeric(c) => write!(f, "column {c:?} is not numeric"),
             EngineError::Unsupported(what) => write!(f, "unsupported query: {what}"),
+            EngineError::InvalidQuery(what) => write!(f, "invalid query: {what}"),
         }
     }
 }
@@ -74,6 +80,13 @@ pub struct NeedleTail {
     table: Arc<Table>,
     indexes: HashMap<String, BitmapIndex>,
     metrics: Arc<Metrics>,
+    /// Per-column observed maxima (schema order; `None` for string columns
+    /// and empty tables), each computed lazily on its first
+    /// [`NeedleTail::column_max`] request and cached for the engine's
+    /// lifetime — bound inference during query planning amortizes to O(1)
+    /// instead of a full table scan per query, and columns never queried
+    /// (or queries that always supply an explicit bound) cost nothing.
+    column_maxima: Vec<std::sync::OnceLock<Option<f64>>>,
 }
 
 impl NeedleTail {
@@ -92,10 +105,35 @@ impl NeedleTail {
             .iter()
             .map(|c| ((*c).to_owned(), BitmapIndex::build(&table, c)))
             .collect();
+        let column_maxima = (0..table.schema().columns().len())
+            .map(|_| std::sync::OnceLock::new())
+            .collect();
         Ok(Self {
             table: Arc::new(table),
             indexes,
             metrics: Arc::new(Metrics::new()),
+            column_maxima,
+        })
+    }
+
+    /// The observed maximum of a numeric column (`None` for string
+    /// columns, unknown columns, and empty tables). The first request for
+    /// a column pays one sequential scan; the result is cached in the
+    /// engine for every later call, so bound inference during query
+    /// planning amortizes to O(1) instead of a full table scan per query.
+    #[must_use]
+    pub fn column_max(&self, column: &str) -> Option<f64> {
+        let idx = self.table.schema().column_index(column)?;
+        *self.column_maxima[idx].get_or_init(|| {
+            let rows = self.table.row_count();
+            if self.table.schema().columns()[idx].data_type == DataType::Str || rows == 0 {
+                return None;
+            }
+            Some(
+                (0..rows)
+                    .map(|row| self.table.float_value(row, idx))
+                    .fold(f64::NEG_INFINITY, f64::max),
+            )
         })
     }
 
@@ -700,6 +738,26 @@ mod tests {
             Some(EngineError::NotNumeric("name".into()))
         );
         assert!(NeedleTail::new(flights(), &["nope"]).is_err());
+    }
+
+    #[test]
+    fn column_maxima_computed_once_and_cached() {
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        // Numeric column: the lazily computed max matches the scanned max,
+        // and repeated requests serve the cached value.
+        assert_eq!(engine.column_max("delay"), Some(85.0));
+        assert_eq!(engine.column_max("delay"), Some(85.0));
+        // String and unknown columns report no maximum.
+        assert_eq!(engine.column_max("name"), None);
+        assert_eq!(engine.column_max("nope"), None);
+        // Empty tables have no observed maximum either.
+        let empty = TableBuilder::new(Schema::new(vec![
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("delay", DataType::Float),
+        ]))
+        .finish();
+        let engine = NeedleTail::new(empty, &["name"]).unwrap();
+        assert_eq!(engine.column_max("delay"), None);
     }
 
     #[test]

@@ -203,6 +203,17 @@ impl IntervalSetScratch {
         self.members.len()
     }
 
+    /// Approximate resident bytes of the retained buffers (capacities, not
+    /// lengths) — feeds the algorithm layer's per-session memory
+    /// accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.members.capacity() * size_of::<Interval>()
+            + self.by_lo.capacity() * size_of::<usize>()
+            + self.prefix_best.capacity() * size_of::<BestPair>()
+    }
+
     /// Whether the set has no members.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -1,0 +1,112 @@
+//! A dashboard fan-out over the **multi-query scheduler**: one page load
+//! fires four heterogeneous queries — AVG, a filtered AVG, SUM, and COUNT —
+//! against the same engine, and a single [`rapidviz::MultiQueryScheduler`]
+//! interleaves their rounds under a fair-share policy so every chart makes
+//! progress at once, inside one global sample budget.
+//!
+//! ```text
+//! cargo run --release --example multi_query
+//! ```
+
+use rand::{Rng, SeedableRng};
+use rapidviz::needletail::{
+    ColumnDef, DataType, NeedleTail, Predicate, Schema, TableBuilder, Value,
+};
+use rapidviz::{MultiQueryScheduler, RunOutcome, SchedulePolicy, SchedulerEvent, VizQuery};
+
+fn main() {
+    // A flight-delay table: three carriers over two hubs, 300k rows.
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("carrier", DataType::Str),
+        ColumnDef::new("origin", DataType::Str),
+        ColumnDef::new("delay", DataType::Float),
+    ]));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    for _ in 0..300_000 {
+        // Carrier mix 50/30/20, so the COUNT tile has separable shares.
+        let (carrier, mu) = match rng.gen_range(0..10) {
+            0..=4 => ("AA", 58.0),
+            5..=7 => ("JB", 24.0),
+            _ => ("UA", 81.0),
+        };
+        let origin = ["BOS", "SFO"][rng.gen_range(0..2)];
+        let delay = if rng.gen_bool(mu / 100.0) { 100.0 } else { 0.0 };
+        b.push_row(vec![carrier.into(), origin.into(), Value::Float(delay)]);
+    }
+    let engine = NeedleTail::new(b.finish(), &["carrier", "origin"]).expect("engine builds");
+
+    // The dashboard's four tiles, all resumable sessions with their own
+    // seeds. The scheduler's global budget is the page's sampling budget.
+    let mut sched =
+        MultiQueryScheduler::new(SchedulePolicy::FairShare).with_global_sample_budget(2_000_000);
+    let tiles = [
+        ("avg delay by carrier", 41u64),
+        ("avg delay by carrier (BOS only)", 42),
+        ("total delay by carrier", 43),
+        ("flight share by carrier", 44),
+    ];
+    let sessions = [
+        VizQuery::new(&engine)
+            .group_by("carrier")
+            .avg("delay")
+            .bound(100.0)
+            .resolution_pct(1.0),
+        VizQuery::new(&engine)
+            .group_by("carrier")
+            .avg("delay")
+            .bound(100.0)
+            .resolution_pct(1.0)
+            .filter(Predicate::eq("origin", "BOS")),
+        VizQuery::new(&engine)
+            .group_by("carrier")
+            .sum("delay")
+            .bound(100.0)
+            .resolution_pct(1.0),
+        VizQuery::new(&engine)
+            .group_by("carrier")
+            .count("delay")
+            .resolution_pct(2.0),
+    ];
+    let mut ids = Vec::new();
+    for (query, (title, seed)) in sessions.iter().zip(&tiles) {
+        let session = query
+            .start(rand::rngs::StdRng::seed_from_u64(*seed))
+            .expect("query plans");
+        let id = sched.admit(session);
+        println!("admitted {id}: {title}");
+        ids.push(id);
+    }
+
+    // One render loop drains every tile: each event is one round of one
+    // query, tagged with its id — print a progress line whenever a tile
+    // certifies another bar.
+    println!("\ninterleaving rounds (fair share by unresolved bars):");
+    let outcome = sched.run(|event| {
+        if let SchedulerEvent::Round { id, update } = event {
+            for &g in &update.newly_certified {
+                let tile = ids.iter().position(|i| i == id).expect("admitted id");
+                println!(
+                    "  {id} [{:<31}] certified {:<3} after {:>6} samples",
+                    tiles[tile].0, update.snapshot.labels[g], update.total_samples
+                );
+            }
+        }
+    });
+    assert_eq!(outcome, RunOutcome::Drained, "budget was generous enough");
+
+    println!("\nfinal dashboard (samples per tile, then ascending bars):");
+    let mut total_samples = 0u64;
+    for ((id, answer), (title, _)) in sched.finish_all().into_iter().zip(&tiles) {
+        assert!(answer.converged(), "{title} should converge in budget");
+        total_samples += answer.result.total_samples();
+        println!(
+            "  {id} {title}: {} samples ({:.2}% of eligible rows)",
+            answer.result.total_samples(),
+            100.0 * answer.fraction_sampled()
+        );
+        for (label, value) in answer.result.ranked() {
+            println!("      {label:<4} {value:>10.2}");
+        }
+    }
+    println!("\ntotal: {total_samples} samples for four ordered charts over 300k rows");
+}

@@ -44,6 +44,7 @@
 
 pub mod adapter;
 pub mod query;
+pub mod scheduler;
 pub mod session;
 
 pub use adapter::{query_groups, query_sized_groups, NeedletailGroup, SizedNeedletailGroup};
@@ -53,4 +54,7 @@ pub use rapidviz_core::{Snapshot, StepOutcome};
 pub use rapidviz_datagen as datagen;
 pub use rapidviz_needletail as needletail;
 pub use rapidviz_stats as stats;
+pub use scheduler::{
+    MultiQueryScheduler, QueryId, RunOutcome, SchedulePolicy, SchedulerEvent, SessionStats,
+};
 pub use session::{QuerySession, RoundUpdate};

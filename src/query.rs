@@ -85,6 +85,7 @@ pub struct VizQuery<'a> {
     delta: f64,
     resolution_fraction: Option<f64>,
     bound: Option<f64>,
+    samples_per_round: Option<u64>,
     max_samples: Option<u64>,
     timeout: Option<Duration>,
     deadline: Option<Instant>,
@@ -104,6 +105,7 @@ impl<'a> VizQuery<'a> {
             delta: 0.05,
             resolution_fraction: None,
             bound: None,
+            samples_per_round: None,
             max_samples: None,
             timeout: None,
             deadline: None,
@@ -157,6 +159,24 @@ impl<'a> VizQuery<'a> {
     #[must_use]
     pub fn algorithm(mut self, algorithm: AlgorithmChoice) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets how many samples each round draws per active group (default 1,
+    /// the paper's round structure). Larger batches amortize per-round
+    /// bookkeeping and — above the engine's parallel threshold, with the
+    /// `parallel` feature — fan the per-group draws out across the shared
+    /// worker pool; the anytime ε still tightens with every sample, so the
+    /// guarantee is unchanged, at the cost of up to one batch of overshoot
+    /// per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn samples_per_round(mut self, n: u64) -> Self {
+        assert!(n > 0, "samples per round must be positive");
+        self.samples_per_round = Some(n);
         self
     }
 
@@ -275,12 +295,15 @@ impl<'a> VizQuery<'a> {
     /// included) — shared by [`VizQuery::execute`] and
     /// [`VizQuery::start`].
     fn prepare_core(&self, rng: &mut dyn RngCore) -> Result<SessionCore, EngineError> {
-        let measure = self
-            .measure
-            .as_ref()
-            .ok_or_else(|| EngineError::NoSuchColumn("<no measure set>".into()))?;
+        let measure = self.measure.as_ref().ok_or_else(|| {
+            EngineError::InvalidQuery(
+                "no measure set: call .avg(column), .sum(column), or .count(column)".into(),
+            )
+        })?;
         if self.group_by.is_empty() {
-            return Err(EngineError::NoSuchColumn("<no group-by set>".into()));
+            return Err(EngineError::InvalidQuery(
+                "no group-by set: call .group_by(column) at least once".into(),
+            ));
         }
         let deadline = match (self.deadline, self.timeout) {
             (Some(d), Some(t)) => Some(d.min(Instant::now() + t)),
@@ -307,6 +330,9 @@ impl<'a> VizQuery<'a> {
                 let mut config = AlgoConfig::new(c, self.delta);
                 if let Some(frac) = self.resolution_fraction {
                     config = config.with_resolution(c * frac);
+                }
+                if let Some(batch) = self.samples_per_round {
+                    config = config.with_samples_per_round(batch);
                 }
                 let stepper = match (self.aggregate, self.algorithm) {
                     (Aggregate::Avg, AlgorithmChoice::IFocus) => {
@@ -369,6 +395,9 @@ impl<'a> VizQuery<'a> {
                 if let Some(frac) = self.resolution_fraction {
                     config = config.with_resolution(frac);
                 }
+                if let Some(batch) = self.samples_per_round {
+                    config = config.with_samples_per_round(batch);
+                }
                 let stepper = IFocusSum2::new(count_config(&config)).start(&mut groups, rng);
                 (SessionEngine::Sized { stepper, groups }, population)
             }
@@ -381,17 +410,26 @@ impl<'a> VizQuery<'a> {
         ))
     }
 
-    /// Infers `c` from the measure column (observed max, padded 10%).
+    /// Infers `c` from the measure column's observed maximum (padded 10%),
+    /// served from [`NeedleTail`]'s per-column maxima cache (computed on
+    /// the column's first use, then O(1)) — planning never re-scans the
+    /// table per query.
+    ///
+    /// The inferred bound deliberately ignores any [`VizQuery::filter`]
+    /// predicate: the unfiltered column maximum upper-bounds the maximum of
+    /// every filtered subset, so the bound stays conservative and the
+    /// ordering guarantee safe (at worst a few extra samples on heavily
+    /// filtered queries).
     fn infer_bound(&self, measure: &str) -> Result<f64, EngineError> {
-        let table = self.engine.table();
-        let idx = table
-            .schema()
+        let schema = self.engine.table().schema();
+        schema
             .column_index(measure)
             .ok_or_else(|| EngineError::NoSuchColumn(measure.to_owned()))?;
-        let mut max = 0.0f64;
-        for row in 0..table.row_count() {
-            max = max.max(table.float_value(row, idx));
-        }
+        // `column_max` is None for string columns (rejected upstream when
+        // the group handles were built) and for empty tables, where the
+        // 0-row "maximum" degenerates to the 1.0 floor exactly as the old
+        // full scan did.
+        let max = self.engine.column_max(measure).unwrap_or(0.0).max(0.0);
         Ok((max * 1.1).max(1.0))
     }
 }
@@ -540,18 +578,39 @@ mod tests {
     fn builder_errors() {
         let engine = engine();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        assert!(VizQuery::new(&engine)
+        // Incomplete builders are invalid queries, not phantom columns.
+        let no_group = VizQuery::new(&engine)
             .avg("delay")
             .execute(&mut rng)
-            .is_err());
-        assert!(VizQuery::new(&engine)
+            .unwrap_err();
+        assert!(
+            matches!(&no_group, EngineError::InvalidQuery(msg) if msg.contains("group-by")),
+            "expected InvalidQuery about the group-by, got {no_group:?}"
+        );
+        let no_measure = VizQuery::new(&engine)
             .group_by("name")
             .execute(&mut rng)
-            .is_err());
-        assert!(VizQuery::new(&engine)
+            .unwrap_err();
+        assert!(
+            matches!(&no_measure, EngineError::InvalidQuery(msg) if msg.contains("measure")),
+            "expected InvalidQuery about the measure, got {no_measure:?}"
+        );
+        // A genuinely missing/unindexed column still reports a column
+        // error naming the real column, never a sentinel.
+        let bad_column = VizQuery::new(&engine)
             .group_by("nope")
             .avg("delay")
             .execute(&mut rng)
-            .is_err());
+            .unwrap_err();
+        assert!(
+            matches!(&bad_column, EngineError::NotIndexed(c) if c == "nope"),
+            "expected NotIndexed(\"nope\"), got {bad_column:?}"
+        );
+        let bad_measure = VizQuery::new(&engine)
+            .group_by("name")
+            .avg("nope")
+            .execute(&mut rng)
+            .unwrap_err();
+        assert_eq!(bad_measure, EngineError::NoSuchColumn("nope".into()));
     }
 }

@@ -1,0 +1,684 @@
+//! Multi-query scheduling over resumable sessions: the substrate for
+//! serving many concurrent dashboard queries from one sampling budget.
+//!
+//! [`MultiQueryScheduler`] admits any number of [`QuerySession`]s —
+//! heterogeneous in aggregate (AVG / SUM / COUNT) and ordering algorithm —
+//! and interleaves **one [`QuerySession::step`] per scheduling quantum**
+//! under a pluggable [`SchedulePolicy`]. Each step's [`RoundUpdate`] is
+//! streamed back tagged with its [`QueryId`], either poll-style
+//! ([`MultiQueryScheduler::poll`]) or through a callback
+//! ([`MultiQueryScheduler::run`]), so one render loop can progressively
+//! draw every chart of a dashboard fan-out.
+//!
+//! Two resources are managed across sessions:
+//!
+//! * a **global sample budget**
+//!   ([`MultiQueryScheduler::with_global_sample_budget`]) — the multi-query
+//!   analogue of a session's own `max_samples`, checked before every
+//!   quantum, so the whole workload stops within one round's worth of
+//!   draws of the cap;
+//! * **per-session memory accounting** — after every quantum the session's
+//!   [`QuerySession::approx_bytes`] is charged to its [`SessionStats`]
+//!   (current and peak), and an optional cap
+//!   ([`MultiQueryScheduler::with_session_memory_cap`]) evicts sessions
+//!   that outgrow it (their best-effort answer stays available).
+//!
+//! **Determinism invariant.** Every session owns its RNG and draws only
+//! when it is stepped, so the interleaving order cannot perturb any
+//! session's results: a session's final [`QueryAnswer`] is byte-identical
+//! to running it alone with the same seed, under every policy. The
+//! regression tests in `tests/scheduler.rs` hold all three policies to
+//! exactly that.
+//!
+//! # Worked example: a deadline-aware two-query dashboard
+//!
+//! ```
+//! use rapidviz::needletail::{read_csv, CsvOptions, NeedleTail};
+//! use rapidviz::scheduler::{MultiQueryScheduler, SchedulePolicy, SchedulerEvent};
+//! use rapidviz::VizQuery;
+//! use rand::SeedableRng;
+//! use std::time::{Duration, Instant};
+//!
+//! let mut csv = String::from("airline,delay\n");
+//! for i in 0..600 {
+//!     let (name, delay) = match i % 3 {
+//!         0 => ("AA", 40.0 + f64::from(i % 7)),
+//!         1 => ("JB", 10.0 + f64::from(i % 5)),
+//!         _ => ("UA", 80.0 + f64::from(i % 11)),
+//!     };
+//!     csv.push_str(&format!("{name},{delay}\n"));
+//! }
+//! let table = read_csv(&csv, &CsvOptions::default()).unwrap();
+//! let engine = NeedleTail::new(table, &["airline"]).unwrap();
+//!
+//! // An urgent interactive query with a deadline, and a patient
+//! // background refinement of the same chart.
+//! let urgent = VizQuery::new(&engine)
+//!     .group_by("airline")
+//!     .avg("delay")
+//!     .bound(100.0)
+//!     .resolution_pct(2.0)
+//!     .deadline(Instant::now() + Duration::from_secs(30))
+//!     .start(rand::rngs::StdRng::seed_from_u64(1))
+//!     .unwrap();
+//! let background = VizQuery::new(&engine)
+//!     .group_by("airline")
+//!     .avg("delay")
+//!     .bound(100.0)
+//!     .start(rand::rngs::StdRng::seed_from_u64(2))
+//!     .unwrap();
+//!
+//! let mut sched = MultiQueryScheduler::new(SchedulePolicy::DeadlineAware);
+//! let urgent_id = sched.admit(urgent);
+//! let _background_id = sched.admit(background);
+//!
+//! // Earliest deadline first: the urgent session gets every quantum until
+//! // it terminates — here it converges early thanks to its resolution —
+//! // and only then does the background session proceed.
+//! let mut first_done = None;
+//! sched.run(|event| {
+//!     if let SchedulerEvent::Round { id, update } = event {
+//!         if !update.outcome.is_running() && first_done.is_none() {
+//!             first_done = Some(*id);
+//!         }
+//!     }
+//! });
+//! assert_eq!(first_done, Some(urgent_id));
+//! for (_id, answer) in sched.finish_all() {
+//!     assert_eq!(answer.ranked_labels(), vec!["JB", "AA", "UA"]);
+//! }
+//! ```
+
+use crate::query::QueryAnswer;
+use crate::session::{QuerySession, RoundUpdate};
+use rapidviz_core::{Snapshot, StepOutcome};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Identifies one admitted session within a scheduler (assigned in
+/// admission order, unique for the scheduler's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Which session the scheduler picks each quantum.
+///
+/// All three policies are deterministic (ties break toward the earliest
+/// admission), and none can change any session's *results* — only its
+/// latency relative to its neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Weighted round-robin: each runnable session earns credit
+    /// proportional to its count of still-active (uncertified) groups and
+    /// the highest credit runs. Sessions with more unresolved bars get
+    /// proportionally more quanta — the multi-query echo of IFOCUS
+    /// spending its samples on the contentious groups.
+    #[default]
+    FairShare,
+    /// Earliest-deadline-first over each session's configured wall-clock
+    /// deadline ([`crate::VizQuery::deadline`] /
+    /// [`crate::VizQuery::timeout`]). Sessions without a deadline run only
+    /// when no deadline-bearing session is runnable.
+    DeadlineAware,
+    /// Prefer the session closest to certifying its next group: the one
+    /// whose best-positioned active interval needs the least further
+    /// shrinkage to separate from its neighbours. Drains sessions to
+    /// completion roughly shortest-remaining-work-first, maximizing the
+    /// rate of finished bars on the dashboard.
+    GreedyConvergence,
+}
+
+/// What one [`MultiQueryScheduler::poll`] call produced.
+#[derive(Debug)]
+pub enum SchedulerEvent {
+    /// A session advanced one round; `update` is its tagged
+    /// [`RoundUpdate`] (the same struct a standalone session yields).
+    Round {
+        /// The session that was stepped.
+        id: QueryId,
+        /// Its round update, including the full snapshot.
+        update: RoundUpdate,
+    },
+    /// A session's algorithm state outgrew the per-session memory cap and
+    /// the session was evicted: its over-cap state was released on the
+    /// spot (the session is finished immediately) and it will not be
+    /// scheduled again, but its best-effort answer remains available via
+    /// [`MultiQueryScheduler::finish`] / [`MultiQueryScheduler::finish_all`].
+    MemoryEvicted {
+        /// The evicted session.
+        id: QueryId,
+        /// Its resident-byte estimate at eviction time.
+        bytes: usize,
+    },
+    /// The global sample budget is spent (checked before every quantum, so
+    /// overshoot is bounded by one round's draws) while sessions that
+    /// still want quanta remain. Returned on **every** poll in that state
+    /// — including for sessions admitted after exhaustion — so a caller is
+    /// always told why its work is not running; remaining answers are
+    /// best-effort.
+    GlobalBudgetExhausted {
+        /// Lifetime samples drawn across all sessions (finished-out
+        /// sessions included) at the stop.
+        total_samples: u64,
+    },
+    /// Nothing runnable remains: every admitted session is terminal or
+    /// evicted, or the scheduler is empty.
+    Drained,
+}
+
+/// Why [`MultiQueryScheduler::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every session reached a terminal outcome (or was evicted).
+    Drained,
+    /// The global sample budget tripped first.
+    GlobalBudgetExhausted,
+}
+
+/// Per-session bookkeeping the scheduler maintains across quanta.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Scheduling quanta this session has received.
+    pub steps: u64,
+    /// Samples the session has drawn so far (bootstrap included).
+    pub total_samples: u64,
+    /// Resident-byte estimate of the session's algorithm state after its
+    /// last quantum ([`QuerySession::approx_bytes`]).
+    pub approx_bytes: usize,
+    /// High-water mark of `approx_bytes` over the session's lifetime
+    /// (`approx_bytes` itself drops to 0 at eviction — the state is
+    /// released, only the answer is retained).
+    pub peak_bytes: usize,
+    /// The session's current terminal status ([`StepOutcome::Running`]
+    /// while it still wants quanta).
+    pub outcome: StepOutcome,
+    /// Whether the per-session memory cap evicted it.
+    pub evicted: bool,
+}
+
+/// One admitted session plus its scheduling state.
+///
+/// Invariant: exactly one of `session` / `answer` is `Some` — the session
+/// until eviction releases its state, the parked answer afterwards.
+struct Slot {
+    id: QueryId,
+    session: Option<QuerySession>,
+    /// Best-effort answer parked at eviction time (the session's
+    /// algorithm state is dropped then, so an over-cap session stops
+    /// costing memory the moment it is evicted).
+    answer: Option<QueryAnswer>,
+    /// Effective deadline captured at admission (for EDF).
+    deadline: Option<Instant>,
+    /// Fair-share credit (smooth weighted round-robin).
+    credit: i64,
+    /// Active-group count after the last quantum (the fair-share weight).
+    active_count: usize,
+    /// Greedy-convergence score: how much interval overlap still blocks
+    /// the session's best-positioned active group (0 = certifies next).
+    /// Maintained only under [`SchedulePolicy::GreedyConvergence`].
+    proximity: f64,
+    stats: SessionStats,
+}
+
+impl Slot {
+    fn runnable(&self) -> bool {
+        self.session.as_ref().is_some_and(|s| !s.is_finished())
+    }
+
+    /// Fair-share weight: remaining active groups (floor 1, so a session
+    /// between certifications still progresses).
+    fn weight(&self) -> i64 {
+        self.active_count.max(1) as i64
+    }
+
+    /// Lifetime samples this slot has drawn (tracked stats once the
+    /// session itself is gone).
+    fn total_samples(&self) -> u64 {
+        match &self.session {
+            Some(session) => session.total_samples(),
+            None => self.stats.total_samples,
+        }
+    }
+
+    /// The slot's best current answer, consuming it.
+    fn into_answer(self) -> QueryAnswer {
+        match self.session {
+            Some(session) => session.finish(),
+            None => self.answer.expect("evicted slots park their answer"),
+        }
+    }
+}
+
+/// Interleaves N resumable [`QuerySession`]s, one round per quantum, under
+/// a [`SchedulePolicy`]; see the [module docs](self) for the full contract
+/// and a worked example.
+pub struct MultiQueryScheduler {
+    policy: SchedulePolicy,
+    slots: Vec<Slot>,
+    next_id: u64,
+    global_sample_budget: Option<u64>,
+    max_session_bytes: Option<usize>,
+    global_exhausted: bool,
+    /// Samples drawn by sessions already finished out — the global budget
+    /// charges the scheduler's whole lifetime, so removing a finished
+    /// session must not refund its draws.
+    retired_samples: u64,
+    /// Events produced as side effects of a quantum (evictions), delivered
+    /// before the next quantum runs.
+    pending: VecDeque<SchedulerEvent>,
+}
+
+impl std::fmt::Debug for MultiQueryScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiQueryScheduler")
+            .field("policy", &self.policy)
+            .field("sessions", &self.slots.len())
+            .field("global_sample_budget", &self.global_sample_budget)
+            .field("max_session_bytes", &self.max_session_bytes)
+            .field("global_exhausted", &self.global_exhausted)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiQueryScheduler {
+    /// Creates an empty scheduler with the given policy and no global
+    /// budget or memory cap.
+    #[must_use]
+    pub fn new(policy: SchedulePolicy) -> Self {
+        Self {
+            policy,
+            slots: Vec::new(),
+            next_id: 0,
+            global_sample_budget: None,
+            max_session_bytes: None,
+            global_exhausted: false,
+            retired_samples: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Caps the total samples drawn **across all sessions over the
+    /// scheduler's lifetime** (finishing a session out does not refund its
+    /// draws). Checked before every quantum, so the workload stops within
+    /// one round's draws of the cap; sessions already admitted keep their
+    /// best-effort answers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    #[must_use]
+    pub fn with_global_sample_budget(mut self, cap: u64) -> Self {
+        assert!(cap > 0, "global sample budget must be positive");
+        self.global_sample_budget = Some(cap);
+        self
+    }
+
+    /// Caps each session's resident algorithm-state bytes
+    /// ([`QuerySession::approx_bytes`], checked after every quantum).
+    /// Sessions exceeding the cap are evicted: their state is released on
+    /// the spot (only the small best-effort answer is parked), they are
+    /// never scheduled again, and the eviction is reported as
+    /// [`SchedulerEvent::MemoryEvicted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    #[must_use]
+    pub fn with_session_memory_cap(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "session memory cap must be positive");
+        self.max_session_bytes = Some(bytes);
+        self
+    }
+
+    /// The scheduling policy.
+    #[must_use]
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Admits a session and returns its tag. The session's effective
+    /// deadline (if configured on the builder) is captured here for the
+    /// [`SchedulePolicy::DeadlineAware`] ordering.
+    pub fn admit(&mut self, session: QuerySession) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let snapshot = session.snapshot();
+        let bytes = session.approx_bytes();
+        let stats = SessionStats {
+            steps: 0,
+            total_samples: session.total_samples(),
+            approx_bytes: bytes,
+            peak_bytes: bytes,
+            outcome: session.outcome(),
+            evicted: false,
+        };
+        self.slots.push(Slot {
+            id,
+            deadline: session.deadline(),
+            credit: 0,
+            active_count: snapshot.active_count(),
+            // Only the greedy policy reads the score; skip the O(k²)
+            // overlap sweep otherwise.
+            proximity: if self.policy == SchedulePolicy::GreedyConvergence {
+                convergence_proximity(&snapshot)
+            } else {
+                0.0
+            },
+            stats,
+            session: Some(session),
+            answer: None,
+        });
+        id
+    }
+
+    /// Number of sessions currently held (terminal ones included until
+    /// they are finished out).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the scheduler holds no sessions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The held sessions' ids, in admission order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<QueryId> {
+        self.slots.iter().map(|s| s.id).collect()
+    }
+
+    /// Per-session bookkeeping (quanta, samples, memory, outcome).
+    #[must_use]
+    pub fn stats(&self, id: QueryId) -> Option<&SessionStats> {
+        self.slots.iter().find(|s| s.id == id).map(|s| &s.stats)
+    }
+
+    /// Total samples drawn over the scheduler's lifetime: all held
+    /// sessions plus sessions already finished out. This is the figure the
+    /// global sample budget is checked against.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.retired_samples + self.slots.iter().map(Slot::total_samples).sum::<u64>()
+    }
+
+    /// Whether the global sample budget has tripped.
+    #[must_use]
+    pub fn global_budget_exhausted(&self) -> bool {
+        self.global_exhausted
+    }
+
+    /// Runs one scheduling quantum: pick a runnable session under the
+    /// policy, step it once, and return the tagged event. Pending
+    /// side-effect events (evictions) are delivered first. With the global
+    /// budget spent this keeps answering
+    /// [`SchedulerEvent::GlobalBudgetExhausted`] while runnable sessions
+    /// remain (even ones admitted after exhaustion — they will not run);
+    /// with nothing runnable it returns [`SchedulerEvent::Drained`] (and
+    /// keeps returning it — the scheduler stays pollable).
+    pub fn poll(&mut self) -> SchedulerEvent {
+        if let Some(event) = self.pending.pop_front() {
+            return event;
+        }
+        if let Some(cap) = self.global_sample_budget {
+            let total = self.total_samples();
+            if total >= cap {
+                self.global_exhausted = true;
+                return if self.slots.iter().any(Slot::runnable) {
+                    SchedulerEvent::GlobalBudgetExhausted {
+                        total_samples: total,
+                    }
+                } else {
+                    SchedulerEvent::Drained
+                };
+            }
+        }
+        let Some(chosen) = self.select() else {
+            return SchedulerEvent::Drained;
+        };
+        let slot = &mut self.slots[chosen];
+        let session = slot.session.as_mut().expect("selected slots are live");
+        let update = session.step();
+        slot.stats.steps += 1;
+        slot.stats.total_samples = session.total_samples();
+        slot.stats.outcome = update.outcome;
+        let bytes = session.approx_bytes();
+        let terminal = session.is_finished();
+        slot.stats.approx_bytes = bytes;
+        slot.stats.peak_bytes = slot.stats.peak_bytes.max(bytes);
+        slot.active_count = update.snapshot.active_count();
+        if self.policy == SchedulePolicy::GreedyConvergence {
+            // Only the greedy policy reads the score; skip the O(k²)
+            // overlap sweep under the other policies.
+            slot.proximity = convergence_proximity(&update.snapshot);
+        }
+        if let Some(cap) = self.max_session_bytes {
+            if bytes > cap && !terminal {
+                // Release the over-cap state immediately: finish the
+                // session now and park only its (small) answer, so an
+                // evicted session stops costing memory at once.
+                let finished = slot.session.take().expect("checked live above");
+                slot.answer = Some(finished.finish());
+                slot.stats.evicted = true;
+                slot.stats.approx_bytes = 0;
+                self.pending
+                    .push_back(SchedulerEvent::MemoryEvicted { id: slot.id, bytes });
+            }
+        }
+        SchedulerEvent::Round {
+            id: slot.id,
+            update,
+        }
+    }
+
+    /// Drives the scheduler to a stop, handing every
+    /// [`SchedulerEvent::Round`] / [`SchedulerEvent::MemoryEvicted`] to the
+    /// callback, and reports why it stopped. After
+    /// [`RunOutcome::Drained`], admit more sessions and call `run` again
+    /// to continue; after [`RunOutcome::GlobalBudgetExhausted`] the budget
+    /// is spent for the scheduler's lifetime and further `run` calls
+    /// return immediately without scheduling anything.
+    pub fn run(&mut self, mut on_event: impl FnMut(&SchedulerEvent)) -> RunOutcome {
+        loop {
+            let event = self.poll();
+            match &event {
+                SchedulerEvent::Round { .. } | SchedulerEvent::MemoryEvicted { .. } => {
+                    on_event(&event);
+                }
+                SchedulerEvent::GlobalBudgetExhausted { .. } => {
+                    return RunOutcome::GlobalBudgetExhausted;
+                }
+                SchedulerEvent::Drained => return RunOutcome::Drained,
+            }
+        }
+    }
+
+    /// Removes one session and returns its best current [`QueryAnswer`]
+    /// (final if it terminated, best-effort otherwise — exactly
+    /// [`QuerySession::finish`] semantics). Its draws stay charged to the
+    /// global sample budget.
+    pub fn finish(&mut self, id: QueryId) -> Option<QueryAnswer> {
+        let idx = self.slots.iter().position(|s| s.id == id)?;
+        let slot = self.slots.remove(idx);
+        self.retired_samples += slot.total_samples();
+        Some(slot.into_answer())
+    }
+
+    /// Consumes the scheduler, finishing every session in admission order.
+    #[must_use]
+    pub fn finish_all(self) -> Vec<(QueryId, QueryAnswer)> {
+        self.slots
+            .into_iter()
+            .map(|slot| (slot.id, slot.into_answer()))
+            .collect()
+    }
+
+    /// Picks the next session to step, or `None` when nothing is runnable.
+    fn select(&mut self) -> Option<usize> {
+        match self.policy {
+            SchedulePolicy::FairShare => self.select_fair_share(),
+            SchedulePolicy::DeadlineAware => self.select_deadline(),
+            SchedulePolicy::GreedyConvergence => self.select_greedy(),
+        }
+    }
+
+    /// Smooth weighted round-robin (the classic nginx scheme): every
+    /// runnable session earns `weight` credit per quantum, the highest
+    /// credit runs and pays back the total weight. Over any window with
+    /// stable weights each session receives quanta in exact proportion to
+    /// its active-group count; ties break toward earliest admission.
+    fn select_fair_share(&mut self) -> Option<usize> {
+        let total: i64 = self
+            .slots
+            .iter()
+            .filter(|s| s.runnable())
+            .map(Slot::weight)
+            .sum();
+        if total == 0 {
+            return None;
+        }
+        let mut best: Option<usize> = None;
+        for idx in 0..self.slots.len() {
+            if !self.slots[idx].runnable() {
+                continue;
+            }
+            self.slots[idx].credit += self.slots[idx].weight();
+            match best {
+                None => best = Some(idx),
+                Some(b) if self.slots[idx].credit > self.slots[b].credit => best = Some(idx),
+                Some(_) => {}
+            }
+        }
+        let chosen = best?;
+        self.slots[chosen].credit -= total;
+        Some(chosen)
+    }
+
+    /// Earliest deadline first; deadline-less sessions run only when no
+    /// deadline-bearing session is runnable. Ties break toward earliest
+    /// admission (`Vec` order).
+    fn select_deadline(&mut self) -> Option<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.runnable())
+            .min_by_key(|(_, s)| (s.deadline.is_none(), s.deadline))
+            .map(|(idx, _)| idx)
+    }
+
+    /// Smallest convergence-proximity score first (then fewest active
+    /// groups, then admission order).
+    fn select_greedy(&mut self) -> Option<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.runnable())
+            .min_by(|(_, a), (_, b)| {
+                a.proximity
+                    .total_cmp(&b.proximity)
+                    .then(a.active_count.cmp(&b.active_count))
+            })
+            .map(|(idx, _)| idx)
+    }
+}
+
+/// How far the snapshot's best-positioned active group is from certifying:
+/// the smallest, over active groups, of the largest interval overlap that
+/// still ties the group to another active group (0 when at most one group
+/// remains active — the next certification is immediate). Smaller means
+/// closer to freezing the next bar; [`SchedulePolicy::GreedyConvergence`]
+/// schedules ascending by this score.
+fn convergence_proximity(snapshot: &Snapshot) -> f64 {
+    let k = snapshot.active.len();
+    let mut active_seen = 0usize;
+    let mut best = f64::INFINITY;
+    for i in 0..k {
+        if !snapshot.active[i] {
+            continue;
+        }
+        active_seen += 1;
+        let a = snapshot.intervals[i];
+        let mut blocking = 0.0f64;
+        for j in 0..k {
+            if j == i || !snapshot.active[j] {
+                continue;
+            }
+            let b = snapshot.intervals[j];
+            let overlap = (a.hi.min(b.hi) - a.lo.max(b.lo)).max(0.0);
+            blocking = blocking.max(overlap);
+        }
+        best = best.min(blocking);
+    }
+    if active_seen <= 1 {
+        return 0.0;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidviz_stats::Interval;
+
+    fn snapshot(intervals: Vec<Interval>, active: Vec<bool>) -> Snapshot {
+        let k = intervals.len();
+        Snapshot {
+            labels: (0..k).map(|i| format!("g{i}")).collect(),
+            estimates: intervals.iter().map(Interval::center).collect(),
+            intervals,
+            active,
+            samples_per_group: vec![1; k],
+            rounds: 1,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn proximity_zero_when_at_most_one_active() {
+        let snap = snapshot(
+            vec![Interval::new(0.0, 10.0), Interval::new(5.0, 15.0)],
+            vec![true, false],
+        );
+        assert_eq!(convergence_proximity(&snap), 0.0);
+    }
+
+    #[test]
+    fn proximity_is_min_over_groups_of_max_blocking_overlap() {
+        // g0 overlaps g1 by 2; g2 overlaps g1 by 5: g0 is closest to
+        // separating, with 2 units of overlap left.
+        let snap = snapshot(
+            vec![
+                Interval::new(0.0, 10.0),
+                Interval::new(8.0, 20.0),
+                Interval::new(15.0, 30.0),
+            ],
+            vec![true, true, true],
+        );
+        assert!((convergence_proximity(&snap) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proximity_zero_for_already_disjoint_group() {
+        let snap = snapshot(
+            vec![
+                Interval::new(0.0, 1.0),
+                Interval::new(5.0, 8.0),
+                Interval::new(7.0, 9.0),
+            ],
+            vec![true, true, true],
+        );
+        assert_eq!(convergence_proximity(&snap), 0.0);
+    }
+
+    #[test]
+    fn query_id_displays_compactly() {
+        assert_eq!(QueryId(3).to_string(), "q3");
+    }
+}

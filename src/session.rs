@@ -137,6 +137,19 @@ impl SessionEngine {
         }
     }
 
+    fn approx_bytes(&self) -> usize {
+        match self {
+            SessionEngine::Mean { stepper, .. } => match stepper {
+                MeanStepper::IFocus(s) => s.approx_bytes(),
+                MeanStepper::IRefine(s) => s.approx_bytes(),
+                MeanStepper::RoundRobin(s) => s.approx_bytes(),
+                MeanStepper::Scan(s) => s.approx_bytes(),
+                MeanStepper::Sum1(s) => s.approx_bytes(),
+            },
+            SessionEngine::Sized { stepper, .. } => stepper.approx_bytes(),
+        }
+    }
+
     fn finish(self) -> RunResult {
         match self {
             SessionEngine::Mean { stepper, .. } => match stepper {
@@ -161,7 +174,10 @@ pub struct RoundUpdate {
     pub round: u64,
     /// Total samples drawn so far, across all groups.
     pub total_samples: u64,
-    /// `total_samples / population` — monotone over a session's updates.
+    /// `total_samples / population`, clamped to at most 1.0 — monotone
+    /// over a session's updates. With-replacement sampling on small groups
+    /// can draw more samples than there are rows; the clamp keeps the
+    /// value an honest "fraction of the data touched" for progress bars.
     pub fraction_sampled: f64,
     /// Groups whose ordering position certified **during this step**
     /// (indices in input order). Their estimates are frozen from here on.
@@ -272,6 +288,14 @@ impl SessionCore {
         self.population
     }
 
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.engine.approx_bytes() + self.prev_active.capacity() * std::mem::size_of::<bool>()
+    }
+
     pub(crate) fn outcome(&self) -> StepOutcome {
         self.terminal.unwrap_or(StepOutcome::Running)
     }
@@ -296,7 +320,9 @@ fn fraction(samples: u64, population: u64) -> f64 {
     if population == 0 {
         0.0
     } else {
-        samples as f64 / population as f64
+        // With-replacement draws can exceed the population on small
+        // groups; clamp so the reported fraction stays in [0, 1].
+        (samples as f64 / population as f64).min(1.0)
     }
 }
 
@@ -319,7 +345,9 @@ fn fraction(samples: u64, population: u64) -> f64 {
 /// [`crate::VizQuery::timeout`] / [`crate::VizQuery::deadline`]) are
 /// checked before every round; once one trips, `step` reports
 /// [`StepOutcome::BudgetExhausted`] and the session stops advancing, with
-/// `fraction_sampled` frozen below 1.
+/// `fraction_sampled` frozen at its last value (clamped to at most 1 —
+/// with-replacement sampling on a small population can draw more samples
+/// than there are rows).
 pub struct QuerySession {
     core: SessionCore,
     rng: Box<dyn RngCore>,
@@ -370,10 +398,32 @@ impl QuerySession {
         self.core.population()
     }
 
-    /// Fraction of eligible rows sampled so far (monotone over the run).
+    /// Fraction of eligible rows sampled so far (monotone over the run,
+    /// clamped to at most 1.0).
     #[must_use]
     pub fn fraction_sampled(&self) -> f64 {
         fraction(self.total_samples(), self.population())
+    }
+
+    /// The effective wall-clock deadline configured on the builder
+    /// ([`crate::VizQuery::deadline`] combined with
+    /// [`crate::VizQuery::timeout`], whichever ends first), if any — what a
+    /// deadline-aware multi-query scheduler prioritizes by.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.core.deadline()
+    }
+
+    /// Approximate resident bytes of the session's algorithm state
+    /// (estimators, activity flags, scratch arenas) — the figure a
+    /// multi-query scheduler charges to this session's memory account.
+    /// The storage layer's per-group samplers (bitmap copies, permutation
+    /// maps) are deliberately not counted: accounting covers the algorithm
+    /// layer, whose footprint is what snapshots and round bookkeeping
+    /// actually grow.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.core.approx_bytes()
     }
 
     /// The session's current terminal status: [`StepOutcome::Running`]

@@ -418,6 +418,118 @@ fn unsupported_combinations_error_cleanly() {
 }
 
 #[test]
+fn post_terminal_steps_repeat_outcome_without_advancing() {
+    // After natural convergence, step() keeps answering: the terminal
+    // outcome repeats, the snapshot is frozen, and newly_certified is
+    // empty on every repeated call.
+    let engine = engine();
+    let mut session = VizQuery::new(&engine)
+        .group_by("name")
+        .avg("delay")
+        .bound(100.0)
+        .start(StdRng::seed_from_u64(21))
+        .unwrap();
+    let terminal = loop {
+        let update = session.step();
+        if !update.outcome.is_running() {
+            break update;
+        }
+    };
+    assert_eq!(terminal.outcome, StepOutcome::Converged);
+    let frozen = session.snapshot();
+    for _ in 0..3 {
+        let again = session.step();
+        assert_eq!(again.outcome, StepOutcome::Converged, "outcome repeats");
+        assert!(
+            again.newly_certified.is_empty(),
+            "nothing re-certifies after termination"
+        );
+        assert_eq!(again.round, terminal.round);
+        assert_eq!(again.total_samples, terminal.total_samples);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(
+            bits(&again.snapshot.estimates),
+            bits(&frozen.estimates),
+            "snapshot estimates must not move"
+        );
+        assert_eq!(again.snapshot.samples_per_group, frozen.samples_per_group);
+        assert_eq!(again.snapshot.active, frozen.active);
+        assert_eq!(again.snapshot.rounds, frozen.rounds);
+    }
+}
+
+#[test]
+fn post_terminal_steps_after_budget_exhaustion_are_frozen_too() {
+    let engine = near_tie_engine();
+    let mut session = VizQuery::new(&engine)
+        .group_by("name")
+        .avg("delay")
+        .bound(100.0)
+        .max_samples(400)
+        .start(StdRng::seed_from_u64(22))
+        .unwrap();
+    let terminal = loop {
+        let update = session.step();
+        if !update.outcome.is_running() {
+            break update;
+        }
+    };
+    assert_eq!(terminal.outcome, StepOutcome::BudgetExhausted);
+    // The terminal update itself may certify groups (the transition just
+    // happened); every repeat after it must not.
+    for _ in 0..3 {
+        let again = session.step();
+        assert_eq!(again.outcome, StepOutcome::BudgetExhausted);
+        assert!(again.newly_certified.is_empty());
+        assert_eq!(again.total_samples, terminal.total_samples);
+        assert_eq!(again.round, terminal.round);
+        assert!(again.snapshot.truncated);
+    }
+}
+
+#[test]
+fn tiny_population_fraction_is_clamped_to_one() {
+    // COUNT draws with replacement: on a 30-row table a 200-sample budget
+    // draws far more samples than there are rows, which used to push
+    // fraction_sampled past 1.0. It must clamp (and stay monotone).
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("name", DataType::Str),
+        ColumnDef::new("delay", DataType::Float),
+    ]));
+    for i in 0..30 {
+        let name = if i % 2 == 0 { "even" } else { "odd" };
+        b.push_row(vec![name.into(), Value::Float(f64::from(i))]);
+    }
+    let engine = NeedleTail::new(b.finish(), &["name"]).unwrap();
+    let mut session = VizQuery::new(&engine)
+        .group_by("name")
+        .count("delay")
+        .max_samples(200)
+        .start(StdRng::seed_from_u64(23))
+        .unwrap();
+    let mut prev = -1.0f64;
+    let outcome = loop {
+        let update = session.step();
+        assert!(
+            update.fraction_sampled <= 1.0,
+            "fraction {} exceeds 1.0",
+            update.fraction_sampled
+        );
+        assert!(update.fraction_sampled >= prev, "fraction regressed");
+        prev = update.fraction_sampled;
+        if !update.outcome.is_running() {
+            break update.outcome;
+        }
+    };
+    assert_eq!(outcome, StepOutcome::BudgetExhausted);
+    // More samples than rows were drawn, and every reading is clamped.
+    assert!(session.total_samples() > session.population());
+    assert_eq!(session.fraction_sampled(), 1.0);
+    let answer = session.finish();
+    assert_eq!(answer.fraction_sampled(), 1.0, "answer-side clamp too");
+}
+
+#[test]
 fn session_iterator_terminates_after_terminal_update() {
     let engine = engine();
     let mut session = VizQuery::new(&engine)
