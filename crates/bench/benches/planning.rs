@@ -1,0 +1,295 @@
+//! Query-planning benchmark: cold vs warm plans over the engine's
+//! zero-copy plan cache, on a 1M-row table.
+//!
+//! **Cold** planning evaluates the predicate against the indexes and
+//! intersects it with every group bitmap (fused word-AND or the selective
+//! position view, by the engine's cutover). **Warm** planning — a repeat
+//! of the same `(group-by, canonical predicate)` — is a cache hit: no
+//! evaluation, no intersection, no table-sized allocation; just fresh
+//! sampler state over shared row sets. The PR's acceptance floor — warm
+//! planning **≥ 5× faster** than cold on 1M rows — is asserted directly in
+//! every measured mode, for both cutover regimes.
+//!
+//! A third pair runs the motivating workload end to end: a four-tile
+//! dashboard fan-out through [`rapidviz::MultiQueryScheduler`], every tile
+//! sharing one `WHERE` clause, from cold caches vs warm — planning
+//! amortization seen from the front door.
+//!
+//! Run with `cargo bench --bench planning`. Beyond the console lines, the
+//! run writes `BENCH_planning.json` into the workspace root (override with
+//! `BENCH_PLANNING_OUT`). Two reduced modes, sharing the perf-gate
+//! harness ([`rapidviz_bench::perfgate`]):
+//!
+//! * `--quick` / `--test` — single-iteration smoke pass, no JSON write.
+//! * `--gate` — the CI perf-regression gate: a shortened measured pass
+//!   whose fresh **warm-over-cold ratios** are compared against the
+//!   committed `BENCH_planning.json` (override with
+//!   `BENCH_PLANNING_BASELINE`) at [`GATE_TOLERANCE`]×. Both sides of each
+//!   ratio come from the same host and run, so machine speed cancels; a
+//!   cache regression (accidental re-evaluation, table-sized copies on the
+//!   hit path) collapses the ratio on any hardware. Fresh numbers go to
+//!   `BENCH_planning.fresh.json`; a missing baseline fails loudly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapidviz::needletail::{
+    ColumnDef, DataType, NeedleTail, Predicate, Schema, TableBuilder, Value,
+};
+use rapidviz::{MultiQueryScheduler, SchedulePolicy, VizQuery};
+use rapidviz_bench::perfgate::{gate_against_baseline, measure, GateConfig, Measurement, Mode};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// How far a gate-mode warm-over-cold ratio may fall below the committed
+/// baseline's before the gate fails. The true ratio is large (a hash
+/// lookup vs millions of bitmap words), so generous headroom still
+/// catches the failure mode that matters: the warm path quietly repeating
+/// cold work, which collapses the ratio toward 1.
+const GATE_TOLERANCE: f64 = 5.0;
+
+/// The PR's acceptance floor, asserted in every measured mode.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+
+/// The (cold, warm) measurement pairs whose ratios the gate enforces.
+const GATE_PAIRS: &[(&str, &str)] = &[
+    ("planning/cold_dense_filter", "planning/warm_dense_filter"),
+    (
+        "planning/cold_selective_filter",
+        "planning/warm_selective_filter",
+    ),
+];
+
+/// All (baseline, improved) pairs reported in the JSON `ratios` block —
+/// the gate pairs plus the end-to-end dashboard fan-out.
+const REPORT_PAIRS: &[(&str, &str)] = &[
+    ("planning/cold_dense_filter", "planning/warm_dense_filter"),
+    (
+        "planning/cold_selective_filter",
+        "planning/warm_selective_filter",
+    ),
+    ("planning/fanout_cold", "planning/fanout_warm"),
+];
+
+const ROWS: u32 = 1_000_000;
+const GROUPS: u32 = 8;
+
+/// 1M rows, 8 near-tied groups, a 10-valued indexed `year` to filter on.
+fn bench_engine() -> NeedleTail {
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("name", DataType::Str),
+        ColumnDef::new("year", DataType::Int),
+        ColumnDef::new("delay", DataType::Float),
+    ]));
+    let mut rng = StdRng::seed_from_u64(11);
+    for i in 0..ROWS {
+        // Group and filter year are drawn independently so no filter can
+        // accidentally empty a group through modular correlation.
+        let g = rng.gen_range(0..GROUPS);
+        let year = rng.gen_range(0..10i64);
+        let mu = 50.0 + 0.1 * (f64::from(g) - 3.5);
+        let delay = if rng.gen_bool(mu / 100.0) {
+            100.0
+        } else {
+            f64::from(i % 7)
+        };
+        b.push_row(vec![
+            format!("g{g}").into(),
+            Value::Int(2000 + year),
+            Value::Float(delay),
+        ]);
+    }
+    NeedleTail::new(b.finish(), &["name", "year", "delay"]).unwrap()
+}
+
+/// Filter above the selectivity cutover (~9% of rows qualify): every
+/// group intersection materializes through the fused word-AND.
+fn dense_filter() -> Predicate {
+    Predicate::eq("year", Value::Int(2005)).and(Predicate::ge("delay", 1.0))
+}
+
+/// Filter below the cutover (~0.7% of rows): every group intersection is
+/// stored as a sorted-position view instead of a table-length bitmap.
+fn selective_filter() -> Predicate {
+    Predicate::eq("year", Value::Int(2005)).and(Predicate::eq("delay", Value::Float(2.0)))
+}
+
+/// One planning operation: build the full group-handle set.
+fn plan_once(engine: &NeedleTail, filter: &Predicate) -> usize {
+    let handles = engine.group_handles("name", "delay", filter).unwrap();
+    assert_eq!(handles.len(), GROUPS as usize);
+    handles.len()
+}
+
+const TILES: u64 = 4;
+const MAX_SAMPLES_PER_TILE: u64 = 1_024;
+
+/// A four-tile dashboard fan-out sharing one WHERE clause: admit four
+/// budget-capped sessions and drain the scheduler.
+fn run_fanout(engine: &NeedleTail) -> u64 {
+    let filter = dense_filter();
+    let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+    for seed in 0..TILES {
+        sched.admit(
+            VizQuery::new(engine)
+                .group_by("name")
+                .avg("delay")
+                .bound(100.0)
+                .samples_per_round(4)
+                .max_samples(MAX_SAMPLES_PER_TILE)
+                .filter(filter.clone())
+                .start(StdRng::seed_from_u64(300 + seed))
+                .unwrap(),
+        );
+    }
+    let mut rounds = 0;
+    sched.run(|_| rounds += 1);
+    for (_, answer) in sched.finish_all() {
+        black_box(answer);
+    }
+    rounds
+}
+
+fn main() {
+    let mode = Mode::from_args();
+    println!("building the 1M-row engine...");
+    let engine = bench_engine();
+
+    let mut results = Vec::new();
+    for (cold_name, warm_name, filter) in [
+        (
+            "planning/cold_dense_filter",
+            "planning/warm_dense_filter",
+            dense_filter(),
+        ),
+        (
+            "planning/cold_selective_filter",
+            "planning/warm_selective_filter",
+            selective_filter(),
+        ),
+    ] {
+        // Cold: every plan starts from empty caches (the clear itself is
+        // a few map drops — noise against the bitmap work it forces).
+        results.push(measure(cold_name, 1, mode, "plans/s", || {
+            engine.clear_plan_caches();
+            black_box(plan_once(&engine, &filter));
+        }));
+        // Warm: identical query, caches primed — the repeat-query path.
+        engine.clear_plan_caches();
+        plan_once(&engine, &filter);
+        results.push(measure(warm_name, 1, mode, "plans/s", || {
+            black_box(plan_once(&engine, &filter));
+        }));
+    }
+
+    // The dashboard fan-out, end to end (planning + sampling + scheduling).
+    let fanout_rounds = {
+        engine.clear_plan_caches();
+        run_fanout(&engine)
+    };
+    results.push(measure(
+        "planning/fanout_cold",
+        fanout_rounds,
+        mode,
+        "rounds/s",
+        || {
+            engine.clear_plan_caches();
+            black_box(run_fanout(&engine));
+        },
+    ));
+    results.push(measure(
+        "planning/fanout_warm",
+        fanout_rounds,
+        mode,
+        "rounds/s",
+        || {
+            black_box(run_fanout(&engine));
+        },
+    ));
+
+    if mode != Mode::Quick {
+        // The PR's acceptance criterion, enforced wherever we measured.
+        for &(cold, warm) in GATE_PAIRS {
+            let get = |n: &str| {
+                results
+                    .iter()
+                    .find(|m| m.name == n)
+                    .map(|m| m.per_sec)
+                    .unwrap_or(0.0)
+            };
+            let (c, w) = (get(cold), get(warm));
+            assert!(
+                w >= MIN_WARM_SPEEDUP * c,
+                "warm planning must be >= {MIN_WARM_SPEEDUP}x cold: {warm} {w:.0}/s vs {cold} {c:.0}/s"
+            );
+            println!("{warm} is {:.0}x {cold}", w / c);
+        }
+    }
+
+    report(&results, mode);
+    if mode == Mode::Gate {
+        let baseline_path = std::env::var("BENCH_PLANNING_BASELINE").unwrap_or_else(|_| {
+            format!("{}/../../BENCH_planning.json", env!("CARGO_MANIFEST_DIR"))
+        });
+        let config = GateConfig {
+            baseline_path,
+            pairs: GATE_PAIRS,
+            tolerance: GATE_TOLERANCE,
+        };
+        let regressions = gate_against_baseline(&results, &config);
+        if regressions > 0 {
+            eprintln!("planning perf gate: {regressions} regression(s)");
+            std::process::exit(1);
+        }
+        println!("planning perf gate: ok");
+    }
+}
+
+fn report(results: &[Measurement], mode: Mode) {
+    if mode == Mode::Quick {
+        println!("quick mode: skipping BENCH_planning.json write");
+        return;
+    }
+    let cpus = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let mut json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"query planning: cold vs warm plan cache on 1M rows\",\n",
+            "  \"unit\": \"plans per second (fanout cases: scheduler rounds per second)\",\n",
+            "  \"note\": \"cold = caches cleared before every plan (predicate evaluation + \
+             per-group intersection); warm = repeat query served by the plan cache. \
+             dense_filter materializes fused word-ANDs, selective_filter takes the \
+             sorted-position intersection view. fanout = four budget-capped dashboard \
+             tiles sharing one WHERE through the FairShare scheduler. Measured on a \
+             {cpus}-cpu host.\",\n",
+            "  \"results\": {{\n",
+        ),
+        cpus = cpus
+    );
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{}\": {:.1}{comma}", m.name, m.per_sec);
+    }
+    json.push_str("  },\n  \"ratios\": {\n");
+    for (i, &(cold, warm)) in REPORT_PAIRS.iter().enumerate() {
+        let get = |n: &str| results.iter().find(|m| m.name == n).map(|m| m.per_sec);
+        let ratio = match (get(cold), get(warm)) {
+            (Some(b), Some(n)) if b > 0.0 => n / b,
+            _ => 0.0,
+        };
+        let comma = if i + 1 == REPORT_PAIRS.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{warm}\": {ratio:.3}{comma}");
+    }
+    json.push_str("  }\n}\n");
+    let default_out = match mode {
+        Mode::Gate => format!(
+            "{}/../../BENCH_planning.fresh.json",
+            env!("CARGO_MANIFEST_DIR")
+        ),
+        _ => format!("{}/../../BENCH_planning.json", env!("CARGO_MANIFEST_DIR")),
+    };
+    let out_path = std::env::var("BENCH_PLANNING_OUT").unwrap_or(default_out);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => eprintln!("\nfailed to write {out_path}: {e}"),
+    }
+}

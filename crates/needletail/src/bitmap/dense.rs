@@ -311,6 +311,26 @@ impl DenseBitmap {
         Self::from_words(words, self.len)
     }
 
+    /// Appends the set-bit positions of `self AND other`, ascending,
+    /// without materializing the intersection bitmap (or its rank
+    /// directory): each word pair is ANDed in a register and its surviving
+    /// bits decoded directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn intersect_positions(&self, other: &DenseBitmap, out: &mut Vec<u64>) {
+        assert_eq!(self.len, other.len, "bitmap lengths must match");
+        for (wi, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let word = a & b;
+            if word == 0 {
+                continue;
+            }
+            let base = (wi as u64) * 64;
+            out.extend((BitIter { word }).map(|bit| base + u64::from(bit)));
+        }
+    }
+
     /// Bitwise OR with an equal-length bitmap.
     ///
     /// # Panics

@@ -135,6 +135,31 @@ impl Bitmap {
         }
     }
 
+    /// Appends the set-bit positions of `self AND other`, ascending,
+    /// without materializing the intersection bitmap or its rank
+    /// directory. Dense pairs AND word pairs in registers and decode the
+    /// survivors; mixed/RLE pairs gallop over the sparser operand's set
+    /// bits and membership-test the other — the cost scales with
+    /// `min(|self|, |other|)`, not the table length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn intersect_positions(&self, other: &Bitmap, out: &mut Vec<u64>) {
+        assert_eq!(self.len(), other.len(), "bitmap lengths must match");
+        match (self, other) {
+            (Bitmap::Dense(a), Bitmap::Dense(b)) => a.intersect_positions(b, out),
+            _ => {
+                let (sparse, tested) = if self.count_ones() <= other.count_ones() {
+                    (self, other)
+                } else {
+                    (other, self)
+                };
+                out.extend(sparse.iter_ones().filter(|&p| tested.get(p)));
+            }
+        }
+    }
+
     /// Bitwise OR.
     ///
     /// # Panics
@@ -388,6 +413,33 @@ mod proptests {
                     rep.select_many(&ks, &mut out);
                     let expect: Vec<u64> = ks.iter().map(|&k| rep.select(k).unwrap()).collect();
                     prop_assert_eq!(&out, &expect);
+                }
+            }
+        }
+
+        #[test]
+        fn intersection_agrees_with_materialized_and(
+            (a_pos, len) in arb_positions(2000),
+            seed in 0u64..1000,
+        ) {
+            // Derive a second position set deterministically from the seed.
+            let b_pos: Vec<u64> = a_pos
+                .iter()
+                .map(|p| (p + seed) % len)
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let a_d = Bitmap::from_sorted_positions(&a_pos, len);
+            let b_d = Bitmap::from_sorted_positions(&b_pos, len);
+            // Every representation pairing must agree with the
+            // materialized AND on the intersection positions.
+            for a in [a_d.clone(), Bitmap::Rle(a_d.to_rle())] {
+                for b in [b_d.clone(), Bitmap::Rle(b_d.to_rle())] {
+                    let and = a.and(&b);
+                    let mut out = Vec::new();
+                    a.intersect_positions(&b, &mut out);
+                    prop_assert_eq!(out.len() as u64, and.count_ones());
+                    prop_assert_eq!(out, and.iter_ones().collect::<Vec<_>>());
                 }
             }
         }

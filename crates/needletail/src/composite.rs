@@ -11,6 +11,7 @@ use crate::bitmap::{Bitmap, DenseBitmap};
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Totally ordered composite key (string form is sufficient because the
 /// engine only builds composites over group-by attributes, which are
@@ -18,12 +19,14 @@ use std::collections::BTreeMap;
 /// one column's entries of equal type).
 type Key = Vec<String>;
 
-/// A bitmap index over a tuple of columns.
+/// A bitmap index over a tuple of columns. Per-cell bitmaps are held
+/// behind [`Arc`] so plan-cache entries and samplers share them zero-copy
+/// (see [`crate::index::BitmapIndex`]).
 #[derive(Debug, Clone)]
 pub struct CompositeIndex {
     columns: Vec<String>,
     len: u64,
-    entries: BTreeMap<Key, (Vec<Value>, Bitmap)>,
+    entries: BTreeMap<Key, (Vec<Value>, Arc<Bitmap>)>,
 }
 
 impl CompositeIndex {
@@ -59,7 +62,7 @@ impl CompositeIndex {
             .into_iter()
             .map(|(key, (values, rows))| {
                 let bm = Bitmap::Dense(DenseBitmap::from_sorted_positions(&rows, len)).optimize();
-                (key, (values, bm))
+                (key, (values, Arc::new(bm)))
             })
             .collect();
         Self {
@@ -101,6 +104,17 @@ impl CompositeIndex {
     /// Panics if the tuple arity differs from the index's.
     #[must_use]
     pub fn bitmap_for(&self, values: &[Value]) -> Option<&Bitmap> {
+        self.shared_bitmap_for(values).map(Arc::as_ref)
+    }
+
+    /// The shared handle to a cell's bitmap — the zero-copy path samplers
+    /// and plan-cache entries use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple arity differs from the index's.
+    #[must_use]
+    pub fn shared_bitmap_for(&self, values: &[Value]) -> Option<&Arc<Bitmap>> {
         assert_eq!(values.len(), self.columns.len(), "tuple arity mismatch");
         let key: Key = values.iter().map(ToString::to_string).collect();
         self.entries.get(&key).map(|(_, bm)| bm)

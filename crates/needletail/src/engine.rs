@@ -9,10 +9,12 @@
 //! additional sample of Y at random from any group S_i".
 
 use crate::bitmap::Bitmap;
+use crate::cache::LruCache;
+use crate::composite::CompositeIndex;
 use crate::index::BitmapIndex;
 use crate::metrics::Metrics;
 use crate::predicate::Predicate;
-use crate::sampler::{BitmapSampler, SizeEstimatingSampler};
+use crate::sampler::{BitmapSampler, RowSet, SizeEstimatingSampler};
 use crate::scan::{scan_group_aggregates, GroupAggregate};
 use crate::schema::DataType;
 use crate::table::Table;
@@ -20,7 +22,7 @@ use crate::value::Value;
 use rand::Rng;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Errors surfaced by engine operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +57,64 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// Entries kept in the predicate-bitmap LRU. Dashboards reuse a handful
+/// of filters; 64 canonical predicates is far past any realistic fan-out
+/// while bounding worst-case growth to ~64 table-length bitmaps.
+const PREDICATE_CACHE_CAPACITY: usize = 64;
+
+/// Entries kept in the plan LRU (one per distinct `(group-by, predicate)`
+/// pair). Plans mostly *share* bitmaps with the indexes and the predicate
+/// cache, so entries are cheap; selective-intersection views are the only
+/// storage a plan owns outright.
+const PLAN_CACHE_CAPACITY: usize = 64;
+
+/// Distinct multi-attribute group-by column sets whose composite indexes
+/// are retained.
+const COMPOSITE_CACHE_CAPACITY: usize = 8;
+
+/// Selectivity cutover for filtered group plans: when the smaller operand
+/// of `group ∧ predicate` has at most `table_rows / 64` ones, the plan
+/// stores the intersection as a sorted-position **view**
+/// ([`RowSet::Positions`], built by galloping the smaller operand and
+/// membership-testing the larger) instead of materializing a table-length
+/// bitmap. At 64 bits of universe per eligible row the view's `u64`
+/// positions can never occupy more memory than the dense bitmap it
+/// replaces, its construction touches `O(min(|group|, |predicate|))` rows
+/// rather than `O(table)` words, and `select(k)` becomes a direct index —
+/// below the cutover the view wins on every axis, above it the fused
+/// word-AND materialization does.
+const VIEW_CUTOVER_DENSITY: u64 = 64;
+
+/// Cache key for one planned group-by: the group columns plus the
+/// predicate's canonical form ([`Predicate::canonical_key`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    /// Single-attribute index path vs composite-cell path. The two label
+    /// groups differently (composite cells join values with `|`) even over
+    /// one column, so they must not share entries.
+    multi: bool,
+    group_cols: Vec<String>,
+    predicate: String,
+}
+
+/// A ready-to-serve plan: per-group labels and eligible-row sets, in index
+/// order, with predicate-emptied groups already dropped. Cheap to clone
+/// out of the cache — every [`RowSet`] is shared storage.
+#[derive(Debug)]
+struct CachedPlan {
+    groups: Vec<(Value, RowSet)>,
+}
+
+/// Locks a cache mutex, recovering from poisoning: the caches hold only
+/// rebuildable derived data, so a peer that panicked mid-insert cannot
+/// leave them logically corrupt — at worst an entry is missing and gets
+/// rebuilt.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// The sampling engine: a table plus its bitmap indexes.
 ///
 /// ```
@@ -75,6 +135,41 @@ impl std::error::Error for EngineError {}
 /// let x = handles[0].sample_with_replacement(&mut rng).unwrap();
 /// assert!(x == 30.0 || x == 50.0);
 /// ```
+///
+/// # Planning caches
+///
+/// The engine's table is immutable for its lifetime, so every planning
+/// artifact is cacheable forever with **no invalidation story beyond the
+/// engine's own drop** — the same contract as the per-column maxima behind
+/// [`NeedleTail::column_max`]. Three interior caches (all behind their own
+/// locks; the engine stays shareable by `&`) make repeat-query planning
+/// near-O(1):
+///
+/// * **Predicate bitmaps**, keyed by [`Predicate::canonical_key`] — the
+///   canonical form flattens and sorts `AND`/`OR` chains, so every
+///   spelling of a dashboard's shared filter hits one entry. A bare
+///   indexed equality bypasses the cache entirely (the index entry *is*
+///   the answer, shared zero-copy).
+/// * **Group plans**, keyed by `(group columns, canonical predicate)` —
+///   the labels and per-group eligible-row sets
+///   ([`NeedleTail::group_handles`] / [`NeedleTail::group_handles_multi`]).
+///   A warm hit hands back shared [`RowSet`]s: no predicate evaluation, no
+///   per-group intersection, no table-sized copies — fresh sampler state
+///   over shared rows.
+/// * **Composite indexes**, keyed by the group-by column list (the §6.3.4
+///   joint indexes, formerly rebuilt on every multi-attribute query).
+///
+/// Filtered plans choose between a fused word-AND materialization and a
+/// sorted-position intersection view per group by selectivity: below one
+/// eligible row per 64 rows of table (`VIEW_CUTOVER_DENSITY`) the view is
+/// smaller *and* faster to build and select from; above it the fused
+/// word-AND wins. Both views expose identical row sets, and
+/// cached plans share the very sets the cold plan built, so **fixed-seed
+/// results are byte-identical cold or warm** — regression-tested in
+/// `tests/plan_cache.rs`.
+///
+/// All caches are LRU-bounded; [`NeedleTail::clear_plan_caches`] drops
+/// them (memory pressure, tests) at no correctness cost.
 #[derive(Debug)]
 pub struct NeedleTail {
     table: Arc<Table>,
@@ -87,6 +182,17 @@ pub struct NeedleTail {
     /// instead of a full table scan per query, and columns never queried
     /// (or queries that always supply an explicit bound) cost nothing.
     column_maxima: Vec<std::sync::OnceLock<Option<f64>>>,
+    /// Evaluated predicate bitmaps by canonical key (see the
+    /// [planning-caches](#planning-caches) docs).
+    predicate_bitmaps: Mutex<LruCache<String, Arc<Bitmap>>>,
+    /// Ready group plans by `(group-by, canonical predicate)`.
+    plans: Mutex<LruCache<PlanKey, Arc<CachedPlan>>>,
+    /// Composite (multi-attribute) indexes by column list.
+    composites: Mutex<LruCache<Vec<String>, Arc<CompositeIndex>>>,
+    /// The all-rows bitmap [`NeedleTail::predicate_bitmap`] returns for
+    /// [`Predicate::True`], built once per engine (it never earns an LRU
+    /// slot — its key never varies).
+    all_rows: std::sync::OnceLock<Arc<Bitmap>>,
 }
 
 impl NeedleTail {
@@ -113,6 +219,10 @@ impl NeedleTail {
             indexes,
             metrics: Arc::new(Metrics::new()),
             column_maxima,
+            predicate_bitmaps: Mutex::new(LruCache::new(PREDICATE_CACHE_CAPACITY)),
+            plans: Mutex::new(LruCache::new(PLAN_CACHE_CAPACITY)),
+            composites: Mutex::new(LruCache::new(COMPOSITE_CACHE_CAPACITY)),
+            all_rows: std::sync::OnceLock::new(),
         })
     }
 
@@ -161,12 +271,144 @@ impl NeedleTail {
         &self.indexes
     }
 
+    /// Evaluates `predicate` to a shared eligibility bitmap, serving
+    /// repeats (under any evaluation-equivalent spelling — see
+    /// [`Predicate::canonical_key`]) from the engine's predicate-bitmap
+    /// LRU. A bare equality atom on an indexed column short-circuits to
+    /// the index's own bitmap, zero-copy and without touching the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the predicate references a missing column.
+    #[must_use]
+    pub fn predicate_bitmap(&self, predicate: &Predicate) -> Arc<Bitmap> {
+        if matches!(predicate, Predicate::True) {
+            return Arc::clone(
+                self.all_rows
+                    .get_or_init(|| Arc::new(Bitmap::ones(self.table.row_count()))),
+            );
+        }
+        if let Predicate::Eq(col, value) = predicate {
+            if let Some(shared) = self
+                .indexes
+                .get(col)
+                .and_then(|index| index.shared_bitmap_for(value))
+            {
+                return Arc::clone(shared);
+            }
+        }
+        let key = predicate.canonical_key();
+        if let Some(hit) = lock(&self.predicate_bitmaps).get(&key) {
+            return Arc::clone(hit);
+        }
+        // Evaluate outside the lock: concurrent misses on the same key
+        // duplicate work harmlessly instead of serializing every planner
+        // behind one evaluation.
+        let bitmap = Arc::new(predicate.evaluate(&self.table, &self.indexes));
+        lock(&self.predicate_bitmaps).insert(key, Arc::clone(&bitmap));
+        bitmap
+    }
+
+    /// Drops every planning cache (predicate bitmaps, group plans,
+    /// composite indexes). Purely a memory-pressure/benchmarking valve:
+    /// the caches are repopulated on demand and carry no correctness
+    /// state, since the underlying table is immutable.
+    pub fn clear_plan_caches(&self) {
+        lock(&self.predicate_bitmaps).clear();
+        lock(&self.plans).clear();
+        lock(&self.composites).clear();
+    }
+
+    /// The plan for `key`, served from the plan cache or built via
+    /// `build` and cached.
+    fn plan_for(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> Result<Vec<(Value, RowSet)>, EngineError>,
+    ) -> Result<Arc<CachedPlan>, EngineError> {
+        if let Some(hit) = lock(&self.plans).get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let plan = Arc::new(CachedPlan { groups: build()? });
+        lock(&self.plans).insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// `base ∧ predicate` as a [`RowSet`], `None` when the intersection is
+    /// empty (the group contributes no aggregate — SQL `GROUP BY` over
+    /// filtered rows). No predicate shares `base` zero-copy; filtered
+    /// groups pick view vs materialization by [`VIEW_CUTOVER_DENSITY`].
+    fn intersect_rows(&self, base: &Arc<Bitmap>, pred: Option<&Arc<Bitmap>>) -> Option<RowSet> {
+        let Some(pred) = pred else {
+            if base.count_ones() == 0 {
+                return None;
+            }
+            return Some(RowSet::Bitmap(Arc::clone(base)));
+        };
+        let table_rows = self.table.row_count();
+        let smaller = base.count_ones().min(pred.count_ones());
+        if smaller.saturating_mul(VIEW_CUTOVER_DENSITY) <= table_rows {
+            let mut positions = Vec::new();
+            base.intersect_positions(pred, &mut positions);
+            if positions.is_empty() {
+                return None;
+            }
+            Some(RowSet::Positions {
+                positions: Arc::new(positions),
+                universe: table_rows,
+            })
+        } else {
+            let bitmap = base.and(pred);
+            if bitmap.count_ones() == 0 {
+                return None;
+            }
+            Some(RowSet::Bitmap(Arc::new(bitmap)))
+        }
+    }
+
+    /// Validates that `agg_col` exists and is numeric, returning its
+    /// schema position.
+    fn numeric_column(&self, agg_col: &str) -> Result<usize, EngineError> {
+        let agg_idx = self
+            .table
+            .schema()
+            .column_index(agg_col)
+            .ok_or_else(|| EngineError::NoSuchColumn(agg_col.to_owned()))?;
+        if self.table.schema().columns()[agg_idx].data_type == DataType::Str {
+            return Err(EngineError::NotNumeric(agg_col.to_owned()));
+        }
+        Ok(agg_idx)
+    }
+
+    /// Materializes fresh handles over a (possibly cached) plan: shared
+    /// row sets, fresh per-handle sampler state.
+    fn handles_from_plan(&self, plan: &CachedPlan, agg_idx: usize) -> Vec<GroupHandle> {
+        plan.groups
+            .iter()
+            .map(|(label, rows)| GroupHandle {
+                label: label.clone(),
+                agg_idx,
+                table: Arc::clone(&self.table),
+                sampler: BitmapSampler::from_rows(rows.clone()),
+                metrics: Arc::clone(&self.metrics),
+                rows_buf: Vec::new(),
+            })
+            .collect()
+    }
+
     /// Builds one [`GroupHandle`] per distinct value of `group_col`
     /// (in index order), sampling `agg_col`, restricted to rows satisfying
     /// `predicate`.
     ///
     /// Groups emptied by the predicate are dropped — they contribute no
     /// aggregate, mirroring SQL `GROUP BY` semantics over filtered rows.
+    ///
+    /// Plans are served from the engine's caches (see the
+    /// [planning-caches](NeedleTail#planning-caches) docs): repeat queries
+    /// skip predicate evaluation and per-group intersection entirely, and
+    /// unfiltered queries share the index's own bitmaps zero-copy. Handles
+    /// from a cached plan draw **byte-identical** fixed-seed sample
+    /// streams to cold-planned ones.
     ///
     /// # Errors
     ///
@@ -178,49 +420,43 @@ impl NeedleTail {
         agg_col: &str,
         predicate: &Predicate,
     ) -> Result<Vec<GroupHandle>, EngineError> {
-        let index = self
-            .indexes
-            .get(group_col)
-            .ok_or_else(|| EngineError::NotIndexed(group_col.to_owned()))?;
-        let agg_idx = self
-            .table
-            .schema()
-            .column_index(agg_col)
-            .ok_or_else(|| EngineError::NoSuchColumn(agg_col.to_owned()))?;
-        if self.table.schema().columns()[agg_idx].data_type == DataType::Str {
-            return Err(EngineError::NotNumeric(agg_col.to_owned()));
-        }
-        let pred_bitmap = match predicate {
-            Predicate::True => None,
-            p => Some(p.evaluate(&self.table, &self.indexes)),
+        let agg_idx = self.numeric_column(agg_col)?;
+        let key = PlanKey {
+            multi: false,
+            group_cols: vec![group_col.to_owned()],
+            predicate: predicate.canonical_key(),
         };
-        let mut handles = Vec::with_capacity(index.distinct_count());
-        for value in index.values() {
-            let base = index
-                .bitmap_for(&value)
-                .expect("index lists only present values");
-            let bitmap = match &pred_bitmap {
-                None => base.clone(),
-                Some(p) => base.and(p),
+        let plan = self.plan_for(key, || {
+            let index = self
+                .indexes
+                .get(group_col)
+                .ok_or_else(|| EngineError::NotIndexed(group_col.to_owned()))?;
+            let pred_bitmap = match predicate {
+                Predicate::True => None,
+                p => Some(self.predicate_bitmap(p)),
             };
-            if bitmap.count_ones() == 0 {
-                continue;
+            let mut groups = Vec::with_capacity(index.distinct_count());
+            for value in index.values() {
+                let base = index
+                    .shared_bitmap_for(&value)
+                    .expect("index lists only present values");
+                if let Some(rows) = self.intersect_rows(base, pred_bitmap.as_ref()) {
+                    groups.push((value, rows));
+                }
             }
-            handles.push(GroupHandle {
-                label: value,
-                agg_idx,
-                table: Arc::clone(&self.table),
-                sampler: BitmapSampler::new(bitmap),
-                metrics: Arc::clone(&self.metrics),
-                rows_buf: Vec::new(),
-            });
-        }
-        Ok(handles)
+            Ok(groups)
+        })?;
+        Ok(self.handles_from_plan(&plan, agg_idx))
     }
 
     /// Builds one [`GroupHandle`] per cell of a multi-attribute group-by
     /// (§6.3.4), via a joint [`crate::composite::CompositeIndex`] over
     /// `group_cols`. Cell labels join the attribute values with `|`.
+    ///
+    /// The joint index is built once per column list and retained; cell
+    /// plans go through the same plan cache and selectivity cutover as the
+    /// single-attribute path, with the same byte-identical warm-plan
+    /// guarantee.
     ///
     /// # Errors
     ///
@@ -237,44 +473,49 @@ impl NeedleTail {
                 return Err(EngineError::NoSuchColumn((*col).to_owned()));
             }
         }
-        let agg_idx = self
-            .table
-            .schema()
-            .column_index(agg_col)
-            .ok_or_else(|| EngineError::NoSuchColumn(agg_col.to_owned()))?;
-        if self.table.schema().columns()[agg_idx].data_type == DataType::Str {
-            return Err(EngineError::NotNumeric(agg_col.to_owned()));
-        }
-        let joint = crate::composite::CompositeIndex::build(&self.table, group_cols);
-        let pred_bitmap = match predicate {
-            Predicate::True => None,
-            p => Some(p.evaluate(&self.table, &self.indexes)),
+        let agg_idx = self.numeric_column(agg_col)?;
+        let owned_cols: Vec<String> = group_cols.iter().map(|c| (*c).to_owned()).collect();
+        let key = PlanKey {
+            multi: true,
+            group_cols: owned_cols.clone(),
+            predicate: predicate.canonical_key(),
         };
-        let mut handles = Vec::with_capacity(joint.cell_count());
-        for cell in joint.cells() {
-            let base = joint.bitmap_for(&cell).expect("cell listed by index");
-            let bitmap = match &pred_bitmap {
-                None => base.clone(),
-                Some(p) => base.and(p),
+        let plan = self.plan_for(key, || {
+            let joint = self.composite_index(&owned_cols, group_cols);
+            let pred_bitmap = match predicate {
+                Predicate::True => None,
+                p => Some(self.predicate_bitmap(p)),
             };
-            if bitmap.count_ones() == 0 {
-                continue;
+            let mut groups = Vec::with_capacity(joint.cell_count());
+            for cell in joint.cells() {
+                let base = joint
+                    .shared_bitmap_for(&cell)
+                    .expect("cell listed by index");
+                if let Some(rows) = self.intersect_rows(base, pred_bitmap.as_ref()) {
+                    let label = cell
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("|");
+                    groups.push((Value::Str(label), rows));
+                }
             }
-            let label = cell
-                .iter()
-                .map(ToString::to_string)
-                .collect::<Vec<_>>()
-                .join("|");
-            handles.push(GroupHandle {
-                label: Value::Str(label),
-                agg_idx,
-                table: Arc::clone(&self.table),
-                sampler: BitmapSampler::new(bitmap),
-                metrics: Arc::clone(&self.metrics),
-                rows_buf: Vec::new(),
-            });
+            Ok(groups)
+        })?;
+        Ok(self.handles_from_plan(&plan, agg_idx))
+    }
+
+    /// The composite index over `cols`, built on first use and served from
+    /// the engine's composite cache afterwards.
+    fn composite_index(&self, cols: &[String], raw_cols: &[&str]) -> Arc<CompositeIndex> {
+        if let Some(hit) = lock(&self.composites).get(&cols.to_vec()) {
+            return Arc::clone(hit);
         }
-        Ok(handles)
+        // Built outside the lock: concurrent first builds duplicate work
+        // harmlessly rather than blocking every planner.
+        let built = Arc::new(CompositeIndex::build(&self.table, raw_cols));
+        lock(&self.composites).insert(cols.to_vec(), Arc::clone(&built));
+        built
     }
 
     /// Builds one [`SizedGroupHandle`] per distinct value of `group_col`
@@ -307,15 +548,16 @@ impl NeedleTail {
         }
         let mut handles = Vec::with_capacity(index.distinct_count());
         for value in index.values() {
-            let bitmap = index
-                .bitmap_for(&value)
-                .expect("index lists only present values")
-                .clone();
+            let bitmap = Arc::clone(
+                index
+                    .shared_bitmap_for(&value)
+                    .expect("index lists only present values"),
+            );
             handles.push(SizedGroupHandle {
                 label: value,
                 agg_idx,
                 table: Arc::clone(&self.table),
-                sampler: SizeEstimatingSampler::new(bitmap, self.table.row_count()),
+                sampler: SizeEstimatingSampler::shared(bitmap, self.table.row_count()),
                 metrics: Arc::clone(&self.metrics),
                 pairs_buf: Vec::new(),
             });
@@ -338,11 +580,15 @@ impl NeedleTail {
             .indexes
             .get(group_col)
             .ok_or_else(|| EngineError::NotIndexed(group_col.to_owned()))?;
-        let bitmap = index
-            .bitmap_for(group_value)
-            .cloned()
-            .unwrap_or_else(|| Bitmap::zeros(self.table.row_count()));
-        Ok(SizeEstimatingSampler::new(bitmap, self.table.row_count()))
+        Ok(match index.shared_bitmap_for(group_value) {
+            Some(bitmap) => {
+                SizeEstimatingSampler::shared(Arc::clone(bitmap), self.table.row_count())
+            }
+            None => SizeEstimatingSampler::new(
+                Bitmap::zeros(self.table.row_count()),
+                self.table.row_count(),
+            ),
+        })
     }
 
     /// Full sequential scan computing exact per-group aggregates, charging
@@ -490,7 +736,7 @@ impl GroupHandle {
         }
         let sum: f64 = self
             .sampler
-            .bitmap()
+            .rows()
             .iter_ones()
             .map(|row| self.table.float_value(row, self.agg_idx))
             .sum();
@@ -760,6 +1006,148 @@ mod tests {
         assert_eq!(engine.column_max("delay"), None);
     }
 
+    /// A larger skewed table for the cache/cutover tests: 4096 rows, four
+    /// airlines with very different sizes, a numeric year column to filter
+    /// on. "UA" is rare enough that `UA ∧ anything` takes the
+    /// intersection-view path; "AA" is dense enough to materialize.
+    fn skewed() -> Table {
+        let mut b = TableBuilder::new(Schema::new(vec![
+            ColumnDef::new("name", DataType::Str),
+            ColumnDef::new("year", DataType::Int),
+            ColumnDef::new("delay", DataType::Float),
+        ]));
+        for i in 0..4096u32 {
+            let name = match i % 64 {
+                0 => "UA",
+                1..=7 => "JB",
+                _ => "AA",
+            };
+            let year = 2000 + i64::from(i % 4);
+            let delay = f64::from(i % 97);
+            b.push_row(vec![name.into(), Value::Int(year), delay.into()]);
+        }
+        b.finish()
+    }
+
+    /// Oracle: per-group filtered means via the row-level predicate path
+    /// (scan order is first-encounter, so key by label).
+    fn scan_means(
+        engine: &NeedleTail,
+        predicate: &Predicate,
+    ) -> std::collections::BTreeMap<String, f64> {
+        engine
+            .scan("name", "delay", predicate)
+            .unwrap()
+            .iter()
+            .filter_map(|g| g.mean().map(|m| (g.group.to_string(), m)))
+            .collect()
+    }
+
+    #[test]
+    fn filtered_handles_match_scan_across_cutover() {
+        // Both sides of the selectivity cutover (view for rare UA, fused
+        // materialization for dense AA) must agree exactly with the SCAN
+        // oracle on membership and means.
+        let engine = NeedleTail::new(skewed(), &["name", "year"]).unwrap();
+        for predicate in [
+            Predicate::eq("year", Value::Int(2001)),
+            Predicate::ge("delay", 90.0),
+            Predicate::eq("year", Value::Int(2000)).and(Predicate::le("delay", 10.0)),
+        ] {
+            let handles = engine.group_handles("name", "delay", &predicate).unwrap();
+            let expect = scan_means(&engine, &predicate);
+            assert_eq!(handles.len(), expect.len(), "under {predicate:?}");
+            for h in &handles {
+                let mean = expect[&h.label().to_string()];
+                assert!(
+                    (h.exact_mean().unwrap() - mean).abs() < 1e-9,
+                    "group {} under {predicate:?}",
+                    h.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_plans_replay_cold_draws_exactly() {
+        // The first call plans cold; the second hits the plan cache. Both
+        // handle sets must produce byte-identical fixed-seed draw streams.
+        let engine = NeedleTail::new(skewed(), &["name", "year"]).unwrap();
+        let predicate = Predicate::eq("year", Value::Int(2002)).and(Predicate::ge("delay", 3.0));
+        let mut cold = engine.group_handles("name", "delay", &predicate).unwrap();
+        let mut warm = engine.group_handles("name", "delay", &predicate).unwrap();
+        assert_eq!(cold.len(), warm.len());
+        for (c, w) in cold.iter_mut().zip(warm.iter_mut()) {
+            assert_eq!(c.label(), w.label());
+            assert_eq!(c.len(), w.len());
+            let mut rng_c = rand::rngs::StdRng::seed_from_u64(99);
+            let mut rng_w = rand::rngs::StdRng::seed_from_u64(99);
+            let mut out_c = Vec::new();
+            let mut out_w = Vec::new();
+            c.sample_batch_with_replacement(64, &mut rng_c, &mut out_c);
+            w.sample_batch_with_replacement(64, &mut rng_w, &mut out_w);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out_c), bits(&out_w), "draws must be bit-identical");
+        }
+        // And a cache clear changes nothing observable either.
+        engine.clear_plan_caches();
+        let recold = engine.group_handles("name", "delay", &predicate).unwrap();
+        assert_eq!(recold.len(), cold.len());
+        for (c, r) in cold.iter().zip(&recold) {
+            assert_eq!(c.label(), r.label());
+            assert_eq!(c.len(), r.len());
+        }
+    }
+
+    #[test]
+    fn predicate_bitmap_cache_shares_equivalent_spellings() {
+        let engine = NeedleTail::new(skewed(), &["name", "year"]).unwrap();
+        let a = Predicate::eq("year", Value::Int(2001)).and(Predicate::ge("delay", 10.0));
+        let b = Predicate::ge("delay", 10.0).and(Predicate::eq("year", Value::Int(2001)));
+        let bm_a = engine.predicate_bitmap(&a);
+        let bm_b = engine.predicate_bitmap(&b);
+        assert!(
+            Arc::ptr_eq(&bm_a, &bm_b),
+            "equivalent spellings must share one cached bitmap"
+        );
+        // A bare indexed equality is served from the index itself.
+        let eq = Predicate::eq("name", "AA");
+        let bm_eq = engine.predicate_bitmap(&eq);
+        let shared = engine
+            .index("name")
+            .unwrap()
+            .shared_bitmap_for(&"AA".into())
+            .unwrap();
+        assert!(Arc::ptr_eq(&bm_eq, shared), "Eq must be zero-copy");
+        assert_eq!(
+            bm_a.iter_ones().collect::<Vec<_>>(),
+            a.evaluate(engine.table(), engine.indexes())
+                .iter_ones()
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unfiltered_handles_share_index_bitmaps_zero_copy() {
+        let engine = NeedleTail::new(skewed(), &["name"]).unwrap();
+        let handles = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        let index = engine.index("name").unwrap();
+        for h in &handles {
+            let shared = index.shared_bitmap_for(h.label()).unwrap();
+            match h.sampler.rows() {
+                crate::sampler::RowSet::Bitmap(bm) => {
+                    assert!(
+                        Arc::ptr_eq(bm, shared),
+                        "True-predicate handles must alias the index bitmap"
+                    );
+                }
+                other => panic!("expected shared bitmap, got {other:?}"),
+            }
+        }
+    }
+
     #[test]
     fn multi_group_by_handles() {
         let mut b = TableBuilder::new(Schema::new(vec![
@@ -789,6 +1177,65 @@ mod tests {
             .unwrap();
         let labels: Vec<String> = filtered.iter().map(|h| h.label().to_string()).collect();
         assert_eq!(labels, vec!["AA|BOS", "JB|BOS"]);
+    }
+
+    #[test]
+    fn multi_group_by_nontrivial_predicates_and_cached_reuse() {
+        // Joint cells under a conjunction of an equality and a range,
+        // checked cell by cell against the row-level predicate oracle —
+        // including cells the filter empties entirely.
+        let engine = NeedleTail::new(skewed(), &["name", "year"]).unwrap();
+        let predicate = Predicate::eq("year", Value::Int(2000)).and(Predicate::ge("delay", 60.0));
+        let cold = engine
+            .group_handles_multi(&["name", "year"], "delay", &predicate)
+            .unwrap();
+        // Oracle: every (name, year) pair with its qualifying rows.
+        let table = engine.table();
+        let mut expect: std::collections::BTreeMap<String, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for row in 0..table.row_count() {
+            if predicate.matches_row(table, row) {
+                let label = format!("{}|{}", table.value(row, 0), table.value(row, 1));
+                expect.entry(label).or_default().push(row);
+            }
+        }
+        // Cells with no qualifying rows (every 2001-2003 cell, and any
+        // name whose 2000 rows all have delay < 60) are dropped.
+        assert_eq!(cold.len(), expect.len());
+        assert!(
+            cold.len() < 12,
+            "the filter must empty the off-year cells (got {})",
+            cold.len()
+        );
+        for h in &cold {
+            let rows = &expect[&h.label().to_string()];
+            assert_eq!(h.len(), rows.len() as u64, "cell {}", h.label());
+            let mean: f64 =
+                rows.iter().map(|&r| table.float_value(r, 2)).sum::<f64>() / rows.len() as f64;
+            assert!((h.exact_mean().unwrap() - mean).abs() < 1e-9);
+        }
+        // Cached reuse: the second identical call (plan-cache hit, joint
+        // index reused) replays cold fixed-seed draws bit for bit.
+        let mut warm = engine
+            .group_handles_multi(&["name", "year"], "delay", &predicate)
+            .unwrap();
+        let mut cold = cold;
+        for (c, w) in cold.iter_mut().zip(warm.iter_mut()) {
+            assert_eq!(c.label(), w.label());
+            let mut rng_c = rand::rngs::StdRng::seed_from_u64(7);
+            let mut rng_w = rand::rngs::StdRng::seed_from_u64(7);
+            let mut out_c = Vec::new();
+            let mut out_w = Vec::new();
+            c.sample_batch_without_replacement(16, &mut rng_c, &mut out_c);
+            w.sample_batch_without_replacement(16, &mut rng_w, &mut out_w);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out_c), bits(&out_w));
+        }
+        // A predicate that empties *every* cell yields no handles.
+        let none = engine
+            .group_handles_multi(&["name", "year"], "delay", &Predicate::ge("delay", 1e9))
+            .unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::schema::DataType;
 use crate::table::Table;
 use crate::value::Value;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Totally ordered key form of a [`Value`] (floats via order-preserving bit
 /// transform; NaN rejected at table ingest).
@@ -43,13 +44,18 @@ impl ValueKey {
 }
 
 /// A bitmap index over one column of a table.
+///
+/// Per-value bitmaps are held behind [`Arc`] so the engine can hand them
+/// to samplers, predicate evaluations, and plan-cache entries **zero-copy**
+/// — an unfiltered `GROUP BY` query clones pointers, never table-sized
+/// bitmaps.
 #[derive(Debug, Clone)]
 pub struct BitmapIndex {
     column: String,
     col_idx: usize,
     len: u64,
-    /// Distinct value -> (original value, bitmap), ordered by value.
-    entries: BTreeMap<ValueKey, (Value, Bitmap)>,
+    /// Distinct value -> (original value, shared bitmap), ordered by value.
+    entries: BTreeMap<ValueKey, (Value, Arc<Bitmap>)>,
 }
 
 impl BitmapIndex {
@@ -98,7 +104,7 @@ impl BitmapIndex {
             .filter(|(_, (_, rows))| !rows.is_empty())
             .map(|(key, (value, rows))| {
                 let bm = Bitmap::Dense(DenseBitmap::from_sorted_positions(&rows, len)).optimize();
-                (key, (value, bm))
+                (key, (value, Arc::new(bm)))
             })
             .collect();
         Self {
@@ -142,6 +148,14 @@ impl BitmapIndex {
     /// The bitmap of rows matching `value` exactly, if any row does.
     #[must_use]
     pub fn bitmap_for(&self, value: &Value) -> Option<&Bitmap> {
+        self.shared_bitmap_for(value).map(Arc::as_ref)
+    }
+
+    /// The shared handle to the bitmap of rows matching `value` exactly —
+    /// cloning the returned [`Arc`] is the zero-copy path samplers and
+    /// caches use.
+    #[must_use]
+    pub fn shared_bitmap_for(&self, value: &Value) -> Option<&Arc<Bitmap>> {
         self.entries
             .get(&ValueKey::from_value(value))
             .map(|(_, bm)| bm)
@@ -167,8 +181,8 @@ impl BitmapIndex {
                 continue;
             }
             acc = Some(match acc {
-                None => bm.clone(),
-                Some(a) => a.or(bm),
+                None => (**bm).clone(),
+                Some(a) => a.or(bm.as_ref()),
             });
         }
         acc.unwrap_or_else(|| Bitmap::zeros(self.len))

@@ -31,7 +31,12 @@
 //!   and batched draws (one sorted `select_many` sweep per batch, resolved
 //!   through a reusable per-sampler scratch arena — allocation-free at
 //!   steady state, radix-sorted above [`RADIX_MIN_BATCH`]).
-//! * [`engine`] — the [`engine::NeedleTail`] façade tying it together.
+//! * [`engine`] — the [`engine::NeedleTail`] façade tying it together,
+//!   including the zero-copy planning caches (shared `Arc` bitmaps, an LRU
+//!   of evaluated predicate bitmaps keyed by canonical predicate form, and
+//!   a plan cache handing back ready group row sets — repeat-query
+//!   planning is near-O(1) and allocation-light).
+//! * [`cache`] — the small bounded LRU map those caches use.
 //! * [`scan`] — the `SCAN` baseline: a full sequential pass computing exact
 //!   per-group aggregates via a hash map, as a traditional DBMS would.
 //! * [`io`] — the deterministic I/O + CPU cost model used to regenerate the
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod cache;
 pub mod composite;
 pub mod csv;
 pub mod disk;
@@ -68,7 +74,7 @@ pub use index::BitmapIndex;
 pub use io::{CostBreakdown, DiskModel};
 pub use metrics::Metrics;
 pub use predicate::Predicate;
-pub use sampler::{BatchScratch, BitmapSampler, SizeEstimatingSampler, RADIX_MIN_BATCH};
+pub use sampler::{BatchScratch, BitmapSampler, RowSet, SizeEstimatingSampler, RADIX_MIN_BATCH};
 pub use scan::{scan_group_aggregates, GroupAggregate};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use storage::{read_table, write_table, StorageError};

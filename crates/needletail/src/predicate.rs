@@ -192,6 +192,136 @@ impl Predicate {
         Bitmap::Dense(DenseBitmap::from_bools(&bits))
     }
 
+    /// A canonical, hashable key for this predicate — the engine's cache
+    /// key ([`crate::engine::NeedleTail`]'s predicate-bitmap and plan
+    /// caches).
+    ///
+    /// Canonicalization maps evaluation-equivalent spellings to one key so
+    /// they share a cache entry:
+    ///
+    /// * `AND` / `OR` chains are flattened across nesting, their operands
+    ///   canonicalized recursively, then **sorted and de-duplicated** —
+    ///   `a AND (b AND c)` and `(c AND b) AND a` collide, as intersection
+    ///   and union are commutative, associative, and idempotent;
+    /// * double negation is removed;
+    /// * `IN` lists are sorted and de-duplicated;
+    /// * strings are length-prefixed and floats rendered by their exact
+    ///   bit pattern, so distinct predicates can never collide.
+    ///
+    /// The key says nothing about *which table* the predicate was evaluated
+    /// against — the engine's caches are per-engine (per immutable table),
+    /// which scopes it.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        fn col(out: &mut String, name: &str) {
+            use std::fmt::Write as _;
+            let _ = write!(out, "{}:{name}", name.len());
+        }
+        fn val(out: &mut String, v: &Value) {
+            use std::fmt::Write as _;
+            match v {
+                Value::Int(i) => {
+                    let _ = write!(out, "i{i}");
+                }
+                Value::Float(f) => {
+                    let _ = write!(out, "f{:016x}", f.to_bits());
+                }
+                Value::Str(s) => {
+                    let _ = write!(out, "s{}:{s}", s.len());
+                }
+            }
+        }
+        fn bound(out: &mut String, b: Option<f64>) {
+            use std::fmt::Write as _;
+            match b {
+                None => out.push('-'),
+                Some(x) => {
+                    let _ = write!(out, "f{:016x}", x.to_bits());
+                }
+            }
+        }
+        /// Flattens same-operator chains (`And` under `And`, `Or` under
+        /// `Or`) into one operand list.
+        fn flatten<'p>(p: &'p Predicate, conj: bool, out: &mut Vec<&'p Predicate>) {
+            match (p, conj) {
+                (Predicate::And(a, b), true) | (Predicate::Or(a, b), false) => {
+                    flatten(a, conj, out);
+                    flatten(b, conj, out);
+                }
+                _ => out.push(p),
+            }
+        }
+        fn render(p: &Predicate, out: &mut String) {
+            match p {
+                Predicate::True => out.push('T'),
+                Predicate::Eq(c, v) => {
+                    out.push_str("E(");
+                    col(out, c);
+                    out.push(',');
+                    val(out, v);
+                    out.push(')');
+                }
+                Predicate::In(c, values) => {
+                    out.push_str("I(");
+                    col(out, c);
+                    out.push_str(",[");
+                    let mut rendered: Vec<String> = values
+                        .iter()
+                        .map(|v| {
+                            let mut s = String::new();
+                            val(&mut s, v);
+                            s
+                        })
+                        .collect();
+                    rendered.sort_unstable();
+                    rendered.dedup();
+                    out.push_str(&rendered.join(","));
+                    out.push_str("])");
+                }
+                Predicate::Range { column, lo, hi } => {
+                    out.push_str("R(");
+                    col(out, column);
+                    out.push(',');
+                    bound(out, *lo);
+                    out.push(',');
+                    bound(out, *hi);
+                    out.push(')');
+                }
+                chain @ (Predicate::And(..) | Predicate::Or(..)) => {
+                    let conj = matches!(chain, Predicate::And(..));
+                    let mut operands = Vec::new();
+                    flatten(chain, conj, &mut operands);
+                    let mut rendered: Vec<String> = operands
+                        .iter()
+                        .map(|q| {
+                            let mut s = String::new();
+                            render(q, &mut s);
+                            s
+                        })
+                        .collect();
+                    rendered.sort_unstable();
+                    rendered.dedup();
+                    out.push(if conj { 'A' } else { 'O' });
+                    out.push('(');
+                    out.push_str(&rendered.join(if conj { "&" } else { "|" }));
+                    out.push(')');
+                }
+                Predicate::Not(inner) => {
+                    if let Predicate::Not(doubly) = inner.as_ref() {
+                        render(doubly, out);
+                    } else {
+                        out.push_str("N(");
+                        render(inner, out);
+                        out.push(')');
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        render(self, &mut out);
+        out
+    }
+
     /// The set of column names this predicate references.
     #[must_use]
     pub fn referenced_columns(&self) -> Vec<&str> {
@@ -340,6 +470,69 @@ mod tests {
             .or(Predicate::eq("name", "JB"));
         assert_eq!(p.referenced_columns(), vec!["delay", "name"]);
         assert!(Predicate::True.referenced_columns().is_empty());
+    }
+
+    #[test]
+    fn canonical_key_identifies_equivalent_spellings() {
+        let a = Predicate::eq("name", "AA");
+        let b = Predicate::ge("delay", 30.0);
+        let c = Predicate::le("delay", 90.0);
+        // Conjunction order and nesting don't matter.
+        let left = a.clone().and(b.clone()).and(c.clone());
+        let right = c.clone().and(a.clone().and(b.clone()));
+        assert_eq!(left.canonical_key(), right.canonical_key());
+        // Same for disjunctions, including idempotent repeats.
+        let or1 = a.clone().or(b.clone()).or(a.clone());
+        let or2 = b.clone().or(a.clone());
+        assert_eq!(or1.canonical_key(), or2.canonical_key());
+        // Double negation cancels.
+        assert_eq!(a.clone().not().not().canonical_key(), a.canonical_key());
+        // IN lists are order- and duplicate-insensitive.
+        let in1 = Predicate::is_in("name", ["AA", "JB", "AA"]);
+        let in2 = Predicate::is_in("name", ["JB", "AA"]);
+        assert_eq!(in1.canonical_key(), in2.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_separates_distinct_predicates() {
+        let keys = [
+            Predicate::True.canonical_key(),
+            Predicate::eq("name", "AA").canonical_key(),
+            Predicate::eq("name", "JB").canonical_key(),
+            // A string that *looks* like the rendered int must not collide
+            // with the int, nor AND with OR over the same operands.
+            Predicate::eq("name", "i1").canonical_key(),
+            Predicate::eq("name", Value::Int(1)).canonical_key(),
+            Predicate::eq("delay", 30.0).canonical_key(),
+            Predicate::ge("delay", 30.0).canonical_key(),
+            Predicate::le("delay", 30.0).canonical_key(),
+            Predicate::between("delay", 30.0, 30.0).canonical_key(),
+            Predicate::eq("name", "AA").not().canonical_key(),
+            Predicate::eq("name", "AA")
+                .and(Predicate::eq("name", "JB"))
+                .canonical_key(),
+            Predicate::eq("name", "AA")
+                .or(Predicate::eq("name", "JB"))
+                .canonical_key(),
+        ];
+        let mut unique = keys.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), keys.len(), "keys must be distinct: {keys:?}");
+    }
+
+    #[test]
+    fn canonical_key_equal_predicates_evaluate_identically() {
+        // The cache-safety property: same key ⇒ same bitmap.
+        let t = table();
+        let idx = indexed(&t, &["name", "delay"]);
+        let p1 = Predicate::eq("name", "AA").and(Predicate::ge("delay", 20.0));
+        let p2 = Predicate::ge("delay", 20.0).and(Predicate::eq("name", "AA"));
+        assert_eq!(p1.canonical_key(), p2.canonical_key());
+        assert_eq!(
+            p1.evaluate(&t, &idx).iter_ones().collect::<Vec<_>>(),
+            p2.evaluate(&t, &idx).iter_ones().collect::<Vec<_>>()
+        );
     }
 
     #[test]

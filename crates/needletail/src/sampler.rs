@@ -50,6 +50,134 @@
 use crate::bitmap::Bitmap;
 use crate::u64map::SwapMap;
 use rand::Rng;
+use std::sync::Arc;
+
+/// The eligible-row set a sampler draws from — the zero-copy layer behind
+/// the engine's plan cache.
+///
+/// Two shapes:
+///
+/// * [`RowSet::Bitmap`] — a full bitmap behind an [`Arc`]: the group's own
+///   index bitmap (shared pointer-for-pointer between every handle and
+///   cache entry that needs it), a cached predicate bitmap, or a
+///   materialized intersection.
+/// * [`RowSet::Positions`] — the **intersection view**: the sorted row ids
+///   of a *selective* `group ∧ predicate` intersection, built by galloping
+///   over the smaller operand and membership-testing the larger
+///   ([`Bitmap::intersect_positions`]) instead of materializing a
+///   table-length bitmap. `select(k)` degenerates to `positions[k]` — O(1),
+///   faster than any rank directory — and the memory cost scales with the
+///   filtered group, not the table.
+///
+/// Both shapes describe the same abstract set of row ids, so a sampler is
+/// oblivious to which it got: for a fixed seed the drawn row stream is
+/// identical (the RNG consumes ranks in `0..count_ones()` either way and
+/// `select` agrees by construction).
+#[derive(Debug, Clone)]
+pub enum RowSet {
+    /// A whole (possibly shared) bitmap over the table's rows.
+    Bitmap(Arc<Bitmap>),
+    /// Sorted eligible row ids of a selective intersection, plus the
+    /// universe (table row count) they index into.
+    Positions {
+        /// Sorted, de-duplicated row ids (shared between clones).
+        positions: Arc<Vec<u64>>,
+        /// Number of addressable rows (the table length).
+        universe: u64,
+    },
+}
+
+impl RowSet {
+    /// Wraps an owned bitmap.
+    #[must_use]
+    pub fn from_bitmap(bitmap: Bitmap) -> Self {
+        RowSet::Bitmap(Arc::new(bitmap))
+    }
+
+    /// Number of addressable positions (the table length).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        match self {
+            RowSet::Bitmap(bm) => bm.len(),
+            RowSet::Positions { universe, .. } => *universe,
+        }
+    }
+
+    /// Whether the universe is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of eligible rows.
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        match self {
+            RowSet::Bitmap(bm) => bm.count_ones(),
+            RowSet::Positions { positions, .. } => positions.len() as u64,
+        }
+    }
+
+    /// Whether row `pos` is eligible.
+    #[must_use]
+    pub fn get(&self, pos: u64) -> bool {
+        match self {
+            RowSet::Bitmap(bm) => bm.get(pos),
+            RowSet::Positions { positions, .. } => positions.binary_search(&pos).is_ok(),
+        }
+    }
+
+    /// The `k`-th (0-based) eligible row, or `None` if out of range.
+    #[must_use]
+    pub fn select(&self, k: u64) -> Option<u64> {
+        match self {
+            RowSet::Bitmap(bm) => bm.select(k),
+            RowSet::Positions { positions, .. } => positions.get(k as usize).copied(),
+        }
+    }
+
+    /// Resolves a **sorted** batch of ranks, appending each `k`-th eligible
+    /// row to `out` in input order (the contract of
+    /// [`Bitmap::select_many`]; the positions view resolves each rank by
+    /// direct indexing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rank is `>= count_ones()`.
+    pub fn select_many(&self, sorted_ks: &[u64], out: &mut Vec<u64>) {
+        match self {
+            RowSet::Bitmap(bm) => bm.select_many(sorted_ks, out),
+            RowSet::Positions { positions, .. } => {
+                if let Some(&last) = sorted_ks.last() {
+                    assert!(
+                        last < positions.len() as u64,
+                        "select_many rank out of range (count_ones {})",
+                        positions.len()
+                    );
+                }
+                out.extend(sorted_ks.iter().map(|&k| positions[k as usize]));
+            }
+        }
+    }
+
+    /// Iterator over the eligible row ids, ascending.
+    pub fn iter_ones(&self) -> Box<dyn Iterator<Item = u64> + '_> {
+        match self {
+            RowSet::Bitmap(bm) => bm.iter_ones(),
+            RowSet::Positions { positions, .. } => Box::new(positions.iter().copied()),
+        }
+    }
+
+    /// Approximate heap bytes of this view's own storage (shared storage
+    /// is counted once per underlying allocation, not per clone).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            RowSet::Bitmap(bm) => bm.heap_bytes(),
+            RowSet::Positions { positions, .. } => positions.len() * 8,
+        }
+    }
+}
 
 /// Batches at or above this many keys sort with the LSD radix sort;
 /// smaller batches use pattern-defeating quicksort, which wins while the
@@ -74,10 +202,11 @@ pub struct BatchScratch {
     pairs: Vec<(u64, u64)>,
 }
 
-/// Uniform random sampler over the set bits of a bitmap.
+/// Uniform random sampler over the set bits of a bitmap (or any
+/// [`RowSet`] view of one).
 #[derive(Debug, Clone)]
 pub struct BitmapSampler {
-    bitmap: Bitmap,
+    bits: RowSet,
     eligible: u64,
     /// Virtual Fisher–Yates state: logical position -> displaced value.
     /// An open-addressed multiply-shift map ([`SwapMap`]): the default
@@ -95,9 +224,24 @@ impl BitmapSampler {
     /// Creates a sampler over the set bits of `bitmap`.
     #[must_use]
     pub fn new(bitmap: Bitmap) -> Self {
-        let eligible = bitmap.count_ones();
+        Self::from_rows(RowSet::from_bitmap(bitmap))
+    }
+
+    /// Creates a sampler over a shared bitmap without copying it — the
+    /// zero-copy path the engine's plan cache uses for unfiltered groups.
+    #[must_use]
+    pub fn shared(bitmap: Arc<Bitmap>) -> Self {
+        Self::from_rows(RowSet::Bitmap(bitmap))
+    }
+
+    /// Creates a sampler over any [`RowSet`] (shared bitmap or
+    /// intersection view). Sampler state (permutation, scratch) is always
+    /// fresh; only the row set is shared.
+    #[must_use]
+    pub fn from_rows(bits: RowSet) -> Self {
+        let eligible = bits.count_ones();
         Self {
-            bitmap,
+            bits,
             eligible,
             swaps: SwapMap::for_population(eligible),
             drawn: 0,
@@ -117,10 +261,10 @@ impl BitmapSampler {
         self.eligible - self.drawn
     }
 
-    /// The underlying bitmap.
+    /// The underlying eligible-row set.
     #[must_use]
-    pub fn bitmap(&self) -> &Bitmap {
-        &self.bitmap
+    pub fn rows(&self) -> &RowSet {
+        &self.bits
     }
 
     /// A uniformly random eligible row id (independent across calls).
@@ -130,7 +274,7 @@ impl BitmapSampler {
             return None;
         }
         let k = rng.gen_range(0..self.eligible);
-        self.bitmap.select(k)
+        self.bits.select(k)
     }
 
     /// The next row of a uniformly random permutation of the eligible rows.
@@ -147,7 +291,7 @@ impl BitmapSampler {
         self.swaps.insert(j, displaced);
         self.swaps.remove(self.drawn);
         self.drawn += 1;
-        self.bitmap.select(chosen)
+        self.bits.select(chosen)
     }
 
     /// Draws `n` rows with replacement in one batch, appending them to
@@ -171,7 +315,7 @@ impl BitmapSampler {
         for _ in 0..n {
             self.scratch.keys.push(rng.gen_range(0..self.eligible));
         }
-        resolve_in_draw_order(&self.bitmap, &mut self.scratch, out);
+        resolve_in_draw_order(&self.bits, &mut self.scratch, out);
         n
     }
 
@@ -205,7 +349,7 @@ impl BitmapSampler {
             self.drawn += 1;
             self.scratch.keys.push(chosen);
         }
-        resolve_in_draw_order(&self.bitmap, &mut self.scratch, out);
+        resolve_in_draw_order(&self.bits, &mut self.scratch, out);
         take
     }
 
@@ -220,7 +364,7 @@ impl BitmapSampler {
     }
 }
 
-/// Resolves the draw-order ranks staged in `scratch.keys` against `bitmap`
+/// Resolves the draw-order ranks staged in `scratch.keys` against `bits`
 /// via one sorted `select_many` sweep, appending positions to `out` in the
 /// original draw order. All intermediate state lives in `scratch`, so a
 /// warm scratch makes this allocation-free (provided `out` has capacity).
@@ -231,7 +375,7 @@ impl BitmapSampler {
 /// faster than sorting `(u64, u32)` pairs. Batches of [`RADIX_MIN_BATCH`]
 /// or more packed keys use the LSD radix sort. Oversized inputs fall back
 /// to the pair sort.
-fn resolve_in_draw_order(bitmap: &Bitmap, scratch: &mut BatchScratch, out: &mut Vec<u64>) {
+fn resolve_in_draw_order(bits: &RowSet, scratch: &mut BatchScratch, out: &mut Vec<u64>) {
     const IDX_BITS: u32 = 20;
     let BatchScratch {
         keys,
@@ -255,7 +399,7 @@ fn resolve_in_draw_order(bitmap: &Bitmap, scratch: &mut BatchScratch, out: &mut 
         sorted.clear();
         sorted.extend(keys.iter().map(|&p| p >> IDX_BITS));
         positions.clear();
-        bitmap.select_many(sorted, positions);
+        bits.select_many(sorted, positions);
         out.resize(base + n, 0);
         let idx_mask = (1u64 << IDX_BITS) - 1;
         for (&packed, &pos) in keys.iter().zip(positions.iter()) {
@@ -268,7 +412,7 @@ fn resolve_in_draw_order(bitmap: &Bitmap, scratch: &mut BatchScratch, out: &mut 
         sorted.clear();
         sorted.extend(pairs.iter().map(|&(r, _)| r));
         positions.clear();
-        bitmap.select_many(sorted, positions);
+        bits.select_many(sorted, positions);
         out.resize(base + n, 0);
         for (&(_, idx), &pos) in pairs.iter().zip(positions.iter()) {
             out[base + idx as usize] = pos;
@@ -337,13 +481,34 @@ impl SizeEstimatingSampler {
     /// Panics if the bitmap is longer than the stated table size.
     #[must_use]
     pub fn new(bitmap: Bitmap, table_rows: u64) -> Self {
+        Self::from_rows(RowSet::from_bitmap(bitmap), table_rows)
+    }
+
+    /// Creates the sampler over a shared bitmap without copying it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitmap is longer than the stated table size.
+    #[must_use]
+    pub fn shared(bitmap: Arc<Bitmap>, table_rows: u64) -> Self {
+        Self::from_rows(RowSet::Bitmap(bitmap), table_rows)
+    }
+
+    /// Creates the sampler over any [`RowSet`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row set's universe is longer than the stated table
+    /// size.
+    #[must_use]
+    pub fn from_rows(bits: RowSet, table_rows: u64) -> Self {
         assert!(
-            bitmap.len() <= table_rows,
+            bits.len() <= table_rows,
             "bitmap length {} exceeds the relation size {table_rows}",
-            bitmap.len()
+            bits.len()
         );
         Self {
-            inner: BitmapSampler::new(bitmap),
+            inner: BitmapSampler::from_rows(bits),
             table_rows,
             rows_buf: Vec::new(),
         }
@@ -362,7 +527,7 @@ impl SizeEstimatingSampler {
     pub fn sample_with_size_estimate<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<(u64, f64)> {
         let row = self.inner.sample_with_replacement(rng)?;
         let probe = rng.gen_range(0..self.table_rows);
-        let z = if probe < self.inner.bitmap().len() && self.inner.bitmap().get(probe) {
+        let z = if probe < self.inner.rows().len() && self.inner.rows().get(probe) {
             1.0
         } else {
             0.0
@@ -392,7 +557,7 @@ impl SizeEstimatingSampler {
         let base = out.len();
         let table_rows = self.table_rows;
         let BitmapSampler {
-            bitmap,
+            bits,
             eligible,
             scratch,
             ..
@@ -401,7 +566,7 @@ impl SizeEstimatingSampler {
         for _ in 0..n {
             scratch.keys.push(rng.gen_range(0..*eligible));
             let probe = rng.gen_range(0..table_rows);
-            let z = if probe < bitmap.len() && bitmap.get(probe) {
+            let z = if probe < bits.len() && bits.get(probe) {
                 1.0
             } else {
                 0.0
@@ -410,7 +575,7 @@ impl SizeEstimatingSampler {
             out.push((0, z));
         }
         self.rows_buf.clear();
-        resolve_in_draw_order(bitmap, scratch, &mut self.rows_buf);
+        resolve_in_draw_order(bits, scratch, &mut self.rows_buf);
         for (slot, &row) in out[base..].iter_mut().zip(&self.rows_buf) {
             slot.0 = row;
         }
@@ -685,6 +850,72 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(s.sample_batch_with_size_estimate(8, &mut rng, &mut out), 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn rowset_views_agree_on_queries() {
+        let positions: Vec<u64> = vec![2, 5, 7, 64, 65, 200, 999];
+        let as_bitmap = RowSet::from_bitmap(bitmap(&positions, 1000));
+        let as_positions = RowSet::Positions {
+            positions: Arc::new(positions.clone()),
+            universe: 1000,
+        };
+        for set in [&as_bitmap, &as_positions] {
+            assert_eq!(set.len(), 1000);
+            assert!(!set.is_empty());
+            assert_eq!(set.count_ones(), positions.len() as u64);
+            assert_eq!(set.iter_ones().collect::<Vec<_>>(), positions);
+            for (k, &p) in positions.iter().enumerate() {
+                assert!(set.get(p));
+                assert_eq!(set.select(k as u64), Some(p));
+            }
+            assert!(!set.get(3));
+            assert_eq!(set.select(positions.len() as u64), None);
+            let ks: Vec<u64> = vec![0, 0, 2, 6];
+            let mut out = Vec::new();
+            set.select_many(&ks, &mut out);
+            assert_eq!(out, vec![2, 2, 7, 999]);
+        }
+        assert!(as_positions.heap_bytes() < as_bitmap.heap_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rowset_positions_select_many_rejects_oob_rank() {
+        let set = RowSet::Positions {
+            positions: Arc::new(vec![1, 2]),
+            universe: 10,
+        };
+        let mut out = Vec::new();
+        set.select_many(&[0, 2], &mut out);
+    }
+
+    #[test]
+    fn positions_view_replays_bitmap_sampler_stream() {
+        // A sampler over the intersection *view* must consume the RNG and
+        // produce rows exactly as one over the equivalent bitmap — the
+        // invariant that makes the engine's selectivity cutover invisible
+        // to fixed-seed results.
+        let positions: Vec<u64> = (0..400).map(|i| i * 5 + 2).collect();
+        let mut over_bitmap = BitmapSampler::new(bitmap(&positions, 4000));
+        let mut over_view = BitmapSampler::from_rows(RowSet::Positions {
+            positions: Arc::new(positions.clone()),
+            universe: 4000,
+        });
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(70);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(70);
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        over_bitmap.sample_batch_with_replacement(97, &mut rng_a, &mut out_a);
+        over_view.sample_batch_with_replacement(97, &mut rng_b, &mut out_b);
+        assert_eq!(out_a, out_b, "WR batches must match across views");
+        for _ in 0..150 {
+            assert_eq!(
+                over_bitmap.sample_without_replacement(&mut rng_a),
+                over_view.sample_without_replacement(&mut rng_b),
+                "WOR singles must match across views"
+            );
+        }
     }
 
     #[test]

@@ -218,6 +218,11 @@ struct Slot {
     credit: i64,
     /// Active-group count after the last quantum (the fair-share weight).
     active_count: usize,
+    /// Whether the slot still wants quanta — maintained incrementally at
+    /// admission, after each step, and at eviction, so the per-quantum
+    /// selection loops read a flag instead of re-deriving it from the
+    /// session (`runnable ⇔ session.is_some() && !session.is_finished()`).
+    runnable: bool,
     /// Greedy-convergence score: how much interval overlap still blocks
     /// the session's best-positioned active group (0 = certifies next).
     /// Maintained only under [`SchedulePolicy::GreedyConvergence`].
@@ -227,7 +232,12 @@ struct Slot {
 
 impl Slot {
     fn runnable(&self) -> bool {
-        self.session.as_ref().is_some_and(|s| !s.is_finished())
+        debug_assert_eq!(
+            self.runnable,
+            self.session.as_ref().is_some_and(|s| !s.is_finished()),
+            "incrementally maintained runnable flag out of sync"
+        );
+        self.runnable
     }
 
     /// Fair-share weight: remaining active groups (floor 1, so a session
@@ -268,6 +278,11 @@ pub struct MultiQueryScheduler {
     /// charges the scheduler's whole lifetime, so removing a finished
     /// session must not refund its draws.
     retired_samples: u64,
+    /// Sum of [`Slot::weight`] over runnable slots, maintained
+    /// incrementally (admission, per-step weight delta, eviction,
+    /// removal) so the fair-share selection does not recompute it with an
+    /// extra full pass every quantum.
+    runnable_weight: i64,
     /// Events produced as side effects of a quantum (evictions), delivered
     /// before the next quantum runs.
     pending: VecDeque<SchedulerEvent>,
@@ -298,6 +313,7 @@ impl MultiQueryScheduler {
             max_session_bytes: None,
             global_exhausted: false,
             retired_samples: 0,
+            runnable_weight: 0,
             pending: VecDeque::new(),
         }
     }
@@ -357,11 +373,13 @@ impl MultiQueryScheduler {
             outcome: session.outcome(),
             evicted: false,
         };
-        self.slots.push(Slot {
+        let runnable = !session.is_finished();
+        let slot = Slot {
             id,
             deadline: session.deadline(),
             credit: 0,
             active_count: snapshot.active_count(),
+            runnable,
             // Only the greedy policy reads the score; skip the O(k²)
             // overlap sweep otherwise.
             proximity: if self.policy == SchedulePolicy::GreedyConvergence {
@@ -372,7 +390,11 @@ impl MultiQueryScheduler {
             stats,
             session: Some(session),
             answer: None,
-        });
+        };
+        if runnable {
+            self.runnable_weight += slot.weight();
+        }
+        self.slots.push(slot);
         id
     }
 
@@ -444,6 +466,9 @@ impl MultiQueryScheduler {
             return SchedulerEvent::Drained;
         };
         let slot = &mut self.slots[chosen];
+        // The stepped slot was runnable; its weight re-enters the pool
+        // below only if it still is (with its post-step active count).
+        self.runnable_weight -= slot.weight();
         let session = slot.session.as_mut().expect("selected slots are live");
         let update = session.step();
         slot.stats.steps += 1;
@@ -454,6 +479,10 @@ impl MultiQueryScheduler {
         slot.stats.approx_bytes = bytes;
         slot.stats.peak_bytes = slot.stats.peak_bytes.max(bytes);
         slot.active_count = update.snapshot.active_count();
+        slot.runnable = !terminal;
+        if slot.runnable {
+            self.runnable_weight += slot.weight();
+        }
         if self.policy == SchedulePolicy::GreedyConvergence {
             // Only the greedy policy reads the score; skip the O(k²)
             // overlap sweep under the other policies.
@@ -464,6 +493,8 @@ impl MultiQueryScheduler {
                 // Release the over-cap state immediately: finish the
                 // session now and park only its (small) answer, so an
                 // evicted session stops costing memory at once.
+                self.runnable_weight -= slot.weight();
+                slot.runnable = false;
                 let finished = slot.session.take().expect("checked live above");
                 slot.answer = Some(finished.finish());
                 slot.stats.evicted = true;
@@ -507,6 +538,9 @@ impl MultiQueryScheduler {
     pub fn finish(&mut self, id: QueryId) -> Option<QueryAnswer> {
         let idx = self.slots.iter().position(|s| s.id == id)?;
         let slot = self.slots.remove(idx);
+        if slot.runnable {
+            self.runnable_weight -= slot.weight();
+        }
         self.retired_samples += slot.total_samples();
         Some(slot.into_answer())
     }
@@ -534,19 +568,30 @@ impl MultiQueryScheduler {
     /// credit runs and pays back the total weight. Over any window with
     /// stable weights each session receives quanta in exact proportion to
     /// its active-group count; ties break toward earliest admission.
+    ///
+    /// The total runnable weight is **not** recomputed here: it is
+    /// maintained incrementally (`runnable_weight`) at admission, after
+    /// every step's active-count change, and at eviction/removal, so each
+    /// quantum pays one credit-bump-and-argmax pass over cached
+    /// `runnable` flags instead of two passes re-deriving weights and
+    /// session state.
     fn select_fair_share(&mut self) -> Option<usize> {
-        let total: i64 = self
-            .slots
-            .iter()
-            .filter(|s| s.runnable())
-            .map(Slot::weight)
-            .sum();
+        let total = self.runnable_weight;
+        debug_assert_eq!(
+            total,
+            self.slots
+                .iter()
+                .filter(|s| s.runnable())
+                .map(Slot::weight)
+                .sum::<i64>(),
+            "incrementally maintained runnable weight out of sync"
+        );
         if total == 0 {
             return None;
         }
         let mut best: Option<usize> = None;
         for idx in 0..self.slots.len() {
-            if !self.slots[idx].runnable() {
+            if !self.slots[idx].runnable {
                 continue;
             }
             self.slots[idx].credit += self.slots[idx].weight();

@@ -25,25 +25,30 @@ use std::cell::Cell;
 /// acquiring memory, not returning it) **per thread**: libtest runs the
 /// tests in this binary concurrently, and a process-global counter would
 /// see every sibling test's warm-up allocations inside another test's
-/// measurement window.
+/// measurement window. Alongside the count, requested **bytes** are
+/// tracked, so tests can additionally assert that a path performs no
+/// *table-sized* allocation (an allocation count alone cannot tell a
+/// 16-byte label clone from a megabyte bitmap clone).
 struct CountingAllocator;
 
 thread_local! {
     // Const-initialized so the first access from inside `alloc` cannot
     // itself allocate (lazy TLS initializers may).
     static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
-/// Bumps this thread's counter; silently skipped during TLS teardown,
-/// where the slot is no longer accessible (no measurement runs there).
-fn count_one() {
+/// Bumps this thread's counters; silently skipped during TLS teardown,
+/// where the slots are no longer accessible (no measurement runs there).
+fn count_alloc(bytes: usize) {
     let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_ALLOC_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
 }
 
-// SAFETY-FREE: pure delegation to `System` plus a thread-local bump.
+// SAFETY-FREE: pure delegation to `System` plus thread-local bumps.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        count_one();
+        count_alloc(layout.size());
         System.alloc(layout)
     }
 
@@ -52,7 +57,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        count_one();
+        count_alloc(new_size);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -65,6 +70,13 @@ fn allocations_during(mut f: impl FnMut()) -> u64 {
     let before = THREAD_ALLOCATIONS.with(Cell::get);
     f();
     THREAD_ALLOCATIONS.with(Cell::get) - before
+}
+
+/// Runs `f` and returns how many bytes this thread requested in it.
+fn alloc_bytes_during(mut f: impl FnMut()) -> u64 {
+    let before = THREAD_ALLOC_BYTES.with(Cell::get);
+    f();
+    THREAD_ALLOC_BYTES.with(Cell::get) - before
 }
 
 fn mixed_bitmap() -> Bitmap {
@@ -227,6 +239,58 @@ fn sum2_stepper_rounds_are_allocation_free_at_steady_state() {
         }
     });
     assert_eq!(allocs, 0, "steady-state SUM2 step must not allocate");
+}
+
+#[test]
+fn warm_plan_calls_allocate_no_table_sized_memory() {
+    // The PR 5 satellite claim: planning a repeat query must not clone
+    // table-sized bitmaps. `Predicate::True` handles alias the index's
+    // own bitmaps behind `Arc`, and filtered repeats hit the plan cache,
+    // so a warm `group_handles` call allocates only per-handle slivers
+    // (labels, sampler state, the output Vec) — a few hundred bytes —
+    // while one dense bitmap clone of this 200k-row table would be ≥25 KB
+    // on its own. Byte accounting (not allocation counting) is what can
+    // tell those apart.
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("g", DataType::Str),
+        ColumnDef::new("year", DataType::Float),
+        ColumnDef::new("v", DataType::Float),
+    ]));
+    for i in 0..200_000u32 {
+        let name = match i % 3 {
+            0 => "a",
+            1 => "b",
+            _ => "c",
+        };
+        b.push_row(vec![
+            name.into(),
+            f64::from(2000 + i % 4).into(),
+            f64::from(i % 97).into(),
+        ]);
+    }
+    let engine = NeedleTail::new(b.finish(), &["g", "year"]).unwrap();
+    let filter = Predicate::eq("year", 2001.0).and(Predicate::ge("v", 50.0));
+    // Warm-up: populate the predicate and plan caches.
+    for _ in 0..2 {
+        let _ = engine.group_handles("g", "v", &Predicate::True).unwrap();
+        let _ = engine.group_handles("g", "v", &filter).unwrap();
+    }
+    let calls = 10u64;
+    let per_call_budget = 4096u64;
+    for (label, predicate) in [("True", Predicate::True), ("filtered", filter)] {
+        let bytes = alloc_bytes_during(|| {
+            for _ in 0..calls {
+                let handles = engine.group_handles("g", "v", &predicate).unwrap();
+                assert_eq!(handles.len(), 3);
+                std::hint::black_box(&handles);
+            }
+        });
+        assert!(
+            bytes < calls * per_call_budget,
+            "{label}: warm planning allocated {bytes} bytes over {calls} calls \
+             (> {per_call_budget}/call) — something is cloning table-scale state"
+        );
+    }
 }
 
 #[test]
