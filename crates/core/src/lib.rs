@@ -52,6 +52,7 @@
 // correspondence that this crate deliberately mirrors.
 #![allow(clippy::needless_range_loop)]
 
+pub mod clock;
 pub mod config;
 pub mod extensions;
 pub mod group;
@@ -69,6 +70,7 @@ mod state;
 pub mod trace;
 pub mod viz;
 
+pub use clock::{Clock, SimulatedClock, SystemClock};
 pub use config::{AlgoConfig, ReactivationPolicy};
 pub use group::GroupSource;
 pub use history::{History, HistoryPoint};

@@ -11,6 +11,7 @@
 use crate::bitmap::Bitmap;
 use crate::cache::LruCache;
 use crate::composite::CompositeIndex;
+use crate::fault::{FaultInjector, FaultSite};
 use crate::index::BitmapIndex;
 use crate::metrics::Metrics;
 use crate::predicate::Predicate;
@@ -193,6 +194,10 @@ pub struct NeedleTail {
     /// [`Predicate::True`], built once per engine (it never earns an LRU
     /// slot — its key never varies).
     all_rows: std::sync::OnceLock<Arc<Bitmap>>,
+    /// Fault injector consulted on every sampled-row read (see
+    /// [`crate::fault`]). Captured by handles at build time, so installing
+    /// or clearing an injector affects only handles built afterwards.
+    faults: Option<Arc<dyn FaultInjector>>,
 }
 
 impl NeedleTail {
@@ -223,7 +228,27 @@ impl NeedleTail {
             plans: Mutex::new(LruCache::new(PLAN_CACHE_CAPACITY)),
             composites: Mutex::new(LruCache::new(COMPOSITE_CACHE_CAPACITY)),
             all_rows: std::sync::OnceLock::new(),
+            faults: None,
         })
+    }
+
+    /// Installs a fault injector consulted on every sampled-row read from
+    /// handles built **after** this call (handles capture the injector at
+    /// build time). Rows the injector fails are dropped from the delivered
+    /// draws — single draws return `None`, batches come up short — and
+    /// charged to
+    /// [`faulted_reads`](crate::metrics::MetricsSnapshot::faulted_reads);
+    /// the algorithm layer sees an early-exhausted group and degrades to
+    /// best-effort estimates. See [`crate::fault`] for the determinism
+    /// contract.
+    pub fn set_fault_injector(&mut self, injector: Arc<dyn FaultInjector>) {
+        self.faults = Some(injector);
+    }
+
+    /// Removes any installed fault injector (handles built afterwards read
+    /// fault-free).
+    pub fn clear_fault_injector(&mut self) {
+        self.faults = None;
     }
 
     /// The observed maximum of a numeric column (`None` for string
@@ -391,6 +416,7 @@ impl NeedleTail {
                 table: Arc::clone(&self.table),
                 sampler: BitmapSampler::from_rows(rows.clone()),
                 metrics: Arc::clone(&self.metrics),
+                faults: self.faults.clone(),
                 rows_buf: Vec::new(),
             })
             .collect()
@@ -559,6 +585,7 @@ impl NeedleTail {
                 table: Arc::clone(&self.table),
                 sampler: SizeEstimatingSampler::shared(bitmap, self.table.row_count()),
                 metrics: Arc::clone(&self.metrics),
+                faults: self.faults.clone(),
                 pairs_buf: Vec::new(),
             });
         }
@@ -626,6 +653,9 @@ pub struct GroupHandle {
     table: Arc<Table>,
     sampler: BitmapSampler,
     metrics: Arc<Metrics>,
+    /// Fault injector captured from the engine at build time (see
+    /// [`crate::fault`]); `None` means reads never fail.
+    faults: Option<Arc<dyn FaultInjector>>,
     /// Reusable row-id buffer for the batch paths: together with the
     /// sampler's internal scratch arena this keeps batched draws free of
     /// per-batch heap allocation at steady state.
@@ -651,20 +681,44 @@ impl GroupHandle {
         self.len() == 0
     }
 
-    /// Draws a uniformly random measure value with replacement.
+    /// Whether an installed fault injector fails `row`, charging the
+    /// dropped read. The draw itself already happened — RNG consumption is
+    /// identical with and without faults, which is what keeps faulted runs
+    /// replayable.
+    fn read_faults(&self, row: u64) -> bool {
+        let faulted = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.fails(FaultSite::RowRead, row));
+        if faulted {
+            self.metrics.add_faulted_reads(1);
+        }
+        faulted
+    }
+
+    /// Draws a uniformly random measure value with replacement. `None` for
+    /// an empty group, or when an installed fault injector fails the
+    /// sampled row's read.
     pub fn sample_with_replacement<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<f64> {
         let row = self.sampler.sample_with_replacement(rng)?;
         self.metrics.add_random_samples(1);
         self.metrics.add_index_probes(1);
+        if self.read_faults(row) {
+            return None;
+        }
         Some(self.table.float_value(row, self.agg_idx))
     }
 
     /// Draws the next measure value of a random permutation of the group
-    /// (sampling without replacement); `None` once exhausted.
+    /// (sampling without replacement); `None` once exhausted, or when an
+    /// installed fault injector fails the sampled row's read.
     pub fn sample_without_replacement<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<f64> {
         let row = self.sampler.sample_without_replacement(rng)?;
         self.metrics.add_random_samples(1);
         self.metrics.add_index_probes(1);
+        if self.read_faults(row) {
+            return None;
+        }
         Some(self.table.float_value(row, self.agg_idx))
     }
 
@@ -681,12 +735,11 @@ impl GroupHandle {
     ) -> usize {
         let mut rows = std::mem::take(&mut self.rows_buf);
         rows.clear();
-        let got = self
-            .sampler
+        self.sampler
             .sample_batch_with_replacement(n, rng, &mut rows);
-        self.record_batch(&rows, out);
+        let delivered = self.record_batch(&rows, out);
         self.rows_buf = rows;
-        got
+        delivered
     }
 
     /// Draws up to `n` further values of the without-replacement
@@ -701,25 +754,43 @@ impl GroupHandle {
     ) -> usize {
         let mut rows = std::mem::take(&mut self.rows_buf);
         rows.clear();
-        let got = self
-            .sampler
+        self.sampler
             .sample_batch_without_replacement(n, rng, &mut rows);
-        self.record_batch(&rows, out);
+        let delivered = self.record_batch(&rows, out);
         self.rows_buf = rows;
-        got
+        delivered
     }
 
-    /// Charges metrics for and materializes a batch of sampled rows.
-    fn record_batch(&self, rows: &[u64], out: &mut Vec<f64>) {
+    /// Charges metrics for and materializes a batch of sampled rows,
+    /// returning how many values were actually delivered — fewer than
+    /// `rows.len()` when a fault injector drops reads.
+    fn record_batch(&self, rows: &[u64], out: &mut Vec<f64>) -> usize {
         if rows.is_empty() {
-            return;
+            return 0;
         }
         self.metrics.add_random_samples(rows.len() as u64);
         self.metrics.add_index_probes(rows.len() as u64);
-        out.extend(
-            rows.iter()
-                .map(|&r| self.table.float_value(r, self.agg_idx)),
-        );
+        match &self.faults {
+            None => {
+                out.extend(
+                    rows.iter()
+                        .map(|&r| self.table.float_value(r, self.agg_idx)),
+                );
+                rows.len()
+            }
+            Some(injector) => {
+                let mut delivered = 0usize;
+                for &row in rows {
+                    if injector.fails(FaultSite::RowRead, row) {
+                        self.metrics.add_faulted_reads(1);
+                    } else {
+                        out.push(self.table.float_value(row, self.agg_idx));
+                        delivered += 1;
+                    }
+                }
+                delivered
+            }
+        }
     }
 
     /// Restarts the without-replacement permutation (a fresh shuffle).
@@ -755,6 +826,9 @@ pub struct SizedGroupHandle {
     table: Arc<Table>,
     sampler: SizeEstimatingSampler,
     metrics: Arc<Metrics>,
+    /// Fault injector captured from the engine at build time (see
+    /// [`crate::fault`]); `None` means reads never fail.
+    faults: Option<Arc<dyn FaultInjector>>,
     /// Reusable `(row, z)` buffer for the batch path.
     pairs_buf: Vec<(u64, f64)>,
 }
@@ -781,6 +855,14 @@ impl SizedGroupHandle {
         let (row, z) = self.sampler.sample_with_size_estimate(rng)?;
         self.metrics.add_random_samples(1);
         self.metrics.add_index_probes(1);
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.fails(FaultSite::SizedRowRead, row))
+        {
+            self.metrics.add_faulted_reads(1);
+            return None;
+        }
         Some((self.table.float_value(row, self.agg_idx), z))
     }
 
@@ -800,17 +882,25 @@ impl SizedGroupHandle {
         let got = self
             .sampler
             .sample_batch_with_size_estimate(n, rng, &mut pairs);
+        let mut delivered = 0usize;
         if got > 0 {
             self.metrics.add_random_samples(got as u64);
             self.metrics.add_index_probes(got as u64);
-            out.extend(
-                pairs
-                    .iter()
-                    .map(|&(row, z)| (self.table.float_value(row, self.agg_idx), z)),
-            );
+            for &(row, z) in &pairs {
+                if self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.fails(FaultSite::SizedRowRead, row))
+                {
+                    self.metrics.add_faulted_reads(1);
+                } else {
+                    out.push((self.table.float_value(row, self.agg_idx), z));
+                    delivered += 1;
+                }
+            }
         }
         self.pairs_buf = pairs;
-        got
+        delivered
     }
 }
 

@@ -43,6 +43,9 @@
 //!   paper's wall-clock figures (a documented substitution for the authors'
 //!   hardware; see DESIGN.md §4).
 //! * [`metrics`] — sample/block counters every operation feeds.
+//! * [`fault`] — injectable storage-read fault points (deterministic,
+//!   row-keyed), so chaos tests can verify that sessions degrade to
+//!   best-effort answers instead of panicking when reads fail.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,6 +56,7 @@ pub mod composite;
 pub mod csv;
 pub mod disk;
 pub mod engine;
+pub mod fault;
 pub mod index;
 pub mod io;
 pub mod metrics;
@@ -70,6 +74,7 @@ pub use composite::CompositeIndex;
 pub use csv::{read_csv, CsvError, CsvOptions};
 pub use disk::SimulatedDisk;
 pub use engine::{EngineError, GroupHandle, NeedleTail, SizedGroupHandle};
+pub use fault::{FaultInjector, FaultSite, SeededFaults};
 pub use index::BitmapIndex;
 pub use io::{CostBreakdown, DiskModel};
 pub use metrics::Metrics;

@@ -14,6 +14,7 @@ pub struct Metrics {
     random_samples: AtomicU64,
     rows_scanned: AtomicU64,
     index_probes: AtomicU64,
+    faulted_reads: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -25,6 +26,11 @@ pub struct MetricsSnapshot {
     pub rows_scanned: u64,
     /// In-memory bitmap index probes (rank/select/membership).
     pub index_probes: u64,
+    /// Sampled-row reads dropped by an installed
+    /// [`FaultInjector`](crate::fault::FaultInjector). The read was
+    /// attempted (and charged as a random sample) but its value was never
+    /// delivered. Always 0 without an injector.
+    pub faulted_reads: u64,
 }
 
 impl Metrics {
@@ -49,6 +55,11 @@ impl Metrics {
         self.index_probes.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` sampled reads dropped by a fault injector.
+    pub fn add_faulted_reads(&self, n: u64) {
+        self.faulted_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Reads the current counter values.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -56,6 +67,7 @@ impl Metrics {
             random_samples: self.random_samples.load(Ordering::Relaxed),
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             index_probes: self.index_probes.load(Ordering::Relaxed),
+            faulted_reads: self.faulted_reads.load(Ordering::Relaxed),
         }
     }
 
@@ -64,6 +76,7 @@ impl Metrics {
         self.random_samples.store(0, Ordering::Relaxed);
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.index_probes.store(0, Ordering::Relaxed);
+        self.faulted_reads.store(0, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,60 @@
+//! Greedy episode minimization: shrink a failing plan while the same
+//! invariant keeps failing, so the repro report shows the smallest chaos
+//! schedule that still triggers the bug.
+
+use crate::plan::EpisodePlan;
+use crate::run::{run_episode, EpisodeOptions};
+
+/// Greedily shrinks a failing episode plan to a local fixpoint: each pass
+/// tries dropping every chaos event and clearing each resource/fault knob,
+/// keeping any edit under which [`run_episode`] still fails **the same
+/// invariant**, and repeats until nothing more can be removed.
+///
+/// Deterministic: the same plan and options always minimize to the same
+/// shrunk plan. A plan that does not fail is returned unchanged.
+#[must_use]
+pub fn minimize(plan: &EpisodePlan, opts: &EpisodeOptions) -> EpisodePlan {
+    let Some(invariant) = failing_invariant(plan, opts) else {
+        return plan.clone();
+    };
+    let mut best = plan.clone();
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < best.events.len() {
+            let mut candidate = best.clone();
+            candidate.events.remove(i);
+            if fails_same(&candidate, opts, &invariant) {
+                best = candidate;
+                shrunk = true;
+            } else {
+                i += 1;
+            }
+        }
+        for knob in 0..3 {
+            let mut candidate = best.clone();
+            let had_knob = match knob {
+                0 => candidate.global_budget.take().is_some(),
+                1 => candidate.memory_cap.take().is_some(),
+                _ => candidate.faults.take().is_some(),
+            };
+            if had_knob && fails_same(&candidate, opts, &invariant) {
+                best = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            return best;
+        }
+    }
+}
+
+fn failing_invariant(plan: &EpisodePlan, opts: &EpisodeOptions) -> Option<String> {
+    run_episode(plan, opts).err().map(|f| f.invariant)
+}
+
+fn fails_same(plan: &EpisodePlan, opts: &EpisodeOptions, invariant: &str) -> bool {
+    run_episode(plan, opts)
+        .err()
+        .is_some_and(|f| f.invariant == invariant)
+}

@@ -1,0 +1,121 @@
+//! Randomized episode batches under all three scheduler policies, plus the
+//! harness self-tests: `SIM_SEED` repro entry point and a mutation check
+//! proving a broken invariant is caught, reported, and minimized
+//! deterministically.
+//!
+//! Env knobs: `SIM_EPISODES` (episodes per policy, default 350 — 1050
+//! total), `SIM_BASE_SEED` (batch base, CI sets a per-run value), and
+//! `SIM_SEED` (re-run exactly one episode under every policy).
+
+use rapidviz::SchedulePolicy;
+use rapidviz_sim::{
+    batch_seed, episode_plan, minimize, run_batch, run_episode, run_seed, EpisodeOptions, Mutation,
+};
+
+const POLICIES: [SchedulePolicy; 3] = [
+    SchedulePolicy::FairShare,
+    SchedulePolicy::DeadlineAware,
+    SchedulePolicy::GreedyConvergence,
+];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn episodes_per_policy() -> u64 {
+    env_u64("SIM_EPISODES", 350)
+}
+
+fn base_seed() -> u64 {
+    env_u64("SIM_BASE_SEED", 0x5EED_CAFE)
+}
+
+#[test]
+fn fair_share_batch() {
+    let n = episodes_per_policy();
+    let report = run_batch(base_seed(), n, SchedulePolicy::FairShare);
+    assert_eq!(report.episodes, n);
+    assert!(
+        report.admitted >= n,
+        "every episode admits at least one query"
+    );
+    assert!(
+        report.replayed_steps > 0,
+        "replay phase must exercise steps"
+    );
+}
+
+#[test]
+fn deadline_aware_batch() {
+    let n = episodes_per_policy();
+    let report = run_batch(base_seed(), n, SchedulePolicy::DeadlineAware);
+    assert_eq!(report.episodes, n);
+    assert!(report.replayed_steps > 0);
+}
+
+#[test]
+fn greedy_convergence_batch() {
+    let n = episodes_per_policy();
+    let report = run_batch(base_seed(), n, SchedulePolicy::GreedyConvergence);
+    assert_eq!(report.episodes, n);
+    assert!(report.replayed_steps > 0);
+}
+
+/// The `SIM_SEED` repro entry point: with the env var set, runs exactly
+/// that episode under every policy and panics with the full minimized
+/// report on failure. A no-op otherwise.
+#[test]
+fn sim_seed_repro() {
+    let Ok(raw) = std::env::var("SIM_SEED") else {
+        return;
+    };
+    let seed: u64 = raw.parse().expect("SIM_SEED must be a u64");
+    for policy in POLICIES {
+        if let Err(failure) = run_seed(seed, policy) {
+            let minimized = minimize(&episode_plan(seed, policy), &EpisodeOptions::default());
+            panic!("{}", failure.report(&minimized));
+        }
+    }
+}
+
+/// Mutation check: an intentionally corrupted replay must be caught as a
+/// `replay-divergence` failure whose report leads with `SIM_SEED=<u64>`,
+/// and the same seed must reproduce the identical minimized failure.
+#[test]
+fn broken_invariant_is_caught_with_reproducible_seed() {
+    let opts = EpisodeOptions {
+        mutation: Some(Mutation::CorruptReplayEstimate),
+    };
+    let mut caught = None;
+    for i in 0..50u64 {
+        let seed = batch_seed(0xBAD_CAFE, i);
+        let plan = episode_plan(seed, SchedulePolicy::FairShare);
+        if let Err(failure) = run_episode(&plan, &opts) {
+            caught = Some((seed, plan, failure));
+            break;
+        }
+    }
+    let (seed, plan, failure) =
+        caught.expect("the mutation must trip replay-divergence within 50 episodes");
+    assert_eq!(failure.invariant, "replay-divergence");
+    assert_eq!(failure.seed, seed);
+
+    let report = failure.report(&minimize(&plan, &opts));
+    assert!(
+        report.starts_with(&format!("SIM_SEED={seed} ")),
+        "report must lead with the repro seed, got:\n{report}"
+    );
+
+    // Re-running the same seed reproduces the same failure and the same
+    // minimized episode, byte for byte.
+    let failure2 = run_episode(&plan, &opts).expect_err("the same seed must fail again");
+    assert_eq!(failure2.invariant, failure.invariant);
+    assert_eq!(failure2.report(&minimize(&plan, &opts)), report);
+
+    // Without the mutation the episode is green: the harness itself was
+    // the only thing broken.
+    assert!(run_episode(&plan, &EpisodeOptions::default()).is_ok());
+}

@@ -50,7 +50,7 @@ pub mod session;
 pub use adapter::{query_groups, query_sized_groups, NeedletailGroup, SizedNeedletailGroup};
 pub use query::{Aggregate, AlgorithmChoice, QueryAnswer, VizQuery};
 pub use rapidviz_core as core;
-pub use rapidviz_core::{Snapshot, StepOutcome};
+pub use rapidviz_core::{Clock, SimulatedClock, Snapshot, StepOutcome, SystemClock};
 pub use rapidviz_datagen as datagen;
 pub use rapidviz_needletail as needletail;
 pub use rapidviz_stats as stats;

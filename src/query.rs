@@ -24,11 +24,13 @@
 use crate::adapter::{NeedletailGroup, SizedNeedletailGroup};
 use crate::session::{MeanStepper, QuerySession, SessionCore, SessionEngine};
 use rand::RngCore;
+use rapidviz_core::clock::{Clock, SystemClock};
 use rapidviz_core::extensions::{count_config, CountSource, IFocusSum1, IFocusSum2};
 use rapidviz_core::{
     viz, AlgoConfig, ExactScan, GroupSource, IFocus, IRefine, RoundRobin, RunResult, StepOutcome,
 };
 use rapidviz_needletail::{EngineError, NeedleTail, Predicate};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which aggregate the query computes.
@@ -89,6 +91,7 @@ pub struct VizQuery<'a> {
     max_samples: Option<u64>,
     timeout: Option<Duration>,
     deadline: Option<Instant>,
+    clock: Arc<dyn Clock>,
 }
 
 impl<'a> VizQuery<'a> {
@@ -109,6 +112,7 @@ impl<'a> VizQuery<'a> {
             max_samples: None,
             timeout: None,
             deadline: None,
+            clock: Arc::new(SystemClock),
         }
     }
 
@@ -211,6 +215,17 @@ impl<'a> VizQuery<'a> {
         self
     }
 
+    /// Overrides the time source the wall-clock budgets
+    /// ([`VizQuery::timeout`] / [`VizQuery::deadline`]) are measured
+    /// against (default: the real system clock). Tests and the simulation
+    /// harness pass a [`rapidviz_core::clock::SimulatedClock`] here so
+    /// deadline skew becomes a deterministic, replayable event.
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// Restricts rows with a predicate (§6.3.3).
     #[must_use]
     pub fn filter(mut self, predicate: Predicate) -> Self {
@@ -305,10 +320,12 @@ impl<'a> VizQuery<'a> {
                 "no group-by set: call .group_by(column) at least once".into(),
             ));
         }
+        // Timeouts anchor at "now" as told by the configured clock, so a
+        // simulated clock governs the whole budget pipeline.
         let deadline = match (self.deadline, self.timeout) {
-            (Some(d), Some(t)) => Some(d.min(Instant::now() + t)),
+            (Some(d), Some(t)) => Some(d.min(self.clock.now() + t)),
             (Some(d), None) => Some(d),
-            (None, Some(t)) => Some(Instant::now() + t),
+            (None, Some(t)) => Some(self.clock.now() + t),
             (None, None) => None,
         };
         let (engine, population) = match self.aggregate {
@@ -407,6 +424,7 @@ impl<'a> VizQuery<'a> {
             population,
             self.max_samples,
             deadline,
+            Arc::clone(&self.clock),
         ))
     }
 

@@ -255,11 +255,20 @@ impl Slot {
         }
     }
 
-    /// The slot's best current answer, consuming it.
-    fn into_answer(self) -> QueryAnswer {
+    /// The slot's best current answer, consuming it. `None` only if the
+    /// slot invariant (exactly one of `session` / `answer` is set) has
+    /// been breached — callers degrade gracefully rather than abort a
+    /// whole serving process over one broken slot.
+    fn into_answer(self) -> Option<QueryAnswer> {
         match self.session {
-            Some(session) => session.finish(),
-            None => self.answer.expect("evicted slots park their answer"),
+            Some(session) => Some(session.finish()),
+            None => {
+                debug_assert!(
+                    self.answer.is_some(),
+                    "slot invariant breached: evicted slots park their answer"
+                );
+                self.answer
+            }
         }
     }
 }
@@ -469,7 +478,16 @@ impl MultiQueryScheduler {
         // The stepped slot was runnable; its weight re-enters the pool
         // below only if it still is (with its post-step active count).
         self.runnable_weight -= slot.weight();
-        let session = slot.session.as_mut().expect("selected slots are live");
+        let Some(session) = slot.session.as_mut() else {
+            // Internal-invariant breach: a selected slot must hold a live
+            // session. Retire the slot instead of aborting the process,
+            // and pick again — every retry retires another broken slot,
+            // so this terminates.
+            debug_assert!(false, "selected slot {} has no live session", slot.id);
+            slot.runnable = false;
+            slot.stats.outcome = StepOutcome::BudgetExhausted;
+            return self.poll();
+        };
         let update = session.step();
         slot.stats.steps += 1;
         slot.stats.total_samples = session.total_samples();
@@ -495,8 +513,14 @@ impl MultiQueryScheduler {
                 // evicted session stops costing memory at once.
                 self.runnable_weight -= slot.weight();
                 slot.runnable = false;
-                let finished = slot.session.take().expect("checked live above");
-                slot.answer = Some(finished.finish());
+                if let Some(finished) = slot.session.take() {
+                    slot.answer = Some(finished.finish());
+                } else {
+                    // Unreachable unless the slot invariant broke above;
+                    // the eviction bookkeeping still completes so the
+                    // scheduler stays consistent.
+                    debug_assert!(false, "evicting slot {} with no live session", slot.id);
+                }
                 slot.stats.evicted = true;
                 slot.stats.approx_bytes = 0;
                 self.pending
@@ -535,6 +559,11 @@ impl MultiQueryScheduler {
     /// (final if it terminated, best-effort otherwise — exactly
     /// [`QuerySession::finish`] semantics). Its draws stay charged to the
     /// global sample budget.
+    ///
+    /// Any not-yet-delivered [`SchedulerEvent::MemoryEvicted`] notice for
+    /// the removed session is dropped: the caller just disposed of the
+    /// session and holds its answer, so a later event naming an id it no
+    /// longer tracks would only mislead.
     pub fn finish(&mut self, id: QueryId) -> Option<QueryAnswer> {
         let idx = self.slots.iter().position(|s| s.id == id)?;
         let slot = self.slots.remove(idx);
@@ -542,7 +571,9 @@ impl MultiQueryScheduler {
             self.runnable_weight -= slot.weight();
         }
         self.retired_samples += slot.total_samples();
-        Some(slot.into_answer())
+        self.pending
+            .retain(|e| !matches!(e, SchedulerEvent::MemoryEvicted { id: eid, .. } if *eid == id));
+        slot.into_answer()
     }
 
     /// Consumes the scheduler, finishing every session in admission order.
@@ -550,8 +581,33 @@ impl MultiQueryScheduler {
     pub fn finish_all(self) -> Vec<(QueryId, QueryAnswer)> {
         self.slots
             .into_iter()
-            .map(|slot| (slot.id, slot.into_answer()))
+            .filter_map(|slot| Some((slot.id, slot.into_answer()?)))
             .collect()
+    }
+
+    /// Switches the scheduling policy mid-stream. Takes effect from the
+    /// next quantum; already-earned fair-share credit is kept (it only
+    /// matters if the policy switches back). Switching can never perturb
+    /// any session's *results* — only which session runs next — so the
+    /// per-session determinism guarantee survives arbitrary switches.
+    ///
+    /// Switching **to** [`SchedulePolicy::GreedyConvergence`] recomputes
+    /// every runnable session's convergence-proximity score on the spot
+    /// (the other policies skip that bookkeeping per quantum, so the
+    /// scores would otherwise be stale).
+    pub fn set_policy(&mut self, policy: SchedulePolicy) {
+        if policy == self.policy {
+            return;
+        }
+        let was_greedy = self.policy == SchedulePolicy::GreedyConvergence;
+        self.policy = policy;
+        if policy == SchedulePolicy::GreedyConvergence && !was_greedy {
+            for slot in &mut self.slots {
+                if let (true, Some(session)) = (slot.runnable, slot.session.as_ref()) {
+                    slot.proximity = convergence_proximity(&session.snapshot());
+                }
+            }
+        }
     }
 
     /// Picks the next session to step, or `None` when nothing is runnable.

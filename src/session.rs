@@ -52,11 +52,13 @@
 //! ```
 
 use rand::RngCore;
+use rapidviz_core::clock::Clock;
 use rapidviz_core::extensions::{CountSource, IFocusSum1Stepper, IFocusSum2Stepper};
 use rapidviz_core::runner::AlgorithmStepper;
 use rapidviz_core::{
     IFocusStepper, IRefineStepper, RoundRobinStepper, RunResult, ScanStepper, Snapshot, StepOutcome,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::adapter::{NeedletailGroup, SizedNeedletailGroup};
@@ -196,6 +198,10 @@ pub(crate) struct SessionCore {
     population: u64,
     max_samples: Option<u64>,
     deadline: Option<Instant>,
+    /// Time source the deadline is checked against — the builder's
+    /// configured clock ([`crate::VizQuery::clock`]), so simulated time
+    /// governs budgets exactly like the real wall clock does.
+    clock: Arc<dyn Clock>,
     /// Active flags after the last delivered update (for `newly_certified`).
     prev_active: Vec<bool>,
     /// Set once a non-`Running` outcome has been returned.
@@ -211,6 +217,7 @@ impl SessionCore {
         population: u64,
         max_samples: Option<u64>,
         deadline: Option<Instant>,
+        clock: Arc<dyn Clock>,
     ) -> Self {
         let prev_active = engine.snapshot().active;
         Self {
@@ -218,6 +225,7 @@ impl SessionCore {
             population,
             max_samples,
             deadline,
+            clock,
             prev_active,
             terminal: None,
             budget_tripped: false,
@@ -227,7 +235,7 @@ impl SessionCore {
     fn budget_hit(&self) -> bool {
         self.max_samples
             .is_some_and(|cap| self.engine.total_samples() >= cap)
-            || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.deadline.is_some_and(|d| self.clock.now() >= d)
     }
 
     /// Advances one round without building a `RoundUpdate` — the blocking
@@ -375,8 +383,21 @@ impl QuerySession {
     /// Advances one round and returns its update. After termination this
     /// keeps returning the terminal outcome without advancing, so a
     /// poll-style driver can simply stop on a non-`Running` outcome.
+    ///
+    /// The first terminal update — whether a budget deadline slipped past
+    /// between rounds or the run converged — is delivered exactly once:
+    /// repeated `step` calls re-report it (frozen, for pollers that missed
+    /// it), but the [`Iterator`] view never re-yields it, even when `step`
+    /// and iteration are mixed on the same session.
     pub fn step(&mut self) -> RoundUpdate {
-        self.core.step_update(self.rng.as_mut())
+        let update = self.core.step_update(self.rng.as_mut());
+        if !update.outcome.is_running() {
+            // Mark the terminal update consumed for the Iterator view too:
+            // without this, reaching the terminal via an explicit `step()`
+            // and then iterating would deliver it a second time.
+            self.delivered_terminal = true;
+        }
+        update
     }
 
     /// The current estimates, intervals, active set, and certified partial
@@ -462,10 +483,8 @@ impl Iterator for QuerySession {
         if self.delivered_terminal {
             return None;
         }
-        let update = self.step();
-        if !update.outcome.is_running() {
-            self.delivered_terminal = true;
-        }
-        Some(update)
+        // `step` flags the terminal update as delivered, so the iterator
+        // fuses right after yielding it.
+        Some(self.step())
     }
 }

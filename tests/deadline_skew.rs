@@ -1,0 +1,214 @@
+//! Deadline-skew regressions under a simulated clock: a wall-clock budget
+//! slipping past between rounds must produce **exactly one** terminal
+//! `BudgetExhausted` update per session — never zero, never two — on both
+//! the direct-session and the scheduler path, with repeated `step()` calls
+//! re-reporting the frozen terminal and the `Iterator` view fusing after
+//! delivering it once (even when `step()` and iteration are mixed).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapidviz::needletail::{ColumnDef, DataType, NeedleTail, Schema, TableBuilder};
+use rapidviz::{
+    Clock, MultiQueryScheduler, SchedulePolicy, SchedulerEvent, SimulatedClock, StepOutcome,
+    VizQuery,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Two groups with near-tied means and wide noise: the ordering takes many
+/// rounds to certify, leaving plenty of room for a deadline to trip mid-run.
+fn slow_engine() -> NeedleTail {
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("g", DataType::Str),
+        ColumnDef::new("v", DataType::Float),
+    ]));
+    let mut rng = StdRng::seed_from_u64(1);
+    for i in 0..4000 {
+        let (g, mu) = if i % 2 == 0 { ("a", 50.0) } else { ("b", 52.0) };
+        let v: f64 = mu + rng.gen_range(-20.0..20.0);
+        b.push_row(vec![g.into(), v.into()]);
+    }
+    NeedleTail::new(b.finish(), &["g"]).unwrap()
+}
+
+#[test]
+fn deadline_slipping_between_rounds_yields_exactly_one_terminal() {
+    let engine = slow_engine();
+    let clock = SimulatedClock::new();
+    let mut session = VizQuery::new(&engine)
+        .group_by("g")
+        .avg("v")
+        .bound(100.0)
+        .clock(Arc::new(clock.clone()))
+        .deadline(clock.now() + Duration::from_millis(50))
+        .start(StdRng::seed_from_u64(7))
+        .unwrap();
+
+    // Plenty of runway before the deadline: rounds keep running.
+    for _ in 0..5 {
+        assert!(session.step().outcome.is_running());
+    }
+    let samples_before = session.total_samples();
+
+    // The deadline slips past between two quanta.
+    clock.advance(Duration::from_millis(60));
+    let terminal = session.step();
+    assert_eq!(terminal.outcome, StepOutcome::BudgetExhausted);
+    assert_eq!(
+        terminal.total_samples, samples_before,
+        "the budget-terminal step must not draw"
+    );
+    assert!(terminal.snapshot.truncated);
+
+    // Poll-style re-reports are frozen, not fresh terminals.
+    let again = session.step();
+    assert_eq!(again.outcome, StepOutcome::BudgetExhausted);
+    assert_eq!(again.total_samples, samples_before);
+
+    // The Iterator view must not deliver the terminal a second time, even
+    // though it was reached via explicit step() calls.
+    assert!(session.next().is_none());
+
+    let answer = session.finish();
+    assert_eq!(answer.outcome, StepOutcome::BudgetExhausted);
+    assert!(answer.result.truncated);
+}
+
+#[test]
+fn iterator_driven_session_delivers_terminal_exactly_once() {
+    let engine = slow_engine();
+    let clock = SimulatedClock::new();
+    let mut session = VizQuery::new(&engine)
+        .group_by("g")
+        .avg("v")
+        .bound(100.0)
+        .clock(Arc::new(clock.clone()))
+        .timeout(Duration::from_millis(30))
+        .start(StdRng::seed_from_u64(9))
+        .unwrap();
+
+    let mut rounds = 0u64;
+    let mut terminals = 0u64;
+    for update in session.by_ref() {
+        rounds += 1;
+        if !update.outcome.is_running() {
+            terminals += 1;
+            assert_eq!(update.outcome, StepOutcome::BudgetExhausted);
+        }
+        if rounds == 4 {
+            // The timeout (anchored at start) expires mid-iteration.
+            clock.advance(Duration::from_millis(31));
+        }
+        assert!(rounds < 100_000, "session failed to terminate");
+    }
+    assert_eq!(
+        terminals, 1,
+        "exactly one terminal update, never zero or two"
+    );
+    assert!(session.next().is_none(), "iterator stays fused");
+}
+
+#[test]
+fn already_expired_deadline_terminates_on_first_step_without_drawing() {
+    let engine = slow_engine();
+    let clock = SimulatedClock::new();
+    clock.advance(Duration::from_millis(10));
+    let mut session = VizQuery::new(&engine)
+        .group_by("g")
+        .avg("v")
+        .bound(100.0)
+        .clock(Arc::new(clock.clone()))
+        .deadline(clock.now()) // now >= deadline from the start
+        .start(StdRng::seed_from_u64(11))
+        .unwrap();
+    let bootstrap = session.total_samples();
+
+    let update = session.step();
+    assert_eq!(update.outcome, StepOutcome::BudgetExhausted);
+    assert_eq!(
+        update.total_samples, bootstrap,
+        "only the bootstrap draws; the expired session adds nothing"
+    );
+    assert!(session.next().is_none());
+}
+
+#[test]
+fn simulated_timeout_only_trips_once_its_budget_is_spent() {
+    let engine = slow_engine();
+    let clock = SimulatedClock::new();
+    let mut session = VizQuery::new(&engine)
+        .group_by("g")
+        .avg("v")
+        .bound(100.0)
+        .clock(Arc::new(clock.clone()))
+        .timeout(Duration::from_millis(30))
+        .start(StdRng::seed_from_u64(13))
+        .unwrap();
+
+    clock.advance(Duration::from_millis(29));
+    assert!(
+        session.step().outcome.is_running(),
+        "one simulated millisecond of budget left"
+    );
+    clock.advance(Duration::from_millis(2));
+    assert_eq!(session.step().outcome, StepOutcome::BudgetExhausted);
+}
+
+#[test]
+fn scheduler_delivers_exactly_one_terminal_round_on_deadline_skew() {
+    let engine = slow_engine();
+    let clock = SimulatedClock::new();
+    let urgent = VizQuery::new(&engine)
+        .group_by("g")
+        .avg("v")
+        .bound(100.0)
+        .clock(Arc::new(clock.clone()))
+        .deadline(clock.now() + Duration::from_millis(40))
+        .start(StdRng::seed_from_u64(21))
+        .unwrap();
+    let background = VizQuery::new(&engine)
+        .group_by("g")
+        .avg("v")
+        .bound(100.0)
+        .max_samples(200)
+        .start(StdRng::seed_from_u64(22))
+        .unwrap();
+
+    let mut sched = MultiQueryScheduler::new(SchedulePolicy::DeadlineAware);
+    let urgent_id = sched.admit(urgent);
+    let _background_id = sched.admit(background);
+
+    let mut polls = 0u64;
+    let mut urgent_terminals = 0u64;
+    loop {
+        polls += 1;
+        assert!(polls < 100_000, "scheduler failed to drain");
+        if polls == 10 {
+            // The deadline slips past between quanta, mid-workload.
+            clock.advance(Duration::from_millis(50));
+        }
+        match sched.poll() {
+            SchedulerEvent::Round { id, update } if id == urgent_id => {
+                if update.outcome.is_running() {
+                    assert_eq!(
+                        urgent_terminals, 0,
+                        "no running round may follow the terminal"
+                    );
+                } else {
+                    assert_eq!(update.outcome, StepOutcome::BudgetExhausted);
+                    urgent_terminals += 1;
+                }
+            }
+            SchedulerEvent::Round { .. } | SchedulerEvent::MemoryEvicted { .. } => {}
+            SchedulerEvent::GlobalBudgetExhausted { .. } => unreachable!("no global budget set"),
+            SchedulerEvent::Drained => break,
+        }
+    }
+    assert_eq!(
+        urgent_terminals, 1,
+        "deadline skew must yield exactly one terminal BudgetExhausted round"
+    );
+    let answer = sched.finish(urgent_id).unwrap();
+    assert_eq!(answer.outcome, StepOutcome::BudgetExhausted);
+    assert!(answer.result.truncated);
+}

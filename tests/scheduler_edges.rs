@@ -1,0 +1,192 @@
+//! Scheduler edge interleavings: admission after global-budget exhaustion,
+//! cancellation racing an eviction notice within one quantum, and policy
+//! switches with zero runnable sessions — plus cross-switch determinism.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapidviz::needletail::{ColumnDef, DataType, NeedleTail, Schema, TableBuilder};
+use rapidviz::{
+    MultiQueryScheduler, QueryAnswer, SchedulePolicy, SchedulerEvent, StepOutcome, VizQuery,
+};
+
+fn engine() -> NeedleTail {
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnDef::new("g", DataType::Str),
+        ColumnDef::new("v", DataType::Float),
+    ]));
+    let mut rng = StdRng::seed_from_u64(3);
+    for i in 0..3000 {
+        let (g, mu) = match i % 3 {
+            0 => ("a", 30.0),
+            1 => ("b", 50.0),
+            _ => ("c", 70.0),
+        };
+        let v: f64 = mu + rng.gen_range(-15.0..15.0);
+        b.push_row(vec![g.into(), v.into()]);
+    }
+    NeedleTail::new(b.finish(), &["g"]).unwrap()
+}
+
+fn session(engine: &NeedleTail, seed: u64) -> rapidviz::QuerySession {
+    VizQuery::new(engine)
+        .group_by("g")
+        .avg("v")
+        .bound(100.0)
+        .start(StdRng::seed_from_u64(seed))
+        .unwrap()
+}
+
+#[test]
+fn admit_after_global_exhaustion_never_runs_but_keeps_its_answer() {
+    let engine = engine();
+    // A cap the first session's bootstrap already busts, plus a memory cap
+    // that would evict anything actually stepped.
+    let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare)
+        .with_global_sample_budget(1)
+        .with_session_memory_cap(1);
+    let first = sched.admit(session(&engine, 31));
+
+    let mut saw_exhausted = false;
+    for _ in 0..5 {
+        match sched.poll() {
+            SchedulerEvent::GlobalBudgetExhausted { total_samples } => {
+                assert!(total_samples >= 1);
+                saw_exhausted = true;
+            }
+            other => panic!("expected GlobalBudgetExhausted, got {other:?}"),
+        }
+    }
+    assert!(saw_exhausted);
+
+    // Admission after exhaustion: the session is held but never stepped —
+    // and therefore never memory-evicted either, despite the 1-byte cap.
+    let late = sched.admit(session(&engine, 32));
+    for _ in 0..5 {
+        assert!(matches!(
+            sched.poll(),
+            SchedulerEvent::GlobalBudgetExhausted { .. }
+        ));
+    }
+    let late_stats = sched.stats(late).unwrap();
+    assert_eq!(
+        late_stats.steps, 0,
+        "a post-exhaustion admit gets no quanta"
+    );
+    assert!(!late_stats.evicted, "never stepped, never evicted");
+
+    // Both answers stay retrievable, best-effort.
+    let late_answer = sched.finish(late).unwrap();
+    assert_eq!(late_answer.outcome, StepOutcome::Running);
+    assert_eq!(late_answer.result.labels.len(), 3);
+    let first_answer = sched.finish(first).unwrap();
+    assert_eq!(first_answer.outcome, StepOutcome::Running);
+}
+
+#[test]
+fn cancel_in_same_quantum_as_eviction_drops_the_stale_notice() {
+    let engine = engine();
+    // A 1-byte cap evicts on the very first quantum.
+    let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare).with_session_memory_cap(1);
+    let id = sched.admit(session(&engine, 41));
+
+    // Quantum 1: the round lands and the eviction notice is queued.
+    match sched.poll() {
+        SchedulerEvent::Round { id: rid, .. } => assert_eq!(rid, id),
+        other => panic!("expected the session's round, got {other:?}"),
+    }
+    assert!(sched.stats(id).unwrap().evicted);
+
+    // The caller cancels before the notice is delivered: the answer is
+    // handed out now, and the stale MemoryEvicted for a session the
+    // caller no longer tracks must not surface afterwards.
+    let answer = sched
+        .finish(id)
+        .expect("evicted slot still parks its answer");
+    assert_eq!(answer.result.labels.len(), 3);
+    match sched.poll() {
+        SchedulerEvent::Drained => {}
+        other => panic!("expected Drained after cancel, got stale {other:?}"),
+    }
+}
+
+#[test]
+fn policy_switch_with_zero_runnable_sessions_is_inert() {
+    let engine = engine();
+
+    // Entirely empty scheduler: switching policies must not disturb it.
+    let mut empty = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+    empty.set_policy(SchedulePolicy::GreedyConvergence);
+    assert!(matches!(empty.poll(), SchedulerEvent::Drained));
+    empty.set_policy(SchedulePolicy::DeadlineAware);
+    assert!(matches!(empty.poll(), SchedulerEvent::Drained));
+
+    // Only-terminal sessions: drive one to its (tiny) budget, then switch
+    // into the greedy policy, whose proximity recompute walks runnable
+    // slots — of which there are none.
+    let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+    let id = sched.admit(
+        VizQuery::new(&engine)
+            .group_by("g")
+            .avg("v")
+            .bound(100.0)
+            .max_samples(5)
+            .start(StdRng::seed_from_u64(51))
+            .unwrap(),
+    );
+    let mut polls = 0;
+    while !matches!(sched.poll(), SchedulerEvent::Drained) {
+        polls += 1;
+        assert!(polls < 1000, "tiny budget session failed to terminate");
+    }
+    sched.set_policy(SchedulePolicy::GreedyConvergence);
+    assert!(matches!(sched.poll(), SchedulerEvent::Drained));
+    let answer = sched.finish(id).unwrap();
+    assert_eq!(answer.outcome, StepOutcome::BudgetExhausted);
+}
+
+/// Byte-identical answers regardless of mid-run policy switches: the
+/// interleaving changes, the per-session sample streams cannot.
+#[test]
+fn policy_switches_never_perturb_results() {
+    let engine = engine();
+    let run = |switches: bool| -> Vec<QueryAnswer> {
+        let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+        for seed in [61, 62, 63] {
+            sched.admit(session(&engine, seed));
+        }
+        let mut polls = 0u64;
+        loop {
+            polls += 1;
+            assert!(polls < 100_000);
+            if switches {
+                match polls {
+                    10 => sched.set_policy(SchedulePolicy::GreedyConvergence),
+                    25 => sched.set_policy(SchedulePolicy::DeadlineAware),
+                    40 => sched.set_policy(SchedulePolicy::FairShare),
+                    _ => {}
+                }
+            }
+            if matches!(sched.poll(), SchedulerEvent::Drained) {
+                break;
+            }
+        }
+        sched.finish_all().into_iter().map(|(_, a)| a).collect()
+    };
+
+    let steady = run(false);
+    let switched = run(true);
+    assert_eq!(steady.len(), switched.len());
+    for (a, b) in steady.iter().zip(&switched) {
+        assert_eq!(a.result.labels, b.result.labels);
+        assert_eq!(a.outcome, b.outcome);
+        let bits = |ans: &QueryAnswer| {
+            ans.result
+                .estimates
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(a), bits(b), "estimates must be byte-identical");
+        assert_eq!(a.result.total_samples(), b.result.total_samples());
+    }
+}

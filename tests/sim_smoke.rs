@@ -1,0 +1,41 @@
+//! Front door to the deterministic simulation harness (`crates/sim`): a
+//! fixed-seed smoke batch runs inside the repo's tier-1 suite, so every
+//! `cargo test` exercises seeded episodes — randomized workload + chaos
+//! schedule, scheduled run, invariant suite, standalone bit-identical
+//! replay — under all three scheduler policies. Failures print a
+//! `SIM_SEED=<u64>` line that reproduces the minimized episode; see the
+//! `rapidviz-sim` crate docs for the full workflow.
+
+use rapidviz::SchedulePolicy;
+use rapidviz_sim::{episode_plan, minimize, run_batch, run_seed, EpisodeOptions};
+
+const POLICIES: [SchedulePolicy; 3] = [
+    SchedulePolicy::FairShare,
+    SchedulePolicy::DeadlineAware,
+    SchedulePolicy::GreedyConvergence,
+];
+
+#[test]
+fn fixed_seed_smoke_batch_under_every_policy() {
+    for policy in POLICIES {
+        let report = run_batch(42, 25, policy);
+        assert_eq!(report.episodes, 25);
+        assert!(report.admitted >= 25);
+        assert!(report.quanta > 0);
+        assert!(report.replayed_steps > 0);
+    }
+}
+
+#[test]
+fn pinned_seed_spread_stays_green() {
+    // A fixed spread of raw seeds (not batch-derived): failures here are
+    // regressions, not chance, and each prints its own repro line.
+    for seed in [0u64, 1, 7, 42, 1337, 0x00AB_CDEF, u64::MAX] {
+        for policy in POLICIES {
+            if let Err(failure) = run_seed(seed, policy) {
+                let minimized = minimize(&episode_plan(seed, policy), &EpisodeOptions::default());
+                panic!("{}", failure.report(&minimized));
+            }
+        }
+    }
+}
