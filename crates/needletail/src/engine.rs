@@ -324,8 +324,10 @@ impl NeedleTail {
         }
         let key = predicate.canonical_key();
         if let Some(hit) = lock(&self.predicate_bitmaps).get(&key) {
+            self.metrics.add_predicate_cache_lookup(true);
             return Arc::clone(hit);
         }
+        self.metrics.add_predicate_cache_lookup(false);
         // Evaluate outside the lock: concurrent misses on the same key
         // duplicate work harmlessly instead of serializing every planner
         // behind one evaluation.
@@ -352,8 +354,10 @@ impl NeedleTail {
         build: impl FnOnce() -> Result<Vec<(Value, RowSet)>, EngineError>,
     ) -> Result<Arc<CachedPlan>, EngineError> {
         if let Some(hit) = lock(&self.plans).get(&key) {
+            self.metrics.add_plan_cache_lookup(true);
             return Ok(Arc::clone(hit));
         }
+        self.metrics.add_plan_cache_lookup(false);
         let plan = Arc::new(CachedPlan { groups: build()? });
         lock(&self.plans).insert(key, Arc::clone(&plan));
         Ok(plan)
@@ -535,8 +539,10 @@ impl NeedleTail {
     /// the engine's composite cache afterwards.
     fn composite_index(&self, cols: &[String], raw_cols: &[&str]) -> Arc<CompositeIndex> {
         if let Some(hit) = lock(&self.composites).get(&cols.to_vec()) {
+            self.metrics.add_composite_cache_lookup(true);
             return Arc::clone(hit);
         }
+        self.metrics.add_composite_cache_lookup(false);
         // Built outside the lock: concurrent first builds duplicate work
         // harmlessly rather than blocking every planner.
         let built = Arc::new(CompositeIndex::build(&self.table, raw_cols));

@@ -77,7 +77,7 @@ pub use engine::{EngineError, GroupHandle, NeedleTail, SizedGroupHandle};
 pub use fault::{FaultInjector, FaultSite, SeededFaults};
 pub use index::BitmapIndex;
 pub use io::{CostBreakdown, DiskModel};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use predicate::Predicate;
 pub use sampler::{BatchScratch, BitmapSampler, RowSet, SizeEstimatingSampler, RADIX_MIN_BATCH};
 pub use scan::{scan_group_aggregates, GroupAggregate};

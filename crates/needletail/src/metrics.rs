@@ -15,6 +15,12 @@ pub struct Metrics {
     rows_scanned: AtomicU64,
     index_probes: AtomicU64,
     faulted_reads: AtomicU64,
+    predicate_cache_hits: AtomicU64,
+    predicate_cache_misses: AtomicU64,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    composite_cache_hits: AtomicU64,
+    composite_cache_misses: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -31,6 +37,23 @@ pub struct MetricsSnapshot {
     /// attempted (and charged as a random sample) but its value was never
     /// delivered. Always 0 without an injector.
     pub faulted_reads: u64,
+    /// Predicate-bitmap LRU hits (repeat predicate evaluations served
+    /// zero-copy). [`Predicate::True`](crate::Predicate::True) and bare
+    /// indexed equalities bypass the cache entirely and count as neither
+    /// hit nor miss.
+    pub predicate_cache_hits: u64,
+    /// Predicate-bitmap LRU misses (the predicate was evaluated against
+    /// the table and the result cached).
+    pub predicate_cache_misses: u64,
+    /// Group-plan LRU hits: planning handed back ready `(label, rows)`
+    /// sets with no predicate evaluation or per-group intersection.
+    pub plan_cache_hits: u64,
+    /// Group-plan LRU misses (the plan was built cold and cached).
+    pub plan_cache_misses: u64,
+    /// Composite (multi-attribute) index LRU hits.
+    pub composite_cache_hits: u64,
+    /// Composite index LRU misses (the joint index was built and cached).
+    pub composite_cache_misses: u64,
 }
 
 impl Metrics {
@@ -60,6 +83,33 @@ impl Metrics {
         self.faulted_reads.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one predicate-bitmap cache lookup (`hit` says which way).
+    pub fn add_predicate_cache_lookup(&self, hit: bool) {
+        if hit {
+            self.predicate_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.predicate_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one group-plan cache lookup (`hit` says which way).
+    pub fn add_plan_cache_lookup(&self, hit: bool) {
+        if hit {
+            self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one composite-index cache lookup (`hit` says which way).
+    pub fn add_composite_cache_lookup(&self, hit: bool) {
+        if hit {
+            self.composite_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.composite_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Reads the current counter values.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -68,6 +118,12 @@ impl Metrics {
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
             index_probes: self.index_probes.load(Ordering::Relaxed),
             faulted_reads: self.faulted_reads.load(Ordering::Relaxed),
+            predicate_cache_hits: self.predicate_cache_hits.load(Ordering::Relaxed),
+            predicate_cache_misses: self.predicate_cache_misses.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            composite_cache_hits: self.composite_cache_hits.load(Ordering::Relaxed),
+            composite_cache_misses: self.composite_cache_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -77,6 +133,12 @@ impl Metrics {
         self.rows_scanned.store(0, Ordering::Relaxed);
         self.index_probes.store(0, Ordering::Relaxed);
         self.faulted_reads.store(0, Ordering::Relaxed);
+        self.predicate_cache_hits.store(0, Ordering::Relaxed);
+        self.predicate_cache_misses.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.plan_cache_misses.store(0, Ordering::Relaxed);
+        self.composite_cache_hits.store(0, Ordering::Relaxed);
+        self.composite_cache_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -95,6 +157,21 @@ mod tests {
         assert_eq!(s.random_samples, 5);
         assert_eq!(s.rows_scanned, 100);
         assert_eq!(s.index_probes, 7);
+    }
+
+    #[test]
+    fn cache_lookup_counters_split_by_outcome() {
+        let m = Metrics::new();
+        m.add_predicate_cache_lookup(false);
+        m.add_predicate_cache_lookup(true);
+        m.add_predicate_cache_lookup(true);
+        m.add_plan_cache_lookup(false);
+        m.add_plan_cache_lookup(true);
+        m.add_composite_cache_lookup(false);
+        let s = m.snapshot();
+        assert_eq!((s.predicate_cache_hits, s.predicate_cache_misses), (2, 1));
+        assert_eq!((s.plan_cache_hits, s.plan_cache_misses), (1, 1));
+        assert_eq!((s.composite_cache_hits, s.composite_cache_misses), (0, 1));
     }
 
     #[test]

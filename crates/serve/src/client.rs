@@ -1,0 +1,149 @@
+//! A small blocking wire client: formats request lines, reads frames,
+//! and collects a whole query run. Used by the load generator, the
+//! loopback tests, and the simulation harness's wire episodes.
+
+use crate::protocol::{
+    read_frame, ErrorCode, Frame, QueryRequest, WireAnswer, WireRound, WireStats,
+};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Everything one query produced on the wire, in arrival order.
+#[derive(Debug, Default)]
+pub struct QueryRun {
+    /// Every intermediate round frame (the server may drop some for slow
+    /// clients; [`crate::server::ServerStats::frames_dropped_slow`] says
+    /// whether any were).
+    pub rounds: Vec<WireRound>,
+    /// Set if the server evicted the session (resident bytes at
+    /// eviction); a best-effort answer still follows.
+    pub evicted: Option<u64>,
+    /// The terminal answer, if the query was admitted and ran.
+    pub answer: Option<WireAnswer>,
+    /// The terminal error, if the query was rejected or the run failed.
+    pub error: Option<(ErrorCode, String)>,
+}
+
+impl QueryRun {
+    /// Whether the run ended with a terminal frame at all (answer or
+    /// structured error — as opposed to the connection dying mid-stream).
+    #[must_use]
+    pub fn terminated(&self) -> bool {
+        self.answer.is_some() || self.error.is_some()
+    }
+}
+
+/// A blocking connection to a `rapidviz-serve` server.
+pub struct WireClient {
+    stream: TcpStream,
+}
+
+impl WireClient {
+    /// Connects with a timeout on every socket operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Self { stream })
+    }
+
+    /// Sends a `QUERY` line without reading anything back — callers
+    /// stream frames themselves with [`WireClient::next_frame`] (or walk
+    /// away, to exercise disconnect paths).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_request(&mut self, request: &QueryRequest) -> std::io::Result<()> {
+        self.send_line(&request.to_line())
+    }
+
+    /// Sends one raw protocol line (LF appended). Public so robustness
+    /// tests can speak malformed dialect on purpose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Reads the next frame; `Ok(None)` on a clean server close.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/decode failures (including read timeouts).
+    pub fn next_frame(&mut self) -> std::io::Result<Option<Frame>> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Sends a query and collects frames until the terminal answer or
+    /// error (an eviction notice is recorded and the stream continues to
+    /// its best-effort answer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; a structured server-side rejection is
+    /// **not** an `Err` — it lands in [`QueryRun::error`].
+    pub fn run_query(&mut self, request: &QueryRequest) -> std::io::Result<QueryRun> {
+        self.send_request(request)?;
+        let mut run = QueryRun::default();
+        loop {
+            match self.next_frame()? {
+                Some(Frame::Round(r)) => run.rounds.push(r),
+                Some(Frame::Evicted { bytes }) => run.evicted = Some(bytes),
+                Some(Frame::Answer(a)) => {
+                    run.answer = Some(a);
+                    return Ok(run);
+                }
+                Some(Frame::Error { code, message }) => {
+                    run.error = Some((code, message));
+                    return Ok(run);
+                }
+                Some(Frame::Stats(_)) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "unexpected stats frame during a query stream",
+                    ));
+                }
+                None => return Ok(run), // connection closed mid-stream
+            }
+        }
+    }
+
+    /// Round-trips a `STATS` command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures; `InvalidData` if the server answers
+    /// with anything but a stats frame.
+    pub fn stats(&mut self) -> std::io::Result<WireStats> {
+        self.send_line("STATS")?;
+        match self.next_frame()? {
+            Some(Frame::Stats(s)) => Ok(s),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected stats frame, got {other:?}"),
+            )),
+        }
+    }
+
+    /// The underlying stream — robustness tests use it to shut down write
+    /// halves or send byte-at-a-time.
+    #[must_use]
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

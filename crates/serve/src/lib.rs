@@ -1,0 +1,101 @@
+//! # rapidviz-serve — a streaming wire protocol for progressive queries
+//!
+//! The paper's interaction model is a dashboard: a user issues an
+//! aggregate query and watches bars *certify* one by one, long before the
+//! exact answer would be ready. This crate puts that loop behind a TCP
+//! socket: a std-only threaded server ([`server::Server`]) admits queries
+//! into one shared [`rapidviz::MultiQueryScheduler`] and streams every
+//! session's [`rapidviz::RoundUpdate`]s to its client as length-prefixed
+//! binary frames, ending with the terminal answer.
+//!
+//! Determinism survives the wire: a request carries its RNG seed, and the
+//! scheduler's invariant (multiplexing never perturbs results) means the
+//! streamed estimates are **byte-identical** — `f64::to_bits` equal — to
+//! an in-process [`rapidviz::VizQuery::execute`] with the same seed. The
+//! loopback tests assert exactly that.
+//!
+//! ## Request grammar
+//!
+//! Requests are single LF-terminated ASCII lines, at most
+//! [`protocol::MAX_REQUEST_LINE`] bytes including the LF (CR before the
+//! LF is tolerated and stripped; empty lines are ignored):
+//!
+//! ```text
+//! QUERY group=<col>[,<col>] agg=<avg|sum|count> measure=<col> seed=<u64>
+//!       [algo=<ifocus|irefine|roundrobin|scan>]
+//!       [filter=eq:<col>:<val> | filter=in:<col>:<v1>|<v2>|...]
+//!       [delta=<f64>] [resolution_pct=<f64>] [bound=<f64>]
+//!       [spr=<u64>] [max_samples=<u64>]
+//! STATS
+//! ```
+//!
+//! `group`, `agg`, `measure`, and `seed` are required; key order is free;
+//! unknown keys, bad numbers, or a missing required key get an error
+//! frame with code `Malformed` and the connection closes. A connection
+//! runs one command at a time: after `QUERY`, the server streams frames
+//! until the terminal frame, then reads the next line.
+//!
+//! ## Frame layout
+//!
+//! Every server→client message is one frame:
+//!
+//! ```text
+//! u32 LE payload length (≤ protocol::MAX_FRAME_BYTES) | payload
+//! ```
+//!
+//! All integers are little-endian. Floats travel as `f64::to_bits` in a
+//! `u64` — bit-exact, NaN-safe. Strings are `u32 length | UTF-8 bytes`.
+//! Vectors are a `u32` count followed by packed elements. `payload[0]` is
+//! the frame tag:
+//!
+//! | tag | frame | payload after the tag |
+//! |-----|-------|------------------------|
+//! | `0x01` | Round | `u8` outcome (0 running / 1 converged / 2 budget), `u64` round, `u64` total_samples, `u64` fraction_sampled bits, `u32` n + n×`u32` newly-certified indices, snapshot |
+//! | `0x02` | Answer | `u8` outcome, `u64` population, `u8` truncated, `u32` k + k×string labels, k×`u64` estimate bits, k×`u64` samples per group, `u64` rounds |
+//! | `0x03` | Error | `u8` code (1 malformed / 2 invalid query / 3 over capacity / 4 shutting down), string message |
+//! | `0x04` | Evicted | `u64` resident bytes at eviction |
+//! | `0x05` | Stats | 13×`u64`: admitted, completed, cancelled, rejected, frames sent, frames dropped, active clients, then hit/miss pairs for the predicate, plan, and composite caches |
+//!
+//! A snapshot (inside `0x01`) is: `u32` k + k×string labels, k×`u64`
+//! estimate bits, k×(`u64`,`u64`) interval lo/hi bits, k×`u8` active
+//! flags, k×`u64` samples per group, `u64` rounds, `u8` truncated.
+//!
+//! `0x02` and `0x03` are **terminal**: the server sends nothing further
+//! for that command (and closes after `0x03`). `0x04` is followed by a
+//! best-effort `0x02`. Decoders must reject unknown tags, truncated
+//! payloads, and trailing bytes — [`protocol::Frame::decode`] does, and
+//! the robustness tests hammer it.
+//!
+//! ## Server lifecycle and failure behavior
+//!
+//! * One scheduler thread owns the engine and every session; client
+//!   threads only parse, forward, and pump encoded frames (sessions are
+//!   not `Send`-guaranteed, so they never cross threads).
+//! * A client disconnecting mid-stream cancels its session — the slot is
+//!   reclaimed, nothing panics, and
+//!   [`server::ServerStats::sessions_cancelled`] ticks.
+//! * Slow clients lose intermediate round frames (counted in
+//!   [`server::ServerStats::frames_dropped_slow`]), never terminal ones.
+//! * Over-capacity connects and mid-shutdown queries get structured
+//!   error frames (`OverCapacity` / `ShuttingDown`), not resets.
+//!
+//! ## Binaries
+//!
+//! * `rapidviz-serve` — serves a seeded flight-model table.
+//! * `rapidviz-load` — closed-loop load generator (optionally
+//!   self-hosting a server) reporting time-to-first-certified-bar
+//!   percentiles, frames/s, and sessions/s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{QueryRun, WireClient};
+pub use protocol::{
+    read_frame, write_frame, ErrorCode, FilterSpec, Frame, QueryRequest, WireAnswer, WireRound,
+    WireSnapshot, WireStats,
+};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,1116 @@
+//! The wire protocol: request-line grammar and length-prefixed frames.
+//!
+//! The byte-for-byte layout is specified in the [crate docs](crate); this
+//! module implements it. Requests are a single ASCII line parsed into a
+//! [`QueryRequest`]; every server→client message is a [`Frame`] encoded
+//! with fixed little-endian integers, `f64::to_bits` floats (bit-exact —
+//! the wire answer must compare byte-identical to an in-process run), and
+//! length-prefixed UTF-8 strings.
+
+use rapidviz::needletail::Predicate;
+use rapidviz::{Aggregate, AlgorithmChoice, QueryAnswer, RoundUpdate, StepOutcome};
+use rapidviz_stats::Interval;
+use std::io::{Read, Write};
+
+/// Upper bound on one request line, bytes (LF included). Longer lines are
+/// rejected with [`ErrorCode::Malformed`] before being buffered whole, so
+/// a hostile client cannot balloon server memory with one endless line.
+pub const MAX_REQUEST_LINE: usize = 4096;
+
+/// Upper bound on one frame payload, bytes. Far above any real frame
+/// (payloads scale with group count, not table size); a length prefix
+/// past it means a corrupt or hostile stream and decoding bails out
+/// before allocating.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Structured error categories carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request line failed to parse (unknown command or key, bad
+    /// number, missing required key, oversized line).
+    Malformed = 1,
+    /// The request parsed but the engine rejected the query (missing
+    /// column, unsupported algorithm/aggregate combination, …).
+    InvalidQuery = 2,
+    /// The server is at its concurrent-client capacity.
+    OverCapacity = 3,
+    /// The server is shutting down and no longer admits queries.
+    ShuttingDown = 4,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::Malformed),
+            2 => Some(ErrorCode::InvalidQuery),
+            3 => Some(ErrorCode::OverCapacity),
+            4 => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A selection predicate in wire form. Values travel as strings and match
+/// string-typed columns (the dashboard filter case); spell numeric
+/// selections in-process instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterSpec {
+    /// `column = value`.
+    Eq(String, String),
+    /// `column IN (values)`, spelled as an OR chain in listed order (the
+    /// engine canonicalizes, so operand order never splits the plan
+    /// cache).
+    In(String, Vec<String>),
+}
+
+impl FilterSpec {
+    /// Builds the engine predicate this spec denotes.
+    #[must_use]
+    pub fn to_predicate(&self) -> Predicate {
+        match self {
+            FilterSpec::Eq(col, val) => Predicate::eq(col.clone(), val.clone()),
+            FilterSpec::In(col, vals) => {
+                let mut iter = vals.iter();
+                let first = iter.next().cloned().unwrap_or_default();
+                let mut pred = Predicate::eq(col.clone(), first);
+                for v in iter {
+                    pred = pred.or(Predicate::eq(col.clone(), v.clone()));
+                }
+                pred
+            }
+        }
+    }
+
+    fn format(&self) -> String {
+        match self {
+            FilterSpec::Eq(col, val) => format!("eq:{col}:{val}"),
+            FilterSpec::In(col, vals) => format!("in:{col}:{}", vals.join("|")),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.splitn(3, ':');
+        let (kind, col, rest) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(k), Some(c), Some(r)) if !c.is_empty() && !r.is_empty() => (k, c, r),
+            _ => {
+                return Err(format!(
+                    "filter must be eq:<col>:<val> or in:<col>:<v|v>: {s:?}"
+                ))
+            }
+        };
+        match kind {
+            "eq" => Ok(FilterSpec::Eq(col.to_owned(), rest.to_owned())),
+            "in" => {
+                let vals: Vec<String> = rest.split('|').map(str::to_owned).collect();
+                if vals.iter().any(String::is_empty) {
+                    return Err(format!("empty value in filter IN list: {s:?}"));
+                }
+                Ok(FilterSpec::In(col.to_owned(), vals))
+            }
+            other => Err(format!("unknown filter kind {other:?} (want eq or in)")),
+        }
+    }
+}
+
+/// One parsed `QUERY` request line — everything the server needs to build
+/// a [`rapidviz::VizQuery`] and admit its session.
+///
+/// [`QueryRequest::to_line`] and [`QueryRequest::parse_line`] round-trip,
+/// so the client library formats requests through the same code the tests
+/// verify against the grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Group-by columns (1 or 2).
+    pub group_by: Vec<String>,
+    /// Aggregate function.
+    pub aggregate: Aggregate,
+    /// Measure column.
+    pub measure: String,
+    /// Ordering algorithm (AVG only; dedicated algorithms otherwise).
+    pub algorithm: AlgorithmChoice,
+    /// Optional selection predicate.
+    pub filter: Option<FilterSpec>,
+    /// Failure probability δ, if overridden.
+    pub delta: Option<f64>,
+    /// Resolution relaxation in percent, if any.
+    pub resolution_pct: Option<f64>,
+    /// Explicit value bound `c`, if any.
+    pub bound: Option<f64>,
+    /// Samples per round per active group, if overridden.
+    pub samples_per_round: Option<u64>,
+    /// Requested session sample cap (the server clamps it to its
+    /// per-client budget).
+    pub max_samples: Option<u64>,
+    /// Session RNG seed — part of the wire contract: the same request with
+    /// the same seed yields byte-identical estimates, in-process or over
+    /// the wire.
+    pub seed: u64,
+}
+
+impl QueryRequest {
+    /// A minimal request: `AVG(measure) GROUP BY group`, default
+    /// everything, seeded.
+    #[must_use]
+    pub fn avg(group: impl Into<String>, measure: impl Into<String>, seed: u64) -> Self {
+        Self {
+            group_by: vec![group.into()],
+            aggregate: Aggregate::Avg,
+            measure: measure.into(),
+            algorithm: AlgorithmChoice::IFocus,
+            filter: None,
+            delta: None,
+            resolution_pct: None,
+            bound: None,
+            samples_per_round: None,
+            max_samples: None,
+            seed,
+        }
+    }
+
+    /// Formats the request as one `QUERY` line (LF not included).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut line = format!("QUERY group={}", self.group_by.join(","));
+        let agg = match self.aggregate {
+            Aggregate::Avg => "avg",
+            Aggregate::Sum => "sum",
+            Aggregate::Count => "count",
+        };
+        line.push_str(&format!(" agg={agg} measure={}", self.measure));
+        if self.algorithm != AlgorithmChoice::IFocus {
+            let algo = match self.algorithm {
+                AlgorithmChoice::IFocus => unreachable!("default elided above"),
+                AlgorithmChoice::IRefine => "irefine",
+                AlgorithmChoice::RoundRobin => "roundrobin",
+                AlgorithmChoice::ExactScan => "scan",
+            };
+            line.push_str(&format!(" algo={algo}"));
+        }
+        if let Some(f) = &self.filter {
+            line.push_str(&format!(" filter={}", f.format()));
+        }
+        if let Some(d) = self.delta {
+            line.push_str(&format!(" delta={d}"));
+        }
+        if let Some(r) = self.resolution_pct {
+            line.push_str(&format!(" resolution_pct={r}"));
+        }
+        if let Some(b) = self.bound {
+            line.push_str(&format!(" bound={b}"));
+        }
+        if let Some(s) = self.samples_per_round {
+            line.push_str(&format!(" spr={s}"));
+        }
+        if let Some(m) = self.max_samples {
+            line.push_str(&format!(" max_samples={m}"));
+        }
+        line.push_str(&format!(" seed={}", self.seed));
+        line
+    }
+
+    /// Parses one `QUERY` request line (LF/CRLF already stripped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable grammar diagnostic; the server wraps it in
+    /// an [`ErrorCode::Malformed`] frame.
+    pub fn parse_line(line: &str) -> Result<Self, String> {
+        let rest = line
+            .strip_prefix("QUERY")
+            .ok_or_else(|| "request must start with QUERY".to_owned())?;
+        if !rest.is_empty() && !rest.starts_with(' ') {
+            return Err("QUERY must be followed by a space".to_owned());
+        }
+        let mut group_by: Option<Vec<String>> = None;
+        let mut aggregate: Option<Aggregate> = None;
+        let mut measure: Option<String> = None;
+        let mut algorithm = AlgorithmChoice::IFocus;
+        let mut filter = None;
+        let mut delta = None;
+        let mut resolution_pct = None;
+        let mut bound = None;
+        let mut samples_per_round = None;
+        let mut max_samples = None;
+        let mut seed: Option<u64> = None;
+        for pair in rest.split(' ').filter(|p| !p.is_empty()) {
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(format!("expected key=value, got {pair:?}"));
+            };
+            if value.is_empty() {
+                return Err(format!("empty value for key {key:?}"));
+            }
+            match key {
+                "group" => {
+                    let cols: Vec<String> = value.split(',').map(str::to_owned).collect();
+                    if cols.iter().any(String::is_empty) || cols.is_empty() || cols.len() > 2 {
+                        return Err(format!(
+                            "group wants 1 or 2 non-empty comma-separated columns: {value:?}"
+                        ));
+                    }
+                    group_by = Some(cols);
+                }
+                "agg" => {
+                    aggregate = Some(match value {
+                        "avg" => Aggregate::Avg,
+                        "sum" => Aggregate::Sum,
+                        "count" => Aggregate::Count,
+                        other => return Err(format!("unknown agg {other:?}")),
+                    });
+                }
+                "measure" => measure = Some(value.to_owned()),
+                "algo" => {
+                    algorithm = match value {
+                        "ifocus" => AlgorithmChoice::IFocus,
+                        "irefine" => AlgorithmChoice::IRefine,
+                        "roundrobin" => AlgorithmChoice::RoundRobin,
+                        "scan" => AlgorithmChoice::ExactScan,
+                        other => return Err(format!("unknown algo {other:?}")),
+                    };
+                }
+                "filter" => filter = Some(FilterSpec::parse(value)?),
+                "delta" => delta = Some(parse_f64(key, value, |d| d > 0.0 && d < 1.0)?),
+                "resolution_pct" => {
+                    resolution_pct = Some(parse_f64(key, value, |r| r > 0.0)?);
+                }
+                "bound" => bound = Some(parse_f64(key, value, |b| b > 0.0)?),
+                "spr" => samples_per_round = Some(parse_u64_positive(key, value)?),
+                "max_samples" => max_samples = Some(parse_u64_positive(key, value)?),
+                "seed" => {
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("seed wants a u64, got {value:?}"))?,
+                    );
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        Ok(Self {
+            group_by: group_by.ok_or_else(|| "missing required key group".to_owned())?,
+            aggregate: aggregate.ok_or_else(|| "missing required key agg".to_owned())?,
+            measure: measure.ok_or_else(|| "missing required key measure".to_owned())?,
+            algorithm,
+            filter,
+            delta,
+            resolution_pct,
+            bound,
+            samples_per_round,
+            max_samples,
+            seed: seed.ok_or_else(|| "missing required key seed".to_owned())?,
+        })
+    }
+}
+
+fn parse_f64(key: &str, value: &str, valid: impl Fn(f64) -> bool) -> Result<f64, String> {
+    let v = value
+        .parse::<f64>()
+        .map_err(|_| format!("{key} wants a number, got {value:?}"))?;
+    if !v.is_finite() || !valid(v) {
+        return Err(format!("{key} out of range: {value:?}"));
+    }
+    Ok(v)
+}
+
+fn parse_u64_positive(key: &str, value: &str) -> Result<u64, String> {
+    let v = value
+        .parse::<u64>()
+        .map_err(|_| format!("{key} wants a u64, got {value:?}"))?;
+    if v == 0 {
+        return Err(format!("{key} must be positive"));
+    }
+    Ok(v)
+}
+
+/// The wire form of one [`Snapshot`](rapidviz::Snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSnapshot {
+    /// Group labels, input order.
+    pub labels: Vec<String>,
+    /// Estimates (bit-exact).
+    pub estimates: Vec<f64>,
+    /// Confidence intervals, `(lo, hi)` per group.
+    pub intervals: Vec<(f64, f64)>,
+    /// Still-active flags.
+    pub active: Vec<bool>,
+    /// Per-group sample counts.
+    pub samples_per_group: Vec<u64>,
+    /// Round counter.
+    pub rounds: u64,
+    /// Whether a budget already truncated the run.
+    pub truncated: bool,
+}
+
+impl WireSnapshot {
+    /// The certified partial ordering: indices of inactive groups sorted
+    /// by ascending estimate (mirrors
+    /// [`Snapshot::certified_order`](rapidviz::Snapshot::certified_order)).
+    #[must_use]
+    pub fn certified_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.estimates.len())
+            .filter(|&i| !self.active[i])
+            .collect();
+        idx.sort_by(|&a, &b| self.estimates[a].total_cmp(&self.estimates[b]));
+        idx
+    }
+}
+
+/// The wire form of one [`RoundUpdate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRound {
+    /// Step outcome.
+    pub outcome: StepOutcome,
+    /// Round counter after the step.
+    pub round: u64,
+    /// Total samples drawn so far.
+    pub total_samples: u64,
+    /// Fraction of eligible rows sampled (bit-exact).
+    pub fraction_sampled: f64,
+    /// Groups certified during this step.
+    pub newly_certified: Vec<u32>,
+    /// Full snapshot.
+    pub snapshot: WireSnapshot,
+}
+
+/// The wire form of a terminal [`QueryAnswer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireAnswer {
+    /// How the run ended.
+    pub outcome: StepOutcome,
+    /// Rows eligible across groups.
+    pub population: u64,
+    /// Whether estimates are best-effort (budget/eviction truncated).
+    pub truncated: bool,
+    /// Group labels, input order.
+    pub labels: Vec<String>,
+    /// Final estimates (bit-exact).
+    pub estimates: Vec<f64>,
+    /// Per-group sample counts.
+    pub samples_per_group: Vec<u64>,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+impl WireAnswer {
+    /// Labels sorted by ascending estimate (display order).
+    #[must_use]
+    pub fn ranked_labels(&self) -> Vec<&str> {
+        let mut idx: Vec<usize> = (0..self.estimates.len()).collect();
+        idx.sort_by(|&a, &b| self.estimates[a].total_cmp(&self.estimates[b]));
+        idx.into_iter().map(|i| self.labels[i].as_str()).collect()
+    }
+}
+
+/// Server-wide counters echoed by the `STATS` command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Sessions admitted into the scheduler over the server's lifetime.
+    pub sessions_admitted: u64,
+    /// Sessions that ran to a terminal answer frame.
+    pub sessions_completed: u64,
+    /// Sessions cancelled by client disconnect.
+    pub sessions_cancelled: u64,
+    /// Queries rejected before admission (malformed, invalid, capacity).
+    pub sessions_rejected: u64,
+    /// Frames written to clients (all types).
+    pub frames_sent: u64,
+    /// Intermediate round frames dropped for slow clients (terminal
+    /// frames are never dropped).
+    pub frames_dropped_slow: u64,
+    /// Currently connected clients.
+    pub active_clients: u64,
+    /// Engine predicate-bitmap cache hits / misses (lifetime totals).
+    pub predicate_cache: (u64, u64),
+    /// Engine group-plan cache hits / misses.
+    pub plan_cache: (u64, u64),
+    /// Engine composite-index cache hits / misses.
+    pub composite_cache: (u64, u64),
+}
+
+/// One server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A session advanced one round.
+    Round(WireRound),
+    /// The terminal answer; the server closes the connection after it.
+    Answer(WireAnswer),
+    /// A structured error; the server closes the connection after it.
+    Error {
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+    /// The session outgrew the server's per-session memory cap and was
+    /// evicted; a best-effort [`Frame::Answer`] follows.
+    Evicted {
+        /// Resident-byte estimate at eviction.
+        bytes: u64,
+    },
+    /// Reply to `STATS`.
+    Stats(WireStats),
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_ROUND: u8 = 0x01;
+const TAG_ANSWER: u8 = 0x02;
+const TAG_ERROR: u8 = 0x03;
+const TAG_EVICTED: u8 = 0x04;
+const TAG_STATS: u8 = 0x05;
+
+fn outcome_to_u8(o: StepOutcome) -> u8 {
+    match o {
+        StepOutcome::Running => 0,
+        StepOutcome::Converged => 1,
+        StepOutcome::BudgetExhausted => 2,
+    }
+}
+
+fn outcome_from_u8(v: u8) -> Result<StepOutcome, DecodeError> {
+    match v {
+        0 => Ok(StepOutcome::Running),
+        1 => Ok(StepOutcome::Converged),
+        2 => Ok(StepOutcome::BudgetExhausted),
+        other => Err(DecodeError(format!("bad outcome byte {other}"))),
+    }
+}
+
+/// Byte-writer over the frame payload.
+#[derive(Default)]
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        let len = u32::try_from(s.len()).expect("string fits u32");
+        self.u32(len);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn len_u32(&mut self, n: usize) {
+        self.u32(u32::try_from(n).expect("count fits u32"));
+    }
+}
+
+/// Byte-reader over the frame payload.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| DecodeError("truncated payload".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f64_bits(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// An element count, sanity-capped against the remaining payload so a
+    /// corrupt count cannot drive a huge allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        let remaining = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > remaining {
+            return Err(DecodeError(format!(
+                "count {n} exceeds remaining payload ({remaining} bytes)"
+            )));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("invalid UTF-8".into()))
+    }
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+fn encode_snapshot(e: &mut Enc, s: &WireSnapshot) {
+    e.len_u32(s.labels.len());
+    for l in &s.labels {
+        e.str(l);
+    }
+    for &v in &s.estimates {
+        e.f64_bits(v);
+    }
+    for &(lo, hi) in &s.intervals {
+        e.f64_bits(lo);
+        e.f64_bits(hi);
+    }
+    for &a in &s.active {
+        e.u8(u8::from(a));
+    }
+    for &n in &s.samples_per_group {
+        e.u64(n);
+    }
+    e.u64(s.rounds);
+    e.u8(u8::from(s.truncated));
+}
+
+fn decode_snapshot(d: &mut Dec<'_>) -> Result<WireSnapshot, DecodeError> {
+    let k = d.count(4)?;
+    let mut labels = Vec::with_capacity(k);
+    for _ in 0..k {
+        labels.push(d.str()?);
+    }
+    let mut estimates = Vec::with_capacity(k);
+    for _ in 0..k {
+        estimates.push(d.f64_bits()?);
+    }
+    let mut intervals = Vec::with_capacity(k);
+    for _ in 0..k {
+        intervals.push((d.f64_bits()?, d.f64_bits()?));
+    }
+    let mut active = Vec::with_capacity(k);
+    for _ in 0..k {
+        active.push(d.u8()? != 0);
+    }
+    let mut samples_per_group = Vec::with_capacity(k);
+    for _ in 0..k {
+        samples_per_group.push(d.u64()?);
+    }
+    Ok(WireSnapshot {
+        labels,
+        estimates,
+        intervals,
+        active,
+        samples_per_group,
+        rounds: d.u64()?,
+        truncated: d.u8()? != 0,
+    })
+}
+
+impl Frame {
+    /// A [`Frame::Round`] built from a session's [`RoundUpdate`].
+    #[must_use]
+    pub fn from_update(update: &RoundUpdate) -> Self {
+        let snap = &update.snapshot;
+        Frame::Round(WireRound {
+            outcome: update.outcome,
+            round: update.round,
+            total_samples: update.total_samples,
+            fraction_sampled: update.fraction_sampled,
+            newly_certified: update
+                .newly_certified
+                .iter()
+                .map(|&i| u32::try_from(i).expect("group index fits u32"))
+                .collect(),
+            snapshot: WireSnapshot {
+                labels: snap.labels.clone(),
+                estimates: snap.estimates.clone(),
+                intervals: snap.intervals.iter().map(|i| (i.lo, i.hi)).collect(),
+                active: snap.active.clone(),
+                samples_per_group: snap.samples_per_group.clone(),
+                rounds: snap.rounds,
+                truncated: snap.truncated,
+            },
+        })
+    }
+
+    /// A [`Frame::Answer`] built from a finished [`QueryAnswer`].
+    #[must_use]
+    pub fn from_answer(answer: &QueryAnswer) -> Self {
+        Frame::Answer(WireAnswer {
+            outcome: answer.outcome,
+            population: answer.population,
+            truncated: answer.result.truncated,
+            labels: answer.result.labels.clone(),
+            estimates: answer.result.estimates.clone(),
+            samples_per_group: answer.result.samples_per_group.clone(),
+            rounds: answer.result.rounds,
+        })
+    }
+
+    /// Encodes the frame payload (the length prefix is written by
+    /// [`write_frame`]).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        match self {
+            Frame::Round(r) => {
+                e.u8(TAG_ROUND);
+                e.u8(outcome_to_u8(r.outcome));
+                e.u64(r.round);
+                e.u64(r.total_samples);
+                e.f64_bits(r.fraction_sampled);
+                e.len_u32(r.newly_certified.len());
+                for &i in &r.newly_certified {
+                    e.u32(i);
+                }
+                encode_snapshot(&mut e, &r.snapshot);
+            }
+            Frame::Answer(a) => {
+                e.u8(TAG_ANSWER);
+                e.u8(outcome_to_u8(a.outcome));
+                e.u64(a.population);
+                e.u8(u8::from(a.truncated));
+                e.len_u32(a.labels.len());
+                for l in &a.labels {
+                    e.str(l);
+                }
+                for &v in &a.estimates {
+                    e.f64_bits(v);
+                }
+                for &n in &a.samples_per_group {
+                    e.u64(n);
+                }
+                e.u64(a.rounds);
+            }
+            Frame::Error { code, message } => {
+                e.u8(TAG_ERROR);
+                e.u8(*code as u8);
+                e.str(message);
+            }
+            Frame::Evicted { bytes } => {
+                e.u8(TAG_EVICTED);
+                e.u64(*bytes);
+            }
+            Frame::Stats(s) => {
+                e.u8(TAG_STATS);
+                for v in [
+                    s.sessions_admitted,
+                    s.sessions_completed,
+                    s.sessions_cancelled,
+                    s.sessions_rejected,
+                    s.frames_sent,
+                    s.frames_dropped_slow,
+                    s.active_clients,
+                    s.predicate_cache.0,
+                    s.predicate_cache.1,
+                    s.plan_cache.0,
+                    s.plan_cache.1,
+                    s.composite_cache.0,
+                    s.composite_cache.1,
+                ] {
+                    e.u64(v);
+                }
+            }
+        }
+        e.0
+    }
+
+    /// Decodes one frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on an unknown tag, truncated payload,
+    /// implausible count, invalid UTF-8, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Dec::new(payload);
+        let frame = match d.u8()? {
+            TAG_ROUND => {
+                let outcome = outcome_from_u8(d.u8()?)?;
+                let round = d.u64()?;
+                let total_samples = d.u64()?;
+                let fraction_sampled = d.f64_bits()?;
+                let n = d.count(4)?;
+                let mut newly_certified = Vec::with_capacity(n);
+                for _ in 0..n {
+                    newly_certified.push(d.u32()?);
+                }
+                let snapshot = decode_snapshot(&mut d)?;
+                Frame::Round(WireRound {
+                    outcome,
+                    round,
+                    total_samples,
+                    fraction_sampled,
+                    newly_certified,
+                    snapshot,
+                })
+            }
+            TAG_ANSWER => {
+                let outcome = outcome_from_u8(d.u8()?)?;
+                let population = d.u64()?;
+                let truncated = d.u8()? != 0;
+                let k = d.count(4)?;
+                let mut labels = Vec::with_capacity(k);
+                for _ in 0..k {
+                    labels.push(d.str()?);
+                }
+                let mut estimates = Vec::with_capacity(k);
+                for _ in 0..k {
+                    estimates.push(d.f64_bits()?);
+                }
+                let mut samples_per_group = Vec::with_capacity(k);
+                for _ in 0..k {
+                    samples_per_group.push(d.u64()?);
+                }
+                Frame::Answer(WireAnswer {
+                    outcome,
+                    population,
+                    truncated,
+                    labels,
+                    estimates,
+                    samples_per_group,
+                    rounds: d.u64()?,
+                })
+            }
+            TAG_ERROR => {
+                let code = ErrorCode::from_u8(d.u8()?)
+                    .ok_or_else(|| DecodeError("bad error code".into()))?;
+                let message = d.str()?;
+                Frame::Error { code, message }
+            }
+            TAG_EVICTED => Frame::Evicted { bytes: d.u64()? },
+            TAG_STATS => {
+                let mut next = || d.u64();
+                Frame::Stats(WireStats {
+                    sessions_admitted: next()?,
+                    sessions_completed: next()?,
+                    sessions_cancelled: next()?,
+                    sessions_rejected: next()?,
+                    frames_sent: next()?,
+                    frames_dropped_slow: next()?,
+                    active_clients: next()?,
+                    predicate_cache: (next()?, next()?),
+                    plan_cache: (next()?, next()?),
+                    composite_cache: (next()?, next()?),
+                })
+            }
+            other => return Err(DecodeError(format!("unknown frame tag 0x{other:02x}"))),
+        };
+        d.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Writes one length-prefixed frame: `u32` little-endian payload length,
+/// then the payload.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O errors.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let payload = frame.encode();
+    write_frame_bytes(w, &payload)
+}
+
+/// Writes an already-encoded payload with its length prefix.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O errors.
+pub fn write_frame_bytes(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("payload fits u32");
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary (the server closed after a terminal frame).
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a length prefix past [`MAX_FRAME_BYTES`] or
+/// a payload that fails to decode; other I/O errors pass through
+/// (including `UnexpectedEof` mid-frame).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "EOF inside frame length prefix",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Frame::decode(&payload)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Converts a [`rapidviz::Snapshot`] interval list into wire pairs (used
+/// by tests comparing wire rounds against in-process updates).
+#[must_use]
+pub fn intervals_to_pairs(intervals: &[Interval]) -> Vec<(f64, f64)> {
+    intervals.iter().map(|i| (i.lo, i.hi)).collect()
+}
+
+/// Why [`read_line`] gave up on a line.
+#[derive(Debug)]
+pub enum LineError {
+    /// The line outgrew [`MAX_REQUEST_LINE`] with no LF in sight.
+    TooLong,
+    /// The underlying stream failed (not a timeout — timeouts are
+    /// retried internally).
+    Io(std::io::Error),
+}
+
+/// Accumulates request lines from a non-blocking-ish stream, preserving
+/// any bytes read past the newline for the next call (a peer may
+/// legitimately send bytes one at a time, or many lines at once).
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wraps a stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+}
+
+/// Reads one LF-terminated line (LF stripped, lossy UTF-8). Returns
+/// `Ok(None)` on EOF or when `stop` flips while waiting; the read timeout
+/// configured on the stream sets the `stop`-poll cadence.
+///
+/// # Errors
+///
+/// [`LineError::TooLong`] once the pending line passes
+/// [`MAX_REQUEST_LINE`]; [`LineError::Io`] for real stream failures.
+pub fn read_line<R: Read>(
+    reader: &mut LineReader<R>,
+    stop: &std::sync::atomic::AtomicBool,
+) -> Result<Option<String>, LineError> {
+    loop {
+        if let Some(pos) = reader.buf.iter().position(|&b| b == b'\n') {
+            let rest = reader.buf.split_off(pos + 1);
+            let mut line = std::mem::replace(&mut reader.buf, rest);
+            line.pop(); // the LF
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        if reader.buf.len() > MAX_REQUEST_LINE {
+            return Err(LineError::TooLong);
+        }
+        if stop.load(std::sync::atomic::Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let mut chunk = [0u8; 1024];
+        match reader.inner.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => reader.buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read timeout: poll the stop flag and retry.
+            }
+            Err(e) => return Err(LineError::Io(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_round() -> Frame {
+        Frame::Round(WireRound {
+            outcome: StepOutcome::Running,
+            round: 3,
+            total_samples: 120,
+            fraction_sampled: 0.25,
+            newly_certified: vec![1],
+            snapshot: WireSnapshot {
+                labels: vec!["a".into(), "b".into()],
+                estimates: vec![1.5, -2.25],
+                intervals: vec![(1.0, 2.0), (-3.0, -1.5)],
+                active: vec![true, false],
+                samples_per_group: vec![70, 50],
+                rounds: 3,
+                truncated: false,
+            },
+        })
+    }
+
+    #[test]
+    fn request_line_round_trips() {
+        let mut req = QueryRequest::avg("airline", "delay", 42);
+        req.aggregate = Aggregate::Sum;
+        req.algorithm = AlgorithmChoice::IFocus;
+        req.filter = Some(FilterSpec::In(
+            "origin".into(),
+            vec!["BOS".into(), "SFO".into()],
+        ));
+        req.delta = Some(0.01);
+        req.resolution_pct = Some(1.0);
+        req.bound = Some(100.0);
+        req.samples_per_round = Some(16);
+        req.max_samples = Some(5000);
+        let line = req.to_line();
+        assert_eq!(QueryRequest::parse_line(&line), Ok(req));
+    }
+
+    #[test]
+    fn request_line_rejects_garbage() {
+        for bad in [
+            "HELLO",
+            "QUERYx group=g agg=avg measure=v seed=1",
+            "QUERY group=g agg=avg measure=v", // missing seed
+            "QUERY group=g agg=avg seed=1",    // missing measure
+            "QUERY group=g measure=v seed=1",  // missing agg
+            "QUERY agg=avg measure=v seed=1",  // missing group
+            "QUERY group=a,b,c agg=avg measure=v seed=1", // 3 group cols
+            "QUERY group=g agg=median measure=v seed=1", // unknown agg
+            "QUERY group=g agg=avg measure=v seed=banana", // bad number
+            "QUERY group=g agg=avg measure=v seed=1 delta=1.5", // delta range
+            "QUERY group=g agg=avg measure=v seed=1 spr=0", // zero spr
+            "QUERY group=g agg=avg measure=v seed=1 nope=1", // unknown key
+            "QUERY group=g agg=avg measure=v seed=1 filter=zz", // bad filter
+            "QUERY group=g agg=avg measure=v seed=1 filter=in:f:", // empty IN
+        ] {
+            assert!(
+                QueryRequest::parse_line(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = [
+            sample_round(),
+            Frame::Answer(WireAnswer {
+                outcome: StepOutcome::Converged,
+                population: 1000,
+                truncated: false,
+                labels: vec!["x".into()],
+                estimates: vec![7.0],
+                samples_per_group: vec![33],
+                rounds: 12,
+            }),
+            Frame::Error {
+                code: ErrorCode::InvalidQuery,
+                message: "no such column".into(),
+            },
+            Frame::Evicted { bytes: 4096 },
+            Frame::Stats(WireStats {
+                sessions_admitted: 5,
+                sessions_completed: 4,
+                sessions_cancelled: 1,
+                sessions_rejected: 2,
+                frames_sent: 99,
+                frames_dropped_slow: 3,
+                active_clients: 2,
+                predicate_cache: (10, 2),
+                plan_cache: (8, 4),
+                composite_cache: (0, 1),
+            }),
+        ];
+        for frame in frames {
+            let payload = frame.encode();
+            assert_eq!(Frame::decode(&payload), Ok(frame));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let payload = sample_round().encode();
+        // Unknown tag.
+        let mut bad = payload.clone();
+        bad[0] = 0x7f;
+        assert!(Frame::decode(&bad).is_err());
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..payload.len() {
+            assert!(Frame::decode(&payload[..cut]).is_err());
+        }
+        // Trailing garbage.
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(Frame::decode(&long).is_err());
+        // Implausible count: claim 2^31 labels.
+        let mut huge = sample_round().encode();
+        // newly_certified count sits after tag(1)+outcome(1)+round(8)+
+        // samples(8)+fraction(8) = offset 26.
+        huge[26..30].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Frame::decode(&huge).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_midframe_eof_errors() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        let err = read_frame(&mut [5u8, 0].as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn filter_spec_builds_or_chain_in_listed_order() {
+        let spec = FilterSpec::In("f".into(), vec!["a".into(), "b".into()]);
+        let pred = spec.to_predicate();
+        let swapped = FilterSpec::In("f".into(), vec!["b".into(), "a".into()]).to_predicate();
+        // Distinct spellings, same canonical plan key.
+        assert_ne!(format!("{pred:?}"), format!("{swapped:?}"));
+        assert_eq!(pred.canonical_key(), swapped.canonical_key());
+    }
+}

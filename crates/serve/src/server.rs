@@ -1,0 +1,684 @@
+//! The threaded TCP server: one scheduler thread multiplexing every
+//! client's sessions, an accept loop, and one lightweight thread per
+//! connection.
+//!
+//! # Threading model
+//!
+//! [`QuerySession`]s are not `Send`-guaranteed, so they never leave the
+//! **scheduler thread**: it owns the [`NeedleTail`] engine and the
+//! [`MultiQueryScheduler`], builds sessions from parsed requests, and
+//! multiplexes quanta across every admitted query. Client threads talk to
+//! it over an mpsc command channel and receive *encoded frame payloads*
+//! (plain `Vec<u8>`) back over bounded per-query channels — the scheduler
+//! never blocks on a socket.
+//!
+//! # Backpressure
+//!
+//! Round frames are sent with `try_send`: a client that stops draining
+//! loses intermediate rounds (each snapshot supersedes the last, so this
+//! is lossless for the final answer) and
+//! [`ServerStats::frames_dropped_slow`] counts the drops. Terminal frames
+//! — [`Frame::Answer`], [`Frame::Error`], [`Frame::Evicted`] — are never
+//! dropped; a blocking send there is bounded because client threads write
+//! under a socket timeout and drop their receiver on failure, which
+//! unblocks the scheduler immediately.
+
+use crate::protocol::{
+    read_line, ErrorCode, Frame, LineError, LineReader, QueryRequest, WireStats,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapidviz::needletail::NeedleTail;
+use rapidviz::{
+    MultiQueryScheduler, QueryId, QuerySession, SchedulePolicy, SchedulerEvent, StepOutcome,
+    VizQuery,
+};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port — read it back
+    /// from [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Scheduling policy for the shared [`MultiQueryScheduler`].
+    pub policy: SchedulePolicy,
+    /// Concurrent-connection cap; further connects get an
+    /// [`ErrorCode::OverCapacity`] frame and a close.
+    pub max_clients: usize,
+    /// Optional global sample budget across every session
+    /// ([`MultiQueryScheduler::with_global_sample_budget`]).
+    pub global_sample_budget: Option<u64>,
+    /// Optional per-session memory cap in bytes
+    /// ([`MultiQueryScheduler::with_session_memory_cap`]).
+    pub session_memory_cap: Option<usize>,
+    /// Hard per-query sample ceiling; a request's own `max_samples` is
+    /// clamped to this, and requests without one get exactly this.
+    pub per_client_max_samples: u64,
+    /// Capacity of each query's frame queue. Larger queues make drops
+    /// rarer; tests wanting a complete round stream set this high and
+    /// assert [`ServerStats::frames_dropped_slow`] stayed zero.
+    pub frame_queue: usize,
+    /// Socket write timeout — bounds how long a terminal-frame send can
+    /// wedge on a stalled client before that client is declared dead.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            policy: SchedulePolicy::FairShare,
+            max_clients: 64,
+            global_sample_budget: None,
+            session_memory_cap: None,
+            per_client_max_samples: 200_000,
+            frame_queue: 64,
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Lifetime counters, shared across every server thread and readable from
+/// the owning process (loopback tests assert on these without a STATS
+/// round-trip).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Sessions admitted into the scheduler.
+    pub sessions_admitted: AtomicU64,
+    /// Sessions that produced a terminal answer frame.
+    pub sessions_completed: AtomicU64,
+    /// Sessions cancelled by client disconnect before their answer.
+    pub sessions_cancelled: AtomicU64,
+    /// Requests rejected before admission (malformed, invalid, capacity,
+    /// shutdown).
+    pub sessions_rejected: AtomicU64,
+    /// Frames actually written to sockets.
+    pub frames_sent: AtomicU64,
+    /// Intermediate round frames dropped because a client's queue was
+    /// full.
+    pub frames_dropped_slow: AtomicU64,
+    /// Currently connected clients.
+    pub active_clients: AtomicU64,
+}
+
+impl ServerStats {
+    fn wire(&self, engine_metrics: &rapidviz::needletail::MetricsSnapshot) -> WireStats {
+        WireStats {
+            sessions_admitted: self.sessions_admitted.load(Ordering::Relaxed),
+            sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
+            sessions_cancelled: self.sessions_cancelled.load(Ordering::Relaxed),
+            sessions_rejected: self.sessions_rejected.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_dropped_slow: self.frames_dropped_slow.load(Ordering::Relaxed),
+            active_clients: self.active_clients.load(Ordering::Relaxed),
+            predicate_cache: (
+                engine_metrics.predicate_cache_hits,
+                engine_metrics.predicate_cache_misses,
+            ),
+            plan_cache: (
+                engine_metrics.plan_cache_hits,
+                engine_metrics.plan_cache_misses,
+            ),
+            composite_cache: (
+                engine_metrics.composite_cache_hits,
+                engine_metrics.composite_cache_misses,
+            ),
+        }
+    }
+}
+
+/// A command from a client thread to the scheduler thread.
+enum Command {
+    /// Admit a parsed query for `client`, streaming frames to `tx`.
+    Admit {
+        client: u64,
+        request: Box<QueryRequest>,
+        tx: SyncSender<Vec<u8>>,
+    },
+    /// The client disconnected; cancel its in-flight session, if any.
+    Cancel { client: u64 },
+    /// Encode a stats frame and send it to `tx`.
+    Stats { tx: SyncSender<Vec<u8>> },
+    /// Stop scheduling and exit the thread.
+    Shutdown,
+}
+
+/// Where an admitted session's frames go.
+struct ClientLink {
+    client: u64,
+    tx: SyncSender<Vec<u8>>,
+}
+
+/// A running server. Dropping the handle does **not** stop the server —
+/// call [`ServerHandle::shutdown`].
+pub struct Server;
+
+/// Control handle returned by [`Server::start`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    cmd_tx: Sender<Command>,
+    accept_thread: Option<JoinHandle<()>>,
+    scheduler_thread: Option<JoinHandle<()>>,
+    client_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral `:0` bind).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// Stops accepting, cancels in-flight sessions, and joins every
+    /// server thread. Idempotent.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let clients = std::mem::take(&mut *self.client_threads.lock().expect("join lock"));
+        for t in clients {
+            let _ = t.join();
+        }
+        if let Some(t) = self.scheduler_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best-effort: never leave detached threads spinning past the
+        // handle (tests that forget shutdown() still terminate cleanly).
+        if self.accept_thread.is_some() || self.scheduler_thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+impl Server {
+    /// Binds and starts serving `engine` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on the initial bind.
+    pub fn start(engine: NeedleTail, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+        let client_threads = Arc::new(Mutex::new(Vec::new()));
+
+        let scheduler_thread = {
+            let stats = Arc::clone(&stats);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("rapidviz-sched".into())
+                .spawn(move || scheduler_loop(engine, &config, &cmd_rx, &stats))
+                .expect("spawn scheduler thread")
+        };
+
+        let accept_thread = {
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            let cmd_tx = cmd_tx.clone();
+            let client_threads = Arc::clone(&client_threads);
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name("rapidviz-accept".into())
+                .spawn(move || {
+                    accept_loop(
+                        &listener,
+                        &config,
+                        &cmd_tx,
+                        &stats,
+                        &shutdown,
+                        &client_threads,
+                    );
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            stats,
+            shutdown,
+            cmd_tx,
+            accept_thread: Some(accept_thread),
+            scheduler_thread: Some(scheduler_thread),
+            client_threads,
+        })
+    }
+}
+
+/// Builds a session from a wire request, clamping its sample budget to
+/// the server's per-client ceiling.
+fn build_session(
+    engine: &NeedleTail,
+    req: &QueryRequest,
+    per_client_max_samples: u64,
+) -> Result<QuerySession, String> {
+    let mut q = VizQuery::new(engine);
+    for col in &req.group_by {
+        q = q.group_by(col.clone());
+    }
+    q = match req.aggregate {
+        rapidviz::Aggregate::Avg => q.avg(req.measure.clone()),
+        rapidviz::Aggregate::Sum => q.sum(req.measure.clone()),
+        rapidviz::Aggregate::Count => q.count(req.measure.clone()),
+    };
+    q = q.algorithm(req.algorithm);
+    if let Some(f) = &req.filter {
+        q = q.filter(f.to_predicate());
+    }
+    if let Some(d) = req.delta {
+        q = q.delta(d);
+    }
+    if let Some(r) = req.resolution_pct {
+        q = q.resolution_pct(r);
+    }
+    if let Some(b) = req.bound {
+        q = q.bound(b);
+    }
+    if let Some(s) = req.samples_per_round {
+        q = q.samples_per_round(s);
+    }
+    let cap = req
+        .max_samples
+        .map_or(per_client_max_samples, |m| m.min(per_client_max_samples));
+    q = q.max_samples(cap);
+    q.start(StdRng::seed_from_u64(req.seed))
+        .map_err(|e| e.to_string())
+}
+
+/// The scheduler thread body: owns the engine and the scheduler; commands
+/// in, frame payloads out.
+fn scheduler_loop(
+    engine: NeedleTail,
+    config: &ServerConfig,
+    cmd_rx: &Receiver<Command>,
+    stats: &ServerStats,
+) {
+    let mut sched = MultiQueryScheduler::new(config.policy);
+    if let Some(cap) = config.global_sample_budget {
+        sched = sched.with_global_sample_budget(cap);
+    }
+    if let Some(cap) = config.session_memory_cap {
+        sched = sched.with_session_memory_cap(cap);
+    }
+    let mut links: HashMap<QueryId, ClientLink> = HashMap::new();
+    loop {
+        // Drain every pending command first so admissions and cancels are
+        // never starved by a busy scheduler.
+        let drained = if sched.runnable_count() == 0 && links.is_empty() {
+            // Nothing to do: block until the next command (or all senders
+            // gone, which only happens at teardown).
+            match cmd_rx.recv() {
+                Ok(cmd) => {
+                    if handle_command(cmd, &engine, config, &mut sched, &mut links, stats) {
+                        break;
+                    }
+                    true
+                }
+                Err(_) => break,
+            }
+        } else {
+            false
+        };
+        let mut stop = false;
+        while let Ok(cmd) = cmd_rx.try_recv() {
+            if handle_command(cmd, &engine, config, &mut sched, &mut links, stats) {
+                stop = true;
+                break;
+            }
+        }
+        if stop {
+            break;
+        }
+        if drained && sched.runnable_count() == 0 {
+            continue;
+        }
+        match sched.poll() {
+            SchedulerEvent::Round { id, update } => {
+                let terminal = update.outcome != StepOutcome::Running;
+                if let Some(link) = links.get(&id) {
+                    send_round(&link.tx, &Frame::from_update(&update).encode(), stats);
+                }
+                if terminal {
+                    deliver_answer(&mut sched, &mut links, id, stats);
+                }
+            }
+            SchedulerEvent::MemoryEvicted { id, bytes } => {
+                if let Some(link) = links.get(&id) {
+                    // Eviction notices are part of the contract — never
+                    // dropped (see module docs for why this send is
+                    // bounded).
+                    let payload = (Frame::Evicted {
+                        bytes: bytes as u64,
+                    })
+                    .encode();
+                    let _ = link.tx.send(payload);
+                }
+                deliver_answer(&mut sched, &mut links, id, stats);
+            }
+            SchedulerEvent::GlobalBudgetExhausted { .. } => {
+                // Finish out everything still registered with best-effort
+                // answers; late admits land here on the next poll.
+                let ids: Vec<QueryId> = links.keys().copied().collect();
+                for id in ids {
+                    deliver_answer(&mut sched, &mut links, id, stats);
+                }
+            }
+            SchedulerEvent::Drained => {
+                // Raced between runnable_count and poll; loop back to
+                // blocking recv.
+            }
+        }
+    }
+    // Teardown: surviving sessions are cancelled; receivers see the
+    // channel close and clients get a clean TCP close.
+    let n = links.len() as u64;
+    stats.sessions_cancelled.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Applies one command. Returns `true` on shutdown.
+fn handle_command(
+    cmd: Command,
+    engine: &NeedleTail,
+    config: &ServerConfig,
+    sched: &mut MultiQueryScheduler,
+    links: &mut HashMap<QueryId, ClientLink>,
+    stats: &ServerStats,
+) -> bool {
+    match cmd {
+        Command::Admit {
+            client,
+            request,
+            tx,
+        } => match build_session(engine, &request, config.per_client_max_samples) {
+            Ok(session) => {
+                let id = sched.admit(session);
+                links.insert(id, ClientLink { client, tx });
+                stats.sessions_admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(message) => {
+                stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                let payload = (Frame::Error {
+                    code: ErrorCode::InvalidQuery,
+                    message,
+                })
+                .encode();
+                let _ = tx.send(payload);
+            }
+        },
+        Command::Cancel { client } => {
+            let ids: Vec<QueryId> = links
+                .iter()
+                .filter(|(_, l)| l.client == client)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in ids {
+                links.remove(&id);
+                if sched.finish(id).is_some() {
+                    stats.sessions_cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Command::Stats { tx } => {
+            let payload = Frame::Stats(stats.wire(&engine.metrics().snapshot())).encode();
+            let _ = tx.send(payload);
+        }
+        Command::Shutdown => return true,
+    }
+    false
+}
+
+/// Finishes `id` and streams its terminal answer frame.
+fn deliver_answer(
+    sched: &mut MultiQueryScheduler,
+    links: &mut HashMap<QueryId, ClientLink>,
+    id: QueryId,
+    stats: &ServerStats,
+) {
+    let Some(link) = links.remove(&id) else {
+        // Client already cancelled; drop the answer.
+        let _ = sched.finish(id);
+        return;
+    };
+    if let Some(answer) = sched.finish(id) {
+        // Count before handing the frame off: a client that reads its
+        // answer must already see itself in `sessions_completed`.
+        stats.sessions_completed.fetch_add(1, Ordering::Relaxed);
+        let _ = link.tx.send(Frame::from_answer(&answer).encode());
+    }
+}
+
+/// Sends an intermediate round frame without ever blocking the scheduler:
+/// a full queue drops the frame (the next snapshot supersedes it).
+fn send_round(tx: &SyncSender<Vec<u8>>, payload: &[u8], stats: &ServerStats) {
+    match tx.try_send(payload.to_vec()) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            stats.frames_dropped_slow.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            // Client is gone; its Cancel command is in flight.
+        }
+    }
+}
+
+/// The accept loop: capacity gate, then one thread per connection.
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    cmd_tx: &Sender<Command>,
+    stats: &Arc<ServerStats>,
+    shutdown: &Arc<AtomicBool>,
+    client_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut next_client: u64 = 0;
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if stats.active_clients.load(Ordering::Relaxed) >= config.max_clients as u64 {
+            stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            reject_over_capacity(stream, config, stats);
+            continue;
+        }
+        stats.active_clients.fetch_add(1, Ordering::Relaxed);
+        next_client += 1;
+        let client = next_client;
+        let cmd_tx = cmd_tx.clone();
+        let stats = Arc::clone(stats);
+        let shutdown = Arc::clone(shutdown);
+        let config = config.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("rapidviz-client-{client}"))
+            .spawn(move || {
+                client_loop(stream, client, &config, &cmd_tx, &stats, &shutdown);
+                stats.active_clients.fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawn client thread");
+        let mut threads = client_threads.lock().expect("join lock");
+        // Opportunistically reap finished threads so the list stays small
+        // on long-lived servers.
+        threads.retain(|t| !t.is_finished());
+        threads.push(handle);
+    }
+}
+
+fn reject_over_capacity(mut stream: TcpStream, config: &ServerConfig, stats: &ServerStats) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let frame = Frame::Error {
+        code: ErrorCode::OverCapacity,
+        message: format!("server is at its {}-client capacity", config.max_clients),
+    };
+    if crate::protocol::write_frame(&mut stream, &frame).is_ok() {
+        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One connection's lifecycle: read a command line, dispatch, stream the
+/// reply frames, repeat until EOF / error / shutdown. Never panics on
+/// malformed input — the worst a hostile peer gets is an error frame and
+/// a close.
+fn client_loop(
+    stream: TcpStream,
+    client: u64,
+    config: &ServerConfig,
+    cmd_tx: &Sender<Command>,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut reader = LineReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    loop {
+        let line = match read_line(&mut reader, shutdown) {
+            Ok(Some(line)) => line,
+            Ok(None) => break, // clean EOF or shutdown
+            Err(LineError::TooLong) => {
+                stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                send_error(
+                    &mut writer,
+                    stats,
+                    ErrorCode::Malformed,
+                    "request line exceeds the size cap",
+                );
+                break;
+            }
+            Err(LineError::Io(_)) => break, // peer vanished mid-line
+        };
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if line == "STATS" {
+            let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(1);
+            if cmd_tx.send(Command::Stats { tx }).is_err() {
+                break;
+            }
+            if !pump_frames(&mut writer, &rx, stats, shutdown, client, cmd_tx) {
+                break;
+            }
+            continue;
+        }
+        match QueryRequest::parse_line(line) {
+            Ok(request) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                    send_error(
+                        &mut writer,
+                        stats,
+                        ErrorCode::ShuttingDown,
+                        "server is shutting down",
+                    );
+                    break;
+                }
+                let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(config.frame_queue.max(1));
+                if cmd_tx
+                    .send(Command::Admit {
+                        client,
+                        request: Box::new(request),
+                        tx,
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                if !pump_frames(&mut writer, &rx, stats, shutdown, client, cmd_tx) {
+                    // Disconnect (or shutdown) raced the stream; make sure
+                    // the slot is reclaimed.
+                    let _ = cmd_tx.send(Command::Cancel { client });
+                    break;
+                }
+            }
+            Err(message) => {
+                stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                send_error(&mut writer, stats, ErrorCode::Malformed, &message);
+                break;
+            }
+        }
+    }
+}
+
+fn send_error(writer: &mut TcpStream, stats: &ServerStats, code: ErrorCode, message: &str) {
+    let frame = Frame::Error {
+        code,
+        message: message.to_owned(),
+    };
+    if crate::protocol::write_frame(writer, &frame).is_ok() {
+        let _ = writer.flush();
+        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Streams payloads from the scheduler to the socket until a terminal
+/// frame (`Answer` / `Error` / `Stats`) goes out. Returns `false` if the
+/// socket died or the server is shutting down — the caller then cancels
+/// and closes.
+fn pump_frames(
+    writer: &mut TcpStream,
+    rx: &Receiver<Vec<u8>>,
+    stats: &ServerStats,
+    shutdown: &AtomicBool,
+    _client: u64,
+    _cmd_tx: &Sender<Command>,
+) -> bool {
+    loop {
+        let payload = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(p) => p,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return false;
+                }
+                continue;
+            }
+            // Scheduler dropped the sender (teardown) — nothing more
+            // is coming.
+            Err(RecvTimeoutError::Disconnected) => return false,
+        };
+        let tag = payload.first().copied().unwrap_or(0);
+        if crate::protocol::write_frame_bytes(writer, &payload).is_err() {
+            return false;
+        }
+        stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        // 0x02 Answer, 0x03 Error, 0x05 Stats end the stream (0x04
+        // Evicted is followed by a best-effort Answer).
+        if matches!(tag, 0x02 | 0x03 | 0x05) {
+            let _ = writer.flush();
+            return true;
+        }
+    }
+}

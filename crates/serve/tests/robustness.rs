@@ -1,0 +1,259 @@
+//! Protocol robustness: malformed requests, oversized lines, partial
+//! writes split at every byte boundary, disconnects racing the terminal
+//! update, and capacity rejection. The server must answer with a
+//! structured error frame or a clean close — never a panic, never a
+//! leaked session slot.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapidviz::needletail::NeedleTail;
+use rapidviz_datagen::FlightModel;
+use rapidviz_serve::{
+    ErrorCode, Frame, QueryRequest, Server, ServerConfig, ServerHandle, WireClient,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+const TABLE_SEED: u64 = 5;
+const ROWS: u64 = 2_000;
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    let mut rng = StdRng::seed_from_u64(TABLE_SEED);
+    let table = FlightModel::new(TABLE_SEED).to_table(ROWS, &mut rng);
+    let engine = NeedleTail::new(table, &["name"]).expect("flight engine builds");
+    Server::start(engine, config).expect("server binds")
+}
+
+fn connect(handle: &ServerHandle) -> WireClient {
+    WireClient::connect(handle.local_addr(), Duration::from_secs(30)).expect("client connects")
+}
+
+/// Admitted sessions must all reach a terminal state (completed or
+/// cancelled) shortly after their clients go away — a leaked slot shows
+/// up as this never converging.
+fn assert_no_leaked_slots(handle: &ServerHandle) {
+    let stats = handle.stats();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let admitted = stats.sessions_admitted.load(Ordering::Relaxed);
+        let terminal = stats.sessions_completed.load(Ordering::Relaxed)
+            + stats.sessions_cancelled.load(Ordering::Relaxed);
+        if admitted == terminal {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "leaked session slots: {admitted} admitted, {terminal} terminal"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn malformed_request_lines_get_structured_errors() {
+    let handle = start_server(ServerConfig::default());
+    for bad in [
+        "FROB",
+        "QUERY",
+        "QUERY group=name agg=avg measure=elapsed", // missing seed
+        "QUERY group=name agg=median measure=elapsed seed=1",
+        "QUERY group=name agg=avg measure=elapsed seed=1 delta=nope",
+        "\u{1f600} not even ascii",
+    ] {
+        let mut client = connect(&handle);
+        client.send_line(bad).expect("line sent");
+        match client.next_frame().expect("server answers, never resets") {
+            Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed, "{bad:?}"),
+            other => panic!("{bad:?}: expected error frame, got {other:?}"),
+        }
+        // The server closes after an error frame.
+        assert!(client.next_frame().expect("clean close").is_none());
+    }
+    // Binary garbage that never contains a newline within the cap.
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connects");
+    stream
+        .write_all(&vec![0xA5u8; 8 * 1024])
+        .expect("garbage sent");
+    stream.flush().expect("flush");
+    let got = rapidviz_serve::read_frame(&mut stream).expect("server answers");
+    match got {
+        Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected oversized-line error, got {other:?}"),
+    }
+    assert_eq!(handle.stats().sessions_admitted.load(Ordering::Relaxed), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn request_split_at_every_byte_boundary_still_parses() {
+    let handle = start_server(ServerConfig::default());
+    let mut req = QueryRequest::avg("name", "elapsed", 9);
+    req.max_samples = Some(200);
+    req.samples_per_round = Some(100);
+    let line = format!("{}\n", req.to_line());
+    let bytes = line.as_bytes();
+    for split in 1..bytes.len() {
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        stream.write_all(&bytes[..split]).expect("first half");
+        stream.flush().expect("flush");
+        // Give the reader a chance to observe the partial line.
+        std::thread::sleep(Duration::from_millis(1));
+        stream.write_all(&bytes[split..]).expect("second half");
+        stream.flush().expect("flush");
+        let mut saw_answer = false;
+        while let Some(frame) = rapidviz_serve::read_frame(&mut stream).expect("frames decode") {
+            match frame {
+                Frame::Answer(_) => {
+                    saw_answer = true;
+                    break;
+                }
+                Frame::Error { code, message } => {
+                    panic!("split at {split}: unexpected error {code:?}: {message}")
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_answer, "split at {split}: no terminal answer");
+    }
+    assert_no_leaked_slots(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_command_survives_byte_at_a_time_writes() {
+    let handle = start_server(ServerConfig::default());
+    let mut stream = TcpStream::connect(handle.local_addr()).expect("connects");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    for b in b"STATS\n" {
+        stream.write_all(&[*b]).expect("byte sent");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    match rapidviz_serve::read_frame(&mut stream).expect("stats decodes") {
+        Some(Frame::Stats(_)) => {}
+        other => panic!("expected stats frame, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_mid_stream_cancels_without_panic_or_leak() {
+    let handle = start_server(ServerConfig::default());
+    for seed in 0..4u64 {
+        let mut client = connect(&handle);
+        let mut req = QueryRequest::avg("name", "arr_delay", seed);
+        // A long-running query so the disconnect lands mid-stream.
+        req.max_samples = Some(100_000);
+        req.samples_per_round = Some(8);
+        client.send_request(&req).expect("request sent");
+        // Read a couple of frames to be sure the session is live, then
+        // vanish.
+        for _ in 0..2 {
+            let _ = client.next_frame();
+        }
+        drop(client);
+    }
+    assert_no_leaked_slots(&handle);
+    // The server still serves new work afterwards.
+    let mut client = connect(&handle);
+    let mut req = QueryRequest::avg("name", "elapsed", 99);
+    req.max_samples = Some(200);
+    let run = client.run_query(&req).expect("query after disconnects");
+    assert!(run.answer.is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_racing_terminal_update_is_clean() {
+    let handle = start_server(ServerConfig::default());
+    // Tiny queries finish almost immediately — dropping the connection
+    // right after sending races the terminal frame delivery.
+    for seed in 0..16u64 {
+        let mut client = connect(&handle);
+        let mut req = QueryRequest::avg("name", "elapsed", seed);
+        req.max_samples = Some(100);
+        req.samples_per_round = Some(100);
+        client.send_request(&req).expect("request sent");
+        drop(client);
+    }
+    assert_no_leaked_slots(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn over_capacity_connect_gets_structured_rejection() {
+    let handle = start_server(ServerConfig {
+        max_clients: 1,
+        ..ServerConfig::default()
+    });
+    let _holder = connect(&handle);
+    // Give the accept loop a moment to register the first client.
+    std::thread::sleep(Duration::from_millis(50));
+    let mut second = connect(&handle);
+    match second.next_frame().expect("rejection frame decodes") {
+        Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::OverCapacity),
+        other => panic!("expected over-capacity error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn half_close_after_request_still_streams_answer() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    let mut req = QueryRequest::avg("name", "dep_delay", 13);
+    req.max_samples = Some(300);
+    client.send_request(&req).expect("request sent");
+    // Close only our write half; the read half stays open for frames.
+    client
+        .stream()
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut saw_answer = false;
+    while let Some(frame) = client.next_frame().expect("frames decode") {
+        if matches!(frame, Frame::Answer(_)) {
+            saw_answer = true;
+            break;
+        }
+    }
+    assert!(saw_answer, "half-closed client still gets its answer");
+    assert_no_leaked_slots(&handle);
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_queries_on_one_connection_run_in_order() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    // Write two request lines back-to-back before reading anything; the
+    // server must buffer the second line and run it after the first.
+    let mut first = QueryRequest::avg("name", "elapsed", 41);
+    first.max_samples = Some(200);
+    let mut second = QueryRequest::avg("name", "arr_delay", 43);
+    second.max_samples = Some(200);
+    let both = format!("{}\n{}\n", first.to_line(), second.to_line());
+    client
+        .stream()
+        .write_all(both.as_bytes())
+        .expect("pipelined lines sent");
+    let mut answers = 0;
+    while answers < 2 {
+        match client.next_frame().expect("frames decode") {
+            Some(Frame::Answer(_)) => answers += 1,
+            Some(Frame::Error { code, message }) => panic!("error {code:?}: {message}"),
+            Some(_) => {}
+            None => break,
+        }
+    }
+    assert_eq!(answers, 2, "both pipelined queries answered");
+    handle.shutdown();
+}

@@ -82,6 +82,15 @@
 //! a per-run value so coverage accumulates across runs while any failure
 //! stays one `SIM_SEED` away from local repro).
 //!
+//! # Wire episodes
+//!
+//! The [`wire`] module extends the grammar over the TCP serving layer:
+//! seeded client fleets (connect / query / disconnect-mid-stream /
+//! malformed lines / half-close) run against an in-process
+//! `rapidviz-serve` server, and every completed answer is byte-compared
+//! against its standalone replay. Failures print `SIM_SEED=<u64>
+//! POLICY=Wire`; `SIM_WIRE_EPISODES` sizes the batch (default 25).
+//!
 //! [`MultiQueryScheduler`]: rapidviz::MultiQueryScheduler
 //! [`AlgorithmChoice`]: rapidviz::AlgorithmChoice
 
@@ -91,6 +100,7 @@
 mod minimize;
 mod plan;
 mod run;
+pub mod wire;
 
 pub use minimize::minimize;
 pub use plan::{
@@ -98,6 +108,10 @@ pub use plan::{
     TimeBudget,
 };
 pub use run::{run_episode, EpisodeOptions, Failure, Mutation, Report};
+pub use wire::{
+    run_wire_batch, run_wire_episode, wire_episode_plan, WireBehavior, WireClientScript,
+    WireEpisodePlan, WireFailure, WireKind, WireQuerySpec, WireReport,
+};
 
 use rapidviz::SchedulePolicy;
 

@@ -1,0 +1,425 @@
+//! Wire-client episodes: the simulation grammar extended over the TCP
+//! serving layer.
+//!
+//! A wire episode derives — from one root seed — a table, a fleet of
+//! clients, and each client's scripted behavior (complete a query,
+//! disconnect mid-stream after a few frames, half-close, or speak
+//! garbage), then runs the fleet against an **in-process
+//! [`rapidviz_serve::Server`]** on an ephemeral loopback port and checks:
+//!
+//! 1. **wire-replay-divergence** — every completed query's answer is
+//!    byte-identical ([`f64::to_bits`]) to the same seeded query executed
+//!    in-process against a fresh engine built from the same
+//!    [`TableSpec`].
+//! 2. **terminal-delivery** — every well-formed, fully-drained query gets
+//!    a terminal frame (answer or structured error), never a hang or
+//!    reset.
+//! 3. **slot-reclamation** — after the fleet drains, sessions admitted =
+//!    completed + cancelled (disconnects reclaim their slots).
+//! 4. **malformed-rejection** — garbage lines get `Malformed` error
+//!    frames; nothing panics server-side.
+//!
+//! Failures print the standard `SIM_SEED=<u64> POLICY=Wire` repro line:
+//! the seed fully determines the episode.
+
+use crate::plan::TableSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use rapidviz::needletail::NeedleTail;
+use rapidviz::{AlgorithmChoice, VizQuery};
+use rapidviz_serve::{
+    ErrorCode, FilterSpec, Frame, QueryRequest, Server, ServerConfig, WireClient,
+};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Aggregate + algorithm for one wire query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireKind {
+    /// `AVG(v)` under an ordering algorithm.
+    Avg(AlgorithmChoice),
+    /// `SUM(v)`.
+    Sum,
+    /// `COUNT` (no predicate — the sized-handle path has none).
+    Count,
+}
+
+/// One scripted wire query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireQuerySpec {
+    /// Session RNG seed (carried in the request line).
+    pub seed: u64,
+    /// Aggregate + algorithm.
+    pub kind: WireKind,
+    /// Filter over the `f` attribute, if any.
+    pub filter: Option<FilterSpec>,
+    /// Group by `(g, g2)` instead of `g` (AVG/SUM only).
+    pub multi_group: bool,
+    /// Samples per round.
+    pub samples_per_round: u64,
+    /// Session sample cap (always set — bounds episode length).
+    pub max_samples: u64,
+}
+
+impl WireQuerySpec {
+    /// The request line this spec sends.
+    #[must_use]
+    pub fn to_request(&self) -> QueryRequest {
+        let mut req = QueryRequest::avg("g", "v", self.seed);
+        if self.multi_group {
+            req.group_by.push("g2".to_owned());
+        }
+        match self.kind {
+            WireKind::Avg(algo) => {
+                req.aggregate = rapidviz::Aggregate::Avg;
+                req.algorithm = algo;
+            }
+            WireKind::Sum => req.aggregate = rapidviz::Aggregate::Sum,
+            WireKind::Count => req.aggregate = rapidviz::Aggregate::Count,
+        }
+        req.filter = self.filter.clone();
+        req.samples_per_round = Some(self.samples_per_round);
+        req.max_samples = Some(self.max_samples);
+        req
+    }
+
+    /// Executes the same query in-process against `engine` and returns
+    /// the answer for byte-comparison.
+    fn execute_in_process(&self, engine: &NeedleTail) -> rapidviz::QueryAnswer {
+        let mut q = VizQuery::new(engine).group_by("g");
+        if self.multi_group {
+            q = q.group_by("g2");
+        }
+        q = match self.kind {
+            WireKind::Avg(algo) => q.avg("v").algorithm(algo),
+            WireKind::Sum => q.sum("v"),
+            WireKind::Count => q.count("v"),
+        };
+        if let Some(f) = &self.filter {
+            q = q.filter(f.to_predicate());
+        }
+        q.samples_per_round(self.samples_per_round)
+            .max_samples(self.max_samples)
+            .execute(&mut StdRng::seed_from_u64(self.seed))
+            .expect("replay of an admitted wire query plans")
+    }
+}
+
+/// What one scripted client does with its query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireBehavior {
+    /// Drain the stream to the terminal frame and byte-compare the
+    /// answer.
+    Complete,
+    /// Read this many frames, then drop the connection mid-stream.
+    DisconnectAfter(u64),
+    /// Send a malformed line; expect a `Malformed` error frame.
+    Malformed,
+    /// Send the query, shut down the write half, and still drain to the
+    /// terminal frame.
+    HalfClose,
+}
+
+/// One scripted client: a query plus what it does with it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireClientScript {
+    /// The query.
+    pub query: WireQuerySpec,
+    /// The behavior.
+    pub behavior: WireBehavior,
+}
+
+/// A fully-derived wire episode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEpisodePlan {
+    /// Root seed (the repro handle).
+    pub seed: u64,
+    /// Table recipe (reuses the core episode grammar's table).
+    pub table: TableSpec,
+    /// The client fleet, run concurrently.
+    pub clients: Vec<WireClientScript>,
+}
+
+/// A wire-invariant violation, with its repro line.
+#[derive(Debug, Clone)]
+pub struct WireFailure {
+    /// Root seed.
+    pub seed: u64,
+    /// What broke.
+    pub message: String,
+}
+
+impl WireFailure {
+    /// The panic report; first line is the grep-able repro handle.
+    #[must_use]
+    pub fn report(&self) -> String {
+        format!("SIM_SEED={} POLICY=Wire\n{}", self.seed, self.message)
+    }
+}
+
+/// Aggregate statistics over a wire batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireReport {
+    /// Episodes run.
+    pub episodes: u64,
+    /// Queries that completed and byte-matched their in-process replay.
+    pub verified_answers: u64,
+    /// Mid-stream disconnects exercised.
+    pub disconnects: u64,
+    /// Malformed lines rejected.
+    pub malformed_rejections: u64,
+}
+
+/// Expands one root seed into a wire episode plan. Pure.
+#[must_use]
+pub fn wire_episode_plan(seed: u64) -> WireEpisodePlan {
+    // Domain-separate the wire grammar's stream from the core episode
+    // grammar's, so the same root seed explores different corners.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5749_5245_5749_5245);
+    let table = TableSpec {
+        seed: rng.next_u64(),
+        rows: rng.gen_range(80..=240usize),
+        groups: rng.gen_range(2..=5usize),
+        filter_values: 3,
+    };
+    let n_clients = rng.gen_range(2..=5usize);
+    let clients = (0..n_clients)
+        .map(|_| {
+            let kind = match rng.gen_range(0..6u32) {
+                0 => WireKind::Avg(AlgorithmChoice::IFocus),
+                1 => WireKind::Avg(AlgorithmChoice::IRefine),
+                2 => WireKind::Avg(AlgorithmChoice::RoundRobin),
+                3 => WireKind::Avg(AlgorithmChoice::ExactScan),
+                4 => WireKind::Sum,
+                _ => WireKind::Count,
+            };
+            let filter = if matches!(kind, WireKind::Count) {
+                None
+            } else {
+                match rng.gen_range(0..3u32) {
+                    0 => None,
+                    1 => Some(FilterSpec::Eq(
+                        "f".into(),
+                        format!("f{}", rng.gen_range(0..3)),
+                    )),
+                    _ => {
+                        let a = rng.gen_range(0..3u32);
+                        let b = (a + 1 + rng.gen_range(0..2u32)) % 3;
+                        Some(FilterSpec::In(
+                            "f".into(),
+                            vec![format!("f{a}"), format!("f{b}")],
+                        ))
+                    }
+                }
+            };
+            let query = WireQuerySpec {
+                seed: rng.next_u64(),
+                kind,
+                filter,
+                multi_group: !matches!(kind, WireKind::Count) && rng.gen_bool(0.25),
+                samples_per_round: rng.gen_range(4..=32),
+                max_samples: rng.gen_range(200..=2_000),
+            };
+            let behavior = match rng.gen_range(0..8u32) {
+                0 => WireBehavior::DisconnectAfter(rng.gen_range(0..4)),
+                1 => WireBehavior::Malformed,
+                2 => WireBehavior::HalfClose,
+                _ => WireBehavior::Complete,
+            };
+            WireClientScript { query, behavior }
+        })
+        .collect();
+    WireEpisodePlan {
+        seed,
+        table,
+        clients,
+    }
+}
+
+/// Runs one wire episode.
+///
+/// # Errors
+///
+/// Returns the first [`WireFailure`] the episode hits.
+pub fn run_wire_episode(plan: &WireEpisodePlan) -> Result<WireReport, WireFailure> {
+    let fail = |message: String| WireFailure {
+        seed: plan.seed,
+        message,
+    };
+    let engine = plan.table.build();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_clients: plan.clients.len() + 2,
+        per_client_max_samples: 1_000_000,
+        ..ServerConfig::default()
+    };
+    let handle =
+        Server::start(engine, config).map_err(|e| fail(format!("server bind failed: {e}")))?;
+    let addr = handle.local_addr();
+    let mut report = WireReport {
+        episodes: 1,
+        ..WireReport::default()
+    };
+
+    let results: Vec<Result<ClientOutcome, String>> = std::thread::scope(|scope| {
+        plan.clients
+            .iter()
+            .map(|script| scope.spawn(move || run_client_script(addr, script)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("client thread panicked".to_owned()))
+            })
+            .collect()
+    });
+
+    // Replay completed answers against a fresh engine (cold caches — the
+    // wire answer must not depend on server-side cache state).
+    let replay_engine = plan.table.build();
+    for (script, result) in plan.clients.iter().zip(results) {
+        let outcome = result.map_err(&fail)?;
+        match outcome {
+            ClientOutcome::Answered(answer) => {
+                let reference = script.query.execute_in_process(&replay_engine);
+                let wire_bits: Vec<u64> = answer.estimates.iter().map(|e| e.to_bits()).collect();
+                let ref_bits: Vec<u64> = reference
+                    .result
+                    .estimates
+                    .iter()
+                    .map(|e| e.to_bits())
+                    .collect();
+                if answer.labels != reference.result.labels
+                    || wire_bits != ref_bits
+                    || answer.outcome != reference.outcome
+                    || answer.samples_per_group != reference.result.samples_per_group
+                {
+                    return Err(fail(format!(
+                        "wire-replay divergence for {script:?}:\n wire {answer:?}\n local {:?}",
+                        reference.result
+                    )));
+                }
+                report.verified_answers += 1;
+            }
+            ClientOutcome::Disconnected => report.disconnects += 1,
+            ClientOutcome::MalformedRejected => report.malformed_rejections += 1,
+        }
+    }
+
+    // Slot reclamation: every admitted session ends terminal.
+    let stats = handle.stats();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let admitted = stats.sessions_admitted.load(Ordering::Relaxed);
+        let terminal = stats.sessions_completed.load(Ordering::Relaxed)
+            + stats.sessions_cancelled.load(Ordering::Relaxed);
+        if admitted == terminal {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(fail(format!(
+                "leaked session slots: {admitted} admitted but only {terminal} terminal"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+    Ok(report)
+}
+
+enum ClientOutcome {
+    Answered(rapidviz_serve::WireAnswer),
+    Disconnected,
+    MalformedRejected,
+}
+
+fn run_client_script(
+    addr: std::net::SocketAddr,
+    script: &WireClientScript,
+) -> Result<ClientOutcome, String> {
+    let mut client = WireClient::connect(addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect failed: {e}"))?;
+    match script.behavior {
+        WireBehavior::Complete => {
+            let run = client
+                .run_query(&script.query.to_request())
+                .map_err(|e| format!("query stream failed: {e}"))?;
+            run.answer
+                .map(ClientOutcome::Answered)
+                .ok_or_else(|| format!("no terminal answer; error={:?}", run.error))
+        }
+        WireBehavior::HalfClose => {
+            client
+                .send_request(&script.query.to_request())
+                .map_err(|e| format!("send failed: {e}"))?;
+            client
+                .stream()
+                .shutdown(std::net::Shutdown::Write)
+                .map_err(|e| format!("half-close failed: {e}"))?;
+            loop {
+                match client
+                    .next_frame()
+                    .map_err(|e| format!("read failed: {e}"))?
+                {
+                    Some(Frame::Answer(a)) => return Ok(ClientOutcome::Answered(a)),
+                    Some(Frame::Error { code, message }) => {
+                        return Err(format!("unexpected error {code:?}: {message}"))
+                    }
+                    Some(_) => {}
+                    None => return Err("stream closed without terminal frame".to_owned()),
+                }
+            }
+        }
+        WireBehavior::DisconnectAfter(frames) => {
+            client
+                .send_request(&script.query.to_request())
+                .map_err(|e| format!("send failed: {e}"))?;
+            for _ in 0..frames {
+                // Terminal may legitimately arrive before we bail; both
+                // sides of the race must be clean. Stop at a terminal
+                // frame — the server sends nothing further for this
+                // query, so waiting for more would just hit the read
+                // timeout.
+                match client.next_frame() {
+                    Ok(Some(Frame::Round(_) | Frame::Evicted { .. })) => {}
+                    Ok(Some(_)) | Ok(None) | Err(_) => break,
+                }
+            }
+            Ok(ClientOutcome::Disconnected)
+        }
+        WireBehavior::Malformed => {
+            client
+                .send_line("QUERY this is not the grammar")
+                .map_err(|e| format!("send failed: {e}"))?;
+            match client
+                .next_frame()
+                .map_err(|e| format!("read failed: {e}"))?
+            {
+                Some(Frame::Error {
+                    code: ErrorCode::Malformed,
+                    ..
+                }) => Ok(ClientOutcome::MalformedRejected),
+                other => Err(format!("expected Malformed error, got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Runs `count` wire episodes derived from `base_seed`, panicking with a
+/// `SIM_SEED=<u64> POLICY=Wire` repro on the first failure.
+pub fn run_wire_batch(base_seed: u64, count: u64) -> WireReport {
+    let mut aggregate = WireReport::default();
+    for i in 0..count {
+        let seed = crate::batch_seed(base_seed, i);
+        match run_wire_episode(&wire_episode_plan(seed)) {
+            Ok(r) => {
+                aggregate.episodes += r.episodes;
+                aggregate.verified_answers += r.verified_answers;
+                aggregate.disconnects += r.disconnects;
+                aggregate.malformed_rejections += r.malformed_rejections;
+            }
+            Err(failure) => panic!("{}", failure.report()),
+        }
+    }
+    aggregate
+}

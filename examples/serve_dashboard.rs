@@ -1,0 +1,90 @@
+//! A dashboard over the wire: starts an in-process `rapidviz-serve`
+//! server on seeded flight data, connects a wire client, and renders the
+//! streamed round updates as a progressively-certifying bar chart — the
+//! paper's interaction model, end to end through the TCP protocol.
+//!
+//! ```text
+//! cargo run --release --example serve_dashboard
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapidviz::core::viz::bar_chart;
+use rapidviz::datagen::FlightModel;
+use rapidviz::needletail::NeedleTail;
+use rapidviz_serve::{Frame, QueryRequest, Server, ServerConfig, WireClient};
+use std::time::Duration;
+
+fn main() {
+    // A seeded flight table behind a loopback server on an ephemeral port.
+    let seed = 42;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = FlightModel::new(seed).to_table(30_000, &mut rng);
+    let engine = NeedleTail::new(table, &["name"]).expect("flight engine builds");
+    // A deep frame queue so no intermediate round is dropped while this
+    // client stops to print — we want to *see* the progressive certification.
+    let config = ServerConfig {
+        frame_queue: 8192,
+        ..ServerConfig::default()
+    };
+    let handle = Server::start(engine, config).expect("server binds");
+    println!("serving flight data on {}\n", handle.local_addr());
+
+    // One dashboard query: average arrival delay per airline, streamed.
+    let mut client =
+        WireClient::connect(handle.local_addr(), Duration::from_secs(30)).expect("connects");
+    let mut request = QueryRequest::avg("name", "arr_delay", 7);
+    request.samples_per_round = Some(32);
+    request.max_samples = Some(60_000);
+    client.send_request(&request).expect("request sent");
+
+    let mut certified = 0usize;
+    while let Some(frame) = client.next_frame().expect("frames decode") {
+        match frame {
+            Frame::Round(round) => {
+                certified += round.newly_certified.len();
+                if !round.newly_certified.is_empty() {
+                    let snap = &round.snapshot;
+                    println!(
+                        "round {:>4}  {:>6} samples  {:>2}/{} bars certified",
+                        round.round,
+                        round.total_samples,
+                        certified,
+                        snap.labels.len(),
+                    );
+                }
+            }
+            Frame::Answer(answer) => {
+                println!(
+                    "\nterminal answer after {} rounds ({:?}):\n",
+                    answer.rounds, answer.outcome
+                );
+                // Display order = certified ordering: ascending estimate.
+                let mut idx: Vec<usize> = (0..answer.estimates.len()).collect();
+                idx.sort_by(|&a, &b| answer.estimates[a].total_cmp(&answer.estimates[b]));
+                let labels: Vec<&str> = idx.iter().map(|&i| answer.labels[i].as_str()).collect();
+                let values: Vec<f64> = idx.iter().map(|&i| answer.estimates[i].abs()).collect();
+                println!("{}", bar_chart(&labels, &values, 40));
+                break;
+            }
+            Frame::Error { code, message } => {
+                eprintln!("server error {code:?}: {message}");
+                break;
+            }
+            Frame::Evicted { bytes } => println!("(session evicted at {bytes} resident bytes)"),
+            Frame::Stats(_) => {}
+        }
+    }
+
+    let stats = client.stats().expect("stats round-trip");
+    println!(
+        "\nserver lifetime: {} admitted, {} completed, {} frames sent \
+         (plan cache {} hits / {} misses)",
+        stats.sessions_admitted,
+        stats.sessions_completed,
+        stats.frames_sent,
+        stats.plan_cache.0,
+        stats.plan_cache.1,
+    );
+    handle.shutdown();
+}

@@ -57,4 +57,4 @@ pub use rapidviz_stats as stats;
 pub use scheduler::{
     MultiQueryScheduler, QueryId, RunOutcome, SchedulePolicy, SchedulerEvent, SessionStats,
 };
-pub use session::{QuerySession, RoundUpdate};
+pub use session::{PlanCacheStats, QuerySession, RoundUpdate};

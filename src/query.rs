@@ -22,7 +22,7 @@
 //! ```
 
 use crate::adapter::{NeedletailGroup, SizedNeedletailGroup};
-use crate::session::{MeanStepper, QuerySession, SessionCore, SessionEngine};
+use crate::session::{MeanStepper, PlanCacheStats, QuerySession, SessionCore, SessionEngine};
 use rand::RngCore;
 use rapidviz_core::clock::{Clock, SystemClock};
 use rapidviz_core::extensions::{count_config, CountSource, IFocusSum1, IFocusSum2};
@@ -328,6 +328,10 @@ impl<'a> VizQuery<'a> {
             (None, Some(t)) => Some(self.clock.now() + t),
             (None, None) => None,
         };
+        // Bracket planning with engine metrics snapshots so the session
+        // records how the planning caches treated this query (the
+        // observability a serving layer keys on).
+        let metrics_before = self.engine.metrics().snapshot();
         let (engine, population) = match self.aggregate {
             Aggregate::Avg | Aggregate::Sum => {
                 let handles = if self.group_by.len() == 1 {
@@ -419,12 +423,14 @@ impl<'a> VizQuery<'a> {
                 (SessionEngine::Sized { stepper, groups }, population)
             }
         };
+        let planning = PlanCacheStats::delta(&metrics_before, &self.engine.metrics().snapshot());
         Ok(SessionCore::new(
             engine,
             population,
             self.max_samples,
             deadline,
             Arc::clone(&self.clock),
+            planning,
         ))
     }
 

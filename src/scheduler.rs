@@ -90,7 +90,7 @@
 //! ```
 
 use crate::query::QueryAnswer;
-use crate::session::{QuerySession, RoundUpdate};
+use crate::session::{PlanCacheStats, QuerySession, RoundUpdate};
 use rapidviz_core::{Snapshot, StepOutcome};
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -199,6 +199,13 @@ pub struct SessionStats {
     pub outcome: StepOutcome,
     /// Whether the per-session memory cap evicted it.
     pub evicted: bool,
+    /// How the engine's planning caches treated this query's planning
+    /// phase (captured at admission from
+    /// [`QuerySession::planning_stats`]): a warm repeat plans with
+    /// `plan_hits > 0` and zero misses, a cold plan shows the misses. The
+    /// signal a serving layer watches to tell cache-friendly workloads
+    /// from filter-diverse ones that pay cold-plan cost per request.
+    pub planning: PlanCacheStats,
 }
 
 /// One admitted session plus its scheduling state.
@@ -381,6 +388,7 @@ impl MultiQueryScheduler {
             peak_bytes: bytes,
             outcome: session.outcome(),
             evicted: false,
+            planning: session.planning_stats(),
         };
         let runnable = !session.is_finished();
         let slot = Slot {
@@ -444,6 +452,14 @@ impl MultiQueryScheduler {
     #[must_use]
     pub fn global_budget_exhausted(&self) -> bool {
         self.global_exhausted
+    }
+
+    /// Number of sessions that still want quanta. A serving loop uses this
+    /// to decide between polling for the next event and parking until a
+    /// new query arrives.
+    #[must_use]
+    pub fn runnable_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.runnable).count()
     }
 
     /// Runs one scheduling quantum: pick a runnable session under the

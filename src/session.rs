@@ -166,6 +166,64 @@ impl SessionEngine {
     }
 }
 
+/// How the engine's planning caches treated one query's planning phase:
+/// per-cache hit/miss deltas captured around
+/// [`crate::VizQuery::start`] / [`crate::VizQuery::execute`] planning.
+///
+/// A warm repeat of a seen query plans entirely from cache
+/// (`plan_hits > 0`, zero misses); a cold or cache-evicted plan shows the
+/// misses instead. A serving layer watches these to see when workload
+/// filter diversity outruns the LRUs — silently paying cold-plan cost on
+/// every request — rather than guessing from latency. Deltas are read
+/// from the engine's shared [`rapidviz_needletail::MetricsSnapshot`], so
+/// if several queries plan concurrently on one engine each delta may
+/// include a neighbour's lookups; totals across sessions stay exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Predicate-bitmap LRU hits during planning.
+    pub predicate_hits: u64,
+    /// Predicate-bitmap LRU misses (predicate evaluated cold).
+    pub predicate_misses: u64,
+    /// Group-plan LRU hits (ready `(label, rows)` sets reused).
+    pub plan_hits: u64,
+    /// Group-plan LRU misses (plan built cold).
+    pub plan_misses: u64,
+    /// Composite-index LRU hits (multi-attribute group-bys only).
+    pub composite_hits: u64,
+    /// Composite-index LRU misses.
+    pub composite_misses: u64,
+}
+
+impl PlanCacheStats {
+    /// The delta between two engine metrics snapshots, projected onto the
+    /// planning-cache counters (`after` taken after planning, `before`
+    /// just before).
+    #[must_use]
+    pub fn delta(
+        before: &rapidviz_needletail::MetricsSnapshot,
+        after: &rapidviz_needletail::MetricsSnapshot,
+    ) -> Self {
+        Self {
+            predicate_hits: after.predicate_cache_hits - before.predicate_cache_hits,
+            predicate_misses: after.predicate_cache_misses - before.predicate_cache_misses,
+            plan_hits: after.plan_cache_hits - before.plan_cache_hits,
+            plan_misses: after.plan_cache_misses - before.plan_cache_misses,
+            composite_hits: after.composite_cache_hits - before.composite_cache_hits,
+            composite_misses: after.composite_cache_misses - before.composite_cache_misses,
+        }
+    }
+
+    /// Whether planning ran entirely warm: at least one cache hit and not
+    /// a single miss.
+    #[must_use]
+    pub fn fully_warm(&self) -> bool {
+        self.predicate_misses == 0
+            && self.plan_misses == 0
+            && self.composite_misses == 0
+            && (self.plan_hits > 0 || self.predicate_hits > 0 || self.composite_hits > 0)
+    }
+}
+
 /// What one session round produced: the step outcome plus a full
 /// [`Snapshot`] for progressive rendering, and bookkeeping deltas.
 #[derive(Debug, Clone)]
@@ -209,6 +267,8 @@ pub(crate) struct SessionCore {
     /// Whether the terminal outcome came from a session budget (sample or
     /// deadline), as opposed to natural convergence.
     budget_tripped: bool,
+    /// Planning-cache hit/miss delta captured while this query planned.
+    planning: PlanCacheStats,
 }
 
 impl SessionCore {
@@ -218,6 +278,7 @@ impl SessionCore {
         max_samples: Option<u64>,
         deadline: Option<Instant>,
         clock: Arc<dyn Clock>,
+        planning: PlanCacheStats,
     ) -> Self {
         let prev_active = engine.snapshot().active;
         Self {
@@ -229,7 +290,12 @@ impl SessionCore {
             prev_active,
             terminal: None,
             budget_tripped: false,
+            planning,
         }
+    }
+
+    pub(crate) fn planning_stats(&self) -> PlanCacheStats {
+        self.planning
     }
 
     fn budget_hit(&self) -> bool {
@@ -445,6 +511,17 @@ impl QuerySession {
     #[must_use]
     pub fn approx_bytes(&self) -> usize {
         self.core.approx_bytes()
+    }
+
+    /// How the engine's planning caches treated this query's planning
+    /// phase (captured once at [`crate::VizQuery::start`]): a warm repeat
+    /// of a seen query shows `plan_hits > 0` with zero misses. A
+    /// multi-query scheduler copies this into its
+    /// [`crate::SessionStats`] at admission, and the serving layer echoes
+    /// the engine-wide totals in its stats frame.
+    #[must_use]
+    pub fn planning_stats(&self) -> PlanCacheStats {
+        self.core.planning_stats()
     }
 
     /// The session's current terminal status: [`StepOutcome::Running`]
