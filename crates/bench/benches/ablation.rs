@@ -2,6 +2,8 @@
 //! κ, sampling mode, reactivation policy, and the heuristic factor —
 //! measured as end-to-end IFOCUS cost on a fixed mixture workload.
 
+// criterion_group! expands to undocumented pub items.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,6 +1,8 @@
 //! Microbenchmarks of the core sampling algorithms across the paper's
 //! workload families: samples-to-termination throughput per algorithm.
 
+// criterion_group! expands to undocumented pub items.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,6 +1,8 @@
 //! Microbenchmarks of the NEEDLETAIL bitmap substrate: index build,
 //! rank/select probes, random member retrieval, and boolean algebra.
 
+// criterion_group! expands to undocumented pub items.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

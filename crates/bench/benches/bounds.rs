@@ -1,6 +1,8 @@
 //! Microbenchmarks of the concentration-bound layer: the per-round ε
 //! evaluation sits on IFOCUS's hot path (once per round).
 
+// criterion_group! expands to undocumented pub items.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rapidviz_stats::{
     hoeffding_half_width, serfling_half_width, EpsilonSchedule, Interval, IntervalSet, SamplingMode,

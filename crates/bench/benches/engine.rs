@@ -2,6 +2,8 @@
 //! through the bitmap index vs the sequential SCAN baseline, on a
 //! materialized flight table.
 
+// criterion_group! expands to undocumented pub items.
+#![allow(missing_docs)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -80,9 +80,7 @@ impl IFocusTopT {
     pub fn top_indices(&self, result: &RunResult) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..result.estimates.len()).collect();
         idx.sort_by(|&a, &b| {
-            let ord = result.estimates[b]
-                .partial_cmp(&result.estimates[a])
-                .expect("estimates are not NaN");
+            let ord = result.estimates[b].total_cmp(&result.estimates[a]);
             match self.direction {
                 TopTDirection::Largest => ord,
                 TopTDirection::Smallest => ord.reverse(),

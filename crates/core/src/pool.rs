@@ -51,9 +51,10 @@ impl WorkerPool {
             .unwrap_or(1);
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let mut spawned = 0usize;
         for i in 0..workers {
             let receiver: Arc<Mutex<Receiver<Job>>> = Arc::clone(&receiver);
-            std::thread::Builder::new()
+            let handle = std::thread::Builder::new()
                 .name(format!("rapidviz-draw-{i}"))
                 .spawn(move || loop {
                     // Take the lock only to dequeue; run the job unlocked.
@@ -68,10 +69,16 @@ impl WorkerPool {
                         Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
                         Err(_) => break,
                     }
-                })
-                .expect("failed to spawn draw worker");
+                });
+            spawned += usize::from(handle.is_ok());
         }
-        Self { sender, workers }
+        // Spawn failure is survivable: with zero workers the job channel's
+        // receiver is dropped here, every `send` fails, and `run_scoped`
+        // degrades to inline execution on the calling thread.
+        Self {
+            sender,
+            workers: spawned.max(1),
+        }
     }
 
     /// Number of worker threads.
@@ -97,12 +104,15 @@ impl WorkerPool {
             #[allow(unsafe_code)]
             let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
             let guard_latch = Arc::clone(&latch);
-            self.sender
-                .send(Box::new(move || {
-                    let _guard = CountDownOnDrop(guard_latch);
-                    task();
-                }))
-                .expect("worker pool channel closed");
+            let job: Job = Box::new(move || {
+                let _guard = CountDownOnDrop(guard_latch);
+                task();
+            });
+            if let Err(refused) = self.sender.send(job) {
+                // Every worker is gone (spawn failure or teardown): degrade
+                // to inline execution so the answer still completes.
+                (refused.0)();
+            }
         }
         latch.wait();
         assert!(

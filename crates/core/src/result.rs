@@ -36,11 +36,7 @@ impl RunResult {
     #[must_use]
     pub fn order_by_estimate(&self) -> Vec<usize> {
         let mut idx: Vec<usize> = (0..self.estimates.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.estimates[a]
-                .partial_cmp(&self.estimates[b])
-                .expect("estimates are not NaN")
-        });
+        idx.sort_by(|&a, &b| self.estimates[a].total_cmp(&self.estimates[b]));
         idx
     }
 

@@ -89,8 +89,7 @@ impl Snapshot {
             .collect();
         idx.sort_by(|&a, &b| {
             self.estimates[a]
-                .partial_cmp(&self.estimates[b])
-                .expect("estimates are not NaN")
+                .total_cmp(&self.estimates[b])
                 .then(a.cmp(&b))
         });
         idx
@@ -120,8 +119,7 @@ impl Snapshot {
         let mut idx: Vec<usize> = (0..self.estimates.len()).collect();
         idx.sort_by(|&a, &b| {
             self.estimates[a]
-                .partial_cmp(&self.estimates[b])
-                .expect("estimates are not NaN")
+                .total_cmp(&self.estimates[b])
                 .then(a.cmp(&b))
         });
         idx

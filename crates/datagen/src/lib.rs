@@ -19,9 +19,6 @@
 //! `µ_i` without materialization and the difficulty statistics
 //! (`c²/η²`, Figures 6c/7c) are exact.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod difficulty;
 pub mod dist;
 pub mod flights;

@@ -1,0 +1,406 @@
+//! `lint.toml` — the committed, auditable policy for every rule.
+//!
+//! The file lives at the workspace root and is parsed with a small strict
+//! TOML subset reader (tables, arrays of tables, string / integer /
+//! string-array values, `#` comments). Strictness is the point: an
+//! unknown table or key is a hard error, so a typo can never silently
+//! widen an allowlist.
+//!
+//! # Grammar
+//!
+//! ```toml
+//! # Per-rule scoping. `paths` are enforcement roots (the rule applies
+//! # only under them; omitted or empty = everywhere), `allow` are path
+//! # prefixes exempted wholesale — each allow entry is a standing,
+//! # reviewed suppression, so keep them few and commented.
+//! [rules.panic]
+//! paths = ["crates/serve/src", "src"]
+//! allow = []
+//!
+//! [rules.clock]
+//! allow = ["crates/core/src/clock.rs"]
+//!
+//! # The unsafe budget: every file holding `unsafe` tokens must have an
+//! # entry whose count matches exactly and whose justification is
+//! # non-empty. A new `unsafe` anywhere fails the lint until a reviewer
+//! # budgets it here.
+//! [[unsafe]]
+//! file = "crates/core/src/pool.rs"
+//! count = 1
+//! justification = "scoped-task lifetime erasure; see the SAFETY comment"
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Names of the five enforced rule families.
+pub const RULE_NAMES: [&str; 5] = ["panic", "clock", "determinism", "unsafe", "output"];
+
+/// Per-rule path scoping.
+#[derive(Debug, Default, Clone)]
+pub struct RuleCfg {
+    /// Enforcement roots (path prefixes, `/`-separated, relative to the
+    /// workspace root). Empty means the rule applies everywhere its
+    /// target-class policy admits.
+    pub paths: Vec<String>,
+    /// Exempted path prefixes — reviewed, standing suppressions.
+    pub allow: Vec<String>,
+}
+
+/// One committed `unsafe` budget entry.
+#[derive(Debug, Clone)]
+pub struct UnsafeEntry {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Exact number of `unsafe` tokens the file is budgeted for.
+    pub count: usize,
+    /// Why the unsafe is held (non-empty, enforced at parse time).
+    pub justification: String,
+}
+
+/// The parsed policy.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Per-rule scoping, keyed by rule name.
+    pub rules: BTreeMap<String, RuleCfg>,
+    /// The unsafe budget manifest.
+    pub unsafe_budget: Vec<UnsafeEntry>,
+}
+
+impl Config {
+    /// Scoping for `rule`, defaulting to "applies everywhere, no allows".
+    #[must_use]
+    pub fn rule(&self, rule: &str) -> RuleCfg {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+}
+
+/// A parse or validation error with its `lint.toml` line number.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml` (0 for whole-file errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the policy from `lint.toml` text.
+///
+/// # Errors
+///
+/// Fails on unknown tables/keys, malformed values, an unknown rule name,
+/// an empty unsafe justification, or a duplicate unsafe file entry.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = Section::None;
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = u32::try_from(idx + 1).unwrap_or(u32::MAX);
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            if inner.trim() != "unsafe" {
+                return Err(err(lineno, format!("unknown array-of-tables [[{inner}]]")));
+            }
+            flush_unsafe(&mut cfg, &mut section, lineno)?;
+            section = Section::Unsafe {
+                file: None,
+                count: None,
+                justification: None,
+                line: lineno,
+            };
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            flush_unsafe(&mut cfg, &mut section, lineno)?;
+            let Some(rule) = inner.trim().strip_prefix("rules.") else {
+                return Err(err(lineno, format!("unknown table [{inner}]")));
+            };
+            if !RULE_NAMES.contains(&rule) {
+                return Err(err(
+                    lineno,
+                    format!("unknown rule {rule:?} (expected one of {RULE_NAMES:?})"),
+                ));
+            }
+            section = Section::Rule(rule.to_owned());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got {line:?}")));
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_owned();
+        // Multi-line arrays: accumulate until the closing bracket.
+        if value.starts_with('[') && !value.ends_with(']') {
+            for (_, next) in lines.by_ref() {
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+                if value.trim_end().ends_with(']') {
+                    break;
+                }
+            }
+        }
+        apply_key(&mut cfg, &mut section, key, value.trim(), lineno)?;
+    }
+    flush_unsafe(&mut cfg, &mut section, 0)?;
+    Ok(cfg)
+}
+
+enum Section {
+    None,
+    Rule(String),
+    Unsafe {
+        file: Option<String>,
+        count: Option<usize>,
+        justification: Option<String>,
+        line: u32,
+    },
+}
+
+fn apply_key(
+    cfg: &mut Config,
+    section: &mut Section,
+    key: &str,
+    value: &str,
+    lineno: u32,
+) -> Result<(), ConfigError> {
+    match section {
+        Section::None => Err(err(lineno, format!("key {key:?} outside any table"))),
+        Section::Rule(rule) => {
+            let entry = cfg.rules.entry(rule.clone()).or_default();
+            match key {
+                "paths" => {
+                    entry.paths = parse_string_array(value, lineno)?;
+                    Ok(())
+                }
+                "allow" => {
+                    entry.allow = parse_string_array(value, lineno)?;
+                    Ok(())
+                }
+                other => Err(err(
+                    lineno,
+                    format!("unknown key {other:?} in [rules.{rule}] (expected paths/allow)"),
+                )),
+            }
+        }
+        Section::Unsafe {
+            file,
+            count,
+            justification,
+            ..
+        } => match key {
+            "file" => {
+                *file = Some(parse_string(value, lineno)?);
+                Ok(())
+            }
+            "count" => {
+                *count = Some(value.parse::<usize>().map_err(|_| {
+                    err(lineno, format!("count must be an integer, got {value:?}"))
+                })?);
+                Ok(())
+            }
+            "justification" => {
+                *justification = Some(parse_string(value, lineno)?);
+                Ok(())
+            }
+            other => Err(err(
+                lineno,
+                format!("unknown key {other:?} in [[unsafe]] (expected file/count/justification)"),
+            )),
+        },
+    }
+}
+
+fn flush_unsafe(cfg: &mut Config, section: &mut Section, lineno: u32) -> Result<(), ConfigError> {
+    if let Section::Unsafe {
+        file,
+        count,
+        justification,
+        line,
+    } = std::mem::replace(section, Section::None)
+    {
+        let entry_line = if lineno == 0 { line } else { line.min(lineno) };
+        let file = file.ok_or_else(|| err(entry_line, "[[unsafe]] entry missing `file`"))?;
+        let count = count.ok_or_else(|| err(entry_line, "[[unsafe]] entry missing `count`"))?;
+        let justification = justification
+            .ok_or_else(|| err(entry_line, "[[unsafe]] entry missing `justification`"))?;
+        if justification.trim().is_empty() {
+            return Err(err(
+                entry_line,
+                format!("[[unsafe]] entry for {file:?} has an empty justification"),
+            ));
+        }
+        if cfg.unsafe_budget.iter().any(|e| e.file == file) {
+            return Err(err(
+                entry_line,
+                format!("duplicate [[unsafe]] entry for {file:?}"),
+            ));
+        }
+        cfg.unsafe_budget.push(UnsafeEntry {
+            file,
+            count,
+            justification,
+        });
+    }
+    Ok(())
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string does not start a comment.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, ConfigError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err(lineno, format!("expected a quoted string, got {value:?}")))?;
+    // Minimal escape handling; paths and prose need none of the exotic ones.
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+fn parse_string_array(value: &str, lineno: u32) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(lineno, format!("expected an array, got {value:?}")))?;
+    let mut out = Vec::new();
+    for item in split_top_level(inner) {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, lineno)?);
+    }
+    Ok(out)
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                cur.push(c);
+                continue;
+            }
+            '"' if !escaped => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+        escaped = false;
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_policy() {
+        let cfg = parse(
+            r#"
+# comment
+[rules.panic]
+paths = ["crates/serve/src", "src"] # trailing comment
+allow = []
+
+[rules.clock]
+allow = [
+    "crates/core/src/clock.rs",
+    "crates/bench/src",
+]
+
+[[unsafe]]
+file = "crates/core/src/pool.rs"
+count = 1
+justification = "scoped-task lifetime erasure"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.rule("panic").paths, ["crates/serve/src", "src"]);
+        assert_eq!(
+            cfg.rule("clock").allow,
+            ["crates/core/src/clock.rs", "crates/bench/src"]
+        );
+        assert_eq!(cfg.unsafe_budget.len(), 1);
+        assert_eq!(cfg.unsafe_budget[0].count, 1);
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let e = parse("[[unsafe]]\nfile = \"a.rs\"\ncount = 1\njustification = \"  \"\n")
+            .expect_err("must reject");
+        assert!(e.message.contains("empty justification"), "{e}");
+    }
+
+    #[test]
+    fn missing_manifest_fields_are_rejected() {
+        assert!(parse("[[unsafe]]\nfile = \"a.rs\"\ncount = 1\n").is_err());
+        assert!(parse("[[unsafe]]\nfile = \"a.rs\"\njustification = \"j\"\n").is_err());
+    }
+
+    #[test]
+    fn unknown_rule_and_keys_are_rejected() {
+        assert!(parse("[rules.nonsense]\npaths = []\n").is_err());
+        assert!(parse("[rules.panic]\npath = []\n").is_err());
+        assert!(parse("[other]\nx = 1\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_unsafe_files_are_rejected() {
+        let text = "[[unsafe]]\nfile = \"a.rs\"\ncount = 1\njustification = \"j\"\n\
+                    [[unsafe]]\nfile = \"a.rs\"\ncount = 2\njustification = \"k\"\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = parse("[rules.panic]\nallow = [\"weird#path.rs\"]\n").expect("parses");
+        assert_eq!(cfg.rule("panic").allow, ["weird#path.rs"]);
+    }
+}

@@ -1,0 +1,484 @@
+//! A token-level Rust lexer — the foundation every rule walks.
+//!
+//! Rules must never fire on text inside string literals, char literals, or
+//! comments (`"calls unwrap()"` in a log message is not a panic site), and
+//! must correctly see through the constructs a regex-over-text scanner
+//! trips on: raw strings with arbitrary `#` fences, byte/C-string
+//! prefixes, nested block comments, lifetimes vs char literals, and raw
+//! identifiers. The lexer produces a flat token stream with 1-based
+//! line/column positions plus the line comments (rule suppressions ride in
+//! `// lint: allow(...)` comments, so those are kept, not discarded).
+//!
+//! This is a *lexer*, not a parser: rules pattern-match short token
+//! windows (`.` `unwrap` `(`, `Instant` `::` `now`). That is exactly the
+//! altitude the enforced invariants live at — no type information is
+//! needed to know `panic!` appears in a source file.
+
+/// What a token is. Literal payloads are not retained — no rule needs the
+/// contents of a string, only the fact that it *is* a string (and hence
+/// inert).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `fn`, `r#match` → `match`).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct(char),
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Identifier text (empty for non-identifiers).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A `// …` line comment (doc comments `///`/`//!` are excluded — a
+/// suppression must be a plain comment, not part of rendered docs).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// Comment text after the leading `//`, untrimmed.
+    pub text: String,
+    /// 1-based source line the comment sits on.
+    pub line: u32,
+    /// Whether any code token precedes the comment on its own line (a
+    /// *trailing* comment annotates that line; a standalone comment
+    /// annotates the next line that holds code).
+    pub trailing: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All plain line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes `source` into tokens and line comments. Invalid input (say, an
+/// unterminated string) never panics — the lexer consumes to end of input
+/// and returns what it saw; rustc is the authority on well-formedness.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+    /// Tokens already seen on the current source line (resets at `\n`) —
+    /// this is what distinguishes a trailing comment from a standalone one.
+    tokens_on_line: bool,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+            tokens_on_line: false,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.tokens_on_line = false;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+        self.tokens_on_line = true;
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(line, col),
+                '\'' => self.char_or_lifetime(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line, col),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), String::new(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `// …` to end of line. Doc comments (`///`, `//!`) are dropped.
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // the two slashes
+        let doc = matches!(self.peek(0), Some('/' | '!'));
+        // `////…` separators are plain comments again, not docs.
+        let doc = doc && !(self.peek(0) == Some('/') && self.peek(1) == Some('/'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if !doc {
+            self.out.comments.push(LineComment {
+                text,
+                line,
+                trailing: self.tokens_on_line,
+            });
+        }
+    }
+
+    /// `/* … */` with nesting, per the Rust grammar.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump(); // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+    }
+
+    /// A `"…"` string with escapes.
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// A raw string after its prefix: `#`* `"` … `"` `#`*(same count).
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#ident` raw identifier: lex the ident without the fence.
+            self.ident_body(line, col);
+            return;
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Str, String::new(), line, col);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                while let Some(c) = self.bump() {
+                    if c == '\\' {
+                        self.bump();
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Char, String::new(), line, col);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    // `'x'`
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Char, String::new(), line, col);
+                } else {
+                    // `'lifetime`
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Lifetime, String::new(), line, col);
+                }
+            }
+            _ => {
+                // Something like `'('` or a stray quote; consume one char
+                // and, if present, the closing quote.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::Char, String::new(), line, col);
+            }
+        }
+    }
+
+    /// A numeric literal. Precision is unimportant (no rule reads
+    /// numbers), but the lexer must not swallow a `..` range operator.
+    fn number(&mut self, line: u32, col: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '.' {
+                if self.peek(1) == Some('.') {
+                    break; // range operator, not a decimal point
+                }
+                if !matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                    break; // method call on a literal, e.g. `1.max(2)`
+                }
+                self.bump();
+            } else if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, String::new(), line, col);
+    }
+
+    /// An identifier, unless it turns out to be a literal prefix
+    /// (`r"…"`, `b'…'`, `br#"…"#`, `c"…"`).
+    fn ident_or_prefixed(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "cr", Some('"' | '#')) => self.raw_string(line, col),
+            ("b" | "c", Some('"')) => self.string(line, col),
+            ("b", Some('\'')) => self.char_or_lifetime(line, col),
+            _ => self.push(TokKind::Ident, text, line, col),
+        }
+    }
+
+    /// Body of a raw identifier `r#ident` — emitted as a plain ident so
+    /// `r#unsafe` (were it legal) still counts as the `unsafe` it names.
+    fn ident_body(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(TokKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn string_embedded_code_is_inert() {
+        let src = r#"let msg = "never call unwrap() or Instant::now here";"#;
+        assert_eq!(idents(src), ["let", "msg"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_are_inert() {
+        let src = r###"let s = r#"contains "quotes" and unwrap() and # marks"#; s.len()"###;
+        assert_eq!(idents(src), ["let", "s", "s", "len"]);
+    }
+
+    #[test]
+    fn byte_and_cstr_prefixes_are_strings() {
+        let src = r##"let a = b"unwrap()"; let b2 = c"panic!"; let d = br#"x"#;"##;
+        let lexed = lex(src);
+        let strings = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strings, 3);
+        assert_eq!(idents(src), ["let", "a", "let", "b2", "let", "d"]);
+    }
+
+    #[test]
+    fn nested_block_comments_skip_cleanly() {
+        let src = "a /* outer /* inner unwrap() */ still comment */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_consumes_to_eof() {
+        let src = "a /* never closed unwrap()";
+        assert_eq!(idents(src), ["a"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let src = r"let q = '\''; let n = '\n'; let bs = '\\';";
+        let lexed = lex(src);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .count();
+        assert_eq!(chars, 3);
+        assert_eq!(idents(src), ["let", "q", "let", "n", "let", "bs"]);
+    }
+
+    #[test]
+    fn unicode_char_literal_vs_lifetime() {
+        let src = "let c = 'é'; fn g<'static_ish>() {}";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Char));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_name() {
+        assert_eq!(idents("let r#match = 1; r#fn()"), ["let", "match", "fn"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_method_calls() {
+        let src = "for i in 0..10 { let x = 1.5_f64.max(2.0); }";
+        assert!(idents(src).contains(&"max".to_owned()));
+        let dots = lex(src).tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 3, "two range dots plus one method dot");
+    }
+
+    #[test]
+    fn doc_comments_are_not_suppression_comments() {
+        let lexed = lex("/// lint: allow(panic) — nope\n//! lint: allow(clock) — nope\n// real\nx");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, " real");
+        assert!(!lexed.comments[0].trailing);
+    }
+
+    #[test]
+    fn trailing_comment_is_marked_trailing() {
+        let lexed = lex("let x = 1; // lint: allow(panic) — reason\nlet y = 2;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

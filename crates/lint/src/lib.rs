@@ -1,0 +1,170 @@
+//! # rapidviz-lint — the workspace invariant linter
+//!
+//! Every guarantee this workspace makes — byte-identical wire answers,
+//! bit-frozen certified orderings, single-seed simulation repro — rests on
+//! invariants rustc and clippy cannot see: no wall-clock reads outside the
+//! [`Clock`] abstraction, no panics on answer paths, no hash-iteration
+//! nondeterminism in answer-producing code. This crate enforces them as a
+//! std-only static analyzer with a real token-level Rust lexer
+//! ([`lexer`]): strings, raw strings with `#` fences, char literals vs
+//! lifetimes, and nested block comments are all understood, so a
+//! `"message mentioning unwrap()"` can never fire a rule.
+//!
+//! [`Clock`]: ../rapidviz_core/clock/trait.Clock.html
+//!
+//! # The rule families
+//!
+//! | rule | what fires | where it applies |
+//! |------|------------|------------------|
+//! | `panic` | `.unwrap()`, `.expect(…)`, `panic!`, `todo!`, `unimplemented!` | library code under `[rules.panic] paths` (the serving / scheduler / engine answer paths) |
+//! | `clock` | `Instant::now()`, `SystemTime::now()` | all library code except `[rules.clock] allow` (the `Clock` impls and measurement harnesses) |
+//! | `determinism` | `thread_rng`, ambient `random()`, and `.iter()` / `.keys()` / `.values()` / `.drain()` (and `_mut` / `into_` variants) on bindings lexically typed or initialized as `HashMap` / `HashSet` | library code under `[rules.determinism] paths` (answer-producing crates) |
+//! | `unsafe` | any `unsafe` token not matching a committed `[[unsafe]]` manifest entry (file + exact count + justification) | library, binary, and shim code |
+//! | `output` | `println!`, `eprintln!` (and `print!` / `eprint!`) | all library code — diagnostics go through `Metrics` or returned errors |
+//!
+//! Tests (`tests/` trees **and** in-file `#[test]` / `#[cfg(test)]`
+//! items, detected at the token level with brace matching), benches,
+//! examples, and binaries are exempt from the style rules; shims
+//! (`shims/*`, vendored stand-ins) are exempt from everything except the
+//! unsafe budget. `#[cfg(not(test))]` does *not* exempt.
+//!
+//! # Suppression is explicit and auditable
+//!
+//! Two mechanisms, both reviewed in version control:
+//!
+//! 1. **`lint.toml` path scoping** (see [`config`] for the grammar):
+//!    per-rule `paths` enforcement roots and `allow` exemption prefixes,
+//!    plus the `[[unsafe]]` budget manifest whose `justification` is
+//!    mandatory and whose `count` must match the file exactly — a new
+//!    `unsafe` anywhere fails CI until a reviewer budgets it.
+//! 2. **Inline allows** for single sites:
+//!
+//!    ```text
+//!    let x = risky(); // lint: allow(panic) — bounded by the N check above
+//!    ```
+//!
+//!    A trailing comment suppresses its own line; a standalone
+//!    `// lint: allow(…) — reason` comment suppresses the next line
+//!    holding code. The reason after the dash is **mandatory** — an
+//!    un-reasoned allow is itself a violation — and so is usefulness: an
+//!    allow that suppresses nothing is reported as unused, so stale
+//!    escapes cannot accumulate. The unsafe budget deliberately has no
+//!    inline form.
+//!
+//! # Diagnostics and exit status
+//!
+//! Violations print rustc-style, one per line, sorted:
+//!
+//! ```text
+//! crates/serve/src/server.rs:202:44: [panic] .expect() on an answer path — …
+//! error: 1 invariant violation across 1 file
+//! ```
+//!
+//! The binary exits non-zero on any violation. The full-workspace run
+//! lexes every `.rs` file in well under a second, so it also runs inside
+//! tier-1 as this crate's `workspace_clean` integration test.
+//!
+//! # CLI
+//!
+//! ```text
+//! rapidviz-lint --workspace [--root <dir>] [--config <path>]
+//! rapidviz-lint [--root <dir>] <file.rs> […]
+//! ```
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, ConfigError};
+pub use rules::{classify, lint_file, TargetClass, Violation};
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", ".github"];
+
+/// Recursively collects every `.rs` file under `root`, returned as
+/// workspace-relative `/`-separated paths, sorted for stable output.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors with the offending path.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel_to_string(rel));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_to_string(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Outcome of a workspace run.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// All violations, sorted by path, then position.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints every `.rs` file under `root` against `cfg`.
+///
+/// # Errors
+///
+/// Propagates walk and read I/O errors.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<WorkspaceReport, String> {
+    let files = collect_rs_files(root)?;
+    let mut violations = Vec::new();
+    let mut seen = BTreeSet::new();
+    for rel in &files {
+        let full: PathBuf = root.join(rel.replace('/', std::path::MAIN_SEPARATOR_STR));
+        let source =
+            std::fs::read_to_string(&full).map_err(|e| format!("{}: {e}", full.display()))?;
+        violations.extend(rules::lint_file(rel, &source, cfg));
+        seen.insert(rel.clone());
+    }
+    violations.extend(rules::stale_budget_entries(cfg, &seen));
+    violations.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(WorkspaceReport {
+        violations,
+        files_scanned: files.len(),
+    })
+}
+
+/// Loads `lint.toml` from `path`.
+///
+/// # Errors
+///
+/// Fails on missing file or any parse/validation error, already formatted
+/// for display.
+pub fn load_config(path: &Path) -> Result<Config, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    config::parse(&text).map_err(|e| e.to_string())
+}

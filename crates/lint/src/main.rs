@@ -1,0 +1,152 @@
+//! CLI front end: `rapidviz-lint --workspace` from the repo root is the
+//! CI entry point; see the library docs for rules and suppressions.
+
+use rapidviz_lint::{lint_file, lint_workspace, load_config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    files: Vec<String>,
+    explain: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        config: None,
+        files: Vec::new(),
+        explain: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--explain" => args.explain = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a path")?));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            f if !f.starts_with('-') => args.files.push(f.to_owned()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if !args.workspace && !args.explain && args.files.is_empty() {
+        return Err(format!("nothing to lint\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "\
+usage: rapidviz-lint --workspace [--root <dir>] [--config <lint.toml>]
+       rapidviz-lint [--root <dir>] <file.rs> [...]
+       rapidviz-lint --explain
+
+Lints the workspace's .rs files against the committed invariant policy
+(lint.toml at the workspace root): panic-freedom on answer paths, clock
+discipline, determinism, the unsafe budget, and output discipline.
+Exits 1 on any violation.";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.explain {
+        println!("{}", EXPLAIN.trim_start());
+        return ExitCode::SUCCESS;
+    }
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let cfg = match load_config(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (violations, files_scanned) = if args.workspace {
+        match lint_workspace(&args.root, &cfg) {
+            Ok(r) => (r.violations, r.files_scanned),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut vs = Vec::new();
+        for rel in &args.files {
+            let full = args.root.join(rel);
+            let source = match std::fs::read_to_string(&full) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", full.display());
+                    return ExitCode::from(2);
+                }
+            };
+            vs.extend(lint_file(rel, &source, &cfg));
+        }
+        (vs, args.files.len())
+    };
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        println!("rapidviz-lint: {files_scanned} file(s) clean — all workspace invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            violations.iter().map(|v| v.path.as_str()).collect();
+        println!(
+            "error: {} invariant violation(s) across {} file(s) ({} scanned)",
+            violations.len(),
+            files.len(),
+            files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}
+
+const EXPLAIN: &str = r"
+rapidviz-lint enforces five rule families (see the crate docs for the
+full story):
+
+  panic         no .unwrap()/.expect()/panic!/todo!/unimplemented! in
+                library code on the serving/scheduler/engine answer paths
+  clock         no Instant::now()/SystemTime::now() outside the Clock
+                abstraction and binaries — budgets stay simulatable
+  determinism   no thread_rng/ambient random()/hash-collection iteration
+                in answer-producing crates — answers replay bit-identically
+  unsafe        every `unsafe` token must match a committed [[unsafe]]
+                entry in lint.toml (file, exact count, justification)
+  output        no println!/eprintln! in library crates — diagnostics go
+                through Metrics or returned errors
+
+Suppressions: per-rule path lists in lint.toml, or inline
+  // lint: allow(<rule>) — <reason>
+where the reason is mandatory and unused allows are violations.";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn classify_is_reexported_for_tooling() {
+        use rapidviz_lint::{classify, TargetClass};
+        assert_eq!(classify("shims/rand/src/lib.rs"), TargetClass::Shim);
+    }
+}

@@ -1,0 +1,668 @@
+//! The five rule families, the inline suppression mechanism, and the
+//! per-file driver.
+//!
+//! Every rule works on the token stream from [`crate::lexer`]; nothing
+//! here looks at raw text, so string-embedded `unwrap()` and commented-out
+//! `Instant::now()` can never fire. See the crate docs for the rule
+//! catalogue and the `// lint: allow(<rule>) — <reason>` escape hatch.
+
+use crate::config::{Config, RULE_NAMES};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule family (`panic`, `clock`, `determinism`, `unsafe`, `output`,
+    /// or `allow` for suppression-discipline findings).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// What kind of compilation target a file belongs to, derived from its
+/// workspace-relative path. Rules exempt whole classes: tests may panic,
+/// binaries may read the wall clock, shims are vendored stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetClass {
+    /// Library code — the answer-producing paths; every rule applies.
+    Library,
+    /// Integration tests and in-crate `tests/` trees.
+    Test,
+    /// Criterion-style benches.
+    Bench,
+    /// Examples.
+    Example,
+    /// Binary entry points (`src/bin/*`, `src/main.rs`).
+    Bin,
+    /// Vendored shim crates (`shims/*`) — exempt from style rules but not
+    /// from the unsafe budget.
+    Shim,
+}
+
+/// Classifies a workspace-relative, `/`-separated path.
+#[must_use]
+pub fn classify(path: &str) -> TargetClass {
+    if path.starts_with("shims/") {
+        TargetClass::Shim
+    } else if path.starts_with("tests/") || path.contains("/tests/") {
+        TargetClass::Test
+    } else if path.starts_with("benches/") || path.contains("/benches/") {
+        TargetClass::Bench
+    } else if path.starts_with("examples/") || path.contains("/examples/") {
+        TargetClass::Example
+    } else if path.contains("/bin/") || path.ends_with("/main.rs") {
+        TargetClass::Bin
+    } else {
+        TargetClass::Library
+    }
+}
+
+fn under_any(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| {
+        let p = p.trim_end_matches('/');
+        path == p || (path.starts_with(p) && path[p.len()..].starts_with('/'))
+    })
+}
+
+/// Lints one file's source. `path` is workspace-relative with `/`
+/// separators; it drives target classification and rule scoping.
+#[must_use]
+pub fn lint_file(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
+    let class = classify(path);
+    let lexed = lex(source);
+    let in_test = test_regions(&lexed.tokens);
+    let mut allows = parse_allows(path, &lexed);
+    let mut out = Vec::new();
+    out.append(&mut allows.errors);
+
+    let mut fired: Vec<(usize, Violation)> = Vec::new(); // (allow idx or USIZE::MAX, v)
+    let mut raw = Vec::new();
+
+    if rule_applies(cfg, "panic", path, class, &[TargetClass::Library]) {
+        panic_rule(path, &lexed.tokens, &in_test, &mut raw);
+    }
+    if rule_applies(cfg, "clock", path, class, &[TargetClass::Library]) {
+        clock_rule(path, &lexed.tokens, &in_test, &mut raw);
+    }
+    if rule_applies(cfg, "determinism", path, class, &[TargetClass::Library]) {
+        determinism_rule(path, &lexed.tokens, &in_test, &mut raw);
+    }
+    if rule_applies(cfg, "output", path, class, &[TargetClass::Library]) {
+        output_rule(path, &lexed.tokens, &in_test, &mut raw);
+    }
+    if rule_applies(
+        cfg,
+        "unsafe",
+        path,
+        class,
+        &[TargetClass::Library, TargetClass::Bin, TargetClass::Shim],
+    ) {
+        unsafe_rule(path, &lexed.tokens, cfg, &mut raw);
+    }
+
+    // Apply inline suppressions: a violation on a line covered by an
+    // allow for its rule is swallowed and marks that allow used.
+    for v in raw {
+        match allows.covering(v.rule, v.line) {
+            Some(idx) => fired.push((idx, v)),
+            None => out.push(v),
+        }
+    }
+    let used: BTreeSet<usize> = fired.iter().map(|(i, _)| *i).collect();
+    for (idx, a) in allows.directives.iter().enumerate() {
+        if !used.contains(&idx) {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: a.line,
+                col: 1,
+                rule: "allow",
+                message: format!(
+                    "unused suppression: `lint: allow({})` matches no violation on its target line",
+                    a.rules.join(", ")
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+fn rule_applies(
+    cfg: &Config,
+    rule: &str,
+    path: &str,
+    class: TargetClass,
+    classes: &[TargetClass],
+) -> bool {
+    if !classes.contains(&class) {
+        return false;
+    }
+    let rc = cfg.rule(rule);
+    if !rc.paths.is_empty() && !under_any(path, &rc.paths) {
+        return false;
+    }
+    !under_any(path, &rc.allow)
+}
+
+// ---------------------------------------------------------------------
+// Inline suppressions
+// ---------------------------------------------------------------------
+
+struct AllowDirective {
+    rules: Vec<String>,
+    /// The source line the directive suppresses violations on.
+    target_line: u32,
+    /// The line the comment itself sits on (for unused-allow reports).
+    line: u32,
+}
+
+struct Allows {
+    directives: Vec<AllowDirective>,
+    errors: Vec<Violation>,
+}
+
+impl Allows {
+    fn covering(&self, rule: &str, line: u32) -> Option<usize> {
+        self.directives
+            .iter()
+            .position(|d| d.target_line == line && d.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Parses `// lint: allow(rule[, rule]) — reason` comments. A trailing
+/// comment suppresses its own line; a standalone comment suppresses the
+/// next line holding code. The reason (after `—`, `--`, or `-`) is
+/// mandatory: an allow without one is itself a violation, so every
+/// suppression in the tree carries its justification.
+fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
+    let mut directives = Vec::new();
+    let mut errors = Vec::new();
+    for c in &lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let mut push_err = |msg: String| {
+            errors.push(Violation {
+                path: path.to_owned(),
+                line: c.line,
+                col: 1,
+                rule: "allow",
+                message: msg,
+            });
+        };
+        let Some(rest) = rest.strip_prefix("allow") else {
+            push_err(format!(
+                "malformed lint directive {text:?} (expected `lint: allow(<rule>) — <reason>`)"
+            ));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some((inside, after)) = rest.strip_prefix('(').and_then(|s| s.split_once(')')) else {
+            push_err(format!(
+                "malformed lint directive {text:?} (missing rule list)"
+            ));
+            continue;
+        };
+        let rules: Vec<String> = inside
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            push_err("suppression names no rule".to_owned());
+            continue;
+        }
+        let mut bad = false;
+        for r in &rules {
+            if !RULE_NAMES.contains(&r.as_str()) {
+                push_err(format!(
+                    "suppression names unknown rule {r:?} (expected one of {RULE_NAMES:?})"
+                ));
+                bad = true;
+            }
+            if r == "unsafe" {
+                push_err(
+                    "the unsafe budget cannot be suppressed inline — add a [[unsafe]] entry to lint.toml"
+                        .to_owned(),
+                );
+                bad = true;
+            }
+        }
+        if bad {
+            continue;
+        }
+        let reason = after
+            .trim_start()
+            .trim_start_matches(['—', '–'])
+            .trim_start_matches("--")
+            .trim_start_matches('-')
+            .trim_start_matches(':')
+            .trim();
+        if reason.is_empty() {
+            push_err(format!(
+                "un-reasoned suppression: `lint: allow({})` must carry `— <reason>`",
+                rules.join(", ")
+            ));
+            continue;
+        }
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            // The next line holding any code token.
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line)
+        };
+        directives.push(AllowDirective {
+            rules,
+            target_line,
+            line: c.line,
+        });
+    }
+    Allows { directives, errors }
+}
+
+// ---------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------
+
+/// Marks tokens inside `#[test]` / `#[cfg(test)]`-gated items so rules
+/// skip in-file unit-test modules and functions. `#[cfg(not(test))]` is
+/// *not* a test gate. Returns one flag per token.
+fn test_regions(tokens: &[Tok]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = match matching(tokens, i + 1, '[', ']') {
+                Some(c) => c,
+                None => break,
+            };
+            if attr_gates_test(&tokens[i + 2..close]) {
+                // Skip any further attributes between this one and the item.
+                let mut j = close + 1;
+                while j < tokens.len()
+                    && tokens[j].is_punct('#')
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match matching(tokens, j + 1, '[', ']') {
+                        Some(c) => j = c + 1,
+                        None => return flags,
+                    }
+                }
+                // The gated item runs to its closing brace (fn/mod body)
+                // or to a `;` (out-of-line `mod tests;`), whichever comes
+                // first at nesting depth zero.
+                let mut k = j;
+                let mut end = None;
+                while k < tokens.len() {
+                    if tokens[k].is_punct(';') {
+                        end = Some(k);
+                        break;
+                    }
+                    if tokens[k].is_punct('{') {
+                        end = matching(tokens, k, '{', '}');
+                        break;
+                    }
+                    k += 1;
+                }
+                let end = end.unwrap_or(tokens.len() - 1);
+                for f in flags.iter_mut().take(end + 1).skip(i) {
+                    *f = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Whether an attribute's tokens (between `#[` and `]`) gate the item to
+/// test builds: `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`, or a
+/// path ending in `::test`. `not(test)` does not gate.
+fn attr_gates_test(attr: &[Tok]) -> bool {
+    let Some(first) = attr.first() else {
+        return false;
+    };
+    if first.is_ident("test") {
+        return true;
+    }
+    if !(first.is_ident("cfg") || first.text.ends_with("test")) {
+        // `#[tokio::test]`-style: idents `tokio` `::` `test`.
+        let is_path_test = attr
+            .windows(2)
+            .any(|w| w[0].is_punct(':') && w[1].is_ident("test"));
+        if !is_path_test {
+            return false;
+        }
+    }
+    let mut negated_depth: Option<usize> = None;
+    let mut depth = 0usize;
+    for (i, t) in attr.iter().enumerate() {
+        match t.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth = depth.saturating_sub(1);
+                if negated_depth.is_some_and(|d| depth < d) {
+                    negated_depth = None;
+                }
+            }
+            _ => {}
+        }
+        if t.is_ident("not") && attr.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            negated_depth.get_or_insert(depth + 1);
+        }
+        if t.is_ident("test") && i > 0 && negated_depth.is_none() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Index of the punct matching `open` at `start` (which must hold `open`).
+fn matching(tokens: &[Tok], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Rule: panic
+// ---------------------------------------------------------------------
+
+fn panic_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let fire = |message: String| Violation {
+            path: path.to_owned(),
+            line: t.line,
+            col: t.col,
+            rule: "panic",
+            message,
+        };
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                out.push(fire(format!(
+                    ".{}() on an answer path — return a structured error, take a \
+                     let-else graceful path, or justify with `lint: allow(panic)`",
+                    t.text
+                )));
+            }
+            "panic" | "todo" | "unimplemented"
+                if tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                out.push(fire(format!(
+                    "{}! on an answer path — serving, scheduler, and engine code must \
+                     degrade gracefully, not abort",
+                    t.text
+                )));
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: clock
+// ---------------------------------------------------------------------
+
+fn clock_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: t.line,
+                col: t.col,
+                rule: "clock",
+                message: format!(
+                    "{}::now() outside the Clock abstraction — budgets and deadlines \
+                     must stay simulatable; thread a `Clock` (SystemClock in \
+                     production) or justify with `lint: allow(clock)`",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: determinism
+// ---------------------------------------------------------------------
+
+/// Method names whose visit order on a hash collection is
+/// iteration-order-sensitive.
+const HASH_ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_keys",
+    "into_values",
+];
+
+fn determinism_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<Violation>) {
+    // Pass 1: names lexically bound to HashMap/HashSet in this file —
+    // type ascriptions (`links: HashMap<…>`, incl. struct fields and
+    // params) and `let` initializers (`let m = HashMap::new()`).
+    let mut hash_bound: BTreeMap<String, (u32, u32)> = BTreeMap::new();
+    let mut let_candidate: Option<String> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            while tokens.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let_candidate = tokens
+                .get(j)
+                .filter(|n| n.kind == TokKind::Ident)
+                .map(|n| n.text.clone());
+        } else if t.is_punct(';') {
+            let_candidate = None;
+        } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            // Type-ascription form: `name :` then `&`/`mut` sugar, then us.
+            let mut j = i;
+            while j > 0
+                && (tokens[j - 1].is_punct('&')
+                    || tokens[j - 1].is_ident("mut")
+                    || tokens[j - 1].kind == TokKind::Lifetime)
+            {
+                j -= 1;
+            }
+            if j >= 2 && tokens[j - 1].is_punct(':') && !tokens[j - 2].is_punct(':') {
+                if tokens[j - 2].kind == TokKind::Ident {
+                    hash_bound
+                        .entry(tokens[j - 2].text.clone())
+                        .or_insert((t.line, t.col));
+                }
+            } else if let Some(name) = let_candidate.take() {
+                hash_bound.entry(name).or_insert((t.line, t.col));
+            }
+        }
+    }
+    // Pass 2: order-sensitive iteration over any tracked binding.
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.is_ident("thread_rng") {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: t.line,
+                col: t.col,
+                rule: "determinism",
+                message: "thread_rng in answer-producing code — every RNG must be a \
+                          seeded StdRng so results replay bit-identically"
+                    .to_owned(),
+            });
+            continue;
+        }
+        if t.is_ident("random")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && !(i > 0 && (tokens[i - 1].is_punct('.') || tokens[i - 1].is_ident("fn")))
+        {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: t.line,
+                col: t.col,
+                rule: "determinism",
+                message: "ambient random() in answer-producing code — draw from a \
+                          seeded, session-owned RNG instead"
+                    .to_owned(),
+            });
+            continue;
+        }
+        if HASH_ITER_METHODS.contains(&t.text.as_str())
+            && i >= 2
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens[i - 2].kind == TokKind::Ident
+            && hash_bound.contains_key(&tokens[i - 2].text)
+        {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: t.line,
+                col: t.col,
+                rule: "determinism",
+                message: format!(
+                    "`{}.{}()` iterates a hash collection — iteration order is \
+                     nondeterministic; use a BTreeMap/sorted keys, or justify \
+                     order-independence with `lint: allow(determinism)`",
+                    tokens[i - 2].text,
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: output
+// ---------------------------------------------------------------------
+
+fn output_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if (t.is_ident("println")
+            || t.is_ident("eprintln")
+            || t.is_ident("print")
+            || t.is_ident("eprint"))
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Violation {
+                path: path.to_owned(),
+                line: t.line,
+                col: t.col,
+                rule: "output",
+                message: format!(
+                    "{}! in library code — diagnostics go through Metrics or a \
+                     returned error, never straight to the process streams",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: unsafe budget
+// ---------------------------------------------------------------------
+
+fn unsafe_rule(path: &str, tokens: &[Tok], cfg: &Config, out: &mut Vec<Violation>) {
+    let sites: Vec<&Tok> = tokens.iter().filter(|t| t.is_ident("unsafe")).collect();
+    let budget = cfg.unsafe_budget.iter().find(|e| e.file == path);
+    let budgeted = budget.map_or(0, |e| e.count);
+    if sites.len() == budgeted {
+        return;
+    }
+    let (line, col) = sites.first().map_or((1, 1), |t| (t.line, t.col));
+    let message = match budget {
+        None => format!(
+            "{} unbudgeted `unsafe` token(s) — every unsafe needs a reviewed \
+             [[unsafe]] entry (file, count, justification) in lint.toml",
+            sites.len()
+        ),
+        Some(e) => format!(
+            "unsafe budget mismatch: found {} token(s) but lint.toml budgets {} — \
+             update the manifest entry deliberately, with its justification",
+            sites.len(),
+            e.count
+        ),
+    };
+    out.push(Violation {
+        path: path.to_owned(),
+        line,
+        col,
+        rule: "unsafe",
+        message,
+    });
+}
+
+/// Manifest entries whose file was never seen (or no longer holds any
+/// `unsafe`) are stale; called once per run over all scanned files.
+#[must_use]
+pub fn stale_budget_entries(cfg: &Config, seen_files: &BTreeSet<String>) -> Vec<Violation> {
+    cfg.unsafe_budget
+        .iter()
+        .filter(|e| !seen_files.contains(&e.file))
+        .map(|e| Violation {
+            path: e.file.clone(),
+            line: 1,
+            col: 1,
+            rule: "unsafe",
+            message: "stale [[unsafe]] manifest entry: file not found in the workspace".to_owned(),
+        })
+        .collect()
+}

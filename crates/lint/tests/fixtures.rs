@@ -1,0 +1,349 @@
+//! Fixture proof for every rule family: each one is shown to fire, to stay
+//! quiet on clean code, and to be silenced by a reasoned inline allow —
+//! plus the lexer edge cases that keep string/comment contents from ever
+//! reaching a rule.
+
+use rapidviz_lint::{config, lint_file, Config};
+
+/// A policy mirroring the real lint.toml's shape, with fixture paths.
+fn cfg() -> Config {
+    config::parse(
+        r#"
+[rules.panic]
+paths = ["lib/src"]
+
+[rules.clock]
+allow = ["lib/src/clock.rs"]
+
+[rules.determinism]
+paths = ["lib/src"]
+
+[rules.output]
+allow = []
+
+[[unsafe]]
+file = "lib/src/pool.rs"
+count = 1
+justification = "fixture budget entry"
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+fn rules_fired(path: &str, source: &str) -> Vec<String> {
+    lint_file(path, source, &cfg())
+        .into_iter()
+        .map(|v| v.rule.to_owned())
+        .collect()
+}
+
+// ---------------------------------------------------------------- panic
+
+#[test]
+fn panic_rule_fires_on_every_denied_form() {
+    for snippet in [
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+        "pub fn f(x: Option<u32>) -> u32 { x.expect(\"reason\") }",
+        "pub fn f() { panic!(\"boom\"); }",
+        "pub fn f() { todo!(); }",
+        "pub fn f() { unimplemented!(); }",
+    ] {
+        assert_eq!(rules_fired("lib/src/a.rs", snippet), ["panic"], "{snippet}");
+    }
+}
+
+#[test]
+fn panic_rule_quiet_on_clean_code_and_lookalikes() {
+    let clean = r#"
+pub fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+pub fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 1) }
+pub fn h(x: Result<u32, ()>) -> u32 { x.unwrap_or_default() }
+"#;
+    assert!(rules_fired("lib/src/a.rs", clean).is_empty());
+}
+
+#[test]
+fn panic_rule_exempts_test_bench_example_bin_shim_classes() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    for path in [
+        "lib/src/tests/a.rs",
+        "tests/a.rs",
+        "benches/a.rs",
+        "examples/a.rs",
+        "lib/src/bin/a.rs",
+        "lib/src/main.rs",
+        "shims/rand/src/lib.rs",
+    ] {
+        assert!(rules_fired(path, src).is_empty(), "{path}");
+    }
+}
+
+#[test]
+fn panic_rule_exempts_inline_test_regions_but_not_cfg_not_test() {
+    let in_mod = r#"
+pub fn f() -> u32 { 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+"#;
+    assert!(rules_fired("lib/src/a.rs", in_mod).is_empty());
+
+    let in_fn = r#"
+#[test]
+fn t() { Some(1).unwrap(); }
+"#;
+    assert!(rules_fired("lib/src/a.rs", in_fn).is_empty());
+
+    // Negation does not exempt: #[cfg(not(test))] code ships.
+    let not_test = r#"
+#[cfg(not(test))]
+pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+    assert_eq!(rules_fired("lib/src/a.rs", not_test), ["panic"]);
+}
+
+#[test]
+fn panic_rule_scoped_to_configured_paths() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+    assert!(rules_fired("other/src/a.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- clock
+
+#[test]
+fn clock_rule_fires_on_raw_now_reads() {
+    let src = r#"
+pub fn f() -> std::time::Instant { std::time::Instant::now() }
+pub fn g() -> std::time::SystemTime { std::time::SystemTime::now() }
+"#;
+    assert_eq!(rules_fired("lib/src/a.rs", src), ["clock", "clock"]);
+}
+
+#[test]
+fn clock_rule_quiet_in_clock_impl_and_binaries() {
+    let src = "pub fn f() -> std::time::Instant { std::time::Instant::now() }";
+    assert!(rules_fired("lib/src/clock.rs", src).is_empty());
+    assert!(rules_fired("lib/src/main.rs", src).is_empty());
+}
+
+#[test]
+fn clock_rule_quiet_on_other_now_functions() {
+    let src = "pub fn f(c: &impl Clock) { c.now(); Zoned::now(); }";
+    assert!(rules_fired("lib/src/a.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------- determinism
+
+#[test]
+fn determinism_rule_fires_on_thread_rng_and_ambient_random() {
+    assert_eq!(
+        rules_fired("lib/src/a.rs", "pub fn f() { let _ = thread_rng(); }"),
+        ["determinism"]
+    );
+    assert_eq!(
+        rules_fired("lib/src/a.rs", "pub fn f() -> f64 { random() }"),
+        ["determinism"]
+    );
+}
+
+#[test]
+fn determinism_rule_fires_on_hash_collection_iteration() {
+    // Binding tracked through a type ascription.
+    let ascribed = r#"
+use std::collections::HashMap;
+pub fn f(m: HashMap<u32, u32>) -> u32 { m.iter().map(|(_, v)| v).sum() }
+"#;
+    assert_eq!(rules_fired("lib/src/a.rs", ascribed), ["determinism"]);
+
+    // Binding tracked through a `let` initializer; `.keys()` flagged too.
+    let inited = r#"
+pub fn f() {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(1u32);
+    for k in seen.iter() { let _ = k; }
+}
+"#;
+    assert_eq!(rules_fired("lib/src/a.rs", inited), ["determinism"]);
+}
+
+#[test]
+fn determinism_rule_quiet_on_ordered_collections_and_lookups() {
+    let src = r#"
+use std::collections::{BTreeMap, HashMap};
+pub fn f(b: BTreeMap<u32, u32>, h: HashMap<u32, u32>) -> u32 {
+    b.iter().map(|(_, v)| *v).sum::<u32>() + h.get(&1).copied().unwrap_or(0)
+}
+"#;
+    assert!(rules_fired("lib/src/a.rs", src).is_empty());
+}
+
+// --------------------------------------------------------------- unsafe
+
+#[test]
+fn unsafe_rule_fires_outside_the_budget() {
+    let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+    assert_eq!(rules_fired("lib/src/a.rs", src), ["unsafe"]);
+}
+
+#[test]
+fn unsafe_rule_accepts_an_exact_budget_match() {
+    let src = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+    assert!(rules_fired("lib/src/pool.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_rule_fires_on_count_drift_in_either_direction() {
+    // More unsafe than budgeted.
+    let two = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\npub fn g(p: *const u8) -> u8 { unsafe { *p } }";
+    assert_eq!(rules_fired("lib/src/pool.rs", two), ["unsafe"]);
+    // Less: the budget entry is stale and must be retired.
+    assert_eq!(rules_fired("lib/src/pool.rs", "pub fn f() {}"), ["unsafe"]);
+}
+
+#[test]
+fn unsafe_rule_exempts_test_targets() {
+    let src = "unsafe impl Sync for W {}\nstruct W;";
+    assert!(rules_fired("tests/a.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_rule_has_no_inline_escape() {
+    let src = "// lint: allow(unsafe) — nope\npub fn f(p: *const u8) -> u8 { unsafe { *p } }";
+    let fired = rules_fired("lib/src/a.rs", src);
+    // Both the bogus directive and the un-budgeted token are reported.
+    assert_eq!(fired.len(), 2, "{fired:?}");
+}
+
+// --------------------------------------------------------------- output
+
+#[test]
+fn output_rule_fires_in_library_code_only() {
+    let src = "pub fn f() { println!(\"x\"); eprintln!(\"y\"); }";
+    assert_eq!(rules_fired("lib/src/a.rs", src), ["output", "output"]);
+    assert!(rules_fired("lib/src/main.rs", src).is_empty());
+    assert!(rules_fired("examples/a.rs", src).is_empty());
+}
+
+#[test]
+fn output_rule_quiet_on_write_macros() {
+    let src = r#"
+use std::fmt::Write;
+pub fn f(out: &mut String) { let _ = writeln!(out, "x"); }
+"#;
+    assert!(rules_fired("lib/src/a.rs", src).is_empty());
+}
+
+// ------------------------------------------------------- inline allows
+
+#[test]
+fn inline_allow_suppresses_trailing_and_standalone_forms() {
+    let trailing =
+        "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(panic) — fixture proof";
+    assert!(rules_fired("lib/src/a.rs", trailing).is_empty());
+
+    let standalone = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(panic) — fixture proof
+    x.unwrap()
+}
+"#;
+    assert!(rules_fired("lib/src/a.rs", standalone).is_empty());
+}
+
+#[test]
+fn inline_allow_skips_interleaved_comment_lines() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    x.as_ref()
+        // lint: allow(panic) — reason spanning
+        // a continuation comment line
+        .unwrap();
+    0
+}
+"#;
+    assert!(rules_fired("lib/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn inline_allow_without_reason_is_a_violation() {
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint: allow(panic)";
+    let vs = lint_file("lib/src/a.rs", src, &cfg());
+    assert!(
+        vs.iter().any(|v| v.message.contains("un-reasoned")),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn unused_inline_allow_is_a_violation() {
+    let src = "pub fn f() -> u32 { 1 } // lint: allow(panic) — suppresses nothing";
+    let vs = lint_file("lib/src/a.rs", src, &cfg());
+    assert!(vs.iter().any(|v| v.message.contains("unused")), "{vs:?}");
+}
+
+#[test]
+fn inline_allow_covers_only_the_named_rule() {
+    let src =
+        "pub fn f() { println!(\"{:?}\", Some(1).unwrap()); } // lint: allow(panic) — fixture";
+    assert_eq!(rules_fired("lib/src/a.rs", src), ["output"]);
+}
+
+// ------------------------------------------------------ lexer edge cases
+
+#[test]
+fn string_and_comment_contents_never_fire() {
+    let src = r##"
+pub fn f() -> String {
+    // a comment mentioning x.unwrap() and panic! and println!
+    /* nested /* block comment: Instant::now() */ thread_rng() */
+    let a = "call .unwrap() or panic!(now)";
+    let b = r#"raw with "quotes" and .expect("x") and unsafe"#;
+    let c = 'u';
+    format!("{a}{b}{c}")
+}
+"##;
+    assert!(rules_fired("lib/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn raw_string_fences_respected_around_real_violations() {
+    // The raw string closes at its matching fence; the unwrap after it is
+    // real code and must still fire.
+    let src = r##"
+pub fn f(x: Option<u32>) -> u32 {
+    let _s = r#"inner " quote"#;
+    x.unwrap()
+}
+"##;
+    assert_eq!(rules_fired("lib/src/a.rs", src), ["panic"]);
+}
+
+#[test]
+fn lifetimes_and_char_literals_disambiguated() {
+    let src = r#"
+pub struct Holder<'a> { s: &'a str }
+pub fn f<'b>(h: &Holder<'b>) -> (char, usize) { ('\'', h.s.len()) }
+"#;
+    assert!(rules_fired("lib/src/a.rs", src).is_empty());
+}
+
+#[test]
+fn doc_comments_are_not_suppression_directives() {
+    // A doc comment that *looks* like an allow must not suppress anything.
+    let src = r#"
+/// lint: allow(panic) — doc text, not a directive
+pub fn f(x: Option<u32>) -> u32 { x.unwrap() }
+"#;
+    assert_eq!(rules_fired("lib/src/a.rs", src), ["panic"]);
+}
+
+// ------------------------------------------------------- config errors
+
+#[test]
+fn config_rejects_unknown_rules_and_missing_justifications() {
+    assert!(config::parse("[rules.nope]\npaths = [\"a\"]\n").is_err());
+    assert!(config::parse("[[unsafe]]\nfile = \"a.rs\"\ncount = 1\n").is_err());
+}

@@ -1,0 +1,29 @@
+//! Tier-1 proof that the merged tree satisfies its own invariant policy:
+//! the same check CI runs, wired into `cargo test` so a violation can never
+//! land without flipping a test red locally first.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_the_committed_policy() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = rapidviz_lint::load_config(&root.join("lint.toml")).expect("lint.toml loads");
+    let report = rapidviz_lint::lint_workspace(&root, &cfg).expect("workspace walk succeeds");
+    assert!(
+        report.violations.is_empty(),
+        "workspace invariant violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Guard against silently linting the wrong directory: the workspace
+    // has far more than this many .rs files.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

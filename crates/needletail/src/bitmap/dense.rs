@@ -249,11 +249,11 @@ impl DenseBitmap {
     /// Panics if any rank is `>= count_ones()`. Debug builds additionally
     /// assert that `sorted_ks` is non-decreasing.
     pub fn select_many(&self, sorted_ks: &[u64], out: &mut Vec<u64>) {
-        if sorted_ks.is_empty() {
+        let Some(&last_k) = sorted_ks.last() else {
             return;
-        }
+        };
         assert!(
-            *sorted_ks.last().expect("non-empty") < self.count_ones,
+            last_k < self.count_ones,
             "select_many rank out of range (count_ones {})",
             self.count_ones
         );

@@ -68,6 +68,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some(oldest) = self
                 .map
+                // lint: allow(determinism) — min_by_key over strictly unique
+                // monotone ticks has one answer regardless of visit order
                 .iter()
                 .min_by_key(|(_, (tick, _))| *tick)
                 .map(|(k, _)| k.clone())

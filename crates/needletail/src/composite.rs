@@ -44,6 +44,9 @@ impl CompositeIndex {
                 table
                     .schema()
                     .column_index(c)
+                    // lint: allow(panic) — documented `# Panics` precondition
+                    // of the joint-index builder, hit at build time with a
+                    // caller-supplied column list, never while answering
                     .unwrap_or_else(|| panic!("no column named {c:?}"))
             })
             .collect();

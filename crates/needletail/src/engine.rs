@@ -469,6 +469,9 @@ impl NeedleTail {
             for value in index.values() {
                 let base = index
                     .shared_bitmap_for(&value)
+                    // lint: allow(panic) — values() enumerates exactly the keys
+                    // shared_bitmap_for reads; a miss is index corruption, and
+                    // skipping it would silently drop a group from the answer
                     .expect("index lists only present values");
                 if let Some(rows) = self.intersect_rows(base, pred_bitmap.as_ref()) {
                     groups.push((value, rows));
@@ -520,6 +523,9 @@ impl NeedleTail {
             for cell in joint.cells() {
                 let base = joint
                     .shared_bitmap_for(&cell)
+                    // lint: allow(panic) — cells() enumerates exactly the keys
+                    // shared_bitmap_for reads; a miss is index corruption, and
+                    // skipping it would silently drop a cell from the answer
                     .expect("cell listed by index");
                 if let Some(rows) = self.intersect_rows(base, pred_bitmap.as_ref()) {
                     let label = cell
@@ -583,6 +589,9 @@ impl NeedleTail {
             let bitmap = Arc::clone(
                 index
                     .shared_bitmap_for(&value)
+                    // lint: allow(panic) — values() enumerates exactly the keys
+                    // shared_bitmap_for reads; a miss is index corruption, and
+                    // skipping it would silently drop a group from the answer
                     .expect("index lists only present values"),
             );
             handles.push(SizedGroupHandle {

@@ -70,6 +70,9 @@ impl BitmapIndex {
         let col_idx = table
             .schema()
             .column_index(column)
+            // lint: allow(panic) — documented `# Panics` precondition of the
+            // index builder, hit at table-load time with a caller-supplied
+            // column name, never during query answering
             .unwrap_or_else(|| panic!("no column named {column:?}"));
         let len = table.row_count();
         let data_type = table.schema().columns()[col_idx].data_type;

@@ -47,9 +47,6 @@
 //!   row-keyed), so chaos tests can verify that sessions degrade to
 //!   best-effort answers instead of panicking when reads fail.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bitmap;
 pub mod cache;
 pub mod composite;

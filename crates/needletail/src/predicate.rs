@@ -129,6 +129,9 @@ impl Predicate {
                 let x = table
                     .value(row, idx)
                     .as_f64()
+                    // lint: allow(panic) — documented `# Panics` precondition:
+                    // the engine type-checks predicate columns against the
+                    // schema at plan time, so this is a caller bug, not data
                     .unwrap_or_else(|| panic!("range predicate on non-numeric column {column:?}"));
                 lo.is_none_or(|l| x >= l) && hi.is_none_or(|h| x <= h)
             }
@@ -350,6 +353,9 @@ fn column_index(table: &Table, name: &str) -> usize {
     table
         .schema()
         .column_index(name)
+        // lint: allow(panic) — documented `# Panics` precondition: predicate
+        // columns are resolved against the schema at plan time, so a miss
+        // here is a caller bug, not a data-dependent serving failure
         .unwrap_or_else(|| panic!("no column named {name:?}"))
 }
 

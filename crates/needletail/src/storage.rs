@@ -147,10 +147,14 @@ pub fn write_table<W: Write>(table: &Table, writer: W) -> Result<(), StorageErro
     let mut w = CheckedWriter::new(writer);
     w.put(MAGIC)?;
     w.put_u32(VERSION)?;
-    w.put_u32(u32::try_from(table.schema().arity()).expect("arity fits u32"))?;
+    let arity =
+        u32::try_from(table.schema().arity()).map_err(|_| StorageError::Malformed("arity"))?;
+    w.put_u32(arity)?;
     w.put_u64(table.row_count())?;
     for col in table.schema().columns() {
-        w.put_u32(u32::try_from(col.name.len()).expect("name fits u32"))?;
+        let name_len =
+            u32::try_from(col.name.len()).map_err(|_| StorageError::Malformed("column name"))?;
+        w.put_u32(name_len)?;
         w.put(col.name.as_bytes())?;
         w.put(&[type_tag(col.data_type)])?;
     }
@@ -171,9 +175,13 @@ pub fn write_table<W: Write>(table: &Table, writer: W) -> Result<(), StorageErro
             }
             DataType::Str => {
                 let dict = table.str_dict(c);
-                w.put_u32(u32::try_from(dict.len()).expect("dict fits u32"))?;
+                let dict_len = u32::try_from(dict.len())
+                    .map_err(|_| StorageError::Malformed("dictionary size"))?;
+                w.put_u32(dict_len)?;
                 for entry in dict {
-                    w.put_u32(u32::try_from(entry.len()).expect("entry fits u32"))?;
+                    let entry_len = u32::try_from(entry.len())
+                        .map_err(|_| StorageError::Malformed("dictionary entry"))?;
+                    w.put_u32(entry_len)?;
                     w.put(entry.as_bytes())?;
                 }
                 for row in 0..table.row_count() {

@@ -73,6 +73,13 @@ impl Table {
         self.row_count * self.row_bytes()
     }
 
+    /// Narrows a row index to `usize` for the Vec-backed columns.
+    fn row_idx(row: u64) -> usize {
+        // lint: allow(panic) — columns are in-memory Vecs, so every stored
+        // row index fits usize; overflow means the caller fabricated a row
+        usize::try_from(row).expect("row index fits usize")
+    }
+
     /// The value at (`row`, column `col_idx`).
     ///
     /// # Panics
@@ -80,7 +87,7 @@ impl Table {
     /// Panics if the row or column is out of range.
     #[must_use]
     pub fn value(&self, row: u64, col_idx: usize) -> Value {
-        let row = usize::try_from(row).expect("row index fits usize");
+        let row = Self::row_idx(row);
         match &self.columns[col_idx] {
             ColumnData::Int(v) => Value::Int(v[row]),
             ColumnData::Float(v) => Value::Float(v[row]),
@@ -95,10 +102,12 @@ impl Table {
     /// Panics if the column is not numeric or indices are out of range.
     #[must_use]
     pub fn float_value(&self, row: u64, col_idx: usize) -> f64 {
-        let row = usize::try_from(row).expect("row index fits usize");
+        let row = Self::row_idx(row);
         match &self.columns[col_idx] {
             ColumnData::Int(v) => v[row] as f64,
             ColumnData::Float(v) => v[row],
+            // lint: allow(panic) — documented `# Panics` precondition: measure
+            // columns are type-checked against the schema at plan time
             ColumnData::Str { .. } => panic!("column {col_idx} is not numeric"),
         }
     }
@@ -111,9 +120,11 @@ impl Table {
     /// Panics if the column is not a string column.
     #[must_use]
     pub fn str_code(&self, row: u64, col_idx: usize) -> u32 {
-        let row = usize::try_from(row).expect("row index fits usize");
+        let row = Self::row_idx(row);
         match &self.columns[col_idx] {
             ColumnData::Str { codes, .. } => codes[row],
+            // lint: allow(panic) — documented `# Panics` precondition used
+            // only by index construction, which resolves column types first
             _ => panic!("column {col_idx} is not a string column"),
         }
     }
@@ -127,6 +138,8 @@ impl Table {
     pub fn str_dict(&self, col_idx: usize) -> &[String] {
         match &self.columns[col_idx] {
             ColumnData::Str { dict, .. } => dict,
+            // lint: allow(panic) — documented `# Panics` precondition used
+            // only by storage/index code that resolves column types first
             _ => panic!("column {col_idx} is not a string column"),
         }
     }
@@ -144,7 +157,7 @@ impl Table {
             }
             ColumnData::Float(v) => {
                 let mut d: Vec<f64> = v.clone();
-                d.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+                d.sort_unstable_by(f64::total_cmp);
                 d.dedup();
                 d.into_iter().map(Value::Float).collect()
             }
@@ -206,13 +219,20 @@ impl TableBuilder {
                 }
                 (ColumnData::Float(v), Value::Int(x)) => v.push(x as f64),
                 (ColumnData::Str { codes, dict }, Value::Str(s)) => {
+                    // lint: allow(panic) — the constructor builds a dict for
+                    // every Str column; a miss is construction-time corruption
                     let table = self.dicts[i].as_mut().expect("string column has dict");
                     let code = *table.entry(s.clone()).or_insert_with(|| {
                         dict.push(s);
+                        // lint: allow(panic) — dictionary cardinality is
+                        // bounded by the u32 code width by design; exceeding
+                        // it at load time must abort, not truncate codes
                         u32::try_from(dict.len() - 1).expect("dictionary fits u32")
                     });
                     codes.push(code);
                 }
+                // lint: allow(panic) — documented `# Panics` precondition of
+                // push_row, which runs at table-build time, never while serving
                 (_, v) => panic!(
                     "type mismatch in column {:?}: got {:?}",
                     self.schema.columns()[i].name,

@@ -504,12 +504,18 @@ impl Enc {
         self.u64(v.to_bits());
     }
     fn str(&mut self, s: &str) {
-        let len = u32::try_from(s.len()).expect("string fits u32");
+        // Wire strings are labels and error messages, nowhere near 4 GiB —
+        // but the encoder runs on the serving path and must never abort, so
+        // clamp (producing a decode error at the peer) instead of panicking.
+        debug_assert!(s.len() <= u32::MAX as usize, "wire string too large");
+        let len = u32::try_from(s.len()).unwrap_or(u32::MAX);
         self.u32(len);
-        self.0.extend_from_slice(s.as_bytes());
+        self.0.extend_from_slice(&s.as_bytes()[..len as usize]);
     }
     fn len_u32(&mut self, n: usize) {
-        self.u32(u32::try_from(n).expect("count fits u32"));
+        // Same serving-path rule as `str`: clamp, never abort.
+        debug_assert!(n <= u32::MAX as usize, "wire count too large");
+        self.u32(u32::try_from(n).unwrap_or(u32::MAX));
     }
 }
 
@@ -537,14 +543,16 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let Ok(bytes) = <[u8; 4]>::try_from(self.take(4)?) else {
+            return Err(DecodeError("truncated payload".into()));
+        };
+        Ok(u32::from_le_bytes(bytes))
     }
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let Ok(bytes) = <[u8; 8]>::try_from(self.take(8)?) else {
+            return Err(DecodeError("truncated payload".into()));
+        };
+        Ok(u64::from_le_bytes(bytes))
     }
     fn f64_bits(&mut self) -> Result<f64, DecodeError> {
         Ok(f64::from_bits(self.u64()?))
@@ -646,7 +654,9 @@ impl Frame {
             newly_certified: update
                 .newly_certified
                 .iter()
-                .map(|&i| u32::try_from(i).expect("group index fits u32"))
+                // Group counts are bounded far below u32::MAX; clamp so a
+                // pathological session degrades to a bad index, not an abort.
+                .map(|&i| u32::try_from(i).unwrap_or(u32::MAX))
                 .collect(),
             snapshot: WireSnapshot {
                 labels: snap.labels.clone(),
@@ -844,7 +854,12 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
 ///
 /// Propagates the writer's I/O errors.
 pub fn write_frame_bytes(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    let len = u32::try_from(payload.len()).expect("payload fits u32");
+    let Ok(len) = u32::try_from(payload.len()) else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame payload exceeds the u32 length prefix",
+        ));
+    };
     w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)
 }

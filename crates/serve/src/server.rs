@@ -33,7 +33,7 @@ use rapidviz::{
     MultiQueryScheduler, QueryId, QuerySession, SchedulePolicy, SchedulerEvent, StepOutcome,
     VizQuery,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -199,7 +199,12 @@ impl ServerHandle {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        let clients = std::mem::take(&mut *self.client_threads.lock().expect("join lock"));
+        let clients = std::mem::take(
+            &mut *self
+                .client_threads
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for t in clients {
             let _ = t.join();
         }
@@ -224,7 +229,7 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Fails only on the initial bind.
+    /// Fails on the initial bind or if either server thread cannot spawn.
     pub fn start(engine: NeedleTail, config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -238,29 +243,37 @@ impl Server {
             let config = config.clone();
             std::thread::Builder::new()
                 .name("rapidviz-sched".into())
-                .spawn(move || scheduler_loop(engine, &config, &cmd_rx, &stats))
-                .expect("spawn scheduler thread")
+                .spawn(move || scheduler_loop(engine, &config, &cmd_rx, &stats))?
         };
 
         let accept_thread = {
             let stats = Arc::clone(&stats);
             let shutdown = Arc::clone(&shutdown);
-            let cmd_tx = cmd_tx.clone();
+            let accept_cmd_tx = cmd_tx.clone();
             let client_threads = Arc::clone(&client_threads);
             let config = config.clone();
-            std::thread::Builder::new()
+            let spawn = std::thread::Builder::new()
                 .name("rapidviz-accept".into())
                 .spawn(move || {
                     accept_loop(
                         &listener,
                         &config,
-                        &cmd_tx,
+                        &accept_cmd_tx,
                         &stats,
                         &shutdown,
                         &client_threads,
                     );
-                })
-                .expect("spawn accept thread")
+                });
+            match spawn {
+                Ok(t) => t,
+                Err(e) => {
+                    // Unwind the half-started server: stop the scheduler
+                    // thread before reporting the spawn failure.
+                    let _ = cmd_tx.send(Command::Shutdown);
+                    let _ = scheduler_thread.join();
+                    return Err(e);
+                }
+            }
         };
 
         Ok(ServerHandle {
@@ -330,7 +343,9 @@ fn scheduler_loop(
     if let Some(cap) = config.session_memory_cap {
         sched = sched.with_session_memory_cap(cap);
     }
-    let mut links: HashMap<QueryId, ClientLink> = HashMap::new();
+    // BTreeMap, not HashMap: broadcast paths iterate this map, and
+    // delivery order must replay identically run to run.
+    let mut links: BTreeMap<QueryId, ClientLink> = BTreeMap::new();
     loop {
         // Drain every pending command first so admissions and cancels are
         // never starved by a busy scheduler.
@@ -411,7 +426,7 @@ fn handle_command(
     engine: &NeedleTail,
     config: &ServerConfig,
     sched: &mut MultiQueryScheduler,
-    links: &mut HashMap<QueryId, ClientLink>,
+    links: &mut BTreeMap<QueryId, ClientLink>,
     stats: &ServerStats,
 ) -> bool {
     match cmd {
@@ -460,7 +475,7 @@ fn handle_command(
 /// Finishes `id` and streams its terminal answer frame.
 fn deliver_answer(
     sched: &mut MultiQueryScheduler,
-    links: &mut HashMap<QueryId, ClientLink>,
+    links: &mut BTreeMap<QueryId, ClientLink>,
     id: QueryId,
     stats: &ServerStats,
 ) {
@@ -515,17 +530,25 @@ fn accept_loop(
         next_client += 1;
         let client = next_client;
         let cmd_tx = cmd_tx.clone();
-        let stats = Arc::clone(stats);
+        let client_stats = Arc::clone(stats);
         let shutdown = Arc::clone(shutdown);
         let config = config.clone();
-        let handle = std::thread::Builder::new()
+        let spawned = std::thread::Builder::new()
             .name(format!("rapidviz-client-{client}"))
             .spawn(move || {
-                client_loop(stream, client, &config, &cmd_tx, &stats, &shutdown);
-                stats.active_clients.fetch_sub(1, Ordering::Relaxed);
-            })
-            .expect("spawn client thread");
-        let mut threads = client_threads.lock().expect("join lock");
+                client_loop(stream, client, &config, &cmd_tx, &client_stats, &shutdown);
+                client_stats.active_clients.fetch_sub(1, Ordering::Relaxed);
+            });
+        let Ok(handle) = spawned else {
+            // Out of threads: shed this connection (dropping the stream
+            // closes it) and keep serving the clients we already have.
+            stats.active_clients.fetch_sub(1, Ordering::Relaxed);
+            stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        let mut threads = client_threads
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Opportunistically reap finished threads so the list stays small
         // on long-lived servers.
         threads.retain(|t| !t.is_finished());

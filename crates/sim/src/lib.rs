@@ -94,9 +94,6 @@
 //! [`MultiQueryScheduler`]: rapidviz::MultiQueryScheduler
 //! [`AlgorithmChoice`]: rapidviz::AlgorithmChoice
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod minimize;
 mod plan;
 mod run;

@@ -27,11 +27,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use rapidviz::needletail::NeedleTail;
 use rapidviz::{AlgorithmChoice, VizQuery};
+use rapidviz_core::clock::{Clock, SystemClock};
 use rapidviz_serve::{
     ErrorCode, FilterSpec, Frame, QueryRequest, Server, ServerConfig, WireClient,
 };
 use std::sync::atomic::Ordering;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Aggregate + algorithm for one wire query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -306,9 +307,13 @@ pub fn run_wire_episode(plan: &WireEpisodePlan) -> Result<WireReport, WireFailur
         }
     }
 
-    // Slot reclamation: every admitted session ends terminal.
+    // Slot reclamation: every admitted session ends terminal. This
+    // watchdog bounds real OS-thread teardown, not simulated time, so it
+    // reads the system clock — through the Clock abstraction so the
+    // dependence stays visible.
     let stats = handle.stats();
-    let deadline = Instant::now() + Duration::from_secs(10);
+    let clock = SystemClock;
+    let deadline = clock.now() + Duration::from_secs(10);
     loop {
         let admitted = stats.sessions_admitted.load(Ordering::Relaxed);
         let terminal = stats.sessions_completed.load(Ordering::Relaxed)
@@ -316,7 +321,7 @@ pub fn run_wire_episode(plan: &WireEpisodePlan) -> Result<WireReport, WireFailur
         if admitted == terminal {
             break;
         }
-        if Instant::now() >= deadline {
+        if clock.now() >= deadline {
             return Err(fail(format!(
                 "leaked session slots: {admitted} admitted but only {terminal} terminal"
             )));

@@ -173,8 +173,7 @@ impl IntervalSetScratch {
         self.by_lo.sort_unstable_by(|&a, &b| {
             self.members[a]
                 .lo
-                .partial_cmp(&self.members[b].lo)
-                .expect("interval endpoints are not NaN")
+                .total_cmp(&self.members[b].lo)
                 .then(a.cmp(&b))
         });
         self.prefix_best.clear();

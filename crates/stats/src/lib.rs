@@ -22,10 +22,8 @@
 //! All bounds here treat values in a bounded range `[0, c]`; the algorithms
 //! pass `c` explicitly (the paper's boundedness assumption, §2.1).
 //!
-//! The crate is dependency-free and `#![forbid(unsafe_code)]`.
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
+//! The crate is dependency-free; `unsafe` is denied workspace-wide
+//! (see `[workspace.lints]` and the rapidviz-lint unsafe budget).
 
 pub mod bernstein;
 pub mod estimators;

@@ -7,6 +7,11 @@
 //! of per-batch churn. A counting global allocator (installed for this test
 //! binary only) verifies it directly.
 
+// The counting GlobalAlloc below is the one test-only exception to the
+// workspace-wide `unsafe_code = "deny"`; rapidviz-lint's unsafe budget
+// exempts test targets, and this attribute does the same for rustc.
+#![allow(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rapidviz::core::extensions::{IFocusSum2, VecSizedGroup};
