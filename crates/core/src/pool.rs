@@ -60,6 +60,10 @@ impl WorkerPool {
                     // Take the lock only to dequeue; run the job unlocked.
                     let job = {
                         let rx = receiver.lock().unwrap_or_else(|e| e.into_inner());
+                        // lint: allow(concurrency) — the Mutex<Receiver> IS the
+                        // queue handoff: a worker must hold it across recv() so
+                        // exactly one worker dequeues; the sender never takes
+                        // this lock, so no lock-order ordering can invert
                         rx.recv()
                     };
                     match job {

@@ -20,6 +20,24 @@
 //! [rules.clock]
 //! allow = ["crates/core/src/clock.rs"]
 //!
+//! # The crate-layering DAG: each entry is "crate: dep dep ...", naming
+//! # the complete set of first-party crates it may depend on. A crate or
+//! # source-level reference outside this set is a layering violation.
+//! # The declared graph must itself be acyclic (validated at parse time).
+//! [rules.layering]
+//! crates = ["stats:", "core: stats", "serve: rapidviz stats"]
+//!
+//! # Concurrency discipline: `scheduler_loops` are the only files allowed
+//! # to call a blocking, timeout-less `recv()`.
+//! [rules.concurrency]
+//! scheduler_loops = ["crates/serve/src/server.rs"]
+//!
+//! # The committed lock-acquisition order. Every `.lock()` receiver name
+//! # in scoped code must appear here, and nested acquisitions must happen
+//! # in list order. Entries no lock uses are stale (a violation).
+//! [locks]
+//! order = ["client_threads", "receiver"]
+//!
 //! # The unsafe budget: every file holding `unsafe` tokens must have an
 //! # entry whose count matches exactly and whose justification is
 //! # non-empty. A new `unsafe` anywhere fails the lint until a reviewer
@@ -33,8 +51,16 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Names of the five enforced rule families.
-pub const RULE_NAMES: [&str; 5] = ["panic", "clock", "determinism", "unsafe", "output"];
+/// Names of the seven enforced rule families.
+pub const RULE_NAMES: [&str; 7] = [
+    "panic",
+    "clock",
+    "determinism",
+    "unsafe",
+    "output",
+    "layering",
+    "concurrency",
+];
 
 /// Per-rule path scoping.
 #[derive(Debug, Default, Clone)]
@@ -58,6 +84,16 @@ pub struct UnsafeEntry {
     pub justification: String,
 }
 
+/// One lock name in the committed global acquisition order.
+#[derive(Debug, Clone)]
+pub struct LockEntry {
+    /// Receiver name of the `Mutex` field or binding (`client_threads` in
+    /// `self.client_threads.lock()`).
+    pub name: String,
+    /// `lint.toml` line of the `order` key (for stale-entry reports).
+    pub line: u32,
+}
+
 /// The parsed policy.
 #[derive(Debug, Default, Clone)]
 pub struct Config {
@@ -65,6 +101,13 @@ pub struct Config {
     pub rules: BTreeMap<String, RuleCfg>,
     /// The unsafe budget manifest.
     pub unsafe_budget: Vec<UnsafeEntry>,
+    /// Declared crate-dependency DAG: crate name → first-party crates it
+    /// may depend on. Empty map disables the cargo-layer check.
+    pub layering: BTreeMap<String, Vec<String>>,
+    /// Files whose code may call a blocking, timeout-less `recv()`.
+    pub scheduler_loops: Vec<String>,
+    /// The committed lock-acquisition order, outermost first.
+    pub lock_order: Vec<LockEntry>,
 }
 
 impl Config {
@@ -130,6 +173,10 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         }
         if let Some(inner) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
             flush_unsafe(&mut cfg, &mut section, lineno)?;
+            if inner.trim() == "locks" {
+                section = Section::Locks;
+                continue;
+            }
             let Some(rule) = inner.trim().strip_prefix("rules.") else {
                 return Err(err(lineno, format!("unknown table [{inner}]")));
             };
@@ -160,18 +207,80 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         apply_key(&mut cfg, &mut section, key, value.trim(), lineno)?;
     }
     flush_unsafe(&mut cfg, &mut section, 0)?;
+    validate_layering(&cfg)?;
+    validate_locks(&cfg)?;
     Ok(cfg)
 }
 
 enum Section {
     None,
     Rule(String),
+    Locks,
     Unsafe {
         file: Option<String>,
         count: Option<usize>,
         justification: Option<String>,
         line: u32,
     },
+}
+
+/// The declared layering graph must reference only declared crates and be
+/// acyclic — a cyclic "DAG" would make the layer check vacuous.
+fn validate_layering(cfg: &Config) -> Result<(), ConfigError> {
+    for (krate, deps) in &cfg.layering {
+        for dep in deps {
+            if dep == krate {
+                return Err(err(
+                    0,
+                    format!("[rules.layering] crate {krate:?} depends on itself"),
+                ));
+            }
+            if !cfg.layering.contains_key(dep) {
+                return Err(err(
+                    0,
+                    format!("[rules.layering] crate {krate:?} names undeclared dep {dep:?}"),
+                ));
+            }
+        }
+    }
+    // DFS cycle check over the declared edges.
+    for start in cfg.layering.keys() {
+        let mut stack = vec![(start.as_str(), 0usize)];
+        let mut on_path = vec![start.as_str()];
+        while let Some((node, next)) = stack.pop() {
+            let deps = &cfg.layering[node];
+            if next < deps.len() {
+                stack.push((node, next + 1));
+                let dep = deps[next].as_str();
+                if on_path.contains(&dep) {
+                    return Err(err(
+                        0,
+                        format!("[rules.layering] declared graph has a cycle through {dep:?}"),
+                    ));
+                }
+                stack.push((dep, 0));
+                on_path.push(dep);
+            } else {
+                on_path.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_locks(cfg: &Config) -> Result<(), ConfigError> {
+    for (i, entry) in cfg.lock_order.iter().enumerate() {
+        if entry.name.is_empty() {
+            return Err(err(entry.line, "[locks] order entry is empty"));
+        }
+        if cfg.lock_order[..i].iter().any(|e| e.name == entry.name) {
+            return Err(err(
+                entry.line,
+                format!("duplicate [locks] order entry {:?}", entry.name),
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn apply_key(
@@ -194,12 +303,52 @@ fn apply_key(
                     entry.allow = parse_string_array(value, lineno)?;
                     Ok(())
                 }
+                "crates" if rule == "layering" => {
+                    for item in parse_string_array(value, lineno)? {
+                        let Some((name, deps)) = item.split_once(':') else {
+                            return Err(err(
+                                lineno,
+                                format!("layering entry {item:?} is not \"crate: dep dep ...\""),
+                            ));
+                        };
+                        let name = name.trim().to_owned();
+                        let deps: Vec<String> =
+                            deps.split_whitespace().map(str::to_owned).collect();
+                        if name.is_empty() {
+                            return Err(err(lineno, "layering entry has an empty crate name"));
+                        }
+                        if cfg.layering.insert(name.clone(), deps).is_some() {
+                            return Err(err(
+                                lineno,
+                                format!("duplicate layering entry for crate {name:?}"),
+                            ));
+                        }
+                    }
+                    Ok(())
+                }
+                "scheduler_loops" if rule == "concurrency" => {
+                    cfg.scheduler_loops = parse_string_array(value, lineno)?;
+                    Ok(())
+                }
                 other => Err(err(
                     lineno,
-                    format!("unknown key {other:?} in [rules.{rule}] (expected paths/allow)"),
+                    format!("unknown key {other:?} in [rules.{rule}]"),
                 )),
             }
         }
+        Section::Locks => match key {
+            "order" => {
+                cfg.lock_order = parse_string_array(value, lineno)?
+                    .into_iter()
+                    .map(|name| LockEntry { name, line: lineno })
+                    .collect();
+                Ok(())
+            }
+            other => Err(err(
+                lineno,
+                format!("unknown key {other:?} in [locks] (expected order)"),
+            )),
+        },
         Section::Unsafe {
             file,
             count,
@@ -402,5 +551,56 @@ justification = "scoped-task lifetime erasure"
     fn hash_inside_string_is_not_a_comment() {
         let cfg = parse("[rules.panic]\nallow = [\"weird#path.rs\"]\n").expect("parses");
         assert_eq!(cfg.rule("panic").allow, ["weird#path.rs"]);
+    }
+
+    #[test]
+    fn parses_layering_locks_and_scheduler_loops() {
+        let cfg = parse(
+            r#"
+[rules.layering]
+crates = [
+    "stats:",
+    "core: stats",
+    "serve: core stats",
+]
+
+[rules.concurrency]
+paths = ["crates/serve/src"]
+scheduler_loops = ["crates/serve/src/server.rs"]
+
+[locks]
+order = ["client_threads", "receiver"]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.layering["core"], ["stats"]);
+        assert!(cfg.layering["stats"].is_empty());
+        assert_eq!(cfg.scheduler_loops, ["crates/serve/src/server.rs"]);
+        let names: Vec<&str> = cfg.lock_order.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["client_threads", "receiver"]);
+    }
+
+    #[test]
+    fn layering_graph_must_be_declared_and_acyclic() {
+        // Undeclared dep.
+        assert!(parse("[rules.layering]\ncrates = [\"core: ghost\"]\n").is_err());
+        // Self-dep.
+        assert!(parse("[rules.layering]\ncrates = [\"core: core\"]\n").is_err());
+        // Two-crate cycle.
+        let e = parse("[rules.layering]\ncrates = [\"a: b\", \"b: a\"]\n").expect_err("cycle");
+        assert!(e.message.contains("cycle"), "{e}");
+        // Entry without the colon separator.
+        assert!(parse("[rules.layering]\ncrates = [\"stats\"]\n").is_err());
+        // Duplicate crate.
+        assert!(parse("[rules.layering]\ncrates = [\"a:\", \"a:\"]\n").is_err());
+    }
+
+    #[test]
+    fn lock_order_rejects_duplicates_and_unknown_keys() {
+        assert!(parse("[locks]\norder = [\"m\", \"m\"]\n").is_err());
+        assert!(parse("[locks]\nordering = [\"m\"]\n").is_err());
+        // `crates`/`scheduler_loops` are rule-specific keys.
+        assert!(parse("[rules.panic]\ncrates = [\"a:\"]\n").is_err());
+        assert!(parse("[rules.panic]\nscheduler_loops = []\n").is_err());
     }
 }

@@ -1,0 +1,103 @@
+//! The `--fix` engine: machine-applicable rewrites carried by
+//! diagnostics.
+//!
+//! A [`Fix`] is a byte-span replacement against the *original* source of
+//! one file. Rules attach fixes only where the rewrite is mechanical and
+//! behavior-preserving by construction (`partial_cmp(..).expect(..)` →
+//! `total_cmp(..)`, deleting an unused or un-reasoned suppression
+//! comment); anything judgment-shaped (threading a `Clock`, restructuring
+//! a guard) stays a suggestion in the message.
+//!
+//! Application is conservative: fixes are sorted by span, overlapping
+//! fixes after the first are skipped (re-running the lint picks them up
+//! once the tree settles), and applying the same fix set twice is a
+//! no-op because the violations it was derived from no longer exist —
+//! the idempotence the CI `--fix --check` mode relies on.
+
+/// One machine-applicable rewrite: replace `source[start..end]` with
+/// `replacement`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// Start byte offset (inclusive) in the file's original source.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// Replacement text (may be empty — a deletion).
+    pub replacement: String,
+    /// Short human-readable description printed by `--fix`.
+    pub note: String,
+}
+
+/// Applies `fixes` to `source`. Returns the rewritten text plus counts of
+/// applied and skipped (overlapping or out-of-bounds) fixes.
+#[must_use]
+pub fn apply_to_source(source: &str, fixes: &[Fix]) -> (String, usize, usize) {
+    let mut sorted: Vec<&Fix> = fixes.iter().collect();
+    sorted.sort_by_key(|f| (f.start, f.end));
+    let mut out = String::with_capacity(source.len());
+    let mut cursor = 0usize;
+    let mut applied = 0usize;
+    let mut skipped = 0usize;
+    for f in sorted {
+        if f.start < cursor || f.end < f.start || f.end > source.len() {
+            skipped += 1;
+            continue;
+        }
+        if !source.is_char_boundary(f.start) || !source.is_char_boundary(f.end) {
+            skipped += 1;
+            continue;
+        }
+        out.push_str(&source[cursor..f.start]);
+        out.push_str(&f.replacement);
+        cursor = f.end;
+        applied += 1;
+    }
+    out.push_str(&source[cursor..]);
+    (out, applied, skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(start: usize, end: usize, replacement: &str) -> Fix {
+        Fix {
+            start,
+            end,
+            replacement: replacement.to_owned(),
+            note: "test".to_owned(),
+        }
+    }
+
+    #[test]
+    fn replaces_and_deletes_in_order() {
+        let src = "abc def ghi";
+        let (out, applied, skipped) =
+            apply_to_source(src, &[fix(8, 11, "X"), fix(0, 3, "Z"), fix(4, 8, "")]);
+        assert_eq!(out, "Z X");
+        assert_eq!((applied, skipped), (3, 0));
+    }
+
+    #[test]
+    fn overlapping_fixes_are_skipped_not_corrupted() {
+        let src = "abcdef";
+        let (out, applied, skipped) = apply_to_source(src, &[fix(0, 4, "X"), fix(2, 6, "Y")]);
+        assert_eq!(out, "Xef");
+        assert_eq!((applied, skipped), (1, 1));
+    }
+
+    #[test]
+    fn out_of_bounds_and_non_boundary_fixes_are_skipped() {
+        let src = "héllo";
+        let (out, _, skipped) = apply_to_source(src, &[fix(0, 99, "X"), fix(2, 2, "Y")]);
+        assert_eq!(out, src);
+        assert_eq!(skipped, 2);
+    }
+
+    #[test]
+    fn empty_fix_list_is_identity() {
+        let (out, applied, skipped) = apply_to_source("unchanged", &[]);
+        assert_eq!(out, "unchanged");
+        assert_eq!((applied, skipped), (0, 0));
+    }
+}

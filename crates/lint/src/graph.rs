@@ -1,0 +1,247 @@
+//! Small deterministic graph utilities for the workspace model.
+//!
+//! Both layering passes reduce to the same question — does this directed
+//! graph contain a cycle, and if so, which one? Adjacency is kept in
+//! `BTreeMap`/sorted form throughout so reports are byte-identical run to
+//! run (determinism is itself one of the linted invariants; the linter
+//! holds itself to it).
+
+use std::collections::BTreeMap;
+
+/// A directed graph over string node names.
+pub type Adjacency = BTreeMap<String, Vec<String>>;
+
+/// Finds one cycle in `graph` and returns it as a node path
+/// `[a, b, …, a]` (first node repeated at the end), or `None` if the
+/// graph is acyclic. Edges to nodes absent from the map are ignored —
+/// callers decide separately whether dangling references are errors.
+///
+/// Deterministic: nodes and edges are visited in sorted order, so the
+/// same graph always reports the same cycle.
+#[must_use]
+pub fn find_cycle(graph: &Adjacency) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        OnPath,
+        Done,
+    }
+    let mut state: BTreeMap<&str, State> = graph
+        .keys()
+        .map(|k| (k.as_str(), State::Unvisited))
+        .collect();
+
+    for start in graph.keys() {
+        if state[start.as_str()] != State::Unvisited {
+            continue;
+        }
+        // Iterative DFS: (node, next edge index) frames plus the explicit
+        // path for cycle extraction.
+        let mut stack: Vec<(&str, usize)> = vec![(start.as_str(), 0)];
+        let mut path: Vec<&str> = vec![start.as_str()];
+        state.insert(start.as_str(), State::OnPath);
+        while let Some((node, next)) = stack.pop() {
+            let edges = &graph[node];
+            if next < edges.len() {
+                stack.push((node, next + 1));
+                let dep = edges[next].as_str();
+                match state.get(dep).copied() {
+                    Some(State::OnPath) => {
+                        // Cycle: slice the path from the first occurrence
+                        // of `dep` and close the loop.
+                        let from = path.iter().position(|n| *n == dep).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            path[from..].iter().map(|s| (*s).to_owned()).collect();
+                        cycle.push(dep.to_owned());
+                        return Some(cycle);
+                    }
+                    Some(State::Unvisited) => {
+                        state.insert(dep, State::OnPath);
+                        stack.push((dep, 0));
+                        path.push(dep);
+                    }
+                    Some(State::Done) | None => {}
+                }
+            } else {
+                state.insert(node, State::Done);
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Strongly connected components with more than one node (i.e. the
+/// mutually-recursive clusters), each sorted internally, components
+/// sorted by first element. Tarjan's algorithm, iterative.
+///
+/// Single-node self-loops are also reported (a module importing itself
+/// is still a cycle).
+#[must_use]
+pub fn cyclic_sccs(graph: &Adjacency) -> Vec<Vec<String>> {
+    struct Tarjan<'g> {
+        graph: &'g Adjacency,
+        index: BTreeMap<&'g str, usize>,
+        lowlink: BTreeMap<&'g str, usize>,
+        on_stack: BTreeMap<&'g str, bool>,
+        stack: Vec<&'g str>,
+        next_index: usize,
+        out: Vec<Vec<String>>,
+    }
+
+    impl<'g> Tarjan<'g> {
+        fn visit(&mut self, root: &'g str) {
+            // Frame: (node, next edge index).
+            let mut frames: Vec<(&'g str, usize)> = vec![(root, 0)];
+            self.index.insert(root, self.next_index);
+            self.lowlink.insert(root, self.next_index);
+            self.next_index += 1;
+            self.stack.push(root);
+            self.on_stack.insert(root, true);
+
+            while let Some((node, next)) = frames.pop() {
+                let edges = &self.graph[node];
+                if next < edges.len() {
+                    frames.push((node, next + 1));
+                    let dep = edges[next].as_str();
+                    let Some(dep_key) = self.graph.get_key_value(dep).map(|(k, _)| k.as_str())
+                    else {
+                        continue; // dangling edge: not part of the graph
+                    };
+                    if let Some(&di) = self.index.get(dep_key) {
+                        if self.on_stack.get(dep_key).copied().unwrap_or(false) {
+                            let low = (*self.lowlink.get(node).unwrap_or(&0)).min(di);
+                            self.lowlink.insert(node, low);
+                        }
+                    } else {
+                        self.index.insert(dep_key, self.next_index);
+                        self.lowlink.insert(dep_key, self.next_index);
+                        self.next_index += 1;
+                        self.stack.push(dep_key);
+                        self.on_stack.insert(dep_key, true);
+                        frames.push((dep_key, 0));
+                    }
+                } else {
+                    // Node finished: fold lowlink into the parent frame,
+                    // and pop an SCC if this is its root.
+                    if let Some(&(parent, _)) = frames.last() {
+                        let low = (*self.lowlink.get(parent).unwrap_or(&0)).min(self.lowlink[node]);
+                        self.lowlink.insert(parent, low);
+                    }
+                    if self.lowlink[node] == self.index[node] {
+                        let mut comp = Vec::new();
+                        while let Some(top) = self.stack.pop() {
+                            self.on_stack.insert(top, false);
+                            comp.push(top.to_owned());
+                            if top == node {
+                                break;
+                            }
+                        }
+                        let self_loop =
+                            comp.len() == 1 && self.graph[node].iter().any(|d| d == node);
+                        if comp.len() > 1 || self_loop {
+                            comp.sort_unstable();
+                            self.out.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut t = Tarjan {
+        graph,
+        index: BTreeMap::new(),
+        lowlink: BTreeMap::new(),
+        on_stack: BTreeMap::new(),
+        stack: Vec::new(),
+        next_index: 0,
+        out: Vec::new(),
+    };
+    for node in graph.keys() {
+        if !t.index.contains_key(node.as_str()) {
+            t.visit(node);
+        }
+    }
+    t.out.sort_unstable();
+    t.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(edges: &[(&str, &[&str])]) -> Adjacency {
+        edges
+            .iter()
+            .map(|(n, deps)| {
+                (
+                    (*n).to_owned(),
+                    deps.iter().map(|d| (*d).to_owned()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let g = graph(&[("a", &["b", "c"]), ("b", &["c"]), ("c", &[])]);
+        assert!(find_cycle(&g).is_none());
+        assert!(cyclic_sccs(&g).is_empty());
+    }
+
+    #[test]
+    fn two_node_cycle_is_found_and_closed() {
+        let g = graph(&[("a", &["b"]), ("b", &["a"])]);
+        let cycle = find_cycle(&g).expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 3);
+        assert_eq!(cyclic_sccs(&g), vec![vec!["a".to_owned(), "b".to_owned()]]);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let g = graph(&[("a", &["a"])]);
+        assert!(find_cycle(&g).is_some());
+        assert_eq!(cyclic_sccs(&g), vec![vec!["a".to_owned()]]);
+    }
+
+    #[test]
+    fn dangling_edges_are_ignored() {
+        let g = graph(&[("a", &["ghost"])]);
+        assert!(find_cycle(&g).is_none());
+        assert!(cyclic_sccs(&g).is_empty());
+    }
+
+    #[test]
+    fn diamond_is_not_a_cycle_but_back_edge_is() {
+        let diamond = graph(&[("a", &["b", "c"]), ("b", &["d"]), ("c", &["d"]), ("d", &[])]);
+        assert!(find_cycle(&diamond).is_none());
+        let back = graph(&[("a", &["b"]), ("b", &["c"]), ("c", &["a"]), ("d", &["a"])]);
+        let cycle = find_cycle(&back).expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        let sccs = cyclic_sccs(&back);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0], ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn deterministic_output_across_runs() {
+        let g = graph(&[
+            ("m1", &["m2", "m3"]),
+            ("m2", &["m1"]),
+            ("m3", &["m4"]),
+            ("m4", &["m3"]),
+        ]);
+        let a = cyclic_sccs(&g);
+        let b = cyclic_sccs(&g);
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            vec![
+                vec!["m1".to_owned(), "m2".to_owned()],
+                vec!["m3".to_owned(), "m4".to_owned()]
+            ]
+        );
+    }
+}

@@ -33,7 +33,9 @@ pub enum TokKind {
     Lifetime,
 }
 
-/// One lexed token with its source position (1-based line and column).
+/// One lexed token with its source position (1-based line and column) and
+/// byte span (half-open, into the original source) — the span is what
+/// lets a diagnostic carry a machine-applicable rewrite for `--fix`.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// Kind of token.
@@ -44,6 +46,10 @@ pub struct Tok {
     pub line: u32,
     /// 1-based source column.
     pub col: u32,
+    /// Byte offset of the token's first byte in the source.
+    pub byte: usize,
+    /// Byte offset one past the token's last byte.
+    pub byte_end: usize,
 }
 
 impl Tok {
@@ -72,6 +78,11 @@ pub struct LineComment {
     /// *trailing* comment annotates that line; a standalone comment
     /// annotates the next line that holds code).
     pub trailing: bool,
+    /// Byte offset of the leading `//`.
+    pub byte: usize,
+    /// Byte offset one past the comment's last byte (excluding the
+    /// newline).
+    pub byte_end: usize,
 }
 
 /// The lexed view of one source file.
@@ -96,6 +107,7 @@ struct Lexer {
     pos: usize,
     line: u32,
     col: u32,
+    byte: usize,
     out: Lexed,
     /// Tokens already seen on the current source line (resets at `\n`) —
     /// this is what distinguishes a trailing comment from a standalone one.
@@ -109,6 +121,7 @@ impl Lexer {
             pos: 0,
             line: 1,
             col: 1,
+            byte: 0,
             out: Lexed::default(),
             tokens_on_line: false,
         }
@@ -121,6 +134,7 @@ impl Lexer {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.pos).copied()?;
         self.pos += 1;
+        self.byte += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -131,32 +145,34 @@ impl Lexer {
         Some(c)
     }
 
-    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32, byte: usize) {
         self.out.tokens.push(Tok {
             kind,
             text,
             line,
             col,
+            byte,
+            byte_end: self.byte,
         });
         self.tokens_on_line = true;
     }
 
     fn run(mut self) -> Lexed {
         while let Some(c) = self.peek(0) {
-            let (line, col) = (self.line, self.col);
+            let (line, col, byte) = (self.line, self.col, self.byte);
             match c {
                 c if c.is_whitespace() => {
                     self.bump();
                 }
-                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, byte),
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
-                '"' => self.string(line, col),
-                '\'' => self.char_or_lifetime(line, col),
-                c if c.is_ascii_digit() => self.number(line, col),
-                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line, col),
+                '"' => self.string(line, col, byte),
+                '\'' => self.char_or_lifetime(line, col, byte),
+                c if c.is_ascii_digit() => self.number(line, col, byte),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line, col, byte),
                 c => {
                     self.bump();
-                    self.push(TokKind::Punct(c), String::new(), line, col);
+                    self.push(TokKind::Punct(c), String::new(), line, col, byte);
                 }
             }
         }
@@ -164,7 +180,7 @@ impl Lexer {
     }
 
     /// `// …` to end of line. Doc comments (`///`, `//!`) are dropped.
-    fn line_comment(&mut self, line: u32) {
+    fn line_comment(&mut self, line: u32, byte: usize) {
         self.bump();
         self.bump(); // the two slashes
         let doc = matches!(self.peek(0), Some('/' | '!'));
@@ -183,6 +199,8 @@ impl Lexer {
                 text,
                 line,
                 trailing: self.tokens_on_line,
+                byte,
+                byte_end: self.byte,
             });
         }
     }
@@ -213,7 +231,7 @@ impl Lexer {
     }
 
     /// A `"…"` string with escapes.
-    fn string(&mut self, line: u32, col: u32) {
+    fn string(&mut self, line: u32, col: u32, byte: usize) {
         self.bump(); // opening quote
         while let Some(c) = self.bump() {
             match c {
@@ -224,11 +242,11 @@ impl Lexer {
                 _ => {}
             }
         }
-        self.push(TokKind::Str, String::new(), line, col);
+        self.push(TokKind::Str, String::new(), line, col, byte);
     }
 
     /// A raw string after its prefix: `#`* `"` … `"` `#`*(same count).
-    fn raw_string(&mut self, line: u32, col: u32) {
+    fn raw_string(&mut self, line: u32, col: u32, byte: usize) {
         let mut hashes = 0usize;
         while self.peek(0) == Some('#') {
             hashes += 1;
@@ -236,7 +254,7 @@ impl Lexer {
         }
         if self.peek(0) != Some('"') {
             // `r#ident` raw identifier: lex the ident without the fence.
-            self.ident_body(line, col);
+            self.ident_body(line, col, byte);
             return;
         }
         self.bump(); // opening quote
@@ -253,11 +271,11 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokKind::Str, String::new(), line, col);
+        self.push(TokKind::Str, String::new(), line, col, byte);
     }
 
     /// Disambiguates `'a'` (char) from `'a` (lifetime).
-    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+    fn char_or_lifetime(&mut self, line: u32, col: u32, byte: usize) {
         self.bump(); // opening quote
         match self.peek(0) {
             Some('\\') => {
@@ -269,14 +287,14 @@ impl Lexer {
                         break;
                     }
                 }
-                self.push(TokKind::Char, String::new(), line, col);
+                self.push(TokKind::Char, String::new(), line, col, byte);
             }
             Some(c) if c == '_' || c.is_alphanumeric() => {
                 if self.peek(1) == Some('\'') {
                     // `'x'`
                     self.bump();
                     self.bump();
-                    self.push(TokKind::Char, String::new(), line, col);
+                    self.push(TokKind::Char, String::new(), line, col, byte);
                 } else {
                     // `'lifetime`
                     while let Some(c) = self.peek(0) {
@@ -286,7 +304,7 @@ impl Lexer {
                             break;
                         }
                     }
-                    self.push(TokKind::Lifetime, String::new(), line, col);
+                    self.push(TokKind::Lifetime, String::new(), line, col, byte);
                 }
             }
             _ => {
@@ -296,14 +314,14 @@ impl Lexer {
                 if self.peek(0) == Some('\'') {
                     self.bump();
                 }
-                self.push(TokKind::Char, String::new(), line, col);
+                self.push(TokKind::Char, String::new(), line, col, byte);
             }
         }
     }
 
     /// A numeric literal. Precision is unimportant (no rule reads
     /// numbers), but the lexer must not swallow a `..` range operator.
-    fn number(&mut self, line: u32, col: u32) {
+    fn number(&mut self, line: u32, col: u32, byte: usize) {
         while let Some(c) = self.peek(0) {
             if c == '.' {
                 if self.peek(1) == Some('.') {
@@ -319,12 +337,12 @@ impl Lexer {
                 break;
             }
         }
-        self.push(TokKind::Num, String::new(), line, col);
+        self.push(TokKind::Num, String::new(), line, col, byte);
     }
 
     /// An identifier, unless it turns out to be a literal prefix
     /// (`r"…"`, `b'…'`, `br#"…"#`, `c"…"`).
-    fn ident_or_prefixed(&mut self, line: u32, col: u32) {
+    fn ident_or_prefixed(&mut self, line: u32, col: u32, byte: usize) {
         let start = self.pos;
         while let Some(c) = self.peek(0) {
             if c == '_' || c.is_alphanumeric() {
@@ -335,16 +353,16 @@ impl Lexer {
         }
         let text: String = self.chars[start..self.pos].iter().collect();
         match (text.as_str(), self.peek(0)) {
-            ("r" | "br" | "cr", Some('"' | '#')) => self.raw_string(line, col),
-            ("b" | "c", Some('"')) => self.string(line, col),
-            ("b", Some('\'')) => self.char_or_lifetime(line, col),
-            _ => self.push(TokKind::Ident, text, line, col),
+            ("r" | "br" | "cr", Some('"' | '#')) => self.raw_string(line, col, byte),
+            ("b" | "c", Some('"')) => self.string(line, col, byte),
+            ("b", Some('\'')) => self.char_or_lifetime(line, col, byte),
+            _ => self.push(TokKind::Ident, text, line, col, byte),
         }
     }
 
     /// Body of a raw identifier `r#ident` — emitted as a plain ident so
     /// `r#unsafe` (were it legal) still counts as the `unsafe` it names.
-    fn ident_body(&mut self, line: u32, col: u32) {
+    fn ident_body(&mut self, line: u32, col: u32, byte: usize) {
         let start = self.pos;
         while let Some(c) = self.peek(0) {
             if c == '_' || c.is_alphanumeric() {
@@ -354,7 +372,7 @@ impl Lexer {
             }
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        self.push(TokKind::Ident, text, line, col);
+        self.push(TokKind::Ident, text, line, col, byte);
     }
 }
 
@@ -473,6 +491,18 @@ mod tests {
         assert_eq!(lexed.comments.len(), 1);
         assert!(lexed.comments[0].trailing);
         assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn byte_spans_slice_back_to_the_source() {
+        let src = "let étoile = cmp.partial_cmp(&y); // trailing";
+        let lexed = lex(src);
+        for t in lexed.tokens.iter().filter(|t| t.kind == TokKind::Ident) {
+            assert_eq!(&src[t.byte..t.byte_end], t.text);
+        }
+        assert_eq!(lexed.comments.len(), 1);
+        let c = &lexed.comments[0];
+        assert_eq!(&src[c.byte..c.byte_end], "// trailing");
     }
 
     #[test]

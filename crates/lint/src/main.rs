@@ -1,8 +1,8 @@
 //! CLI front end: `rapidviz-lint --workspace` from the repo root is the
 //! CI entry point; see the library docs for rules and suppressions.
 
-use rapidviz_lint::{lint_file, lint_workspace, load_config};
-use std::path::PathBuf;
+use rapidviz_lint::{fix_plan, fixes, lint_file, lint_workspace, load_config, Config, Violation};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
@@ -11,6 +11,8 @@ struct Args {
     config: Option<PathBuf>,
     files: Vec<String>,
     explain: bool,
+    fix: bool,
+    check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -20,12 +22,16 @@ fn parse_args() -> Result<Args, String> {
         config: None,
         files: Vec::new(),
         explain: false,
+        fix: false,
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => args.workspace = true,
             "--explain" => args.explain = true,
+            "--fix" => args.fix = true,
+            "--check" => args.check = true,
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
             }
@@ -40,6 +46,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
+    if args.check && !args.fix {
+        return Err(format!("--check requires --fix\n{USAGE}"));
+    }
     if !args.workspace && !args.explain && args.files.is_empty() {
         return Err(format!("nothing to lint\n{USAGE}"));
     }
@@ -48,13 +57,64 @@ fn parse_args() -> Result<Args, String> {
 
 const USAGE: &str = "\
 usage: rapidviz-lint --workspace [--root <dir>] [--config <lint.toml>]
+       rapidviz-lint --workspace --fix [--check] [--root <dir>]
        rapidviz-lint [--root <dir>] <file.rs> [...]
        rapidviz-lint --explain
 
 Lints the workspace's .rs files against the committed invariant policy
 (lint.toml at the workspace root): panic-freedom on answer paths, clock
-discipline, determinism, the unsafe budget, and output discipline.
-Exits 1 on any violation.";
+discipline, determinism, the unsafe budget, output discipline, crate
+layering, and lock/channel concurrency discipline. Exits 1 on any
+violation.
+
+--fix applies the machine-applicable rewrites carried by diagnostics
+(then reports what remains); --fix --check applies nothing and exits
+non-zero if any fix would change the tree.";
+
+/// Runs the configured lint once and returns (violations, files scanned).
+fn run_lint(args: &Args, cfg: &Config) -> Result<(Vec<Violation>, usize), String> {
+    if args.workspace {
+        let r = lint_workspace(&args.root, cfg)?;
+        Ok((r.violations, r.files_scanned))
+    } else {
+        let mut vs = Vec::new();
+        for rel in &args.files {
+            let full = args.root.join(rel);
+            let source = std::fs::read_to_string(&full)
+                .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+            vs.extend(lint_file(rel, &source, cfg));
+        }
+        Ok((vs, args.files.len()))
+    }
+}
+
+/// Applies (or, in check mode, only plans) the fixes carried by
+/// `violations`. Returns the number of files that changed (or would).
+fn apply_fixes(root: &Path, violations: &[Violation], check: bool) -> Result<usize, String> {
+    let plan = fix_plan(violations);
+    let mut changed_files = 0usize;
+    for (rel, file_fixes) in &plan {
+        let full = root.join(rel);
+        let source = std::fs::read_to_string(&full)
+            .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+        let (fixed, applied, skipped) = fixes::apply_to_source(&source, file_fixes);
+        if fixed == source {
+            continue;
+        }
+        changed_files += 1;
+        if check {
+            println!("would fix {rel}: {applied} rewrite(s)");
+        } else {
+            std::fs::write(&full, &fixed)
+                .map_err(|e| format!("cannot write {}: {e}", full.display()))?;
+            println!("fixed {rel}: {applied} rewrite(s) applied");
+        }
+        if skipped > 0 {
+            println!("  ({skipped} overlapping rewrite(s) deferred to the next run)");
+        }
+    }
+    Ok(changed_files)
+}
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -80,29 +140,42 @@ fn main() -> ExitCode {
         }
     };
 
-    let (violations, files_scanned) = if args.workspace {
-        match lint_workspace(&args.root, &cfg) {
-            Ok(r) => (r.violations, r.files_scanned),
+    let (mut violations, files_scanned) = match run_lint(&args, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.fix {
+        match apply_fixes(&args.root, &violations, args.check) {
+            Ok(0) => {}
+            Ok(changed) if args.check => {
+                eprintln!(
+                    "error: {changed} file(s) would be rewritten by --fix — run \
+                     `rapidviz-lint --workspace --fix` and commit the result"
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => {
+                // Re-lint the rewritten tree so the report below shows
+                // what remains for a human (and proves idempotence: a
+                // second --fix run finds nothing left to rewrite).
+                match run_lint(&args, &cfg) {
+                    Ok((vs, _)) => violations = vs,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::from(2);
             }
         }
-    } else {
-        let mut vs = Vec::new();
-        for rel in &args.files {
-            let full = args.root.join(rel);
-            let source = match std::fs::read_to_string(&full) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("error: cannot read {}: {e}", full.display());
-                    return ExitCode::from(2);
-                }
-            };
-            vs.extend(lint_file(rel, &source, &cfg));
-        }
-        (vs, args.files.len())
-    };
+    }
 
     for v in &violations {
         println!("{v}");
@@ -124,7 +197,7 @@ fn main() -> ExitCode {
 }
 
 const EXPLAIN: &str = r"
-rapidviz-lint enforces five rule families (see the crate docs for the
+rapidviz-lint enforces seven rule families (see the crate docs for the
 full story):
 
   panic         no .unwrap()/.expect()/panic!/todo!/unimplemented! in
@@ -137,10 +210,23 @@ full story):
                 entry in lint.toml (file, exact count, justification)
   output        no println!/eprintln! in library crates — diagnostics go
                 through Metrics or returned errors
+  layering      first-party crate references and Cargo.toml edges must
+                follow the [rules.layering] DAG (engine crates never
+                depend on serving/sim/bench layers), and no crate may
+                hold a crate::-import module cycle
+  concurrency   every .lock() receiver registered in [locks]; nested
+                acquisitions follow that order; no guard held across
+                blocking send()/recv()/join(); timeout-less recv()
+                confined to declared scheduler_loops files
 
 Suppressions: per-rule path lists in lint.toml, or inline
   // lint: allow(<rule>) — <reason>
-where the reason is mandatory and unused allows are violations.";
+where the reason is mandatory and unused allows are violations.
+
+--fix applies machine-applicable rewrites (partial_cmp().unwrap() →
+total_cmp(), deleting unused/un-reasoned allows); --fix --check fails
+if any fix is pending. Fixes are idempotent and the fixed tree re-lints
+clean.";
 
 #[cfg(test)]
 mod tests {

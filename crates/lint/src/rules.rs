@@ -1,5 +1,5 @@
-//! The five rule families, the inline suppression mechanism, and the
-//! per-file driver.
+//! The rule families, the inline suppression mechanism, and the per-file
+//! driver.
 //!
 //! Every rule works on the token stream from [`crate::lexer`]; nothing
 //! here looks at raw text, so string-embedded `unwrap()` and commented-out
@@ -7,7 +7,9 @@
 //! catalogue and the `// lint: allow(<rule>) — <reason>` escape hatch.
 
 use crate::config::{Config, RULE_NAMES};
+use crate::fixes::Fix;
 use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::model::{self, WorkspaceModel};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -21,10 +23,50 @@ pub struct Violation {
     /// 1-based column.
     pub col: u32,
     /// Rule family (`panic`, `clock`, `determinism`, `unsafe`, `output`,
-    /// or `allow` for suppression-discipline findings).
+    /// `layering`, `concurrency`, or `allow` for suppression-discipline
+    /// findings).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
+    /// Byte span of the offending tokens in the original source, when the
+    /// diagnostic is anchored to specific tokens.
+    pub span: Option<(usize, usize)>,
+    /// Machine-applicable rewrite, applied by `--fix`. Only attached when
+    /// the rewrite is mechanical and behavior-preserving.
+    pub fix: Option<Fix>,
+}
+
+impl Violation {
+    /// A violation with no span or fix.
+    #[must_use]
+    pub fn new(path: &str, line: u32, col: u32, rule: &'static str, message: String) -> Self {
+        Self {
+            path: path.to_owned(),
+            line,
+            col,
+            rule,
+            message,
+            span: None,
+            fix: None,
+        }
+    }
+
+    /// A violation anchored to one token (position and byte span).
+    #[must_use]
+    pub fn at(path: &str, tok: &Tok, rule: &'static str, message: String) -> Self {
+        Self {
+            span: Some((tok.byte, tok.byte_end)),
+            ..Self::new(path, tok.line, tok.col, rule, message)
+        }
+    }
+
+    /// Attaches a machine-applicable rewrite.
+    #[must_use]
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.span = Some((fix.start, fix.end));
+        self.fix = Some(fix);
+        self
+    }
 }
 
 impl fmt::Display for Violation {
@@ -33,7 +75,11 @@ impl fmt::Display for Violation {
             f,
             "{}:{}:{}: [{}] {}",
             self.path, self.line, self.col, self.rule, self.message
-        )
+        )?;
+        if self.fix.is_some() {
+            write!(f, " [fixable]")?;
+        }
+        Ok(())
     }
 }
 
@@ -75,7 +121,7 @@ pub fn classify(path: &str) -> TargetClass {
     }
 }
 
-fn under_any(path: &str, prefixes: &[String]) -> bool {
+pub(crate) fn under_any(path: &str, prefixes: &[String]) -> bool {
     prefixes.iter().any(|p| {
         let p = p.trim_end_matches('/');
         path == p || (path.starts_with(p) && path[p.len()..].starts_with('/'))
@@ -84,20 +130,47 @@ fn under_any(path: &str, prefixes: &[String]) -> bool {
 
 /// Lints one file's source. `path` is workspace-relative with `/`
 /// separators; it drives target classification and rule scoping.
+/// Workspace-model-dependent passes (source-level layering) are skipped;
+/// use [`lint_file_with_model`] for the full set.
 #[must_use]
 pub fn lint_file(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
-    let class = classify(path);
     let lexed = lex(source);
+    lint_lexed(path, source, &lexed, cfg, None)
+}
+
+/// Lints one file with the workspace model available, enabling the
+/// source-level crate-layering pass in addition to every single-file
+/// rule.
+#[must_use]
+pub fn lint_file_with_model(
+    path: &str,
+    source: &str,
+    cfg: &Config,
+    model: &WorkspaceModel,
+) -> Vec<Violation> {
+    let lexed = lex(source);
+    lint_lexed(path, source, &lexed, cfg, Some(model))
+}
+
+/// The per-file driver over an already-lexed source.
+pub(crate) fn lint_lexed(
+    path: &str,
+    source: &str,
+    lexed: &Lexed,
+    cfg: &Config,
+    model: Option<&WorkspaceModel>,
+) -> Vec<Violation> {
+    let class = classify(path);
     let in_test = test_regions(&lexed.tokens);
-    let mut allows = parse_allows(path, &lexed);
+    let mut allows = parse_allows(path, source, lexed);
     let mut out = Vec::new();
     out.append(&mut allows.errors);
 
-    let mut fired: Vec<(usize, Violation)> = Vec::new(); // (allow idx or USIZE::MAX, v)
+    let mut fired: Vec<(usize, Violation)> = Vec::new(); // (allow idx, v)
     let mut raw = Vec::new();
 
     if rule_applies(cfg, "panic", path, class, &[TargetClass::Library]) {
-        panic_rule(path, &lexed.tokens, &in_test, &mut raw);
+        panic_rule(path, source, &lexed.tokens, &in_test, &mut raw);
     }
     if rule_applies(cfg, "clock", path, class, &[TargetClass::Library]) {
         clock_rule(path, &lexed.tokens, &in_test, &mut raw);
@@ -117,6 +190,26 @@ pub fn lint_file(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
     ) {
         unsafe_rule(path, &lexed.tokens, cfg, &mut raw);
     }
+    if rule_applies(
+        cfg,
+        "concurrency",
+        path,
+        class,
+        &[TargetClass::Library, TargetClass::Bin],
+    ) {
+        concurrency_rule(path, &lexed.tokens, &in_test, cfg, &mut raw);
+    }
+    if let Some(model) = model {
+        if rule_applies(
+            cfg,
+            "layering",
+            path,
+            class,
+            &[TargetClass::Library, TargetClass::Bin],
+        ) {
+            layering_rule(path, &lexed.tokens, &in_test, cfg, model, &mut raw);
+        }
+    }
 
     // Apply inline suppressions: a violation on a line covered by an
     // allow for its rule is swallowed and marks that allow used.
@@ -129,23 +222,55 @@ pub fn lint_file(path: &str, source: &str, cfg: &Config) -> Vec<Violation> {
     let used: BTreeSet<usize> = fired.iter().map(|(i, _)| *i).collect();
     for (idx, a) in allows.directives.iter().enumerate() {
         if !used.contains(&idx) {
-            out.push(Violation {
-                path: path.to_owned(),
-                line: a.line,
-                col: 1,
-                rule: "allow",
-                message: format!(
-                    "unused suppression: `lint: allow({})` matches no violation on its target line",
-                    a.rules.join(", ")
-                ),
-            });
+            out.push(
+                Violation::new(
+                    path,
+                    a.line,
+                    1,
+                    "allow",
+                    format!(
+                        "unused suppression: `lint: allow({})` matches no violation on its \
+                         target line",
+                        a.rules.join(", ")
+                    ),
+                )
+                .with_fix(comment_deletion_fix(
+                    source,
+                    a.byte,
+                    a.byte_end,
+                    "delete unused suppression comment",
+                )),
+            );
         }
     }
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
 
-fn rule_applies(
+/// A fix deleting the comment at `byte..byte_end`, widened to swallow the
+/// horizontal whitespace before it and — when the comment has the line to
+/// itself — the line's trailing newline, so the deletion leaves no blank
+/// line behind.
+fn comment_deletion_fix(source: &str, byte: usize, byte_end: usize, note: &str) -> Fix {
+    let bytes = source.as_bytes();
+    let mut start = byte;
+    while start > 0 && matches!(bytes[start - 1], b' ' | b'\t') {
+        start -= 1;
+    }
+    let standalone = start == 0 || bytes[start - 1] == b'\n';
+    let mut end = byte_end;
+    if standalone && end < bytes.len() && bytes[end] == b'\n' {
+        end += 1;
+    }
+    Fix {
+        start,
+        end,
+        replacement: String::new(),
+        note: note.to_owned(),
+    }
+}
+
+pub(crate) fn rule_applies(
     cfg: &Config,
     rule: &str,
     path: &str,
@@ -172,6 +297,9 @@ struct AllowDirective {
     target_line: u32,
     /// The line the comment itself sits on (for unused-allow reports).
     line: u32,
+    /// Byte span of the comment (for the `--fix` deletion rewrite).
+    byte: usize,
+    byte_end: usize,
 }
 
 struct Allows {
@@ -192,7 +320,7 @@ impl Allows {
 /// next line holding code. The reason (after `—`, `--`, or `-`) is
 /// mandatory: an allow without one is itself a violation, so every
 /// suppression in the tree carries its justification.
-fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
+fn parse_allows(path: &str, source: &str, lexed: &Lexed) -> Allows {
     let mut directives = Vec::new();
     let mut errors = Vec::new();
     for c in &lexed.comments {
@@ -202,13 +330,7 @@ fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
         };
         let rest = rest.trim_start();
         let mut push_err = |msg: String| {
-            errors.push(Violation {
-                path: path.to_owned(),
-                line: c.line,
-                col: 1,
-                rule: "allow",
-                message: msg,
-            });
+            errors.push(Violation::new(path, c.line, 1, "allow", msg));
         };
         let Some(rest) = rest.strip_prefix("allow") else {
             push_err(format!(
@@ -259,10 +381,24 @@ fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
             .trim_start_matches(':')
             .trim();
         if reason.is_empty() {
-            push_err(format!(
-                "un-reasoned suppression: `lint: allow({})` must carry `— <reason>`",
-                rules.join(", ")
-            ));
+            errors.push(
+                Violation::new(
+                    path,
+                    c.line,
+                    1,
+                    "allow",
+                    format!(
+                        "un-reasoned suppression: `lint: allow({})` must carry `— <reason>`",
+                        rules.join(", ")
+                    ),
+                )
+                .with_fix(comment_deletion_fix(
+                    source,
+                    c.byte,
+                    c.byte_end,
+                    "delete un-reasoned suppression comment",
+                )),
+            );
             continue;
         }
         let target_line = if c.trailing {
@@ -280,6 +416,8 @@ fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
             rules,
             target_line,
             line: c.line,
+            byte: c.byte,
+            byte_end: c.byte_end,
         });
     }
     Allows { directives, errors }
@@ -292,7 +430,7 @@ fn parse_allows(path: &str, lexed: &Lexed) -> Allows {
 /// Marks tokens inside `#[test]` / `#[cfg(test)]`-gated items so rules
 /// skip in-file unit-test modules and functions. `#[cfg(not(test))]` is
 /// *not* a test gate. Returns one flag per token.
-fn test_regions(tokens: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_regions(tokens: &[Tok]) -> Vec<bool> {
     let mut flags = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -406,42 +544,97 @@ fn matching(tokens: &[Tok], start: usize, open: char, close: char) -> Option<usi
 // Rule: panic
 // ---------------------------------------------------------------------
 
-fn panic_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<Violation>) {
+fn panic_rule(
+    path: &str,
+    source: &str,
+    tokens: &[Tok],
+    in_test: &[bool],
+    out: &mut Vec<Violation>,
+) {
     for (i, t) in tokens.iter().enumerate() {
         if in_test[i] || t.kind != TokKind::Ident {
             continue;
         }
-        let fire = |message: String| Violation {
-            path: path.to_owned(),
-            line: t.line,
-            col: t.col,
-            rule: "panic",
-            message,
-        };
         match t.text.as_str() {
             "unwrap" | "expect"
                 if i > 0
                     && tokens[i - 1].is_punct('.')
                     && tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
             {
-                out.push(fire(format!(
-                    ".{}() on an answer path — return a structured error, take a \
-                     let-else graceful path, or justify with `lint: allow(panic)`",
-                    t.text
-                )));
+                let mut v = Violation::at(
+                    path,
+                    t,
+                    "panic",
+                    format!(
+                        ".{}() on an answer path — return a structured error, take a \
+                         let-else graceful path, or justify with `lint: allow(panic)`",
+                        t.text
+                    ),
+                );
+                if let Some(fix) = total_cmp_fix(source, tokens, i) {
+                    v = v.with_fix(fix);
+                }
+                out.push(v);
             }
             "panic" | "todo" | "unimplemented"
                 if tokens.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
             {
-                out.push(fire(format!(
-                    "{}! on an answer path — serving, scheduler, and engine code must \
-                     degrade gracefully, not abort",
-                    t.text
-                )));
+                out.push(Violation::at(
+                    path,
+                    t,
+                    "panic",
+                    format!(
+                        "{}! on an answer path — serving, scheduler, and engine code must \
+                         degrade gracefully, not abort",
+                        t.text
+                    ),
+                ));
             }
             _ => {}
         }
     }
+}
+
+/// The mechanical `partial_cmp(..).unwrap()/.expect(..)` → `total_cmp(..)`
+/// rewrite: exact for float comparisons (where `partial_cmp` on a
+/// non-NaN-total type is the only reason the `Option` exists), and the
+/// shape every float sort in this workspace used before `total_cmp`.
+/// `tokens[i]` is the `unwrap`/`expect` ident; the fix replaces from the
+/// `partial_cmp` ident through the closing paren of the panic call.
+fn total_cmp_fix(source: &str, tokens: &[Tok], i: usize) -> Option<Fix> {
+    // Walk back over `) . unwrap` to the `(` matching the partial_cmp
+    // call, then require the ident before it to be `partial_cmp`.
+    if !tokens.get(i.checked_sub(2)?)?.is_punct(')') {
+        return None;
+    }
+    // Find the `(` matching tokens[i-2] by scanning backward.
+    let mut depth = 0usize;
+    let mut open = None;
+    for j in (0..=i - 2).rev() {
+        if tokens[j].is_punct(')') {
+            depth += 1;
+        } else if tokens[j].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                open = Some(j);
+                break;
+            }
+        }
+    }
+    let open = open?;
+    let callee = tokens.get(open.checked_sub(1)?)?;
+    if !callee.is_ident("partial_cmp") {
+        return None;
+    }
+    // End of the rewrite: the `)` closing the unwrap/expect call.
+    let close = matching(tokens, i + 1, '(', ')')?;
+    let args = source.get(tokens[open].byte..tokens[i - 2].byte_end)?;
+    Some(Fix {
+        start: callee.byte,
+        end: tokens[close].byte_end,
+        replacement: format!("total_cmp{args}"),
+        note: "replace partial_cmp().unwrap()/expect() with total_cmp()".to_owned(),
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -458,18 +651,19 @@ fn clock_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<Violat
             && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
             && tokens.get(i + 3).is_some_and(|n| n.is_ident("now"))
         {
-            out.push(Violation {
-                path: path.to_owned(),
-                line: t.line,
-                col: t.col,
-                rule: "clock",
-                message: format!(
+            // Suggestion-only: threading a Clock is a design change, so
+            // no machine fix is attached.
+            out.push(Violation::at(
+                path,
+                t,
+                "clock",
+                format!(
                     "{}::now() outside the Clock abstraction — budgets and deadlines \
                      must stay simulatable; thread a `Clock` (SystemClock in \
                      production) or justify with `lint: allow(clock)`",
                     t.text
                 ),
-            });
+            ));
         }
     }
 }
@@ -536,30 +730,28 @@ fn determinism_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<
             continue;
         }
         if t.is_ident("thread_rng") {
-            out.push(Violation {
-                path: path.to_owned(),
-                line: t.line,
-                col: t.col,
-                rule: "determinism",
-                message: "thread_rng in answer-producing code — every RNG must be a \
-                          seeded StdRng so results replay bit-identically"
+            out.push(Violation::at(
+                path,
+                t,
+                "determinism",
+                "thread_rng in answer-producing code — every RNG must be a \
+                 seeded StdRng so results replay bit-identically"
                     .to_owned(),
-            });
+            ));
             continue;
         }
         if t.is_ident("random")
             && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
             && !(i > 0 && (tokens[i - 1].is_punct('.') || tokens[i - 1].is_ident("fn")))
         {
-            out.push(Violation {
-                path: path.to_owned(),
-                line: t.line,
-                col: t.col,
-                rule: "determinism",
-                message: "ambient random() in answer-producing code — draw from a \
-                          seeded, session-owned RNG instead"
+            out.push(Violation::at(
+                path,
+                t,
+                "determinism",
+                "ambient random() in answer-producing code — draw from a \
+                 seeded, session-owned RNG instead"
                     .to_owned(),
-            });
+            ));
             continue;
         }
         if HASH_ITER_METHODS.contains(&t.text.as_str())
@@ -569,19 +761,18 @@ fn determinism_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<
             && tokens[i - 2].kind == TokKind::Ident
             && hash_bound.contains_key(&tokens[i - 2].text)
         {
-            out.push(Violation {
-                path: path.to_owned(),
-                line: t.line,
-                col: t.col,
-                rule: "determinism",
-                message: format!(
+            out.push(Violation::at(
+                path,
+                t,
+                "determinism",
+                format!(
                     "`{}.{}()` iterates a hash collection — iteration order is \
                      nondeterministic; use a BTreeMap/sorted keys, or justify \
                      order-independence with `lint: allow(determinism)`",
                     tokens[i - 2].text,
                     t.text
                 ),
-            });
+            ));
         }
     }
 }
@@ -601,17 +792,16 @@ fn output_rule(path: &str, tokens: &[Tok], in_test: &[bool], out: &mut Vec<Viola
             || t.is_ident("eprint"))
             && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
         {
-            out.push(Violation {
-                path: path.to_owned(),
-                line: t.line,
-                col: t.col,
-                rule: "output",
-                message: format!(
+            out.push(Violation::at(
+                path,
+                t,
+                "output",
+                format!(
                     "{}! in library code — diagnostics go through Metrics or a \
                      returned error, never straight to the process streams",
                     t.text
                 ),
-            });
+            ));
         }
     }
 }
@@ -641,13 +831,407 @@ fn unsafe_rule(path: &str, tokens: &[Tok], cfg: &Config, out: &mut Vec<Violation
             e.count
         ),
     };
-    out.push(Violation {
-        path: path.to_owned(),
-        line,
-        col,
-        rule: "unsafe",
-        message,
-    });
+    out.push(Violation::new(path, line, col, "unsafe", message));
+}
+
+// ---------------------------------------------------------------------
+// Rule: layering (source level)
+// ---------------------------------------------------------------------
+
+/// A first-party crate reference (`use rapidviz_serve::…`) must be
+/// admitted by the `[rules.layering]` DAG for the referencing crate.
+/// Manifest-level edges and module cycles are checked once per run at the
+/// workspace level; this pass catches the source reference itself, which
+/// fires even before `Cargo.toml` changes make the dependency real.
+fn layering_rule(
+    path: &str,
+    tokens: &[Tok],
+    in_test: &[bool],
+    cfg: &Config,
+    model: &WorkspaceModel,
+    out: &mut Vec<Violation>,
+) {
+    if cfg.layering.is_empty() {
+        return;
+    }
+    let Some(krate) = model.crate_of(path) else {
+        return; // shims participate in no layering contract
+    };
+    let Some(allowed) = cfg.layering.get(&krate.name) else {
+        return; // undeclared crate: reported once at the workspace level
+    };
+    for u in model::crate_uses(tokens, in_test, &model.idents) {
+        if u.name == krate.name || allowed.contains(&u.name) {
+            continue;
+        }
+        out.push(Violation::new(
+            path,
+            u.line,
+            u.col,
+            "layering",
+            format!(
+                "crate `{}` references `{}`, which the [rules.layering] DAG does not \
+                 admit — lower layers must not reach up; either the dependency is \
+                 wrong or the DAG needs a reviewed edge",
+                krate.name, u.name
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: concurrency (guard lifetimes, lock order, channel discipline)
+// ---------------------------------------------------------------------
+
+/// One tracked `.lock()` acquisition and the token range its guard lives
+/// for.
+struct GuardSite {
+    /// Receiver name (`client_threads` in `self.client_threads.lock()`).
+    name: String,
+    /// Token index of the `lock` ident.
+    tok: usize,
+    /// Last token index (inclusive) at which the guard is still held.
+    end: usize,
+}
+
+/// Token-level intra-function guard-lifetime analysis:
+///
+/// * every `.lock()` receiver must appear in the `[locks]` order manifest
+///   (when one is committed);
+/// * nested acquisitions must move strictly later in that order
+///   (re-acquiring the same name is self-deadlock);
+/// * a held guard must not cross a blocking `.send(…)`, zero-arg
+///   `.recv()`, or zero-arg `.join()` — drop first;
+/// * zero-arg blocking `.recv()` is confined to the files declared as
+///   `scheduler_loops`.
+///
+/// Guard extents are heuristic but conservative in the directions that
+/// matter: a `let`-bound guard (a `.lock()` at paren depth zero of the
+/// initializer) lives to the end of its enclosing block or an explicit
+/// `drop(name)`; any other `.lock()` is a temporary dying at its
+/// statement's end. Guards returned to a caller (`fn lock(..) -> Guard`)
+/// are out of scope for an intra-function analysis — the sanitizer CI job
+/// is the dynamic backstop for exactly that residue.
+fn concurrency_rule(
+    path: &str,
+    tokens: &[Tok],
+    in_test: &[bool],
+    cfg: &Config,
+    out: &mut Vec<Violation>,
+) {
+    let scheduler = cfg.scheduler_loops.iter().any(|p| p == path);
+    let order: Vec<&str> = cfg.lock_order.iter().map(|e| e.name.as_str()).collect();
+
+    // Brace structure: matching `}` per `{`, innermost enclosing `{` per
+    // token.
+    let mut brace_match: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut enclosing: Vec<Option<usize>> = vec![None; tokens.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        enclosing[i] = stack.last().copied();
+        if t.is_punct('{') {
+            stack.push(i);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                brace_match.insert(open, i);
+            }
+        }
+    }
+
+    let mut guards: Vec<GuardSite> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i]
+            || !t.is_ident("lock")
+            || i == 0
+            || !tokens[i - 1].is_punct('.')
+            || !tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            continue;
+        }
+        let receiver = tokens
+            .get(i.wrapping_sub(2))
+            .filter(|r| r.kind == TokKind::Ident)
+            .map(|r| r.text.clone());
+        let Some(name) = receiver else {
+            out.push(Violation::at(
+                path,
+                t,
+                "concurrency",
+                ".lock() on an unnamed receiver — bind the mutex to a named local \
+                 or field first so the acquisition is auditable against [locks]"
+                    .to_owned(),
+            ));
+            continue;
+        };
+        if !order.is_empty() && !order.contains(&name.as_str()) {
+            out.push(Violation::at(
+                path,
+                t,
+                "concurrency",
+                format!(
+                    "lock `{name}` is not registered in the [locks] order manifest — \
+                     add it at the position matching its nesting discipline"
+                ),
+            ));
+        }
+        let binding = let_binding_of(tokens, i);
+        let end = if is_let_bound(tokens, i) {
+            enclosing[i]
+                .and_then(|open| brace_match.get(&open).copied())
+                .unwrap_or(tokens.len() - 1)
+        } else {
+            statement_end(tokens, i)
+        };
+        // An explicit drop(name) releases the guard early.
+        let end = match &binding {
+            Some(b) => (i..=end)
+                .find(|&j| {
+                    tokens[j].is_ident("drop")
+                        && tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+                        && tokens.get(j + 2).is_some_and(|n| n.is_ident(b))
+                        && tokens.get(j + 3).is_some_and(|n| n.is_punct(')'))
+                })
+                .unwrap_or(end),
+            None => end,
+        };
+        guards.push(GuardSite { name, tok: i, end });
+    }
+
+    // Nested acquisitions against the committed order.
+    for (gi, g) in guards.iter().enumerate() {
+        for h in guards.iter().skip(gi + 1) {
+            if h.tok > g.end {
+                break;
+            }
+            let ht = &tokens[h.tok];
+            if h.name == g.name {
+                out.push(Violation::at(
+                    path,
+                    ht,
+                    "concurrency",
+                    format!(
+                        "lock `{}` re-acquired while already held — self-deadlock on a \
+                         non-reentrant Mutex",
+                        h.name
+                    ),
+                ));
+                continue;
+            }
+            let (go, ho) = (
+                order.iter().position(|n| *n == g.name),
+                order.iter().position(|n| *n == h.name),
+            );
+            if let (Some(go), Some(ho)) = (go, ho) {
+                if ho <= go {
+                    out.push(Violation::at(
+                        path,
+                        ht,
+                        "concurrency",
+                        format!(
+                            "lock `{}` acquired while holding `{}` — violates the \
+                             committed [locks] order ({})",
+                            h.name,
+                            g.name,
+                            order.join(" → ")
+                        ),
+                    ));
+                }
+            }
+        }
+        // Blocking operations under a held guard.
+        for j in g.tok + 1..=g.end.min(tokens.len() - 1) {
+            if in_test[j] {
+                continue;
+            }
+            if let Some(op) = blocking_op(tokens, j) {
+                out.push(Violation::at(
+                    path,
+                    &tokens[j],
+                    "concurrency",
+                    format!(
+                        "guard `{}` held across blocking `{op}` — drop the guard \
+                         (end its scope or drop(…) it) before blocking",
+                        g.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Blocking recv() confinement, independent of guards.
+    for (j, t) in tokens.iter().enumerate() {
+        if in_test[j] || scheduler {
+            continue;
+        }
+        if t.is_ident("recv")
+            && j > 0
+            && tokens[j - 1].is_punct('.')
+            && tokens.get(j + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(j + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            out.push(Violation::at(
+                path,
+                t,
+                "concurrency",
+                "blocking recv() without a timeout outside a declared scheduler loop — \
+                 use recv_timeout(…) so shutdown can always make progress, or declare \
+                 this file in [rules.concurrency] scheduler_loops"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// The blocking operation at token `j`, if any: `.send(…)` (any arity —
+/// rendezvous and bounded channels block), zero-arg `.recv()`, or
+/// zero-arg `.join()` (the zero-arg requirement keeps `Vec::join(sep)` /
+/// `Path::join(p)` quiet). `Condvar::wait` is *not* blocking-while-held
+/// in the deadlock sense: it atomically releases the guard.
+fn blocking_op(tokens: &[Tok], j: usize) -> Option<&'static str> {
+    let t = &tokens[j];
+    if t.kind != TokKind::Ident || j == 0 || !tokens[j - 1].is_punct('.') {
+        return None;
+    }
+    let open = tokens.get(j + 1)?.is_punct('(');
+    if !open {
+        return None;
+    }
+    let zero_arg = tokens.get(j + 2).is_some_and(|n| n.is_punct(')'));
+    match t.text.as_str() {
+        "send" => Some("send()"),
+        "recv" if zero_arg => Some("recv()"),
+        "join" if zero_arg => Some("join()"),
+        _ => None,
+    }
+}
+
+/// Whether the `.lock()` whose `lock` ident sits at `i` is bound by a
+/// `let` — i.e. the statement starts with `let` and the call occurs at
+/// paren/bracket depth zero of the initializer, so the guard outlives the
+/// statement. `std::mem::take(&mut *m.lock()…)` is depth ≥ 1: a
+/// temporary that dies at the statement's semicolon.
+fn is_let_bound(tokens: &[Tok], i: usize) -> bool {
+    let Some(s) = statement_start(tokens, i) else {
+        return false;
+    };
+    if !tokens[s].is_ident("let") {
+        return false;
+    }
+    let Some(eq) = assign_token(tokens, s, i) else {
+        return false;
+    };
+    let mut depth = 0i32;
+    for t in &tokens[eq + 1..i] {
+        match t.kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+/// The `let`-bound variable name for the lock at `i`, when the pattern is
+/// a plain identifier (`let g = m.lock()…` / `let mut g = …`). Tuple or
+/// enum patterns return `None` — the guard is still tracked, only the
+/// `drop(name)` early release cannot be matched.
+fn let_binding_of(tokens: &[Tok], i: usize) -> Option<String> {
+    if !is_let_bound(tokens, i) {
+        return None;
+    }
+    let s = statement_start(tokens, i)?;
+    let mut j = s + 1;
+    while tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = tokens.get(j).filter(|t| t.kind == TokKind::Ident)?;
+    // `let g = …` or `let g: Type = …`, but not `let (a, b) = …`.
+    Some(name.text.clone())
+}
+
+/// Index of the first token of the statement containing `i`: the token
+/// after the nearest preceding `;`, `{`, or `}`.
+fn statement_start(tokens: &[Tok], i: usize) -> Option<usize> {
+    let mut s = 0usize;
+    for j in (0..i).rev() {
+        if matches!(tokens[j].kind, TokKind::Punct(';' | '{' | '}')) {
+            s = j + 1;
+            break;
+        }
+    }
+    (s < tokens.len()).then_some(s)
+}
+
+/// The assignment `=` of a `let` statement starting at `s`, scanning to
+/// `limit`: a `=` at bracket depth zero that is not part of a compound
+/// operator (`==`, `<=`, `=>`, …ruled out by byte adjacency — `Vec<u8> =`
+/// has whitespace between `>` and `=`, `>=` does not).
+fn assign_token(tokens: &[Tok], s: usize, limit: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in s..limit {
+        match tokens[j].kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']' | '}') => depth -= 1,
+            TokKind::Punct('=') if depth == 0 => {
+                let glued_prev = j > s
+                    && tokens[j - 1].byte_end == tokens[j].byte
+                    && matches!(
+                        tokens[j - 1].kind,
+                        TokKind::Punct(
+                            '=' | '<' | '>' | '!' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+                        )
+                    );
+                let glued_next = tokens.get(j + 1).is_some_and(|n| {
+                    n.byte == tokens[j].byte_end && matches!(n.kind, TokKind::Punct('=' | '>'))
+                });
+                if !glued_prev && !glued_next {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// End (inclusive) of the statement a temporary guard lives for: the next
+/// `;` at relative depth zero, or the `}` that closes the enclosing block
+/// first (a tail expression's temporaries die at the block's end).
+fn statement_end(tokens: &[Tok], i: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(i + 1) {
+        match t.kind {
+            TokKind::Punct('(' | '[' | '{') => depth += 1,
+            TokKind::Punct(')' | ']') => depth -= 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return j;
+                }
+            }
+            TokKind::Punct(';') if depth <= 0 => return j,
+            _ => {}
+        }
+    }
+    tokens.len() - 1
+}
+
+/// Receiver names of every `.lock()` site in a token stream — feeds the
+/// workspace-level stale-`[locks]`-entry check.
+#[must_use]
+pub fn lock_names(tokens: &[Tok]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("lock")
+            && i >= 2
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens[i - 2].kind == TokKind::Ident
+        {
+            out.insert(tokens[i - 2].text.clone());
+        }
+    }
+    out
 }
 
 /// Manifest entries whose file was never seen (or no longer holds any
@@ -657,12 +1241,14 @@ pub fn stale_budget_entries(cfg: &Config, seen_files: &BTreeSet<String>) -> Vec<
     cfg.unsafe_budget
         .iter()
         .filter(|e| !seen_files.contains(&e.file))
-        .map(|e| Violation {
-            path: e.file.clone(),
-            line: 1,
-            col: 1,
-            rule: "unsafe",
-            message: "stale [[unsafe]] manifest entry: file not found in the workspace".to_owned(),
+        .map(|e| {
+            Violation::new(
+                &e.file,
+                1,
+                1,
+                "unsafe",
+                "stale [[unsafe]] manifest entry: file not found in the workspace".to_owned(),
+            )
         })
         .collect()
 }

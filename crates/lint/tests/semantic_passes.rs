@@ -1,0 +1,448 @@
+//! Fixture proof for the cross-file semantic passes and the `--fix`
+//! engine: layering and concurrency each fire, stay quiet on clean code,
+//! and can be suppressed; fixes apply, are idempotent, and leave a tree
+//! that re-lints clean.
+
+use rapidviz_lint::{config, fix_plan, fixes, lint_file, lint_workspace, Config};
+use std::path::{Path, PathBuf};
+
+// ------------------------------------------------------------ harness
+
+/// Builds a throwaway on-disk mini-workspace (the layering pass reads
+/// `Cargo.toml`s and maps paths to crates by directory convention, so it
+/// needs real files). Rebuilt from scratch on every call.
+fn mini_workspace(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, content) in files {
+        let full = root.join(rel);
+        std::fs::create_dir_all(full.parent().expect("file has a parent")).expect("mkdir");
+        std::fs::write(full, content).expect("write fixture file");
+    }
+    root
+}
+
+/// Lints a mini-workspace under `policy` and returns `rule: path` pairs.
+fn workspace_violations(root: &Path, policy: &str) -> Vec<String> {
+    let cfg = config::parse(policy).expect("fixture policy parses");
+    lint_workspace(root, &cfg)
+        .expect("workspace walk succeeds")
+        .violations
+        .into_iter()
+        .map(|v| format!("{}: {}", v.rule, v.path))
+        .collect()
+}
+
+const ROOT_MANIFEST: &str =
+    "[package]\nname = \"facade\"\n\n[dependencies]\na = { path = \"crates/a\" }\n";
+const A_MANIFEST: &str = "[package]\nname = \"a\"\n\n[dependencies]\nb = { path = \"../b\" }\n";
+const B_MANIFEST: &str = "[package]\nname = \"b\"\n\n[dependencies]\n";
+
+const LAYERED_POLICY: &str = r#"
+[rules.layering]
+crates = ["facade: a b", "a: b", "b:"]
+"#;
+
+// ------------------------------------------------------------ layering
+
+#[test]
+fn layering_quiet_on_a_declared_dag() {
+    let root = mini_workspace(
+        "lay_clean",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("src/lib.rs", "pub fn top() -> u32 { a::f() }\n"),
+            ("crates/a/Cargo.toml", A_MANIFEST),
+            ("crates/a/src/lib.rs", "pub fn f() -> u32 { b::g() }\n"),
+            ("crates/b/Cargo.toml", B_MANIFEST),
+            ("crates/b/src/lib.rs", "pub fn g() -> u32 { 7 }\n"),
+        ],
+    );
+    assert_eq!(
+        workspace_violations(&root, LAYERED_POLICY),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn layering_fires_on_an_undeclared_source_reference() {
+    // `b` reaches *up* into `a` in code only — no Cargo.toml edge.
+    let root = mini_workspace(
+        "lay_code_ref",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("src/lib.rs", "pub fn top() -> u32 { 1 }\n"),
+            ("crates/a/Cargo.toml", A_MANIFEST),
+            ("crates/a/src/lib.rs", "pub fn f() -> u32 { 2 }\n"),
+            ("crates/b/Cargo.toml", B_MANIFEST),
+            ("crates/b/src/lib.rs", "pub fn g() -> u32 { a::f() }\n"),
+        ],
+    );
+    assert_eq!(
+        workspace_violations(&root, LAYERED_POLICY),
+        ["layering: crates/b/src/lib.rs"]
+    );
+}
+
+#[test]
+fn layering_fires_on_an_undeclared_manifest_edge() {
+    // The Cargo.toml edge b -> a exists but the declared DAG says "b:".
+    let b_manifest_with_a = "[package]\nname = \"b\"\n\n[dependencies]\na = { path = \"../a\" }\n";
+    let root = mini_workspace(
+        "lay_manifest_edge",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("src/lib.rs", "pub fn top() -> u32 { 1 }\n"),
+            ("crates/a/Cargo.toml", A_MANIFEST),
+            ("crates/a/src/lib.rs", "pub fn f() -> u32 { 2 }\n"),
+            ("crates/b/Cargo.toml", b_manifest_with_a),
+            ("crates/b/src/lib.rs", "pub fn g() -> u32 { 3 }\n"),
+        ],
+    );
+    assert_eq!(
+        workspace_violations(&root, LAYERED_POLICY),
+        ["layering: crates/b/Cargo.toml"]
+    );
+}
+
+#[test]
+fn layering_ignores_dev_dependency_edges() {
+    // Cargo permits dev-only cycles (tests may depend on higher layers).
+    let b_manifest_dev = "[package]\nname = \"b\"\n\n[dev-dependencies]\na = { path = \"../a\" }\n";
+    let root = mini_workspace(
+        "lay_dev_edge",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("src/lib.rs", "pub fn top() -> u32 { 1 }\n"),
+            ("crates/a/Cargo.toml", A_MANIFEST),
+            ("crates/a/src/lib.rs", "pub fn f() -> u32 { 2 }\n"),
+            ("crates/b/Cargo.toml", b_manifest_dev),
+            ("crates/b/src/lib.rs", "pub fn g() -> u32 { 3 }\n"),
+        ],
+    );
+    assert_eq!(
+        workspace_violations(&root, LAYERED_POLICY),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn layering_fires_on_a_crate_missing_from_the_declared_dag() {
+    let policy_without_b = r#"
+[rules.layering]
+crates = ["facade: a", "a:"]
+"#;
+    let root = mini_workspace(
+        "lay_undeclared_crate",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("src/lib.rs", "pub fn top() -> u32 { 1 }\n"),
+            ("crates/a/Cargo.toml", "[package]\nname = \"a\"\n"),
+            ("crates/a/src/lib.rs", "pub fn f() -> u32 { 2 }\n"),
+            ("crates/b/Cargo.toml", B_MANIFEST),
+            ("crates/b/src/lib.rs", "pub fn g() -> u32 { 3 }\n"),
+        ],
+    );
+    assert_eq!(
+        workspace_violations(&root, policy_without_b),
+        ["layering: crates/b/Cargo.toml"]
+    );
+}
+
+#[test]
+fn layering_detects_a_module_cycle_and_respects_allow_paths() {
+    let files: &[(&str, &str)] = &[
+        ("Cargo.toml", ROOT_MANIFEST),
+        (
+            "src/lib.rs",
+            "pub mod query;\npub mod session;\npub fn top() -> u32 { 1 }\n",
+        ),
+        (
+            "src/query.rs",
+            "pub fn q() -> u32 { crate::session::s() }\npub fn q2() -> u32 { 1 }\n",
+        ),
+        (
+            "src/session.rs",
+            "pub fn s() -> u32 { 2 }\npub fn s2() -> u32 { crate::query::q2() }\n",
+        ),
+        ("crates/a/Cargo.toml", A_MANIFEST),
+        ("crates/a/src/lib.rs", "pub fn f() -> u32 { b::g() }\n"),
+        ("crates/b/Cargo.toml", B_MANIFEST),
+        ("crates/b/src/lib.rs", "pub fn g() -> u32 { 3 }\n"),
+    ];
+    let root = mini_workspace("lay_module_cycle", files);
+    let cfg = config::parse(LAYERED_POLICY).expect("policy parses");
+    let report = lint_workspace(&root, &cfg).expect("workspace walk succeeds");
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "layering");
+    assert!(
+        v.message.contains("query") && v.message.contains("session"),
+        "cycle message names its modules: {}",
+        v.message
+    );
+
+    // The same tree under an allow that covers the cyclic files is clean.
+    let allowed = r#"
+[rules.layering]
+crates = ["facade: a b", "a: b", "b:"]
+allow = ["src"]
+"#;
+    assert_eq!(workspace_violations(&root, allowed), Vec::<String>::new());
+}
+
+#[test]
+fn layering_source_reference_suppressed_by_reasoned_inline_allow() {
+    let suppressed = "pub fn g() -> u32 {\n    // lint: allow(layering) — fixture: upward call quarantined here\n    a::f()\n}\n";
+    let root = mini_workspace(
+        "lay_inline_allow",
+        &[
+            ("Cargo.toml", ROOT_MANIFEST),
+            ("src/lib.rs", "pub fn top() -> u32 { 1 }\n"),
+            ("crates/a/Cargo.toml", A_MANIFEST),
+            ("crates/a/src/lib.rs", "pub fn f() -> u32 { 2 }\n"),
+            ("crates/b/Cargo.toml", B_MANIFEST),
+            ("crates/b/src/lib.rs", suppressed),
+        ],
+    );
+    assert_eq!(
+        workspace_violations(&root, LAYERED_POLICY),
+        Vec::<String>::new()
+    );
+}
+
+// ---------------------------------------------------------- concurrency
+
+/// A concurrency-only policy: two ordered locks, one scheduler-loop file.
+fn ccfg() -> Config {
+    config::parse(
+        r#"
+[rules.concurrency]
+paths = ["lib/src"]
+scheduler_loops = ["lib/src/sched.rs"]
+
+[locks]
+order = ["outer", "inner"]
+"#,
+    )
+    .expect("concurrency policy parses")
+}
+
+fn concurrency_fired(path: &str, source: &str) -> Vec<String> {
+    lint_file(path, source, &ccfg())
+        .into_iter()
+        .map(|v| v.rule.to_owned())
+        .collect()
+}
+
+#[test]
+fn concurrency_quiet_on_ordered_nesting_and_released_guards() {
+    let src = r"
+use std::sync::Mutex;
+pub fn ordered(outer: &Mutex<u32>, inner: &Mutex<u32>) -> u32 {
+    let a = outer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let b = inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *a + *b
+}
+pub fn released(outer: &Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    let g = outer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let v = *g;
+    drop(g);
+    let _ = tx.send(v);
+}
+";
+    assert_eq!(concurrency_fired("lib/src/a.rs", src), Vec::<String>::new());
+}
+
+#[test]
+fn concurrency_fires_on_inverted_lock_order() {
+    let src = r"
+use std::sync::Mutex;
+pub fn inverted(outer: &Mutex<u32>, inner: &Mutex<u32>) -> u32 {
+    let b = inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let a = outer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *a + *b
+}
+";
+    assert_eq!(concurrency_fired("lib/src/a.rs", src), ["concurrency"]);
+}
+
+#[test]
+fn concurrency_fires_on_same_lock_reacquisition() {
+    let src = r"
+use std::sync::Mutex;
+pub fn twice(outer: &Mutex<u32>) -> u32 {
+    let a = outer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let b = outer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *a + *b
+}
+";
+    assert_eq!(concurrency_fired("lib/src/a.rs", src), ["concurrency"]);
+}
+
+#[test]
+fn concurrency_fires_on_guard_held_across_blocking_ops() {
+    for blocking in ["tx.send(*g)", "rx.recv()", "h.join()"] {
+        let src = format!(
+            r"
+use std::sync::Mutex;
+pub fn f(
+    outer: &Mutex<u32>,
+    tx: &std::sync::mpsc::Sender<u32>,
+    rx: &std::sync::mpsc::Receiver<u32>,
+    h: std::thread::JoinHandle<()>,
+) {{
+    let g = outer.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = {blocking};
+    let _ = *g;
+}}
+"
+        );
+        // `rx.recv()` outside the scheduler file also trips confinement.
+        let fired = concurrency_fired("lib/src/a.rs", &src);
+        assert!(
+            fired.iter().any(|r| r == "concurrency") && !fired.is_empty(),
+            "{blocking}: {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn concurrency_fires_on_unregistered_lock_names() {
+    let src = r"
+use std::sync::Mutex;
+pub fn f(mystery: &Mutex<u32>) -> u32 {
+    *mystery.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+";
+    assert_eq!(concurrency_fired("lib/src/a.rs", src), ["concurrency"]);
+}
+
+#[test]
+fn timeoutless_recv_confined_to_scheduler_loops() {
+    let src = r"
+pub fn pump(rx: &std::sync::mpsc::Receiver<u32>) -> Option<u32> {
+    rx.recv().ok()
+}
+";
+    assert_eq!(concurrency_fired("lib/src/a.rs", src), ["concurrency"]);
+    // The declared scheduler-loop file may block indefinitely.
+    assert_eq!(
+        concurrency_fired("lib/src/sched.rs", src),
+        Vec::<String>::new()
+    );
+    // recv_timeout is the sanctioned alternative anywhere.
+    let timed = r"
+pub fn pump(rx: &std::sync::mpsc::Receiver<u32>) -> Option<u32> {
+    rx.recv_timeout(std::time::Duration::from_millis(5)).ok()
+}
+";
+    assert_eq!(
+        concurrency_fired("lib/src/a.rs", timed),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn concurrency_quiet_on_join_and_recv_lookalikes() {
+    let src = r#"
+pub fn lookalikes(parts: &[String], path: &std::path::Path) -> String {
+    let joined = parts.join(", ");
+    let p = path.join("sub");
+    format!("{joined}{}", p.display())
+}
+"#;
+    assert_eq!(concurrency_fired("lib/src/a.rs", src), Vec::<String>::new());
+}
+
+#[test]
+fn concurrency_suppressed_by_reasoned_inline_allow() {
+    let src = r"
+use std::sync::Mutex;
+pub fn f(inner: &Mutex<std::sync::mpsc::Receiver<u32>>) -> Option<u32> {
+    let inner = inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // lint: allow(concurrency) — fixture: the mutex IS the queue handoff
+    inner.recv().ok()
+}
+";
+    assert_eq!(concurrency_fired("lib/src/a.rs", src), Vec::<String>::new());
+}
+
+// ------------------------------------------------------------ fix engine
+
+/// A panic-enabled policy for fix-engine fixtures.
+fn fcfg() -> Config {
+    config::parse("[rules.panic]\npaths = [\"lib/src\"]\n").expect("fix policy parses")
+}
+
+/// Applies every fix the lint produces for `source` and returns the
+/// rewritten text (asserting at least one fix existed).
+fn apply_all(path: &str, source: &str) -> String {
+    let violations = lint_file(path, source, &fcfg());
+    let plan = fix_plan(&violations);
+    let file_fixes = plan.get(path).expect("at least one fix planned");
+    let (fixed, applied, skipped) = fixes::apply_to_source(source, file_fixes);
+    assert!(applied > 0);
+    assert_eq!(skipped, 0);
+    fixed
+}
+
+#[test]
+fn fix_rewrites_partial_cmp_unwrap_to_total_cmp() {
+    let src = r#"
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+pub fn sort2(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("comparable"));
+}
+"#;
+    let fixed = apply_all("lib/src/a.rs", src);
+    assert!(fixed.contains("a.total_cmp(b));"), "{fixed}");
+    assert!(!fixed.contains("partial_cmp"), "{fixed}");
+    assert!(
+        !fixed.contains("unwrap") && !fixed.contains("expect"),
+        "{fixed}"
+    );
+}
+
+#[test]
+fn fix_removes_unreasoned_and_unused_allows() {
+    // Both a reason-less allow and a reasoned-but-unused allow sit above
+    // clean code; --fix deletes the comment lines outright.
+    let src = "// lint: allow(panic)\npub fn f() -> u32 { 1 }\n// lint: allow(panic) — fixture: nothing here panics any more\npub fn g() -> u32 { 2 }\n";
+    let fixed = apply_all("lib/src/a.rs", src);
+    assert_eq!(fixed, "pub fn f() -> u32 { 1 }\npub fn g() -> u32 { 2 }\n");
+}
+
+#[test]
+fn fixed_output_relints_clean_and_fixes_are_idempotent() {
+    let src = r#"
+// lint: allow(panic) — fixture: stale suppression
+pub fn sort(v: &mut [f64]) {
+    v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}
+"#;
+    let fixed = apply_all("lib/src/a.rs", src);
+
+    // The rewritten tree carries no violations at all.
+    let remaining = lint_file("lib/src/a.rs", &fixed, &fcfg());
+    assert!(remaining.is_empty(), "{remaining:?}");
+
+    // And therefore no fixes: a second --fix pass is the identity.
+    let plan = fix_plan(&remaining);
+    assert!(plan.is_empty());
+    let (refixed, applied, skipped) = fixes::apply_to_source(&fixed, &[]);
+    assert_eq!((refixed.as_str(), applied, skipped), (fixed.as_str(), 0, 0));
+}
+
+#[test]
+fn judgment_shaped_violations_carry_no_fix() {
+    // A bare .unwrap() on an Option has no mechanical rewrite; the
+    // diagnostic must not pretend otherwise.
+    let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    let violations = lint_file("lib/src/a.rs", src, &fcfg());
+    assert_eq!(violations.len(), 1);
+    assert!(violations[0].fix.is_none());
+    assert!(fix_plan(&violations).is_empty());
+}

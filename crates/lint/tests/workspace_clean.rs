@@ -27,3 +27,38 @@ fn workspace_is_clean_under_the_committed_policy() {
         report.files_scanned
     );
 }
+
+#[test]
+fn committed_policy_enables_the_semantic_passes() {
+    // The cross-file passes only run when configured; this pins that the
+    // committed lint.toml actually turns them on (a gutted config would
+    // make `workspace_is_clean_under_the_committed_policy` vacuous).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = rapidviz_lint::load_config(&root.join("lint.toml")).expect("lint.toml loads");
+    assert!(
+        cfg.layering.len() >= 9,
+        "all first-party crates declared in [rules.layering], got {}",
+        cfg.layering.len()
+    );
+    assert!(
+        !cfg.lock_order.is_empty(),
+        "[locks] order must name the workspace's mutexes"
+    );
+    assert!(
+        !cfg.scheduler_loops.is_empty(),
+        "scheduler_loops must name the blocking-recv files"
+    );
+}
+
+#[test]
+fn no_fixes_are_pending_on_the_committed_tree() {
+    // The CI `--fix --check` gate, as a test: every committed violation
+    // fix must already be applied (there are zero violations, so zero
+    // fixes — this catches a future where suppressed-but-fixable
+    // diagnostics linger).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = rapidviz_lint::load_config(&root.join("lint.toml")).expect("lint.toml loads");
+    let report = rapidviz_lint::lint_workspace(&root, &cfg).expect("workspace walk succeeds");
+    let plan = rapidviz_lint::fix_plan(&report.violations);
+    assert!(plan.is_empty(), "pending --fix rewrites: {plan:?}");
+}

@@ -45,6 +45,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.len()
     }
 
+    /// The bound this cache was created with (entries, not bytes).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether the cache is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -89,6 +95,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn capacity_is_reported_and_survives_clear() {
+        let mut c: LruCache<&str, u32> = LruCache::new(3);
+        assert_eq!(c.capacity(), 3);
+        c.insert("a", 1);
+        c.clear();
+        assert_eq!(c.capacity(), 3);
+        assert!(c.is_empty());
+    }
 
     #[test]
     fn hit_and_miss() {

@@ -73,6 +73,84 @@ const PLAN_CACHE_CAPACITY: usize = 64;
 /// are retained.
 const COMPOSITE_CACHE_CAPACITY: usize = 8;
 
+/// Capacities (entry counts) for the three planning-cache LRUs. The
+/// defaults match the committed constants and suit a dashboard workload;
+/// a serving deployment whose filter diversity outruns them (watch the
+/// miss counters in [`crate::metrics::MetricsSnapshot`]) can raise them
+/// via [`NeedleTailBuilder::cache_capacities`] without a rebuild of
+/// anything else. Values are clamped to at least one entry at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCapacities {
+    /// Predicate-bitmap LRU entries (each up to one table-length bitmap).
+    pub predicate: usize,
+    /// Group-plan LRU entries (one per distinct group-by/predicate pair).
+    pub plan: usize,
+    /// Composite-index LRU entries (one per multi-attribute column set).
+    pub composite: usize,
+}
+
+impl Default for CacheCapacities {
+    fn default() -> Self {
+        Self {
+            predicate: PREDICATE_CACHE_CAPACITY,
+            plan: PLAN_CACHE_CAPACITY,
+            composite: COMPOSITE_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl CacheCapacities {
+    /// The capacities actually applied: every cache holds at least one
+    /// entry (the LRU itself rejects zero, and a zero-entry plan cache
+    /// would silently re-plan every query).
+    #[must_use]
+    pub fn clamped(self) -> Self {
+        Self {
+            predicate: self.predicate.max(1),
+            plan: self.plan.max(1),
+            composite: self.composite.max(1),
+        }
+    }
+}
+
+/// Deferred construction of a [`NeedleTail`] engine, for callers that
+/// want non-default planning-cache capacities. Created by
+/// [`NeedleTail::builder`]; [`NeedleTailBuilder::build`] performs the
+/// same index builds and validation as [`NeedleTail::new`].
+#[derive(Debug)]
+pub struct NeedleTailBuilder {
+    table: Table,
+    indexed_columns: Vec<String>,
+    capacities: CacheCapacities,
+}
+
+impl NeedleTailBuilder {
+    /// Columns to build bitmap indexes over (replaces any earlier list).
+    #[must_use]
+    pub fn indexed_columns(mut self, columns: &[&str]) -> Self {
+        self.indexed_columns = columns.iter().map(|c| (*c).to_owned()).collect();
+        self
+    }
+
+    /// Overrides the planning-cache LRU capacities (clamped to ≥ 1 per
+    /// cache). Defaults are [`CacheCapacities::default`].
+    #[must_use]
+    pub fn cache_capacities(mut self, capacities: CacheCapacities) -> Self {
+        self.capacities = capacities;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSuchColumn`] if an index target is missing.
+    pub fn build(self) -> Result<NeedleTail, EngineError> {
+        let refs: Vec<&str> = self.indexed_columns.iter().map(String::as_str).collect();
+        NeedleTail::with_capacities(self.table, &refs, self.capacities)
+    }
+}
+
 /// Selectivity cutover for filtered group plans: when the smaller operand
 /// of `group ∧ predicate` has at most `table_rows / 64` ones, the plan
 /// stores the intersection as a sorted-position **view**
@@ -110,8 +188,8 @@ struct CachedPlan {
 /// rebuildable derived data, so a peer that panicked mid-insert cannot
 /// leave them logically corrupt — at worst an entry is missing and gets
 /// rebuilt.
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
+fn lock<T>(cache: &Mutex<T>) -> MutexGuard<'_, T> {
+    cache
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
@@ -198,6 +276,9 @@ pub struct NeedleTail {
     /// [`crate::fault`]). Captured by handles at build time, so installing
     /// or clearing an injector affects only handles built afterwards.
     faults: Option<Arc<dyn FaultInjector>>,
+    /// The (clamped) planning-cache capacities this engine was built
+    /// with, echoed by [`NeedleTail::cache_capacities`].
+    capacities: CacheCapacities,
 }
 
 impl NeedleTail {
@@ -207,6 +288,31 @@ impl NeedleTail {
     ///
     /// Returns [`EngineError::NoSuchColumn`] if an index target is missing.
     pub fn new(table: Table, indexed_columns: &[&str]) -> Result<Self, EngineError> {
+        Self::with_capacities(table, indexed_columns, CacheCapacities::default())
+    }
+
+    /// Starts a [`NeedleTailBuilder`] over `table` for non-default
+    /// construction (custom planning-cache capacities).
+    #[must_use]
+    pub fn builder(table: Table) -> NeedleTailBuilder {
+        NeedleTailBuilder {
+            table,
+            indexed_columns: Vec::new(),
+            capacities: CacheCapacities::default(),
+        }
+    }
+
+    /// [`NeedleTail::new`] with explicit planning-cache capacities
+    /// (clamped to ≥ 1 per cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoSuchColumn`] if an index target is missing.
+    pub fn with_capacities(
+        table: Table,
+        indexed_columns: &[&str],
+        capacities: CacheCapacities,
+    ) -> Result<Self, EngineError> {
         for col in indexed_columns {
             if table.schema().column_index(col).is_none() {
                 return Err(EngineError::NoSuchColumn((*col).to_owned()));
@@ -219,17 +325,26 @@ impl NeedleTail {
         let column_maxima = (0..table.schema().columns().len())
             .map(|_| std::sync::OnceLock::new())
             .collect();
+        let capacities = capacities.clamped();
         Ok(Self {
             table: Arc::new(table),
             indexes,
             metrics: Arc::new(Metrics::new()),
             column_maxima,
-            predicate_bitmaps: Mutex::new(LruCache::new(PREDICATE_CACHE_CAPACITY)),
-            plans: Mutex::new(LruCache::new(PLAN_CACHE_CAPACITY)),
-            composites: Mutex::new(LruCache::new(COMPOSITE_CACHE_CAPACITY)),
+            predicate_bitmaps: Mutex::new(LruCache::new(capacities.predicate)),
+            plans: Mutex::new(LruCache::new(capacities.plan)),
+            composites: Mutex::new(LruCache::new(capacities.composite)),
             all_rows: std::sync::OnceLock::new(),
             faults: None,
+            capacities,
         })
+    }
+
+    /// The planning-cache capacities this engine was built with (already
+    /// clamped).
+    #[must_use]
+    pub fn cache_capacities(&self) -> CacheCapacities {
+        self.capacities
     }
 
     /// Installs a fault injector consulted on every sampled-row read from
@@ -944,6 +1059,48 @@ mod tests {
             b.push_row(vec![n.into(), d.into()]);
         }
         b.finish()
+    }
+
+    #[test]
+    fn default_cache_capacities_are_pinned() {
+        // The committed defaults are part of the serving contract:
+        // changing them must be a deliberate decision, not a side effect.
+        let defaults = CacheCapacities::default();
+        assert_eq!(
+            (defaults.predicate, defaults.plan, defaults.composite),
+            (64, 64, 8)
+        );
+        let engine = NeedleTail::new(flights(), &["name"]).unwrap();
+        assert_eq!(engine.cache_capacities(), defaults);
+    }
+
+    #[test]
+    fn builder_overrides_capacities_and_clamps_zero() {
+        let engine = NeedleTail::builder(flights())
+            .indexed_columns(&["name"])
+            .cache_capacities(CacheCapacities {
+                predicate: 3,
+                plan: 0,
+                composite: 5,
+            })
+            .build()
+            .unwrap();
+        let caps = engine.cache_capacities();
+        assert_eq!((caps.predicate, caps.plan, caps.composite), (3, 1, 5));
+        // The resized engine still plans and answers.
+        let handles = engine
+            .group_handles("name", "delay", &Predicate::True)
+            .unwrap();
+        assert_eq!(handles.len(), 3);
+    }
+
+    #[test]
+    fn builder_rejects_missing_index_column() {
+        let err = NeedleTail::builder(flights())
+            .indexed_columns(&["nope"])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineError::NoSuchColumn("nope".to_owned()));
     }
 
     #[test]

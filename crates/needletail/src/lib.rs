@@ -70,7 +70,9 @@ pub use bitmap::{Bitmap, DenseBitmap, RleBitmap};
 pub use composite::CompositeIndex;
 pub use csv::{read_csv, CsvError, CsvOptions};
 pub use disk::SimulatedDisk;
-pub use engine::{EngineError, GroupHandle, NeedleTail, SizedGroupHandle};
+pub use engine::{
+    CacheCapacities, EngineError, GroupHandle, NeedleTail, NeedleTailBuilder, SizedGroupHandle,
+};
 pub use fault::{FaultInjector, FaultSite, SeededFaults};
 pub use index::BitmapIndex;
 pub use io::{CostBreakdown, DiskModel};

@@ -6,7 +6,14 @@
 //!                [--policy fairshare|deadline|greedy] [--max-clients 64]
 //!                [--global-budget N] [--memory-cap BYTES]
 //!                [--per-client-max-samples N] [--sessions-limit N]
+//!                [--predicate-cache N] [--plan-cache N]
+//!                [--composite-cache N]
 //! ```
+//!
+//! The three `--*-cache` flags size the engine's planning-cache LRUs
+//! (entries, clamped to ≥ 1); defaults match the engine's built-in
+//! capacities. Raise them when the STATS frame's cache-miss counters
+//! show workload filter diversity outrunning the defaults.
 //!
 //! With `--sessions-limit N` the server exits 0 once N sessions have
 //! reached a terminal state (completed or cancelled) — the CI smoke uses
@@ -14,7 +21,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rapidviz::needletail::NeedleTail;
+use rapidviz::needletail::{CacheCapacities, NeedleTail};
 use rapidviz::SchedulePolicy;
 use rapidviz_datagen::FlightModel;
 use rapidviz_serve::{Server, ServerConfig};
@@ -31,6 +38,7 @@ struct Args {
     memory_cap: Option<usize>,
     per_client_max_samples: u64,
     sessions_limit: Option<u64>,
+    caches: CacheCapacities,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         memory_cap: None,
         per_client_max_samples: 200_000,
         sessions_limit: None,
+        caches: CacheCapacities::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,6 +85,15 @@ fn parse_args() -> Result<Args, String> {
             "--sessions-limit" => {
                 args.sessions_limit = Some(parse("--sessions-limit", &value("--sessions-limit")?)?);
             }
+            "--predicate-cache" => {
+                args.caches.predicate = parse("--predicate-cache", &value("--predicate-cache")?)?;
+            }
+            "--plan-cache" => {
+                args.caches.plan = parse("--plan-cache", &value("--plan-cache")?)?;
+            }
+            "--composite-cache" => {
+                args.caches.composite = parse("--composite-cache", &value("--composite-cache")?)?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -98,7 +116,11 @@ fn main() {
     };
     let mut rng = StdRng::seed_from_u64(args.seed);
     let table = FlightModel::new(args.seed).to_table(args.rows, &mut rng);
-    let engine = match NeedleTail::new(table, &["name"]) {
+    let engine = match NeedleTail::builder(table)
+        .indexed_columns(&["name"])
+        .cache_capacities(args.caches)
+        .build()
+    {
         Ok(e) => e,
         Err(e) => {
             eprintln!("rapidviz-serve: engine build failed: {e:?}");

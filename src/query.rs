@@ -26,9 +26,7 @@ use crate::session::{MeanStepper, PlanCacheStats, QuerySession, SessionCore, Ses
 use rand::RngCore;
 use rapidviz_core::clock::{Clock, SystemClock};
 use rapidviz_core::extensions::{count_config, CountSource, IFocusSum1, IFocusSum2};
-use rapidviz_core::{
-    viz, AlgoConfig, ExactScan, GroupSource, IFocus, IRefine, RoundRobin, RunResult, StepOutcome,
-};
+use rapidviz_core::{AlgoConfig, ExactScan, GroupSource, IFocus, IRefine, RoundRobin};
 use rapidviz_needletail::{EngineError, NeedleTail, Predicate};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -186,7 +184,8 @@ impl<'a> VizQuery<'a> {
 
     /// Caps the total number of samples the run may draw. Checked before
     /// every round; when the cap is reached the session (or `execute`)
-    /// reports [`StepOutcome::BudgetExhausted`] and returns best-effort
+    /// reports [`StepOutcome::BudgetExhausted`](crate::StepOutcome::BudgetExhausted)
+    /// and returns best-effort
     /// estimates flagged as truncated.
     ///
     /// # Panics
@@ -458,49 +457,9 @@ impl<'a> VizQuery<'a> {
     }
 }
 
-/// A completed (or best-effort) query: the run result plus display helpers.
-#[derive(Debug, Clone)]
-pub struct QueryAnswer {
-    /// The underlying algorithm result.
-    pub result: RunResult,
-    /// Total rows eligible across groups.
-    pub population: u64,
-    /// How the run ended: [`StepOutcome::Converged`] for a natural finish,
-    /// [`StepOutcome::BudgetExhausted`] when a round cap or session budget
-    /// tripped (estimates are best-effort and `result.truncated` is set),
-    /// or [`StepOutcome::Running`] when a session was finished/cancelled
-    /// mid-run.
-    pub outcome: StepOutcome,
-}
-
-impl QueryAnswer {
-    /// Whether the run terminated naturally with its full `1 − δ` ordering
-    /// guarantee (as opposed to budget exhaustion or cancellation).
-    #[must_use]
-    pub fn converged(&self) -> bool {
-        self.outcome == StepOutcome::Converged
-    }
-    /// Group labels sorted by ascending estimate.
-    #[must_use]
-    pub fn ranked_labels(&self) -> Vec<&str> {
-        self.result.ranked().into_iter().map(|(l, _)| l).collect()
-    }
-
-    /// Fraction of eligible rows sampled.
-    #[must_use]
-    pub fn fraction_sampled(&self) -> f64 {
-        self.result.fraction_sampled(self.population)
-    }
-
-    /// Renders the answer as a bar chart (ascending), `width` chars wide.
-    #[must_use]
-    pub fn to_bar_chart(&self, width: usize) -> String {
-        let ranked = self.result.ranked();
-        let labels: Vec<&str> = ranked.iter().map(|(l, _)| *l).collect();
-        let values: Vec<f64> = ranked.iter().map(|(_, v)| *v).collect();
-        viz::bar_chart(&labels, &values, width)
-    }
-}
+// `QueryAnswer` lives next to the session that constructs it; re-exported
+// here because `VizQuery::run` is its public producer.
+pub use crate::session::QueryAnswer;
 
 #[cfg(test)]
 mod tests {

@@ -56,13 +56,13 @@ use rapidviz_core::clock::Clock;
 use rapidviz_core::extensions::{CountSource, IFocusSum1Stepper, IFocusSum2Stepper};
 use rapidviz_core::runner::AlgorithmStepper;
 use rapidviz_core::{
-    IFocusStepper, IRefineStepper, RoundRobinStepper, RunResult, ScanStepper, Snapshot, StepOutcome,
+    viz, IFocusStepper, IRefineStepper, RoundRobinStepper, RunResult, ScanStepper, Snapshot,
+    StepOutcome,
 };
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::adapter::{NeedletailGroup, SizedNeedletailGroup};
-use crate::query::QueryAnswer;
 
 /// The mean-space algorithm steppers a session can drive (AVG under any
 /// ordering algorithm, plus SUM with known group sizes).
@@ -563,5 +563,53 @@ impl Iterator for QuerySession {
         // `step` flags the terminal update as delivered, so the iterator
         // fuses right after yielding it.
         Some(self.step())
+    }
+}
+
+/// A completed (or best-effort) query: the run result plus display helpers.
+///
+/// Constructed by [`QuerySession::finish`] (and by
+/// [`VizQuery::execute`](crate::VizQuery::execute), which drives a
+/// session to completion internally); re-exported from [`crate::query`].
+#[derive(Debug, Clone)]
+pub struct QueryAnswer {
+    /// The underlying algorithm result.
+    pub result: RunResult,
+    /// Total rows eligible across groups.
+    pub population: u64,
+    /// How the run ended: [`StepOutcome::Converged`] for a natural finish,
+    /// [`StepOutcome::BudgetExhausted`] when a round cap or session budget
+    /// tripped (estimates are best-effort and `result.truncated` is set),
+    /// or [`StepOutcome::Running`] when a session was finished/cancelled
+    /// mid-run.
+    pub outcome: StepOutcome,
+}
+
+impl QueryAnswer {
+    /// Whether the run terminated naturally with its full `1 − δ` ordering
+    /// guarantee (as opposed to budget exhaustion or cancellation).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.outcome == StepOutcome::Converged
+    }
+    /// Group labels sorted by ascending estimate.
+    #[must_use]
+    pub fn ranked_labels(&self) -> Vec<&str> {
+        self.result.ranked().into_iter().map(|(l, _)| l).collect()
+    }
+
+    /// Fraction of eligible rows sampled.
+    #[must_use]
+    pub fn fraction_sampled(&self) -> f64 {
+        self.result.fraction_sampled(self.population)
+    }
+
+    /// Renders the answer as a bar chart (ascending), `width` chars wide.
+    #[must_use]
+    pub fn to_bar_chart(&self, width: usize) -> String {
+        let ranked = self.result.ranked();
+        let labels: Vec<&str> = ranked.iter().map(|(l, _)| *l).collect();
+        let values: Vec<f64> = ranked.iter().map(|(_, v)| *v).collect();
+        viz::bar_chart(&labels, &values, width)
     }
 }
