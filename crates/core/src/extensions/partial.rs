@@ -10,23 +10,11 @@ use crate::config::AlgoConfig;
 use crate::group::{GroupSource, MaybeSend};
 use crate::result::RunResult;
 use crate::runner::{Snapshot, StepOutcome};
+use crate::saved::{check_len, RestoreError, SavedPartial, SavedStepper};
 use crate::state::FocusState;
 use rand::RngCore;
 
-/// One streamed partial result.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PartialEmission {
-    /// Group index in the input order.
-    pub group: usize,
-    /// Group label.
-    pub label: String,
-    /// The frozen estimate `ν_i`.
-    pub estimate: f64,
-    /// Round at which the group deactivated (`m_i`).
-    pub round: u64,
-    /// Cumulative samples across all groups at emission time.
-    pub total_samples_so_far: u64,
-}
+pub use crate::result::PartialEmission;
 
 /// IFOCUS that streams estimates as groups become inactive.
 #[derive(Debug, Clone)]
@@ -165,6 +153,41 @@ impl IFocusPartialStepper {
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
         self.state.snapshot()
+    }
+
+    /// Captures the mutable round-loop state — the shared focus core plus
+    /// the emission bookkeeping (including any queued-but-undrained
+    /// emissions, so a checkpoint taken mid-round loses nothing); mirrors
+    /// [`crate::runner::AlgorithmStepper::save`].
+    #[must_use]
+    pub fn save(&self) -> SavedStepper {
+        SavedStepper::Partial(SavedPartial {
+            core: self.state.save_core(),
+            emitted: self.emitted.clone(),
+            pending: self.pending.clone(),
+        })
+    }
+
+    /// Overwrites the mutable state from a checkpoint taken by
+    /// [`Self::save`] on an identically planned run; mirrors
+    /// [`crate::runner::AlgorithmStepper::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`RestoreError`] (never panics) when the saved
+    /// kind or per-group shape does not match this stepper.
+    pub fn restore(&mut self, saved: &SavedStepper) -> Result<(), RestoreError> {
+        let SavedStepper::Partial(s) = saved else {
+            return Err(RestoreError::WrongKind {
+                expected: "partial",
+                got: saved.kind(),
+            });
+        };
+        check_len(self.state.k(), &s.emitted)?;
+        self.state.restore_core(&s.core)?;
+        self.emitted.copy_from_slice(&s.emitted);
+        self.pending = s.pending.clone();
+        Ok(())
     }
 
     /// Consumes the stepper and packages the final result.

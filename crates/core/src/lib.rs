@@ -63,6 +63,7 @@ mod pool;
 pub mod result;
 pub mod roundrobin;
 pub mod runner;
+pub mod saved;
 pub mod scan;
 mod state;
 pub mod trace;
@@ -81,6 +82,9 @@ pub use ordering::{
 pub use result::RunResult;
 pub use roundrobin::{RoundRobin, RoundRobinStepper};
 pub use runner::{AlgorithmStepper, OneShotStepper, OrderingAlgorithm, Snapshot, StepOutcome};
+pub use saved::{
+    RestoreError, SavedFocusCore, SavedIRefine, SavedPartial, SavedScan, SavedStepper, SavedSum2,
+};
 pub use scan::{ExactScan, ScanStepper};
 pub use trace::{Trace, TraceRow};
 

@@ -1,7 +1,27 @@
-//! Run results.
+//! Run results: the final [`RunResult`] of a run and the streamed
+//! [`PartialEmission`] records produced by the partial-result variant.
 
 use crate::history::History;
 use crate::trace::Trace;
+
+/// One streamed partial result: a group's estimate frozen at the moment
+/// the algorithm deactivated it (§6.2.2). Produced by
+/// [`crate::extensions::IFocusPartial`] and carried through saved
+/// stepper state, which is why it lives here with the other result
+/// types rather than up in the extensions layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialEmission {
+    /// Group index in the input order.
+    pub group: usize,
+    /// Group label.
+    pub label: String,
+    /// The frozen estimate `ν_i`.
+    pub estimate: f64,
+    /// Round at which the group deactivated (`m_i`).
+    pub round: u64,
+    /// Cumulative samples across all groups at emission time.
+    pub total_samples_so_far: u64,
+}
 
 /// The outcome of one algorithm run.
 #[derive(Debug, Clone, Default)]

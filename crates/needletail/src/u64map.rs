@@ -206,6 +206,17 @@ impl<T: SlotWord> RawMap<T> {
         Some(removed.to_u64())
     }
 
+    /// Visits every live `(key, value)` entry in unspecified (slot) order.
+    /// Checkpoint serialization sorts the collected pairs by key, so table
+    /// layout never leaks into encoded bytes.
+    pub fn for_each_entry(&self, mut f: impl FnMut(u64, u64)) {
+        for &(k, v) in &self.entries {
+            if k != T::EMPTY {
+                f(k.to_u64(), v.to_u64());
+            }
+        }
+    }
+
     /// Pre-grows so `extra` further inserts need no rehash mid-batch.
     pub fn reserve(&mut self, extra: usize) {
         while (self.len + extra) * 2 > self.entries.len() {
@@ -295,6 +306,14 @@ impl SwapMap {
         match self {
             SwapMap::Narrow(m) => m.remove(key),
             SwapMap::Wide(m) => m.remove(key),
+        }
+    }
+
+    /// Visits every live `(key, value)` entry in unspecified (slot) order.
+    pub fn for_each_entry(&self, f: impl FnMut(u64, u64)) {
+        match self {
+            SwapMap::Narrow(m) => m.for_each_entry(f),
+            SwapMap::Wide(m) => m.for_each_entry(f),
         }
     }
 
@@ -402,6 +421,25 @@ mod tests {
         let mut wide = SwapMap::for_population(u64::MAX);
         wide.insert(u64::from(u32::MAX) + 7, 1);
         assert_eq!(wide.get(u64::from(u32::MAX) + 7), Some(1));
+    }
+
+    #[test]
+    fn for_each_entry_visits_exactly_the_live_set() {
+        let mut m = SwapMap::for_population(1000);
+        for i in 0..200u64 {
+            m.insert(i * 2, i);
+        }
+        for i in 0..50u64 {
+            m.remove(i * 4);
+        }
+        let mut seen = Vec::new();
+        m.for_each_entry(|k, v| seen.push((k, v)));
+        seen.sort_unstable();
+        let expect: Vec<(u64, u64)> = (0..200u64)
+            .map(|i| (i * 2, i))
+            .filter(|&(k, _)| !(k.is_multiple_of(4) && k < 200))
+            .collect();
+        assert_eq!(seen, expect);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use rand::SeedableRng;
 use rapidviz::needletail::NeedleTail;
 use rapidviz::Aggregate;
 use rapidviz_datagen::FlightModel;
-use rapidviz_serve::{QueryRequest, Server, ServerConfig, ServerHandle, WireClient};
+use rapidviz_serve::{QueryRequest, RetryPolicy, Server, ServerConfig, ServerHandle, WireClient};
 use std::time::{Duration, Instant};
 
 const MEASURES: [&str; 3] = ["elapsed", "arr_delay", "dep_delay"];
@@ -107,6 +107,7 @@ struct ClientReport {
     frames: u64,
     completed: u64,
     missing_terminal: u64,
+    retries: u64,
 }
 
 fn run_client(
@@ -117,7 +118,17 @@ fn run_client(
 ) -> Result<ClientReport, std::io::Error> {
     let mut report = ClientReport::default();
     for q in 0..queries {
-        let mut conn = WireClient::connect(addr, Duration::from_secs(30))?;
+        // Bounded, seeded-backoff connect: under a flapping or restarting
+        // server each client retries on its own deterministic jitter
+        // schedule instead of stampeding, and the summary reports how
+        // often that happened.
+        let policy = RetryPolicy {
+            seed: seed ^ ((client as u64) << 32) ^ q as u64,
+            ..RetryPolicy::default()
+        };
+        let (mut conn, retries) =
+            WireClient::connect_with_retry(addr, Duration::from_secs(30), &policy)?;
+        report.retries += u64::from(retries);
         let req = request_for(seed, client, q);
         let start = Instant::now();
         conn.send_request(&req)?;
@@ -140,7 +151,9 @@ fn run_client(
                     terminal = true;
                     break;
                 }
-                rapidviz_serve::Frame::Evicted { .. } | rapidviz_serve::Frame::Stats(_) => {}
+                rapidviz_serve::Frame::Parked { .. }
+                | rapidviz_serve::Frame::Evicted { .. }
+                | rapidviz_serve::Frame::Stats(_) => {}
             }
         }
         if terminal {
@@ -214,6 +227,7 @@ fn main() {
     let mut completed = 0u64;
     let mut missing = 0u64;
     let mut io_errors = 0u64;
+    let mut retries = 0u64;
     for r in reports {
         match r {
             Ok(rep) => {
@@ -221,6 +235,7 @@ fn main() {
                 frames += rep.frames;
                 completed += rep.completed;
                 missing += rep.missing_terminal;
+                retries += rep.retries;
             }
             Err(e) => {
                 eprintln!("rapidviz-load: client failed: {e}");
@@ -232,7 +247,7 @@ fn main() {
     let secs = elapsed.as_secs_f64().max(1e-9);
     println!(
         "rapidviz-load: {completed} sessions, {frames} frames in {:.2}s \
-         ({:.1} sessions/s, {:.1} frames/s)",
+         ({:.1} sessions/s, {:.1} frames/s), {retries} connect retries",
         elapsed.as_secs_f64(),
         completed as f64 / secs,
         frames as f64 / secs,

@@ -7,8 +7,15 @@
 //!                [--global-budget N] [--memory-cap BYTES]
 //!                [--per-client-max-samples N] [--sessions-limit N]
 //!                [--predicate-cache N] [--plan-cache N]
-//!                [--composite-cache N]
+//!                [--composite-cache N] [--park-ttl-secs 120]
+//!                [--park-byte-cap BYTES] [--enable-crash]
 //! ```
+//!
+//! `--park-ttl-secs` bounds how long a disconnected client's session
+//! stays resumable via `RESUME token=…`; `--park-byte-cap` caps the
+//! registry's total checkpoint bytes (sessions over the cap run without
+//! durability). `--enable-crash` arms the `CRASH` recovery-drill verb —
+//! chaos testing only, never in real deployments.
 //!
 //! The three `--*-cache` flags size the engine's planning-cache LRUs
 //! (entries, clamped to ≥ 1); defaults match the engine's built-in
@@ -39,6 +46,9 @@ struct Args {
     per_client_max_samples: u64,
     sessions_limit: Option<u64>,
     caches: CacheCapacities,
+    park_ttl_secs: u64,
+    park_byte_cap: Option<usize>,
+    enable_crash: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
         per_client_max_samples: 200_000,
         sessions_limit: None,
         caches: CacheCapacities::default(),
+        park_ttl_secs: 120,
+        park_byte_cap: None,
+        enable_crash: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -94,6 +107,20 @@ fn parse_args() -> Result<Args, String> {
             "--composite-cache" => {
                 args.caches.composite = parse("--composite-cache", &value("--composite-cache")?)?;
             }
+            "--park-ttl-secs" => {
+                args.park_ttl_secs = parse("--park-ttl-secs", &value("--park-ttl-secs")?)?;
+                if args.park_ttl_secs == 0 {
+                    return Err("--park-ttl-secs must be positive".to_owned());
+                }
+            }
+            "--park-byte-cap" => {
+                let cap: usize = parse("--park-byte-cap", &value("--park-byte-cap")?)?;
+                if cap == 0 {
+                    return Err("--park-byte-cap must be positive".to_owned());
+                }
+                args.park_byte_cap = Some(cap);
+            }
+            "--enable-crash" => args.enable_crash = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -134,6 +161,9 @@ fn main() {
         global_sample_budget: args.global_budget,
         session_memory_cap: args.memory_cap,
         per_client_max_samples: args.per_client_max_samples,
+        park_ttl: Duration::from_secs(args.park_ttl_secs),
+        park_byte_cap: args.park_byte_cap,
+        enable_crash: args.enable_crash,
         ..ServerConfig::default()
     };
     let handle = match Server::start(engine, config) {

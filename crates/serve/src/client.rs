@@ -5,6 +5,8 @@
 use crate::protocol::{
     read_frame, ErrorCode, Frame, QueryRequest, WireAnswer, WireRound, WireStats,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -16,6 +18,11 @@ pub struct QueryRun {
     /// clients; [`crate::server::ServerStats::frames_dropped_slow`] says
     /// whether any were).
     pub rounds: Vec<WireRound>,
+    /// The resume token from the server's [`Frame::Parked`] announcement,
+    /// if the session was made durable. Present even on completed runs
+    /// (the token was granted at admission); only useful after a
+    /// disconnect or crash, via [`WireClient::resume`].
+    pub token: Option<u64>,
     /// Set if the server evicted the session (resident bytes at
     /// eviction); a best-effort answer still follows.
     pub evicted: Option<u64>,
@@ -99,10 +106,32 @@ impl WireClient {
     /// **not** an `Err` — it lands in [`QueryRun::error`].
     pub fn run_query(&mut self, request: &QueryRequest) -> std::io::Result<QueryRun> {
         self.send_request(request)?;
+        self.collect_run()
+    }
+
+    /// Resumes the parked (or crash-orphaned) session behind `token` and
+    /// collects its remaining stream — the reconnect half of durability.
+    /// An unknown/expired token lands as [`ErrorCode::NoSuchToken`] in
+    /// [`QueryRun::error`], not an `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures.
+    pub fn resume(&mut self, token: u64) -> std::io::Result<QueryRun> {
+        self.send_line(&format!("RESUME token={token}"))?;
+        self.collect_run()
+    }
+
+    /// Collects frames until the terminal answer or error (an eviction
+    /// notice is recorded and the stream continues to its best-effort
+    /// answer; a `Parked` token announcement is recorded and the stream
+    /// continues to its rounds).
+    fn collect_run(&mut self) -> std::io::Result<QueryRun> {
         let mut run = QueryRun::default();
         loop {
             match self.next_frame()? {
                 Some(Frame::Round(r)) => run.rounds.push(r),
+                Some(Frame::Parked { token }) => run.token = Some(token),
                 Some(Frame::Evicted { bytes }) => run.evicted = Some(bytes),
                 Some(Frame::Answer(a)) => {
                     run.answer = Some(a);
@@ -145,5 +174,146 @@ impl WireClient {
     #[must_use]
     pub fn stream(&mut self) -> &mut TcpStream {
         &mut self.stream
+    }
+
+    /// [`WireClient::connect`] with bounded, seeded-backoff retries —
+    /// the reconnect half of crash recovery, where the connect races the
+    /// server coming back up. Returns the client and how many retries it
+    /// took (0 = first attempt won). The delay schedule is exactly
+    /// [`backoff_delays`]`(policy)`, so runs with the same policy retry
+    /// at the same instants.
+    ///
+    /// # Errors
+    ///
+    /// The last connect error, once `policy.max_retries` retries are
+    /// exhausted.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        timeout: Duration,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<(Self, u32)> {
+        let delays = backoff_delays(policy);
+        let mut last_err = None;
+        for (attempt, delay) in std::iter::once(Duration::ZERO).chain(delays).enumerate() {
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            match Self::connect(addr.clone(), timeout) {
+                Ok(client) => return Ok((client, attempt as u32)),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no connect attempts made")
+        }))
+    }
+}
+
+/// Bounded-retry schedule: exponential backoff with deterministic,
+/// seeded jitter. Two clients with different seeds spread their
+/// reconnect stampede; the same seed replays the same schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try exactly once).
+    pub max_retries: u32,
+    /// Delay before the first retry, pre-jitter.
+    pub base: Duration,
+    /// Ceiling on any single delay, pre-jitter.
+    pub cap: Duration,
+    /// Jitter seed; thread the episode/client seed through for
+    /// reproducible chaos runs.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 5,
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+/// The full delay schedule `policy` produces, one entry per retry: the
+/// exponential `base * 2^attempt` is capped at `policy.cap`, then
+/// jittered uniformly into `[exp/2, exp]` ("equal jitter") from a
+/// `StdRng` seeded with `policy.seed`. Pure — exposed so tests and the
+/// simulation harness can assert the exact schedule without sleeping.
+#[must_use]
+pub fn backoff_delays(policy: &RetryPolicy) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(policy.seed);
+    let base_ms = policy.base.as_millis().min(u128::from(u64::MAX)) as u64;
+    let cap_ms = policy.cap.as_millis().min(u128::from(u64::MAX)) as u64;
+    (0..policy.max_retries)
+        .map(|attempt| {
+            let exp_ms = base_ms
+                .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+                .min(cap_ms);
+            let jittered = if exp_ms == 0 {
+                0
+            } else {
+                rng.gen_range(exp_ms / 2..=exp_ms)
+            };
+            Duration::from_millis(jittered)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+            seed: 42,
+        };
+        let a = backoff_delays(&policy);
+        let b = backoff_delays(&policy);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert_eq!(a.len(), 8);
+        for (attempt, d) in a.iter().enumerate() {
+            let exp = (10u64 << attempt).min(200);
+            let ms = d.as_millis() as u64;
+            assert!(
+                (exp / 2..=exp).contains(&ms),
+                "attempt {attempt}: {ms}ms outside [{}, {exp}]",
+                exp / 2
+            );
+        }
+        // The cap binds from attempt 5 on (10 * 2^5 = 320 > 200).
+        assert!(a[7].as_millis() <= 200);
+    }
+
+    #[test]
+    fn different_seeds_spread_the_stampede() {
+        let mk = |seed| RetryPolicy {
+            max_retries: 6,
+            base: Duration::from_millis(64),
+            cap: Duration::from_secs(2),
+            seed,
+        };
+        let schedules: Vec<_> = (0..4).map(|s| backoff_delays(&mk(s))).collect();
+        // At least one pair of seeds must disagree somewhere; with 6
+        // draws over ranges this wide, identical schedules would mean
+        // the jitter is not actually keyed on the seed.
+        assert!(
+            schedules.windows(2).any(|w| w[0] != w[1]),
+            "jitter ignored the seed"
+        );
+    }
+
+    #[test]
+    fn zero_retries_means_empty_schedule() {
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(backoff_delays(&policy).is_empty());
     }
 }

@@ -37,6 +37,10 @@ pub enum ErrorCode {
     OverCapacity = 3,
     /// The server is shutting down and no longer admits queries.
     ShuttingDown = 4,
+    /// A `RESUME` named a token the server does not hold (never issued,
+    /// already resumed, or expired past the parking TTL) — the client
+    /// must re-issue the query from scratch.
+    NoSuchToken = 5,
 }
 
 impl ErrorCode {
@@ -46,6 +50,7 @@ impl ErrorCode {
             2 => Some(ErrorCode::InvalidQuery),
             3 => Some(ErrorCode::OverCapacity),
             4 => Some(ErrorCode::ShuttingDown),
+            5 => Some(ErrorCode::NoSuchToken),
             _ => None,
         }
     }
@@ -302,6 +307,43 @@ impl QueryRequest {
     }
 }
 
+/// Parses one `RESUME` request line: `RESUME token=<u64>` (LF/CRLF
+/// already stripped, token non-zero). The counterpart of
+/// [`Frame::Parked`] — the token the server granted at admission names
+/// the parked checkpoint to pick back up.
+///
+/// # Errors
+///
+/// Returns a human-readable grammar diagnostic; the server wraps it in an
+/// [`ErrorCode::Malformed`] frame.
+pub fn parse_resume_line(line: &str) -> Result<u64, String> {
+    let rest = line
+        .strip_prefix("RESUME")
+        .ok_or_else(|| "request must start with RESUME".to_owned())?;
+    if !rest.is_empty() && !rest.starts_with(' ') {
+        return Err("RESUME must be followed by a space".to_owned());
+    }
+    let mut token: Option<u64> = None;
+    for pair in rest.split(' ').filter(|p| !p.is_empty()) {
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(format!("expected key=value, got {pair:?}"));
+        };
+        match key {
+            "token" => {
+                let t = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("token wants a u64, got {value:?}"))?;
+                if t == 0 {
+                    return Err("token must be non-zero".to_owned());
+                }
+                token = Some(t);
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    token.ok_or_else(|| "missing required key token".to_owned())
+}
+
 fn parse_f64(key: &str, value: &str, valid: impl Fn(f64) -> bool) -> Result<f64, String> {
     let v = value
         .parse::<f64>()
@@ -425,6 +467,18 @@ pub struct WireStats {
     pub plan_cache: (u64, u64),
     /// Engine composite-index cache hits / misses.
     pub composite_cache: (u64, u64),
+    /// Sessions parked on client disconnect (lifetime total).
+    pub sessions_parked: u64,
+    /// Parked sessions successfully resumed via `RESUME` (lifetime total).
+    pub sessions_resumed: u64,
+    /// Parked checkpoints dropped by the TTL sweep (lifetime total).
+    pub sessions_expired: u64,
+    /// Resumable checkpoints the parking registry holds right now.
+    pub parked_now: u64,
+    /// Checkpoint bytes the parking registry holds right now.
+    pub parked_bytes: u64,
+    /// Times the supervisor restarted a panicked scheduler thread.
+    pub scheduler_restarts: u64,
 }
 
 /// One server→client message.
@@ -449,6 +503,17 @@ pub enum Frame {
     },
     /// Reply to `STATS`.
     Stats(WireStats),
+    /// The session's resume token. Sent right after admission (and after
+    /// a successful `RESUME`) so the client holds the token **before**
+    /// any failure: if the connection dies — or the whole server does —
+    /// the session's checkpoint stays parked under this token for the
+    /// parking TTL, and `RESUME token=<u64>` on a fresh connection picks
+    /// the stream back up bit-identically. Not terminal: round frames
+    /// follow. A session that cannot checkpoint gets no `Parked` frame.
+    Parked {
+        /// The resume token (never 0 — 0 is the "no token" sentinel).
+        token: u64,
+    },
 }
 
 /// Why a frame failed to decode.
@@ -468,6 +533,7 @@ const TAG_ANSWER: u8 = 0x02;
 const TAG_ERROR: u8 = 0x03;
 const TAG_EVICTED: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
+const TAG_PARKED: u8 = 0x06;
 
 fn outcome_to_u8(o: StepOutcome) -> u8 {
     match o {
@@ -744,9 +810,19 @@ impl Frame {
                     s.plan_cache.1,
                     s.composite_cache.0,
                     s.composite_cache.1,
+                    s.sessions_parked,
+                    s.sessions_resumed,
+                    s.sessions_expired,
+                    s.parked_now,
+                    s.parked_bytes,
+                    s.scheduler_restarts,
                 ] {
                     e.u64(v);
                 }
+            }
+            Frame::Parked { token } => {
+                e.u8(TAG_PARKED);
+                e.u64(*token);
             }
         }
         e.0
@@ -828,8 +904,15 @@ impl Frame {
                     predicate_cache: (next()?, next()?),
                     plan_cache: (next()?, next()?),
                     composite_cache: (next()?, next()?),
+                    sessions_parked: next()?,
+                    sessions_resumed: next()?,
+                    sessions_expired: next()?,
+                    parked_now: next()?,
+                    parked_bytes: next()?,
+                    scheduler_restarts: next()?,
                 })
             }
+            TAG_PARKED => Frame::Parked { token: d.u64()? },
             other => return Err(DecodeError(format!("unknown frame tag 0x{other:02x}"))),
         };
         d.finish()?;
@@ -1072,7 +1155,18 @@ mod tests {
                 predicate_cache: (10, 2),
                 plan_cache: (8, 4),
                 composite_cache: (0, 1),
+                sessions_parked: 6,
+                sessions_resumed: 5,
+                sessions_expired: 1,
+                parked_now: 2,
+                parked_bytes: 1234,
+                scheduler_restarts: 1,
             }),
+            Frame::Parked { token: 42 },
+            Frame::Error {
+                code: ErrorCode::NoSuchToken,
+                message: "token 9 is unknown or expired".into(),
+            },
         ];
         for frame in frames {
             let payload = frame.encode();
@@ -1117,6 +1211,45 @@ mod tests {
         assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
         let err = read_frame(&mut [5u8, 0].as_slice()).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn resume_line_parses_and_rejects_garbage() {
+        assert_eq!(parse_resume_line("RESUME token=7"), Ok(7));
+        assert_eq!(parse_resume_line("RESUME  token=18446744073709551615"), {
+            Ok(u64::MAX)
+        });
+        for bad in [
+            "RESUME",                            // missing token
+            "RESUMEtoken=1",                     // no space
+            "RESUME token=0",                    // zero sentinel
+            "RESUME token=banana",               // bad number
+            "RESUME token=1 extra=2",            // unknown key
+            "RESUME token",                      // no value
+            "QUERY token=1",                     // wrong verb
+            "RESUME token=-3",                   // negative
+            "RESUME token=99999999999999999999", // overflow
+        ] {
+            assert!(
+                parse_resume_line(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parked_frame_truncation_and_corruption_are_handled() {
+        let payload = (Frame::Parked {
+            token: 0x0102_0304_0506_0708,
+        })
+        .encode();
+        assert_eq!(payload.len(), 9);
+        for cut in 0..payload.len() {
+            assert!(Frame::decode(&payload[..cut]).is_err());
+        }
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(Frame::decode(&long).is_err());
     }
 
     #[test]

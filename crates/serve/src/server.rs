@@ -5,12 +5,38 @@
 //! # Threading model
 //!
 //! [`QuerySession`]s are not `Send`-guaranteed, so they never leave the
-//! **scheduler thread**: it owns the [`NeedleTail`] engine and the
-//! [`MultiQueryScheduler`], builds sessions from parsed requests, and
-//! multiplexes quanta across every admitted query. Client threads talk to
-//! it over an mpsc command channel and receive *encoded frame payloads*
-//! (plain `Vec<u8>`) back over bounded per-query channels — the scheduler
-//! never blocks on a socket.
+//! **scheduler thread**: it owns the [`MultiQueryScheduler`], builds
+//! sessions from parsed requests, and multiplexes quanta across every
+//! admitted query. Client threads talk to it over an mpsc command channel
+//! and receive *encoded frame payloads* (plain `Vec<u8>`) back over
+//! bounded per-query channels — the scheduler never blocks on a socket.
+//! The scheduler thread itself runs under a **supervisor**
+//! (`supervisor_loop`): a panic (or the config-gated `CRASH` drill verb)
+//! kills one incarnation of the loop, and the supervisor immediately
+//! starts the next one on the same command channel instead of wedging the
+//! accept loop against a dead receiver.
+//!
+//! # Durability
+//!
+//! Every admitted session that can checkpoint is granted a **resume
+//! token** ([`Frame::Parked`]), announced to the client before the first
+//! round so the client holds it ahead of any failure. The scheduler
+//! refreshes the session's [checkpoint](rapidviz::SessionCheckpoint) into
+//! a shared TTL-bounded [`ParkingRegistry`] after every round, so the
+//! registry always holds each session's latest resumable state:
+//!
+//! * a client **disconnect** parks the session (it is no longer
+//!   scheduled, but its checkpoint stays resumable under the token);
+//! * a graceful **shutdown** drains the same way, so a successor server
+//!   sharing the registry ([`Server::start_shared`]) picks the sessions
+//!   back up;
+//! * a scheduler **crash** loses the live sessions but not their
+//!   last-round checkpoints — reconnecting clients `RESUME token=…` and
+//!   the stream continues bit-identically from the checkpoint.
+//!
+//! Sessions that cannot checkpoint (or that the registry's byte cap
+//! rejects) run exactly as before, just without a token — disconnect
+//! cancels them.
 //!
 //! # Backpressure
 //!
@@ -24,14 +50,14 @@
 //! unblocks the scheduler immediately.
 
 use crate::protocol::{
-    read_line, ErrorCode, Frame, LineError, LineReader, QueryRequest, WireStats,
+    parse_resume_line, read_line, ErrorCode, Frame, LineError, LineReader, QueryRequest, WireStats,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rapidviz::needletail::NeedleTail;
 use rapidviz::{
-    MultiQueryScheduler, QueryId, QuerySession, SchedulePolicy, SchedulerEvent, StepOutcome,
-    VizQuery,
+    MultiQueryScheduler, ParkingRegistry, QueryId, QuerySession, SchedulePolicy, SchedulerEvent,
+    StepOutcome, VizQuery,
 };
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -69,6 +95,18 @@ pub struct ServerConfig {
     /// Socket write timeout — bounds how long a terminal-frame send can
     /// wedge on a stalled client before that client is declared dead.
     pub write_timeout: Duration,
+    /// How long a parked session stays resumable after its client
+    /// disconnects (or the server drains). Must be positive.
+    pub park_ttl: Duration,
+    /// Optional cap on total parked-checkpoint bytes
+    /// ([`ParkingRegistry::with_byte_cap`]); sessions whose checkpoints
+    /// the full registry rejects run without durability.
+    pub park_byte_cap: Option<usize>,
+    /// Gates the `CRASH` debug verb, which kills the current scheduler
+    /// loop incarnation (sessions drop un-drained; parked checkpoints
+    /// survive) so recovery drills can exercise the supervisor. Leave
+    /// off outside tests and chaos harnesses.
+    pub enable_crash: bool,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +120,9 @@ impl Default for ServerConfig {
             per_client_max_samples: 200_000,
             frame_queue: 64,
             write_timeout: Duration::from_secs(5),
+            park_ttl: Duration::from_secs(120),
+            park_byte_cap: None,
+            enable_crash: false,
         }
     }
 }
@@ -91,14 +132,16 @@ impl Default for ServerConfig {
 /// round-trip).
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// Sessions admitted into the scheduler.
+    /// Sessions admitted into the scheduler (resumed sessions count
+    /// again — a resume is a fresh admission).
     pub sessions_admitted: AtomicU64,
     /// Sessions that produced a terminal answer frame.
     pub sessions_completed: AtomicU64,
-    /// Sessions cancelled by client disconnect before their answer.
+    /// Sessions cancelled outright by client disconnect (only sessions
+    /// without a resume token; durable ones park instead).
     pub sessions_cancelled: AtomicU64,
     /// Requests rejected before admission (malformed, invalid, capacity,
-    /// shutdown).
+    /// shutdown, unknown resume token).
     pub sessions_rejected: AtomicU64,
     /// Frames actually written to sockets.
     pub frames_sent: AtomicU64,
@@ -107,10 +150,31 @@ pub struct ServerStats {
     pub frames_dropped_slow: AtomicU64,
     /// Currently connected clients.
     pub active_clients: AtomicU64,
+    /// Sessions parked into the registry on disconnect or drain.
+    pub sessions_parked: AtomicU64,
+    /// Parked sessions successfully resumed via `RESUME`.
+    pub sessions_resumed: AtomicU64,
+    /// Admissions that ran without durability because the parking
+    /// registry rejected their checkpoint (byte cap).
+    pub park_rejected: AtomicU64,
+    /// Times the supervisor restarted a dead scheduler loop (panic or
+    /// `CRASH` drill).
+    pub scheduler_restarts: AtomicU64,
+    /// Sessions dropped un-drained by a `CRASH` drill (their latest
+    /// checkpoints survive in the registry, so they stay resumable).
+    /// Together with completed + cancelled + parked this keeps slot
+    /// accounting balanced: every admission ends in exactly one bucket.
+    /// A real panic's casualties are not counted — the unwound stack
+    /// takes the tally with it.
+    pub sessions_crashed: AtomicU64,
 }
 
 impl ServerStats {
-    fn wire(&self, engine_metrics: &rapidviz::needletail::MetricsSnapshot) -> WireStats {
+    fn wire(
+        &self,
+        engine_metrics: &rapidviz::needletail::MetricsSnapshot,
+        parking: rapidviz::ParkingStats,
+    ) -> WireStats {
         WireStats {
             sessions_admitted: self.sessions_admitted.load(Ordering::Relaxed),
             sessions_completed: self.sessions_completed.load(Ordering::Relaxed),
@@ -131,6 +195,12 @@ impl ServerStats {
                 engine_metrics.composite_cache_hits,
                 engine_metrics.composite_cache_misses,
             ),
+            sessions_parked: self.sessions_parked.load(Ordering::Relaxed),
+            sessions_resumed: self.sessions_resumed.load(Ordering::Relaxed),
+            sessions_expired: parking.expired_total,
+            parked_now: parking.parked,
+            parked_bytes: parking.parked_bytes,
+            scheduler_restarts: self.scheduler_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -143,18 +213,41 @@ enum Command {
         request: Box<QueryRequest>,
         tx: SyncSender<Vec<u8>>,
     },
-    /// The client disconnected; cancel its in-flight session, if any.
+    /// Resume the parked session under `token` for `client`.
+    Resume {
+        client: u64,
+        token: u64,
+        tx: SyncSender<Vec<u8>>,
+    },
+    /// The client disconnected; park its in-flight sessions (cancel the
+    /// ones that cannot park).
     Cancel { client: u64 },
     /// Encode a stats frame and send it to `tx`.
     Stats { tx: SyncSender<Vec<u8>> },
-    /// Stop scheduling and exit the thread.
+    /// Kill this scheduler-loop incarnation abruptly (config-gated
+    /// recovery drill); the supervisor starts the next one.
+    Crash,
+    /// Drain gracefully (parking live sessions) and exit the thread.
     Shutdown,
+}
+
+/// Why one incarnation of the scheduler loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopExit {
+    /// Graceful: live sessions were parked; the supervisor exits too.
+    Shutdown,
+    /// Simulated crash (`CRASH` drill): live sessions were dropped
+    /// un-drained; the supervisor starts a fresh incarnation.
+    Crashed,
 }
 
 /// Where an admitted session's frames go.
 struct ClientLink {
     client: u64,
     tx: SyncSender<Vec<u8>>,
+    /// The session's resume token (0 = not durable: the session could not
+    /// checkpoint or the registry rejected it).
+    token: u64,
 }
 
 /// A running server. Dropping the handle does **not** stop the server —
@@ -165,6 +258,7 @@ pub struct Server;
 pub struct ServerHandle {
     local_addr: SocketAddr,
     stats: Arc<ServerStats>,
+    registry: Arc<Mutex<ParkingRegistry>>,
     shutdown: Arc<AtomicBool>,
     cmd_tx: Sender<Command>,
     accept_thread: Option<JoinHandle<()>>,
@@ -185,8 +279,18 @@ impl ServerHandle {
         &self.stats
     }
 
-    /// Stops accepting, cancels in-flight sessions, and joins every
-    /// server thread. Idempotent.
+    /// The parking registry holding parked/resumable session checkpoints.
+    /// Shared: keep a clone across [`ServerHandle::shutdown`] and pass it
+    /// to [`Server::start_shared`] so a successor server resumes the
+    /// drained sessions.
+    #[must_use]
+    pub fn parking(&self) -> Arc<Mutex<ParkingRegistry>> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Stops accepting, drains in-flight sessions into the parking
+    /// registry (cancelling the non-durable ones), and joins every server
+    /// thread. Idempotent.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -225,12 +329,39 @@ impl Drop for ServerHandle {
 }
 
 impl Server {
-    /// Binds and starts serving `engine` under `config`.
+    /// Binds and starts serving `engine` under `config`, with a private
+    /// parking registry built from the config's TTL and byte cap.
     ///
     /// # Errors
     ///
     /// Fails on the initial bind or if either server thread cannot spawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.park_ttl` is zero.
     pub fn start(engine: NeedleTail, config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let mut registry = ParkingRegistry::new(config.park_ttl);
+        if let Some(cap) = config.park_byte_cap {
+            registry = registry.with_byte_cap(cap);
+        }
+        Self::start_shared(engine, config, Arc::new(Mutex::new(registry)))
+    }
+
+    /// [`Server::start`] against a caller-supplied parking registry — the
+    /// restart pattern: shut one server down (its drain parks every live
+    /// session), then start a successor with the same registry and an
+    /// identically-built engine, and reconnecting clients `RESUME` their
+    /// sessions as if nothing happened. The config's own TTL/byte-cap
+    /// fields are ignored on this path; the registry carries them.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the initial bind or if either server thread cannot spawn.
+    pub fn start_shared(
+        engine: NeedleTail,
+        config: ServerConfig,
+        registry: Arc<Mutex<ParkingRegistry>>,
+    ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let stats = Arc::new(ServerStats::default());
@@ -241,9 +372,10 @@ impl Server {
         let scheduler_thread = {
             let stats = Arc::clone(&stats);
             let config = config.clone();
+            let registry = Arc::clone(&registry);
             std::thread::Builder::new()
                 .name("rapidviz-sched".into())
-                .spawn(move || scheduler_loop(engine, &config, &cmd_rx, &stats))?
+                .spawn(move || supervisor_loop(&engine, &config, &cmd_rx, &stats, &registry))?
         };
 
         let accept_thread = {
@@ -267,10 +399,11 @@ impl Server {
             match spawn {
                 Ok(t) => t,
                 Err(e) => {
-                    // Unwind the half-started server: stop the scheduler
-                    // thread before reporting the spawn failure.
-                    let _ = cmd_tx.send(Command::Shutdown);
-                    let _ = scheduler_thread.join();
+                    // Unwind the half-started server: drain the scheduler
+                    // thread — which parks any session it holds — and
+                    // join it before reporting the spawn failure, rather
+                    // than unwinding past a live thread.
+                    drain_scheduler(&cmd_tx, scheduler_thread);
                     return Err(e);
                 }
             }
@@ -279,6 +412,7 @@ impl Server {
         Ok(ServerHandle {
             local_addr,
             stats,
+            registry,
             shutdown,
             cmd_tx,
             accept_thread: Some(accept_thread),
@@ -286,6 +420,24 @@ impl Server {
             client_threads,
         })
     }
+}
+
+/// Tells the scheduler thread to drain (parking its live sessions) and
+/// joins it. The cleanup for a partially-started server: every spawned
+/// thread is stopped through its ordinary exit path before the start
+/// error propagates.
+fn drain_scheduler(cmd_tx: &Sender<Command>, thread: JoinHandle<()>) {
+    let _ = cmd_tx.send(Command::Shutdown);
+    let _ = thread.join();
+}
+
+/// Locks the parking registry, riding through poisoning: the registry
+/// holds plain data (no invariants spanning the lock), so a panicked
+/// incarnation's half-finished write is at worst a stale checkpoint.
+fn lock_registry(registry: &Mutex<ParkingRegistry>) -> std::sync::MutexGuard<'_, ParkingRegistry> {
+    registry
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Builds a session from a wire request, clamping its sample budget to
@@ -328,14 +480,47 @@ fn build_session(
         .map_err(|e| e.to_string())
 }
 
-/// The scheduler thread body: owns the engine and the scheduler; commands
-/// in, frame payloads out.
-fn scheduler_loop(
-    engine: NeedleTail,
+/// Runs [`scheduler_loop`] incarnations until one exits gracefully. A
+/// panic inside the loop (or a `CRASH` drill) kills that incarnation's
+/// sessions and frame channels — clients see a disconnect and reconnect
+/// with `RESUME` — but the command channel, engine, and parking registry
+/// all live here, outside the unwind, so the next incarnation picks them
+/// up immediately instead of leaving the accept loop talking to a dead
+/// receiver.
+fn supervisor_loop(
+    engine: &NeedleTail,
     config: &ServerConfig,
     cmd_rx: &Receiver<Command>,
     stats: &ServerStats,
+    registry: &Arc<Mutex<ParkingRegistry>>,
 ) {
+    loop {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scheduler_loop(engine, config, cmd_rx, stats, registry)
+        }));
+        match outcome {
+            Ok(LoopExit::Shutdown) => break,
+            Ok(LoopExit::Crashed) | Err(_) => {
+                // The incarnation's sessions died with it; their latest
+                // per-round checkpoints survive in the shared registry,
+                // so reconnecting clients resume from there.
+                stats.scheduler_restarts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One scheduler-loop incarnation: owns the scheduler and every session;
+/// commands in, frame payloads out. Returns how it exited (see
+/// [`LoopExit`]); on [`LoopExit::Shutdown`] live sessions have been
+/// drained into the parking registry.
+fn scheduler_loop(
+    engine: &NeedleTail,
+    config: &ServerConfig,
+    cmd_rx: &Receiver<Command>,
+    stats: &ServerStats,
+    registry: &Arc<Mutex<ParkingRegistry>>,
+) -> LoopExit {
     let mut sched = MultiQueryScheduler::new(config.policy);
     if let Some(cap) = config.global_sample_budget {
         sched = sched.with_global_sample_budget(cap);
@@ -346,7 +531,7 @@ fn scheduler_loop(
     // BTreeMap, not HashMap: broadcast paths iterate this map, and
     // delivery order must replay identically run to run.
     let mut links: BTreeMap<QueryId, ClientLink> = BTreeMap::new();
-    loop {
+    let exit = 'run: loop {
         // Drain every pending command first so admissions and cancels are
         // never starved by a busy scheduler.
         let drained = if sched.runnable_count() == 0 && links.is_empty() {
@@ -354,25 +539,24 @@ fn scheduler_loop(
             // gone, which only happens at teardown).
             match cmd_rx.recv() {
                 Ok(cmd) => {
-                    if handle_command(cmd, &engine, config, &mut sched, &mut links, stats) {
-                        break;
+                    if let Some(exit) =
+                        handle_command(cmd, engine, config, &mut sched, &mut links, stats, registry)
+                    {
+                        break 'run exit;
                     }
                     true
                 }
-                Err(_) => break,
+                Err(_) => break 'run LoopExit::Shutdown,
             }
         } else {
             false
         };
-        let mut stop = false;
         while let Ok(cmd) = cmd_rx.try_recv() {
-            if handle_command(cmd, &engine, config, &mut sched, &mut links, stats) {
-                stop = true;
-                break;
+            if let Some(exit) =
+                handle_command(cmd, engine, config, &mut sched, &mut links, stats, registry)
+            {
+                break 'run exit;
             }
-        }
-        if stop {
-            break;
         }
         if drained && sched.runnable_count() == 0 {
             continue;
@@ -382,9 +566,18 @@ fn scheduler_loop(
                 let terminal = update.outcome != StepOutcome::Running;
                 if let Some(link) = links.get(&id) {
                     send_round(&link.tx, &Frame::from_update(&update).encode(), stats);
+                    if !terminal && link.token != 0 {
+                        // Durability refresh: keep the registry holding
+                        // this session's latest resumable state, so even
+                        // a hard crash loses no completed rounds.
+                        if let Ok(ck) = sched.checkpoint(id) {
+                            let mut reg = lock_registry(registry);
+                            let _ = reg.park_reserved(link.token, ck);
+                        }
+                    }
                 }
                 if terminal {
-                    deliver_answer(&mut sched, &mut links, id, stats);
+                    deliver_answer(&mut sched, &mut links, id, stats, registry);
                 }
             }
             SchedulerEvent::MemoryEvicted { id, bytes } => {
@@ -398,14 +591,14 @@ fn scheduler_loop(
                     .encode();
                     let _ = link.tx.send(payload);
                 }
-                deliver_answer(&mut sched, &mut links, id, stats);
+                deliver_answer(&mut sched, &mut links, id, stats, registry);
             }
             SchedulerEvent::GlobalBudgetExhausted { .. } => {
                 // Finish out everything still registered with best-effort
                 // answers; late admits land here on the next poll.
                 let ids: Vec<QueryId> = links.keys().copied().collect();
                 for id in ids {
-                    deliver_answer(&mut sched, &mut links, id, stats);
+                    deliver_answer(&mut sched, &mut links, id, stats, registry);
                 }
             }
             SchedulerEvent::Drained => {
@@ -413,14 +606,88 @@ fn scheduler_loop(
                 // blocking recv.
             }
         }
+    };
+    match exit {
+        LoopExit::Shutdown => {
+            // Graceful drain: park every still-linked session so a
+            // successor server sharing the registry can resume it;
+            // receivers see the channel close and clients get a clean TCP
+            // close.
+            let targets: Vec<(QueryId, u64)> = links.iter().map(|(id, l)| (*id, l.token)).collect();
+            links.clear();
+            for (id, token) in targets {
+                park_or_cancel(&mut sched, id, token, stats, registry);
+            }
+        }
+        LoopExit::Crashed => {
+            // Drop everything un-drained — that is the point of the
+            // drill; parked checkpoints in the shared registry survive.
+            // Count the casualties so slot accounting stays balanced.
+            stats
+                .sessions_crashed
+                .fetch_add(links.len() as u64, Ordering::Relaxed);
+        }
     }
-    // Teardown: surviving sessions are cancelled; receivers see the
-    // channel close and clients get a clean TCP close.
-    let n = links.len() as u64;
-    stats.sessions_cancelled.fetch_add(n, Ordering::Relaxed);
+    exit
 }
 
-/// Applies one command. Returns `true` on shutdown.
+/// Parks a linked session under its token, falling back to cancelling it
+/// when it has no token or parking fails. Counts whichever happened.
+fn park_or_cancel(
+    sched: &mut MultiQueryScheduler,
+    id: QueryId,
+    token: u64,
+    stats: &ServerStats,
+    registry: &Arc<Mutex<ParkingRegistry>>,
+) {
+    if token != 0 {
+        let parked = {
+            let mut reg = lock_registry(registry);
+            match sched.park_reserved(id, &mut reg, token) {
+                Ok(_) => true,
+                Err(_) => {
+                    // The session cannot park (or the slot is already
+                    // gone); drop its stale durability shadow too.
+                    reg.discard(token);
+                    false
+                }
+            }
+        };
+        if parked {
+            stats.sessions_parked.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    if sched.finish(id).is_some() {
+        stats.sessions_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Reserves a resume token for a fresh admission and seeds the registry
+/// with the session's initial checkpoint. Returns 0 (the "no token"
+/// sentinel) when the session cannot checkpoint or the registry rejected
+/// it — the session still runs, it just is not durable.
+fn grant_token(
+    sched: &mut MultiQueryScheduler,
+    id: QueryId,
+    stats: &ServerStats,
+    registry: &Arc<Mutex<ParkingRegistry>>,
+) -> u64 {
+    let Ok(ck) = sched.checkpoint(id) else {
+        return 0;
+    };
+    let mut reg = lock_registry(registry);
+    let token = reg.reserve();
+    match reg.park_reserved(token, ck) {
+        Ok(_) => token,
+        Err(_) => {
+            stats.park_rejected.fetch_add(1, Ordering::Relaxed);
+            0
+        }
+    }
+}
+
+/// Applies one command. Returns `Some(exit)` when the loop must stop.
 fn handle_command(
     cmd: Command,
     engine: &NeedleTail,
@@ -428,7 +695,8 @@ fn handle_command(
     sched: &mut MultiQueryScheduler,
     links: &mut BTreeMap<QueryId, ClientLink>,
     stats: &ServerStats,
-) -> bool {
+    registry: &Arc<Mutex<ParkingRegistry>>,
+) -> Option<LoopExit> {
     match cmd {
         Command::Admit {
             client,
@@ -437,7 +705,14 @@ fn handle_command(
         } => match build_session(engine, &request, config.per_client_max_samples) {
             Ok(session) => {
                 let id = sched.admit(session);
-                links.insert(id, ClientLink { client, tx });
+                let token = grant_token(sched, id, stats, registry);
+                if token != 0 {
+                    // Announce the token before any round frame: the
+                    // client must hold it before a failure can take the
+                    // stream down.
+                    let _ = tx.send((Frame::Parked { token }).encode());
+                }
+                links.insert(id, ClientLink { client, tx, token });
                 stats.sessions_admitted.fetch_add(1, Ordering::Relaxed);
             }
             Err(message) => {
@@ -450,40 +725,115 @@ fn handle_command(
                 let _ = tx.send(payload);
             }
         },
-        Command::Cancel { client } => {
-            let ids: Vec<QueryId> = links
-                .iter()
-                .filter(|(_, l)| l.client == client)
-                .map(|(id, _)| *id)
-                .collect();
-            for id in ids {
-                links.remove(&id);
-                if sched.finish(id).is_some() {
-                    stats.sessions_cancelled.fetch_add(1, Ordering::Relaxed);
+        Command::Resume { client, token, tx } => {
+            let taken = {
+                let mut reg = lock_registry(registry);
+                reg.take(token).ok()
+            };
+            let Some(checkpoint) = taken else {
+                stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                let payload = (Frame::Error {
+                    code: ErrorCode::NoSuchToken,
+                    message: format!("token {token} is unknown, already resumed, or expired"),
+                })
+                .encode();
+                let _ = tx.send(payload);
+                return None;
+            };
+            let clock = lock_registry(registry).clock();
+            // Resumed outside the registry lock: re-planning may take
+            // engine cache locks of its own.
+            match QuerySession::resume_with_clock(engine, &checkpoint, clock) {
+                Ok(session) => {
+                    let id = sched.admit(session);
+                    // The token survives the resume: re-seed the registry
+                    // under the same name so the session stays durable
+                    // across any number of further failures.
+                    if let Ok(fresh) = sched.checkpoint(id) {
+                        let mut reg = lock_registry(registry);
+                        let _ = reg.park_reserved(token, fresh);
+                    }
+                    let _ = tx.send((Frame::Parked { token }).encode());
+                    links.insert(id, ClientLink { client, tx, token });
+                    stats.sessions_admitted.fetch_add(1, Ordering::Relaxed);
+                    stats.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    // Schema drift between park and resume: put the
+                    // checkpoint back so the failure stays observable
+                    // (and retryable) until the TTL reaps it.
+                    {
+                        let mut reg = lock_registry(registry);
+                        let _ = reg.park_reserved(token, checkpoint);
+                    }
+                    stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                    let payload = (Frame::Error {
+                        code: ErrorCode::InvalidQuery,
+                        message: format!("resume failed: {e}"),
+                    })
+                    .encode();
+                    let _ = tx.send(payload);
                 }
             }
         }
+        Command::Cancel { client } => {
+            let targets: Vec<(QueryId, u64)> = links
+                .iter()
+                .filter(|(_, l)| l.client == client)
+                .map(|(id, l)| (*id, l.token))
+                .collect();
+            for (id, token) in targets {
+                links.remove(&id);
+                // Disconnect no longer cancels: durable sessions park and
+                // stay resumable for the TTL.
+                park_or_cancel(sched, id, token, stats, registry);
+            }
+        }
         Command::Stats { tx } => {
-            let payload = Frame::Stats(stats.wire(&engine.metrics().snapshot())).encode();
+            let parking = {
+                let mut reg = lock_registry(registry);
+                // Sweep first so expired entries are counted as expired,
+                // not reported as still parked.
+                reg.sweep();
+                reg.stats()
+            };
+            let payload = Frame::Stats(stats.wire(&engine.metrics().snapshot(), parking)).encode();
             let _ = tx.send(payload);
         }
-        Command::Shutdown => return true,
+        Command::Crash => {
+            if config.enable_crash {
+                // Simulated hard crash: exit abruptly, dropping every
+                // live session and frame channel without draining.
+                return Some(LoopExit::Crashed);
+            }
+            // Disabled: the client layer already rejects the verb; a
+            // stray command is ignored.
+        }
+        Command::Shutdown => return Some(LoopExit::Shutdown),
     }
-    false
+    None
 }
 
-/// Finishes `id` and streams its terminal answer frame.
+/// Finishes `id`, drops its durability shadow, and streams its terminal
+/// answer frame.
 fn deliver_answer(
     sched: &mut MultiQueryScheduler,
     links: &mut BTreeMap<QueryId, ClientLink>,
     id: QueryId,
     stats: &ServerStats,
+    registry: &Arc<Mutex<ParkingRegistry>>,
 ) {
     let Some(link) = links.remove(&id) else {
         // Client already cancelled; drop the answer.
         let _ = sched.finish(id);
         return;
     };
+    if link.token != 0 {
+        // A completed session is no longer resumable; without this the
+        // shadow would linger until the TTL reaped it.
+        let mut reg = lock_registry(registry);
+        reg.discard(link.token);
+    }
     if let Some(answer) = sched.finish(id) {
         // Count before handing the frame off: a client that reads its
         // answer must already see itself in `sessions_completed`.
@@ -617,6 +967,49 @@ fn client_loop(
             }
             continue;
         }
+        if line == "CRASH" {
+            if config.enable_crash {
+                // Recovery drill: kill the current scheduler-loop
+                // incarnation and close this connection.
+                let _ = cmd_tx.send(Command::Crash);
+                break;
+            }
+            stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+            send_error(&mut writer, stats, ErrorCode::Malformed, "unknown command");
+            break;
+        }
+        if line.starts_with("RESUME") {
+            match parse_resume_line(line) {
+                Ok(token) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                        send_error(
+                            &mut writer,
+                            stats,
+                            ErrorCode::ShuttingDown,
+                            "server is shutting down",
+                        );
+                        break;
+                    }
+                    let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(config.frame_queue.max(1));
+                    if cmd_tx.send(Command::Resume { client, token, tx }).is_err() {
+                        break;
+                    }
+                    if !pump_frames(&mut writer, &rx, stats, shutdown, client, cmd_tx) {
+                        // Disconnect (or shutdown) raced the stream; park
+                        // (or reclaim) the slot.
+                        let _ = cmd_tx.send(Command::Cancel { client });
+                        break;
+                    }
+                }
+                Err(message) => {
+                    stats.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                    send_error(&mut writer, stats, ErrorCode::Malformed, &message);
+                    break;
+                }
+            }
+            continue;
+        }
         match QueryRequest::parse_line(line) {
             Ok(request) => {
                 if shutdown.load(Ordering::SeqCst) {
@@ -642,7 +1035,7 @@ fn client_loop(
                 }
                 if !pump_frames(&mut writer, &rx, stats, shutdown, client, cmd_tx) {
                     // Disconnect (or shutdown) raced the stream; make sure
-                    // the slot is reclaimed.
+                    // the slot is parked or reclaimed.
                     let _ = cmd_tx.send(Command::Cancel { client });
                     break;
                 }
@@ -688,8 +1081,8 @@ fn pump_frames(
                 }
                 continue;
             }
-            // Scheduler dropped the sender (teardown) — nothing more
-            // is coming.
+            // Scheduler dropped the sender (teardown or crash) — nothing
+            // more is coming.
             Err(RecvTimeoutError::Disconnected) => return false,
         };
         let tag = payload.first().copied().unwrap_or(0);
@@ -698,10 +1091,100 @@ fn pump_frames(
         }
         stats.frames_sent.fetch_add(1, Ordering::Relaxed);
         // 0x02 Answer, 0x03 Error, 0x05 Stats end the stream (0x04
-        // Evicted is followed by a best-effort Answer).
+        // Evicted is followed by a best-effort Answer; 0x06 Parked
+        // precedes the round stream).
         if matches!(tag, 0x02 | 0x03 | 0x05) {
             let _ = writer.flush();
             return true;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapidviz_datagen::FlightModel;
+
+    fn engine() -> NeedleTail {
+        let mut rng = StdRng::seed_from_u64(7);
+        let table = FlightModel::new(7).to_table(2_000, &mut rng);
+        NeedleTail::new(table, &["name"]).expect("flight engine builds")
+    }
+
+    /// Pins the half-started-server cleanup: when the accept thread fails
+    /// to spawn after the scheduler thread is already running (the exact
+    /// shape of the `start_shared` error path), `drain_scheduler` must
+    /// drain-and-join — and draining must park any session the scheduler
+    /// already holds, not strand or cancel it.
+    #[test]
+    fn drain_scheduler_parks_active_sessions_on_partial_start() {
+        let config = ServerConfig::default();
+        let registry = Arc::new(Mutex::new(ParkingRegistry::new(config.park_ttl)));
+        let stats = Arc::new(ServerStats::default());
+        let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+        let thread = {
+            let stats = Arc::clone(&stats);
+            let config = config.clone();
+            let registry = Arc::clone(&registry);
+            let engine = engine();
+            std::thread::Builder::new()
+                .name("rapidviz-sched".into())
+                .spawn(move || supervisor_loop(&engine, &config, &cmd_rx, &stats, &registry))
+                .expect("scheduler thread spawns")
+        };
+        // A session far too long to complete before the drain lands (one
+        // sample per round makes every step pay full snapshot overhead,
+        // and the inflated bound keeps it from certifying early).
+        let mut req = QueryRequest::avg("name", "arr_delay", 1);
+        req.max_samples = Some(200_000);
+        req.samples_per_round = Some(1);
+        req.bound = Some(5_000.0);
+        let (tx, rx) = mpsc::sync_channel::<Vec<u8>>(4_096);
+        cmd_tx
+            .send(Command::Admit {
+                client: 1,
+                request: Box::new(req),
+                tx,
+            })
+            .expect("admit sent");
+        // The token announcement proves the session is live and durable.
+        let first = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("token frame arrives");
+        assert_eq!(first.first().copied(), Some(0x06), "Parked frame first");
+
+        drain_scheduler(&cmd_tx, thread);
+
+        assert_eq!(
+            stats.sessions_parked.load(Ordering::Relaxed),
+            1,
+            "drain parked the active session"
+        );
+        assert_eq!(stats.sessions_cancelled.load(Ordering::Relaxed), 0);
+        let reg = lock_registry(&registry);
+        assert_eq!(reg.len(), 1, "registry holds the parked checkpoint");
+        assert!(reg.bytes() > 0);
+    }
+
+    /// The drain must also join cleanly when the scheduler holds nothing.
+    #[test]
+    fn drain_scheduler_is_clean_on_an_idle_scheduler() {
+        let config = ServerConfig::default();
+        let registry = Arc::new(Mutex::new(ParkingRegistry::new(config.park_ttl)));
+        let stats = Arc::new(ServerStats::default());
+        let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+        let thread = {
+            let stats = Arc::clone(&stats);
+            let config = config.clone();
+            let registry = Arc::clone(&registry);
+            let engine = engine();
+            std::thread::Builder::new()
+                .name("rapidviz-sched".into())
+                .spawn(move || supervisor_loop(&engine, &config, &cmd_rx, &stats, &registry))
+                .expect("scheduler thread spawns")
+        };
+        drain_scheduler(&cmd_tx, thread);
+        assert!(lock_registry(&registry).is_empty());
+        assert_eq!(stats.sessions_parked.load(Ordering::Relaxed), 0);
     }
 }

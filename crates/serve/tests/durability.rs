@@ -1,0 +1,411 @@
+//! Durable-session end-to-end: disconnect parks, `RESUME` re-attaches,
+//! a scheduler crash loses nothing the registry holds, and a drained
+//! server's sessions survive into a successor sharing the registry. The
+//! invariant throughout is the repo's north star: the resumed stream and
+//! final answer are **byte-identical** (`f64::to_bits` equal) to the
+//! uninterrupted in-process run with the same seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rapidviz::needletail::NeedleTail;
+use rapidviz::{ParkingRegistry, SimulatedClock, VizQuery};
+use rapidviz_datagen::FlightModel;
+use rapidviz_serve::{
+    ErrorCode, Frame, QueryRequest, RetryPolicy, Server, ServerConfig, ServerHandle, WireClient,
+};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const TABLE_SEED: u64 = 23;
+const ROWS: u64 = 30_000;
+
+fn flight_engine() -> NeedleTail {
+    let mut rng = StdRng::seed_from_u64(TABLE_SEED);
+    let table = FlightModel::new(TABLE_SEED).to_table(ROWS, &mut rng);
+    NeedleTail::new(table, &["name"]).expect("flight engine builds")
+}
+
+fn start_server(config: ServerConfig) -> ServerHandle {
+    Server::start(flight_engine(), config).expect("server binds")
+}
+
+fn connect(handle: &ServerHandle) -> WireClient {
+    WireClient::connect(handle.local_addr(), Duration::from_secs(30)).expect("client connects")
+}
+
+/// A query long enough (thousands of rounds) that a disconnect or crash
+/// always lands mid-stream, in release builds too. The inflated value
+/// bound keeps every confidence interval too wide to certify, so the
+/// session cannot converge early — with the Hoeffding-Serfling
+/// correction it runs until the table is effectively fully drawn.
+fn long_request(seed: u64) -> QueryRequest {
+    let mut req = QueryRequest::avg("name", "arr_delay", seed);
+    req.max_samples = Some(200_000);
+    req.samples_per_round = Some(8);
+    req.bound = Some(5_000.0);
+    req
+}
+
+fn in_process_answer(req: &QueryRequest) -> rapidviz::QueryAnswer {
+    let engine = flight_engine();
+    let mut q = VizQuery::new(&engine).avg(req.measure.clone());
+    for col in &req.group_by {
+        q = q.group_by(col.clone());
+    }
+    if let Some(s) = req.samples_per_round {
+        q = q.samples_per_round(s);
+    }
+    if let Some(m) = req.max_samples {
+        q = q.max_samples(m);
+    }
+    if let Some(c) = req.bound {
+        q = q.bound(c);
+    }
+    let mut rng = StdRng::seed_from_u64(req.seed);
+    q.execute(&mut rng).expect("in-process query runs")
+}
+
+fn bits(estimates: &[f64]) -> Vec<u64> {
+    estimates.iter().map(|e| e.to_bits()).collect()
+}
+
+/// Sends `req`, reads frames until the resume token and at least
+/// `rounds` round frames have arrived, then drops the connection —
+/// the canonical mid-stream vanish.
+fn start_and_vanish(handle: &ServerHandle, req: &QueryRequest, rounds: usize) -> u64 {
+    let mut client = connect(handle);
+    client.send_request(req).expect("request sent");
+    let mut token = None;
+    let mut seen = 0usize;
+    while token.is_none() || seen < rounds {
+        match client.next_frame().expect("frame decodes") {
+            Some(Frame::Parked { token: t }) => token = Some(t),
+            Some(Frame::Round(_)) => seen += 1,
+            Some(other) => panic!("unexpected frame before vanish: {other:?}"),
+            None => panic!("server closed before token + {rounds} rounds"),
+        }
+    }
+    token.expect("token announced before first rounds")
+}
+
+/// Polls until the server has parked `n` sessions (disconnect handling is
+/// asynchronous to the socket close).
+fn wait_parked(handle: &ServerHandle, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().sessions_parked.load(Ordering::Relaxed) < n {
+        assert!(Instant::now() < deadline, "session never parked");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn token_announced_and_discarded_on_completion() {
+    let handle = start_server(ServerConfig::default());
+    let mut req = QueryRequest::avg("name", "elapsed", 3);
+    req.max_samples = Some(500);
+    let run = connect(&handle).run_query(&req).expect("query runs");
+    assert!(run.answer.is_some());
+    assert!(
+        run.token.is_some_and(|t| t != 0),
+        "durable session announces a non-zero token"
+    );
+    // A completed session's checkpoint is discarded, not left to the TTL.
+    let stats = connect(&handle).stats().expect("stats round-trip");
+    assert_eq!(stats.parked_now, 0);
+    assert_eq!(stats.parked_bytes, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn resume_after_disconnect_is_bit_identical_to_uninterrupted_run() {
+    let handle = start_server(ServerConfig {
+        frame_queue: 4_096,
+        ..ServerConfig::default()
+    });
+    let req = long_request(71);
+    let reference = in_process_answer(&req);
+
+    let token = start_and_vanish(&handle, &req, 3);
+    wait_parked(&handle, 1);
+
+    let mut client = connect(&handle);
+    let run = client.resume(token).expect("resume round-trips");
+    assert_eq!(run.error, None, "resume must not error");
+    assert_eq!(run.token, Some(token), "token survives the resume");
+    assert!(
+        !run.rounds.is_empty(),
+        "resumed stream continues the rounds"
+    );
+    let answer = run.answer.expect("resumed stream reaches its answer");
+    assert_eq!(answer.labels, reference.result.labels);
+    assert_eq!(answer.rounds, reference.result.rounds);
+    assert_eq!(answer.samples_per_group, reference.result.samples_per_group);
+    assert_eq!(
+        bits(&answer.estimates),
+        bits(&reference.result.estimates),
+        "resumed answer diverged from the uninterrupted run"
+    );
+    assert_eq!(handle.stats().sessions_resumed.load(Ordering::Relaxed), 1);
+    handle.shutdown();
+}
+
+#[test]
+fn resumed_rounds_replay_the_uninterrupted_round_stream() {
+    let handle = start_server(ServerConfig {
+        frame_queue: 4_096,
+        ..ServerConfig::default()
+    });
+    let req = long_request(72);
+
+    // The uninterrupted reference session, round by round, mirroring
+    // `long_request` parameter for parameter.
+    let engine = flight_engine();
+    let mut q = VizQuery::new(&engine)
+        .group_by("name")
+        .avg("arr_delay")
+        .samples_per_round(8)
+        .max_samples(200_000);
+    if let Some(c) = req.bound {
+        q = q.bound(c);
+    }
+    let mut session = q
+        .start(StdRng::seed_from_u64(req.seed))
+        .expect("session starts");
+    let mut reference = Vec::new();
+    loop {
+        let update = session.step();
+        let done = update.outcome != rapidviz::StepOutcome::Running;
+        reference.push(update);
+        if done {
+            break;
+        }
+    }
+
+    let token = start_and_vanish(&handle, &req, 3);
+    wait_parked(&handle, 1);
+    let run = connect(&handle).resume(token).expect("resume round-trips");
+    assert!(run.answer.is_some());
+    assert!(!run.rounds.is_empty());
+    // Every resumed round must be bit-identical to the same-numbered
+    // round of the uninterrupted session (slow-client drops only thin the
+    // stream, they never alter a delivered round).
+    let by_round: std::collections::BTreeMap<u64, _> =
+        reference.iter().map(|u| (u.round, u)).collect();
+    for wire in &run.rounds {
+        let local = by_round
+            .get(&wire.round)
+            .unwrap_or_else(|| panic!("round {} missing from the reference run", wire.round));
+        assert_eq!(wire.total_samples, local.total_samples);
+        assert_eq!(
+            bits(&wire.snapshot.estimates),
+            bits(&local.snapshot.estimates),
+            "round {} diverged after resume",
+            wire.round
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn crash_drops_live_sessions_but_resume_recovers_them_bit_identically() {
+    let handle = start_server(ServerConfig {
+        frame_queue: 4_096,
+        enable_crash: true,
+        ..ServerConfig::default()
+    });
+    let req = long_request(73);
+    let reference = in_process_answer(&req);
+
+    // Start streaming, then kill the scheduler loop from a second
+    // connection mid-stream.
+    let mut victim = connect(&handle);
+    victim.send_request(&req).expect("request sent");
+    let mut token = None;
+    let mut seen = 0usize;
+    while token.is_none() || seen < 2 {
+        match victim.next_frame().expect("frame decodes") {
+            Some(Frame::Parked { token: t }) => token = Some(t),
+            Some(Frame::Round(_)) => seen += 1,
+            Some(other) => panic!("unexpected frame: {other:?}"),
+            None => panic!("closed before token + rounds"),
+        }
+    }
+    let token = token.expect("token announced");
+    connect(&handle).send_line("CRASH").expect("crash sent");
+
+    // The victim's stream dies without a terminal frame — that is what a
+    // crash looks like from the outside.
+    let mut terminal = false;
+    while let Ok(Some(frame)) = victim.next_frame() {
+        if matches!(frame, Frame::Answer(_) | Frame::Error { .. }) {
+            terminal = true;
+        }
+    }
+    assert!(!terminal, "crash must not fabricate a terminal frame");
+    drop(victim);
+
+    // Reconnect with bounded seeded backoff and resume: the registry kept
+    // the last refreshed checkpoint, so the answer is exactly the
+    // uninterrupted one.
+    let policy = RetryPolicy {
+        seed: 73,
+        ..RetryPolicy::default()
+    };
+    let (mut client, _retries) =
+        WireClient::connect_with_retry(handle.local_addr(), Duration::from_secs(30), &policy)
+            .expect("reconnects");
+    let run = client.resume(token).expect("resume round-trips");
+    assert_eq!(run.error, None, "resume after crash must not error");
+    let answer = run.answer.expect("recovered stream reaches its answer");
+    assert_eq!(
+        bits(&answer.estimates),
+        bits(&reference.result.estimates),
+        "post-crash answer diverged from the uninterrupted run"
+    );
+    let stats = handle.stats();
+    assert!(
+        stats.scheduler_restarts.load(Ordering::Relaxed) >= 1,
+        "supervisor must have restarted the scheduler loop"
+    );
+    assert_eq!(stats.sessions_resumed.load(Ordering::Relaxed), 1);
+    // And the restarted loop serves fresh work too.
+    let mut fresh = QueryRequest::avg("name", "elapsed", 74);
+    fresh.max_samples = Some(500);
+    let run = connect(&handle).run_query(&fresh).expect("fresh query");
+    assert!(run.answer.is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn crash_verb_is_rejected_when_not_enabled() {
+    let handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    client.send_line("CRASH").expect("line sent");
+    match client.next_frame().expect("server answers") {
+        Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    assert_eq!(handle.stats().scheduler_restarts.load(Ordering::Relaxed), 0);
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_or_zero_tokens_get_structured_errors() {
+    let handle = start_server(ServerConfig::default());
+    let run = connect(&handle).resume(987_654).expect("error round-trips");
+    assert!(run.answer.is_none());
+    let (code, message) = run.error.expect("structured error frame");
+    assert_eq!(code, ErrorCode::NoSuchToken);
+    assert!(message.contains("987654"));
+    // Token 0 is the "no token" sentinel and never valid on the wire.
+    let mut client = connect(&handle);
+    client.send_line("RESUME token=0").expect("line sent");
+    match client.next_frame().expect("server answers") {
+        Some(Frame::Error { code, .. }) => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected malformed error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_into_the_registry_and_a_successor_resumes() {
+    let handle = start_server(ServerConfig {
+        frame_queue: 4_096,
+        ..ServerConfig::default()
+    });
+    let registry = handle.parking();
+    let req = long_request(75);
+    let reference = in_process_answer(&req);
+
+    // Stream mid-query while the server shuts down: the drain must park
+    // the live session, not cancel it.
+    let mut client = connect(&handle);
+    client.send_request(&req).expect("request sent");
+    let mut token = None;
+    while token.is_none() {
+        match client.next_frame().expect("frame decodes") {
+            Some(Frame::Parked { token: t }) => token = Some(t),
+            Some(Frame::Round(_)) => {}
+            Some(other) => panic!("unexpected frame: {other:?}"),
+            None => panic!("closed before token"),
+        }
+    }
+    let token = token.expect("token announced");
+    let stats = Arc::clone(handle.stats());
+    handle.shutdown();
+    assert_eq!(
+        stats.sessions_parked.load(Ordering::Relaxed),
+        1,
+        "graceful drain parks the in-flight session"
+    );
+    drop(client);
+
+    // A successor sharing the registry picks the session back up.
+    let successor = Server::start_shared(
+        flight_engine(),
+        ServerConfig {
+            frame_queue: 4_096,
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .expect("successor binds");
+    let run = connect(&successor).resume(token).expect("resume");
+    assert_eq!(run.error, None, "successor resume must not error");
+    let answer = run.answer.expect("successor delivers the answer");
+    assert_eq!(
+        bits(&answer.estimates),
+        bits(&reference.result.estimates),
+        "answer diverged across the server generation"
+    );
+    successor.shutdown();
+}
+
+#[test]
+fn parked_sessions_expire_after_the_ttl() {
+    let clock = Arc::new(SimulatedClock::new());
+    let registry = Arc::new(Mutex::new(ParkingRegistry::with_clock(
+        Duration::from_secs(30),
+        Arc::clone(&clock) as Arc<dyn rapidviz::Clock>,
+    )));
+    let handle = Server::start_shared(
+        flight_engine(),
+        ServerConfig::default(),
+        Arc::clone(&registry),
+    )
+    .expect("server binds");
+    let token = start_and_vanish(&handle, &long_request(76), 2);
+    wait_parked(&handle, 1);
+
+    clock.advance(Duration::from_secs(31));
+    let run = connect(&handle).resume(token).expect("error round-trips");
+    let (code, _) = run.error.expect("expired token is an error");
+    assert_eq!(code, ErrorCode::NoSuchToken);
+    // The STATS frame surfaces the expiry and the now-empty registry.
+    let stats = connect(&handle).stats().expect("stats round-trip");
+    assert_eq!(stats.sessions_expired, 1);
+    assert_eq!(stats.parked_now, 0);
+    assert_eq!(stats.parked_bytes, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn stats_frame_carries_parking_counters_over_the_wire() {
+    let handle = start_server(ServerConfig::default());
+    let token = start_and_vanish(&handle, &long_request(77), 1);
+    wait_parked(&handle, 1);
+    let stats = connect(&handle).stats().expect("stats round-trip");
+    assert_eq!(stats.sessions_parked, 1);
+    assert_eq!(stats.parked_now, 1);
+    assert!(stats.parked_bytes > 0, "parked bytes are accounted");
+    assert_eq!(stats.sessions_resumed, 0);
+    assert_eq!(stats.scheduler_restarts, 0);
+    // Resume it and the gauge drains while the counter ticks.
+    let run = connect(&handle).resume(token).expect("resume");
+    assert!(run.answer.is_some());
+    let stats = connect(&handle).stats().expect("stats round-trip");
+    assert_eq!(stats.sessions_resumed, 1);
+    assert_eq!(stats.parked_now, 0);
+    handle.shutdown();
+}

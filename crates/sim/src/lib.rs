@@ -86,10 +86,12 @@
 //!
 //! The [`wire`] module extends the grammar over the TCP serving layer:
 //! seeded client fleets (connect / query / disconnect-mid-stream /
-//! malformed lines / half-close) run against an in-process
-//! `rapidviz-serve` server, and every completed answer is byte-compared
-//! against its standalone replay. Failures print `SIM_SEED=<u64>
-//! POLICY=Wire`; `SIM_WIRE_EPISODES` sizes the batch (default 25).
+//! malformed lines / half-close / disconnect-then-`RESUME` / scheduler
+//! crash drills with reconnect-and-resume recovery) run against an
+//! in-process `rapidviz-serve` server, and every completed answer —
+//! including resumed and crash-recovered ones — is byte-compared against
+//! its standalone replay. Failures print `SIM_SEED=<u64> POLICY=Wire`;
+//! `SIM_WIRE_EPISODES` sizes the batch (default 25).
 //!
 //! [`MultiQueryScheduler`]: rapidviz::MultiQueryScheduler
 //! [`AlgorithmChoice`]: rapidviz::AlgorithmChoice

@@ -3,21 +3,32 @@
 //!
 //! A wire episode derives — from one root seed — a table, a fleet of
 //! clients, and each client's scripted behavior (complete a query,
-//! disconnect mid-stream after a few frames, half-close, or speak
-//! garbage), then runs the fleet against an **in-process
-//! [`rapidviz_serve::Server`]** on an ephemeral loopback port and checks:
+//! disconnect mid-stream after a few frames, half-close, speak garbage,
+//! disconnect-then-`RESUME`, or crash the scheduler and recover), then
+//! runs the fleet against an **in-process [`rapidviz_serve::Server`]**
+//! on an ephemeral loopback port and checks:
 //!
 //! 1. **wire-replay-divergence** — every completed query's answer is
 //!    byte-identical ([`f64::to_bits`]) to the same seeded query executed
 //!    in-process against a fresh engine built from the same
-//!    [`TableSpec`].
+//!    [`TableSpec`]. Resumed and crash-recovered answers are held to the
+//!    same bar: interrupting a durable session must not move a bit.
 //! 2. **terminal-delivery** — every well-formed, fully-drained query gets
 //!    a terminal frame (answer or structured error), never a hang or
 //!    reset.
 //! 3. **slot-reclamation** — after the fleet drains, sessions admitted =
-//!    completed + cancelled (disconnects reclaim their slots).
+//!    completed + cancelled + parked + crashed (disconnects park their
+//!    durable slots; crash drills count their casualties).
 //! 4. **malformed-rejection** — garbage lines get `Malformed` error
 //!    frames; nothing panics server-side.
+//! 5. **crash-recovery** — a `CRASH` drill closes the victim stream
+//!    without fabricating a terminal frame, restarts the scheduler, and
+//!    a seeded-backoff reconnect plus `RESUME token=…` recovers the
+//!    session bit-identically from its registry checkpoint.
+//!
+//! Crash-drill episodes run a single client: the drill kills every live
+//! session in the incarnation, so a fleet-mate's `Complete` script would
+//! fail through no fault of its own.
 //!
 //! Failures print the standard `SIM_SEED=<u64> POLICY=Wire` repro line:
 //! the seed fully determines the episode.
@@ -29,7 +40,7 @@ use rapidviz::needletail::NeedleTail;
 use rapidviz::{AlgorithmChoice, VizQuery};
 use rapidviz_core::clock::{Clock, SystemClock};
 use rapidviz_serve::{
-    ErrorCode, FilterSpec, Frame, QueryRequest, Server, ServerConfig, WireClient,
+    ErrorCode, FilterSpec, Frame, QueryRequest, RetryPolicy, Server, ServerConfig, WireClient,
 };
 use std::sync::atomic::Ordering;
 use std::time::Duration;
@@ -54,6 +65,10 @@ pub struct WireQuerySpec {
     pub kind: WireKind,
     /// Filter over the `f` attribute, if any.
     pub filter: Option<FilterSpec>,
+    /// Explicit value bound `c` for the concentration inequalities, if
+    /// overridden. Durable scripts inflate it so certification cannot end
+    /// the session before its scripted interruption lands.
+    pub bound: Option<f64>,
     /// Group by `(g, g2)` instead of `g` (AVG/SUM only).
     pub multi_group: bool,
     /// Samples per round.
@@ -79,6 +94,7 @@ impl WireQuerySpec {
             WireKind::Count => req.aggregate = rapidviz::Aggregate::Count,
         }
         req.filter = self.filter.clone();
+        req.bound = self.bound;
         req.samples_per_round = Some(self.samples_per_round);
         req.max_samples = Some(self.max_samples);
         req
@@ -98,6 +114,9 @@ impl WireQuerySpec {
         };
         if let Some(f) = &self.filter {
             q = q.filter(f.to_predicate());
+        }
+        if let Some(c) = self.bound {
+            q = q.bound(c);
         }
         q.samples_per_round(self.samples_per_round)
             .max_samples(self.max_samples)
@@ -119,6 +138,18 @@ pub enum WireBehavior {
     /// Send the query, shut down the write half, and still drain to the
     /// terminal frame.
     HalfClose,
+    /// Read the resume token plus this many frames, drop the connection,
+    /// reconnect with seeded backoff, `RESUME` the parked session, and
+    /// drain it to the answer — which must byte-match the uninterrupted
+    /// replay.
+    DisconnectReconnect(u64),
+    /// Read the resume token plus this many frames, then fire a `CRASH`
+    /// drill from a second connection. The victim stream must die without
+    /// a fabricated terminal frame; a seeded-backoff reconnect then
+    /// `RESUME`s the session from its surviving registry checkpoint and
+    /// the recovered answer must byte-match the uninterrupted replay.
+    /// Only generated in single-client episodes.
+    CrashRestart(u64),
 }
 
 /// One scripted client: a query plus what it does with it.
@@ -165,10 +196,16 @@ pub struct WireReport {
     pub episodes: u64,
     /// Queries that completed and byte-matched their in-process replay.
     pub verified_answers: u64,
-    /// Mid-stream disconnects exercised.
+    /// Mid-stream disconnects exercised (including reconnects that lost
+    /// the race against server-side completion).
     pub disconnects: u64,
     /// Malformed lines rejected.
     pub malformed_rejections: u64,
+    /// Sessions resumed via `RESUME` after a disconnect whose answers
+    /// byte-matched the uninterrupted replay.
+    pub resumed_answers: u64,
+    /// Crash drills recovered bit-identically via reconnect + `RESUME`.
+    pub crash_recoveries: u64,
 }
 
 /// Expands one root seed into a wire episode plan. Pure.
@@ -183,58 +220,122 @@ pub fn wire_episode_plan(seed: u64) -> WireEpisodePlan {
         groups: rng.gen_range(2..=5usize),
         filter_values: 3,
     };
-    let n_clients = rng.gen_range(2..=5usize);
-    let clients = (0..n_clients)
-        .map(|_| {
-            let kind = match rng.gen_range(0..6u32) {
-                0 => WireKind::Avg(AlgorithmChoice::IFocus),
-                1 => WireKind::Avg(AlgorithmChoice::IRefine),
-                2 => WireKind::Avg(AlgorithmChoice::RoundRobin),
-                3 => WireKind::Avg(AlgorithmChoice::ExactScan),
-                4 => WireKind::Sum,
-                _ => WireKind::Count,
-            };
-            let filter = if matches!(kind, WireKind::Count) {
-                None
-            } else {
-                match rng.gen_range(0..3u32) {
-                    0 => None,
-                    1 => Some(FilterSpec::Eq(
-                        "f".into(),
-                        format!("f{}", rng.gen_range(0..3)),
-                    )),
-                    _ => {
-                        let a = rng.gen_range(0..3u32);
-                        let b = (a + 1 + rng.gen_range(0..2u32)) % 3;
-                        Some(FilterSpec::In(
-                            "f".into(),
-                            vec![format!("f{a}"), format!("f{b}")],
-                        ))
+    // One episode in ten is a solo crash drill: the `CRASH` verb kills
+    // every live session in the incarnation, so it gets no fleet-mates to
+    // strand.
+    let clients = if rng.gen_range(0..10u32) == 0 {
+        let mut query = scripted_query(&mut rng);
+        make_durable(&mut query, &mut rng);
+        vec![WireClientScript {
+            query,
+            behavior: WireBehavior::CrashRestart(rng.gen_range(1..4)),
+        }]
+    } else {
+        let n_clients = rng.gen_range(2..=5usize);
+        (0..n_clients)
+            .map(|_| {
+                let mut query = scripted_query(&mut rng);
+                let behavior = match rng.gen_range(0..10u32) {
+                    0 => WireBehavior::DisconnectAfter(rng.gen_range(0..4)),
+                    1 => WireBehavior::Malformed,
+                    2 => WireBehavior::HalfClose,
+                    3 => {
+                        make_durable(&mut query, &mut rng);
+                        WireBehavior::DisconnectReconnect(rng.gen_range(1..4))
                     }
-                }
-            };
-            let query = WireQuerySpec {
-                seed: rng.next_u64(),
-                kind,
-                filter,
-                multi_group: !matches!(kind, WireKind::Count) && rng.gen_bool(0.25),
-                samples_per_round: rng.gen_range(4..=32),
-                max_samples: rng.gen_range(200..=2_000),
-            };
-            let behavior = match rng.gen_range(0..8u32) {
-                0 => WireBehavior::DisconnectAfter(rng.gen_range(0..4)),
-                1 => WireBehavior::Malformed,
-                2 => WireBehavior::HalfClose,
-                _ => WireBehavior::Complete,
-            };
-            WireClientScript { query, behavior }
-        })
-        .collect();
+                    _ => WireBehavior::Complete,
+                };
+                WireClientScript { query, behavior }
+            })
+            .collect()
+    };
+    // Durable scripts need a real mid-stream window. On these default
+    // tiny tables every group is fully drawn within milliseconds and the
+    // Hoeffding-Serfling correction collapses the intervals to zero, so
+    // an interruption would always lose the race against completion.
+    // Tens of thousands of rows (with the inflated bound set by
+    // `make_durable`) keep the durable session streaming for thousands
+    // of rounds instead.
+    let durable = clients.iter().any(|c| {
+        matches!(
+            c.behavior,
+            WireBehavior::DisconnectReconnect(_) | WireBehavior::CrashRestart(_)
+        )
+    });
+    let table = if durable {
+        TableSpec {
+            rows: rng.gen_range(10_000..=25_000usize),
+            ..table
+        }
+    } else {
+        table
+    };
     WireEpisodePlan {
         seed,
         table,
         clients,
     }
+}
+
+/// Draws one scripted query: kind, filter, grouping, and round/sample
+/// budgets sized for a quick complete-or-abandon run.
+fn scripted_query(rng: &mut StdRng) -> WireQuerySpec {
+    let kind = match rng.gen_range(0..6u32) {
+        0 => WireKind::Avg(AlgorithmChoice::IFocus),
+        1 => WireKind::Avg(AlgorithmChoice::IRefine),
+        2 => WireKind::Avg(AlgorithmChoice::RoundRobin),
+        3 => WireKind::Avg(AlgorithmChoice::ExactScan),
+        4 => WireKind::Sum,
+        _ => WireKind::Count,
+    };
+    let filter = if matches!(kind, WireKind::Count) {
+        None
+    } else {
+        match rng.gen_range(0..3u32) {
+            0 => None,
+            1 => Some(FilterSpec::Eq(
+                "f".into(),
+                format!("f{}", rng.gen_range(0..3)),
+            )),
+            _ => {
+                let a = rng.gen_range(0..3u32);
+                let b = (a + 1 + rng.gen_range(0..2u32)) % 3;
+                Some(FilterSpec::In(
+                    "f".into(),
+                    vec![format!("f{a}"), format!("f{b}")],
+                ))
+            }
+        }
+    };
+    WireQuerySpec {
+        seed: rng.next_u64(),
+        kind,
+        filter,
+        bound: None,
+        multi_group: !matches!(kind, WireKind::Count) && rng.gen_bool(0.25),
+        samples_per_round: rng.gen_range(4..=32),
+        max_samples: rng.gen_range(200..=2_000),
+    }
+}
+
+/// Reshapes a query so a scripted interruption reliably lands mid-stream.
+/// Three levers: a sampling kind that cannot finish in one pass (exact
+/// scans and the sized COUNT path cover these tiny tables immediately),
+/// an inflated value bound so certification cannot end the session early,
+/// and a budget of many small rounds.
+fn make_durable(query: &mut WireQuerySpec, rng: &mut StdRng) {
+    query.kind = match rng.gen_range(0..4u32) {
+        0 => WireKind::Avg(AlgorithmChoice::IFocus),
+        1 => WireKind::Avg(AlgorithmChoice::IRefine),
+        2 => WireKind::Avg(AlgorithmChoice::RoundRobin),
+        _ => WireKind::Sum,
+    };
+    // Values live in [0, 100]; a bound of 5000 keeps every confidence
+    // interval ~50x too wide to separate the bars, so the session runs
+    // to its sample budget instead of certifying within milliseconds.
+    query.bound = Some(5_000.0);
+    query.samples_per_round = rng.gen_range(4..=8);
+    query.max_samples = rng.gen_range(20_000..=60_000);
 }
 
 /// Runs one wire episode.
@@ -252,6 +353,11 @@ pub fn run_wire_episode(plan: &WireEpisodePlan) -> Result<WireReport, WireFailur
         addr: "127.0.0.1:0".to_owned(),
         max_clients: plan.clients.len() + 2,
         per_client_max_samples: 1_000_000,
+        // The drill verb is armed only when the plan scripts a drill.
+        enable_crash: plan
+            .clients
+            .iter()
+            .any(|c| matches!(c.behavior, WireBehavior::CrashRestart(_))),
         ..ServerConfig::default()
     };
     let handle =
@@ -280,31 +386,46 @@ pub fn run_wire_episode(plan: &WireEpisodePlan) -> Result<WireReport, WireFailur
     let replay_engine = plan.table.build();
     for (script, result) in plan.clients.iter().zip(results) {
         let outcome = result.map_err(&fail)?;
-        match outcome {
-            ClientOutcome::Answered(answer) => {
-                let reference = script.query.execute_in_process(&replay_engine);
-                let wire_bits: Vec<u64> = answer.estimates.iter().map(|e| e.to_bits()).collect();
-                let ref_bits: Vec<u64> = reference
-                    .result
-                    .estimates
-                    .iter()
-                    .map(|e| e.to_bits())
-                    .collect();
-                if answer.labels != reference.result.labels
-                    || wire_bits != ref_bits
-                    || answer.outcome != reference.outcome
-                    || answer.samples_per_group != reference.result.samples_per_group
-                {
-                    return Err(fail(format!(
-                        "wire-replay divergence for {script:?}:\n wire {answer:?}\n local {:?}",
-                        reference.result
-                    )));
-                }
-                report.verified_answers += 1;
+        let answer = match outcome {
+            ClientOutcome::Answered(a) => a,
+            ClientOutcome::Resumed(a) => {
+                report.resumed_answers += 1;
+                a
             }
-            ClientOutcome::Disconnected => report.disconnects += 1,
-            ClientOutcome::MalformedRejected => report.malformed_rejections += 1,
+            ClientOutcome::CrashRecovered(a) => {
+                report.crash_recoveries += 1;
+                a
+            }
+            ClientOutcome::Disconnected => {
+                report.disconnects += 1;
+                continue;
+            }
+            ClientOutcome::MalformedRejected => {
+                report.malformed_rejections += 1;
+                continue;
+            }
+        };
+        // Resumed and crash-recovered answers go through the same bar as
+        // uninterrupted ones: the interruption must not move a bit.
+        let reference = script.query.execute_in_process(&replay_engine);
+        let wire_bits: Vec<u64> = answer.estimates.iter().map(|e| e.to_bits()).collect();
+        let ref_bits: Vec<u64> = reference
+            .result
+            .estimates
+            .iter()
+            .map(|e| e.to_bits())
+            .collect();
+        if answer.labels != reference.result.labels
+            || wire_bits != ref_bits
+            || answer.outcome != reference.outcome
+            || answer.samples_per_group != reference.result.samples_per_group
+        {
+            return Err(fail(format!(
+                "wire-replay divergence for {script:?}:\n wire {answer:?}\n local {:?}",
+                reference.result
+            )));
         }
+        report.verified_answers += 1;
     }
 
     // Slot reclamation: every admitted session ends terminal. This
@@ -317,7 +438,9 @@ pub fn run_wire_episode(plan: &WireEpisodePlan) -> Result<WireReport, WireFailur
     loop {
         let admitted = stats.sessions_admitted.load(Ordering::Relaxed);
         let terminal = stats.sessions_completed.load(Ordering::Relaxed)
-            + stats.sessions_cancelled.load(Ordering::Relaxed);
+            + stats.sessions_cancelled.load(Ordering::Relaxed)
+            + stats.sessions_parked.load(Ordering::Relaxed)
+            + stats.sessions_crashed.load(Ordering::Relaxed);
         if admitted == terminal {
             break;
         }
@@ -328,14 +451,82 @@ pub fn run_wire_episode(plan: &WireEpisodePlan) -> Result<WireReport, WireFailur
         }
         std::thread::sleep(Duration::from_millis(10));
     }
+    // A recovered crash drill must have actually gone through a scheduler
+    // restart — otherwise the drill silently degraded into a plain run.
+    if report.crash_recoveries > 0 && stats.scheduler_restarts.load(Ordering::Relaxed) == 0 {
+        return Err(fail(
+            "crash drill recovered without a scheduler restart".to_owned(),
+        ));
+    }
     handle.shutdown();
     Ok(report)
 }
 
 enum ClientOutcome {
     Answered(rapidviz_serve::WireAnswer),
+    /// Answered after a disconnect + `RESUME` round-trip.
+    Resumed(rapidviz_serve::WireAnswer),
+    /// Answered after a `CRASH` drill + reconnect + `RESUME`.
+    CrashRecovered(rapidviz_serve::WireAnswer),
     Disconnected,
     MalformedRejected,
+}
+
+/// Where `start_and_abandon` left the stream.
+enum StartOutcome {
+    /// Token in hand; the stream was abandoned mid-flight.
+    Token(u64),
+    /// The query finished before the script could interrupt it — both
+    /// sides of that race must be clean.
+    Answered(rapidviz_serve::WireAnswer),
+}
+
+/// Sends the query, waits for the resume-token announcement, reads
+/// `frames` more frames, and returns with the stream still open but
+/// abandoned (or with the answer, if the query won the race).
+fn start_and_abandon(
+    client: &mut WireClient,
+    query: &WireQuerySpec,
+    frames: u64,
+) -> Result<StartOutcome, String> {
+    client
+        .send_request(&query.to_request())
+        .map_err(|e| format!("send failed: {e}"))?;
+    let mut token: Option<u64> = None;
+    let mut seen = 0u64;
+    loop {
+        if let Some(t) = token {
+            if seen >= frames {
+                return Ok(StartOutcome::Token(t));
+            }
+        }
+        match client
+            .next_frame()
+            .map_err(|e| format!("read failed: {e}"))?
+        {
+            Some(Frame::Parked { token: t }) => token = Some(t),
+            Some(Frame::Answer(a)) => return Ok(StartOutcome::Answered(a)),
+            Some(Frame::Error { code, message }) => {
+                return Err(format!("unexpected error {code:?}: {message}"))
+            }
+            Some(_) => {
+                if token.is_some() {
+                    seen += 1;
+                }
+            }
+            None => return Err("stream closed before the resume token arrived".to_owned()),
+        }
+    }
+}
+
+/// The deterministic per-script reconnect schedule: seeded off the query
+/// seed (domain-separated per chaos arm) so a repro replays the same
+/// backoff jitter.
+fn retry_policy(query_seed: u64, salt: u64) -> RetryPolicy {
+    RetryPolicy {
+        seed: query_seed ^ salt,
+        ..RetryPolicy::default()
+    }
 }
 
 fn run_client_script(
@@ -407,6 +598,79 @@ fn run_client_script(
                 other => Err(format!("expected Malformed error, got {other:?}")),
             }
         }
+        WireBehavior::DisconnectReconnect(frames) => {
+            let token = match start_and_abandon(&mut client, &script.query, frames)? {
+                StartOutcome::Token(t) => t,
+                StartOutcome::Answered(a) => return Ok(ClientOutcome::Answered(a)),
+            };
+            drop(client);
+            let policy = retry_policy(script.query.seed, 0x5245_434f_4e4e_4543);
+            let (mut conn, _retries) =
+                WireClient::connect_with_retry(addr, Duration::from_secs(30), &policy)
+                    .map_err(|e| format!("reconnect failed: {e}"))?;
+            let run = conn
+                .resume(token)
+                .map_err(|e| format!("resume stream failed: {e}"))?;
+            if let Some(a) = run.answer {
+                return Ok(ClientOutcome::Resumed(a));
+            }
+            match run.error {
+                // The server kept running the session after we vanished
+                // and may finish (and discard the token) before the
+                // RESUME lands — losing that race is a clean disconnect,
+                // not a failure.
+                Some((ErrorCode::NoSuchToken, _)) => Ok(ClientOutcome::Disconnected),
+                other => Err(format!("resume got no answer; error={other:?}")),
+            }
+        }
+        WireBehavior::CrashRestart(frames) => {
+            // Pre-open the drill connection so its accept/spawn latency
+            // is paid before the victim session starts — the CRASH then
+            // lands within the session's lifetime far more often.
+            let mut killer = WireClient::connect(addr, Duration::from_secs(30))
+                .map_err(|e| format!("drill connect failed: {e}"))?;
+            let token = match start_and_abandon(&mut client, &script.query, frames)? {
+                StartOutcome::Token(t) => t,
+                StartOutcome::Answered(a) => return Ok(ClientOutcome::Answered(a)),
+            };
+            killer
+                .send_line("CRASH")
+                .map_err(|e| format!("drill send failed: {e}"))?;
+            drop(killer);
+            // The victim stream must die cleanly: closed, never a
+            // fabricated terminal error. An answer may still race in if
+            // the session completed before the drill landed.
+            loop {
+                match client.next_frame() {
+                    Ok(Some(Frame::Answer(a))) => return Ok(ClientOutcome::Answered(a)),
+                    Ok(Some(Frame::Error { code, message })) => {
+                        return Err(format!(
+                            "crash fabricated a terminal error {code:?}: {message}"
+                        ))
+                    }
+                    Ok(Some(_)) => {}
+                    Ok(None) | Err(_) => break,
+                }
+            }
+            drop(client);
+            let policy = retry_policy(script.query.seed, 0x4352_4153_4852_4543);
+            let (mut conn, _retries) =
+                WireClient::connect_with_retry(addr, Duration::from_secs(30), &policy)
+                    .map_err(|e| format!("post-crash reconnect failed: {e}"))?;
+            let run = conn
+                .resume(token)
+                .map_err(|e| format!("post-crash resume failed: {e}"))?;
+            match run.answer {
+                // No race excuse here: the victim saw no answer, so the
+                // checkpoint must have survived the crash in the registry
+                // and the resume must recover it.
+                Some(a) => Ok(ClientOutcome::CrashRecovered(a)),
+                None => Err(format!(
+                    "post-crash resume got no answer; error={:?}",
+                    run.error
+                )),
+            }
+        }
     }
 }
 
@@ -422,6 +686,8 @@ pub fn run_wire_batch(base_seed: u64, count: u64) -> WireReport {
                 aggregate.verified_answers += r.verified_answers;
                 aggregate.disconnects += r.disconnects;
                 aggregate.malformed_rejections += r.malformed_rejections;
+                aggregate.resumed_answers += r.resumed_answers;
+                aggregate.crash_recoveries += r.crash_recoveries;
             }
             Err(failure) => panic!("{}", failure.report()),
         }

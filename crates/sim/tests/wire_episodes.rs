@@ -18,6 +18,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn wire_batch() {
     let n = env_u64("SIM_WIRE_EPISODES", 25);
     let report = run_wire_batch(env_u64("SIM_BASE_SEED", 0x5EED_CAFE), n);
+    eprintln!("wire batch: {report:?}");
     assert_eq!(report.episodes, n);
     assert!(
         report.verified_answers > 0,
@@ -32,18 +33,27 @@ fn wire_plan_is_deterministic_and_covers_behaviors() {
     assert_eq!(a, b, "same seed, same plan");
     // Across a modest seed range every behavior variant appears — the
     // grammar can actually reach its chaos arms.
-    let mut saw = [false; 4];
+    let mut saw = [false; 6];
     for seed in 0..200u64 {
-        for c in wire_episode_plan(seed).clients {
+        let plan = wire_episode_plan(seed);
+        let solo = plan.clients.len() == 1;
+        for c in plan.clients {
             match c.behavior {
                 WireBehavior::Complete => saw[0] = true,
                 WireBehavior::DisconnectAfter(_) => saw[1] = true,
                 WireBehavior::Malformed => saw[2] = true,
                 WireBehavior::HalfClose => saw[3] = true,
+                WireBehavior::DisconnectReconnect(_) => saw[4] = true,
+                WireBehavior::CrashRestart(_) => {
+                    saw[5] = true;
+                    // The drill kills every live session in the
+                    // incarnation, so it must never have fleet-mates.
+                    assert!(solo, "crash drill in a multi-client episode (seed {seed})");
+                }
             }
         }
     }
-    assert_eq!(saw, [true; 4], "behavior coverage: {saw:?}");
+    assert_eq!(saw, [true; 6], "behavior coverage: {saw:?}");
 }
 
 #[test]

@@ -72,6 +72,7 @@ fn main() {
                 break;
             }
             Frame::Evicted { bytes } => println!("(session evicted at {bytes} resident bytes)"),
+            Frame::Parked { token } => println!("(resumable under token {token:#018x})"),
             Frame::Stats(_) => {}
         }
     }

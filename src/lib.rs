@@ -43,11 +43,13 @@
 //! ```
 
 pub mod adapter;
+pub mod checkpoint;
 pub mod query;
 pub mod scheduler;
 pub mod session;
 
 pub use adapter::{query_groups, query_sized_groups, NeedletailGroup, SizedNeedletailGroup};
+pub use checkpoint::{CheckpointError, QuerySpec, SessionCheckpoint};
 pub use query::{Aggregate, AlgorithmChoice, QueryAnswer, VizQuery};
 pub use rapidviz_core as core;
 pub use rapidviz_core::{Clock, SimulatedClock, Snapshot, StepOutcome, SystemClock};
@@ -55,6 +57,7 @@ pub use rapidviz_datagen as datagen;
 pub use rapidviz_needletail as needletail;
 pub use rapidviz_stats as stats;
 pub use scheduler::{
-    MultiQueryScheduler, QueryId, RunOutcome, SchedulePolicy, SchedulerEvent, SessionStats,
+    MultiQueryScheduler, ParkError, ParkingRegistry, ParkingStats, QueryId, RunOutcome,
+    SchedulePolicy, SchedulerEvent, SessionStats,
 };
 pub use session::{PlanCacheStats, QuerySession, RoundUpdate};

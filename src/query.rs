@@ -22,7 +22,10 @@
 //! ```
 
 use crate::adapter::{NeedletailGroup, SizedNeedletailGroup};
-use crate::session::{MeanStepper, PlanCacheStats, QuerySession, SessionCore, SessionEngine};
+use crate::checkpoint::QuerySpec;
+use crate::session::{
+    MeanStepper, PlanCacheStats, QuerySession, SessionCore, SessionEngine, SessionRng,
+};
 use rand::RngCore;
 use rapidviz_core::clock::{Clock, SystemClock};
 use rapidviz_core::extensions::{count_config, CountSource, IFocusSum1, IFocusSum2};
@@ -31,38 +34,7 @@ use rapidviz_needletail::{EngineError, NeedleTail, Predicate};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Which aggregate the query computes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Aggregate {
-    /// `AVG(measure)` — Problem 1 / Algorithm 1.
-    #[default]
-    Avg,
-    /// `SUM(measure)` with known group sizes — Algorithm 4.
-    Sum,
-    /// `COUNT` with unknown group sizes — the §6.3.2 reduction of
-    /// Algorithm 5 to the size-estimate stream. Estimates are **normalized
-    /// counts** `s_i ∈ [0, 1]` (each group's fraction of the relation);
-    /// multiply by the relation size for absolute counts.
-    Count,
-}
-
-/// Which ordering algorithm drives an `AVG` query. `SUM`/`COUNT` queries
-/// have dedicated algorithms (4 and 5) and reject an override.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum AlgorithmChoice {
-    /// IFOCUS (Algorithm 1) — the paper's primary contribution and the
-    /// default.
-    #[default]
-    IFocus,
-    /// IREFINE (Algorithm 3), the interval-halving alternative.
-    IRefine,
-    /// The ROUNDROBIN baseline (conventional stratified sampling with the
-    /// same stopping guarantee).
-    RoundRobin,
-    /// The exhaustive SCAN baseline: exact answer, maximal cost; sessions
-    /// stream one exact group per round.
-    ExactScan,
-}
+pub use crate::checkpoint::{Aggregate, AlgorithmChoice};
 
 /// Builder for an ordering-guaranteed visualization query.
 ///
@@ -299,16 +271,66 @@ impl<'a> VizQuery<'a> {
     ///
     /// Same conditions as [`VizQuery::execute`].
     pub fn start(&self, rng: impl RngCore + 'static) -> Result<QuerySession, EngineError> {
-        let mut rng: Box<dyn RngCore> = Box::new(rng);
-        let core = self.prepare_core(rng.as_mut())?;
-        Ok(QuerySession::new(core, rng))
+        // Keep the concrete shim StdRng visible (instead of erasing it
+        // behind `dyn RngCore` immediately) so the session can capture its
+        // state words when checkpointing.
+        let mut rng = SessionRng::capture(rng);
+        let core = self.prepare_core(&mut rng)?;
+        Ok(QuerySession::new(core, rng, Some(self.spec())))
+    }
+
+    /// The re-plannable description of this query — everything a
+    /// [`crate::SessionCheckpoint`] needs to rebuild the builder on
+    /// resume, minus the engine reference and clock (supplied by the
+    /// resuming process).
+    pub(crate) fn spec(&self) -> QuerySpec {
+        QuerySpec {
+            group_by: self.group_by.clone(),
+            measure: self.measure.clone().unwrap_or_default(),
+            aggregate: self.aggregate,
+            algorithm: self.algorithm,
+            predicate: self.predicate.clone(),
+            delta: self.delta,
+            resolution_fraction: self.resolution_fraction,
+            bound: self.bound,
+            samples_per_round: self.samples_per_round,
+            max_samples: self.max_samples,
+        }
+    }
+
+    /// Rebuilds a builder from a checkpointed spec. The checkpoint stores
+    /// the **remaining** time-to-deadline, passed here as `timeout` so the
+    /// budget re-anchors at `clock.now()` — wall time spent parked never
+    /// counts against the query.
+    pub(crate) fn from_spec(
+        engine: &'a NeedleTail,
+        spec: &QuerySpec,
+        clock: Arc<dyn Clock>,
+        timeout: Option<Duration>,
+    ) -> Self {
+        Self {
+            engine,
+            group_by: spec.group_by.clone(),
+            measure: Some(spec.measure.clone()),
+            aggregate: spec.aggregate,
+            algorithm: spec.algorithm,
+            predicate: spec.predicate.clone(),
+            delta: spec.delta,
+            resolution_fraction: spec.resolution_fraction,
+            bound: spec.bound,
+            samples_per_round: spec.samples_per_round,
+            max_samples: spec.max_samples,
+            timeout,
+            deadline: None,
+            clock,
+        }
     }
 
     /// Validates the builder, constructs the storage-backed group
     /// samplers, and ignites the algorithm state machine (bootstrap draws
-    /// included) — shared by [`VizQuery::execute`] and
-    /// [`VizQuery::start`].
-    fn prepare_core(&self, rng: &mut dyn RngCore) -> Result<SessionCore, EngineError> {
+    /// included) — shared by [`VizQuery::execute`], [`VizQuery::start`],
+    /// and the checkpoint-resume path.
+    pub(crate) fn prepare_core(&self, rng: &mut dyn RngCore) -> Result<SessionCore, EngineError> {
         let measure = self.measure.as_ref().ok_or_else(|| {
             EngineError::InvalidQuery(
                 "no measure set: call .avg(column), .sum(column), or .count(column)".into(),

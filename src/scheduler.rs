@@ -89,11 +89,15 @@
 //! }
 //! ```
 
+use crate::checkpoint::{CheckpointError, SessionCheckpoint};
 use crate::query::QueryAnswer;
 use crate::session::{PlanCacheStats, QuerySession, RoundUpdate};
+use rapidviz_core::clock::{Clock, SystemClock};
 use rapidviz_core::{Snapshot, StepOutcome};
-use std::collections::VecDeque;
-use std::time::Instant;
+use rapidviz_needletail::NeedleTail;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Identifies one admitted session within a scheduler (assigned in
 /// admission order, unique for the scheduler's lifetime).
@@ -206,6 +210,11 @@ pub struct SessionStats {
     /// signal a serving layer watches to tell cache-friendly workloads
     /// from filter-diverse ones that pay cold-plan cost per request.
     pub planning: PlanCacheStats,
+    /// Size of the session's most recent [`SessionCheckpoint`]
+    /// ([`SessionCheckpoint::approx_bytes`], updated by
+    /// [`MultiQueryScheduler::checkpoint`]); 0 until the first checkpoint
+    /// is taken.
+    pub checkpoint_bytes: usize,
 }
 
 /// One admitted session plus its scheduling state.
@@ -389,6 +398,7 @@ impl MultiQueryScheduler {
             outcome: session.outcome(),
             evicted: false,
             planning: session.planning_stats(),
+            checkpoint_bytes: 0,
         };
         let runnable = !session.is_finished();
         let slot = Slot {
@@ -592,6 +602,140 @@ impl MultiQueryScheduler {
         slot.into_answer()
     }
 
+    /// Parks a live session: checkpoints it into `registry` and removes it
+    /// from the scheduler, returning the resume token. The session's draws
+    /// stay charged to the global sample budget (parking is not a refund),
+    /// and any pending eviction notice for it is dropped, exactly as in
+    /// [`MultiQueryScheduler::finish`].
+    ///
+    /// This is what a serving layer calls on client disconnect instead of
+    /// cancelling: the checkpoint outlives the connection (bounded by the
+    /// registry's TTL and byte cap) and a reconnecting client resumes it
+    /// with [`MultiQueryScheduler::unpark`].
+    ///
+    /// # Errors
+    ///
+    /// On any error the scheduler is left untouched — the session keeps
+    /// running and the caller may fall back to cancelling it via
+    /// [`MultiQueryScheduler::finish`]:
+    ///
+    /// * [`ParkError::NoSuchSession`] — `id` is unknown, already finished
+    ///   out, or was memory-evicted (its algorithm state is gone; only the
+    ///   best-effort answer remains).
+    /// * [`ParkError::Checkpoint`] — the session cannot checkpoint (e.g.
+    ///   it was started with a caller-supplied opaque RNG whose state
+    ///   cannot be captured).
+    /// * [`ParkError::OverCapacity`] — the registry's byte cap is full.
+    pub fn park(&mut self, id: QueryId, registry: &mut ParkingRegistry) -> Result<u64, ParkError> {
+        self.park_inner(id, registry, None)
+    }
+
+    /// [`MultiQueryScheduler::park`] under a token the caller reserved
+    /// earlier with [`ParkingRegistry::reserve`] — the serving pattern
+    /// where the token is announced to the client at admission (so it
+    /// survives even a hard server crash) and the checkpoint lands under
+    /// it at disconnect. Upserts: a checkpoint already parked under the
+    /// token (a periodic refresh) is replaced.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`MultiQueryScheduler::park`].
+    pub fn park_reserved(
+        &mut self,
+        id: QueryId,
+        registry: &mut ParkingRegistry,
+        token: u64,
+    ) -> Result<u64, ParkError> {
+        self.park_inner(id, registry, Some(token))
+    }
+
+    fn park_inner(
+        &mut self,
+        id: QueryId,
+        registry: &mut ParkingRegistry,
+        token: Option<u64>,
+    ) -> Result<u64, ParkError> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.id == id)
+            .ok_or(ParkError::NoSuchSession)?;
+        let checkpoint = match self.slots[idx].session.as_ref() {
+            Some(session) => session.checkpoint().map_err(ParkError::Checkpoint)?,
+            // Evicted slots already released their algorithm state; there
+            // is nothing left to park.
+            None => return Err(ParkError::NoSuchSession),
+        };
+        let token = match token {
+            Some(t) => registry.park_reserved(t, checkpoint)?,
+            None => registry.park(checkpoint)?,
+        };
+        let slot = self.slots.remove(idx);
+        if slot.runnable {
+            self.runnable_weight -= slot.weight();
+        }
+        self.retired_samples += slot.total_samples();
+        self.pending
+            .retain(|e| !matches!(e, SchedulerEvent::MemoryEvicted { id: eid, .. } if *eid == id));
+        Ok(token)
+    }
+
+    /// Checkpoints a live session **without** removing it — the periodic
+    /// durability refresh a crash-recovering server takes after each
+    /// round (paired with [`ParkingRegistry::park_reserved`], so the
+    /// registry always holds each session's latest resumable state). Also
+    /// records the checkpoint size in [`SessionStats::checkpoint_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`ParkError::NoSuchSession`] for unknown / finished / evicted ids;
+    /// [`ParkError::Checkpoint`] if the session cannot checkpoint.
+    pub fn checkpoint(&mut self, id: QueryId) -> Result<SessionCheckpoint, ParkError> {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.id == id)
+            .ok_or(ParkError::NoSuchSession)?;
+        let session = slot.session.as_ref().ok_or(ParkError::NoSuchSession)?;
+        let checkpoint = session.checkpoint().map_err(ParkError::Checkpoint)?;
+        slot.stats.checkpoint_bytes = checkpoint.approx_bytes();
+        Ok(checkpoint)
+    }
+
+    /// Resumes a parked session from `registry` and re-admits it under a
+    /// fresh [`QueryId`]. The resumed round stream is bit-identical to the
+    /// uninterrupted session's (the checkpoint/resume contract of
+    /// [`QuerySession::checkpoint`]); its wall-clock budget restarts from
+    /// the remaining time captured at park.
+    ///
+    /// Samples the session drew before parking were retired at park time;
+    /// they are un-retired here so re-admission does not charge them to
+    /// the global budget twice. On a scheduler that never saw the session
+    /// (a crash-restarted server) the subtraction saturates at zero and
+    /// the historical draws are conservatively re-charged.
+    ///
+    /// # Errors
+    ///
+    /// * [`ParkError::NoSuchToken`] — the token is unknown, already
+    ///   resumed, or TTL-expired. The client must re-issue the query.
+    /// * [`ParkError::Checkpoint`] — the checkpoint does not fit `engine`
+    ///   (e.g. group count drift after a data reload). The checkpoint
+    ///   stays parked so the error is observable/retryable until the TTL
+    ///   reaps it.
+    pub fn unpark(
+        &mut self,
+        registry: &mut ParkingRegistry,
+        token: u64,
+        engine: &NeedleTail,
+    ) -> Result<QueryId, ParkError> {
+        let checkpoint = registry.get(token)?.clone();
+        let session = QuerySession::resume_with_clock(engine, &checkpoint, registry.clock())
+            .map_err(ParkError::Checkpoint)?;
+        let _ = registry.take(token);
+        self.retired_samples = self.retired_samples.saturating_sub(session.total_samples());
+        Ok(self.admit(session))
+    }
+
     /// Consumes the scheduler, finishing every session in admission order.
     #[must_use]
     pub fn finish_all(self) -> Vec<(QueryId, QueryAnswer)> {
@@ -706,6 +850,349 @@ impl MultiQueryScheduler {
     }
 }
 
+/// Why a park or unpark operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParkError {
+    /// The scheduler holds no live session under this id (unknown,
+    /// finished out, or memory-evicted).
+    NoSuchSession,
+    /// The registry holds no checkpoint under this token (never issued,
+    /// already resumed, or TTL-expired).
+    NoSuchToken,
+    /// Parking the checkpoint would push the registry past its byte cap.
+    OverCapacity {
+        /// Bytes the rejected checkpoint would have added.
+        needed: usize,
+        /// The registry's configured cap.
+        cap: usize,
+    },
+    /// The session could not be checkpointed, or the checkpoint could not
+    /// be resumed against the serving engine.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for ParkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoSuchSession => write!(f, "no live session under that id"),
+            Self::NoSuchToken => write!(f, "no parked session under that token"),
+            Self::OverCapacity { needed, cap } => write!(
+                f,
+                "parking registry over capacity: checkpoint needs {needed} bytes, cap is {cap}"
+            ),
+            Self::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Observability counters for a [`ParkingRegistry`] — the parked-session
+/// analogue of [`PlanCacheStats`], folded by a serving layer into its
+/// metrics / `STATS` frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParkingStats {
+    /// Sessions currently parked.
+    pub parked: u64,
+    /// Checkpoint bytes currently held (the structural estimate charged
+    /// against the registry's byte cap).
+    pub parked_bytes: u64,
+    /// Lifetime sessions parked successfully.
+    pub parked_total: u64,
+    /// Lifetime checkpoints handed back out for resumption.
+    pub resumed_total: u64,
+    /// Lifetime checkpoints dropped by the TTL sweep.
+    pub expired_total: u64,
+    /// Lifetime park attempts rejected by the byte cap.
+    pub rejected_total: u64,
+}
+
+/// One parked checkpoint plus its accounting.
+#[derive(Debug)]
+struct ParkedEntry {
+    checkpoint: SessionCheckpoint,
+    /// Byte charge ([`SessionCheckpoint::approx_bytes`] at park time).
+    bytes: usize,
+    /// Registry-clock instant the entry was parked at (TTL anchor).
+    parked_at: Instant,
+}
+
+/// TTL-bounded, byte-capped store of parked session checkpoints, keyed by
+/// resume token.
+///
+/// A serving layer parks a disconnecting client's session here
+/// ([`MultiQueryScheduler::park`]) instead of cancelling it, hands the
+/// token to the client, and resumes on reconnect
+/// ([`MultiQueryScheduler::unpark`]). Two bounds keep an abandoned-client
+/// workload from pinning memory forever:
+///
+/// * **TTL** — entries older than the configured time-to-live (measured
+///   against the registry's [`Clock`], so simulated time works) are reaped
+///   by an internal sweep that runs before every operation; a checkpoint
+///   parked for exactly the TTL is already expired.
+/// * **Byte cap** ([`ParkingRegistry::with_byte_cap`]) — each entry is
+///   charged its [`SessionCheckpoint::approx_bytes`]; a park that would
+///   exceed the cap is rejected ([`ParkError::OverCapacity`]) and counted,
+///   extending the scheduler's session-memory-cap philosophy to parked
+///   state.
+///
+/// Tokens are issued from a deterministic counter starting at 1 (so `0`
+/// can serve as a wire-level "no token" sentinel) and are unique for the
+/// registry's lifetime.
+pub struct ParkingRegistry {
+    ttl: Duration,
+    max_bytes: Option<usize>,
+    clock: Arc<dyn Clock>,
+    parked: BTreeMap<u64, ParkedEntry>,
+    next_token: u64,
+    bytes: usize,
+    parked_total: u64,
+    resumed_total: u64,
+    expired_total: u64,
+    rejected_total: u64,
+}
+
+impl std::fmt::Debug for ParkingRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParkingRegistry")
+            .field("ttl", &self.ttl)
+            .field("max_bytes", &self.max_bytes)
+            .field("parked", &self.parked.len())
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParkingRegistry {
+    /// Creates a registry with the given TTL, no byte cap, and the system
+    /// clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl` is zero (every entry would expire before it could
+    /// be resumed).
+    #[must_use]
+    pub fn new(ttl: Duration) -> Self {
+        Self::with_clock(ttl, Arc::new(SystemClock))
+    }
+
+    /// Creates a registry reading time from `clock` — the hook simulation
+    /// harnesses use to drive TTL expiry deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl` is zero.
+    #[must_use]
+    pub fn with_clock(ttl: Duration, clock: Arc<dyn Clock>) -> Self {
+        assert!(ttl > Duration::ZERO, "parking TTL must be positive");
+        Self {
+            ttl,
+            max_bytes: None,
+            clock,
+            parked: BTreeMap::new(),
+            next_token: 1,
+            bytes: 0,
+            parked_total: 0,
+            resumed_total: 0,
+            expired_total: 0,
+            rejected_total: 0,
+        }
+    }
+
+    /// Caps total checkpoint bytes held at once; parks that would exceed
+    /// it are rejected with [`ParkError::OverCapacity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0`.
+    #[must_use]
+    pub fn with_byte_cap(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "parking byte cap must be positive");
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// The clock TTLs are measured against (resumed sessions re-anchor
+    /// their remaining wall-clock budget on it too).
+    #[must_use]
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// The configured time-to-live.
+    #[must_use]
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Reserves the next token without parking anything under it yet — a
+    /// serving layer hands the token to the client at admission so it
+    /// survives a hard crash, and parks under it later with
+    /// [`ParkingRegistry::park_reserved`]. Tokens never repeat, reserved
+    /// or not.
+    pub fn reserve(&mut self) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        token
+    }
+
+    /// Parks a checkpoint under a fresh token and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`ParkError::OverCapacity`] if the byte cap would be exceeded (the
+    /// rejection is counted in [`ParkingStats::rejected_total`]).
+    pub fn park(&mut self, checkpoint: SessionCheckpoint) -> Result<u64, ParkError> {
+        let token = self.reserve();
+        self.park_reserved(token, checkpoint)
+    }
+
+    /// Parks (or refreshes) a checkpoint under a token obtained from
+    /// [`ParkingRegistry::reserve`]. An entry already held under the token
+    /// is replaced — this is how a server keeps each live session's latest
+    /// resumable state in the registry, one upsert per round — and its TTL
+    /// clock restarts. Replacement only counts toward
+    /// [`ParkingStats::parked_total`] when the token was previously empty.
+    ///
+    /// # Errors
+    ///
+    /// [`ParkError::OverCapacity`] if the byte cap would be exceeded net
+    /// of the entry being replaced.
+    pub fn park_reserved(
+        &mut self,
+        token: u64,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<u64, ParkError> {
+        self.sweep();
+        let needed = checkpoint.approx_bytes();
+        let replaced = self.parked.get(&token).map_or(0, |e| e.bytes);
+        if let Some(cap) = self.max_bytes {
+            if (self.bytes - replaced).saturating_add(needed) > cap {
+                self.rejected_total += 1;
+                return Err(ParkError::OverCapacity { needed, cap });
+            }
+        }
+        let parked_at = self.clock.now();
+        let old = self.parked.insert(
+            token,
+            ParkedEntry {
+                checkpoint,
+                bytes: needed,
+                parked_at,
+            },
+        );
+        match old {
+            Some(entry) => self.bytes -= entry.bytes,
+            None => self.parked_total += 1,
+        }
+        self.bytes += needed;
+        Ok(token)
+    }
+
+    /// Drops a parked checkpoint without counting it resumed or expired —
+    /// what a server calls when a session completes normally and its
+    /// durability shadow is no longer resumable. Returns whether an entry
+    /// was held.
+    pub fn discard(&mut self, token: u64) -> bool {
+        match self.parked.remove(&token) {
+            Some(entry) => {
+                self.bytes -= entry.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Borrows a parked checkpoint without consuming it (sweeps expired
+    /// entries first). Use [`ParkingRegistry::take`] once the resume has
+    /// actually succeeded, so a failed resume leaves the checkpoint
+    /// observable until the TTL reaps it.
+    ///
+    /// # Errors
+    ///
+    /// [`ParkError::NoSuchToken`] if the token is unknown, already
+    /// resumed, or expired.
+    pub fn get(&mut self, token: u64) -> Result<&SessionCheckpoint, ParkError> {
+        self.sweep();
+        self.parked
+            .get(&token)
+            .map(|e| &e.checkpoint)
+            .ok_or(ParkError::NoSuchToken)
+    }
+
+    /// Removes and returns a parked checkpoint, counting it as resumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ParkError::NoSuchToken`] if the token is unknown, already
+    /// resumed, or expired.
+    pub fn take(&mut self, token: u64) -> Result<SessionCheckpoint, ParkError> {
+        self.sweep();
+        let entry = self.parked.remove(&token).ok_or(ParkError::NoSuchToken)?;
+        self.bytes -= entry.bytes;
+        self.resumed_total += 1;
+        Ok(entry.checkpoint)
+    }
+
+    /// Drops every entry whose age has reached the TTL. Runs implicitly
+    /// before every `park` / `get` / `take`; callers with long idle spans
+    /// may also invoke it directly to release memory promptly.
+    pub fn sweep(&mut self) {
+        let now = self.clock.now();
+        let ttl = self.ttl;
+        let expired: Vec<u64> = self
+            .parked
+            .iter()
+            .filter(|(_, e)| now.saturating_duration_since(e.parked_at) >= ttl)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            if let Some(entry) = self.parked.remove(&token) {
+                self.bytes -= entry.bytes;
+                self.expired_total += 1;
+            }
+        }
+    }
+
+    /// Sessions currently parked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Whether no sessions are parked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parked.is_empty()
+    }
+
+    /// Checkpoint bytes currently held (the figure the byte cap governs).
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Current counters snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ParkingStats {
+        ParkingStats {
+            parked: self.parked.len() as u64,
+            parked_bytes: self.bytes as u64,
+            parked_total: self.parked_total,
+            resumed_total: self.resumed_total,
+            expired_total: self.expired_total,
+            rejected_total: self.rejected_total,
+        }
+    }
+}
+
 /// How far the snapshot's best-positioned active group is from certifying:
 /// the smallest, over active groups, of the largest interval overlap that
 /// still ties the group to another active group (0 when at most one group
@@ -797,5 +1284,267 @@ mod tests {
     #[test]
     fn query_id_displays_compactly() {
         assert_eq!(QueryId(3).to_string(), "q3");
+    }
+
+    mod parking {
+        use super::super::*;
+        use crate::VizQuery;
+        use rand::SeedableRng;
+        use rapidviz_core::clock::SimulatedClock;
+        use rapidviz_needletail::{read_csv, CsvOptions, NeedleTail};
+
+        fn engine() -> NeedleTail {
+            let mut csv = String::from("airline,delay\n");
+            for i in 0..900 {
+                // Skewed group sizes so COUNT-style orderings separate and
+                // means stay well apart.
+                let (name, delay) = match i % 10 {
+                    0..=5 => ("AA", 60.0 + f64::from(i % 7)),
+                    6..=8 => ("UA", 85.0 + f64::from(i % 5)),
+                    _ => ("JB", 20.0 + f64::from(i % 3)),
+                };
+                csv.push_str(&format!("{name},{delay}\n"));
+            }
+            let table = read_csv(&csv, &CsvOptions::default()).unwrap();
+            NeedleTail::new(table, &["airline"]).unwrap()
+        }
+
+        fn session(engine: &NeedleTail, seed: u64) -> QuerySession {
+            VizQuery::new(engine)
+                .group_by("airline")
+                .avg("delay")
+                .bound(100.0)
+                .resolution_pct(6.0)
+                .samples_per_round(24)
+                .start(rand::rngs::StdRng::seed_from_u64(seed))
+                .unwrap()
+        }
+
+        /// A minimal RNG the checkpoint layer cannot capture.
+        struct OpaqueRng(u64);
+        impl rand::RngCore for OpaqueRng {
+            fn next_u32(&mut self) -> u32 {
+                (self.next_u64() >> 32) as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                self.0
+            }
+        }
+
+        #[test]
+        fn park_then_unpark_matches_uninterrupted_run() {
+            let engine = engine();
+
+            // Reference: one session driven to completion uninterrupted.
+            let mut reference = session(&engine, 7);
+            while !reference.is_finished() {
+                reference.step();
+            }
+            let expected = reference.finish();
+
+            // Same seed, parked mid-run and resumed through the registry.
+            let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+            let id = sched.admit(session(&engine, 7));
+            for _ in 0..3 {
+                sched.poll();
+            }
+            let mut registry = ParkingRegistry::new(Duration::from_secs(60));
+            let token = sched.park(id, &mut registry).unwrap();
+            assert_eq!(sched.len(), 0);
+            assert_eq!(registry.len(), 1);
+            assert!(registry.bytes() > 0);
+
+            let resumed = sched.unpark(&mut registry, token, &engine).unwrap();
+            assert_ne!(resumed, id, "resumed sessions get a fresh id");
+            assert!(registry.is_empty());
+            sched.run(|_| {});
+            let answer = sched.finish(resumed).unwrap();
+            assert_eq!(answer.ranked_labels(), expected.ranked_labels());
+            for (a, b) in answer
+                .result
+                .estimates
+                .iter()
+                .zip(&expected.result.estimates)
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let stats = registry.stats();
+            assert_eq!(stats.parked_total, 1);
+            assert_eq!(stats.resumed_total, 1);
+            assert_eq!(stats.parked, 0);
+            assert_eq!(stats.parked_bytes, 0);
+        }
+
+        #[test]
+        fn park_failure_leaves_the_session_running() {
+            let engine = engine();
+            let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+            let id = sched.admit(
+                VizQuery::new(&engine)
+                    .group_by("airline")
+                    .avg("delay")
+                    .bound(100.0)
+                    .resolution_pct(6.0)
+                    .samples_per_round(24)
+                    .start(OpaqueRng(42))
+                    .unwrap(),
+            );
+            sched.poll();
+            let mut registry = ParkingRegistry::new(Duration::from_secs(60));
+            match sched.park(id, &mut registry) {
+                Err(ParkError::Checkpoint(CheckpointError::OpaqueRng)) => {}
+                other => panic!("expected OpaqueRng checkpoint error, got {other:?}"),
+            }
+            // The session is untouched: still scheduled, still cancellable.
+            assert_eq!(sched.len(), 1);
+            assert_eq!(sched.runnable_count(), 1);
+            assert!(registry.is_empty());
+            assert!(sched.finish(id).is_some());
+        }
+
+        #[test]
+        fn parking_unknown_or_evicted_sessions_errors() {
+            let engine = engine();
+            let mut registry = ParkingRegistry::new(Duration::from_secs(60));
+            let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+            let id = sched.admit(session(&engine, 1));
+            let bogus = QueryId(999);
+            assert_eq!(
+                sched.park(bogus, &mut registry),
+                Err(ParkError::NoSuchSession)
+            );
+            assert!(matches!(
+                sched.unpark(&mut registry, 12345, &engine),
+                Err(ParkError::NoSuchToken)
+            ));
+            sched.finish(id);
+            assert_eq!(sched.park(id, &mut registry), Err(ParkError::NoSuchSession));
+        }
+
+        #[test]
+        fn ttl_expires_parked_sessions_against_the_registry_clock() {
+            let engine = engine();
+            let clock = Arc::new(SimulatedClock::new());
+            let mut registry = ParkingRegistry::with_clock(Duration::from_secs(30), clock.clone());
+            let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+            let id = sched.admit(session(&engine, 3));
+            sched.poll();
+            let token = sched.park(id, &mut registry).unwrap();
+
+            // One tick short of the TTL: still resumable.
+            clock.advance(Duration::from_secs(29));
+            assert!(registry.get(token).is_ok());
+
+            // At exactly the TTL the entry is expired.
+            clock.advance(Duration::from_secs(1));
+            assert!(matches!(registry.get(token), Err(ParkError::NoSuchToken)));
+            assert!(registry.is_empty());
+            assert_eq!(registry.bytes(), 0);
+            let stats = registry.stats();
+            assert_eq!(stats.expired_total, 1);
+            assert_eq!(stats.resumed_total, 0);
+        }
+
+        #[test]
+        fn byte_cap_rejects_parks_and_counts_them() {
+            let engine = engine();
+            let mut registry = ParkingRegistry::new(Duration::from_secs(60)).with_byte_cap(1);
+            let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+            let id = sched.admit(session(&engine, 5));
+            sched.poll();
+            match sched.park(id, &mut registry) {
+                Err(ParkError::OverCapacity { needed, cap }) => {
+                    assert!(needed > 1);
+                    assert_eq!(cap, 1);
+                }
+                other => panic!("expected OverCapacity, got {other:?}"),
+            }
+            assert_eq!(registry.stats().rejected_total, 1);
+            // Rejection leaves the session live.
+            assert_eq!(sched.len(), 1);
+            assert!(sched.finish(id).is_some());
+        }
+
+        #[test]
+        fn tokens_are_deterministic_and_start_at_one() {
+            let engine = engine();
+            let mut registry = ParkingRegistry::new(Duration::from_secs(60));
+            let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+            let a = sched.admit(session(&engine, 1));
+            let b = sched.admit(session(&engine, 2));
+            assert_eq!(sched.park(a, &mut registry).unwrap(), 1);
+            assert_eq!(sched.park(b, &mut registry).unwrap(), 2);
+        }
+
+        #[test]
+        fn reserved_tokens_support_refresh_and_discard() {
+            let engine = engine();
+            let mut registry = ParkingRegistry::new(Duration::from_secs(60));
+            let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+            let id = sched.admit(session(&engine, 11));
+            let token = registry.reserve();
+            assert_eq!(token, 1);
+
+            // Periodic durability refresh: checkpoint without removal,
+            // upsert under the reserved token. parked_total counts the
+            // token once, not per refresh.
+            for _ in 0..3 {
+                sched.poll();
+                let ck = sched.checkpoint(id).unwrap();
+                assert!(sched.stats(id).unwrap().checkpoint_bytes > 0);
+                registry.park_reserved(token, ck).unwrap();
+            }
+            assert_eq!(registry.len(), 1);
+            assert_eq!(registry.stats().parked_total, 1);
+            assert_eq!(
+                registry.bytes(),
+                registry.get(token).unwrap().approx_bytes(),
+                "refresh replaces the byte charge instead of accumulating it"
+            );
+            // The session is still live (checkpoint does not remove).
+            assert_eq!(sched.len(), 1);
+
+            // Disconnect: park the live session under the same token.
+            assert_eq!(
+                sched.park_reserved(id, &mut registry, token).unwrap(),
+                token
+            );
+            assert_eq!(sched.len(), 0);
+
+            // Completion elsewhere: discard drops the shadow without
+            // touching resumed/expired counters.
+            assert!(registry.discard(token));
+            assert!(!registry.discard(token));
+            assert!(registry.is_empty());
+            assert_eq!(registry.bytes(), 0);
+            let stats = registry.stats();
+            assert_eq!(stats.resumed_total, 0);
+            assert_eq!(stats.expired_total, 0);
+        }
+
+        #[test]
+        fn park_resume_cycle_does_not_double_charge_the_global_budget() {
+            let engine = engine();
+            let mut registry = ParkingRegistry::new(Duration::from_secs(60));
+            let mut sched = MultiQueryScheduler::new(SchedulePolicy::FairShare);
+            let id = sched.admit(session(&engine, 9));
+            for _ in 0..3 {
+                sched.poll();
+            }
+            let before = sched.total_samples();
+            let token = sched.park(id, &mut registry).unwrap();
+            assert_eq!(
+                sched.total_samples(),
+                before,
+                "parking retires the session's draws without refunding them"
+            );
+            sched.unpark(&mut registry, token, &engine).unwrap();
+            assert_eq!(
+                sched.total_samples(),
+                before,
+                "resuming un-retires exactly the parked draws"
+            );
+        }
     }
 }

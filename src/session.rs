@@ -51,18 +51,21 @@
 //! assert!(answer.fraction_sampled() < 1.0);
 //! ```
 
-use rand::RngCore;
-use rapidviz_core::clock::Clock;
+use rand::{RngCore, SeedableRng};
+use rapidviz_core::clock::{Clock, SystemClock};
 use rapidviz_core::extensions::{CountSource, IFocusSum1Stepper, IFocusSum2Stepper};
 use rapidviz_core::runner::AlgorithmStepper;
+use rapidviz_core::saved::{RestoreError, SavedStepper};
 use rapidviz_core::{
     viz, IFocusStepper, IRefineStepper, RoundRobinStepper, RunResult, ScanStepper, Snapshot,
     StepOutcome,
 };
+use rapidviz_needletail::NeedleTail;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::adapter::{NeedletailGroup, SizedNeedletailGroup};
+use crate::checkpoint::{CheckpointError, QuerySpec, SessionCheckpoint};
 
 /// The mean-space algorithm steppers a session can drive (AVG under any
 /// ordering algorithm, plus SUM with known group sizes).
@@ -97,6 +100,60 @@ pub(crate) enum SessionEngine {
         /// Size-estimating samplers wrapped in the COUNT rewrite.
         groups: Vec<CountSource<SizedNeedletailGroup>>,
     },
+}
+
+/// The RNG a session owns. The concrete shim [`rand::rngs::StdRng`] is
+/// kept visible (not erased behind `dyn RngCore`) so
+/// [`QuerySession::checkpoint`] can capture its xoshiro256** state words;
+/// any other RNG is boxed as opaque — fully usable, but the session then
+/// refuses to checkpoint with [`CheckpointError::OpaqueRng`].
+pub(crate) enum SessionRng {
+    /// The checkpointable shim generator.
+    Std(rand::rngs::StdRng),
+    /// Any other caller-supplied RNG.
+    Opaque(Box<dyn RngCore>),
+}
+
+impl SessionRng {
+    /// Wraps a caller RNG, detecting the shim `StdRng` by concrete type.
+    pub(crate) fn capture<R: RngCore + 'static>(rng: R) -> Self {
+        let mut slot = Some(rng);
+        let any = &mut slot as &mut dyn std::any::Any;
+        if let Some(std) = any.downcast_mut::<Option<rand::rngs::StdRng>>() {
+            if let Some(r) = std.take() {
+                return SessionRng::Std(r);
+            }
+        }
+        match slot.take() {
+            Some(r) => SessionRng::Opaque(Box::new(r)),
+            // The slot is emptied only on the `Std` path above, which
+            // returns before reaching here.
+            None => unreachable!("rng slot is still full on the opaque path"),
+        }
+    }
+}
+
+impl RngCore for SessionRng {
+    fn next_u32(&mut self) -> u32 {
+        match self {
+            SessionRng::Std(r) => r.next_u32(),
+            SessionRng::Opaque(r) => r.next_u32(),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self {
+            SessionRng::Std(r) => r.next_u64(),
+            SessionRng::Opaque(r) => r.next_u64(),
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self {
+            SessionRng::Std(r) => r.fill_bytes(dest),
+            SessionRng::Opaque(r) => r.fill_bytes(dest),
+        }
+    }
 }
 
 impl SessionEngine {
@@ -162,6 +219,82 @@ impl SessionEngine {
                 MeanStepper::Sum1(s) => s.finish(),
             },
             SessionEngine::Sized { stepper, .. } => stepper.finish(),
+        }
+    }
+
+    /// The stepper's resumable state (every session-reachable stepper
+    /// supports save, so `None` signals an internal gap, not user error).
+    fn save(&self) -> Option<SavedStepper> {
+        match self {
+            SessionEngine::Mean { stepper, .. } => match stepper {
+                MeanStepper::IFocus(s) => s.save(),
+                MeanStepper::IRefine(s) => s.save(),
+                MeanStepper::RoundRobin(s) => s.save(),
+                MeanStepper::Scan(s) => AlgorithmStepper::save(s),
+                MeanStepper::Sum1(s) => s.save(),
+            },
+            SessionEngine::Sized { stepper, .. } => Some(stepper.save()),
+        }
+    }
+
+    /// Overwrites the stepper's mutable state from a checkpoint bag.
+    fn restore(&mut self, saved: &SavedStepper) -> Result<(), RestoreError> {
+        match self {
+            SessionEngine::Mean { stepper, .. } => match stepper {
+                MeanStepper::IFocus(s) => s.restore(saved),
+                MeanStepper::IRefine(s) => s.restore(saved),
+                MeanStepper::RoundRobin(s) => s.restore(saved),
+                MeanStepper::Scan(s) => AlgorithmStepper::restore(s, saved),
+                MeanStepper::Sum1(s) => s.restore(saved),
+            },
+            SessionEngine::Sized { stepper, .. } => stepper.restore(saved),
+        }
+    }
+
+    /// Per-group without-replacement permutation records, in group order.
+    /// Empty for the `COUNT` engine, whose with-replacement samplers are
+    /// stateless.
+    fn sampler_states(&self) -> Vec<(u64, Vec<(u64, u64)>)> {
+        match self {
+            SessionEngine::Mean { groups, .. } => groups
+                .iter()
+                .map(NeedletailGroup::permutation_state)
+                .collect(),
+            SessionEngine::Sized { .. } => Vec::new(),
+        }
+    }
+
+    /// Restores permutation records captured by
+    /// [`SessionEngine::sampler_states`] onto freshly planned groups.
+    fn restore_samplers(
+        &mut self,
+        samplers: &[(u64, Vec<(u64, u64)>)],
+    ) -> Result<(), CheckpointError> {
+        match self {
+            SessionEngine::Mean { groups, .. } => {
+                if samplers.len() != groups.len() {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "checkpoint has {} sampler records for {} groups",
+                        samplers.len(),
+                        groups.len()
+                    )));
+                }
+                for (g, (drawn, entries)) in groups.iter_mut().zip(samplers) {
+                    g.restore_permutation(*drawn, entries);
+                }
+                Ok(())
+            }
+            SessionEngine::Sized { .. } => {
+                if samplers.is_empty() {
+                    Ok(())
+                } else {
+                    Err(CheckpointError::Mismatch(
+                        "COUNT sessions sample with replacement; the checkpoint should carry \
+                         no sampler records"
+                            .into(),
+                    ))
+                }
+            }
         }
     }
 }
@@ -374,6 +507,45 @@ impl SessionCore {
         self.terminal.unwrap_or(StepOutcome::Running)
     }
 
+    // --- checkpoint/resume surface (crate-private) --------------------
+
+    pub(crate) fn engine(&self) -> &SessionEngine {
+        &self.engine
+    }
+
+    pub(crate) fn engine_mut(&mut self) -> &mut SessionEngine {
+        &mut self.engine
+    }
+
+    /// Time left until the deadline as measured by the session clock —
+    /// what a checkpoint stores so parked wall time never counts against
+    /// the query's budget.
+    pub(crate) fn remaining_time(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(self.clock.now()))
+    }
+
+    pub(crate) fn prev_active(&self) -> &[bool] {
+        &self.prev_active
+    }
+
+    pub(crate) fn set_prev_active(&mut self, prev_active: Vec<bool>) {
+        self.prev_active = prev_active;
+    }
+
+    pub(crate) fn terminal(&self) -> Option<StepOutcome> {
+        self.terminal
+    }
+
+    pub(crate) fn budget_tripped(&self) -> bool {
+        self.budget_tripped
+    }
+
+    pub(crate) fn set_terminal(&mut self, terminal: Option<StepOutcome>, budget_tripped: bool) {
+        self.terminal = terminal;
+        self.budget_tripped = budget_tripped;
+    }
+
     pub(crate) fn finish(self) -> QueryAnswer {
         let outcome = self.outcome();
         let mut result = self.engine.finish();
@@ -424,8 +596,13 @@ fn fraction(samples: u64, population: u64) -> f64 {
 /// than there are rows).
 pub struct QuerySession {
     core: SessionCore,
-    rng: Box<dyn RngCore>,
+    rng: SessionRng,
     delivered_terminal: bool,
+    /// The re-plannable query description, embedded in checkpoints.
+    /// `None` only for sessions not created through
+    /// [`crate::VizQuery::start`] (none exist today) — those cannot
+    /// checkpoint.
+    spec: Option<QuerySpec>,
 }
 
 impl std::fmt::Debug for QuerySession {
@@ -438,12 +615,124 @@ impl std::fmt::Debug for QuerySession {
 }
 
 impl QuerySession {
-    pub(crate) fn new(core: SessionCore, rng: Box<dyn RngCore>) -> Self {
+    pub(crate) fn new(core: SessionCore, rng: SessionRng, spec: Option<QuerySpec>) -> Self {
         Self {
             core,
             rng,
             delivered_terminal: false,
+            spec,
         }
+    }
+
+    /// Captures the session's full resumable state as a
+    /// [`SessionCheckpoint`]: the query spec, the stepper's mutable state,
+    /// per-group sampler permutations, the RNG words, and budget
+    /// bookkeeping (time-to-deadline, not an absolute instant — parked
+    /// wall time never counts against the query). The engine's planning
+    /// caches are deliberately **not** captured; resume re-plans through
+    /// the normal path, so the checkpoint restores on a restarted server
+    /// with cold caches. See [`crate::checkpoint`] for the format.
+    ///
+    /// Stepping a resumed session produces a round stream bit-identical
+    /// (`f64::to_bits`) to the uninterrupted original.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::OpaqueRng`] when the session was started with an
+    /// RNG other than the shim [`rand::rngs::StdRng`];
+    /// [`CheckpointError::Unsupported`] when the session was not created
+    /// through [`crate::VizQuery::start`].
+    pub fn checkpoint(&self) -> Result<SessionCheckpoint, CheckpointError> {
+        let Some(spec) = &self.spec else {
+            return Err(CheckpointError::Unsupported(
+                "session was not created by VizQuery::start",
+            ));
+        };
+        let SessionRng::Std(rng) = &self.rng else {
+            return Err(CheckpointError::OpaqueRng);
+        };
+        let Some(stepper) = self.core.engine().save() else {
+            return Err(CheckpointError::Unsupported(
+                "the session's stepper does not support save",
+            ));
+        };
+        Ok(SessionCheckpoint {
+            spec: spec.clone(),
+            stepper,
+            samplers: self.core.engine().sampler_states(),
+            rng: rng.state(),
+            remaining: self.core.remaining_time(),
+            prev_active: self.core.prev_active().to_vec(),
+            terminal: self.core.terminal(),
+            budget_tripped: self.core.budget_tripped(),
+            delivered_terminal: self.delivered_terminal,
+        })
+    }
+
+    /// Rebuilds a session from a checkpoint against `engine`, measuring
+    /// any remaining wall-clock budget with the real system clock. See
+    /// [`QuerySession::resume_with_clock`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QuerySession::resume_with_clock`].
+    pub fn resume(
+        engine: &NeedleTail,
+        checkpoint: &SessionCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        Self::resume_with_clock(engine, checkpoint, Arc::new(SystemClock))
+    }
+
+    /// Rebuilds a session from a checkpoint against `engine`: re-plans the
+    /// embedded query (rebuilding all derived state — group handles,
+    /// labels, ε schedules — through the ordinary planning path, caches
+    /// and all), then overwrites the mutable state from the checkpoint:
+    /// stepper estimators and flags, per-group sampler permutations, the
+    /// RNG words, and budget bookkeeping. The remaining time-to-deadline
+    /// is re-anchored at `clock.now()`.
+    ///
+    /// The resumed session's round stream is bit-identical to what the
+    /// original would have produced had it never paused.
+    ///
+    /// # Errors
+    ///
+    /// * [`CheckpointError::Engine`] — re-planning failed (schema drift);
+    /// * [`CheckpointError::Restore`] / [`CheckpointError::Mismatch`] —
+    ///   the checkpoint does not fit the re-planned query's shape (group
+    ///   count drift between checkpoint and resume).
+    pub fn resume_with_clock(
+        engine: &NeedleTail,
+        checkpoint: &SessionCheckpoint,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, CheckpointError> {
+        let query = crate::VizQuery::from_spec(
+            engine,
+            &checkpoint.spec,
+            Arc::clone(&clock),
+            checkpoint.remaining,
+        );
+        // The bootstrap draws during re-planning consume a throwaway RNG
+        // and scratch sampler state; everything they touch is overwritten
+        // below, so the seed is irrelevant.
+        let mut throwaway = rand::rngs::StdRng::seed_from_u64(0);
+        let mut core = query.prepare_core(&mut throwaway)?;
+        core.engine_mut().restore(&checkpoint.stepper)?;
+        core.engine_mut().restore_samplers(&checkpoint.samplers)?;
+        if checkpoint.prev_active.len() != core.prev_active().len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has {} active flags for {} groups",
+                checkpoint.prev_active.len(),
+                core.prev_active().len()
+            )));
+        }
+        core.set_prev_active(checkpoint.prev_active.clone());
+        core.set_terminal(checkpoint.terminal, checkpoint.budget_tripped);
+        Ok(Self {
+            core,
+            rng: SessionRng::Std(rand::rngs::StdRng::from_state(checkpoint.rng)),
+            delivered_terminal: checkpoint.delivered_terminal,
+            spec: Some(checkpoint.spec.clone()),
+        })
     }
 
     /// Advances one round and returns its update. After termination this
@@ -456,7 +745,7 @@ impl QuerySession {
     /// it), but the [`Iterator`] view never re-yields it, even when `step`
     /// and iteration are mixed on the same session.
     pub fn step(&mut self) -> RoundUpdate {
-        let update = self.core.step_update(self.rng.as_mut());
+        let update = self.core.step_update(&mut self.rng);
         if !update.outcome.is_running() {
             // Mark the terminal update consumed for the Iterator view too:
             // without this, reaching the terminal via an explicit `step()`
